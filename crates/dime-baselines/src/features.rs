@@ -1,0 +1,110 @@
+//! Pair-similarity feature extraction shared by the ML baselines.
+//!
+//! The paper's better-performing SVM formulation (Exp-2) represents an
+//! entity *pair* by the vector of similarities between the two entities,
+//! one dimension per `(attribute, similarity function)`; the decision tree
+//! baseline consumes the same representation.
+
+use dime_core::{Group, Predicate, SimilarityFn};
+
+/// The feature space: one `(attribute, function)` per dimension.
+#[derive(Debug, Clone)]
+pub struct PairFeatures {
+    dims: Vec<(usize, SimilarityFn)>,
+}
+
+impl PairFeatures {
+    /// Builds a feature space from explicit dimensions.
+    pub fn new(dims: Vec<(usize, SimilarityFn)>) -> Self {
+        assert!(!dims.is_empty(), "feature space needs at least one dimension");
+        Self { dims }
+    }
+
+    /// Default features for a group: Jaccard + Overlap on every attribute,
+    /// Ontology where available.
+    pub fn default_for(group: &Group) -> Self {
+        let mut dims = Vec::new();
+        for attr in 0..group.schema().len() {
+            dims.push((attr, SimilarityFn::Jaccard));
+            dims.push((attr, SimilarityFn::Overlap));
+            if group.ontology(attr).is_some() {
+                dims.push((attr, SimilarityFn::Ontology));
+            }
+        }
+        Self { dims }
+    }
+
+    /// Number of dimensions.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether the space is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// The dimensions.
+    pub fn dims(&self) -> &[(usize, SimilarityFn)] {
+        &self.dims
+    }
+
+    /// Extracts the similarity vector of a pair. Raw overlap counts are
+    /// squashed by `x / (1 + x)` so every dimension lies in `[0, 1]`.
+    pub fn extract(&self, group: &Group, a: usize, b: usize) -> Vec<f64> {
+        let (ea, eb) = (group.entity(a), group.entity(b));
+        self.dims
+            .iter()
+            .map(|&(attr, func)| {
+                let v = Predicate::new(attr, func, 0.0).similarity(group, ea, eb);
+                match func {
+                    SimilarityFn::Overlap => v / (1.0 + v),
+                    SimilarityFn::EditDistance => 1.0 / (1.0 + v),
+                    _ => v,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dime_core::{GroupBuilder, Schema};
+    use dime_text::TokenizerKind;
+
+    fn group() -> Group {
+        let schema = Schema::new([("A", TokenizerKind::List(','))]);
+        let mut b = GroupBuilder::new(schema);
+        b.add_entity(&["a, b"]);
+        b.add_entity(&["a, b"]);
+        b.add_entity(&["z"]);
+        b.build()
+    }
+
+    #[test]
+    fn features_are_unit_interval() {
+        let g = group();
+        let f = PairFeatures::default_for(&g);
+        for (a, b) in [(0, 1), (0, 2)] {
+            for v in f.extract(&g, a, b) {
+                assert!((0.0..=1.0).contains(&v), "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_pair_scores_higher() {
+        let g = group();
+        let f = PairFeatures::default_for(&g);
+        let same: f64 = f.extract(&g, 0, 1).iter().sum();
+        let diff: f64 = f.extract(&g, 0, 2).iter().sum();
+        assert!(same > diff);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_space_panics() {
+        let _ = PairFeatures::new(vec![]);
+    }
+}

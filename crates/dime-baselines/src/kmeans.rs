@@ -1,0 +1,259 @@
+//! k-means clustering baseline.
+//!
+//! The paper's related-work section singles out clustering ("perhaps the
+//! most widely used is k-means") and claims that treating the smaller
+//! cluster as mis-categorized *must* fail, because correct entities appear
+//! in small partitions and mis-categorized ones can sit near big ones.
+//! This module makes that claim testable: entities are embedded as
+//! L2-normalized bag-of-token vectors over the union of their attributes,
+//! Lloyd's algorithm with k-means++ seeding clusters them, and everything
+//! outside the largest cluster is flagged.
+
+use dime_core::Group;
+use dime_text::TokenId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, HashMap};
+
+/// k-means configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iterations: usize,
+    /// RNG seed for k-means++ seeding.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self { k: 2, max_iterations: 50, seed: 7 }
+    }
+}
+
+/// Sparse L2-normalized entity embedding: token id → weight.
+type SparseVec = HashMap<TokenId, f64>;
+
+fn embed(group: &Group, entity: usize, attrs: &[usize]) -> SparseVec {
+    let mut v: SparseVec = HashMap::new();
+    for &a in attrs {
+        for &t in &group.entity(entity).value(a).tokens {
+            *v.entry(t).or_insert(0.0) += 1.0;
+        }
+    }
+    let norm: f64 = v.values().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.values_mut() {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+fn dot(a: &SparseVec, b: &SparseVec) -> f64 {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small.iter().map(|(t, x)| x * large.get(t).copied().unwrap_or(0.0)).sum()
+}
+
+/// Cosine distance in `[0, 2]` between normalized sparse vectors.
+fn distance(a: &SparseVec, b: &SparseVec) -> f64 {
+    1.0 - dot(a, b)
+}
+
+/// The clustering result.
+#[derive(Debug)]
+pub struct KMeansResult {
+    /// Cluster assignment per entity.
+    pub assignment: Vec<usize>,
+    /// Cluster sizes.
+    pub sizes: Vec<usize>,
+}
+
+impl KMeansResult {
+    /// Entities outside the largest cluster — the clustering answer to the
+    /// mis-categorization problem.
+    pub fn mis_categorized(&self) -> BTreeSet<usize> {
+        let largest = self
+            .sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != largest)
+            .map(|(e, _)| e)
+            .collect()
+    }
+}
+
+/// Runs k-means (Lloyd's algorithm, k-means++ seeding, cosine distance)
+/// over bag-of-token embeddings of the given attributes.
+///
+/// # Panics
+///
+/// Panics on an empty group, `k == 0`, or an empty attribute list.
+pub fn kmeans_cluster(group: &Group, attrs: &[usize], config: &KMeansConfig) -> KMeansResult {
+    let n = group.len();
+    assert!(n > 0, "cannot cluster an empty group");
+    assert!(config.k > 0, "k must be positive");
+    assert!(!attrs.is_empty(), "need at least one embedding attribute");
+    let k = config.k.min(n);
+    let points: Vec<SparseVec> = (0..n).map(|e| embed(group, e, attrs)).collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<SparseVec> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..n)].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| distance(p, c))
+                    .fold(f64::INFINITY, f64::min)
+                    .powi(2)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= f64::EPSILON {
+            // All points coincide with a centroid; seed uniformly.
+            centroids.push(points[rng.gen_range(0..n)].clone());
+            continue;
+        }
+        let mut r = rng.gen::<f64>() * total;
+        let mut chosen = n - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            if r <= d {
+                chosen = i;
+                break;
+            }
+            r -= d;
+        }
+        centroids.push(points[chosen].clone());
+    }
+
+    // Lloyd iterations.
+    let mut assignment = vec![0usize; n];
+    for _ in 0..config.max_iterations {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    distance(p, &centroids[a]).partial_cmp(&distance(p, &centroids[b])).unwrap()
+                })
+                .unwrap();
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Recompute centroids (mean, then renormalize).
+        let mut sums: Vec<SparseVec> = vec![HashMap::new(); k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignment[i]] += 1;
+            for (&t, &x) in p {
+                *sums[assignment[i]].entry(t).or_insert(0.0) += x;
+            }
+        }
+        for (c, sum) in sums.into_iter().enumerate() {
+            if counts[c] == 0 {
+                continue; // keep the old centroid for empty clusters
+            }
+            let norm: f64 = sum.values().map(|x| x * x).sum::<f64>().sqrt();
+            centroids[c] = if norm > 0.0 {
+                sum.into_iter().map(|(t, x)| (t, x / norm)).collect()
+            } else {
+                sum
+            };
+        }
+    }
+
+    let mut sizes = vec![0usize; k];
+    for &c in &assignment {
+        sizes[c] += 1;
+    }
+    KMeansResult { assignment, sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dime_core::{GroupBuilder, Schema};
+    use dime_text::TokenizerKind;
+
+    fn group() -> Group {
+        let mut b = GroupBuilder::new(Schema::new([("A", TokenizerKind::Words)]));
+        // Two token communities.
+        b.add_entity(&["alpha beta gamma"]);
+        b.add_entity(&["alpha beta delta"]);
+        b.add_entity(&["beta gamma delta"]);
+        b.add_entity(&["omega psi chi"]);
+        b.add_entity(&["omega psi phi"]);
+        b.build()
+    }
+
+    #[test]
+    fn separates_two_token_communities() {
+        let res = kmeans_cluster(&group(), &[0], &KMeansConfig::default());
+        assert_eq!(res.sizes.iter().sum::<usize>(), 5);
+        // The two communities must not share a cluster.
+        assert_eq!(res.assignment[0], res.assignment[1]);
+        assert_eq!(res.assignment[3], res.assignment[4]);
+        assert_ne!(res.assignment[0], res.assignment[3]);
+        let mis: Vec<usize> = res.mis_categorized().into_iter().collect();
+        assert_eq!(mis, vec![3, 4]);
+    }
+
+    #[test]
+    fn k_capped_at_group_size() {
+        let mut b = GroupBuilder::new(Schema::new([("A", TokenizerKind::Words)]));
+        b.add_entity(&["solo"]);
+        let g = b.build();
+        let res = kmeans_cluster(&g, &[0], &KMeansConfig { k: 5, ..Default::default() });
+        assert_eq!(res.assignment, vec![0]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = group();
+        let a = kmeans_cluster(&g, &[0], &KMeansConfig::default());
+        let b = kmeans_cluster(&g, &[0], &KMeansConfig::default());
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = kmeans_cluster(&group(), &[0], &KMeansConfig { k: 0, ..Default::default() });
+    }
+
+    /// The paper's related-work claim, demonstrated: when correct entities
+    /// form *two* well-separated communities (a big one and a small one)
+    /// and the errors sit in a third, k=2 clustering inevitably lumps the
+    /// small correct community with one side — either missing all errors
+    /// or flagging the small correct community wholesale.
+    #[test]
+    fn clustering_fails_on_small_correct_communities() {
+        let mut b = GroupBuilder::new(Schema::new([("A", TokenizerKind::Words)]));
+        for i in 0..8 {
+            b.add_entity(&[format!("data query index core{i}").as_str()]);
+        }
+        b.add_entity(&["niche topic entirely separate"]); // correct, small
+        b.add_entity(&["niche topic entirely apart"]); // correct, small
+        b.add_entity(&["chemistry solvent reaction"]); // the actual error
+        let g = b.build();
+        let res = kmeans_cluster(&g, &[0], &KMeansConfig::default());
+        let flagged = res.mis_categorized();
+        let wrong_call = flagged.contains(&8) || flagged.contains(&9) || !flagged.contains(&10);
+        assert!(wrong_call, "k-means should be unable to isolate exactly the error");
+    }
+}

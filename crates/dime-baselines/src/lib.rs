@@ -1,0 +1,32 @@
+//! Baselines from the DIME evaluation (paper Section VI), reimplemented
+//! from their original descriptions:
+//!
+//! * [`cr_cluster`] — CR, collective relational entity resolution
+//!   (Bhattacharya & Getoor): agglomerative clustering with attribute +
+//!   relational similarity and a termination threshold (Exp-1, Exp-5);
+//! * [`SvmPipeline`] — linear SVM with balanced class weights over
+//!   pair-similarity features, Pegasos-trained (Exp-2, Exp-5);
+//! * [`DecisionTree`] — CART with Gini impurity, max depth 4 (Exp-6);
+//! * [`sifi_optimize`] — SIFI threshold search for expert-given rule
+//!   structures (Exp-6);
+//! * [`kmeans_cluster`] — the clustering strawman of the related-work
+//!   discussion (k-means over bag-of-token embeddings, smaller clusters
+//!   flagged), implemented to make the paper's "clustering fails here"
+//!   claim testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cr;
+mod features;
+mod kmeans;
+mod sifi;
+mod svm;
+mod tree;
+
+pub use cr::{cr_best_of, cr_cluster, CrConfig, CrResult, Linkage};
+pub use kmeans::{kmeans_cluster, KMeansConfig, KMeansResult};
+pub use features::PairFeatures;
+pub use sifi::{sifi_optimize, RuleStructure};
+pub use svm::{LinearSvm, SvmConfig, SvmPipeline};
+pub use tree::{DecisionTree, TreeConfig};

@@ -1,0 +1,171 @@
+//! SIFI — "how similar is similar" (Wang et al., PVLDB 2011), the
+//! heuristic rule-tuning baseline of paper Exp-6.
+//!
+//! An expert supplies the *structure* of each rule — which attributes and
+//! similarity functions it uses — and SIFI searches for the similarity
+//! thresholds maximizing the objective on the examples. We implement the
+//! threshold search as coordinate descent over the finite candidate
+//! thresholds of Theorem 3: optimize one predicate's threshold holding the
+//! others fixed, sweep until a fixed point.
+
+use dime_core::{Group, Polarity, Predicate, Rule, SimilarityFn};
+use dime_rulegen::score;
+
+/// An expert-provided rule structure: the `(attribute, function)` slots of
+/// one conjunction.
+pub type RuleStructure = Vec<(usize, SimilarityFn)>;
+
+/// Optimizes thresholds for a set of rule structures.
+///
+/// `wanted` / `unwanted` follow the rule-generation convention: for
+/// positive rules pass `(S⁺, S⁻)`, for negative rules `(S⁻, S⁺)`.
+pub fn sifi_optimize(
+    group: &Group,
+    structures: &[RuleStructure],
+    wanted: &[(usize, usize)],
+    unwanted: &[(usize, usize)],
+    polarity: Polarity,
+) -> Vec<Rule> {
+    structures
+        .iter()
+        .map(|s| optimize_rule(group, s, wanted, unwanted, polarity))
+        .collect()
+}
+
+/// Candidate thresholds for one `(attr, func)` slot: similarity values on
+/// the wanted examples (Theorem 3).
+fn slot_thresholds(
+    group: &Group,
+    attr: usize,
+    func: SimilarityFn,
+    wanted: &[(usize, usize)],
+) -> Vec<f64> {
+    let mut ts: Vec<f64> = wanted
+        .iter()
+        .map(|&(a, b)| {
+            Predicate::new(attr, func, 0.0).similarity(group, group.entity(a), group.entity(b))
+        })
+        .collect();
+    ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ts.dedup();
+    ts
+}
+
+fn optimize_rule(
+    group: &Group,
+    structure: &RuleStructure,
+    wanted: &[(usize, usize)],
+    unwanted: &[(usize, usize)],
+    polarity: Polarity,
+) -> Rule {
+    assert!(!structure.is_empty(), "rule structure cannot be empty");
+    let slots: Vec<Vec<f64>> = structure
+        .iter()
+        .map(|&(attr, func)| slot_thresholds(group, attr, func, wanted))
+        .collect();
+    // Initialize each threshold to the loosest candidate (covers all wanted
+    // examples), then tighten greedily.
+    let init = |k: usize| -> f64 {
+        let ts = &slots[k];
+        if ts.is_empty() {
+            return 0.0;
+        }
+        match polarity {
+            Polarity::Positive => ts[0],            // smallest ≥-threshold
+            Polarity::Negative => ts[ts.len() - 1], // largest ≤-threshold
+        }
+    };
+    let mut rule = Rule {
+        predicates: structure
+            .iter()
+            .enumerate()
+            .map(|(k, &(attr, func))| Predicate::new(attr, func, init(k)))
+            .collect(),
+        polarity,
+    };
+    let mut best = score(group, std::slice::from_ref(&rule), wanted, unwanted);
+    // Coordinate descent until a fixed point (bounded sweeps for safety).
+    for _ in 0..8 {
+        let mut improved = false;
+        for (k, slot) in slots.iter().enumerate() {
+            let current = rule.predicates[k].threshold;
+            let mut best_t = current;
+            for &t in slot {
+                if t == current {
+                    continue;
+                }
+                rule.predicates[k].threshold = t;
+                let s = score(group, std::slice::from_ref(&rule), wanted, unwanted);
+                if s > best {
+                    best = s;
+                    best_t = t;
+                    improved = true;
+                }
+            }
+            rule.predicates[k].threshold = best_t;
+        }
+        if !improved {
+            break;
+        }
+    }
+    rule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dime_core::{Group, GroupBuilder, Schema};
+    use dime_text::TokenizerKind;
+
+    fn toy() -> (Group, Vec<(usize, usize)>, Vec<(usize, usize)>) {
+        let schema = Schema::new([("Authors", TokenizerKind::List(','))]);
+        let mut b = GroupBuilder::new(schema);
+        b.add_entity(&["a, b, c"]);
+        b.add_entity(&["a, b, d"]);
+        b.add_entity(&["b, e, f"]);
+        b.add_entity(&["x, y"]);
+        let g = b.build();
+        // Positives overlap ≥ 2 or = 1; negatives overlap 0.
+        let pos = vec![(0, 1), (0, 2)];
+        let neg = vec![(0, 3), (1, 3), (2, 3)];
+        (g, pos, neg)
+    }
+
+    #[test]
+    fn finds_separating_threshold() {
+        let (g, pos, neg) = toy();
+        let rules = sifi_optimize(
+            &g,
+            &[vec![(0, SimilarityFn::Overlap)]],
+            &pos,
+            &neg,
+            Polarity::Positive,
+        );
+        assert_eq!(rules.len(), 1);
+        // overlap ≥ 1 covers both positives, no negatives → optimal.
+        assert_eq!(rules[0].predicates[0].threshold, 1.0);
+        assert_eq!(score(&g, &rules, &pos, &neg), 2.0);
+    }
+
+    #[test]
+    fn negative_polarity_flips_direction() {
+        let (g, pos, neg) = toy();
+        let rules = sifi_optimize(
+            &g,
+            &[vec![(0, SimilarityFn::Overlap)]],
+            &neg,
+            &pos,
+            Polarity::Negative,
+        );
+        // overlap ≤ 0 covers all negatives, no positives.
+        assert_eq!(rules[0].predicates[0].threshold, 0.0);
+        assert_eq!(score(&g, &rules, &neg, &pos), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_structure_panics() {
+        let (g, pos, neg) = toy();
+        let _ = sifi_optimize(&g, &[vec![]], &pos, &neg, Polarity::Positive);
+    }
+}

@@ -1,0 +1,242 @@
+//! CART decision tree (Gini impurity, bounded depth) — the ML rule-learning
+//! baseline of paper Exp-6 (run with maximum depth 4, as in the paper).
+//!
+//! The tree consumes the same pair-similarity features as the SVM and
+//! classifies pairs as same-category / different-category. Axis-aligned
+//! splits on similarity features are exactly threshold predicates, which is
+//! why decision trees are a natural rule-generation baseline — and why
+//! their greedy impurity criterion differs from DIME-Rule's coverage
+//! objective.
+
+/// A trained decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<TreeNode>,
+}
+
+#[derive(Debug, Clone)]
+enum TreeNode {
+    Leaf {
+        /// Probability of the positive class at this leaf.
+        p_pos: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Index of the `x[feature] <= threshold` child.
+        left: usize,
+        /// Index of the `x[feature] > threshold` child.
+        right: usize,
+    },
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum tree depth (paper: 4).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 4, min_samples_split: 2 }
+    }
+}
+
+impl DecisionTree {
+    /// Fits a CART tree to `(x, y)` pairs, `y` = is-positive-class.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or inconsistent dimensions.
+    pub fn fit(xs: &[Vec<f64>], ys: &[bool], config: &TreeConfig) -> Self {
+        assert!(!xs.is_empty(), "empty training set");
+        assert_eq!(xs.len(), ys.len());
+        let dim = xs[0].len();
+        assert!(xs.iter().all(|x| x.len() == dim), "inconsistent feature dimensions");
+        let mut nodes = Vec::new();
+        let idx: Vec<usize> = (0..xs.len()).collect();
+        Self::build(xs, ys, &idx, config, 0, &mut nodes);
+        Self { nodes }
+    }
+
+    fn build(
+        xs: &[Vec<f64>],
+        ys: &[bool],
+        idx: &[usize],
+        config: &TreeConfig,
+        depth: usize,
+        nodes: &mut Vec<TreeNode>,
+    ) -> usize {
+        let n_pos = idx.iter().filter(|&&i| ys[i]).count();
+        let p_pos = n_pos as f64 / idx.len() as f64;
+        let pure = n_pos == 0 || n_pos == idx.len();
+        if pure || depth >= config.max_depth || idx.len() < config.min_samples_split {
+            nodes.push(TreeNode::Leaf { p_pos });
+            return nodes.len() - 1;
+        }
+        match best_split(xs, ys, idx) {
+            None => {
+                nodes.push(TreeNode::Leaf { p_pos });
+                nodes.len() - 1
+            }
+            Some((feature, threshold)) => {
+                let (li, ri): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| xs[i][feature] <= threshold);
+                debug_assert!(!li.is_empty() && !ri.is_empty());
+                // Reserve our slot first so children get later indices.
+                let me = nodes.len();
+                nodes.push(TreeNode::Leaf { p_pos }); // placeholder
+                let left = Self::build(xs, ys, &li, config, depth + 1, nodes);
+                let right = Self::build(xs, ys, &ri, config, depth + 1, nodes);
+                nodes[me] = TreeNode::Split { feature, threshold, left, right };
+                me
+            }
+        }
+    }
+
+    /// Probability of the positive class for `x`.
+    pub fn prob(&self, x: &[f64]) -> f64 {
+        let mut cur = 0usize;
+        loop {
+            match &self.nodes[cur] {
+                TreeNode::Leaf { p_pos } => return *p_pos,
+                TreeNode::Split { feature, threshold, left, right } => {
+                    cur = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Classifies `x` as the positive class iff `prob ≥ 0.5`.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.prob(x) >= 0.5
+    }
+
+    /// Actual depth of the trained tree.
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[TreeNode], i: usize) -> usize {
+            match &nodes[i] {
+                TreeNode::Leaf { .. } => 0,
+                TreeNode::Split { left, right, .. } => {
+                    1 + rec(nodes, *left).max(rec(nodes, *right))
+                }
+            }
+        }
+        rec(&self.nodes, 0)
+    }
+}
+
+/// Gini impurity of a (pos, total) split side.
+fn gini(pos: usize, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / total as f64;
+    2.0 * p * (1.0 - p)
+}
+
+/// Finds the `(feature, threshold)` minimizing weighted Gini impurity, or
+/// `None` when no split separates anything.
+fn best_split(xs: &[Vec<f64>], ys: &[bool], idx: &[usize]) -> Option<(usize, f64)> {
+    let dim = xs[idx[0]].len();
+    let total = idx.len();
+    let total_pos = idx.iter().filter(|&&i| ys[i]).count();
+    let mut best: Option<(f64, usize, f64)> = None;
+    #[allow(clippy::needless_range_loop)] // `f` is a feature id, not a slice walk
+    for f in 0..dim {
+        // Sort sample indices by this feature.
+        let mut order: Vec<usize> = idx.to_vec();
+        order.sort_by(|&a, &b| xs[a][f].partial_cmp(&xs[b][f]).unwrap());
+        let mut left_pos = 0usize;
+        for k in 0..total - 1 {
+            if ys[order[k]] {
+                left_pos += 1;
+            }
+            let (va, vb) = (xs[order[k]][f], xs[order[k + 1]][f]);
+            if va == vb {
+                continue; // can't split between equal values
+            }
+            let left_n = k + 1;
+            let right_n = total - left_n;
+            let right_pos = total_pos - left_pos;
+            let impurity = (left_n as f64 * gini(left_pos, left_n)
+                + right_n as f64 * gini(right_pos, right_n))
+                / total as f64;
+            let threshold = (va + vb) / 2.0;
+            if best.is_none_or(|(bi, _, _)| impurity < bi) {
+                best = Some((impurity, f, threshold));
+            }
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Vec<Vec<f64>>, Vec<bool>) {
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let ys = vec![false, true, true, false];
+        (xs, ys)
+    }
+
+    #[test]
+    fn fits_xor_with_depth_two() {
+        let (xs, ys) = xor_data();
+        let tree = DecisionTree::fit(&xs, &ys, &TreeConfig::default());
+        for (x, y) in xs.iter().zip(&ys) {
+            assert_eq!(tree.predict(x), *y);
+        }
+        assert!(tree.depth() <= 2 + 1);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let (xs, ys) = xor_data();
+        let tree = DecisionTree::fit(&xs, &ys, &TreeConfig { max_depth: 1, min_samples_split: 2 });
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let xs = vec![vec![0.1], vec![0.9]];
+        let ys = vec![true, true];
+        let tree = DecisionTree::fit(&xs, &ys, &TreeConfig::default());
+        assert_eq!(tree.depth(), 0);
+        assert!(tree.predict(&[0.5]));
+    }
+
+    #[test]
+    fn identical_features_yield_leaf() {
+        let xs = vec![vec![0.5], vec![0.5], vec![0.5]];
+        let ys = vec![true, false, true];
+        let tree = DecisionTree::fit(&xs, &ys, &TreeConfig::default());
+        assert_eq!(tree.depth(), 0);
+        assert!(tree.predict(&[0.5])); // majority class
+    }
+
+    #[test]
+    fn threshold_split_on_similarity_feature() {
+        // Pairs with similarity > 0.5 are matches.
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 20.0]).collect();
+        let ys: Vec<bool> = (0..20).map(|i| i >= 10).collect();
+        let tree = DecisionTree::fit(&xs, &ys, &TreeConfig::default());
+        assert!(!tree.predict(&[0.2]));
+        assert!(tree.predict(&[0.8]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_panics() {
+        let _ = DecisionTree::fit(&[], &[], &TreeConfig::default());
+    }
+}

@@ -1,0 +1,45 @@
+//! Ablations of DIME⁺'s two verification optimizations (DESIGN.md §5):
+//! benefit-ordered candidate verification and the union-find transitivity
+//! short-circuit, each toggled independently on the same workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dime_core::{discover_fast_with, DimePlusConfig};
+use dime_data::{dbgen_group, dbgen_rules, scholar_page, scholar_rules, DbgenConfig, ScholarConfig};
+
+fn configs() -> [(&'static str, DimePlusConfig); 4] {
+    [
+        ("full", DimePlusConfig { benefit_order: true, transitivity_skip: true }),
+        ("no_benefit_order", DimePlusConfig { benefit_order: false, transitivity_skip: true }),
+        ("no_transitivity", DimePlusConfig { benefit_order: true, transitivity_skip: false }),
+        ("neither", DimePlusConfig { benefit_order: false, transitivity_skip: false }),
+    ]
+}
+
+fn bench_scholar_ablation(c: &mut Criterion) {
+    let (pos, neg) = scholar_rules();
+    let lg = scholar_page("ablate", &ScholarConfig::scaled_to(1500, 99));
+    let mut g = c.benchmark_group("ablation_scholar_1500");
+    g.sample_size(10);
+    for (name, cfg) in configs() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| discover_fast_with(&lg.group, &pos, &neg, *cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dbgen_ablation(c: &mut Criterion) {
+    let (pos, neg) = dbgen_rules();
+    let lg = dbgen_group(&DbgenConfig::new(3000, 7));
+    let mut g = c.benchmark_group("ablation_dbgen_3000");
+    g.sample_size(10);
+    for (name, cfg) in configs() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| discover_fast_with(&lg.group, &pos, &neg, *cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scholar_ablation, bench_dbgen_ablation);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Filter-step benchmarks: what the signature machinery itself costs and
+//! saves. Compares signature generation + inverted-index candidate
+//! extraction against brute-force all-pairs enumeration, and measures the
+//! ontology node-signature pruning.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dime_core::{Polarity, Predicate, SigContext, SimilarityFn};
+use dime_data::{dbgen_group, dbgen_rules, scholar_page, scholar_rules, DbgenConfig, ScholarConfig};
+use dime_index::InvertedIndex;
+
+fn bench_signature_generation(c: &mut Criterion) {
+    let lg = scholar_page("sig", &ScholarConfig::scaled_to(1000, 5));
+    let (pos, _) = scholar_rules();
+    let mut g = c.benchmark_group("filter");
+    g.sample_size(20);
+    g.bench_function("signatures_scholar_1000", |b| {
+        b.iter(|| {
+            let mut ctx = SigContext::new(&lg.group);
+            for rule in &pos {
+                black_box(ctx.positive_rule_signatures(rule));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_candidates_vs_all_pairs(c: &mut Criterion) {
+    let lg = dbgen_group(&DbgenConfig::new(2000, 3));
+    let (pos, _) = dbgen_rules();
+    let rule = &pos[0];
+    let mut g = c.benchmark_group("candidates_dbgen_2000");
+    g.sample_size(10);
+    // Filter: build the index, extract candidate pairs.
+    g.bench_function("signature_filter", |b| {
+        b.iter(|| {
+            let mut ctx = SigContext::new(&lg.group);
+            let mut index = InvertedIndex::new();
+            for (eid, sigs) in ctx.positive_rule_signatures(rule).into_iter().enumerate() {
+                if let Some(sigs) = sigs {
+                    for s in sigs {
+                        index.insert(s, eid as u32);
+                    }
+                }
+            }
+            black_box(index.candidate_pairs().len())
+        })
+    });
+    // Brute force: evaluate the rule on every pair.
+    g.bench_function("all_pairs_verify", |b| {
+        b.iter(|| {
+            let n = lg.group.len();
+            let mut hits = 0usize;
+            for i in 0..n {
+                for j in i + 1..n {
+                    if rule.eval(&lg.group, lg.group.entity(i), lg.group.entity(j)) {
+                        hits += 1;
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+fn bench_ontology_node_signatures(c: &mut Criterion) {
+    let lg = scholar_page("ont", &ScholarConfig::scaled_to(1000, 9));
+    let pred = Predicate::new(dime_data::scholar_attr::VENUE, SimilarityFn::Ontology, 0.75);
+    c.bench_function("node_signatures_1000", |b| {
+        b.iter(|| {
+            let mut ctx = SigContext::new(&lg.group);
+            for e in lg.group.entities() {
+                black_box(ctx.predicate_sigs(e, &pred, Polarity::Positive));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_signature_generation, bench_candidates_vs_all_pairs, bench_ontology_node_signatures);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! DIME vs DIME⁺ end-to-end scaling (the Criterion companion to `exp_fig9`
+//! and `exp_dbgen`): both engines on Scholar pages and DBGen groups of
+//! growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dime_core::{discover_fast, discover_naive};
+use dime_data::{dbgen_group, dbgen_rules, scholar_page, scholar_rules, DbgenConfig, ScholarConfig};
+
+fn bench_scholar_scale(c: &mut Criterion) {
+    let (pos, neg) = scholar_rules();
+    let mut g = c.benchmark_group("scholar");
+    g.sample_size(10);
+    for n in [500usize, 1000, 2000] {
+        let lg = scholar_page("bench", &ScholarConfig::scaled_to(n, n as u64));
+        g.bench_with_input(BenchmarkId::new("dime_naive", n), &lg, |b, lg| {
+            b.iter(|| discover_naive(&lg.group, &pos, &neg))
+        });
+        g.bench_with_input(BenchmarkId::new("dime_plus", n), &lg, |b, lg| {
+            b.iter(|| discover_fast(&lg.group, &pos, &neg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dbgen_scale(c: &mut Criterion) {
+    let (pos, neg) = dbgen_rules();
+    let mut g = c.benchmark_group("dbgen");
+    g.sample_size(10);
+    for n in [1000usize, 4000] {
+        let lg = dbgen_group(&DbgenConfig::new(n, n as u64));
+        g.bench_with_input(BenchmarkId::new("dime_naive", n), &lg, |b, lg| {
+            b.iter(|| discover_naive(&lg.group, &pos, &neg))
+        });
+        g.bench_with_input(BenchmarkId::new("dime_plus", n), &lg, |b, lg| {
+            b.iter(|| discover_fast(&lg.group, &pos, &neg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scholar_scale, bench_dbgen_scale);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Microbenchmarks of the similarity kernels — the `υ` of the paper's
+//! `O(n²·υ·|Σ|)` complexity analysis: set-based merges, the banded
+//! threshold edit distance vs the full DP, and ontology LCA similarity.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dime_ontology::{ontology_similarity, Ontology};
+use dime_text::{jaccard, levenshtein, levenshtein_leq, overlap};
+
+fn bench_set_similarity(c: &mut Criterion) {
+    let a: Vec<u32> = (0..40).map(|x| x * 3).collect();
+    let b: Vec<u32> = (0..40).map(|x| x * 4).collect();
+    let mut g = c.benchmark_group("setsim");
+    g.bench_function("overlap_40", |bench| {
+        bench.iter(|| overlap(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("jaccard_40", |bench| {
+        bench.iter(|| jaccard(black_box(&a), black_box(&b)))
+    });
+    g.finish();
+}
+
+fn bench_edit_distance(c: &mut Criterion) {
+    let a = "discovering mis-categorized entities in large catalogs";
+    let b = "discovering miscategorised entities in larger catalogs";
+    let mut g = c.benchmark_group("edit");
+    g.bench_function("levenshtein_full", |bench| {
+        bench.iter(|| levenshtein(black_box(a), black_box(b)))
+    });
+    // The banded verifier is the paper's O(θ·min(|a|,|b|)) cost model.
+    g.bench_function("levenshtein_leq_theta3", |bench| {
+        bench.iter(|| levenshtein_leq(black_box(a), black_box(b), 3))
+    });
+    g.bench_function("levenshtein_leq_theta8", |bench| {
+        bench.iter(|| levenshtein_leq(black_box(a), black_box(b), 8))
+    });
+    g.finish();
+}
+
+fn bench_ontology(c: &mut Criterion) {
+    let mut ont = Ontology::new("venue");
+    let mut leaves = Vec::new();
+    for f in 0..4 {
+        for s in 0..5 {
+            for v in 0..8 {
+                leaves.push(ont.add_path(&[
+                    &format!("field-{f}"),
+                    &format!("sub-{f}-{s}"),
+                    &format!("venue-{f}-{s}-{v}"),
+                ]));
+            }
+        }
+    }
+    let (a, b) = (leaves[0], leaves[leaves.len() - 1]);
+    c.bench_function("ontology_similarity_depth4", |bench| {
+        bench.iter(|| ontology_similarity(black_box(&ont), black_box(a), black_box(b)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_set_similarity, bench_edit_distance, bench_ontology
+}
+criterion_main!(benches);

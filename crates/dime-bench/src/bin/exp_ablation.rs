@@ -1,0 +1,65 @@
+//! Ablation table for DIME⁺'s verification optimizations (DESIGN.md §5) —
+//! a quick text companion to the Criterion `bench_ablation` benches.
+//!
+//! Toggles benefit-ordered verification and the union-find transitivity
+//! short-circuit independently, on a Scholar page and a DBGen group, and
+//! reports wall-clock times plus the slowdown versus the full
+//! configuration. Results are asserted identical across configurations.
+//!
+//! Flags: `--scholar N` (default 2000), `--dbgen N` (default 5000),
+//! `--seed S`.
+
+use dime_bench::{arg_or, secs, Table};
+use dime_core::{discover_fast_with, DimePlusConfig};
+use dime_data::{dbgen_group, dbgen_rules, scholar_page, scholar_rules, DbgenConfig, ScholarConfig};
+use std::time::Instant;
+
+fn main() {
+    let scholar_n: usize = arg_or("scholar", 2000);
+    let dbgen_n: usize = arg_or("dbgen", 5000);
+    let seed: u64 = arg_or("seed", 42);
+
+    let configs = [
+        ("full (paper DIME+)", DimePlusConfig { benefit_order: true, transitivity_skip: true }),
+        ("no benefit order", DimePlusConfig { benefit_order: false, transitivity_skip: true }),
+        ("no transitivity", DimePlusConfig { benefit_order: true, transitivity_skip: false }),
+        ("neither", DimePlusConfig { benefit_order: false, transitivity_skip: false }),
+    ];
+
+    println!("== Ablation: DIME+ verification optimizations ==");
+    let mut t = Table::new(&["config", "scholar", "vs full", "dbgen", "vs full"]);
+
+    let scholar = scholar_page("ablate", &ScholarConfig::scaled_to(scholar_n, seed));
+    let (spos, sneg) = scholar_rules();
+    let dbgen = dbgen_group(&DbgenConfig::new(dbgen_n, seed));
+    let (dpos, dneg) = dbgen_rules();
+
+    let mut reference = None;
+    let mut baseline: Option<(f64, f64)> = None;
+    for (name, cfg) in configs {
+        let t0 = Instant::now();
+        let ds = discover_fast_with(&scholar.group, &spos, &sneg, cfg);
+        let scholar_secs = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let dd = discover_fast_with(&dbgen.group, &dpos, &dneg, cfg);
+        let dbgen_secs = t0.elapsed().as_secs_f64();
+
+        match &reference {
+            None => reference = Some((ds, dd)),
+            Some((rs, rd)) => {
+                assert_eq!(&ds, rs, "{name} changed the scholar result");
+                assert_eq!(&dd, rd, "{name} changed the dbgen result");
+            }
+        }
+        let (bs, bd) = *baseline.get_or_insert((scholar_secs, dbgen_secs));
+        t.row(vec![
+            name.into(),
+            secs(scholar_secs),
+            format!("{:.2}x", scholar_secs / bs),
+            secs(dbgen_secs),
+            format!("{:.2}x", dbgen_secs / bd),
+        ]);
+    }
+    t.print();
+    println!("\n(all configurations produce identical discoveries — asserted)");
+}

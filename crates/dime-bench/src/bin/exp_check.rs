@@ -1,0 +1,214 @@
+//! Self-verifying reproduction harness: asserts, programmatically, every
+//! qualitative *shape* claim of the paper that EXPERIMENTS.md reports.
+//! Exits non-zero with the first violated claim, so CI can guard the
+//! reproduction against regressions.
+//!
+//! Checks (paper section → claim):
+//!
+//! 1.  §VI Exp-1 — DIME's best-scrollbar F beats CR's and k-means' on
+//!     Scholar; k-means collapses.
+//! 2.  §VI Exp-2 — DIME precision does not degrade as e% grows; recall
+//!     does not improve.
+//! 3.  §VI Exp-3 — scrollbar recall is monotone non-decreasing and mean
+//!     precision declines from the first to the last negative rule.
+//! 4.  §VI Exp-4 — ≥ 80% of injected errors land in partitions of size
+//!     < 10 (the paper's Table I itself shows a few in `[10, 100)`); the
+//!     pivot holds none.
+//! 5.  §VI Exp-5 — DIME⁺ beats DIME on a DBGen group, with identical
+//!     output.
+//! 6.  §V  Exp-6 — greedy DIME-Rule ≥ SIFI on the Scholar CV page.
+//!
+//! Flags: `--seed S` (default 42). Runtime ≈ 1–2 minutes.
+
+use dime_bench::{run_cr_fixed, run_dime_best, run_kmeans, scrollbar_metrics, Dataset, CR_THRESHOLDS};
+use dime_bench::arg_or;
+use dime_core::{discover_fast, discover_naive, PartitionStats, Polarity, SimilarityFn};
+use dime_data::{
+    amazon_category, amazon_rules, dbgen_group, dbgen_rules, scholar_attr, scholar_page,
+    scholar_rules, AmazonConfig, DbgenConfig, ExampleSet, ScholarConfig,
+};
+use dime_metrics::Prf;
+use std::time::Instant;
+
+fn check(name: &str, ok: bool, detail: String) -> bool {
+    println!("[{}] {name} — {detail}", if ok { "PASS" } else { "FAIL" });
+    ok
+}
+
+fn main() {
+    let seed: u64 = arg_or("seed", 42);
+    let mut all_ok = true;
+
+    // ---- 1. Scholar: DIME > CR, DIME >> k-means ---------------------------
+    {
+        let (pos, neg) = scholar_rules();
+        let pages: Vec<_> = (0..8)
+            .map(|i| scholar_page("chk", &ScholarConfig::default_page(seed + i * 131)))
+            .collect();
+        let mean =
+            |ms: &[Prf]| ms.iter().map(|m| m.f_measure).sum::<f64>() / ms.len() as f64;
+        let dime: Vec<Prf> = pages.iter().map(|lg| run_dime_best(lg, &pos, &neg).metrics).collect();
+        let cr_best = CR_THRESHOLDS
+            .iter()
+            .map(|&t| {
+                let ms: Vec<Prf> =
+                    pages.iter().map(|lg| run_cr_fixed(lg, Dataset::Scholar, t).metrics).collect();
+                mean(&ms)
+            })
+            .fold(0.0f64, f64::max);
+        let km: Vec<Prf> = pages.iter().map(|lg| run_kmeans(lg, Dataset::Scholar).metrics).collect();
+        let (df, kf) = (mean(&dime), mean(&km));
+        all_ok &= check("Exp-1 DIME ≥ CR (Scholar F)", df >= cr_best - 0.02, format!("DIME {df:.2} vs CR {cr_best:.2}"));
+        all_ok &= check("Exp-1 k-means collapses", kf < df - 0.3, format!("k-means {kf:.2} vs DIME {df:.2}"));
+    }
+
+    // ---- 2. Amazon: precision ↑, recall ↓ with e% -------------------------
+    {
+        let (pos, neg) = amazon_rules();
+        let run = |e: f64| {
+            let ms: Vec<Prf> = (0..4)
+                .map(|i| {
+                    let lg = amazon_category(&AmazonConfig::new(i, 150, e, seed + i as u64));
+                    run_dime_best(&lg, &pos, &neg).metrics
+                })
+                .collect();
+            Prf::mean(&ms)
+        };
+        let (lo, hi) = (run(0.1), run(0.4));
+        all_ok &= check(
+            "Exp-2 precision does not degrade with e%",
+            hi.precision >= lo.precision - 0.05,
+            format!("{:.2} → {:.2}", lo.precision, hi.precision),
+        );
+        all_ok &= check(
+            "Exp-2 recall does not improve with e%",
+            hi.recall <= lo.recall + 0.05,
+            format!("{:.2} → {:.2}", lo.recall, hi.recall),
+        );
+    }
+
+    // ---- 3. Scrollbar monotonicity ----------------------------------------
+    {
+        let (pos, neg) = scholar_rules();
+        let mut recall_monotone = true;
+        let mut per_step: Vec<Vec<Prf>> = vec![Vec::new(); neg.len()];
+        for i in 0..6u64 {
+            let lg = scholar_page("scroll", &ScholarConfig::default_page(seed ^ (0x5c + i)));
+            let d = discover_fast(&lg.group, &pos, &neg);
+            let ms = scrollbar_metrics(&lg, &d);
+            recall_monotone &= ms.windows(2).all(|w| w[1].recall >= w[0].recall - 1e-12);
+            for (k, m) in ms.into_iter().enumerate() {
+                per_step[k].push(m);
+            }
+        }
+        let means: Vec<Prf> = per_step.iter().map(|v| Prf::mean(v)).collect();
+        // Page-averaged: the first rule beats the last on precision (an
+        // individual page can see a transient bump when a middle rule adds
+        // many true positives at once — the paper's Fig. 8 shows the same).
+        let precision_declines =
+            means.last().map(|l| means[0].precision >= l.precision - 1e-9).unwrap_or(true);
+        all_ok &= check(
+            "Exp-3 recall monotone along scrollbar",
+            recall_monotone,
+            "6 pages".into(),
+        );
+        all_ok &= check(
+            "Exp-3 precision declines NR1 → NR_last (mean)",
+            precision_declines,
+            format!(
+                "{:.2} → {:.2}",
+                means[0].precision,
+                means.last().map(|m| m.precision).unwrap_or(0.0)
+            ),
+        );
+    }
+
+    // ---- 4. Errors isolate in small partitions ----------------------------
+    {
+        let (pos, _) = scholar_rules();
+        let mut fracs = Vec::new();
+        let mut pivot_clean = true;
+        for i in 0..4u64 {
+            let lg = scholar_page("tbl", &ScholarConfig::default_page(seed + 1000 + i));
+            let d = discover_fast(&lg.group, &pos, &[]);
+            let truth: std::collections::HashSet<usize> = lg.truth.iter().copied().collect();
+            let stats = PartitionStats::compute(&d.partitions, &truth);
+            fracs.push(stats.small_partition_error_fraction());
+            pivot_clean &= d.pivot_members().iter().all(|e| !truth.contains(e));
+        }
+        let avg = fracs.iter().sum::<f64>() / fracs.len() as f64;
+        // The paper's own Table I shows a few errors in [10, 100)
+        // partitions (Divyakant: 21); allow the same leeway.
+        all_ok &= check("Exp-4 ≥80% errors in partitions < 10", avg >= 0.8, format!("{avg:.2}"));
+        all_ok &= check("Exp-4 pivot holds no errors", pivot_clean, "checked 4 pages".into());
+    }
+
+    // ---- 5. DIME⁺ faster and identical on DBGen ---------------------------
+    {
+        let (pos, neg) = dbgen_rules();
+        let lg = dbgen_group(&DbgenConfig::new(10_000, seed));
+        let t0 = Instant::now();
+        let fast = discover_fast(&lg.group, &pos, &neg);
+        let fast_s = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let naive = discover_naive(&lg.group, &pos, &neg);
+        let naive_s = t0.elapsed().as_secs_f64();
+        all_ok &= check("Exp-5 engines identical", fast == naive, "DBGen 10k".into());
+        all_ok &= check(
+            "Exp-5 DIME⁺ ≥ 2× faster (DBGen 10k)",
+            naive_s / fast_s >= 2.0,
+            format!("{:.1}×", naive_s / fast_s),
+        );
+    }
+
+    // ---- 6. DIME-Rule ≥ SIFI on CV examples -------------------------------
+    {
+        use dime_baselines::{sifi_optimize, RuleStructure};
+        use dime_rulegen::{generate_positive_rules, rules_cover, FunctionLibrary, GreedyConfig};
+        let mut cfg = ScholarConfig::default_page(seed);
+        cfg.err_near_field = 10;
+        let lg = scholar_page("cv", &cfg);
+        let ex = ExampleSet::from_labeled(&lg, 120, 120);
+        let lib = FunctionLibrary::new(vec![
+            (scholar_attr::AUTHORS, SimilarityFn::Overlap),
+            (scholar_attr::VENUE, SimilarityFn::Ontology),
+            (scholar_attr::TITLE, SimilarityFn::Ontology),
+        ]);
+        let structures: Vec<RuleStructure> = vec![
+            vec![(scholar_attr::VENUE, SimilarityFn::Ontology)],
+            vec![
+                (scholar_attr::AUTHORS, SimilarityFn::Overlap),
+                (scholar_attr::VENUE, SimilarityFn::Ontology),
+            ],
+        ];
+        let f_of = |rules: &[dime_core::Rule]| {
+            let preds: Vec<(bool, bool)> = ex
+                .positive
+                .iter()
+                .map(|&p| (rules_cover(&lg.group, rules, p), true))
+                .chain(ex.negative.iter().map(|&p| (rules_cover(&lg.group, rules, p), false)))
+                .collect();
+            let tp = preds.iter().filter(|&&(p, t)| p && t).count();
+            let fp = preds.iter().filter(|&&(p, t)| p && !t).count();
+            let fnn = preds.iter().filter(|&&(p, t)| !p && t).count();
+            Prf::from_counts(tp, fp, fnn).f_measure
+        };
+        let greedy = generate_positive_rules(
+            &lg.group,
+            &ex.positive,
+            &ex.negative,
+            &lib,
+            &GreedyConfig::default(),
+        );
+        let sifi = sifi_optimize(&lg.group, &structures, &ex.positive, &ex.negative, Polarity::Positive);
+        let (gf, sf) = (f_of(&greedy), f_of(&sifi));
+        all_ok &= check("Exp-6 DIME-Rule ≥ SIFI", gf >= sf - 0.02, format!("{gf:.2} vs {sf:.2}"));
+    }
+
+    if all_ok {
+        println!("\nall reproduction shape checks passed");
+    } else {
+        println!("\nSOME CHECKS FAILED");
+        std::process::exit(1);
+    }
+}

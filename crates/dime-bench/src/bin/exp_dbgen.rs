@@ -1,0 +1,50 @@
+//! Exp-5 (scalability table) — DIME vs DIME⁺ on DBGen-style groups of
+//! 20k–100k entities with two positive and two negative entity-matching
+//! rules, reproducing the paper's Gen(20k)…Gen(100k) table.
+//!
+//! Expected shape (paper): DIME⁺ runs 100k entities in minutes and is
+//! roughly an order of magnitude faster than DIME; the gap widens with
+//! size.
+//!
+//! Flags: `--max N` (default 100000), `--step N` (default 20000),
+//! `--naive-cap N` (default 40000 — the naive all-pairs engine above that
+//! costs hours without adding information), `--seed S`.
+
+use dime_bench::{arg_or, run_dime_best, run_dime_naive_timed, secs, Table};
+use dime_data::{dbgen_group, dbgen_rules, DbgenConfig};
+
+fn main() {
+    let max: usize = arg_or("max", 100_000);
+    let step: usize = arg_or("step", 20_000);
+    let naive_cap: usize = arg_or("naive-cap", 40_000);
+    let seed: u64 = arg_or("seed", 42);
+    let (pos, neg) = dbgen_rules();
+
+    println!("== Scalability table: DIME vs DIME+ on DBGen groups ==");
+    let mut t = Table::new(&["entities", "DIME", "DIME+", "speedup"]);
+    let mut n = step;
+    while n <= max {
+        let lg = dbgen_group(&DbgenConfig::new(n, seed.wrapping_add(n as u64)));
+        let fast = run_dime_best(&lg, &pos, &neg);
+        if n <= naive_cap {
+            let naive = run_dime_naive_timed(&lg, &pos, &neg);
+            assert_eq!(naive.flagged, fast.flagged, "engines must agree");
+            t.row(vec![
+                format!("Gen({}k)", n / 1000),
+                secs(naive.seconds),
+                secs(fast.seconds),
+                format!("{:.1}x", naive.seconds / fast.seconds.max(1e-9)),
+            ]);
+        } else {
+            t.row(vec![
+                format!("Gen({}k)", n / 1000),
+                "-".into(),
+                secs(fast.seconds),
+                "-".into(),
+            ]);
+        }
+        n += step;
+    }
+    t.print();
+    println!("\n(\"-\" = naive engine skipped above --naive-cap {naive_cap})");
+}

@@ -1,0 +1,122 @@
+//! Exp-1 / Exp-2 — paper Figure 6: DIME vs CR vs SVM.
+//!
+//! * Figure 6(a): average precision / recall / F-measure over synthetic
+//!   Google Scholar pages (best scrollbar step, CR best-of-threshold).
+//! * Figure 6(b–d): precision / recall / F-measure on Amazon categories as
+//!   the injected error rate sweeps 10% → 40%.
+//!
+//! Expected shape (paper): DIME beats both baselines on F everywhere; CR
+//! suffers because correct entities in small partitions look like
+//! outliers; recall of every method decreases with the error rate.
+//!
+//! Flags: `--pages N` (default 24), `--categories N` (default 6),
+//! `--products N` (default 150), `--seed S`.
+
+use dime_bench::{arg_or, default_threads, f2, parallel_map, run_cr_fixed, run_dime_best, run_kmeans, run_svm, train_svm, Dataset, Table, CR_THRESHOLDS};
+use dime_data::{amazon_rules, amazon_suite, scholar_corpus, scholar_rules};
+use dime_metrics::Prf;
+
+fn main() {
+    let pages: usize = arg_or("pages", 24);
+    let categories: usize = arg_or("categories", 6);
+    let products: usize = arg_or("products", 150);
+    let seed: u64 = arg_or("seed", 42);
+
+    // ---------------- Figure 6(a): Scholar ----------------
+    println!("== Figure 6(a): Scholar — best scrollbar result ==");
+    let corpus = scholar_corpus(pages, seed);
+    let (pos, neg) = scholar_rules();
+    let n_train = (pages / 6).max(2).min(corpus.len() - 1);
+    let (train, test) = corpus.split_at(n_train);
+    let svm = train_svm(&train.iter().collect::<Vec<_>>(), Dataset::Scholar);
+
+    // Pages are independent; evaluate them in parallel.
+    let per_page = parallel_map(test, default_threads(), |lg| {
+        let dime = run_dime_best(lg, &pos, &neg).metrics;
+        let crs: Vec<Prf> = CR_THRESHOLDS
+            .iter()
+            .map(|&t| run_cr_fixed(lg, Dataset::Scholar, t).metrics)
+            .collect();
+        let svm = run_svm(&svm, lg).metrics;
+        let km = run_kmeans(lg, Dataset::Scholar).metrics;
+        (dime, crs, svm, km)
+    });
+    let dime_m: Vec<Prf> = per_page.iter().map(|r| r.0).collect();
+    let mut cr_by_t: Vec<Vec<Prf>> = vec![Vec::new(); CR_THRESHOLDS.len()];
+    for r in &per_page {
+        for (k, m) in r.1.iter().enumerate() {
+            cr_by_t[k].push(*m);
+        }
+    }
+    let svm_m: Vec<Prf> = per_page.iter().map(|r| r.2).collect();
+    let km_m: Vec<Prf> = per_page.iter().map(|r| r.3).collect();
+    // The paper reports CR at its best single threshold per dataset.
+    let cr_m = cr_by_t
+        .iter()
+        .max_by(|a, b| {
+            Prf::mean(a).f_measure.partial_cmp(&Prf::mean(b).f_measure).unwrap()
+        })
+        .unwrap()
+        .clone();
+    let mut t = Table::new(&["method", "precision", "recall", "f-measure"]);
+    for (name, m) in
+        [("DIME", &dime_m), ("CR", &cr_m), ("SVM", &svm_m), ("KMeans", &km_m)]
+    {
+        let avg = Prf::mean(m);
+        t.row(vec![name.into(), f2(avg.precision), f2(avg.recall), f2(avg.f_measure)]);
+    }
+    t.print();
+
+    // ---------------- Figure 6(b-d): Amazon ----------------
+    println!("\n== Figure 6(b-d): Amazon — error-rate sweep ==");
+    let (pos_a, neg_a) = amazon_rules();
+    let mut t = Table::new(&[
+        "e%", "DIME-P", "DIME-R", "DIME-F", "CR-P", "CR-R", "CR-F", "SVM-P", "SVM-R", "SVM-F",
+    ]);
+    for e_pct in [10u32, 20, 30, 40] {
+        let e = e_pct as f64 / 100.0;
+        let suite = amazon_suite(categories, products, e, seed.wrapping_add(e_pct as u64));
+        // Two extra categories (different seeds) train the SVM.
+        let train = amazon_suite(2, products, e, seed.wrapping_add(e_pct as u64) ^ 0xbeef);
+        let svm = train_svm(&train.iter().collect::<Vec<_>>(), Dataset::Amazon);
+
+        let per_cat = parallel_map(&suite, default_threads(), |lg| {
+            let dime = run_dime_best(lg, &pos_a, &neg_a).metrics;
+            let crs: Vec<Prf> = CR_THRESHOLDS
+                .iter()
+                .map(|&t| run_cr_fixed(lg, Dataset::Amazon, t).metrics)
+                .collect();
+            let svm = run_svm(&svm, lg).metrics;
+            (dime, crs, svm)
+        });
+        let dm: Vec<Prf> = per_cat.iter().map(|r| r.0).collect();
+        let mut cr_by_t: Vec<Vec<Prf>> = vec![Vec::new(); CR_THRESHOLDS.len()];
+        for r in &per_cat {
+            for (k, m) in r.1.iter().enumerate() {
+                cr_by_t[k].push(*m);
+            }
+        }
+        let sm: Vec<Prf> = per_cat.iter().map(|r| r.2).collect();
+        let cm = cr_by_t
+            .iter()
+            .max_by(|a, b| {
+                Prf::mean(a).f_measure.partial_cmp(&Prf::mean(b).f_measure).unwrap()
+            })
+            .unwrap()
+            .clone();
+        let (d, c, s) = (Prf::mean(&dm), Prf::mean(&cm), Prf::mean(&sm));
+        t.row(vec![
+            format!("{e_pct}"),
+            f2(d.precision),
+            f2(d.recall),
+            f2(d.f_measure),
+            f2(c.precision),
+            f2(c.recall),
+            f2(c.f_measure),
+            f2(s.precision),
+            f2(s.recall),
+            f2(s.f_measure),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,77 @@
+//! Exp-3 — paper Figure 7: effectiveness of tuning negative rules (the
+//! scrollbar).
+//!
+//! * Figure 7(a): average precision / recall / F per cumulative negative
+//!   rule (NR1, NR2, NR3) on Scholar.
+//! * Figure 7(b–d): the same for Amazon's two negative rules across error
+//!   rates.
+//!
+//! Expected shape (paper): recall increases monotonically with more
+//! negative rules; precision decreases (a trade-off); the default NR1 is
+//! already close to the best F in most cases.
+//!
+//! Flags: `--pages N`, `--categories N`, `--products N`, `--seed S`.
+
+use dime_bench::{arg_or, f2, scrollbar_metrics, Table};
+use dime_core::discover_fast;
+use dime_data::{amazon_rules, amazon_suite, scholar_corpus, scholar_rules};
+use dime_metrics::Prf;
+
+fn main() {
+    let pages: usize = arg_or("pages", 24);
+    let categories: usize = arg_or("categories", 6);
+    let products: usize = arg_or("products", 150);
+    let seed: u64 = arg_or("seed", 42);
+
+    // ---------------- Figure 7(a): Scholar ----------------
+    println!("== Figure 7(a): Scholar — per negative rule (cumulative) ==");
+    let corpus = scholar_corpus(pages, seed);
+    let (pos, neg) = scholar_rules();
+    let mut per_step: Vec<Vec<Prf>> = vec![Vec::new(); neg.len()];
+    for lg in &corpus {
+        let d = discover_fast(&lg.group, &pos, &neg);
+        for (k, m) in scrollbar_metrics(lg, &d).into_iter().enumerate() {
+            per_step[k].push(m);
+        }
+    }
+    let mut t = Table::new(&["rules", "precision", "recall", "f-measure"]);
+    for (k, ms) in per_step.iter().enumerate() {
+        let avg = Prf::mean(ms);
+        t.row(vec![
+            format!("NR1..NR{}", k + 1),
+            f2(avg.precision),
+            f2(avg.recall),
+            f2(avg.f_measure),
+        ]);
+    }
+    t.print();
+
+    // ---------------- Figure 7(b-d): Amazon ----------------
+    println!("\n== Figure 7(b-d): Amazon — per negative rule across error rates ==");
+    let (pos_a, neg_a) = amazon_rules();
+    let mut t =
+        Table::new(&["e%", "NR1-P", "NR1-R", "NR1-F", "NR2-P", "NR2-R", "NR2-F"]);
+    for e_pct in [10u32, 20, 30, 40] {
+        let e = e_pct as f64 / 100.0;
+        let suite = amazon_suite(categories, products, e, seed.wrapping_add(e_pct as u64));
+        let mut per_step: Vec<Vec<Prf>> = vec![Vec::new(); neg_a.len()];
+        for lg in &suite {
+            let d = discover_fast(&lg.group, &pos_a, &neg_a);
+            for (k, m) in scrollbar_metrics(lg, &d).into_iter().enumerate() {
+                per_step[k].push(m);
+            }
+        }
+        let s1 = Prf::mean(&per_step[0]);
+        let s2 = Prf::mean(&per_step[1]);
+        t.row(vec![
+            format!("{e_pct}"),
+            f2(s1.precision),
+            f2(s1.recall),
+            f2(s1.f_measure),
+            f2(s2.precision),
+            f2(s2.recall),
+            f2(s2.f_measure),
+        ]);
+    }
+    t.print();
+}

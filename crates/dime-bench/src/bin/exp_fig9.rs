@@ -1,0 +1,86 @@
+//! Exp-5 — paper Figure 9: efficiency of DIME, DIME⁺, CR and SVM as the
+//! group size grows (Scholar 500–3000 entities, Amazon 2000–10000 at
+//! error rate 40%).
+//!
+//! Expected shape (paper): DIME⁺ fastest (2–10× over DIME); CR and SVM
+//! slowest and growing super-linearly. The O(n²) baselines are skipped
+//! above `--quad-cap` entities by default (they dominate wall-clock time
+//! without changing the shape); raise the cap to reproduce the full
+//! curves.
+//!
+//! Flags: `--scholar-max N` (default 3000), `--amazon-max N` (default
+//! 6000), `--quad-cap N` (default 2500), `--seed S`.
+
+use dime_bench::{arg_or, run_cr, run_dime_best, run_dime_naive_timed, run_svm, secs, train_svm, Dataset, Table};
+use dime_data::{
+    amazon_rules, amazon_suite, scholar_page, scholar_rules, AmazonConfig, ScholarConfig,
+};
+use dime_data::amazon_category;
+
+fn main() {
+    let scholar_max: usize = arg_or("scholar-max", 3000);
+    let amazon_max: usize = arg_or("amazon-max", 6000);
+    let quad_cap: usize = arg_or("quad-cap", 2500);
+    let seed: u64 = arg_or("seed", 42);
+
+    // ---------------- Figure 9(a): Scholar ----------------
+    println!("== Figure 9(a): Scholar efficiency ==");
+    let (pos, neg) = scholar_rules();
+    let svm_train = scholar_page("svmtrain", &ScholarConfig::scaled_to(400, seed ^ 0x51));
+    let svm = train_svm(&[&svm_train], Dataset::Scholar);
+    let mut t = Table::new(&["entities", "DIME", "DIME+", "CR", "SVM"]);
+    let mut n = 500usize;
+    while n <= scholar_max {
+        let lg = scholar_page("scale", &ScholarConfig::scaled_to(n, seed.wrapping_add(n as u64)));
+        let fast = run_dime_best(&lg, &pos, &neg);
+        let naive = run_dime_naive_timed(&lg, &pos, &neg);
+        let (cr_s, svm_s) = if n <= quad_cap {
+            (secs(run_cr(&lg, Dataset::Scholar).seconds), secs(run_svm(&svm, &lg).seconds))
+        } else {
+            ("-".into(), "-".into())
+        };
+        t.row(vec![
+            lg.group.len().to_string(),
+            secs(naive.seconds),
+            secs(fast.seconds),
+            cr_s,
+            svm_s,
+        ]);
+        n += 500;
+    }
+    t.print();
+
+    // ---------------- Figure 9(b): Amazon ----------------
+    println!("\n== Figure 9(b): Amazon efficiency (e = 40%) ==");
+    let (pos_a, neg_a) = amazon_rules();
+    let train = amazon_suite(1, 300, 0.4, seed ^ 0xa11);
+    let svm_a = train_svm(&train.iter().collect::<Vec<_>>(), Dataset::Amazon);
+    let mut t = Table::new(&["entities", "DIME", "DIME+", "CR", "SVM"]);
+    let mut n = 2000usize;
+    while n <= amazon_max {
+        let products = (n as f64 * 0.6) as usize; // 40% error rate
+        let lg = amazon_category(&AmazonConfig::new(
+            0,
+            products,
+            0.4,
+            seed.wrapping_add(n as u64),
+        ));
+        let fast = run_dime_best(&lg, &pos_a, &neg_a);
+        let naive = run_dime_naive_timed(&lg, &pos_a, &neg_a);
+        let (cr_s, svm_s) = if n <= quad_cap {
+            (secs(run_cr(&lg, Dataset::Amazon).seconds), secs(run_svm(&svm_a, &lg).seconds))
+        } else {
+            ("-".into(), "-".into())
+        };
+        t.row(vec![
+            lg.group.len().to_string(),
+            secs(naive.seconds),
+            secs(fast.seconds),
+            cr_s,
+            svm_s,
+        ]);
+        n += 2000;
+    }
+    t.print();
+    println!("\n(\"-\" = O(n^2) baseline skipped above --quad-cap {quad_cap})");
+}

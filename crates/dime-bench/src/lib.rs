@@ -1,0 +1,409 @@
+//! Experiment harness for the DIME reproduction.
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4):
+//!
+//! | binary       | paper artifact                                   |
+//! |--------------|--------------------------------------------------|
+//! | `exp_fig6`   | Fig. 6 — DIME vs CR vs SVM (Scholar + Amazon)    |
+//! | `exp_fig7`   | Fig. 7 — scrollbar (cumulative negative rules)   |
+//! | `exp_fig8`   | Fig. 8 — per-page Scholar detail (20 pages)      |
+//! | `exp_table1` | Table I — positive-rule partition statistics     |
+//! | `exp_fig9`   | Fig. 9 — efficiency (DIME, DIME⁺, CR, SVM)       |
+//! | `exp_dbgen`  | §VI table — DIME vs DIME⁺ at 20k–100k entities   |
+//! | `exp_fig10`  | Fig. 10 — rule-generation cross-validation       |
+//! | `exp_ablation` | DESIGN.md §5 — optimization ablations          |
+//! | `exp_check`  | asserts every qualitative shape claim (CI guard) |
+//!
+//! This library holds the shared plumbing: timed method runners, scrollbar
+//! evaluation, SVM/CR adapters wired to each dataset's attributes, and
+//! fixed-width table printing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dime_baselines::{cr_best_of, kmeans_cluster, CrConfig, KMeansConfig, Linkage, PairFeatures, SvmConfig, SvmPipeline};
+use dime_core::{discover_fast, discover_naive, Discovery, Rule};
+use dime_data::{amazon_attr, scholar_attr, ExampleSet, LabeledGroup};
+use dime_metrics::Prf;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Which dataset a labeled group came from — selects baseline attribute
+/// wiring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// Synthetic Google Scholar pages.
+    Scholar,
+    /// Synthetic Amazon categories.
+    Amazon,
+}
+
+impl Dataset {
+    /// The CR configuration the paper's baseline would use on this dataset:
+    /// textual attributes for the attribute term, link-style attributes for
+    /// the relational term.
+    pub fn cr_config(self) -> CrConfig {
+        match self {
+            Dataset::Scholar => CrConfig {
+                attrs: vec![scholar_attr::TITLE, scholar_attr::VENUE],
+                refs: vec![scholar_attr::AUTHORS],
+                alpha: 0.6,
+                threshold: 0.5,
+                linkage: Linkage::Single,
+            },
+            Dataset::Amazon => CrConfig {
+                attrs: vec![amazon_attr::TITLE, amazon_attr::DESCRIPTION],
+                refs: vec![amazon_attr::ALSO_BOUGHT, amazon_attr::ALSO_VIEWED],
+                alpha: 0.6,
+                threshold: 0.5,
+                linkage: Linkage::Single,
+            },
+        }
+    }
+
+    /// The pair-feature space for the ML baselines.
+    pub fn features(self) -> PairFeatures {
+        use dime_core::SimilarityFn::{Jaccard, Ontology, Overlap};
+        #[allow(unused_imports)]
+        use dime_core::SimilarityFn;
+        match self {
+            Dataset::Scholar => PairFeatures::new(vec![
+                (scholar_attr::TITLE, Jaccard),
+                (scholar_attr::AUTHORS, Overlap),
+                (scholar_attr::AUTHORS, Jaccard),
+                (scholar_attr::VENUE, Ontology),
+                (scholar_attr::TITLE, Ontology),
+            ]),
+            // Titles carry mostly generic catalog words; including their
+            // Jaccard lets tail-end noise bridge error clusters into the
+            // pivot component, so the Amazon features stick to co-purchase
+            // links and the description ontology.
+            Dataset::Amazon => PairFeatures::new(vec![
+                (amazon_attr::ALSO_BOUGHT, Overlap),
+                (amazon_attr::ALSO_VIEWED, Overlap),
+                (amazon_attr::BOUGHT_TOGETHER, Overlap),
+                (amazon_attr::BUY_AFTER_VIEWING, Overlap),
+                (amazon_attr::DESCRIPTION, Ontology),
+            ]),
+        }
+    }
+}
+
+/// Evaluates every scrollbar step of a discovery against ground truth.
+pub fn scrollbar_metrics(lg: &LabeledGroup, d: &Discovery) -> Vec<Prf> {
+    d.steps
+        .iter()
+        .map(|s| dime_metrics::evaluate_sets(s.flagged.iter(), lg.truth.iter()))
+        .collect()
+}
+
+/// The best-F scrollbar step (the paper's "best result our approach can
+/// provide when the user drags the scrollbar").
+pub fn best_step(steps: &[Prf]) -> Prf {
+    steps
+        .iter()
+        .copied()
+        .max_by(|a, b| a.f_measure.partial_cmp(&b.f_measure).unwrap())
+        .unwrap_or(Prf::from_counts(0, 0, 0))
+}
+
+/// Outcome of a timed method run.
+#[derive(Debug, Clone)]
+pub struct MethodRun {
+    /// Flagged entity ids.
+    pub flagged: BTreeSet<usize>,
+    /// Quality against ground truth.
+    pub metrics: Prf,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Runs DIME⁺ and evaluates the *best scrollbar step* against truth.
+pub fn run_dime_best(lg: &LabeledGroup, pos: &[Rule], neg: &[Rule]) -> MethodRun {
+    let t = Instant::now();
+    let d = discover_fast(&lg.group, pos, neg);
+    let seconds = t.elapsed().as_secs_f64();
+    let per_step = scrollbar_metrics(lg, &d);
+    let best = best_step(&per_step);
+    MethodRun { flagged: d.mis_categorized(), metrics: best, seconds }
+}
+
+/// Runs DIME⁺ and evaluates a specific scrollbar step (0-based).
+pub fn run_dime_at_step(lg: &LabeledGroup, pos: &[Rule], neg: &[Rule], step: usize) -> MethodRun {
+    let t = Instant::now();
+    let d = discover_fast(&lg.group, pos, neg);
+    let seconds = t.elapsed().as_secs_f64();
+    let flagged = d.at_step(step).cloned().unwrap_or_default();
+    let metrics = dime_metrics::evaluate_sets(flagged.iter(), lg.truth.iter());
+    MethodRun { flagged, metrics, seconds }
+}
+
+/// Runs the naive DIME (Algorithm 1) for timing comparisons.
+pub fn run_dime_naive_timed(lg: &LabeledGroup, pos: &[Rule], neg: &[Rule]) -> MethodRun {
+    let t = Instant::now();
+    let d = discover_naive(&lg.group, pos, neg);
+    let seconds = t.elapsed().as_secs_f64();
+    let flagged = d.mis_categorized();
+    let metrics = dime_metrics::evaluate_sets(flagged.iter(), lg.truth.iter());
+    MethodRun { flagged, metrics, seconds }
+}
+
+/// The CR termination-threshold sweep — the paper tries {0.5, 0.6, 0.7}
+/// on *its* distance metric and reports the best; the equivalent operating
+/// range for our combined Jaccard similarity is below (higher values stop
+/// all merging and flag everything).
+pub const CR_THRESHOLDS: [f64; 3] = [0.10, 0.15, 0.20];
+
+/// Runs CR with the per-group best threshold of [`CR_THRESHOLDS`]
+/// (an oracle upper bound for CR; the figure binaries instead pick the
+/// single best threshold per dataset, as the paper does).
+pub fn run_cr(lg: &LabeledGroup, dataset: Dataset) -> MethodRun {
+    let t = Instant::now();
+    let (res, _) = cr_best_of(&lg.group, &dataset.cr_config(), &CR_THRESHOLDS, &lg.truth);
+    let seconds = t.elapsed().as_secs_f64();
+    let flagged = res.mis_categorized();
+    let metrics = dime_metrics::evaluate_sets(flagged.iter(), lg.truth.iter());
+    MethodRun { flagged, metrics, seconds }
+}
+
+/// Runs CR at one fixed termination threshold.
+pub fn run_cr_fixed(lg: &LabeledGroup, dataset: Dataset, threshold: f64) -> MethodRun {
+    let t = Instant::now();
+    let mut cfg = dataset.cr_config();
+    cfg.threshold = threshold;
+    let res = dime_baselines::cr_cluster(&lg.group, &cfg);
+    let seconds = t.elapsed().as_secs_f64();
+    let flagged = res.mis_categorized();
+    let metrics = dime_metrics::evaluate_sets(flagged.iter(), lg.truth.iter());
+    MethodRun { flagged, metrics, seconds }
+}
+
+/// Runs the k-means strawman (k = 2 over all token-bearing attributes).
+pub fn run_kmeans(lg: &LabeledGroup, dataset: Dataset) -> MethodRun {
+    let attrs: Vec<usize> = match dataset {
+        Dataset::Scholar => vec![scholar_attr::TITLE, scholar_attr::AUTHORS, scholar_attr::VENUE],
+        Dataset::Amazon => vec![
+            amazon_attr::TITLE,
+            amazon_attr::ALSO_BOUGHT,
+            amazon_attr::ALSO_VIEWED,
+            amazon_attr::DESCRIPTION,
+        ],
+    };
+    let t = Instant::now();
+    let res = kmeans_cluster(&lg.group, &attrs, &KMeansConfig::default());
+    let seconds = t.elapsed().as_secs_f64();
+    let flagged = res.mis_categorized();
+    let metrics = dime_metrics::evaluate_sets(flagged.iter(), lg.truth.iter());
+    MethodRun { flagged, metrics, seconds }
+}
+
+/// Trains the SVM pipeline on example pairs drawn from `train` groups.
+pub fn train_svm(train: &[&LabeledGroup], dataset: Dataset) -> SvmPipeline {
+    let features = dataset.features();
+    let mut examples = Vec::new();
+    for lg in train {
+        let ex = ExampleSet::from_labeled(lg, 120, 120);
+        for &(a, b) in &ex.positive {
+            examples.push((&lg.group, (a, b), true));
+        }
+        for &(a, b) in &ex.negative {
+            examples.push((&lg.group, (a, b), false));
+        }
+    }
+    let examples: Vec<_> = examples
+        .into_iter()
+        .map(|(g, p, s)| (g as &dime_core::Group, p, s))
+        .collect();
+    SvmPipeline::train(features, examples, &SvmConfig::default())
+}
+
+/// Runs a trained SVM pipeline on a test group.
+pub fn run_svm(pipe: &SvmPipeline, lg: &LabeledGroup) -> MethodRun {
+    let t = Instant::now();
+    let flagged = pipe.discover(&lg.group);
+    let seconds = t.elapsed().as_secs_f64();
+    let metrics = dime_metrics::evaluate_sets(flagged.iter(), lg.truth.iter());
+    MethodRun { flagged, metrics, seconds }
+}
+
+/// Maps `f` over `items` on up to `threads` worker threads (scoped, no
+/// dependencies), preserving input order. The experiment binaries use this
+/// to evaluate independent groups concurrently — results are identical to
+/// the sequential run because every group computation is deterministic and
+/// isolated.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let slots_mutex = std::sync::Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                let mut guard = slots_mutex.lock().unwrap();
+                guard[i] = Some(r);
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+}
+
+/// The default worker count for [`parallel_map`]: available parallelism
+/// minus one (leave a core for the coordinator), at least one.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get().saturating_sub(1).max(1)).unwrap_or(1)
+}
+
+/// Fixed-width table printer for experiment outputs.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a metric to two decimals (paper style).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats seconds to a compact human figure.
+pub fn secs(x: f64) -> String {
+    if x < 0.01 {
+        format!("{:.1}ms", x * 1e3)
+    } else if x < 10.0 {
+        format!("{x:.2}s")
+    } else {
+        format!("{x:.0}s")
+    }
+}
+
+/// Reads a `--key value` style argument from the command line, with a
+/// default. Usage: `arg_or("pages", 40)`.
+pub fn arg_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = format!("--{key}");
+    args.iter()
+        .position(|a| a == &flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dime_data::{scholar_page, scholar_rules, ScholarConfig};
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "p", "r"]);
+        t.row(vec!["nan".into(), "0.95".into(), "0.80".into()]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_bad_rows() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn dime_runner_produces_metrics() {
+        let lg = scholar_page("t", &ScholarConfig::small(3));
+        let (pos, neg) = scholar_rules();
+        let run = run_dime_best(&lg, &pos, &neg);
+        assert!(run.metrics.f_measure > 0.0);
+        assert!(run.seconds >= 0.0);
+    }
+
+    #[test]
+    fn cr_and_svm_runners_work_on_small_page() {
+        let lg = scholar_page("t", &ScholarConfig::small(5));
+        let cr = run_cr(&lg, Dataset::Scholar);
+        assert!(cr.metrics.precision >= 0.0);
+        let train = scholar_page("train", &ScholarConfig::small(6));
+        let pipe = train_svm(&[&train], Dataset::Scholar);
+        let svm = run_svm(&pipe, &lg);
+        assert!(svm.metrics.recall >= 0.0);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_results() {
+        let items: Vec<u64> = (0..200).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 7] {
+            let par = parallel_map(&items, threads, |&x| x * x);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x: &u64| x).is_empty());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(0.954), "0.95");
+        assert!(secs(0.0005).ends_with("ms"));
+        assert!(secs(5.0).ends_with('s'));
+        assert_eq!(secs(100.0), "100s");
+    }
+}

@@ -1,0 +1,221 @@
+//! Group diagnostics: per-attribute statistics that tell a user which
+//! similarity functions and thresholds are even *viable* before they write
+//! or learn rules.
+//!
+//! For every attribute: fill rate (how many entities have a non-empty
+//! value), token-count distribution (set predicates need multi-token
+//! values), text-length distribution (edit-distance predicates need
+//! comparable lengths), ontology mapping rate (semantic predicates need
+//! mapped nodes), and the count of distinct tokens (selectivity of prefix
+//! signatures).
+
+use crate::entity::Group;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Statistics of one attribute across the group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrStats {
+    /// Attribute name.
+    pub name: String,
+    /// Entities with at least one token.
+    pub filled: usize,
+    /// Distinct tokens across the group.
+    pub distinct_tokens: usize,
+    /// Minimum / mean / maximum token count over filled values.
+    pub tokens_min: usize,
+    /// Mean token count over filled values.
+    pub tokens_mean: f64,
+    /// Maximum token count over filled values.
+    pub tokens_max: usize,
+    /// Mean text length (chars) over filled values.
+    pub text_len_mean: f64,
+    /// Entities whose value mapped to an ontology node.
+    pub mapped: usize,
+    /// Whether an ontology is attached at all.
+    pub has_ontology: bool,
+}
+
+/// Per-attribute diagnostics for a whole group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupStats {
+    /// Number of entities.
+    pub entities: usize,
+    /// One entry per schema attribute.
+    pub attrs: Vec<AttrStats>,
+}
+
+impl GroupStats {
+    /// Computes diagnostics for `group`.
+    pub fn compute(group: &Group) -> Self {
+        let n = group.len();
+        let attrs = group
+            .schema()
+            .attrs()
+            .iter()
+            .enumerate()
+            .map(|(ai, def)| {
+                let mut filled = 0usize;
+                let mut mapped = 0usize;
+                let mut distinct: HashSet<u32> = HashSet::new();
+                let (mut tmin, mut tmax, mut tsum) = (usize::MAX, 0usize, 0usize);
+                let mut lsum = 0usize;
+                for e in group.entities() {
+                    let v = e.value(ai);
+                    if !v.tokens.is_empty() {
+                        filled += 1;
+                        tmin = tmin.min(v.tokens.len());
+                        tmax = tmax.max(v.tokens.len());
+                        tsum += v.tokens.len();
+                        lsum += v.text.chars().count();
+                        distinct.extend(v.tokens.iter().copied());
+                    }
+                    if v.node.is_some() {
+                        mapped += 1;
+                    }
+                }
+                AttrStats {
+                    name: def.name.clone(),
+                    filled,
+                    distinct_tokens: distinct.len(),
+                    tokens_min: if filled == 0 { 0 } else { tmin },
+                    tokens_mean: if filled == 0 { 0.0 } else { tsum as f64 / filled as f64 },
+                    tokens_max: tmax,
+                    text_len_mean: if filled == 0 { 0.0 } else { lsum as f64 / filled as f64 },
+                    mapped,
+                    has_ontology: group.ontology(ai).is_some(),
+                }
+            })
+            .collect();
+        Self { entities: n, attrs }
+    }
+
+    /// Attributes viable for *set* predicates: ≥ `min_fill` fill rate and a
+    /// mean of at least two tokens (otherwise overlap thresholds above one
+    /// are unsatisfiable for most pairs).
+    pub fn set_viable(&self, min_fill: f64) -> Vec<&AttrStats> {
+        self.attrs
+            .iter()
+            .filter(|a| self.fill_rate(a) >= min_fill && a.tokens_mean >= 2.0)
+            .collect()
+    }
+
+    /// Attributes viable for *ontology* predicates: an ontology attached
+    /// and ≥ `min_fill` of entities mapped.
+    pub fn ontology_viable(&self, min_fill: f64) -> Vec<&AttrStats> {
+        self.attrs
+            .iter()
+            .filter(|a| {
+                a.has_ontology
+                    && self.entities > 0
+                    && a.mapped as f64 / self.entities as f64 >= min_fill
+            })
+            .collect()
+    }
+
+    fn fill_rate(&self, a: &AttrStats) -> f64 {
+        if self.entities == 0 {
+            0.0
+        } else {
+            a.filled as f64 / self.entities as f64
+        }
+    }
+}
+
+impl fmt::Display for GroupStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} entities", self.entities)?;
+        writeln!(
+            f,
+            "{:<18} {:>6} {:>9} {:>14} {:>9} {:>8}",
+            "attribute", "fill%", "#tokens", "tok min/µ/max", "text µ", "mapped%"
+        )?;
+        for a in &self.attrs {
+            let fill = 100.0 * self.fill_rate(a);
+            let mapped = if a.has_ontology && self.entities > 0 {
+                format!("{:.0}%", 100.0 * a.mapped as f64 / self.entities as f64)
+            } else {
+                "-".to_string()
+            };
+            writeln!(
+                f,
+                "{:<18} {:>5.0}% {:>9} {:>4}/{:>4.1}/{:<4} {:>8.1} {:>8}",
+                a.name, fill, a.distinct_tokens, a.tokens_min, a.tokens_mean, a.tokens_max,
+                a.text_len_mean, mapped
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::{GroupBuilder, Schema};
+    use dime_ontology::Ontology;
+    use dime_text::TokenizerKind;
+    use std::sync::Arc;
+
+    fn group() -> Group {
+        let schema = Schema::new([
+            ("Authors", TokenizerKind::List(',')),
+            ("Venue", TokenizerKind::Words),
+            ("Empty", TokenizerKind::Words),
+        ]);
+        let mut venues = Ontology::new("venue");
+        venues.add_path(&["cs", "db", "vldb"]);
+        let mut b = GroupBuilder::new(schema);
+        b.attach_ontology("Venue", Arc::new(venues));
+        b.add_entity(&["ann, bob", "vldb", ""]);
+        b.add_entity(&["ann, bob, carl", "unknown venue", ""]);
+        b.add_entity(&["dave", "vldb", ""]);
+        b.build()
+    }
+
+    #[test]
+    fn computes_per_attribute_statistics() {
+        let s = GroupStats::compute(&group());
+        assert_eq!(s.entities, 3);
+        let authors = &s.attrs[0];
+        assert_eq!(authors.filled, 3);
+        assert_eq!(authors.distinct_tokens, 4); // ann bob carl dave
+        assert_eq!(authors.tokens_min, 1);
+        assert_eq!(authors.tokens_max, 3);
+        assert!((authors.tokens_mean - 2.0).abs() < 1e-12);
+        let venue = &s.attrs[1];
+        assert!(venue.has_ontology);
+        assert_eq!(venue.mapped, 2);
+        let empty = &s.attrs[2];
+        assert_eq!(empty.filled, 0);
+        assert_eq!(empty.tokens_min, 0);
+    }
+
+    #[test]
+    fn viability_filters() {
+        let s = GroupStats::compute(&group());
+        let set_ok: Vec<&str> = s.set_viable(0.9).iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(set_ok, vec!["Authors"]);
+        let ont_ok: Vec<&str> =
+            s.ontology_viable(0.5).iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(ont_ok, vec!["Venue"]);
+        assert!(s.ontology_viable(0.9).is_empty());
+    }
+
+    #[test]
+    fn display_renders_all_attributes() {
+        let s = GroupStats::compute(&group());
+        let text = s.to_string();
+        assert!(text.contains("Authors"));
+        assert!(text.contains("Empty"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn empty_group_is_all_zeroes() {
+        let g = GroupBuilder::new(Schema::new([("A", TokenizerKind::Words)])).build();
+        let s = GroupStats::compute(&g);
+        assert_eq!(s.entities, 0);
+        assert_eq!(s.attrs[0].filled, 0);
+        assert!(s.set_viable(0.1).is_empty());
+    }
+}

@@ -1,0 +1,330 @@
+//! A small textual DSL for rules, so rule sets can live in config files
+//! and CLI arguments instead of code.
+//!
+//! Grammar (case-insensitive keywords, whitespace-insensitive):
+//!
+//! ```text
+//! rule      := polarity ':' predicate ( 'and' predicate )*
+//! polarity  := 'positive' | 'negative'
+//! predicate := func '(' attr ')' op number
+//! func      := 'overlap' | 'jaccard' | 'dice' | 'cosine'
+//!            | 'edit_sim' | 'edit_dist' | 'ontology'
+//! op        := '>=' | '<='
+//! attr      := attribute name as it appears in the schema
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! positive: overlap(Authors) >= 2
+//! positive: overlap(Authors) >= 1 and ontology(Venue) >= 0.75
+//! negative: overlap(Authors) <= 0
+//! ```
+//!
+//! The comparison operator is validated against the polarity: positive
+//! rules take `>=` (or `<=` for `edit_dist`), negative rules the opposite.
+
+use crate::entity::Schema;
+use crate::rule::{Polarity, Predicate, Rule, SimilarityFn};
+use std::fmt;
+
+/// Why a rule string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRuleError {
+    /// Human-readable description with the offending fragment.
+    pub message: String,
+}
+
+impl fmt::Display for ParseRuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseRuleError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseRuleError> {
+    Err(ParseRuleError { message: message.into() })
+}
+
+fn parse_func(name: &str) -> Result<SimilarityFn, ParseRuleError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "overlap" => SimilarityFn::Overlap,
+        "jaccard" => SimilarityFn::Jaccard,
+        "dice" => SimilarityFn::Dice,
+        "cosine" => SimilarityFn::Cosine,
+        "edit_sim" | "editsim" => SimilarityFn::EditSimilarity,
+        "edit_dist" | "editdist" => SimilarityFn::EditDistance,
+        "ontology" => SimilarityFn::Ontology,
+        other => return err(format!("unknown similarity function {other:?}")),
+    })
+}
+
+/// Parses one rule against a schema (attribute names are resolved to
+/// indices, case-sensitively, as declared in the schema).
+///
+/// ```
+/// use dime_core::{parse_rule, Polarity, Schema, SimilarityFn};
+/// use dime_text::TokenizerKind;
+///
+/// let schema = Schema::new([
+///     ("Authors", TokenizerKind::List(',')),
+///     ("Venue", TokenizerKind::Words),
+/// ]);
+/// let rule = parse_rule("positive: overlap(Authors) >= 1 and ontology(Venue) >= 0.75", &schema)
+///     .unwrap();
+/// assert_eq!(rule.polarity, Polarity::Positive);
+/// assert_eq!(rule.predicates.len(), 2);
+/// assert_eq!(rule.predicates[1].func, SimilarityFn::Ontology);
+/// ```
+pub fn parse_rule(input: &str, schema: &Schema) -> Result<Rule, ParseRuleError> {
+    let (head, body) = match input.split_once(':') {
+        Some(parts) => parts,
+        None => return err("missing ':' after polarity (expected 'positive: …')"),
+    };
+    let polarity = match head.trim().to_ascii_lowercase().as_str() {
+        "positive" => Polarity::Positive,
+        "negative" => Polarity::Negative,
+        other => return err(format!("polarity must be 'positive' or 'negative', got {other:?}")),
+    };
+
+    let mut predicates = Vec::new();
+    for clause in split_on_and(body) {
+        let clause = clause.trim();
+        if clause.is_empty() {
+            return err("empty predicate clause");
+        }
+        predicates.push(parse_predicate(clause, schema, polarity)?);
+    }
+    if predicates.is_empty() {
+        return err("a rule needs at least one predicate");
+    }
+    Ok(Rule { predicates, polarity })
+}
+
+/// Parses many rules, one per non-empty, non-`#`-comment line.
+pub fn parse_rules(input: &str, schema: &Schema) -> Result<Vec<Rule>, ParseRuleError> {
+    input
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| parse_rule(l, schema))
+        .collect()
+}
+
+/// Splits on the keyword `and` (case-insensitive, token-boundary aware).
+fn split_on_and(body: &str) -> Vec<&str> {
+    let lower = body.to_ascii_lowercase();
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let bytes = lower.as_bytes();
+    let mut i = 0usize;
+    while i + 3 <= lower.len() {
+        if &lower[i..i + 3] == "and"
+            && (i == 0 || !bytes[i - 1].is_ascii_alphanumeric())
+            && (i + 3 == lower.len() || !bytes[i + 3].is_ascii_alphanumeric())
+        {
+            parts.push(&body[start..i]);
+            start = i + 3;
+            i += 3;
+        } else {
+            i += 1;
+        }
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+fn parse_predicate(
+    clause: &str,
+    schema: &Schema,
+    polarity: Polarity,
+) -> Result<Predicate, ParseRuleError> {
+    // func '(' attr ')' op number
+    let open = clause.find('(');
+    let close = clause.find(')');
+    let (open, close) = match (open, close) {
+        (Some(o), Some(c)) if o < c => (o, c),
+        _ => return err(format!("predicate {clause:?} must look like func(Attr) >= x")),
+    };
+    let func = parse_func(clause[..open].trim())?;
+    let attr_name = clause[open + 1..close].trim();
+    let attr = match schema.attr_index(attr_name) {
+        Some(a) => a,
+        None => {
+            let known: Vec<&str> = schema.attrs().iter().map(|a| a.name.as_str()).collect();
+            return err(format!("unknown attribute {attr_name:?} (schema has {known:?})"));
+        }
+    };
+    let rest = clause[close + 1..].trim();
+    let (op, num) = if let Some(n) = rest.strip_prefix(">=") {
+        (">=", n)
+    } else if let Some(n) = rest.strip_prefix("<=") {
+        ("<=", n)
+    } else if let Some(n) = rest.strip_prefix('=') {
+        // `overlap(A) = 0` sugar for the paper's φ₁⁻ notation.
+        ("<=", n)
+    } else {
+        return err(format!("expected '>=' or '<=' in {clause:?}"));
+    };
+    let threshold: f64 = match num.trim().parse() {
+        Ok(t) => t,
+        Err(_) => return err(format!("bad threshold {:?}", num.trim())),
+    };
+
+    // The operator must match what the polarity implies for this function,
+    // so a file can't silently assert the opposite of what it reads as.
+    let expected = match (polarity, func.higher_is_similar()) {
+        (Polarity::Positive, true) | (Polarity::Negative, false) => ">=",
+        _ => "<=",
+    };
+    if op != expected {
+        return err(format!(
+            "{:?}: a {} rule uses '{}' with {} (got '{}')",
+            clause,
+            if polarity == Polarity::Positive { "positive" } else { "negative" },
+            expected,
+            func.symbol(),
+            op
+        ));
+    }
+    Ok(Predicate::new(attr, func, threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dime_text::TokenizerKind;
+
+    fn schema() -> Schema {
+        Schema::new([
+            ("Title", TokenizerKind::Words),
+            ("Authors", TokenizerKind::List(',')),
+            ("Venue", TokenizerKind::Words),
+        ])
+    }
+
+    #[test]
+    fn parses_paper_rules() {
+        let s = schema();
+        let text = "\
+# the paper's Scholar rules
+positive: overlap(Authors) >= 2
+positive: overlap(Authors) >= 1 and ontology(Venue) >= 0.75
+negative: overlap(Authors) <= 0
+negative: overlap(Authors) <= 1 and ontology(Venue) <= 0.25
+";
+        let rules = parse_rules(text, &s).unwrap();
+        assert_eq!(rules.len(), 4);
+        assert_eq!(rules[0].polarity, Polarity::Positive);
+        assert_eq!(rules[1].predicates.len(), 2);
+        assert_eq!(rules[3].predicates[1].threshold, 0.25);
+    }
+
+    #[test]
+    fn equals_sugar_for_negative_zero() {
+        let s = schema();
+        let r = parse_rule("negative: overlap(Authors) = 0", &s).unwrap();
+        assert_eq!(r.predicates[0].threshold, 0.0);
+    }
+
+    #[test]
+    fn rejects_wrong_operator_for_polarity() {
+        let s = schema();
+        let e = parse_rule("positive: overlap(Authors) <= 2", &s).unwrap_err();
+        assert!(e.message.contains(">="), "{e}");
+        let e = parse_rule("negative: jaccard(Title) >= 0.5", &s).unwrap_err();
+        assert!(e.message.contains("<="), "{e}");
+    }
+
+    #[test]
+    fn edit_distance_flips_operator() {
+        let s = schema();
+        // Positive rules assert similarity: small distance.
+        let r = parse_rule("positive: edit_dist(Title) <= 3", &s).unwrap();
+        assert_eq!(r.predicates[0].func, SimilarityFn::EditDistance);
+        // Negative rules assert dissimilarity: large distance.
+        assert!(parse_rule("negative: edit_dist(Title) >= 10", &s).is_ok());
+        assert!(parse_rule("positive: edit_dist(Title) >= 3", &s).is_err());
+    }
+
+    #[test]
+    fn unknown_attribute_lists_schema() {
+        let s = schema();
+        let e = parse_rule("positive: overlap(Nope) >= 1", &s).unwrap_err();
+        assert!(e.message.contains("Authors"), "{e}");
+    }
+
+    #[test]
+    fn unknown_function_is_rejected() {
+        let s = schema();
+        assert!(parse_rule("positive: sorcery(Title) >= 1", &s).is_err());
+    }
+
+    #[test]
+    fn and_splitting_is_token_aware() {
+        // Attribute names containing "and" must not split the clause.
+        let s = Schema::new([("Brand", TokenizerKind::Whole)]);
+        let r = parse_rule("positive: jaccard(Brand) >= 0.5", &s).unwrap();
+        assert_eq!(r.predicates.len(), 1);
+    }
+
+    #[test]
+    fn malformed_inputs_error_cleanly() {
+        let s = schema();
+        for bad in [
+            "overlap(Authors) >= 1",
+            "positive overlap(Authors) >= 1",
+            "positive: overlap Authors >= 1",
+            "positive: overlap(Authors) >= lots",
+            "positive:",
+            "sideways: overlap(Authors) >= 1",
+        ] {
+            assert!(parse_rule(bad, &s).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    proptest::proptest! {
+        /// Random rules rendered by `Rule::to_dsl` parse back identically.
+        #[test]
+        fn prop_dsl_roundtrip(
+            polarity in proptest::bool::ANY,
+            preds in proptest::collection::vec((0usize..3, 0usize..7, 0u32..40), 1..4),
+        ) {
+            use crate::rule::{Polarity, Predicate, Rule, SimilarityFn};
+            let s = schema();
+            let funcs = [
+                SimilarityFn::Overlap,
+                SimilarityFn::Jaccard,
+                SimilarityFn::Dice,
+                SimilarityFn::Cosine,
+                SimilarityFn::EditSimilarity,
+                SimilarityFn::EditDistance,
+                SimilarityFn::Ontology,
+            ];
+            let polarity = if polarity { Polarity::Positive } else { Polarity::Negative };
+            let rule = Rule {
+                predicates: preds
+                    .iter()
+                    .map(|&(attr, f, t)| Predicate::new(attr, funcs[f], t as f64 / 8.0))
+                    .collect(),
+                polarity,
+            };
+            let dsl = rule.to_dsl(&s);
+            let back = parse_rule(&dsl, &s).unwrap();
+            proptest::prop_assert_eq!(back, rule);
+        }
+    }
+
+    #[test]
+    fn roundtrip_parse_then_eval() {
+        use crate::entity::GroupBuilder;
+        let s = schema();
+        let mut b = GroupBuilder::new(schema());
+        b.add_entity(&["t1", "a, b", "v"]);
+        b.add_entity(&["t2", "a, b, c", "v"]);
+        let g = b.build();
+        let r = parse_rule("positive: overlap(Authors) >= 2", &s).unwrap();
+        assert!(r.eval(&g, g.entity(0), g.entity(1)));
+    }
+}

@@ -1,0 +1,189 @@
+//! The user review workflow behind the paper's scrollbar GUI (Figure 3):
+//! DIME *suggests* mis-categorized entities, the user confirms or rejects
+//! each, and the session tracks what is still pending at the current
+//! scrollbar position.
+//!
+//! The paper's economic argument — "it is way cheaper for users to confirm
+//! our suggested mis-categorized entities than selecting them manually
+//! from the entire group" — is exactly the quantity
+//! [`ReviewSession::suggestions_reviewed`] vs. the group size.
+
+use crate::discover::Discovery;
+use std::collections::BTreeMap;
+
+/// A user's verdict on one suggested entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// The entity really is mis-categorized (remove it from the group).
+    Confirmed,
+    /// False alarm; the entity belongs.
+    Rejected,
+}
+
+/// An interactive review over a [`Discovery`]'s scrollbar.
+#[derive(Debug)]
+pub struct ReviewSession {
+    discovery: Discovery,
+    position: usize,
+    decisions: BTreeMap<usize, Decision>,
+}
+
+impl ReviewSession {
+    /// Starts a session at the first scrollbar position (only the first
+    /// negative rule enabled — the paper's default view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the discovery has no negative-rule steps.
+    pub fn new(discovery: Discovery) -> Self {
+        assert!(!discovery.steps.is_empty(), "nothing to review without negative rules");
+        Self { discovery, position: 0, decisions: BTreeMap::new() }
+    }
+
+    /// The underlying discovery.
+    pub fn discovery(&self) -> &Discovery {
+        &self.discovery
+    }
+
+    /// Current scrollbar position (0-based rule prefix).
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Drags the scrollbar right (enable one more negative rule). Returns
+    /// the entities *newly* suggested by the added rule.
+    pub fn scroll_right(&mut self) -> Vec<usize> {
+        if self.position + 1 >= self.discovery.steps.len() {
+            return Vec::new();
+        }
+        self.position += 1;
+        self.discovery.step_deltas()[self.position].clone()
+    }
+
+    /// Drags the scrollbar left (disable the last rule). Decisions made on
+    /// entities that are no longer suggested are kept — the user's
+    /// knowledge doesn't evaporate.
+    pub fn scroll_left(&mut self) {
+        self.position = self.position.saturating_sub(1);
+    }
+
+    /// Entities suggested at the current position and not yet decided.
+    pub fn pending(&self) -> Vec<usize> {
+        self.discovery
+            .at_step(self.position)
+            .map(|s| {
+                s.iter().copied().filter(|e| !self.decisions.contains_key(e)).collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Records the user's verdict on a suggested entity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entity is not suggested at the current position —
+    /// reviewing something the user cannot see is a UI bug.
+    pub fn decide(&mut self, entity: usize, decision: Decision) {
+        let visible = self
+            .discovery
+            .at_step(self.position)
+            .map(|s| s.contains(&entity))
+            .unwrap_or(false);
+        assert!(visible, "entity {entity} is not suggested at scrollbar position {}", self.position);
+        self.decisions.insert(entity, decision);
+    }
+
+    /// Entities the user confirmed as mis-categorized so far.
+    pub fn confirmed(&self) -> Vec<usize> {
+        self.decisions
+            .iter()
+            .filter(|(_, d)| **d == Decision::Confirmed)
+            .map(|(&e, _)| e)
+            .collect()
+    }
+
+    /// Entities the user rejected as false alarms so far.
+    pub fn rejected(&self) -> Vec<usize> {
+        self.decisions
+            .iter()
+            .filter(|(_, d)| **d == Decision::Rejected)
+            .map(|(&e, _)| e)
+            .collect()
+    }
+
+    /// How many suggestions the user has reviewed — the paper's cost
+    /// metric, to be compared against checking the whole group.
+    pub fn suggestions_reviewed(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Whether every suggestion at the current position has a verdict.
+    pub fn is_settled(&self) -> bool {
+        self.pending().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discover::discover_naive;
+    use crate::rule::tests::{figure1_group, paper_rules};
+
+    fn session() -> ReviewSession {
+        let g = figure1_group();
+        let (pos, neg) = paper_rules();
+        ReviewSession::new(discover_naive(&g, &pos, &neg))
+    }
+
+    #[test]
+    fn figure_3_workflow() {
+        let mut s = session();
+        // Position 0: φ1- suggests the NJ-Tang paper only.
+        assert_eq!(s.pending(), vec![4]);
+        s.decide(4, Decision::Confirmed);
+        assert!(s.is_settled());
+        // Dragging right enables φ2-, surfacing the chemistry paper.
+        let newly = s.scroll_right();
+        assert_eq!(newly, vec![5]);
+        assert_eq!(s.pending(), vec![5]);
+        s.decide(5, Decision::Confirmed);
+        assert_eq!(s.confirmed(), vec![4, 5]);
+        // The user reviewed 2 suggestions instead of 6 entities.
+        assert_eq!(s.suggestions_reviewed(), 2);
+    }
+
+    #[test]
+    fn rejections_are_remembered_across_scrolling() {
+        let mut s = session();
+        s.decide(4, Decision::Rejected);
+        s.scroll_right();
+        s.scroll_left();
+        assert_eq!(s.rejected(), vec![4]);
+        assert!(s.is_settled(), "position 0 has no undecided suggestions");
+    }
+
+    #[test]
+    fn scroll_is_clamped() {
+        let mut s = session();
+        s.scroll_left(); // already leftmost
+        assert_eq!(s.position(), 0);
+        s.scroll_right();
+        assert!(s.scroll_right().is_empty(), "rightmost scroll adds nothing");
+        assert_eq!(s.position(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not suggested")]
+    fn deciding_unsuggested_entity_panics() {
+        let mut s = session();
+        s.decide(0, Decision::Confirmed); // a pivot member, never suggested
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to review")]
+    fn empty_steps_panics() {
+        let g = figure1_group();
+        let (pos, _) = paper_rules();
+        let _ = ReviewSession::new(discover_naive(&g, &pos, &[]));
+    }
+}

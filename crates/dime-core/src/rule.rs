@@ -1,0 +1,407 @@
+//! Positive and negative rules (paper Section II).
+//!
+//! A rule is a conjunction of predicates `fᵢ(Aᵢ) ⊙ tᵢ` where `fᵢ` is a
+//! similarity function over an attribute and `tᵢ` a threshold. The
+//! comparison direction `⊙` follows the rule's *polarity*:
+//!
+//! * a **positive** rule holds when every predicate attests *similarity*
+//!   (`f ≥ θ`, or `distance ≤ θ` for [`SimilarityFn::EditDistance`]);
+//! * a **negative** rule holds when every predicate attests
+//!   *dissimilarity* (`f ≤ σ`, or `distance ≥ σ`).
+//!
+//! A rule returning `false` means "don't know", never "the opposite holds".
+
+use crate::entity::{Entity, Group};
+use dime_ontology::ontology_similarity_opt;
+use dime_text::{cosine, dice, edit_similarity, jaccard, levenshtein, overlap};
+use std::fmt;
+
+/// The similarity functions DIME's predicates may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimilarityFn {
+    /// `|a ∩ b|` over token sets (`f_ov` in the paper).
+    Overlap,
+    /// Jaccard over token sets (`f_j`).
+    Jaccard,
+    /// Dice coefficient over token sets.
+    Dice,
+    /// Cosine over binary token vectors.
+    Cosine,
+    /// Normalized edit similarity `1 − d/max(len)` over raw text.
+    EditSimilarity,
+    /// Raw Levenshtein distance over text — **lower is more similar**.
+    EditDistance,
+    /// Ontology similarity `2|LCA|/(|n|+|n′|)` (`f_on`).
+    Ontology,
+}
+
+impl SimilarityFn {
+    /// Whether larger values mean "more similar" (false only for
+    /// [`SimilarityFn::EditDistance`]).
+    pub fn higher_is_similar(self) -> bool {
+        !matches!(self, SimilarityFn::EditDistance)
+    }
+
+    /// Short display name matching the paper's notation.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            SimilarityFn::Overlap => "f_ov",
+            SimilarityFn::Jaccard => "f_j",
+            SimilarityFn::Dice => "f_dice",
+            SimilarityFn::Cosine => "f_cos",
+            SimilarityFn::EditSimilarity => "f_es",
+            SimilarityFn::EditDistance => "f_ed",
+            SimilarityFn::Ontology => "f_on",
+        }
+    }
+}
+
+/// Whether a rule asserts similarity or dissimilarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// "Similar ⇒ same category" (`ϕ⁺`).
+    Positive,
+    /// "Dissimilar ⇒ different category" (`φ⁻`).
+    Negative,
+}
+
+/// One predicate `f(A) ⊙ threshold` of a rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Predicate {
+    /// Index of the attribute in the group's schema.
+    pub attr: usize,
+    /// The similarity function applied to that attribute.
+    pub func: SimilarityFn,
+    /// The threshold (θ for positive rules, σ for negative rules).
+    pub threshold: f64,
+}
+
+impl Predicate {
+    /// Convenience constructor.
+    pub fn new(attr: usize, func: SimilarityFn, threshold: f64) -> Self {
+        Self { attr, func, threshold }
+    }
+
+    /// Computes the raw similarity (or distance) of this predicate's
+    /// function on the two entities' values of this attribute.
+    pub fn similarity(&self, group: &Group, a: &Entity, b: &Entity) -> f64 {
+        let va = a.value(self.attr);
+        let vb = b.value(self.attr);
+        match self.func {
+            SimilarityFn::Overlap => overlap(&va.tokens, &vb.tokens),
+            SimilarityFn::Jaccard => jaccard(&va.tokens, &vb.tokens),
+            SimilarityFn::Dice => dice(&va.tokens, &vb.tokens),
+            SimilarityFn::Cosine => cosine(&va.tokens, &vb.tokens),
+            SimilarityFn::EditSimilarity => edit_similarity(&va.text, &vb.text),
+            SimilarityFn::EditDistance => levenshtein(&va.text, &vb.text) as f64,
+            SimilarityFn::Ontology => match group.ontology(self.attr) {
+                Some(ont) => ontology_similarity_opt(ont, va.node, vb.node),
+                None => 0.0,
+            },
+        }
+    }
+
+    /// Whether the computed `value` satisfies this predicate under the given
+    /// polarity (see the module docs for the direction table).
+    pub fn holds(&self, value: f64, polarity: Polarity) -> bool {
+        match (polarity, self.func.higher_is_similar()) {
+            (Polarity::Positive, true) => value >= self.threshold,
+            (Polarity::Positive, false) => value <= self.threshold,
+            (Polarity::Negative, true) => value <= self.threshold,
+            (Polarity::Negative, false) => value >= self.threshold,
+        }
+    }
+
+    /// Evaluates the predicate on an entity pair.
+    pub fn eval(&self, group: &Group, a: &Entity, b: &Entity, polarity: Polarity) -> bool {
+        self.holds(self.similarity(group, a, b), polarity)
+    }
+
+    /// The verification cost estimate of the paper (Section IV-C): the
+    /// dominant term of computing this predicate on the pair.
+    pub fn cost(&self, group: &Group, a: &Entity, b: &Entity) -> f64 {
+        let va = a.value(self.attr);
+        let vb = b.value(self.attr);
+        match self.func {
+            SimilarityFn::Overlap
+            | SimilarityFn::Jaccard
+            | SimilarityFn::Dice
+            | SimilarityFn::Cosine => (va.tokens.len() + vb.tokens.len()) as f64,
+            SimilarityFn::EditSimilarity | SimilarityFn::EditDistance => {
+                let min = va.text.len().min(vb.text.len()) as f64;
+                (self.threshold.max(1.0)) * min
+            }
+            SimilarityFn::Ontology => {
+                let ont = group.ontology(self.attr);
+                let d = |n: Option<dime_ontology::NodeId>| {
+                    n.and_then(|n| ont.map(|o| o.depth(n))).unwrap_or(1) as f64
+                };
+                d(va.node) + d(vb.node)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(A{}) ? {}", self.func.symbol(), self.attr, self.threshold)
+    }
+}
+
+/// A conjunction of predicates with a polarity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// The conjunction; must be non-empty for a meaningful rule.
+    pub predicates: Vec<Predicate>,
+    /// Positive (`ϕ⁺`) or negative (`φ⁻`).
+    pub polarity: Polarity,
+}
+
+impl Rule {
+    /// Builds a positive rule from predicates.
+    pub fn positive(predicates: Vec<Predicate>) -> Self {
+        Self { predicates, polarity: Polarity::Positive }
+    }
+
+    /// Builds a negative rule from predicates.
+    pub fn negative(predicates: Vec<Predicate>) -> Self {
+        Self { predicates, polarity: Polarity::Negative }
+    }
+
+    /// Evaluates the conjunction on a pair of entities.
+    ///
+    /// Returns `true` when **all** predicates hold; `false` means
+    /// "don't know".
+    pub fn eval(&self, group: &Group, a: &Entity, b: &Entity) -> bool {
+        self.predicates.iter().all(|p| p.eval(group, a, b, self.polarity))
+    }
+
+    /// Total verification cost estimate for the pair.
+    pub fn cost(&self, group: &Group, a: &Entity, b: &Entity) -> f64 {
+        self.predicates.iter().map(|p| p.cost(group, a, b)).sum()
+    }
+
+    /// Renders the rule in the textual DSL accepted by
+    /// [`crate::parse_rule`], resolving attribute indices to names through
+    /// `schema`. Round-trips: `parse_rule(&r.to_dsl(s), s) == r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a predicate references an attribute outside the schema.
+    pub fn to_dsl(&self, schema: &crate::entity::Schema) -> String {
+        let polarity = match self.polarity {
+            Polarity::Positive => "positive",
+            Polarity::Negative => "negative",
+        };
+        let clauses: Vec<String> = self
+            .predicates
+            .iter()
+            .map(|p| {
+                let func = match p.func {
+                    SimilarityFn::Overlap => "overlap",
+                    SimilarityFn::Jaccard => "jaccard",
+                    SimilarityFn::Dice => "dice",
+                    SimilarityFn::Cosine => "cosine",
+                    SimilarityFn::EditSimilarity => "edit_sim",
+                    SimilarityFn::EditDistance => "edit_dist",
+                    SimilarityFn::Ontology => "ontology",
+                };
+                let name = &schema.attrs()[p.attr].name;
+                let op = match (self.polarity, p.func.higher_is_similar()) {
+                    (Polarity::Positive, true) | (Polarity::Negative, false) => ">=",
+                    _ => "<=",
+                };
+                format!("{func}({name}) {op} {}", p.threshold)
+            })
+            .collect();
+        format!("{polarity}: {}", clauses.join(" and "))
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match (self.polarity, true) {
+            (Polarity::Positive, _) => "≥",
+            (Polarity::Negative, _) => "≤",
+        };
+        let parts: Vec<String> = self
+            .predicates
+            .iter()
+            .map(|p| {
+                let op = if p.func.higher_is_similar() {
+                    op
+                } else if self.polarity == Polarity::Positive {
+                    "≤"
+                } else {
+                    "≥"
+                };
+                format!("{}(A{}) {} {}", p.func.symbol(), p.attr, op, p.threshold)
+            })
+            .collect();
+        let sign = match self.polarity {
+            Polarity::Positive => "ϕ+",
+            Polarity::Negative => "φ-",
+        };
+        write!(f, "{}: {}", sign, parts.join(" ∧ "))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::entity::{GroupBuilder, Schema};
+    use dime_ontology::Ontology;
+    use dime_text::TokenizerKind;
+    use std::sync::Arc;
+
+    /// Builds the six Google Scholar entities of paper Figure 1.
+    pub(crate) fn figure1_group() -> Group {
+        let schema = Schema::new([
+            ("Title", TokenizerKind::Words),
+            ("Authors", TokenizerKind::List(',')),
+            ("Venue", TokenizerKind::Words),
+        ]);
+        let mut venues = Ontology::new("venue");
+        for v in ["icpads"] {
+            venues.add_path(&["computer science", "system", v]);
+        }
+        for v in ["sigmod", "vldb", "icde"] {
+            venues.add_path(&["computer science", "database", v]);
+        }
+        venues.add_path(&["computer science", "information retrieval", "sigir"]);
+        venues.add_path(&["chemical sciences", "chemical sciences (general)", "rsc advances"]);
+        let mut b = GroupBuilder::new(schema);
+        b.attach_ontology("Venue", Arc::new(venues));
+        b.add_entity(&[
+            "Win: an efficient data placement strategy for parallel xml databases",
+            "Nan Tang, Guoren Wang, Jeffrey Xu Yu",
+            "ICPADS 2005",
+        ]);
+        b.add_entity(&[
+            "KATARA: A data cleaning system powered by knowledge bases and crowdsourcing",
+            "Xu Chu, John Morcos, Ihab F. Ilyas, Mourad Ouzzani, Paolo Papotti, Nan Tang",
+            "SIGMOD 2015",
+        ]);
+        b.add_entity(&[
+            "NADEEF: A generalized data cleaning system",
+            "Amr Ebaid, Ahmed Elmagarmid, Ihab F. Ilyas, Nan Tang",
+            "VLDB 2013",
+        ]);
+        b.add_entity(&[
+            "Hierarchical indexing approach to support xpath queries",
+            "Nan Tang, Jeffrey Xu Yu, M. Tamer Ozsu, Kam-Fai Wong",
+            "ICDE 2008",
+        ]);
+        b.add_entity(&[
+            "Discriminative bi-term topic model for social news clustering",
+            "Yunqing Xia, NJ Tang, Amir Hussain, Erik Cambria",
+            "SIGIR 2005",
+        ]);
+        b.add_entity(&[
+            "Extractive and oxidative desulfurization of model oil in polyethylene glycol",
+            "Jianlong Wang, Rijie Zhao, Baixin Han, Nan Tang, Kaixi Li",
+            "RSC Advances 1905",
+        ]);
+        b.build()
+    }
+
+    /// The paper's running rules over `figure1_group` (attr 1 = Authors,
+    /// attr 2 = Venue).
+    pub(crate) fn paper_rules() -> (Vec<Rule>, Vec<Rule>) {
+        let pos = vec![
+            Rule::positive(vec![Predicate::new(1, SimilarityFn::Overlap, 2.0)]),
+            Rule::positive(vec![
+                Predicate::new(1, SimilarityFn::Overlap, 1.0),
+                Predicate::new(2, SimilarityFn::Ontology, 0.75),
+            ]),
+        ];
+        let neg = vec![
+            Rule::negative(vec![Predicate::new(1, SimilarityFn::Overlap, 0.0)]),
+            Rule::negative(vec![
+                Predicate::new(1, SimilarityFn::Overlap, 1.0),
+                Predicate::new(2, SimilarityFn::Ontology, 0.25),
+            ]),
+        ];
+        (pos, neg)
+    }
+
+    #[test]
+    fn example_2_rule_evaluations() {
+        let g = figure1_group();
+        let (pos, neg) = paper_rules();
+        let e = |i: usize| g.entity(i);
+        // KATARA (id 1) and NADEEF (id 2) share two authors (Ihab F. Ilyas
+        // and Nan Tang) — ϕ1+ holds.
+        assert!(pos[0].eval(&g, e(1), e(2)));
+        // Win/ICPADS (id 0) and KATARA/SIGMOD (id 1): share only Nan Tang;
+        // ontology sim of icpads vs sigmod is 2·2/(4+4) = 0.5 < 0.75 → ϕ2+
+        // fails (they still connect transitively through id 3).
+        assert!(!pos[1].eval(&g, e(0), e(1)));
+        // KATARA/SIGMOD (id 1) vs Hierarchical/ICDE (id 3): share Nan Tang,
+        // venues both under Database → 0.75 → ϕ2+ holds (paper Example 2).
+        assert!(pos[1].eval(&g, e(1), e(3)));
+        // id 4 (Discriminative, "NJ Tang") has no overlapping author with
+        // id 1 → φ1- holds.
+        assert!(neg[0].eval(&g, e(4), e(1)));
+        // id 5 (chemistry paper) shares exactly one author with id 1 and its
+        // venue RSC Advances (depth 4, field Chemical Sciences) has ontology
+        // similarity 2·1/(4+4) = 0.25 ≤ 0.25 with SIGMOD → φ2- holds.
+        assert!(neg[1].eval(&g, e(5), e(1)));
+        // But φ1- does not: overlap is 1, not 0.
+        assert!(!neg[0].eval(&g, e(5), e(1)));
+    }
+
+    #[test]
+    fn edit_distance_polarity_is_inverted() {
+        let p = Predicate::new(0, SimilarityFn::EditDistance, 2.0);
+        assert!(p.holds(1.0, Polarity::Positive)); // d=1 ≤ 2 → similar
+        assert!(!p.holds(3.0, Polarity::Positive));
+        assert!(p.holds(3.0, Polarity::Negative)); // d=3 ≥ 2 → dissimilar
+        assert!(!p.holds(1.0, Polarity::Negative));
+    }
+
+    #[test]
+    fn missing_ontology_means_zero_similarity() {
+        let g = figure1_group();
+        // Attribute 0 (Title) has no ontology: similarity must be 0.
+        let p = Predicate::new(0, SimilarityFn::Ontology, 0.5);
+        let s = p.similarity(&g, g.entity(0), g.entity(1));
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn rule_display_formats_directions() {
+        let (pos, neg) = paper_rules();
+        let s = format!("{}", pos[1]);
+        assert!(s.contains("≥"), "{s}");
+        let s = format!("{}", neg[1]);
+        assert!(s.contains("≤"), "{s}");
+    }
+
+    #[test]
+    fn cost_estimates_are_positive() {
+        let g = figure1_group();
+        let (pos, _) = paper_rules();
+        let c = pos[1].cost(&g, g.entity(0), g.entity(1));
+        assert!(c > 0.0);
+    }
+
+    #[test]
+    fn dsl_rendering_roundtrips() {
+        use crate::parse::parse_rule;
+        let g = figure1_group();
+        let (pos, neg) = paper_rules();
+        for r in pos.iter().chain(neg.iter()) {
+            let dsl = r.to_dsl(g.schema());
+            let back = parse_rule(&dsl, g.schema()).unwrap_or_else(|e| panic!("{dsl}: {e}"));
+            assert_eq!(&back, r, "{dsl}");
+        }
+    }
+
+    #[test]
+    fn empty_rule_is_vacuously_true() {
+        let g = figure1_group();
+        let r = Rule::positive(vec![]);
+        assert!(r.eval(&g, g.entity(0), g.entity(5)));
+    }
+}

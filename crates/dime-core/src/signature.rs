@@ -1,0 +1,880 @@
+//! Signature generation for rules (paper Section IV-B).
+//!
+//! For every (entity, predicate, polarity) this module produces a signature
+//! set with the filter guarantees DIME⁺ relies on:
+//!
+//! * **positive** predicate `f ≥ θ`: if a pair satisfies the predicate, the
+//!   two signature sets intersect (no false dismissals in the filter);
+//! * **negative** predicate `f ≤ σ`: if the two signature sets are
+//!   *disjoint*, the predicate is guaranteed to hold (safe to flag without
+//!   verification).
+//!
+//! Three outcomes are possible per value:
+//!
+//! * [`PredSigs::Sigs`] — a concrete (possibly empty) signature set. For a
+//!   positive predicate an empty set means the value can never satisfy it;
+//!   for a negative predicate it means the predicate holds against
+//!   everything (e.g. an empty author list has overlap 0 with anything).
+//! * [`PredSigs::Wildcard`] — no sound signature exists (e.g. a string too
+//!   short for the q-gram count filter); the entity must be verified
+//!   against everything.
+//! * [`PredSigs::Trivial`] — the predicate is satisfied by every pair
+//!   (e.g. `overlap ≥ 0`); it contributes nothing to filtering and is
+//!   skipped.
+//!
+//! Composite signatures for a positive rule (a conjunction) are tuples with
+//! one component per non-trivial predicate, hashed to `u64`. Hash
+//! collisions only ever *add* candidates.
+
+use crate::entity::{Entity, Group};
+use crate::rule::{Polarity, Predicate, Rule, SimilarityFn};
+use dime_ontology::{node_signature, tau_min};
+use dime_text::{
+    edit_prefix_len, overlap_prefix_len, qgrams, GlobalOrder, TokenId,
+};
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+/// q-gram length used for character-based signatures.
+pub(crate) const Q: usize = 2;
+
+/// Epsilon for float-derived integer bounds: always round in the *sound*
+/// direction (longer prefixes / shallower signature depths).
+const FP_EPS: f64 = 1e-9;
+
+/// Cap on the number of composite signatures one entity may emit for one
+/// rule. The batch planner sizes the predicate subset to stay under it; an
+/// entity that would still exceed it (possible only on the incremental
+/// path, whose plan is fixed up front) becomes a wildcard.
+const MAX_COMPOSITE: usize = 1024;
+
+/// Deterministic 64-bit mixer (SplitMix64 finalizer) — stable across runs,
+/// unlike `std`'s randomized hasher.
+#[inline]
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hashes a string to `u64` (FNV-1a, then mixed).
+#[inline]
+fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    mix64(h)
+}
+
+/// Combines a predicate-scoped salt with a raw signature component.
+#[inline]
+fn salted(salt: u64, component: u64) -> u64 {
+    mix64(salt ^ component.rotate_left(17))
+}
+
+/// The signature set of one (entity, predicate, polarity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredSigs {
+    /// Concrete signatures (see module docs for the empty-set semantics).
+    Sigs(Vec<u64>),
+    /// No sound signature; verify against everything.
+    Wildcard,
+    /// Predicate satisfied by every pair; skip in filtering.
+    Trivial,
+}
+
+/// Shared signature-generation state for one group: the global token order
+/// and a cache of ontology `τ_min` values per (attribute, threshold).
+pub struct SigContext<'g> {
+    group: &'g Group,
+    order: Cow<'g, GlobalOrder>,
+    tau_cache: HashMap<(usize, u64), u32>,
+    /// When set, ontology `τ_min` uses the ontology's minimum node depth
+    /// instead of the depths present in the current group — sound for
+    /// entities added later (see [`crate::IncrementalDime`]).
+    conservative_tau: bool,
+}
+
+impl<'g> SigContext<'g> {
+    /// Builds the context (computes the document-frequency global order).
+    pub fn new(group: &'g Group) -> Self {
+        Self {
+            group,
+            order: Cow::Owned(GlobalOrder::from_dictionary(group.dictionary())),
+            tau_cache: HashMap::new(),
+            conservative_tau: false,
+        }
+    }
+
+    /// Builds a context around a *frozen* token order and conservative
+    /// ontology signature depths — the configuration under which signatures
+    /// stay mutually consistent as the group grows.
+    pub fn with_frozen_order(group: &'g Group, order: &'g GlobalOrder) -> Self {
+        Self {
+            group,
+            order: Cow::Borrowed(order),
+            tau_cache: HashMap::new(),
+            conservative_tau: true,
+        }
+    }
+
+    /// The underlying group.
+    pub fn group(&self) -> &'g Group {
+        self.group
+    }
+
+    /// Signature set of `entity` for one `pred` under `polarity`.
+    pub fn predicate_sigs(
+        &mut self,
+        entity: &Entity,
+        pred: &Predicate,
+        polarity: Polarity,
+    ) -> PredSigs {
+        match polarity {
+            Polarity::Positive => self.positive_sigs(entity, pred),
+            Polarity::Negative => self.negative_sigs(entity, pred),
+        }
+    }
+
+    /// Composite signatures of **every** entity of the group for a positive
+    /// rule. Per entity: `None` means wildcard (pair it with everything);
+    /// `Some(sigs)` may be empty, meaning the entity can never satisfy the
+    /// rule.
+    ///
+    /// The subset of predicates that participates in the tuples is chosen
+    /// once per rule (smallest average signature sets first, capped so the
+    /// largest per-entity cross product stays under an internal budget) —
+    /// signature tuples are only comparable when every entity uses the same
+    /// predicate subset. Components combine by XOR, so tuple hashes are
+    /// independent of construction order.
+    pub fn positive_rule_signatures(&mut self, rule: &Rule) -> Vec<Option<Vec<u64>>> {
+        debug_assert_eq!(rule.polarity, Polarity::Positive);
+        let n = self.group.len();
+        let m = rule.predicates.len();
+        // Per-entity, per-predicate signature sets (salted by predicate).
+        let mut per: Vec<Vec<PredSigs>> = Vec::with_capacity(n);
+        for eid in 0..n {
+            per.push(self.salted_positive_row(eid, rule));
+        }
+        // Rule-level predicate subset: non-trivial predicates ordered by
+        // average signature-set size, greedily added while the *maximum*
+        // per-entity tuple count stays bounded.
+        let mut stats: Vec<(usize, f64, usize)> = (0..m)
+            .filter_map(|pi| {
+                let mut sum = 0usize;
+                let mut max = 0usize;
+                let mut informative = false;
+                for row in &per {
+                    match &row[pi] {
+                        PredSigs::Sigs(s) => {
+                            sum += s.len();
+                            max = max.max(s.len().max(1));
+                            informative = true;
+                        }
+                        PredSigs::Wildcard => {
+                            max = max.max(1);
+                            informative = true;
+                        }
+                        PredSigs::Trivial => {}
+                    }
+                }
+                informative.then(|| (pi, sum as f64 / n as f64, max))
+            })
+            .collect();
+        if stats.is_empty() {
+            // Every predicate trivial for every entity: all pairs match.
+            return vec![None; n];
+        }
+        stats.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        let mut chosen: Vec<usize> = vec![stats[0].0];
+        let mut worst = stats[0].2;
+        for &(pi, _, mx) in &stats[1..] {
+            if worst.saturating_mul(mx) > MAX_COMPOSITE {
+                break;
+            }
+            worst *= mx;
+            chosen.push(pi);
+        }
+        let plan = PositiveRulePlan { chosen };
+        per.into_iter().map(|row| compose_row(row, &plan)).collect()
+    }
+
+    /// Chooses the predicate subset a rule's composite tuples will use,
+    /// independent of any particular entity set — the incremental engine
+    /// fixes a plan once and composes every later entity against it.
+    pub fn plan_positive_rule(&self, rule: &Rule) -> PositiveRulePlan {
+        debug_assert_eq!(rule.polarity, Polarity::Positive);
+        // Without entity statistics, keep every non-trivial predicate under
+        // a conservative per-predicate budget.
+        let chosen: Vec<usize> = rule
+            .predicates
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !is_trivially_true(p, Polarity::Positive))
+            .map(|(i, _)| i)
+            .collect();
+        PositiveRulePlan { chosen }
+    }
+
+    /// Composite signatures of one entity under a fixed [`PositiveRulePlan`]
+    /// — only comparable with signatures produced under the *same* plan and
+    /// the same (frozen) token order.
+    pub fn entity_positive_signatures(
+        &mut self,
+        eid: usize,
+        rule: &Rule,
+        plan: &PositiveRulePlan,
+    ) -> Option<Vec<u64>> {
+        let row = self.salted_positive_row(eid, rule);
+        compose_row(row, plan)
+    }
+
+    fn salted_positive_row(&mut self, eid: usize, rule: &Rule) -> Vec<PredSigs> {
+        let e = self.group.entity(eid);
+        (0..rule.predicates.len())
+            .map(|pi| match self.positive_sigs(e, &rule.predicates[pi]) {
+                PredSigs::Sigs(s) => {
+                    let salt = mix64(pi as u64 + 1);
+                    PredSigs::Sigs(s.into_iter().map(|c| salted(salt, c)).collect())
+                }
+                other => other,
+            })
+            .collect()
+    }
+
+    /// Per-predicate signatures of `entity` for a negative rule, in
+    /// predicate order.
+    pub fn rule_sigs_negative(&mut self, entity: &Entity, rule: &Rule) -> Vec<PredSigs> {
+        debug_assert_eq!(rule.polarity, Polarity::Negative);
+        rule.predicates.iter().map(|p| self.negative_sigs(entity, p)).collect()
+    }
+
+    // ---- positive predicates --------------------------------------------
+
+    fn positive_sigs(&mut self, entity: &Entity, pred: &Predicate) -> PredSigs {
+        let value = entity.value(pred.attr);
+        let theta = pred.threshold;
+        match pred.func {
+            SimilarityFn::Overlap => {
+                let c = theta.ceil().max(0.0) as usize;
+                if c == 0 {
+                    return PredSigs::Trivial;
+                }
+                self.set_prefix_sigs(&value.tokens, c)
+            }
+            SimilarityFn::Jaccard | SimilarityFn::Dice | SimilarityFn::Cosine => {
+                if theta <= 0.0 {
+                    return PredSigs::Trivial;
+                }
+                if theta > 1.0 {
+                    return PredSigs::Sigs(Vec::new()); // unsatisfiable
+                }
+                if value.tokens.is_empty() {
+                    // An empty set only reaches θ > 0 against another empty
+                    // set (similarity 1 by convention): one shared marker.
+                    return PredSigs::Sigs(vec![mix64(0xE117)]);
+                }
+                let c = Self::set_overlap_bound(pred.func, theta, value.tokens.len());
+                self.set_prefix_sigs(&value.tokens, c)
+            }
+            SimilarityFn::EditDistance => {
+                // +ε: a float θ that *represents* an integer must not floor
+                // below it — a too-short prefix is a false dismissal.
+                let t = (theta + FP_EPS).floor().max(0.0) as usize;
+                self.gram_prefix_sigs(&value.text, t)
+            }
+            SimilarityFn::EditSimilarity => {
+                if theta <= 0.0 {
+                    return PredSigs::Trivial;
+                }
+                let len = value.text.chars().count();
+                if len == 0 {
+                    return PredSigs::Sigs(vec![mix64(0xE55)]);
+                }
+                // sim ≥ θ ⇒ d ≤ (1−θ)·|v|/θ (derived from max ≤ |v| + d).
+                // +ε: the quotient of an exactly-representable bound can
+                // land at 0.999…8 and floor a distance too low (observed:
+                // θ = 0.8, |v| = 4 → 0.9999999999999998).
+                let dmax =
+                    (((1.0 - theta) * len as f64 / theta) + FP_EPS).floor() as usize;
+                self.gram_prefix_sigs(&value.text, dmax)
+            }
+            SimilarityFn::Ontology => {
+                if theta <= 0.0 {
+                    return PredSigs::Trivial;
+                }
+                match value.node {
+                    None => PredSigs::Sigs(Vec::new()), // sim 0 < θ, never
+                    Some(node) => {
+                        let tm = self.tau_min_for(pred.attr, theta);
+                        let ont = self
+                            .group
+                            .ontology(pred.attr)
+                            .expect("mapped node implies ontology");
+                        let sig = node_signature(ont, node, tm);
+                        PredSigs::Sigs(vec![mix64(0x0e70 ^ u64::from(sig) << 8)])
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- negative predicates --------------------------------------------
+
+    fn negative_sigs(&mut self, entity: &Entity, pred: &Predicate) -> PredSigs {
+        let value = entity.value(pred.attr);
+        let sigma = pred.threshold;
+        match pred.func {
+            SimilarityFn::Overlap => {
+                // overlap ≤ σ: scheme at θ' = ⌊σ⌋ + 1; no share ⇒ ov ≤ σ.
+                if sigma < 0.0 {
+                    return PredSigs::Wildcard; // predicate can never hold
+                }
+                let c = sigma.floor() as usize + 1;
+                match self.set_prefix_sigs(&value.tokens, c) {
+                    // Too few tokens to ever reach overlap σ+1: the
+                    // predicate holds against everything.
+                    PredSigs::Sigs(s) if s.is_empty() => PredSigs::Sigs(Vec::new()),
+                    other => other,
+                }
+            }
+            SimilarityFn::Jaccard | SimilarityFn::Dice | SimilarityFn::Cosine => {
+                if sigma < 0.0 {
+                    return PredSigs::Wildcard;
+                }
+                if sigma >= 1.0 {
+                    return PredSigs::Sigs(Vec::new()); // f ≤ 1 always holds
+                }
+                if value.tokens.is_empty() {
+                    // Empty vs empty has similarity 1 > σ — must verify.
+                    return PredSigs::Sigs(vec![mix64(0xE117)]);
+                }
+                if sigma == 0.0 {
+                    // f ≤ 0 ⇔ no common token: every token is a signature.
+                    return PredSigs::Sigs(self.hash_tokens(&value.tokens));
+                }
+                let c = Self::set_overlap_bound(pred.func, sigma, value.tokens.len());
+                self.set_prefix_sigs(&value.tokens, c)
+            }
+            SimilarityFn::EditDistance => {
+                // d ≥ σ: scheme at θ' = ⌈σ⌉ − 1; no share ⇒ d > σ−1 ⇒ d ≥ σ.
+                let s = sigma.ceil() as i64 - 1;
+                if s < 0 {
+                    return PredSigs::Sigs(Vec::new()); // d ≥ σ ≤ 0 always
+                }
+                self.gram_prefix_sigs(&value.text, s as usize)
+            }
+            SimilarityFn::EditSimilarity => {
+                if sigma < 0.0 {
+                    return PredSigs::Wildcard;
+                }
+                if sigma >= 1.0 {
+                    return PredSigs::Sigs(Vec::new());
+                }
+                if sigma == 0.0 {
+                    return PredSigs::Wildcard; // sim ≤ 0 needs verification
+                }
+                let len = value.text.chars().count();
+                if len == 0 {
+                    return PredSigs::Sigs(vec![mix64(0xE55)]);
+                }
+                let dmax =
+                    (((1.0 - sigma) * len as f64 / sigma) + FP_EPS).floor() as usize;
+                self.gram_prefix_sigs(&value.text, dmax)
+            }
+            SimilarityFn::Ontology => {
+                if sigma < 0.0 {
+                    return PredSigs::Wildcard;
+                }
+                if sigma >= 1.0 {
+                    return PredSigs::Sigs(Vec::new());
+                }
+                match value.node {
+                    // Unmapped ⇒ similarity 0 ≤ σ against everything.
+                    None => PredSigs::Sigs(Vec::new()),
+                    Some(node) => {
+                        let tm = self.tau_min_for(pred.attr, sigma.max(f64::MIN_POSITIVE));
+                        let ont = self
+                            .group
+                            .ontology(pred.attr)
+                            .expect("mapped node implies ontology");
+                        let sig = node_signature(ont, node, tm);
+                        PredSigs::Sigs(vec![mix64(0x0e70 ^ u64::from(sig) << 8)])
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- helpers ---------------------------------------------------------
+
+    /// Per-value intersection lower bound implied by `f ≥ θ` for the
+    /// set-based similarity `func` on a value of `len` tokens.
+    fn set_overlap_bound(func: SimilarityFn, theta: f64, len: usize) -> usize {
+        let l = len as f64;
+        let raw = match func {
+            SimilarityFn::Jaccard => theta * l,
+            SimilarityFn::Dice => theta * l / 2.0,
+            SimilarityFn::Cosine => theta * theta * l,
+            _ => unreachable!("set_overlap_bound only serves set predicates"),
+        };
+        // −ε before ceil: rounding the bound *up* past its exact value
+        // would shorten the prefix below soundness; one too low merely
+        // lengthens it.
+        (((raw - FP_EPS).ceil() as usize).max(1)).max(1)
+    }
+
+    /// Prefix signatures for an intersection bound `c` on a token set.
+    fn set_prefix_sigs(&self, tokens: &[TokenId], c: usize) -> PredSigs {
+        let plen = overlap_prefix_len(tokens.len(), c);
+        if plen == 0 {
+            return PredSigs::Sigs(Vec::new());
+        }
+        let sorted = self.order.sorted(tokens);
+        PredSigs::Sigs(sorted[..plen].iter().map(|&t| mix64(0x70C ^ u64::from(t) << 8)).collect())
+    }
+
+    /// Hashes every token of a set (the σ = 0 full-set signature).
+    fn hash_tokens(&self, tokens: &[TokenId]) -> Vec<u64> {
+        tokens.iter().map(|&t| mix64(0x70C ^ u64::from(t) << 8)).collect()
+    }
+
+    /// q-gram prefix signatures for an edit-distance bound `t`.
+    fn gram_prefix_sigs(&self, text: &str, t: usize) -> PredSigs {
+        let grams = qgrams(text, Q);
+        match edit_prefix_len(grams.len(), Q, t) {
+            None => PredSigs::Wildcard,
+            Some(plen) => {
+                let mut hashed: Vec<u64> = grams.iter().map(|g| hash_str(g)).collect();
+                // Rarity order for grams: we approximate the global gram
+                // order by the hash itself, which is shared by all values —
+                // any fixed total order preserves the prefix guarantee.
+                hashed.sort_unstable();
+                hashed.truncate(plen);
+                PredSigs::Sigs(hashed)
+            }
+        }
+    }
+
+    /// `τ_min` for an ontology predicate: the minimum `τ_n` over every
+    /// mapped node of this attribute in the group (cached).
+    fn tau_min_for(&mut self, attr: usize, theta: f64) -> u32 {
+        let key = (attr, theta.to_bits());
+        if let Some(&t) = self.tau_cache.get(&key) {
+            return t;
+        }
+        let ont = self.group.ontology(attr);
+        let t = match ont {
+            None => 1,
+            Some(ont) if self.conservative_tau => {
+                // Any future entity could map to the shallowest node.
+                tau_min(theta, [ont.min_node_depth()])
+            }
+            Some(ont) => tau_min(
+                theta,
+                self.group
+                    .entities()
+                    .iter()
+                    .filter_map(|e| e.value(attr).node)
+                    .map(|n| ont.depth(n)),
+            ),
+        };
+        self.tau_cache.insert(key, t);
+        t
+    }
+}
+
+/// The predicate subset a positive rule's composite tuples are built from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PositiveRulePlan {
+    /// Indices into the rule's predicate list.
+    pub chosen: Vec<usize>,
+}
+
+/// Whether a predicate is satisfied by every pair regardless of values
+/// (threshold-only check — mirrors the `Trivial` signature outcomes).
+fn is_trivially_true(pred: &Predicate, polarity: Polarity) -> bool {
+    match (polarity, pred.func) {
+        (Polarity::Positive, SimilarityFn::Overlap) => pred.threshold <= 0.0,
+        (
+            Polarity::Positive,
+            SimilarityFn::Jaccard
+            | SimilarityFn::Dice
+            | SimilarityFn::Cosine
+            | SimilarityFn::EditSimilarity
+            | SimilarityFn::Ontology,
+        ) => pred.threshold <= 0.0,
+        _ => false,
+    }
+}
+
+/// Folds one entity's per-predicate signatures into composite tuples under
+/// a plan (see [`SigContext::positive_rule_signatures`] for the semantics
+/// of `None` / empty results).
+fn compose_row(row: Vec<PredSigs>, plan: &PositiveRulePlan) -> Option<Vec<u64>> {
+    if plan.chosen.is_empty() {
+        return None; // nothing to index on: brute force
+    }
+    // Unsatisfiable on ANY non-trivial predicate → never matches.
+    if row.iter().any(|p| matches!(p, PredSigs::Sigs(s) if s.is_empty())) {
+        return Some(Vec::new());
+    }
+    let mut parts: Vec<&Vec<u64>> = Vec::with_capacity(plan.chosen.len());
+    for &pi in &plan.chosen {
+        match &row[pi] {
+            PredSigs::Sigs(s) => parts.push(s),
+            // Wildcard on a chosen predicate, or trivial for this entity
+            // while informative for others: no sound tuple — brute force.
+            PredSigs::Wildcard | PredSigs::Trivial => return None,
+        }
+    }
+    // XOR cross product (order-independent), mixed at the end. Signatures
+    // are only comparable when every entity composes over the same
+    // predicate subset, so an entity whose cross product would blow the
+    // budget cannot simply emit fewer components — it becomes a wildcard
+    // and is verified against everything instead. (The batch planner sizes
+    // the subset so this cannot trigger; it protects the incremental path,
+    // whose plan is fixed before the data is seen.)
+    let product: usize = parts.iter().map(|p| p.len().max(1)).product();
+    if product > MAX_COMPOSITE {
+        return None;
+    }
+    let mut acc: Vec<u64> = vec![0];
+    for list in parts {
+        let mut next = Vec::with_capacity(acc.len() * list.len());
+        for &a in &acc {
+            for &c in list {
+                next.push(a ^ c);
+            }
+        }
+        acc = next;
+    }
+    let mut out: Vec<u64> = acc.into_iter().map(mix64).collect();
+    out.sort_unstable();
+    out.dedup();
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::{GroupBuilder, Schema};
+    use crate::rule::tests::{figure1_group, paper_rules};
+    use dime_text::TokenizerKind;
+    use proptest::prelude::*;
+
+    fn sigs(p: &PredSigs) -> &Vec<u64> {
+        match p {
+            PredSigs::Sigs(s) => s,
+            other => panic!("expected Sigs, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn positive_overlap_prefix_counts() {
+        let g = figure1_group();
+        let mut ctx = SigContext::new(&g);
+        let pred = Predicate::new(1, SimilarityFn::Overlap, 2.0);
+        // KATARA has 6 authors → prefix 6-2+1 = 5 signatures.
+        let s = ctx.predicate_sigs(g.entity(1), &pred, Polarity::Positive);
+        assert_eq!(sigs(&s).len(), 5);
+    }
+
+    #[test]
+    fn positive_overlap_unsatisfiable_for_short_values() {
+        let schema = Schema::new([("Authors", TokenizerKind::List(','))]);
+        let mut b = GroupBuilder::new(schema);
+        b.add_entity(&["solo author"]);
+        let g = b.build();
+        let mut ctx = SigContext::new(&g);
+        let pred = Predicate::new(0, SimilarityFn::Overlap, 2.0);
+        let s = ctx.predicate_sigs(g.entity(0), &pred, Polarity::Positive);
+        assert!(sigs(&s).is_empty());
+    }
+
+    #[test]
+    fn trivial_predicates_are_skipped() {
+        let g = figure1_group();
+        let mut ctx = SigContext::new(&g);
+        let pred = Predicate::new(1, SimilarityFn::Overlap, 0.0);
+        assert_eq!(ctx.predicate_sigs(g.entity(0), &pred, Polarity::Positive), PredSigs::Trivial);
+        // A rule of only trivial predicates indexes nothing → wildcard.
+        let rule = Rule::positive(vec![pred]);
+        assert!(ctx.positive_rule_signatures(&rule).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn negative_overlap_zero_uses_full_token_set() {
+        let g = figure1_group();
+        let mut ctx = SigContext::new(&g);
+        let pred = Predicate::new(1, SimilarityFn::Overlap, 0.0);
+        let s = ctx.predicate_sigs(g.entity(1), &pred, Polarity::Negative);
+        // θ' = 1 → prefix = all 6 authors.
+        assert_eq!(sigs(&s).len(), 6);
+    }
+
+    #[test]
+    fn ontology_node_signatures_match_for_same_field() {
+        let g = figure1_group();
+        let mut ctx = SigContext::new(&g);
+        let pred = Predicate::new(2, SimilarityFn::Ontology, 0.75);
+        // SIGMOD (entity 1) and VLDB (entity 2) and ICDE (entity 3) share a
+        // database node signature.
+        let s1 = sigs(&ctx.predicate_sigs(g.entity(1), &pred, Polarity::Positive)).clone();
+        let s2 = sigs(&ctx.predicate_sigs(g.entity(2), &pred, Polarity::Positive)).clone();
+        let s3 = sigs(&ctx.predicate_sigs(g.entity(3), &pred, Polarity::Positive)).clone();
+        assert_eq!(s1, s2);
+        assert_eq!(s1, s3);
+        // The chemistry venue maps elsewhere.
+        let s5 = sigs(&ctx.predicate_sigs(g.entity(5), &pred, Polarity::Positive)).clone();
+        assert_ne!(s1, s5);
+    }
+
+    #[test]
+    fn composite_rule_signatures_pair_scholar_entities() {
+        let g = figure1_group();
+        let (pos, _) = paper_rules();
+        let mut ctx = SigContext::new(&g);
+        // ϕ2+ (overlap ≥ 1 ∧ ontology ≥ 0.75): entities 1 and 3 share the
+        // (nan tang, database) tuple.
+        let all = ctx.positive_rule_signatures(&pos[1]);
+        let s1 = all[1].as_ref().unwrap();
+        let s3 = all[3].as_ref().unwrap();
+        assert!(s1.iter().any(|x| s3.contains(x)), "composite tuples must intersect");
+        // Entities 1 and 4 (NJ Tang / information retrieval) share nothing.
+        let s4 = all[4].as_ref().unwrap();
+        assert!(!s1.iter().any(|x| s4.contains(x)));
+    }
+
+    /// The filter-completeness property over the paper's group: whenever a
+    /// positive rule matches a pair, the composite signature sets intersect.
+    #[test]
+    fn positive_filter_complete_on_figure1() {
+        let g = figure1_group();
+        let (pos, _) = paper_rules();
+        let mut ctx = SigContext::new(&g);
+        for rule in &pos {
+            let all = ctx.positive_rule_signatures(rule);
+            for i in 0..g.len() {
+                for j in i + 1..g.len() {
+                    if rule.eval(&g, g.entity(i), g.entity(j)) {
+                        match (&all[i], &all[j]) {
+                            (Some(a), Some(b)) => {
+                                assert!(
+                                    a.iter().any(|x| b.contains(x)),
+                                    "pair ({i},{j}) satisfies {rule} but sigs disjoint"
+                                );
+                            }
+                            _ => {} // wildcard: always a candidate
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The negative soundness property: per-predicate disjoint signatures
+    /// imply the negative rule holds.
+    #[test]
+    fn negative_filter_sound_on_figure1() {
+        let g = figure1_group();
+        let (_, neg) = paper_rules();
+        let mut ctx = SigContext::new(&g);
+        for rule in &neg {
+            let all: Vec<Vec<PredSigs>> =
+                g.entities().iter().map(|e| ctx.rule_sigs_negative(e, rule)).collect();
+            for i in 0..g.len() {
+                for j in 0..g.len() {
+                    if i == j {
+                        continue;
+                    }
+                    let disjoint_everywhere =
+                        all[i].iter().zip(all[j].iter()).all(|(a, b)| match (a, b) {
+                            (PredSigs::Sigs(a), PredSigs::Sigs(b)) => {
+                                !a.iter().any(|x| b.contains(x))
+                            }
+                            _ => false, // wildcard/trivial: cannot conclude
+                        });
+                    if disjoint_everywhere {
+                        assert!(
+                            rule.eval(&g, g.entity(i), g.entity(j)),
+                            "pair ({i},{j}) had disjoint sigs but {rule} does not hold"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Regression: edit-similarity bounds at exact thresholds must not
+    /// floor below the true distance bound (observed false dismissal:
+    /// "lihu" vs "l ihu" at θ = 0.8 — sim exactly 0.8, d = 1, but
+    /// (1−0.8)·4/0.8 evaluates to 0.9999999999999998).
+    #[test]
+    fn edit_similarity_boundary_is_not_dismissed() {
+        let schema = Schema::new([("Name", TokenizerKind::Words)]);
+        let mut b = GroupBuilder::new(schema);
+        b.add_entity(&["lihu"]);
+        b.add_entity(&["l ihu"]);
+        let g = b.build();
+        let pred = Predicate::new(0, SimilarityFn::EditSimilarity, 0.8);
+        assert!(pred.eval(&g, g.entity(0), g.entity(1), Polarity::Positive));
+        let rule = Rule::positive(vec![pred]);
+        let mut ctx = SigContext::new(&g);
+        let all = ctx.positive_rule_signatures(&rule);
+        match (&all[0], &all[1]) {
+            (Some(a), Some(b)) => {
+                assert!(a.iter().any(|x| b.contains(x)), "boundary pair must share a signature");
+            }
+            _ => {} // wildcard would also be sound
+        }
+    }
+
+    proptest! {
+        /// Filter completeness for every set-based similarity family:
+        /// whenever the positive predicate holds, signature sets intersect.
+        #[test]
+        fn prop_set_family_filters_complete(
+            lists in proptest::collection::vec(proptest::collection::vec(0u32..15, 1..8), 2..10),
+            theta in 0.05f64..0.95,
+        ) {
+            let schema = Schema::new([("A", TokenizerKind::List(','))]);
+            let mut b = GroupBuilder::new(schema);
+            for l in &lists {
+                let joined: Vec<String> = l.iter().map(|x| format!("t{x}")).collect();
+                b.add_entity(&[joined.join(", ").as_str()]);
+            }
+            let g = b.build();
+            let mut ctx = SigContext::new(&g);
+            for func in [SimilarityFn::Jaccard, SimilarityFn::Dice, SimilarityFn::Cosine] {
+                let pred = Predicate::new(0, func, theta);
+                let rule = Rule::positive(vec![pred]);
+                let all = ctx.positive_rule_signatures(&rule);
+                for i in 0..g.len() {
+                    for j in i + 1..g.len() {
+                        let sim = pred.similarity(&g, g.entity(i), g.entity(j));
+                        if sim >= theta {
+                            match (&all[i], &all[j]) {
+                                (Some(a), Some(b)) => prop_assert!(
+                                    a.iter().any(|x| b.contains(x)),
+                                    "{func:?} sim {sim} ≥ {theta} but sigs disjoint"
+                                ),
+                                _ => {} // wildcard is always a candidate
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Negative ontology soundness on a random tree: per-predicate
+        /// signature disjointness implies the predicate holds.
+        #[test]
+        fn prop_ontology_negative_sound(
+            assignments in proptest::collection::vec(0usize..12, 2..10),
+            sigma in 0.05f64..0.95,
+        ) {
+            use dime_ontology::Ontology;
+            use std::sync::Arc;
+            let mut ont = Ontology::new("root");
+            let mut nodes = Vec::new();
+            for f in 0..3 {
+                for s in 0..2 {
+                    for v in 0..2 {
+                        nodes.push(ont.add_path(&[
+                            &format!("f{f}"), &format!("s{f}{s}"), &format!("v{f}{s}{v}"),
+                        ]));
+                    }
+                }
+            }
+            let schema = Schema::new([("V", TokenizerKind::Whole)]);
+            let mut b = GroupBuilder::new(schema);
+            b.attach_ontology("V", Arc::new(ont));
+            for (i, &a) in assignments.iter().enumerate() {
+                let _ = a;
+                b.add_entity(&[format!("value-{i}").as_str()]);
+            }
+            let mut g = b.build();
+            // Assign nodes directly (the Whole values never auto-map).
+            // Rebuild with explicit nodes instead.
+            let mut b2 = GroupBuilder::new(Schema::new([("V", TokenizerKind::Whole)]));
+            let mut ont2 = Ontology::new("root");
+            let mut nodes2 = Vec::new();
+            for f in 0..3 {
+                for s in 0..2 {
+                    for v in 0..2 {
+                        nodes2.push(ont2.add_path(&[
+                            &format!("f{f}"), &format!("s{f}{s}"), &format!("v{f}{s}{v}"),
+                        ]));
+                    }
+                }
+            }
+            b2.attach_ontology("V", Arc::new(ont2));
+            for (i, &a) in assignments.iter().enumerate() {
+                b2.add_entity_with_nodes(
+                    &[format!("value-{i}").as_str()],
+                    &[Some(nodes2[a % nodes2.len()])],
+                );
+            }
+            g = b2.build();
+            let mut ctx = SigContext::new(&g);
+            let pred = Predicate::new(0, SimilarityFn::Ontology, sigma);
+            let rule = Rule::negative(vec![pred]);
+            let all: Vec<Vec<PredSigs>> =
+                g.entities().iter().map(|e| ctx.rule_sigs_negative(e, &rule)).collect();
+            for i in 0..g.len() {
+                for j in 0..g.len() {
+                    if i == j { continue; }
+                    let disjoint = match (&all[i][0], &all[j][0]) {
+                        (PredSigs::Sigs(a), PredSigs::Sigs(b)) => !a.iter().any(|x| b.contains(x)),
+                        _ => false,
+                    };
+                    if disjoint {
+                        prop_assert!(
+                            rule.eval(&g, g.entity(i), g.entity(j)),
+                            "disjoint node sigs but ontology sim > {sigma}"
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Same two properties on random author-list groups.
+        #[test]
+        fn prop_filter_properties_random(lists in proptest::collection::vec(
+            proptest::collection::vec(0u32..12, 0..6), 2..12), theta in 1usize..4) {
+            let schema = Schema::new([("Authors", TokenizerKind::List(','))]);
+            let mut b = GroupBuilder::new(schema);
+            for l in &lists {
+                let joined: Vec<String> = l.iter().map(|x| format!("a{x}")).collect();
+                b.add_entity(&[joined.join(", ").as_str()]);
+            }
+            let g = b.build();
+            let mut ctx = SigContext::new(&g);
+            let pos = Rule::positive(vec![Predicate::new(0, SimilarityFn::Overlap, theta as f64)]);
+            let neg = Rule::negative(vec![Predicate::new(0, SimilarityFn::Overlap, theta as f64 - 1.0)]);
+            let psigs = ctx.positive_rule_signatures(&pos);
+            let nsigs: Vec<_> = g.entities().iter().map(|e| ctx.rule_sigs_negative(e, &neg)).collect();
+            for i in 0..g.len() {
+                for j in 0..g.len() {
+                    if i == j { continue; }
+                    if pos.eval(&g, g.entity(i), g.entity(j)) {
+                        if let (Some(a), Some(b)) = (&psigs[i], &psigs[j]) {
+                            prop_assert!(a.iter().any(|x| b.contains(x)));
+                        }
+                    }
+                    let disjoint = nsigs[i].iter().zip(nsigs[j].iter()).all(|(a, b)| match (a, b) {
+                        (PredSigs::Sigs(a), PredSigs::Sigs(b)) => !a.iter().any(|x| b.contains(x)),
+                        _ => false,
+                    });
+                    if disjoint {
+                        prop_assert!(neg.eval(&g, g.entity(i), g.entity(j)));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Partition statistics (paper Table I, Exp-4).
+//!
+//! After step 1 of DIME, partitions are bucketed by size — `[1, 10)`,
+//! `[10, 100)`, `[100, 1000)`, … — and for every bucket we report how many
+//! partitions fall into it, how many entities they contain, and how many of
+//! those entities are (per ground truth) mis-categorized. The paper uses
+//! this to show that conservative positive rules isolate almost all errors
+//! inside small partitions.
+
+use std::collections::HashSet;
+
+/// Statistics of one partition-size bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BucketStats {
+    /// Number of partitions whose size falls in this bucket.
+    pub partitions: usize,
+    /// Total entities across those partitions.
+    pub entities: usize,
+    /// How many of those entities are truly mis-categorized.
+    pub errors: usize,
+}
+
+/// Decade bucket boundaries: bucket `i` covers sizes `[10^i, 10^(i+1))`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionStats {
+    buckets: Vec<BucketStats>,
+}
+
+impl PartitionStats {
+    /// Computes the bucketed statistics of `partitions` against the ground
+    /// truth set of mis-categorized entity ids.
+    pub fn compute(partitions: &[Vec<usize>], truth_errors: &HashSet<usize>) -> Self {
+        let mut buckets: Vec<BucketStats> = Vec::new();
+        for part in partitions {
+            let b = Self::bucket_of(part.len());
+            if buckets.len() <= b {
+                buckets.resize(b + 1, BucketStats::default());
+            }
+            buckets[b].partitions += 1;
+            buckets[b].entities += part.len();
+            buckets[b].errors += part.iter().filter(|e| truth_errors.contains(e)).count();
+        }
+        Self { buckets }
+    }
+
+    /// The bucket index for a partition of `size` entities:
+    /// `floor(log10(size))`, with empty partitions (which should not occur)
+    /// in bucket 0.
+    pub fn bucket_of(size: usize) -> usize {
+        if size == 0 {
+            return 0;
+        }
+        (size as f64).log10().floor() as usize
+    }
+
+    /// Stats of bucket `i` (`[10^i, 10^(i+1))`); zero stats if absent.
+    pub fn bucket(&self, i: usize) -> BucketStats {
+        self.buckets.get(i).copied().unwrap_or_default()
+    }
+
+    /// Number of trailing buckets present.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Iterates `(bucket_index, stats)` for all buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, BucketStats)> + '_ {
+        self.buckets.iter().copied().enumerate()
+    }
+
+    /// Fraction of all errors that live in partitions of size < 10 — the
+    /// headline claim of Table I. Returns 1.0 when there are no errors.
+    pub fn small_partition_error_fraction(&self) -> f64 {
+        let total: usize = self.buckets.iter().map(|b| b.errors).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        self.bucket(0).errors as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(PartitionStats::bucket_of(1), 0);
+        assert_eq!(PartitionStats::bucket_of(9), 0);
+        assert_eq!(PartitionStats::bucket_of(10), 1);
+        assert_eq!(PartitionStats::bucket_of(99), 1);
+        assert_eq!(PartitionStats::bucket_of(100), 2);
+        assert_eq!(PartitionStats::bucket_of(999), 2);
+    }
+
+    #[test]
+    fn compute_matches_divyakant_style_layout() {
+        // 3 small partitions (two w/ errors), 1 medium, 1 large clean.
+        let partitions = vec![
+            vec![0],
+            vec![1, 2],
+            vec![3, 4, 5],
+            (6..36).map(|x| x).collect::<Vec<_>>(),
+            (36..186).collect::<Vec<_>>(),
+        ];
+        let errors: HashSet<usize> = [0, 1, 7].into_iter().collect();
+        let s = PartitionStats::compute(&partitions, &errors);
+        assert_eq!(s.bucket(0), BucketStats { partitions: 3, entities: 6, errors: 2 });
+        assert_eq!(s.bucket(1), BucketStats { partitions: 1, entities: 30, errors: 1 });
+        assert_eq!(s.bucket(2), BucketStats { partitions: 1, entities: 150, errors: 0 });
+    }
+
+    #[test]
+    fn error_fraction() {
+        let partitions = vec![vec![0], (1..12).collect::<Vec<_>>()];
+        let errors: HashSet<usize> = [0, 1].into_iter().collect();
+        let s = PartitionStats::compute(&partitions, &errors);
+        assert!((s.small_partition_error_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_errors_fraction_is_one() {
+        let s = PartitionStats::compute(&[vec![0]], &HashSet::new());
+        assert_eq!(s.small_partition_error_fraction(), 1.0);
+    }
+}

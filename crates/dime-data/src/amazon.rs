@@ -1,0 +1,572 @@
+//! Synthetic Amazon product categories (DESIGN.md substitution for the
+//! McAuley product dump).
+//!
+//! Products inside a category form overlapping *co-purchase cliques*: each
+//! product's `Also_bought` / `Also_viewed` lists reference ASINs of its own
+//! clique plus a couple from a neighbouring clique, so correct products
+//! chain into one large pivot partition under the paper's positive rules
+//! `ϕ₃⁺…ϕ₅⁺`. Descriptions are bags of words drawn from per-category theme
+//! vocabularies, and the `Description` ontology is learned at build time
+//! with LDA, exactly as the paper does.
+//!
+//! Error injection (paper Section VI-A): products of *sibling* categories
+//! are moved into the group at rate `e%`. Easy errors keep their foreign
+//! co-purchase lists and foreign descriptions; *hard* errors — whose share
+//! grows with `e%` — additionally pick up a couple of target-category
+//! `Also_viewed` ASINs and mix target-theme words into their descriptions,
+//! which is what drags every method's recall down at high error rates.
+
+use crate::types::LabeledGroup;
+use crate::vocab::{GENERIC_PRODUCT_WORDS, PRODUCT_CATEGORIES};
+use dime_core::{GroupBuilder, Predicate, Rule, Schema, SimilarityFn};
+use dime_ontology::{NodeId, Ontology, ThemeModel};
+use dime_text::TokenizerKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
+use std::sync::Arc;
+
+/// Attribute indices of the Amazon schema.
+pub mod attr {
+    /// Product id.
+    pub const ASIN: usize = 0;
+    /// Product name.
+    pub const TITLE: usize = 1;
+    /// Brand name.
+    pub const BRAND: usize = 2;
+    /// ASINs bought together with this one.
+    pub const ALSO_BOUGHT: usize = 3;
+    /// ASINs viewed together with this one.
+    pub const ALSO_VIEWED: usize = 4;
+    /// ASINs in the same checkout basket.
+    pub const BOUGHT_TOGETHER: usize = 5;
+    /// ASINs bought after viewing this one.
+    pub const BUY_AFTER_VIEWING: usize = 6;
+    /// Free-text description (ontology learned by LDA).
+    pub const DESCRIPTION: usize = 7;
+}
+
+/// Configuration of one synthetic category group.
+#[derive(Debug, Clone)]
+pub struct AmazonConfig {
+    /// Index into [`PRODUCT_CATEGORIES`] for the target category.
+    pub category: usize,
+    /// Number of correctly categorized products.
+    pub products: usize,
+    /// Error rate `e` in `[0, 1)`: fraction of the final group that is
+    /// mis-categorized.
+    pub error_rate: f64,
+    /// Co-purchase clique size.
+    pub clique: usize,
+    /// Niche correct products: tiny isolated co-purchase cliques with
+    /// short, ambiguous descriptions — the realistic false-positive source
+    /// that keeps DIME's precision below 1.0.
+    pub niche: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl AmazonConfig {
+    /// A category of `products` correct entities at error rate `e`.
+    pub fn new(category: usize, products: usize, error_rate: f64, seed: u64) -> Self {
+        Self { category, products, error_rate, clique: 8, niche: (products / 20).max(2), seed }
+    }
+
+    /// Number of mis-categorized products to inject so the final group has
+    /// the configured error rate.
+    pub fn n_errors(&self) -> usize {
+        ((self.products as f64 * self.error_rate) / (1.0 - self.error_rate)).round() as usize
+    }
+}
+
+/// The Amazon relation schema (8 attributes, like the dump).
+pub fn amazon_schema() -> Schema {
+    Schema::new([
+        ("Asin", TokenizerKind::Whole),
+        ("Title", TokenizerKind::Words),
+        ("Brand", TokenizerKind::Whole),
+        ("Also_bought", TokenizerKind::List(',')),
+        ("Also_viewed", TokenizerKind::List(',')),
+        ("Bought_together", TokenizerKind::List(',')),
+        ("Buy_after_viewing", TokenizerKind::List(',')),
+        ("Description", TokenizerKind::Words),
+    ])
+}
+
+/// The paper's Amazon rule set (Section VI-A):
+///
+/// * `ϕ₃⁺: f_ov(Also_bought) ≥ 2 ∧ f_ov(Also_viewed) ≥ 2`
+/// * `ϕ₄⁺: f_ov(Bought_together) ≥ 1 ∧ f_on(Description) ≥ 0.75`
+/// * `ϕ₅⁺: f_ov(Buy_after_viewing) ≥ 1 ∧ f_on(Description) ≥ 0.75`
+/// * `φ₄⁻: f_ov(Also_bought) = 0 ∧ f_on(Description) ≤ 0.5`
+/// * `φ₅⁻: f_ov(Also_viewed) = 0 ∧ f_on(Description) ≤ 0.5`
+pub fn amazon_rules() -> (Vec<Rule>, Vec<Rule>) {
+    let positive = vec![
+        Rule::positive(vec![
+            Predicate::new(attr::ALSO_BOUGHT, SimilarityFn::Overlap, 2.0),
+            Predicate::new(attr::ALSO_VIEWED, SimilarityFn::Overlap, 2.0),
+        ]),
+        Rule::positive(vec![
+            Predicate::new(attr::BOUGHT_TOGETHER, SimilarityFn::Overlap, 1.0),
+            Predicate::new(attr::DESCRIPTION, SimilarityFn::Ontology, 0.75),
+        ]),
+        Rule::positive(vec![
+            Predicate::new(attr::BUY_AFTER_VIEWING, SimilarityFn::Overlap, 1.0),
+            Predicate::new(attr::DESCRIPTION, SimilarityFn::Ontology, 0.75),
+        ]),
+    ];
+    let negative = vec![
+        Rule::negative(vec![
+            Predicate::new(attr::ALSO_BOUGHT, SimilarityFn::Overlap, 0.0),
+            Predicate::new(attr::DESCRIPTION, SimilarityFn::Ontology, 0.5),
+        ]),
+        Rule::negative(vec![
+            Predicate::new(attr::ALSO_VIEWED, SimilarityFn::Overlap, 0.0),
+            Predicate::new(attr::DESCRIPTION, SimilarityFn::Ontology, 0.5),
+        ]),
+    ];
+    (positive, negative)
+}
+
+/// The corpus-level description theme model: fitted once on a balanced
+/// background corpus of descriptions from every catalog category, one
+/// super-theme per category. Groups map their products' descriptions into
+/// it by fold-in inference (the paper's LDA hierarchies are corpus-level).
+pub struct DescriptionModel {
+    model: ThemeModel,
+    ontology: Arc<Ontology>,
+    vocab: HashMap<String, u32>,
+}
+
+impl DescriptionModel {
+    /// The process-wide shared instance (deterministic).
+    pub fn shared() -> &'static DescriptionModel {
+        static MODEL: OnceLock<DescriptionModel> = OnceLock::new();
+        MODEL.get_or_init(DescriptionModel::build)
+    }
+
+    fn build() -> Self {
+        let mut rng = StdRng::seed_from_u64(0xde5c);
+        let mut vocab: HashMap<String, u32> = HashMap::new();
+        let mut docs: Vec<Vec<u32>> = Vec::new();
+        let mut labels: Vec<usize> = Vec::new();
+        for (ci, cat) in PRODUCT_CATEGORIES.iter().enumerate() {
+            let v = DescVocab::of(cat);
+            for i in 0..120 {
+                let len = rng.gen_range(15..25);
+                let text = v.sample(&mut rng, i, len, None, 0.0);
+                let doc: Vec<u32> = dime_text::tokenize_words(&text)
+                    .into_iter()
+                    .map(|w| {
+                        let next = vocab.len() as u32;
+                        *vocab.entry(w).or_insert(next)
+                    })
+                    .collect();
+                docs.push(doc);
+                labels.push(ci);
+            }
+        }
+        let model = ThemeModel::fit_with_labels(
+            &docs,
+            &labels,
+            vocab.len(),
+            2 * PRODUCT_CATEGORIES.len(),
+            0xa3a,
+        );
+        let ontology = Arc::new(model.ontology().clone());
+        Self { model, ontology, vocab }
+    }
+
+    /// The description hierarchy (root → category super-theme → topic).
+    pub fn ontology(&self) -> Arc<Ontology> {
+        Arc::clone(&self.ontology)
+    }
+
+    /// Maps a description to its theme node; `None` when no word is known.
+    pub fn assign(&self, description: &str) -> Option<NodeId> {
+        let words: Vec<u32> = dime_text::tokenize_words(description)
+            .iter()
+            .filter_map(|w| self.vocab.get(w).copied())
+            .collect();
+        if words.is_empty() {
+            None
+        } else {
+            Some(self.model.assign(&words))
+        }
+    }
+}
+
+struct ProductRow {
+    asin: String,
+    title: String,
+    brand: String,
+    also_bought: String,
+    also_viewed: String,
+    bought_together: String,
+    buy_after_viewing: String,
+    description: String,
+    mis_categorized: bool,
+}
+
+/// Samples a product title: ~40% generic catalog words, the rest from the
+/// category pool.
+fn product_title(rng: &mut StdRng, pool: &[&str]) -> String {
+    let len = rng.gen_range(4..7);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.4) {
+                GENERIC_PRODUCT_WORDS[rng.gen_range(0..GENERIC_PRODUCT_WORDS.len())]
+            } else {
+                pool[rng.gen_range(0..pool.len())]
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn make_asin(category: usize, idx: usize) -> String {
+    format!("b{category:02x}{idx:06x}")
+}
+
+/// Draws `n` distinct ASINs from a clique-biased pool: mostly the own
+/// clique, occasionally the next clique over.
+fn co_purchase_list(
+    rng: &mut StdRng,
+    asins: &[String],
+    clique: usize,
+    clique_size: usize,
+    n: usize,
+    cross: usize,
+) -> Vec<String> {
+    let n_cliques = asins.len().div_ceil(clique_size).max(1);
+    let mut picked: HashSet<usize> = HashSet::new();
+    let mut out = Vec::with_capacity(n + cross);
+    let from_clique = |rng: &mut StdRng, c: usize, picked: &mut HashSet<usize>| {
+        let lo = (c % n_cliques) * clique_size;
+        let hi = (lo + clique_size).min(asins.len());
+        if lo >= hi {
+            return None;
+        }
+        for _ in 0..8 {
+            let i = rng.gen_range(lo..hi);
+            if picked.insert(i) {
+                return Some(i);
+            }
+        }
+        None
+    };
+    for _ in 0..n {
+        if let Some(i) = from_clique(rng, clique, &mut picked) {
+            out.push(asins[i].clone());
+        }
+    }
+    for _ in 0..cross {
+        if let Some(i) = from_clique(rng, clique + 1, &mut picked) {
+            out.push(asins[i].clone());
+        }
+    }
+    out
+}
+
+/// The vocabulary structure of one category's descriptions: a shared
+/// *core* pool (the first half of each theme list) and per-theme specific
+/// pools (the second halves). Category documents mix core and specific
+/// words, so LDA reliably groups them under one top-level theme and splits
+/// the sub-themes below it.
+struct DescVocab {
+    core: Vec<&'static str>,
+    specific: Vec<Vec<&'static str>>,
+}
+
+impl DescVocab {
+    fn of(cat: &crate::vocab::ProductCategory) -> Self {
+        let mut core = Vec::new();
+        let mut specific = Vec::new();
+        for theme in cat.themes {
+            let half = theme.len() / 2;
+            core.extend_from_slice(&theme[..half]);
+            specific.push(theme[half..].to_vec());
+        }
+        Self { core, specific }
+    }
+
+    /// Samples a description of `len` words for sub-theme `theme`:
+    /// `foreign_mix` of the words come from `foreign.core` instead.
+    fn sample(
+        &self,
+        rng: &mut StdRng,
+        theme: usize,
+        len: usize,
+        foreign: Option<&DescVocab>,
+        foreign_mix: f64,
+    ) -> String {
+        let spec = &self.specific[theme % self.specific.len()];
+        let mut words = Vec::with_capacity(len);
+        for _ in 0..len {
+            // A quarter of description words are generic catalog filler.
+            if rng.gen_bool(0.25) {
+                words.push(GENERIC_PRODUCT_WORDS[rng.gen_range(0..GENERIC_PRODUCT_WORDS.len())]);
+                continue;
+            }
+            if let Some(f) = foreign {
+                if rng.gen::<f64>() < foreign_mix {
+                    words.push(f.core[rng.gen_range(0..f.core.len())]);
+                    continue;
+                }
+            }
+            let pool: &[&str] = if rng.gen_bool(0.5) { &self.core } else { spec };
+            words.push(pool[rng.gen_range(0..pool.len())]);
+        }
+        words.join(" ")
+    }
+}
+
+/// Generates one synthetic Amazon category with injected mis-categorized
+/// products.
+pub fn amazon_category(cfg: &AmazonConfig) -> LabeledGroup {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let cat = &PRODUCT_CATEGORIES[cfg.category % PRODUCT_CATEGORIES.len()];
+    let n_errors = cfg.n_errors();
+
+    // Sibling category (same department first, else any other).
+    let sibling_idx = PRODUCT_CATEGORIES
+        .iter()
+        .enumerate()
+        .find(|(i, c)| *i != cfg.category && c.department == cat.department)
+        .map(|(i, _)| i)
+        .unwrap_or((cfg.category + 1) % PRODUCT_CATEGORIES.len());
+    let sibling = &PRODUCT_CATEGORIES[sibling_idx];
+
+    // ASIN pools. Correct products reference the target pool; errors
+    // reference their own foreign pool.
+    let own_asins: Vec<String> = (0..cfg.products).map(|i| make_asin(cfg.category, i)).collect();
+    let foreign_asins: Vec<String> =
+        (0..n_errors.max(cfg.clique)).map(|i| make_asin(sibling_idx + 0x40, i)).collect();
+    // Hard errors co-purchase within their own pool: if they shared cliques
+    // with easy errors, partition-level flagging would sweep them up via an
+    // easy clique-mate.
+    let hard_asins: Vec<String> =
+        (0..n_errors.max(cfg.clique)).map(|i| make_asin(sibling_idx + 0x60, i)).collect();
+
+    let brands = ["acme", "zenbrand", "nordix", "kaiko", "verra", "optilon"];
+    let own_vocab = DescVocab::of(cat);
+    let foreign_vocab = DescVocab::of(sibling);
+    let mut rows: Vec<ProductRow> =
+        Vec::with_capacity(cfg.products + cfg.niche * 3 + n_errors);
+
+    for (i, asin) in own_asins.iter().enumerate() {
+        let clique = i / cfg.clique;
+        rows.push(ProductRow {
+            asin: asin.clone(),
+            title: product_title(&mut rng, cat.title_words),
+            brand: brands[rng.gen_range(0..brands.len())].to_owned(),
+            also_bought: co_purchase_list(&mut rng, &own_asins, clique, cfg.clique, 5, 3).join(", "),
+            also_viewed: co_purchase_list(&mut rng, &own_asins, clique, cfg.clique, 5, 3).join(", "),
+            bought_together: co_purchase_list(&mut rng, &own_asins, clique, cfg.clique, 2, 1).join(", "),
+            buy_after_viewing: co_purchase_list(&mut rng, &own_asins, clique, cfg.clique, 2, 1).join(", "),
+            description: {
+                let len = rng.gen_range(15..25);
+                own_vocab.sample(&mut rng, i, len, None, 0.0)
+            },
+            mis_categorized: false,
+        });
+    }
+
+    // Niche correct products: tiny isolated co-purchase cliques. Most have
+    // ordinary category descriptions — invisible to DIME's negative rules
+    // (the description ontology keeps them near the pivot) but flagged by
+    // clustering baselines, which only see their relational isolation. The
+    // first clique additionally has short, vocabulary-ambiguous
+    // descriptions whose theme assignment is noisy: those are the false
+    // positives DIME itself pays, like the paper's.
+    let niche_asins: Vec<String> =
+        (0..cfg.niche * 3).map(|i| make_asin(cfg.category + 0x20, i)).collect();
+    for i in 0..cfg.niche * 3 {
+        let clique = i / 3;
+        let ambiguous = clique == 0;
+        rows.push(ProductRow {
+            asin: niche_asins[i].clone(),
+            title: product_title(&mut rng, cat.title_words),
+            brand: brands[rng.gen_range(0..brands.len())].to_owned(),
+            also_bought: co_purchase_list(&mut rng, &niche_asins, clique, 3, 2, 0).join(", "),
+            also_viewed: co_purchase_list(&mut rng, &niche_asins, clique, 3, 2, 0).join(", "),
+            bought_together: co_purchase_list(&mut rng, &niche_asins, clique, 3, 1, 0).join(", "),
+            buy_after_viewing: co_purchase_list(&mut rng, &niche_asins, clique, 3, 1, 0).join(", "),
+            description: if ambiguous {
+                let len = rng.gen_range(5..9);
+                own_vocab.sample(&mut rng, i, len, Some(&foreign_vocab), 0.5)
+            } else {
+                let len = rng.gen_range(15..25);
+                own_vocab.sample(&mut rng, i, len, None, 0.0)
+            },
+            mis_categorized: false,
+        });
+    }
+
+    // Hard-error share grows with the error rate (paper Exp-2: at higher e%
+    // injected products have more similar buying behaviour/description).
+    let hard_frac = (cfg.error_rate * 0.5).min(0.35);
+    for i in 0..n_errors {
+        let clique = i / cfg.clique;
+        let hard = rng.gen::<f64>() < hard_frac;
+        let pool = if hard { &hard_asins } else { &foreign_asins };
+        let mut also_bought = co_purchase_list(&mut rng, pool, clique, cfg.clique, 4, 0);
+        let mut also_viewed = co_purchase_list(&mut rng, pool, clique, cfg.clique, 4, 0);
+        if !hard && rng.gen_bool(0.3) {
+            // Spillover co-view: shoppers browsing the (wrong) category view
+            // a target product too. One link is far below ϕ₃⁺'s ≥2 ∧ ≥2
+            // join requirement and the ∃-pair negative filter shrugs it
+            // off, but relational clustering happily merges on it.
+            let tc = rng.gen_range(0..4);
+            also_viewed.extend(co_purchase_list(&mut rng, &own_asins, tc, cfg.clique, 1, 0));
+        }
+        let mut desc_mix = 0.0;
+        if hard {
+            // Cross-category co-purchases in *both* link lists defeat both
+            // negative rules (each needs a zero overlap), and the mixed
+            // description often lands in the target theme — these are the
+            // injected products that stay undetected at high e%.
+            if rng.gen_bool(0.5) {
+                let tc1 = rng.gen_range(0..4);
+                also_bought
+                    .extend(co_purchase_list(&mut rng, &own_asins, tc1, cfg.clique, 1, 0));
+                let tc2 = rng.gen_range(0..4);
+                also_viewed
+                    .extend(co_purchase_list(&mut rng, &own_asins, tc2, cfg.clique, 1, 0));
+            }
+            desc_mix = 0.75;
+        }
+        rows.push(ProductRow {
+            asin: make_asin(sibling_idx + 0x80, i),
+            title: product_title(&mut rng, sibling.title_words),
+            brand: brands[rng.gen_range(0..brands.len())].to_owned(),
+            also_bought: also_bought.join(", "),
+            also_viewed: also_viewed.join(", "),
+            bought_together: co_purchase_list(&mut rng, pool, clique, cfg.clique, 2, 0).join(", "),
+            buy_after_viewing: co_purchase_list(&mut rng, pool, clique, cfg.clique, 2, 0).join(", "),
+            description: {
+                let len = rng.gen_range(15..25);
+                foreign_vocab.sample(&mut rng, i, len, Some(&own_vocab), desc_mix)
+            },
+            mis_categorized: true,
+        });
+    }
+
+    // Shuffle so ids carry no signal.
+    for i in (1..rows.len()).rev() {
+        rows.swap(i, rng.gen_range(0..=i));
+    }
+
+    // Map descriptions into the corpus-level theme model (one super-theme
+    // per catalog category).
+    let desc_model = DescriptionModel::shared();
+    let desc_ont = desc_model.ontology();
+    let desc_nodes: Vec<Option<NodeId>> =
+        rows.iter().map(|r| desc_model.assign(&r.description)).collect();
+
+    let mut b = GroupBuilder::new(amazon_schema());
+    b.attach_ontology("Description", Arc::clone(&desc_ont));
+    let mut truth = HashSet::new();
+    for (i, row) in rows.iter().enumerate() {
+        let nodes = [None, None, None, None, None, None, None, desc_nodes[i]];
+        let id = b.add_entity_with_nodes(
+            &[
+                &row.asin,
+                &row.title,
+                &row.brand,
+                &row.also_bought,
+                &row.also_viewed,
+                &row.bought_together,
+                &row.buy_after_viewing,
+                &row.description,
+            ],
+            &nodes,
+        );
+        if row.mis_categorized {
+            truth.insert(id);
+        }
+    }
+    LabeledGroup { name: cat.name.to_owned(), group: b.build(), truth }
+}
+
+/// Generates a suite of categories at one error rate (for the Fig. 6/7
+/// sweeps).
+pub fn amazon_suite(n_categories: usize, products: usize, error_rate: f64, seed: u64) -> Vec<LabeledGroup> {
+    (0..n_categories)
+        .map(|i| {
+            amazon_category(&AmazonConfig::new(
+                i % PRODUCT_CATEGORIES.len(),
+                products,
+                error_rate,
+                seed.wrapping_add(i as u64 * 977),
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dime_core::discover_fast;
+
+    #[test]
+    fn group_size_and_error_rate() {
+        let cfg = AmazonConfig::new(0, 90, 0.1, 5);
+        let lg = amazon_category(&cfg);
+        assert_eq!(lg.group.len(), 90 + cfg.niche * 3 + cfg.n_errors());
+        assert!((lg.error_rate() - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn also_lists_reference_full_asins() {
+        let cfg = AmazonConfig::new(1, 40, 0.2, 6);
+        let lg = amazon_category(&cfg);
+        for e in lg.group.entities() {
+            let v = e.value(attr::ALSO_BOUGHT);
+            assert!(!v.tokens.is_empty(), "empty also_bought");
+            for &t in &v.tokens {
+                let s = lg.group.dictionary().resolve(t).unwrap();
+                assert!(s.starts_with('b') && s.len() == 9, "bad asin token {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn descriptions_have_theme_nodes() {
+        let cfg = AmazonConfig::new(2, 50, 0.2, 7);
+        let lg = amazon_category(&cfg);
+        assert!(lg.group.entities().iter().all(|e| e.value(attr::DESCRIPTION).node.is_some()));
+    }
+
+    #[test]
+    fn dime_pipeline_discovers_errors() {
+        let cfg = AmazonConfig::new(0, 120, 0.2, 11);
+        let lg = amazon_category(&cfg);
+        let (pos, neg) = amazon_rules();
+        let d = discover_fast(&lg.group, &pos, &neg);
+        assert!(d.pivot_members().len() >= 60, "pivot too small: {}", d.pivot_members().len());
+        let flagged = d.mis_categorized();
+        let tp = flagged.iter().filter(|e| lg.truth.contains(e)).count();
+        let recall = tp as f64 / lg.truth.len() as f64;
+        let precision = if flagged.is_empty() { 1.0 } else { tp as f64 / flagged.len() as f64 };
+        assert!(recall > 0.6, "recall {recall}");
+        assert!(precision > 0.6, "precision {precision}");
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = AmazonConfig::new(3, 30, 0.25, 13);
+        let a = amazon_category(&cfg);
+        let b = amazon_category(&cfg);
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn suite_covers_categories() {
+        let suite = amazon_suite(3, 25, 0.2, 1);
+        assert_eq!(suite.len(), 3);
+        let names: HashSet<&str> = suite.iter().map(|g| g.name.as_str()).collect();
+        assert_eq!(names.len(), 3);
+    }
+}

@@ -1,0 +1,204 @@
+//! DBGen-style large-group generator (paper Exp-5's 20k–100k scalability
+//! table; substitution for the UT Austin `dbgen` tool, which produces
+//! person records with typo-perturbed duplicates).
+//!
+//! A group consists of duplicate *clusters*: a base person record plus a
+//! few perturbed copies (character typos, token drops, abbreviated names).
+//! A small share of records are singleton "strangers" so negative rules
+//! have something to flag. The entity-matching style rules in
+//! [`dbgen_rules`] exercise the set-based and character-based signature
+//! paths at scale.
+
+use crate::types::LabeledGroup;
+use crate::vocab::{sample_name, sample_words};
+use dime_core::{GroupBuilder, Predicate, Rule, Schema, SimilarityFn};
+use dime_text::TokenizerKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Attribute indices of the DBGen schema.
+pub mod attr {
+    /// Person name.
+    pub const NAME: usize = 0;
+    /// Street address.
+    pub const ADDRESS: usize = 1;
+    /// City.
+    pub const CITY: usize = 2;
+    /// Phone number.
+    pub const PHONE: usize = 3;
+}
+
+/// Configuration for a DBGen group.
+#[derive(Debug, Clone, Copy)]
+pub struct DbgenConfig {
+    /// Total number of entities to generate.
+    pub entities: usize,
+    /// Average duplicates per cluster (including the base record).
+    pub cluster_size: usize,
+    /// Fraction of entities that are unrelated strangers.
+    pub stranger_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DbgenConfig {
+    /// A group of `n` entities with the defaults used in the scalability
+    /// experiment.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Self { entities: n, cluster_size: 6, stranger_fraction: 0.05, seed }
+    }
+}
+
+/// The DBGen relation schema.
+pub fn dbgen_schema() -> Schema {
+    Schema::new([
+        ("Name", TokenizerKind::Words),
+        ("Address", TokenizerKind::Words),
+        ("City", TokenizerKind::Whole),
+        ("Phone", TokenizerKind::Whole),
+    ])
+}
+
+/// Two positive and two negative entity-matching rules, as in the paper's
+/// scalability experiment.
+pub fn dbgen_rules() -> (Vec<Rule>, Vec<Rule>) {
+    let positive = vec![
+        Rule::positive(vec![
+            Predicate::new(attr::NAME, SimilarityFn::Jaccard, 0.5),
+            Predicate::new(attr::ADDRESS, SimilarityFn::Jaccard, 0.4),
+        ]),
+        Rule::positive(vec![
+            Predicate::new(attr::NAME, SimilarityFn::EditSimilarity, 0.8),
+            Predicate::new(attr::CITY, SimilarityFn::Jaccard, 1.0),
+        ]),
+    ];
+    let negative = vec![
+        Rule::negative(vec![Predicate::new(attr::NAME, SimilarityFn::Overlap, 0.0)]),
+        Rule::negative(vec![
+            Predicate::new(attr::NAME, SimilarityFn::Jaccard, 0.2),
+            Predicate::new(attr::ADDRESS, SimilarityFn::Overlap, 0.0),
+        ]),
+    ];
+    (positive, negative)
+}
+
+const STREET_WORDS: &[&str] = &[
+    "main", "oak", "pine", "maple", "cedar", "elm", "washington", "lake", "hill", "park",
+    "river", "spring", "north", "south", "east", "west", "highland", "forest", "sunset",
+    "meadow", "street", "avenue", "road", "lane", "drive", "court", "boulevard",
+];
+
+const CITIES: &[&str] = &[
+    "springfield", "riverton", "lakeside", "fairview", "georgetown", "arlington", "clinton",
+    "salem", "madison", "oxford", "bristol", "dover", "hudson", "milton", "newport", "ashland",
+];
+
+/// Applies a typo to a string: substitute, delete, or transpose one char.
+fn typo(rng: &mut StdRng, s: &str) -> String {
+    let mut chars: Vec<char> = s.chars().collect();
+    if chars.len() < 2 {
+        return s.to_owned();
+    }
+    let i = rng.gen_range(0..chars.len() - 1);
+    match rng.gen_range(0..3u32) {
+        0 => chars[i] = (b'a' + rng.gen_range(0..26u8)) as char,
+        1 => {
+            chars.remove(i);
+        }
+        _ => chars.swap(i, i + 1),
+    }
+    chars.into_iter().collect()
+}
+
+/// Generates a DBGen group of `cfg.entities` records.
+///
+/// Ground truth marks the stranger records (they "should not" be in this
+/// deduplication group).
+pub fn dbgen_group(cfg: &DbgenConfig) -> LabeledGroup {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.entities;
+    let n_strangers = (n as f64 * cfg.stranger_fraction) as usize;
+    let n_clustered = n - n_strangers;
+
+    let mut b = GroupBuilder::new(dbgen_schema());
+    let mut truth = HashSet::new();
+    let mut made = 0usize;
+    while made < n_clustered {
+        let size = rng.gen_range(2..=cfg.cluster_size * 2 - 2).min(n_clustered - made).max(1);
+        let name = sample_name(&mut rng);
+        let addr = format!(
+            "{} {}",
+            rng.gen_range(1..999),
+            sample_words(&mut rng, STREET_WORDS, 2)
+        );
+        let city = CITIES[rng.gen_range(0..CITIES.len())];
+        let phone: String = format!("555-{:04}", rng.gen_range(0..10000));
+        for k in 0..size {
+            let (nm, ad) = if k == 0 {
+                (name.clone(), addr.clone())
+            } else {
+                // Perturb: typo in name and/or address.
+                let nm = if rng.gen_bool(0.6) { typo(&mut rng, &name) } else { name.clone() };
+                let ad = if rng.gen_bool(0.5) { typo(&mut rng, &addr) } else { addr.clone() };
+                (nm, ad)
+            };
+            b.add_entity(&[&nm, &ad, city, &phone]);
+            made += 1;
+        }
+    }
+    for _ in 0..n_strangers {
+        let name = sample_name(&mut rng);
+        let addr = format!(
+            "{} {}",
+            rng.gen_range(1..999),
+            sample_words(&mut rng, STREET_WORDS, 2)
+        );
+        let city = CITIES[rng.gen_range(0..CITIES.len())];
+        let id = b.add_entity(&[&name, &addr, city, &format!("555-{:04}", rng.gen_range(0..10000))]);
+        truth.insert(id);
+    }
+    LabeledGroup { name: format!("dbgen-{n}"), group: b.build(), truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dime_core::{discover_fast, discover_naive};
+
+    #[test]
+    fn generates_requested_size() {
+        let lg = dbgen_group(&DbgenConfig::new(500, 3));
+        assert_eq!(lg.group.len(), 500);
+        assert_eq!(lg.truth.len(), 25);
+    }
+
+    #[test]
+    fn duplicates_cluster_under_rules() {
+        let lg = dbgen_group(&DbgenConfig::new(300, 4));
+        let (pos, neg) = dbgen_rules();
+        let d = discover_fast(&lg.group, &pos, &neg);
+        // Clusters average ~6 records → far fewer partitions than entities.
+        assert!(d.partitions.len() < 150, "{} partitions", d.partitions.len());
+    }
+
+    #[test]
+    fn fast_equals_naive_on_dbgen() {
+        let lg = dbgen_group(&DbgenConfig::new(120, 9));
+        let (pos, neg) = dbgen_rules();
+        assert_eq!(
+            discover_fast(&lg.group, &pos, &neg),
+            discover_naive(&lg.group, &pos, &neg)
+        );
+    }
+
+    #[test]
+    fn typo_changes_but_preserves_length_roughly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let t = typo(&mut rng, "springfield");
+            assert!(t.len() >= 10 && t.len() <= 11);
+        }
+        assert_eq!(typo(&mut rng, "a"), "a");
+    }
+}

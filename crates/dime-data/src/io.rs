@@ -1,0 +1,271 @@
+//! JSON import/export: load groups from files and serialize discovery
+//! reports, so the `dime` CLI can run on user data.
+//!
+//! Group document format:
+//!
+//! ```json
+//! {
+//!   "schema": [
+//!     {"name": "Title",   "tokenizer": "words"},
+//!     {"name": "Authors", "tokenizer": {"list": ","}},
+//!     {"name": "Venue",   "tokenizer": "words"}
+//!   ],
+//!   "ontologies": {
+//!     "Venue": [["computer science", "database", "sigmod"],
+//!               ["computer science", "database", "vldb"]]
+//!   },
+//!   "entities": [
+//!     {"Title": "…", "Authors": "a, b", "Venue": "SIGMOD"},
+//!     ["…", "c, d", "VLDB"]
+//!   ]
+//! }
+//! ```
+//!
+//! Entities may be objects keyed by attribute name (missing attributes
+//! become empty values) or arrays in schema order. Ontologies are lists of
+//! root-to-leaf paths; values are auto-mapped by exact whole-value or
+//! per-token lookup.
+
+use dime_core::{Discovery, Group, GroupBuilder, Schema};
+use dime_ontology::Ontology;
+use dime_text::TokenizerKind;
+use serde::Deserialize;
+use serde_json::{json, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from loading a group document.
+#[derive(Debug)]
+pub struct LoadError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "group load error: {}", self.message)
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, LoadError> {
+    Err(LoadError { message: message.into() })
+}
+
+#[derive(Deserialize)]
+struct GroupDoc {
+    schema: Vec<AttrDoc>,
+    #[serde(default)]
+    ontologies: HashMap<String, Vec<Vec<String>>>,
+    entities: Vec<Value>,
+}
+
+#[derive(Deserialize)]
+struct AttrDoc {
+    name: String,
+    #[serde(default)]
+    tokenizer: Option<Value>,
+}
+
+fn parse_tokenizer(v: &Option<Value>) -> Result<TokenizerKind, LoadError> {
+    match v {
+        None => Ok(TokenizerKind::Words),
+        Some(Value::String(s)) => match s.as_str() {
+            "words" => Ok(TokenizerKind::Words),
+            "whole" => Ok(TokenizerKind::Whole),
+            other => err(format!("unknown tokenizer {other:?} (use \"words\", \"whole\", or {{\"list\": \",\"}})")),
+        },
+        Some(Value::Object(o)) => match o.get("list") {
+            Some(Value::String(d)) if d.chars().count() == 1 => {
+                Ok(TokenizerKind::List(d.chars().next().unwrap()))
+            }
+            _ => err("list tokenizer needs a single-character delimiter"),
+        },
+        Some(other) => err(format!("bad tokenizer spec: {other}")),
+    }
+}
+
+/// Parses a JSON group document (see the module docs for the format).
+pub fn load_group_json(input: &str) -> Result<Group, LoadError> {
+    let doc: GroupDoc = match serde_json::from_str(input) {
+        Ok(d) => d,
+        Err(e) => return err(format!("invalid JSON: {e}")),
+    };
+    if doc.schema.is_empty() {
+        return err("schema must declare at least one attribute");
+    }
+    // Leak-free static names aren't possible here; Schema::new takes
+    // &'static str, so build AttrDefs through the owned constructor below.
+    let names: Vec<String> = doc.schema.iter().map(|a| a.name.clone()).collect();
+    let toks: Vec<TokenizerKind> = doc
+        .schema
+        .iter()
+        .map(|a| parse_tokenizer(&a.tokenizer))
+        .collect::<Result<_, _>>()?;
+    let schema = Schema::from_owned(names.iter().cloned().zip(toks.iter().copied()));
+
+    let mut builder = GroupBuilder::new(schema);
+    for (name, paths) in &doc.ontologies {
+        if !names.contains(name) {
+            return err(format!("ontology for unknown attribute {name:?}"));
+        }
+        let mut ont = Ontology::new(name);
+        for path in paths {
+            let parts: Vec<&str> = path.iter().map(String::as_str).collect();
+            ont.add_path(&parts);
+        }
+        builder.attach_ontology(name, Arc::new(ont));
+    }
+
+    for (i, row) in doc.entities.iter().enumerate() {
+        let values: Vec<String> = match row {
+            Value::Array(a) => {
+                if a.len() != names.len() {
+                    return err(format!(
+                        "entity {i}: expected {} values, got {}",
+                        names.len(),
+                        a.len()
+                    ));
+                }
+                a.iter().map(value_to_string).collect()
+            }
+            Value::Object(o) => names
+                .iter()
+                .map(|n| o.get(n).map(value_to_string).unwrap_or_default())
+                .collect(),
+            other => return err(format!("entity {i}: expected object or array, got {other}")),
+        };
+        let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+        builder.add_entity(&refs);
+    }
+    Ok(builder.build())
+}
+
+fn value_to_string(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        Value::Null => String::new(),
+        other => other.to_string(),
+    }
+}
+
+/// Serializes a discovery result as a JSON report: partitions, the pivot,
+/// and per-scrollbar-step flagged entities (with their raw values).
+pub fn discovery_to_json(group: &Group, discovery: &Discovery) -> Value {
+    let attr_names: Vec<&str> =
+        group.schema().attrs().iter().map(|a| a.name.as_str()).collect();
+    let entity_json = |id: usize| -> Value {
+        let e = group.entity(id);
+        let mut m = serde_json::Map::new();
+        m.insert("id".into(), json!(id));
+        for (k, name) in attr_names.iter().enumerate() {
+            m.insert((*name).to_string(), json!(e.value(k).text));
+        }
+        Value::Object(m)
+    };
+    json!({
+        "partitions": discovery.partitions,
+        "pivot": discovery.pivot,
+        "steps": discovery.steps.iter().map(|s| json!({
+            "rules_applied": s.rules_applied,
+            "flagged": s.flagged.iter().copied().collect::<Vec<_>>(),
+        })).collect::<Vec<_>>(),
+        "mis_categorized": discovery.mis_categorized().iter().map(|&id| entity_json(id)).collect::<Vec<_>>(),
+        "witnesses": discovery.witnesses.iter().map(|w| json!({
+            "partition": w.partition,
+            "negative_rule": w.rule,
+            "entity": w.entity,
+            "pivot_entity": w.pivot_entity,
+        })).collect::<Vec<_>>(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dime_core::{discover_fast, parse_rules};
+
+    const DOC: &str = r#"{
+        "schema": [
+            {"name": "Title", "tokenizer": "words"},
+            {"name": "Authors", "tokenizer": {"list": ","}},
+            {"name": "Venue", "tokenizer": "words"}
+        ],
+        "ontologies": {
+            "Venue": [
+                ["computer science", "database", "sigmod"],
+                ["computer science", "database", "vldb"],
+                ["chemical sciences", "general", "rsc advances"]
+            ]
+        },
+        "entities": [
+            {"Title": "data cleaning", "Authors": "ann, bob", "Venue": "SIGMOD"},
+            {"Title": "data quality", "Authors": "ann, bob, carl", "Venue": "VLDB"},
+            ["oxidative synthesis", "dora", "RSC Advances"]
+        ]
+    }"#;
+
+    #[test]
+    fn loads_group_and_runs_rules() {
+        let group = load_group_json(DOC).unwrap();
+        assert_eq!(group.len(), 3);
+        assert!(group.entity(0).value(2).node.is_some(), "venue should auto-map");
+
+        let rules = parse_rules(
+            "positive: overlap(Authors) >= 2\nnegative: overlap(Authors) <= 0",
+            group.schema(),
+        )
+        .unwrap();
+        let (pos, neg): (Vec<_>, Vec<_>) =
+            rules.into_iter().partition(|r| r.polarity == dime_core::Polarity::Positive);
+        let d = discover_fast(&group, &pos, &neg);
+        assert_eq!(d.mis_categorized().into_iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn object_rows_tolerate_missing_attributes() {
+        let doc = r#"{
+            "schema": [{"name": "A"}, {"name": "B"}],
+            "entities": [{"A": "x"}]
+        }"#;
+        let g = load_group_json(doc).unwrap();
+        assert_eq!(g.entity(0).value(1).tokens.len(), 0);
+    }
+
+    #[test]
+    fn array_rows_must_match_arity() {
+        let doc = r#"{
+            "schema": [{"name": "A"}, {"name": "B"}],
+            "entities": [["only one"]]
+        }"#;
+        let e = load_group_json(doc).unwrap_err();
+        assert!(e.message.contains("expected 2 values"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_tokenizer_and_attribute() {
+        let doc = r#"{"schema": [{"name": "A", "tokenizer": "sorcery"}], "entities": []}"#;
+        assert!(load_group_json(doc).is_err());
+        let doc = r#"{"schema": [{"name": "A"}], "ontologies": {"B": []}, "entities": []}"#;
+        assert!(load_group_json(doc).is_err());
+    }
+
+    #[test]
+    fn report_includes_flagged_values() {
+        let group = load_group_json(DOC).unwrap();
+        let rules = parse_rules(
+            "positive: overlap(Authors) >= 2\nnegative: overlap(Authors) <= 0",
+            group.schema(),
+        )
+        .unwrap();
+        let (pos, neg): (Vec<_>, Vec<_>) =
+            rules.into_iter().partition(|r| r.polarity == dime_core::Polarity::Positive);
+        let d = discover_fast(&group, &pos, &neg);
+        let v = discovery_to_json(&group, &d);
+        let flagged = v["mis_categorized"].as_array().unwrap();
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0]["Authors"], "dora");
+    }
+}

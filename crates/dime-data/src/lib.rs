@@ -1,0 +1,43 @@
+//! Synthetic datasets for the DIME reproduction.
+//!
+//! The paper evaluates on a Google Scholar crawl, the McAuley Amazon
+//! product dump, and the UT Austin DBGen generator — none of which can ship
+//! with this repository. This crate provides generators that reproduce the
+//! *signal structure* those datasets expose to the algorithms (see
+//! DESIGN.md §2 for the substitution argument):
+//!
+//! * [`scholar_page`] / [`scholar_corpus`] — researcher pages with
+//!   era-structured coauthor pools, a venue ontology shaped like Google
+//!   Scholar Metrics, and three kinds of injected mis-categorizations;
+//! * [`amazon_category`] / [`amazon_suite`] — product categories with
+//!   co-purchase cliques, theme-based descriptions, an LDA-learned
+//!   description ontology, and sibling-category error injection at a
+//!   configurable rate;
+//! * [`dbgen_group`] — large deduplication-style groups (20k–100k) for the
+//!   scalability table.
+//!
+//! Each generator returns a [`LabeledGroup`] carrying ground truth, and a
+//! matching `*_rules()` function supplies the paper's positive/negative
+//! rule sets resolved against the generated schema.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod amazon;
+mod dbgen;
+mod io;
+mod scholar;
+mod types;
+mod vocab;
+
+pub use amazon::{
+    amazon_category, amazon_rules, amazon_schema, amazon_suite, attr as amazon_attr, AmazonConfig,
+};
+pub use dbgen::{attr as dbgen_attr, dbgen_group, dbgen_rules, dbgen_schema, DbgenConfig};
+pub use io::{discovery_to_json, load_group_json, LoadError};
+pub use scholar::{
+    attr as scholar_attr, scholar_corpus, scholar_page, scholar_rules, scholar_schema,
+    venue_ontology, ScholarConfig, PAGE_NAMES,
+};
+pub use types::{ExampleSet, LabeledGroup};
+pub use vocab::{Field, ProductCategory, Subfield, FIELDS, PRODUCT_CATEGORIES};

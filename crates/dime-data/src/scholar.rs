@@ -1,0 +1,671 @@
+//! Synthetic Google Scholar pages (DESIGN.md substitution for the paper's
+//! 200-page crawl).
+//!
+//! A page belongs to an *owner* researcher and mixes:
+//!
+//! * **mainstream publications** — owner + coauthors drawn from
+//!   era-structured pools (eras share members, so the pubs connect into one
+//!   large pivot partition under the paper's positive rules), venues from
+//!   the owner's home subfields;
+//! * **one-off publications** — fresh coauthors and an unusual (same-field)
+//!   venue: correct entities that land in *small* partitions, the case that
+//!   defeats clustering-based outlier detection (paper Exp-1);
+//! * **garbled own publications** — the owner's name abbreviated beyond
+//!   recognition: correct entities that the strictest negative rule
+//!   wrongly flags (keeps precision realistically below 1);
+//! * **mis-categorized publications** — three kinds mirroring the paper's
+//!   anecdotes: a *garbled stranger* (no overlapping author at all, caught
+//!   by `φ₁⁻`), a *same-name far-field* researcher (one overlapping author
+//!   token, cross-field venue — caught by `φ₂⁻`/`φ₃⁻`), and a *same-name
+//!   near-field* researcher (same field, different subfield — hard;
+//!   often only caught by the title rule or not at all).
+//!
+//! Ground truth is the set of injected mis-categorized entity ids.
+
+use crate::types::LabeledGroup;
+use crate::vocab::{garble_name, sample_names, sample_words, FIELDS};
+use dime_core::{GroupBuilder, Predicate, Rule, Schema, SimilarityFn};
+use dime_ontology::{NodeId, Ontology, ThemeModel};
+use dime_text::TokenizerKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::sync::OnceLock;
+use std::sync::Arc;
+
+/// Attribute indices of the Scholar schema (8 attributes, like the crawl).
+pub mod attr {
+    /// Publication title.
+    pub const TITLE: usize = 0;
+    /// Comma-separated author list.
+    pub const AUTHORS: usize = 1;
+    /// Publication year.
+    pub const DATE: usize = 2;
+    /// Venue name (maps into the venue ontology).
+    pub const VENUE: usize = 3;
+    /// Volume number.
+    pub const VOLUME: usize = 4;
+    /// Issue number.
+    pub const ISSUE: usize = 5;
+    /// Page range.
+    pub const PAGES: usize = 6;
+    /// Publisher.
+    pub const PUBLISHER: usize = 7;
+}
+
+/// Configuration of one synthetic Scholar page.
+#[derive(Debug, Clone)]
+pub struct ScholarConfig {
+    /// Number of correctly categorized mainstream publications.
+    pub mainstream: usize,
+    /// Number of correct one-off publications (small partitions).
+    pub one_offs: usize,
+    /// Number of the owner's own publications with a garbled name.
+    pub garbled_own: usize,
+    /// Mis-categorized publications by a garbled stranger (φ₁⁻ catches).
+    pub err_garbled: usize,
+    /// Mis-categorized publications by a same-name far-field researcher.
+    pub err_far_field: usize,
+    /// Mis-categorized publications by a same-name near-field researcher
+    /// (hard cases).
+    pub err_near_field: usize,
+    /// Number of coauthor eras.
+    pub eras: usize,
+    /// Side-project clusters: mid-sized (14-publication) correct
+    /// partitions with a dedicated team — these populate Table I's
+    /// `[10, 100)` bucket.
+    pub side_projects: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Publications per side-project cluster (fixed so page sizes stay
+/// deterministic).
+pub const SIDE_PROJECT_SIZE: usize = 14;
+
+impl ScholarConfig {
+    /// A mid-sized page: ~340 entities like the paper's average.
+    pub fn default_page(seed: u64) -> Self {
+        Self {
+            mainstream: 300,
+            one_offs: 18,
+            garbled_own: 2,
+            err_garbled: 8,
+            err_far_field: 7,
+            err_near_field: 5,
+            eras: 4,
+            side_projects: 1,
+            seed,
+        }
+    }
+
+    /// A small page for fast tests.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            mainstream: 40,
+            one_offs: 4,
+            garbled_own: 1,
+            err_garbled: 3,
+            err_far_field: 2,
+            err_near_field: 1,
+            eras: 2,
+            side_projects: 0,
+            seed,
+        }
+    }
+
+    /// Scales every entity count to approximately `n` total entities.
+    pub fn scaled_to(n: usize, seed: u64) -> Self {
+        let base = Self::default_page(seed);
+        let base_total = base.total();
+        let f = n as f64 / base_total as f64;
+        let s = |x: usize| ((x as f64 * f).round() as usize).max(1);
+        Self {
+            mainstream: s(base.mainstream),
+            one_offs: s(base.one_offs),
+            garbled_own: s(base.garbled_own),
+            err_garbled: s(base.err_garbled),
+            err_far_field: s(base.err_far_field),
+            err_near_field: s(base.err_near_field),
+            eras: base.eras,
+            side_projects: base.side_projects,
+            seed,
+        }
+    }
+
+    /// Total entities the page will contain.
+    pub fn total(&self) -> usize {
+        self.mainstream
+            + self.one_offs
+            + self.garbled_own
+            + self.err_garbled
+            + self.err_far_field
+            + self.err_near_field
+            + self.side_projects * SIDE_PROJECT_SIZE
+    }
+}
+
+/// The Scholar relation schema.
+pub fn scholar_schema() -> Schema {
+    Schema::new([
+        ("Title", TokenizerKind::Words),
+        ("Authors", TokenizerKind::List(',')),
+        ("Date", TokenizerKind::Whole),
+        ("Venue", TokenizerKind::Words),
+        ("Volume", TokenizerKind::Whole),
+        ("Issue", TokenizerKind::Whole),
+        ("Pages", TokenizerKind::Whole),
+        ("Publisher", TokenizerKind::Words),
+    ])
+}
+
+/// Builds the venue ontology (root → field → subfield → venue), the shape
+/// of Google Scholar Metrics in paper Figure 4.
+pub fn venue_ontology() -> Ontology {
+    let mut ont = Ontology::new("venue");
+    for field in FIELDS {
+        for sub in field.subfields {
+            for v in sub.venues {
+                ont.add_path(&[field.name, sub.name, v]);
+            }
+        }
+    }
+    ont
+}
+
+/// The corpus-level title theme model: one topic model fitted on a
+/// balanced background corpus of titles from every field (the paper trains
+/// its LDA hierarchies on whole datasets, not single pages), with one
+/// super-theme per field. Pages map their titles into it by fold-in
+/// inference.
+pub struct TitleModel {
+    model: ThemeModel,
+    ontology: Arc<Ontology>,
+    vocab: HashMap<String, u32>,
+}
+
+impl TitleModel {
+    /// The process-wide shared instance (deterministic).
+    pub fn shared() -> &'static TitleModel {
+        static MODEL: OnceLock<TitleModel> = OnceLock::new();
+        MODEL.get_or_init(TitleModel::build)
+    }
+
+    fn build() -> Self {
+        use rand::rngs::StdRng as R;
+        use rand::SeedableRng as S;
+        let mut rng = R::seed_from_u64(0x717e);
+        let mut vocab: HashMap<String, u32> = HashMap::new();
+        let mut docs: Vec<Vec<u32>> = Vec::new();
+        let mut labels: Vec<usize> = Vec::new();
+        for (fi, field) in FIELDS.iter().enumerate() {
+            for _ in 0..150 {
+                let len = rng.gen_range(5..9);
+                let words = sample_words(&mut rng, field.title_words, len);
+                let doc: Vec<u32> = dime_text::tokenize_words(&words)
+                    .into_iter()
+                    .map(|w| {
+                        let next = vocab.len() as u32;
+                        *vocab.entry(w).or_insert(next)
+                    })
+                    .collect();
+                docs.push(doc);
+                labels.push(fi);
+            }
+        }
+        let model =
+            ThemeModel::fit_with_labels(&docs, &labels, vocab.len(), 2 * FIELDS.len(), 0x71a);
+        let ontology = Arc::new(model.ontology().clone());
+        Self { model, ontology, vocab }
+    }
+
+    /// The title hierarchy (root → field super-theme → topic).
+    pub fn ontology(&self) -> Arc<Ontology> {
+        Arc::clone(&self.ontology)
+    }
+
+    /// Maps a title to its theme node; `None` when no title word is known
+    /// to the model.
+    pub fn assign(&self, title: &str) -> Option<NodeId> {
+        let words: Vec<u32> = dime_text::tokenize_words(title)
+            .iter()
+            .filter_map(|w| self.vocab.get(w).copied())
+            .collect();
+        if words.is_empty() {
+            None
+        } else {
+            Some(self.model.assign(&words))
+        }
+    }
+}
+
+/// The paper's Scholar rule set (Section VI-A), resolved to our schema:
+///
+/// * `ϕ₁⁺: f_ov(Authors) ≥ 2`
+/// * `ϕ₂⁺: f_ov(Authors) ≥ 1 ∧ f_on(Venue) ≥ 0.75`
+/// * `φ₁⁻: f_ov(Authors) = 0`
+/// * `φ₂⁻: f_ov(Authors) ≤ 1 ∧ f_on(Venue) ≤ 0.25`
+/// * `φ₃⁻: f_ov(Authors) ≤ 1 ∧ f_on(Title) ≤ 0.34`
+///
+/// The paper's `φ₃⁻` threshold (0.25) is calibrated to *its* learned title
+/// hierarchy; ours is three levels deep (root/theme/sub-theme), where
+/// cross-theme similarity is exactly `2·1/(3+3) = 1/3`, so the equivalent
+/// "different theme" cut-off is 0.34.
+pub fn scholar_rules() -> (Vec<Rule>, Vec<Rule>) {
+    let positive = vec![
+        Rule::positive(vec![Predicate::new(attr::AUTHORS, SimilarityFn::Overlap, 2.0)]),
+        Rule::positive(vec![
+            Predicate::new(attr::AUTHORS, SimilarityFn::Overlap, 1.0),
+            Predicate::new(attr::VENUE, SimilarityFn::Ontology, 0.75),
+        ]),
+    ];
+    let negative = vec![
+        Rule::negative(vec![Predicate::new(attr::AUTHORS, SimilarityFn::Overlap, 0.0)]),
+        Rule::negative(vec![
+            Predicate::new(attr::AUTHORS, SimilarityFn::Overlap, 1.0),
+            Predicate::new(attr::VENUE, SimilarityFn::Ontology, 0.25),
+        ]),
+        Rule::negative(vec![
+            Predicate::new(attr::AUTHORS, SimilarityFn::Overlap, 1.0),
+            Predicate::new(attr::TITLE, SimilarityFn::Ontology, 0.34),
+        ]),
+    ];
+    (positive, negative)
+}
+
+/// One raw publication row before group construction.
+struct PubRow {
+    title: String,
+    authors: String,
+    year: u32,
+    venue: Option<&'static str>,
+    publisher: &'static str,
+    mis_categorized: bool,
+}
+
+/// Generates one synthetic Scholar page.
+///
+/// The returned group has the venue ontology attached to `Venue` and an
+/// LDA theme hierarchy (learned from the page's own titles, as the paper
+/// does for attributes without a curated ontology) attached to `Title`.
+pub fn scholar_page(name: &str, cfg: &ScholarConfig) -> LabeledGroup {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Owners are computer scientists (field 0); mis-categorized entities
+    // come from the other fields, mirroring the paper's examples.
+    let field = &FIELDS[0];
+    let owner = format!("{} owner{}", name.to_lowercase(), cfg.seed % 97);
+
+    // Era-structured coauthor pools: consecutive eras share two members so
+    // mainstream publications chain into one big partition.
+    let pool = sample_names(&mut rng, 6 * cfg.eras + 2);
+    // Names outside the era pools get a unique suffix: accidental full-name
+    // collisions with era coauthors would smuggle noise into the pivot
+    // partition and wreck the controlled precision/recall structure.
+    let mut uniq_counter = 0usize;
+    let mut fresh_names = |rng: &mut StdRng, n: usize| -> Vec<String> {
+        sample_names(rng, n)
+            .into_iter()
+            .map(|name| {
+                uniq_counter += 1;
+                format!("{name} u{uniq_counter}")
+            })
+            .collect()
+    };
+    let eras: Vec<Vec<String>> = (0..cfg.eras)
+        .map(|e| pool[e * 6..(e * 6 + 8).min(pool.len())].to_vec())
+        .collect();
+
+    // The owner publishes mostly in two home subfields.
+    let home_subs: Vec<usize> = {
+        let a = rng.gen_range(0..field.subfields.len());
+        let b = (a + 1) % field.subfields.len();
+        vec![a, b]
+    };
+
+    let mut rows: Vec<PubRow> = Vec::with_capacity(cfg.total());
+    let publishers = ["acm", "ieee", "springer", "elsevier", "vldb endowment"];
+
+    // --- mainstream publications -----------------------------------------
+    for i in 0..cfg.mainstream {
+        let era = &eras[i * cfg.eras / cfg.mainstream.max(1)];
+        let n_co = rng.gen_range(2..=4).min(era.len());
+        let mut authors = vec![owner.clone()];
+        let start = rng.gen_range(0..era.len());
+        for k in 0..n_co {
+            authors.push(era[(start + k) % era.len()].clone());
+        }
+        let sub = &field.subfields[home_subs[rng.gen_range(0..home_subs.len())]];
+        rows.push(PubRow {
+            title: { let n = rng.gen_range(5..9); sample_words(&mut rng, field.title_words, n) },
+            authors: authors.join(", "),
+            year: rng.gen_range(1995..2018),
+            venue: Some(sub.venues[rng.gen_range(0..sub.venues.len())]),
+            publisher: publishers[rng.gen_range(0..publishers.len())],
+            mis_categorized: false,
+        });
+    }
+
+    // --- one-off publications (correct, small partitions) -----------------
+    for _ in 0..cfg.one_offs {
+        let fresh = { let n = rng.gen_range(1..=3); fresh_names(&mut rng, n) };
+        let mut authors = vec![owner.clone()];
+        authors.extend(fresh);
+        // A subfield the owner normally avoids (venue sim 0.5 to the
+        // pivot), or — 30% of the time — an obscure workshop missing from
+        // the ontology entirely (venue sim 0, the φ₂⁻ false-positive case
+        // behind the paper's NR2 precision dips).
+        let away: Vec<usize> =
+            (0..field.subfields.len()).filter(|s| !home_subs.contains(s)).collect();
+        let sub = &field.subfields[away[rng.gen_range(0..away.len())]];
+        let venue = if rng.gen_bool(0.15) {
+            None
+        } else {
+            Some(sub.venues[rng.gen_range(0..sub.venues.len())])
+        };
+        rows.push(PubRow {
+            title: { let n = rng.gen_range(5..9); sample_words(&mut rng, field.title_words, n) },
+            authors: authors.join(", "),
+            year: rng.gen_range(1995..2018),
+            venue,
+            publisher: publishers[rng.gen_range(0..publishers.len())],
+            mis_categorized: false,
+        });
+    }
+
+    // --- side projects: mid-sized correct partitions -----------------------
+    for _ in 0..cfg.side_projects {
+        let team = fresh_names(&mut rng, 6);
+        let away: Vec<usize> =
+            (0..field.subfields.len()).filter(|s| !home_subs.contains(s)).collect();
+        let sub = &field.subfields[away[rng.gen_range(0..away.len())]];
+        for _ in 0..SIDE_PROJECT_SIZE {
+            let mut authors = vec![owner.clone()];
+            let start = rng.gen_range(0..team.len());
+            for k in 0..rng.gen_range(2..=4usize) {
+                authors.push(team[(start + k) % team.len()].clone());
+            }
+            rows.push(PubRow {
+                title: { let n = rng.gen_range(5..9); sample_words(&mut rng, field.title_words, n) },
+                authors: authors.join(", "),
+                year: rng.gen_range(1995..2018),
+                venue: Some(sub.venues[rng.gen_range(0..sub.venues.len())]),
+                publisher: publishers[rng.gen_range(0..publishers.len())],
+                mis_categorized: false,
+            });
+        }
+    }
+
+    // --- the owner's own pubs with a garbled name (correct, flagged) ------
+    for _ in 0..cfg.garbled_own {
+        let fresh = { let n = rng.gen_range(1..=2); fresh_names(&mut rng, n) };
+        let mut authors = vec![garble_name(&mut rng, &owner)];
+        authors.extend(fresh);
+        let sub = &field.subfields[home_subs[0]];
+        rows.push(PubRow {
+            title: { let n = rng.gen_range(5..9); sample_words(&mut rng, field.title_words, n) },
+            authors: authors.join(", "),
+            year: rng.gen_range(1995..2018),
+            venue: Some(sub.venues[rng.gen_range(0..sub.venues.len())]),
+            publisher: publishers[rng.gen_range(0..publishers.len())],
+            mis_categorized: false,
+        });
+    }
+
+    // --- mis-categorized: garbled stranger (φ₁⁻ catches) ------------------
+    // Half the garbled strangers are *computer scientists*: their venue and
+    // title look exactly like the owner's own garbled publications, so
+    // feature-based methods cannot separate the two — only the zero author
+    // overlap (φ₁⁻) identifies them, at the cost of also flagging the
+    // owner's garbled publications.
+    let mut remaining = cfg.err_garbled;
+    let mut garbled_idx = 0usize;
+    while remaining > 0 {
+        let burst = rng.gen_range(1..=2.min(remaining));
+        let stranger_field =
+            if garbled_idx.is_multiple_of(2) { &FIELDS[rng.gen_range(1..FIELDS.len())] } else { field };
+        garbled_idx += 1;
+        let strangers = fresh_names(&mut rng, 4);
+        for _ in 0..burst {
+            let mut authors: Vec<String> = strangers[..rng.gen_range(2..=4)].to_vec();
+            authors[0] = garble_name(&mut rng, &owner); // near-miss name
+            let sub = &stranger_field.subfields[rng.gen_range(0..stranger_field.subfields.len())];
+            rows.push(PubRow {
+                title: { let n = rng.gen_range(5..9); sample_words(&mut rng, stranger_field.title_words, n) },
+                authors: authors.join(", "),
+                year: rng.gen_range(1995..2018),
+                venue: Some(sub.venues[rng.gen_range(0..sub.venues.len())]),
+                publisher: publishers[rng.gen_range(0..publishers.len())],
+                mis_categorized: true,
+            });
+        }
+        remaining -= burst;
+    }
+
+    // --- mis-categorized: same-name far-field researcher (φ₂⁻/φ₃⁻) --------
+    let mut remaining = cfg.err_far_field;
+    while remaining > 0 {
+        let burst = rng.gen_range(1..=2.min(remaining));
+        let foreign_field = &FIELDS[rng.gen_range(1..FIELDS.len())];
+        let colleagues = fresh_names(&mut rng, 5);
+        for _ in 0..burst {
+            let mut authors: Vec<String> = colleagues[..rng.gen_range(2..=4)].to_vec();
+            authors.push(owner.clone()); // the namesake token
+            let sub = &foreign_field.subfields[rng.gen_range(0..foreign_field.subfields.len())];
+            rows.push(PubRow {
+                title: { let n = rng.gen_range(5..9); sample_words(&mut rng, foreign_field.title_words, n) },
+                authors: authors.join(", "),
+                year: rng.gen_range(1995..2018),
+                venue: Some(sub.venues[rng.gen_range(0..sub.venues.len())]),
+                publisher: publishers[rng.gen_range(0..publishers.len())],
+                mis_categorized: true,
+            });
+        }
+        remaining -= burst;
+    }
+
+    // --- mis-categorized: same-name near-field researcher (hard) ----------
+    let mut remaining = cfg.err_near_field;
+    while remaining > 0 {
+        let burst = rng.gen_range(1..=2.min(remaining));
+        let colleagues = fresh_names(&mut rng, 5);
+        // An interdisciplinary namesake: publishes in a CS venue (venue
+        // similarity 0.5 > 0.25, so φ₂⁻ misses) but on foreign-field topics
+        // — only the title theme rule φ₃⁻ can catch these.
+        let foreign_field = &FIELDS[1 + (rng.gen::<u32>() as usize) % (FIELDS.len() - 1)];
+        // Half the near-field namesakes write on computer-science topics:
+        // those are indistinguishable from the owner's one-off publications
+        // for every method — the shared recall ceiling.
+        let title_field = if rng.gen_bool(0.5) { foreign_field } else { field };
+        let away: Vec<usize> =
+            (0..field.subfields.len()).filter(|s| !home_subs.contains(s)).collect();
+        let sub = &field.subfields[away[rng.gen_range(0..away.len())]];
+        for _ in 0..burst {
+            // 2-4 authors total, matching the one-off distribution so list
+            // length cannot leak the label.
+            let mut authors: Vec<String> = colleagues[..rng.gen_range(1..=3)].to_vec();
+            authors.push(owner.clone());
+            rows.push(PubRow {
+                title: { let n = rng.gen_range(5..9); sample_words(&mut rng, title_field.title_words, n) },
+                authors: authors.join(", "),
+                year: rng.gen_range(1995..2018),
+                venue: Some(sub.venues[rng.gen_range(0..sub.venues.len())]),
+                publisher: publishers[rng.gen_range(0..publishers.len())],
+                mis_categorized: true,
+            });
+        }
+        remaining -= burst;
+    }
+
+    // Shuffle rows so ids carry no label signal.
+    for i in (1..rows.len()).rev() {
+        rows.swap(i, rng.gen_range(0..=i));
+    }
+
+    build_group(name, rows, cfg.seed)
+}
+
+/// Assembles the rows into a [`Group`]: attaches the venue ontology, learns
+/// the title theme hierarchy with LDA, and records ground truth.
+fn build_group(name: &str, rows: Vec<PubRow>, seed: u64) -> LabeledGroup {
+    let _ = seed;
+    let venues = Arc::new(venue_ontology());
+
+    // Map titles into the corpus-level theme model (one super-theme per
+    // field): cross-field titles score 1/3 ≤ 0.34, so φ₃⁻ fires exactly on
+    // foreign-topic publications.
+    let title_model = TitleModel::shared();
+    let title_ont = title_model.ontology();
+    let title_nodes: Vec<Option<NodeId>> =
+        rows.iter().map(|r| title_model.assign(&r.title)).collect();
+
+    let mut b = GroupBuilder::new(scholar_schema());
+    b.attach_ontology("Venue", Arc::clone(&venues));
+    b.attach_ontology("Title", Arc::clone(&title_ont));
+    let mut truth = HashSet::new();
+    for (i, row) in rows.iter().enumerate() {
+        let venue_node: Option<NodeId> = row.venue.and_then(|v| venues.lookup(v));
+        let venue_str = row.venue.unwrap_or("unknown workshop");
+        let volume = (row.year % 40 + 1).to_string();
+        let issue = (row.year % 6 + 1).to_string();
+        let pages = format!("{}-{}", row.year % 900 + 1, row.year % 900 + 13);
+        let nodes = [
+            title_nodes[i],
+            None,
+            None,
+            venue_node,
+            None,
+            None,
+            None,
+            None,
+        ];
+        let id = b.add_entity_with_nodes(
+            &[
+                &row.title,
+                &row.authors,
+                &row.year.to_string(),
+                venue_str,
+                &volume,
+                &issue,
+                &pages,
+                row.publisher,
+            ],
+            &nodes,
+        );
+        if row.mis_categorized {
+            truth.insert(id);
+        }
+    }
+    LabeledGroup { name: name.to_owned(), group: b.build(), truth }
+}
+
+/// The 20 page names of paper Figure 8 / Table I.
+pub const PAGE_NAMES: &[&str] = &[
+    "Jeffrey", "Wenfei", "Nan", "Cong", "Zhifeng", "Divyakant", "Francesco", "Samuel", "Tamer",
+    "Juliana", "Ullman", "Divesh", "Gustavo", "Jennifer", "Anhai", "Torsten", "Marcelo", "Nikos",
+    "Tim", "Laks",
+];
+
+/// Generates a corpus of `n_pages` pages with varied sizes and error mixes
+/// (the "200 Google Scholar pages" of the paper's setup).
+pub fn scholar_corpus(n_pages: usize, seed: u64) -> Vec<LabeledGroup> {
+    (0..n_pages)
+        .map(|i| {
+            let name = PAGE_NAMES[i % PAGE_NAMES.len()];
+            let mut cfg = ScholarConfig::default_page(seed.wrapping_add(i as u64 * 131));
+            // Vary page size (the crawl averaged 340, max ~3000).
+            let scale = 0.4 + (i % 7) as f64 * 0.25;
+            cfg.mainstream = (cfg.mainstream as f64 * scale) as usize;
+            cfg.one_offs = (cfg.one_offs as f64 * scale).ceil() as usize;
+            cfg.err_garbled = 4 + (i % 7) * 2;
+            cfg.err_far_field = 2 + (i % 5) * 2;
+            cfg.err_near_field = 1 + i % 4;
+            scholar_page(&format!("{name}{}", i / PAGE_NAMES.len()), &cfg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dime_core::discover_fast;
+
+    #[test]
+    fn page_has_configured_counts() {
+        let cfg = ScholarConfig::small(7);
+        let lg = scholar_page("nan", &cfg);
+        assert_eq!(lg.group.len(), cfg.total());
+        assert_eq!(lg.truth.len(), cfg.err_garbled + cfg.err_far_field + cfg.err_near_field);
+    }
+
+    #[test]
+    fn venues_map_into_ontology() {
+        let cfg = ScholarConfig::small(3);
+        let lg = scholar_page("nan", &cfg);
+        let mapped = lg
+            .group
+            .entities()
+            .iter()
+            .filter(|e| e.value(attr::VENUE).node.is_some())
+            .count();
+        // Mainstream/error venues map; ~30% of one-offs use obscure
+        // workshops that are deliberately missing from the ontology.
+        assert!(mapped >= lg.group.len() - cfg.one_offs, "too few mapped: {mapped}");
+        assert!(mapped > lg.group.len() / 2);
+    }
+
+    #[test]
+    fn titles_have_theme_nodes() {
+        let cfg = ScholarConfig::small(4);
+        let lg = scholar_page("nan", &cfg);
+        assert!(lg.group.entities().iter().all(|e| e.value(attr::TITLE).node.is_some()));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = ScholarConfig::small(11);
+        let a = scholar_page("nan", &cfg);
+        let b = scholar_page("nan", &cfg);
+        assert_eq!(a.truth, b.truth);
+        for (x, y) in a.group.entities().iter().zip(b.group.entities()) {
+            assert_eq!(x.value(attr::AUTHORS).text, y.value(attr::AUTHORS).text);
+        }
+    }
+
+    #[test]
+    fn dime_discovers_most_injected_errors() {
+        let cfg = ScholarConfig::small(42);
+        let lg = scholar_page("nan", &cfg);
+        let (pos, neg) = scholar_rules();
+        let d = discover_fast(&lg.group, &pos, &neg);
+        // The pivot must be the mainstream cluster (much larger than noise).
+        assert!(d.pivot_members().len() >= cfg.mainstream / 2);
+        // φ₁⁻ alone finds the garbled strangers.
+        let step0 = d.at_step(0).unwrap();
+        let caught_garbled = step0.iter().filter(|e| lg.truth.contains(e)).count();
+        assert!(caught_garbled >= cfg.err_garbled, "step0 caught {caught_garbled}");
+        // The full scrollbar reaches decent recall on the truth.
+        let all = d.mis_categorized();
+        let tp = all.iter().filter(|e| lg.truth.contains(e)).count();
+        assert!(
+            tp * 2 >= lg.truth.len(),
+            "recall too low: {tp}/{}",
+            lg.truth.len()
+        );
+    }
+
+    #[test]
+    fn corpus_pages_vary() {
+        let corpus = scholar_corpus(4, 9);
+        assert_eq!(corpus.len(), 4);
+        let sizes: HashSet<usize> = corpus.iter().map(|g| g.group.len()).collect();
+        assert!(sizes.len() > 1, "pages should differ in size");
+    }
+
+    #[test]
+    fn scaled_to_hits_target() {
+        let cfg = ScholarConfig::scaled_to(500, 1);
+        let total = cfg.total();
+        assert!((450..=550).contains(&total), "total {total}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Shared dataset types: groups with ground truth, and training examples.
+
+use dime_core::Group;
+use std::collections::HashSet;
+
+/// A group plus its ground truth — which entity ids are mis-categorized.
+#[derive(Debug)]
+pub struct LabeledGroup {
+    /// Human-readable name (researcher page / product category).
+    pub name: String,
+    /// The entities.
+    pub group: Group,
+    /// Ids of the truly mis-categorized entities.
+    pub truth: HashSet<usize>,
+}
+
+impl LabeledGroup {
+    /// Error rate of the group: `|truth| / |group|`.
+    pub fn error_rate(&self) -> f64 {
+        if self.group.is_empty() {
+            0.0
+        } else {
+            self.truth.len() as f64 / self.group.len() as f64
+        }
+    }
+
+    /// Whether entity `id` is correctly categorized.
+    pub fn is_correct(&self, id: usize) -> bool {
+        !self.truth.contains(&id)
+    }
+}
+
+/// Positive and negative example pairs drawn from labeled groups
+/// (paper Section V: pairs that are / are not in the same category).
+#[derive(Debug, Default, Clone)]
+pub struct ExampleSet {
+    /// Pairs of entity ids that belong together (both correct).
+    pub positive: Vec<(usize, usize)>,
+    /// Pairs that do not belong together (one mis-categorized).
+    pub negative: Vec<(usize, usize)>,
+}
+
+impl ExampleSet {
+    /// Derives up to `n_pos`/`n_neg` example pairs from a labeled group:
+    /// positives are pairs of correct entities, negatives pair each
+    /// mis-categorized entity with correct ones (the paper's observation
+    /// that good negative examples are easy to find in this setting).
+    ///
+    /// Sampling is deterministic: pairs are taken in a fixed stride order.
+    pub fn from_labeled(lg: &LabeledGroup, n_pos: usize, n_neg: usize) -> Self {
+        let correct: Vec<usize> = (0..lg.group.len()).filter(|e| lg.is_correct(*e)).collect();
+        let wrong: Vec<usize> = (0..lg.group.len()).filter(|e| !lg.is_correct(*e)).collect();
+        let mut positive = Vec::with_capacity(n_pos);
+        // Stride through distinct correct pairs.
+        'pos: for step in 1..correct.len().max(1) {
+            for i in 0..correct.len().saturating_sub(step) {
+                if positive.len() >= n_pos {
+                    break 'pos;
+                }
+                positive.push((correct[i], correct[i + step]));
+            }
+        }
+        let mut negative = Vec::with_capacity(n_neg);
+        if !correct.is_empty() {
+            'neg: for (k, &w) in wrong.iter().enumerate() {
+                for j in 0..correct.len() {
+                    if negative.len() >= n_neg {
+                        break 'neg;
+                    }
+                    // Offset the start per wrong entity for variety.
+                    negative.push((w, correct[(j + k * 7) % correct.len()]));
+                }
+            }
+        }
+        Self { positive, negative }
+    }
+
+    /// Merges another example set (offsetting is the caller's concern when
+    /// the ids come from different groups).
+    pub fn extend(&mut self, other: &ExampleSet) {
+        self.positive.extend_from_slice(&other.positive);
+        self.negative.extend_from_slice(&other.negative);
+    }
+
+    /// Total number of examples.
+    pub fn len(&self) -> usize {
+        self.positive.len() + self.negative.len()
+    }
+
+    /// Whether there are no examples.
+    pub fn is_empty(&self) -> bool {
+        self.positive.is_empty() && self.negative.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dime_core::{GroupBuilder, Schema};
+    use dime_text::TokenizerKind;
+
+    fn tiny() -> LabeledGroup {
+        let mut b = GroupBuilder::new(Schema::new([("A", TokenizerKind::Words)]));
+        for i in 0..6 {
+            b.add_entity(&[&format!("e{i}")]);
+        }
+        LabeledGroup {
+            name: "t".into(),
+            group: b.build(),
+            truth: [4, 5].into_iter().collect(),
+        }
+    }
+
+    #[test]
+    fn error_rate_and_correctness() {
+        let lg = tiny();
+        assert!((lg.error_rate() - 2.0 / 6.0).abs() < 1e-12);
+        assert!(lg.is_correct(0));
+        assert!(!lg.is_correct(5));
+    }
+
+    #[test]
+    fn examples_respect_labels() {
+        let lg = tiny();
+        let ex = ExampleSet::from_labeled(&lg, 5, 5);
+        assert_eq!(ex.positive.len(), 5);
+        assert_eq!(ex.negative.len(), 5);
+        for &(a, b) in &ex.positive {
+            assert!(lg.is_correct(a) && lg.is_correct(b));
+            assert_ne!(a, b);
+        }
+        for &(w, c) in &ex.negative {
+            assert!(!lg.is_correct(w) && lg.is_correct(c));
+        }
+    }
+
+    #[test]
+    fn examples_capped_by_availability() {
+        let lg = tiny();
+        let ex = ExampleSet::from_labeled(&lg, 1000, 1000);
+        // 4 correct entities → 6 distinct positive pairs.
+        assert_eq!(ex.positive.len(), 6);
+        // 2 wrong × 4 correct = 8 negatives.
+        assert_eq!(ex.negative.len(), 8);
+    }
+}

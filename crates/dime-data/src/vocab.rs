@@ -1,0 +1,339 @@
+//! Word pools for the synthetic dataset generators.
+//!
+//! Names, per-field title vocabularies, venue taxonomies and product-theme
+//! vocabularies. Everything is deterministic given an RNG, and large name
+//! spaces are built combinatorially (first × last) so even 100k-entity
+//! DBGen groups get distinct people.
+
+use rand::Rng;
+
+/// First names used for synthetic authors and DBGen persons.
+pub const FIRST_NAMES: &[&str] = &[
+    "wei", "nan", "jia", "li", "ming", "hao", "yun", "cheng", "xu", "guo", "feng", "tao", "jun",
+    "anna", "boris", "carla", "david", "elena", "frank", "grace", "henry", "irene", "jack",
+    "karen", "liam", "maria", "nora", "oscar", "paula", "quinn", "rosa", "sam", "tina", "ugo",
+    "vera", "walt", "xena", "yuri", "zoe", "alan", "bella", "carl", "dina", "egon", "faye",
+];
+
+/// Last names used for synthetic authors and DBGen persons.
+pub const LAST_NAMES: &[&str] = &[
+    "tang", "li", "wang", "chen", "zhang", "feng", "hao", "liu", "zhao", "wu", "zhou", "xu",
+    "sun", "ma", "zhu", "hu", "guo", "lin", "he", "gao", "smith", "jones", "brown", "miller",
+    "davis", "garcia", "wilson", "moore", "taylor", "thomas", "lee", "white", "harris", "clark",
+    "lewis", "walker", "hall", "young", "allen", "king", "wright", "scott", "green", "baker",
+];
+
+/// A research field with its own title vocabulary, subfields, and venues.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Display name, also the ontology node name at depth 2.
+    pub name: &'static str,
+    /// Subfields: ontology nodes at depth 3, each owning some venues.
+    pub subfields: &'static [Subfield],
+    /// Words typical for titles in this field.
+    pub title_words: &'static [&'static str],
+}
+
+/// A subfield with its venues (ontology leaves at depth 4).
+#[derive(Debug, Clone)]
+pub struct Subfield {
+    /// Display name.
+    pub name: &'static str,
+    /// Venue names.
+    pub venues: &'static [&'static str],
+}
+
+/// The synthetic "Google Scholar Metrics" taxonomy (paper Figure 4 shape).
+pub const FIELDS: &[Field] = &[
+    Field {
+        name: "computer science",
+        subfields: &[
+            Subfield { name: "database", venues: &["sigmod", "vldb", "icde", "pods", "edbt", "cikm", "tods", "vldbj", "tkde"] },
+            Subfield { name: "system", venues: &["icpads", "osdi", "sosp", "atc", "eurosys", "nsdi"] },
+            Subfield { name: "information retrieval", venues: &["sigir", "wsdm", "ecir", "trec"] },
+            Subfield { name: "machine learning", venues: &["icml", "nips", "kdd", "aaai", "ijcai"] },
+            Subfield { name: "theory", venues: &["stoc", "focs", "soda", "icalp"] },
+        ],
+        title_words: &[
+            "data", "query", "index", "cleaning", "entity", "matching", "distributed", "graph",
+            "stream", "transaction", "join", "similarity", "crowdsourcing", "knowledge",
+            "learning", "ranking", "retrieval", "parallel", "storage", "optimization",
+            "scalable", "efficient", "system", "model", "clustering", "xml", "keyword",
+        ],
+    },
+    Field {
+        name: "chemical sciences",
+        subfields: &[
+            Subfield { name: "chemical sciences general", venues: &["rsc advances", "jacs", "angewandte chemie", "chemical reviews"] },
+            Subfield { name: "organic chemistry", venues: &["organic letters", "journal of organic chemistry", "tetrahedron"] },
+            Subfield { name: "materials chemistry", venues: &["chemistry of materials", "journal of materials chemistry"] },
+        ],
+        title_words: &[
+            "oxidative", "synthesis", "catalytic", "polymer", "desulfurization", "extraction",
+            "molecular", "compound", "reaction", "solvent", "crystal", "ligand", "oxidation",
+            "membrane", "nanoparticle", "electrochemical", "thermal", "spectroscopy", "glycol",
+            "aqueous", "ionic", "carbon",
+        ],
+    },
+    Field {
+        name: "life sciences",
+        subfields: &[
+            Subfield { name: "genetics", venues: &["nature genetics", "genome research", "plos genetics"] },
+            Subfield { name: "neuroscience", venues: &["neuron", "journal of neuroscience", "nature neuroscience"] },
+        ],
+        title_words: &[
+            "gene", "protein", "expression", "cell", "neural", "cortex", "genome", "sequencing",
+            "receptor", "pathway", "mutation", "regulation", "synaptic", "cognitive", "clinical",
+            "molecular", "tissue", "brain", "rna", "dna",
+        ],
+    },
+    Field {
+        name: "physics",
+        subfields: &[
+            Subfield { name: "condensed matter", venues: &["physical review b", "nature physics", "prl"] },
+            Subfield { name: "astrophysics", venues: &["astrophysical journal", "mnras", "astronomy and astrophysics"] },
+        ],
+        title_words: &[
+            "quantum", "lattice", "phonon", "superconductivity", "magnetization", "photon",
+            "scattering", "spin", "entanglement", "plasma", "galaxy", "stellar", "accretion",
+            "cosmological", "dark", "matter", "relativistic", "radiation", "spectrum", "orbital",
+        ],
+    },
+    Field {
+        name: "economics",
+        subfields: &[
+            Subfield { name: "microeconomics", venues: &["econometrica", "american economic review", "journal of political economy"] },
+            Subfield { name: "finance", venues: &["journal of finance", "review of financial studies"] },
+        ],
+        title_words: &[
+            "market", "equilibrium", "auction", "incentive", "welfare", "taxation", "pricing",
+            "liquidity", "volatility", "portfolio", "asset", "risk", "monetary", "inflation",
+            "labor", "trade", "growth", "consumption", "elasticity", "contract",
+        ],
+    },
+    Field {
+        name: "engineering",
+        subfields: &[
+            Subfield { name: "signal processing", venues: &["icassp", "ieee tsp", "eusipco"] },
+            Subfield { name: "control", venues: &["automatica", "ieee tac", "cdc"] },
+        ],
+        title_words: &[
+            "signal", "filter", "control", "estimation", "adaptive", "nonlinear", "feedback",
+            "robust", "frequency", "sensor", "noise", "tracking", "stability", "sampling",
+            "detection", "fusion", "modulation", "spectrum",
+        ],
+    },
+];
+
+/// Amazon-like product categories: `(department, category, themes)` where
+/// each theme is a vocabulary of description words.
+pub struct ProductCategory {
+    /// Department name (ontology depth 2).
+    pub department: &'static str,
+    /// Category name (ontology depth 3, the group being checked).
+    pub name: &'static str,
+    /// Title word pool.
+    pub title_words: &'static [&'static str],
+    /// Description themes — disjoint vocabularies that LDA can recover.
+    pub themes: &'static [&'static [&'static str]],
+}
+
+/// The synthetic Amazon catalog.
+pub const PRODUCT_CATEGORIES: &[ProductCategory] = &[
+    ProductCategory {
+        department: "electronics",
+        name: "router",
+        title_words: &["wireless", "router", "broadband", "gigabit", "dual", "band", "wifi", "ethernet", "gateway", "mesh"],
+        themes: &[
+            &["internet", "connection", "shares", "ethernet", "wired", "users", "access", "network", "broadband", "firewall", "dsl", "cable", "port", "lan", "wan", "speed", "bandwidth", "signal", "coverage", "antenna"],
+            &["setup", "easy", "install", "app", "parental", "controls", "guest", "security", "wpa", "encryption", "firmware", "update", "browser", "configuration", "wizard", "support", "warranty", "manual", "quick", "guide"],
+        ],
+    },
+    ProductCategory {
+        department: "electronics",
+        name: "adapter",
+        title_words: &["usb", "adapter", "ethernet", "lan", "converter", "hub", "port", "cable", "type", "hdmi"],
+        themes: &[
+            &["usb", "compatible", "powered", "plug", "play", "converter", "laptop", "desktop", "port", "device", "driver", "windows", "mac", "chipset", "transfer", "rate", "compact", "portable", "aluminum", "braided"],
+            &["hdmi", "video", "output", "resolution", "display", "monitor", "projector", "audio", "sync", "mirror", "extend", "screen", "adapter", "male", "female", "gold", "plated", "connector", "signal", "stable"],
+        ],
+    },
+    ProductCategory {
+        department: "beauty",
+        name: "shampoo",
+        title_words: &["shampoo", "moisturizing", "volume", "repair", "natural", "organic", "keratin", "argan", "coconut", "daily"],
+        themes: &[
+            &["hair", "scalp", "moisture", "dry", "damaged", "repair", "shine", "smooth", "frizz", "color", "treated", "sulfate", "free", "paraben", "gentle", "cleansing", "nourish", "vitamins", "oils", "lather"],
+            &["scent", "fragrance", "lavender", "fresh", "botanical", "extract", "aloe", "chamomile", "tea", "tree", "mint", "citrus", "relaxing", "spa", "salon", "quality", "silky", "soft", "healthy", "glow"],
+        ],
+    },
+    ProductCategory {
+        department: "beauty",
+        name: "lotion",
+        title_words: &["lotion", "body", "hydrating", "shea", "butter", "vitamin", "daily", "repair", "sensitive", "skin"],
+        themes: &[
+            &["skin", "hydration", "dry", "moisturizer", "absorbs", "greasy", "fragrance", "dermatologist", "tested", "sensitive", "hypoallergenic", "ceramides", "glycerin", "barrier", "repair", "soothing", "itch", "relief", "cream", "daily"],
+            &["shea", "butter", "cocoa", "natural", "ingredients", "vitamin", "antioxidants", "nourishing", "radiant", "glow", "smooth", "soft", "elastic", "firming", "anti", "aging", "wrinkle", "spa", "luxurious", "rich"],
+        ],
+    },
+    ProductCategory {
+        department: "home and kitchen",
+        name: "blender",
+        title_words: &["blender", "high", "speed", "smoothie", "countertop", "personal", "glass", "stainless", "pro", "quiet"],
+        themes: &[
+            &["blend", "smoothie", "ice", "crush", "motor", "watt", "blades", "stainless", "steel", "pitcher", "speed", "settings", "pulse", "puree", "soup", "frozen", "fruit", "powerful", "torque", "jar"],
+            &["dishwasher", "safe", "easy", "clean", "bpa", "free", "lid", "spout", "travel", "cup", "compact", "kitchen", "counter", "cord", "storage", "recipe", "book", "warranty", "base", "suction"],
+        ],
+    },
+    ProductCategory {
+        department: "home and kitchen",
+        name: "cookware",
+        title_words: &["cookware", "nonstick", "pan", "set", "skillet", "frying", "induction", "ceramic", "cast", "iron"],
+        themes: &[
+            &["nonstick", "coating", "scratch", "resistant", "even", "heat", "distribution", "aluminum", "induction", "compatible", "oven", "safe", "handle", "cool", "touch", "pour", "rim", "frying", "saute", "simmer"],
+            &["ceramic", "toxin", "free", "pfoa", "ptfe", "healthy", "cooking", "durable", "granite", "finish", "lightweight", "ergonomic", "grip", "dishwasher", "care", "seasoning", "cast", "iron", "skillet", "heirloom"],
+        ],
+    },
+    ProductCategory {
+        department: "toys and games",
+        name: "building blocks",
+        title_words: &["building", "blocks", "set", "creative", "construction", "bricks", "classic", "pieces", "educational", "stem"],
+        themes: &[
+            &["pieces", "bricks", "compatible", "build", "creative", "imagination", "colors", "shapes", "instructions", "model", "castle", "vehicle", "city", "minifigure", "baseplate", "storage", "box", "ages", "gift", "collection"],
+            &["educational", "stem", "learning", "motor", "skills", "develop", "hand", "eye", "coordination", "problem", "solving", "kids", "toddler", "safe", "nontoxic", "durable", "plastic", "rounded", "edges", "classroom"],
+        ],
+    },
+    ProductCategory {
+        department: "sports and outdoors",
+        name: "tent",
+        title_words: &["tent", "camping", "person", "backpacking", "waterproof", "dome", "instant", "family", "season", "lightweight"],
+        themes: &[
+            &["waterproof", "rainfly", "seams", "taped", "floor", "bathtub", "wind", "poles", "fiberglass", "aluminum", "stakes", "guylines", "vestibule", "footprint", "weather", "storm", "ventilation", "mesh", "condensation", "canopy"],
+            &["setup", "minutes", "freestanding", "instant", "carry", "bag", "packed", "weight", "compact", "spacious", "interior", "height", "doors", "pockets", "gear", "loft", "lantern", "hook", "camping", "hiking"],
+        ],
+    },
+    ProductCategory {
+        department: "sports and outdoors",
+        name: "sleeping bag",
+        title_words: &["sleeping", "bag", "degree", "mummy", "down", "synthetic", "compression", "adult", "winter", "ultralight"],
+        themes: &[
+            &["temperature", "rating", "degree", "warmth", "insulation", "down", "fill", "synthetic", "loft", "baffles", "draft", "collar", "hood", "cinch", "thermal", "cold", "winter", "ripstop", "shell", "liner"],
+            &["zipper", "snag", "free", "compression", "sack", "packs", "small", "lightweight", "roomy", "mummy", "rectangular", "footbox", "machine", "washable", "dries", "storage", "straps", "camping", "backpacking", "travel"],
+        ],
+    },
+    ProductCategory {
+        department: "toys and games",
+        name: "board game",
+        title_words: &["board", "game", "family", "party", "strategy", "card", "classic", "night", "players", "edition"],
+        themes: &[
+            &["players", "turns", "dice", "cards", "board", "strategy", "win", "points", "rules", "minutes", "playtime", "family", "night", "fun", "laugh", "party", "teams", "guess", "trivia", "challenge"],
+            &["components", "quality", "tokens", "miniatures", "artwork", "illustrated", "expansion", "replayability", "cooperative", "competitive", "ages", "adult", "kids", "gift", "box", "insert", "rulebook", "setup", "quick", "learn"],
+        ],
+    },
+];
+
+/// Generic words shared by *every* product category's titles and
+/// descriptions — the cross-category vocabulary overlap that makes string
+/// similarity noisy on real catalogs.
+pub const GENERIC_PRODUCT_WORDS: &[&str] = &[
+    "premium", "pro", "series", "pack", "new", "black", "white", "compact", "portable",
+    "quality", "durable", "design", "perfect", "ideal", "home", "office", "travel", "gift",
+    "value", "best", "top", "rated", "easy", "use", "includes", "features", "improved",
+    "original", "classic", "modern",
+];
+
+/// Samples a full person name `"first last"`.
+pub fn sample_name(rng: &mut impl Rng) -> String {
+    let f = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+    let l = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+    format!("{f} {l}")
+}
+
+/// Samples `n` distinct person names.
+pub fn sample_names(rng: &mut impl Rng, n: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::new();
+    while out.len() < n {
+        let name = sample_name(rng);
+        if seen.insert(name.clone()) {
+            out.push(name);
+        }
+    }
+    out
+}
+
+/// Abbreviates a name the way sloppy bibliography records do:
+/// `"nan tang"` → `"n. tang"` or `"nj tang"`.
+pub fn garble_name(rng: &mut impl Rng, name: &str) -> String {
+    let mut parts = name.split_whitespace();
+    let first = parts.next().unwrap_or("x");
+    let last = parts.next_back().unwrap_or("y");
+    match rng.gen_range(0..3u32) {
+        0 => format!("{}. {last}", &first[..1]),
+        1 => format!("{}{} {last}", &first[..1], &last[..1]),
+        _ => format!("{last} {first}"),
+    }
+}
+
+/// Samples `len` words from a pool, joined by spaces.
+pub fn sample_words(rng: &mut impl Rng, pool: &[&str], len: usize) -> String {
+    (0..len).map(|_| pool[rng.gen_range(0..pool.len())]).collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn name_sampling_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = sample_name(&mut rng);
+        assert_eq!(n.split_whitespace().count(), 2);
+    }
+
+    #[test]
+    fn sample_names_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let names = sample_names(&mut rng, 50);
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 50);
+    }
+
+    #[test]
+    fn garbled_names_differ_but_keep_a_token() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let g = garble_name(&mut rng, "nan tang");
+            assert_ne!(g, "nan tang");
+            assert!(g.contains("tang") || g.contains("nan"), "{g}");
+        }
+    }
+
+    #[test]
+    fn fields_have_nonempty_structure() {
+        for f in FIELDS {
+            assert!(!f.subfields.is_empty());
+            assert!(f.title_words.len() >= 10);
+            for s in f.subfields {
+                assert!(!s.venues.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn product_categories_have_two_themes() {
+        for c in PRODUCT_CATEGORIES {
+            assert!(c.themes.len() >= 2, "{}", c.name);
+            assert!(c.themes.iter().all(|t| t.len() >= 15));
+        }
+    }
+
+    #[test]
+    fn sample_words_length() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = sample_words(&mut rng, &["a", "b"], 5);
+        assert_eq!(w.split_whitespace().count(), 5);
+    }
+}

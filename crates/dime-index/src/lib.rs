@@ -1,0 +1,12 @@
+//! Index structures backing the DIME⁺ signature framework: a disjoint-set
+//! forest ([`UnionFind`]) for transitivity short-circuiting and connected
+//! components, and a signature [`InvertedIndex`] for the filter step.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod inverted;
+mod union_find;
+
+pub use inverted::InvertedIndex;
+pub use union_find::UnionFind;

@@ -1,0 +1,210 @@
+//! Disjoint-set forest with union-by-rank and path compression.
+//!
+//! DIME⁺ uses this for the constant-time "already in the same partition?"
+//! check (paper footnote 4) that lets the verification step skip candidate
+//! pairs whose answer is implied by transitivity, and for assembling the
+//! final connected components.
+
+/// A disjoint-set (union-find) structure over `0..len`.
+///
+/// # Examples
+///
+/// ```
+/// use dime_index::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// assert!(!uf.same(0, 1));
+/// uf.union(0, 1);
+/// uf.union(1, 2);
+/// assert!(uf.same(0, 2));   // transitivity
+/// assert_eq!(uf.components().len(), 2); // {0,1,2} and {3}
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        Self {
+            parent: (0..len as u32).collect(),
+            rank: vec![0; len],
+            components: len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Appends a new singleton element, returning its index — used by the
+    /// incremental engine as entities arrive.
+    pub fn push(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id as u32);
+        self.rank.push(0);
+        self.components += 1;
+        id
+    }
+
+    /// The representative of `x`'s set (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Compress the path.
+        let mut cur = x;
+        while self.parent[cur] as usize != cur {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Whether `a` and `b` are in the same set — the transitivity
+    /// short-circuit of the verification phase.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Merges the sets of `a` and `b`. Returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[lo] = hi as u32;
+        if self.rank[ra] == self.rank[rb] {
+            self.rank[hi] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Current number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Materializes all components as member lists (each sorted ascending;
+    /// components ordered by their smallest member).
+    pub fn components(&mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut by_root: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for x in 0..n {
+            let r = self.find(x);
+            by_root.entry(r).or_default().push(x);
+        }
+        let mut out: Vec<Vec<usize>> = by_root.into_values().collect();
+        out.sort_by_key(|c| c[0]); // members are pushed in ascending order
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singletons_at_start() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.same(1, 1));
+        assert!(!uf.same(0, 2));
+    }
+
+    #[test]
+    fn union_merges_and_reports() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0)); // already merged
+        assert_eq!(uf.component_count(), 3);
+    }
+
+    #[test]
+    fn components_are_sorted() {
+        let mut uf = UnionFind::new(5);
+        uf.union(3, 1);
+        uf.union(4, 3);
+        let comps = uf.components();
+        assert_eq!(comps, vec![vec![0], vec![1, 3, 4], vec![2]]);
+    }
+
+    #[test]
+    fn push_grows_structure() {
+        let mut uf = UnionFind::new(1);
+        let b = uf.push();
+        assert_eq!(b, 1);
+        assert_eq!(uf.component_count(), 2);
+        uf.union(0, b);
+        assert!(uf.same(0, 1));
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert!(uf.components().is_empty());
+    }
+
+    proptest! {
+        /// Union-find agrees with a naive reachability closure.
+        #[test]
+        fn prop_matches_naive_closure(edges in proptest::collection::vec((0usize..12, 0usize..12), 0..25)) {
+            let n = 12;
+            let mut uf = UnionFind::new(n);
+            let mut adj = vec![vec![false; n]; n];
+            for &(a, b) in &edges {
+                uf.union(a, b);
+                adj[a][b] = true;
+                adj[b][a] = true;
+            }
+            // Floyd–Warshall style closure.
+            for k in 0..n {
+                for i in 0..n {
+                    if adj[i][k] {
+                        for j in 0..n {
+                            if adj[k][j] {
+                                adj[i][j] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            for i in 0..n {
+                for j in 0..n {
+                    let reachable = i == j || adj[i][j];
+                    prop_assert_eq!(uf.same(i, j), reachable, "pair ({}, {})", i, j);
+                }
+            }
+        }
+
+        /// Component count + sizes are consistent.
+        #[test]
+        fn prop_component_invariants(edges in proptest::collection::vec((0usize..10, 0usize..10), 0..20)) {
+            let mut uf = UnionFind::new(10);
+            for &(a, b) in &edges {
+                uf.union(a, b);
+            }
+            let comps = uf.components();
+            prop_assert_eq!(comps.len(), uf.component_count());
+            let total: usize = comps.iter().map(Vec::len).sum();
+            prop_assert_eq!(total, 10);
+        }
+    }
+}

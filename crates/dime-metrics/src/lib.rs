@@ -1,0 +1,198 @@
+//! Effectiveness metrics and cross-validation utilities for the DIME
+//! evaluation: precision, recall, F-measure over predicted vs. ground-truth
+//! sets (Exp-1 … Exp-4), and deterministic k-fold splits (Exp-6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Precision / recall / F-measure triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prf {
+    /// `tp / (tp + fp)`; 1.0 when nothing was predicted.
+    pub precision: f64,
+    /// `tp / (tp + fn)`; 1.0 when nothing was relevant.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall; 0.0 when both are 0.
+    pub f_measure: f64,
+}
+
+impl Prf {
+    /// Builds the triple from raw confusion counts.
+    pub fn from_counts(tp: usize, fp: usize, fnn: usize) -> Self {
+        let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
+        let recall = if tp + fnn == 0 { 1.0 } else { tp as f64 / (tp + fnn) as f64 };
+        let f_measure = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Self { precision, recall, f_measure }
+    }
+
+    /// The arithmetic mean of a collection of triples (used for the
+    /// "average over 200 Scholar pages" style numbers). Empty input yields
+    /// all-zero metrics.
+    pub fn mean(items: &[Prf]) -> Self {
+        if items.is_empty() {
+            return Self { precision: 0.0, recall: 0.0, f_measure: 0.0 };
+        }
+        let n = items.len() as f64;
+        Self {
+            precision: items.iter().map(|p| p.precision).sum::<f64>() / n,
+            recall: items.iter().map(|p| p.recall).sum::<f64>() / n,
+            f_measure: items.iter().map(|p| p.f_measure).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Evaluates a predicted set against a ground-truth set.
+///
+/// ```
+/// use dime_metrics::evaluate_sets;
+/// let truth = [1, 2, 3];
+/// let predicted = [2, 3, 4];
+/// let m = evaluate_sets(predicted.iter(), truth.iter());
+/// assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
+/// assert!((m.recall - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn evaluate_sets<'a, T: Eq + Hash + 'a>(
+    predicted: impl IntoIterator<Item = &'a T>,
+    truth: impl IntoIterator<Item = &'a T>,
+) -> Prf {
+    let predicted: HashSet<&T> = predicted.into_iter().collect();
+    let truth: HashSet<&T> = truth.into_iter().collect();
+    let tp = predicted.intersection(&truth).count();
+    Prf::from_counts(tp, predicted.len() - tp, truth.len() - tp)
+}
+
+/// Deterministic k-fold split of `0..n` in round-robin order.
+///
+/// Returns `k` folds of near-equal size; every index appears in exactly one
+/// fold. Use fold `i` as the test set and the remainder as training.
+///
+/// ```
+/// use dime_metrics::kfold;
+/// let folds = kfold(7, 3);
+/// assert_eq!(folds.len(), 3);
+/// let total: usize = folds.iter().map(Vec::len).sum();
+/// assert_eq!(total, 7);
+/// ```
+pub fn kfold(n: usize, k: usize) -> Vec<Vec<usize>> {
+    assert!(k >= 1, "need at least one fold");
+    let mut folds = vec![Vec::with_capacity(n / k + 1); k];
+    for i in 0..n {
+        folds[i % k].push(i);
+    }
+    folds
+}
+
+/// Complements a fold: all indices of `0..n` not in `fold` (the training
+/// split corresponding to a test fold).
+pub fn fold_complement(n: usize, fold: &[usize]) -> Vec<usize> {
+    let test: HashSet<usize> = fold.iter().copied().collect();
+    (0..n).filter(|i| !test.contains(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let m = evaluate_sets([1, 2].iter(), [1, 2].iter());
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f_measure, 1.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let none: [u32; 0] = [];
+        let m = evaluate_sets(none.iter(), none.iter());
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        let m = evaluate_sets(none.iter(), [1].iter());
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f_measure, 0.0);
+        let m = evaluate_sets([1].iter(), none.iter());
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 1.0);
+    }
+
+    #[test]
+    fn from_counts_matches_formulas() {
+        let m = Prf::from_counts(3, 1, 2);
+        assert!((m.precision - 0.75).abs() < 1e-12);
+        assert!((m.recall - 0.6).abs() < 1e-12);
+        let expect_f = 2.0 * 0.75 * 0.6 / 1.35;
+        assert!((m.f_measure - expect_f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        let m = Prf::mean(&[]);
+        assert_eq!(m.f_measure, 0.0);
+    }
+
+    #[test]
+    fn mean_averages() {
+        let a = Prf::from_counts(1, 0, 0); // all 1.0
+        let b = Prf::from_counts(0, 1, 1); // all 0.0
+        let m = Prf::mean(&[a, b]);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kfold_partitions() {
+        let folds = kfold(10, 3);
+        assert_eq!(folds.iter().map(Vec::len).sum::<usize>(), 10);
+        let mut all: Vec<usize> = folds.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_complement_is_disjoint_cover() {
+        let folds = kfold(9, 4);
+        for f in &folds {
+            let train = fold_complement(9, f);
+            assert_eq!(train.len() + f.len(), 9);
+            assert!(train.iter().all(|i| !f.contains(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one fold")]
+    fn zero_folds_panics() {
+        let _ = kfold(5, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_metrics_in_unit_interval(tp in 0usize..20, fp in 0usize..20, fnn in 0usize..20) {
+            let m = Prf::from_counts(tp, fp, fnn);
+            prop_assert!((0.0..=1.0).contains(&m.precision));
+            prop_assert!((0.0..=1.0).contains(&m.recall));
+            prop_assert!((0.0..=1.0).contains(&m.f_measure));
+            // F is between min and max of P and R (harmonic mean property).
+            if m.precision > 0.0 && m.recall > 0.0 {
+                prop_assert!(m.f_measure <= m.precision.max(m.recall) + 1e-12);
+                prop_assert!(m.f_measure >= m.precision.min(m.recall) - 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_kfold_balanced(n in 0usize..50, k in 1usize..8) {
+            let folds = kfold(n, k);
+            let max = folds.iter().map(Vec::len).max().unwrap();
+            let min = folds.iter().map(Vec::len).min().unwrap();
+            prop_assert!(max - min <= 1, "folds must differ by at most one");
+        }
+    }
+}

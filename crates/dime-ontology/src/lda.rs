@@ -1,0 +1,638 @@
+//! Latent Dirichlet Allocation via collapsed Gibbs sampling, used to build
+//! *theme hierarchies* for attributes without a published ontology.
+//!
+//! The paper (Section VI-A) builds the ontology for Amazon's `Description`
+//! attribute by running LDA over the descriptions and using the learned
+//! themes as tree nodes. We reproduce that: [`Lda::fit`] learns `K` topics,
+//! and [`build_theme_hierarchy`] stacks two LDA levels into a
+//! root → theme → sub-theme tree, mapping every document to its sub-theme
+//! node so that `ontology_similarity` over descriptions becomes
+//! "same sub-theme > same theme > unrelated".
+
+use crate::{NodeId, Ontology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters and iteration budget for Gibbs sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct LdaConfig {
+    /// Number of topics `K`.
+    pub topics: usize,
+    /// Dirichlet prior on document-topic distributions.
+    pub alpha: f64,
+    /// Dirichlet prior on topic-word distributions.
+    pub beta: f64,
+    /// Gibbs sweeps over the corpus.
+    pub iterations: usize,
+    /// RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl LdaConfig {
+    /// A sensible default: `α = min(50/K, 0.3)`, `β = 0.01`, 80 sweeps.
+    ///
+    /// The textbook `α = 50/K` assumes long documents; titles and short
+    /// product descriptions have 5–25 tokens, where an `α` larger than the
+    /// document length flattens the document-topic posterior and topics
+    /// degrade into random word buckets. Capping `α` keeps documents
+    /// concentrated on few topics.
+    pub fn new(topics: usize, seed: u64) -> Self {
+        Self {
+            topics,
+            alpha: (50.0 / topics.max(1) as f64).min(0.3),
+            beta: 0.01,
+            iterations: 80,
+            seed,
+        }
+    }
+}
+
+/// A fitted LDA model.
+#[derive(Debug, Clone)]
+pub struct Lda {
+    /// `doc_topic[d][k]` — number of tokens of document `d` assigned to `k`.
+    doc_topic: Vec<Vec<u32>>,
+    /// `topic_word[k][w]` — number of occurrences of word `w` in topic `k`.
+    topic_word: Vec<Vec<u32>>,
+    /// `topic_total[k]` — total tokens assigned to topic `k`.
+    topic_total: Vec<u32>,
+    beta: f64,
+    vocab: usize,
+}
+
+impl Lda {
+    /// Fits LDA to `docs` (each a sequence of word ids `< vocab`) by
+    /// collapsed Gibbs sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.topics == 0` or any word id is `≥ vocab`.
+    pub fn fit(docs: &[Vec<u32>], vocab: usize, config: &LdaConfig) -> Self {
+        let k = config.topics;
+        assert!(k > 0, "LDA needs at least one topic");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut doc_topic = vec![vec![0u32; k]; docs.len()];
+        let mut topic_word = vec![vec![0u32; vocab]; k];
+        let mut topic_total = vec![0u32; k];
+        // Random initialization.
+        let mut z: Vec<Vec<usize>> = docs
+            .iter()
+            .enumerate()
+            .map(|(d, doc)| {
+                doc.iter()
+                    .map(|&w| {
+                        assert!((w as usize) < vocab, "word id {w} out of vocab {vocab}");
+                        let t = rng.gen_range(0..k);
+                        doc_topic[d][t] += 1;
+                        topic_word[t][w as usize] += 1;
+                        topic_total[t] += 1;
+                        t
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let (alpha, beta) = (config.alpha, config.beta);
+        let vbeta = vocab as f64 * beta;
+        let mut weights = vec![0.0f64; k];
+        for _ in 0..config.iterations {
+            for (d, doc) in docs.iter().enumerate() {
+                for (i, &w) in doc.iter().enumerate() {
+                    let w = w as usize;
+                    let old = z[d][i];
+                    doc_topic[d][old] -= 1;
+                    topic_word[old][w] -= 1;
+                    topic_total[old] -= 1;
+                    // Full conditional: (N_dk + α)(N_kw + β)/(N_k + Vβ).
+                    let mut total = 0.0;
+                    for t in 0..k {
+                        let p = (doc_topic[d][t] as f64 + alpha)
+                            * (topic_word[t][w] as f64 + beta)
+                            / (topic_total[t] as f64 + vbeta);
+                        total += p;
+                        weights[t] = total;
+                    }
+                    let r = rng.gen::<f64>() * total;
+                    let new = weights.partition_point(|&cum| cum < r).min(k - 1);
+                    z[d][i] = new;
+                    doc_topic[d][new] += 1;
+                    topic_word[new][w] += 1;
+                    topic_total[new] += 1;
+                }
+            }
+        }
+        Self { doc_topic, topic_word, topic_total, beta, vocab }
+    }
+
+    /// Number of topics.
+    pub fn topics(&self) -> usize {
+        self.topic_total.len()
+    }
+
+    /// The dominant topic of document `d` (argmax of its topic counts);
+    /// ties break toward the lower topic index. Empty documents map to 0.
+    pub fn doc_topic(&self, d: usize) -> usize {
+        self.doc_topic[d]
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// The per-topic token counts of training document `d`.
+    pub fn doc_topic_counts(&self, d: usize) -> &[u32] {
+        &self.doc_topic[d]
+    }
+
+    /// Raw count of word `w` in topic `t`.
+    pub fn topic_word_count(&self, t: usize, w: u32) -> u32 {
+        self.topic_word[t][w as usize]
+    }
+
+    /// Total tokens assigned to topic `t`.
+    pub fn topic_total(&self, t: usize) -> u32 {
+        self.topic_total[t]
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Smoothed probability of word `w` under topic `t`.
+    pub fn word_prob(&self, t: usize, w: u32) -> f64 {
+        (self.topic_word[t][w as usize] as f64 + self.beta)
+            / (self.topic_total[t] as f64 + self.vocab as f64 * self.beta)
+    }
+
+    /// Folds a *new* document into the model: the topic maximizing the
+    /// document's log-likelihood `Σ_w ln p(w | t)` under a uniform topic
+    /// prior. Empty documents map to topic 0.
+    pub fn infer(&self, words: &[u32]) -> usize {
+        if words.is_empty() {
+            return 0;
+        }
+        (0..self.topics())
+            .max_by(|&a, &b| {
+                let la: f64 = words.iter().map(|&w| self.word_prob(a, w).ln()).sum();
+                let lb: f64 = words.iter().map(|&w| self.word_prob(b, w).ln()).sum();
+                la.partial_cmp(&lb).unwrap()
+            })
+            .unwrap_or(0)
+    }
+
+    /// The `n` highest-probability words of topic `t`.
+    pub fn top_words(&self, t: usize, n: usize) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..self.vocab as u32).collect();
+        idx.sort_unstable_by(|&a, &b| {
+            self.topic_word[t][b as usize].cmp(&self.topic_word[t][a as usize]).then(a.cmp(&b))
+        });
+        idx.truncate(n);
+        idx
+    }
+}
+
+/// Builds a two-level theme hierarchy from documents and maps each document
+/// to its node.
+///
+/// Level 1 splits the corpus into `themes` topics; level 2 re-runs LDA with
+/// `sub_themes` topics *within* each theme's documents. Documents land on
+/// depth-3 sub-theme nodes (or the depth-2 theme node when a theme has too
+/// few documents to split). Returns the ontology and one node per document.
+pub fn build_theme_hierarchy(
+    docs: &[Vec<u32>],
+    vocab: usize,
+    themes: usize,
+    sub_themes: usize,
+    seed: u64,
+) -> (Ontology, Vec<NodeId>) {
+    let mut ont = Ontology::new("themes");
+    let mut doc_nodes = vec![ont.root(); docs.len()];
+    if docs.is_empty() {
+        return (ont, doc_nodes);
+    }
+    let top = Lda::fit(docs, vocab, &LdaConfig::new(themes, seed));
+    // Partition documents by dominant theme.
+    let mut by_theme: Vec<Vec<usize>> = vec![Vec::new(); themes];
+    for d in 0..docs.len() {
+        by_theme[top.doc_topic(d)].push(d);
+    }
+    for (t, members) in by_theme.iter().enumerate() {
+        if members.is_empty() {
+            continue;
+        }
+        let theme_node = ont.add_child(ont.root(), &format!("theme-{t}"));
+        if members.len() < 2 * sub_themes || sub_themes < 2 {
+            for &d in members {
+                doc_nodes[d] = theme_node;
+            }
+            continue;
+        }
+        let sub_docs: Vec<Vec<u32>> = members.iter().map(|&d| docs[d].clone()).collect();
+        let sub = Lda::fit(&sub_docs, vocab, &LdaConfig::new(sub_themes, seed ^ (t as u64 + 1)));
+        for (local, &d) in members.iter().enumerate() {
+            let s = sub.doc_topic(local);
+            let node = ont.add_child(theme_node, &format!("theme-{t}-{s}"));
+            doc_nodes[d] = node;
+        }
+    }
+    (ont, doc_nodes)
+}
+
+/// Builds a theme hierarchy by *clustering* LDA topics: fit `topics`
+/// topics, then agglomeratively merge them into `super_themes` groups by
+/// cosine similarity of their word distributions.
+///
+/// The resulting tree is root → super-theme (depth 2) → topic (depth 3),
+/// with every document mapped to its dominant topic's node. Compared to
+/// [`build_theme_hierarchy`], this handles *unbalanced* corpora: a 20%
+/// minority of foreign documents keeps its own super-theme because its
+/// topics share no vocabulary with the majority's topics, whereas plain
+/// LDA with a small `K` tends to split the majority instead.
+pub fn build_clustered_hierarchy(
+    docs: &[Vec<u32>],
+    vocab: usize,
+    topics: usize,
+    super_themes: usize,
+    seed: u64,
+) -> (Ontology, Vec<NodeId>) {
+    if docs.is_empty() {
+        let ont = Ontology::new("themes");
+        return (ont, Vec::new());
+    }
+    let model = ThemeModel::fit(docs, vocab, topics, super_themes, seed);
+    let nodes = (0..docs.len()).map(|d| model.topic_node[model.lda.doc_topic(d)]).collect();
+    let ThemeModel { ontology, .. } = model;
+    (ontology, nodes)
+}
+
+/// A reusable theme model: LDA topics clustered into super-themes, with
+/// fold-in inference for *new* documents.
+///
+/// This is how a corpus-level theme hierarchy (the paper trains LDA over
+/// whole datasets, not single groups) is applied to individual groups:
+/// [`ThemeModel::fit`] once on a background corpus, then
+/// [`ThemeModel::assign`] each group's values to ontology nodes.
+#[derive(Debug, Clone)]
+pub struct ThemeModel {
+    lda: Lda,
+    ontology: Ontology,
+    topic_node: Vec<NodeId>,
+}
+
+impl ThemeModel {
+    /// Fits `topics` LDA topics on `docs` and agglomerates them into
+    /// `super_themes` groups by cosine similarity of their word
+    /// distributions. The ontology is root → super-theme → topic.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty corpus.
+    pub fn fit(
+        docs: &[Vec<u32>],
+        vocab: usize,
+        topics: usize,
+        super_themes: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!docs.is_empty(), "cannot fit a theme model on an empty corpus");
+        let lda = Lda::fit(docs, vocab, &LdaConfig::new(topics, seed));
+
+        // Topic-word probability vectors.
+        let dists: Vec<Vec<f64>> = (0..topics)
+            .map(|t| (0..vocab as u32).map(|w| lda.word_prob(t, w)).collect())
+            .collect();
+        let cosine = |a: &[f64], b: &[f64]| -> f64 {
+            let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+            let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if na == 0.0 || nb == 0.0 {
+                0.0
+            } else {
+                dot / (na * nb)
+            }
+        };
+
+        // Greedy average-linkage agglomeration down to `super_themes` groups.
+        let mut groups: Vec<Vec<usize>> = (0..topics).map(|t| vec![t]).collect();
+        while groups.len() > super_themes.max(1) {
+            let mut best = (0usize, 1usize, f64::MIN);
+            for i in 0..groups.len() {
+                for j in i + 1..groups.len() {
+                    let mut sum = 0.0;
+                    let mut cnt = 0usize;
+                    for &a in &groups[i] {
+                        for &b in &groups[j] {
+                            sum += cosine(&dists[a], &dists[b]);
+                            cnt += 1;
+                        }
+                    }
+                    let avg = sum / cnt as f64;
+                    if avg > best.2 {
+                        best = (i, j, avg);
+                    }
+                }
+            }
+            let (i, j, _) = best;
+            let merged = groups.remove(j);
+            groups[i].extend(merged);
+        }
+
+        // Build the tree and the topic → node map.
+        let mut ontology = Ontology::new("themes");
+        let mut topic_node = vec![ontology.root(); topics];
+        for (g, members) in groups.iter().enumerate() {
+            let super_node = ontology.add_child(ontology.root(), &format!("super-{g}"));
+            for &t in members {
+                topic_node[t] = ontology.add_child(super_node, &format!("topic-{t}"));
+            }
+        }
+        Self { lda, ontology, topic_node }
+    }
+
+    /// Fits `topics` LDA topics and groups them into super-themes by the
+    /// *majority label* of their training documents (token-weighted) —
+    /// supervised topic grouping in the spirit of Labeled LDA, for
+    /// background corpora whose documents carry a coarse label (field,
+    /// catalog category). `labels[d]` is the label of `docs[d]`; labels
+    /// must be dense `0..n_labels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty corpus or mismatched label length.
+    pub fn fit_with_labels(
+        docs: &[Vec<u32>],
+        labels: &[usize],
+        vocab: usize,
+        topics: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!docs.is_empty(), "cannot fit a theme model on an empty corpus");
+        assert_eq!(docs.len(), labels.len(), "one label per document required");
+        let n_labels = labels.iter().copied().max().unwrap_or(0) + 1;
+        let lda = Lda::fit(docs, vocab, &LdaConfig::new(topics, seed));
+        // Token-level label votes per topic: every topic a document's
+        // tokens were assigned to receives that document's label votes —
+        // this labels even topics that are never *dominant* for any single
+        // document.
+        let mut votes = vec![vec![0usize; n_labels]; topics];
+        for d in 0..docs.len() {
+            for (t, &c) in lda.doc_topic_counts(d).iter().enumerate() {
+                votes[t][labels[d]] += c as usize;
+            }
+        }
+        let mut ontology = Ontology::new("themes");
+        let super_nodes: Vec<NodeId> = (0..n_labels)
+            .map(|g| ontology.add_child(0, &format!("super-{g}")))
+            .collect();
+        let mut topic_node = vec![ontology.root(); topics];
+        for (t, v) in votes.iter().enumerate() {
+            let g = v
+                .iter()
+                .enumerate()
+                .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            topic_node[t] = ontology.add_child(super_nodes[g], &format!("topic-{t}"));
+        }
+        Self { lda, ontology, topic_node }
+    }
+
+    /// The learned hierarchy.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// The underlying topic model.
+    pub fn lda(&self) -> &Lda {
+        &self.lda
+    }
+
+    /// Assigns a (possibly unseen) document to its theme node by fold-in
+    /// inference. Out-of-vocabulary word ids must be filtered by the
+    /// caller; an empty word list maps to topic 0's node.
+    ///
+    /// Inference is *super-theme first*: word distributions are aggregated
+    /// per super-theme (whose token mass is always substantial), the
+    /// best-scoring super-theme is chosen, and only then the best topic
+    /// within it. Scoring raw topics directly is brittle — a degenerate
+    /// topic with little token mass has nearly uniform (β-dominated) word
+    /// probabilities that can out-score a well-populated topic on words it
+    /// has simply never seen.
+    pub fn assign(&self, words: &[u32]) -> NodeId {
+        if words.is_empty() {
+            return self.topic_node[0];
+        }
+        // Group topics by super-theme node (the parent of each topic node).
+        let mut supers: Vec<(NodeId, Vec<usize>)> = Vec::new();
+        for (t, &node) in self.topic_node.iter().enumerate() {
+            let parent = self.ontology.parent(node).unwrap_or(node);
+            match supers.iter_mut().find(|(p, _)| *p == parent) {
+                Some((_, members)) => members.push(t),
+                None => supers.push((parent, vec![t])),
+            }
+        }
+        let beta = 0.01f64;
+        let vbeta = self.lda.vocab() as f64 * beta;
+        let best_super = supers
+            .iter()
+            .max_by(|a, b| {
+                let score = |members: &[usize]| -> f64 {
+                    let total: f64 =
+                        members.iter().map(|&t| self.lda.topic_total(t) as f64).sum();
+                    words
+                        .iter()
+                        .map(|&w| {
+                            let c: f64 = members
+                                .iter()
+                                .map(|&t| self.lda.topic_word_count(t, w) as f64)
+                                .sum();
+                            ((c + beta) / (total + vbeta)).ln()
+                        })
+                        .sum()
+                };
+                score(&a.1).partial_cmp(&score(&b.1)).unwrap()
+            })
+            .expect("at least one super-theme");
+        // Best topic within the chosen super-theme, weighted by topic mass.
+        let &t = best_super
+            .1
+            .iter()
+            .max_by(|&&a, &&b| {
+                let score = |t: usize| -> f64 {
+                    let total = self.lda.topic_total(t) as f64;
+                    words
+                        .iter()
+                        .map(|&w| {
+                            ((self.lda.topic_word_count(t, w) as f64 + beta) / (total + vbeta))
+                                .ln()
+                        })
+                        .sum::<f64>()
+                        + (total + 1.0).ln()
+                };
+                score(a).partial_cmp(&score(b)).unwrap()
+            })
+            .expect("super-theme has at least one topic");
+        self.topic_node[t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology_similarity;
+
+    /// Two well-separated vocabularies: words 0..10 (networking) and
+    /// 10..20 (cosmetics). LDA with K=2 must separate them.
+    fn two_theme_corpus(docs_per_theme: usize, len: usize) -> Vec<Vec<u32>> {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut docs = Vec::new();
+        for theme in 0..2u32 {
+            for _ in 0..docs_per_theme {
+                let doc: Vec<u32> =
+                    (0..len).map(|_| theme * 10 + rng.gen_range(0..10u32)).collect();
+                docs.push(doc);
+            }
+        }
+        docs
+    }
+
+    #[test]
+    fn lda_separates_disjoint_vocabularies() {
+        let docs = two_theme_corpus(20, 30);
+        let lda = Lda::fit(&docs, 20, &LdaConfig::new(2, 42));
+        let first = lda.doc_topic(0);
+        // All theme-0 docs share a topic, all theme-1 docs share the other.
+        assert!((0..20).all(|d| lda.doc_topic(d) == first));
+        assert!((20..40).all(|d| lda.doc_topic(d) == 1 - first));
+    }
+
+    #[test]
+    fn lda_is_deterministic_given_seed() {
+        let docs = two_theme_corpus(5, 10);
+        let a = Lda::fit(&docs, 20, &LdaConfig::new(2, 9));
+        let b = Lda::fit(&docs, 20, &LdaConfig::new(2, 9));
+        for d in 0..docs.len() {
+            assert_eq!(a.doc_topic(d), b.doc_topic(d));
+        }
+    }
+
+    #[test]
+    fn top_words_come_from_topic_vocabulary() {
+        let docs = two_theme_corpus(20, 30);
+        let lda = Lda::fit(&docs, 20, &LdaConfig::new(2, 42));
+        let t0 = lda.doc_topic(0); // topic of the 0..10 vocabulary
+        let tops = lda.top_words(t0, 5);
+        assert!(tops.iter().all(|&w| w < 10), "top words {tops:?} leak across themes");
+    }
+
+    #[test]
+    fn word_prob_sums_to_one() {
+        let docs = two_theme_corpus(5, 10);
+        let lda = Lda::fit(&docs, 20, &LdaConfig::new(2, 1));
+        for t in 0..2 {
+            let s: f64 = (0..20u32).map(|w| lda.word_prob(t, w)).sum();
+            assert!((s - 1.0).abs() < 1e-9, "topic {t} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn hierarchy_groups_same_theme_docs_closer() {
+        let docs = two_theme_corpus(30, 30);
+        let (ont, nodes) = build_theme_hierarchy(&docs, 20, 2, 2, 5);
+        // Same-theme pairs must be at least as similar as cross-theme pairs.
+        let same = ontology_similarity(&ont, nodes[0], nodes[1]);
+        let cross = ontology_similarity(&ont, nodes[0], nodes[35]);
+        assert!(same > cross, "same {same} !> cross {cross}");
+        assert!(cross <= 0.5);
+    }
+
+    #[test]
+    fn hierarchy_handles_empty_and_tiny_corpora() {
+        let (_, nodes) = build_theme_hierarchy(&[], 5, 2, 2, 0);
+        assert!(nodes.is_empty());
+        let docs = vec![vec![0u32, 1], vec![2, 3]];
+        let (ont, nodes) = build_theme_hierarchy(&docs, 5, 2, 2, 0);
+        assert_eq!(nodes.len(), 2);
+        for n in nodes {
+            assert!(ont.depth(n) >= 2); // mapped to a theme node, not the root
+        }
+    }
+
+    /// Clustered hierarchy must isolate a 20% minority with disjoint
+    /// vocabulary into its own super-theme — the case plain small-K LDA
+    /// gets wrong on unbalanced corpora.
+    #[test]
+    fn clustered_hierarchy_isolates_minority() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut docs: Vec<Vec<u32>> = Vec::new();
+        // 80 majority docs over words 0..20 (two sub-pools sharing 0..10),
+        // 20 minority docs over words 20..30.
+        for i in 0..80u32 {
+            let sub = 10 + (i % 2) * 5;
+            let doc: Vec<u32> = (0..25)
+                .map(|_| {
+                    if rng.gen_bool(0.5) {
+                        rng.gen_range(0..10u32)
+                    } else {
+                        sub + rng.gen_range(0..5u32)
+                    }
+                })
+                .collect();
+            docs.push(doc);
+        }
+        for _ in 0..20 {
+            docs.push((0..25).map(|_| 20 + rng.gen_range(0..10u32)).collect());
+        }
+        let (ont, nodes) = build_clustered_hierarchy(&docs, 30, 4, 2, 11);
+        // Every majority pair must be at least as similar as any
+        // majority-minority pair, and the cross similarity must be ≤ 0.5.
+        let cross = ontology_similarity(&ont, nodes[0], nodes[85]);
+        assert!(cross <= 0.5, "cross {cross}");
+        for d in [1usize, 3, 41, 79] {
+            let within = ontology_similarity(&ont, nodes[0], nodes[d]);
+            assert!(within > cross, "within {within} !> cross {cross} (doc {d})");
+        }
+    }
+
+    #[test]
+    fn infer_assigns_new_docs_to_right_topic() {
+        let docs = two_theme_corpus(20, 30);
+        let lda = Lda::fit(&docs, 20, &LdaConfig::new(2, 42));
+        let t0 = lda.doc_topic(0);
+        assert_eq!(lda.infer(&[0, 1, 2, 3]), t0);
+        assert_eq!(lda.infer(&[10, 11, 12]), 1 - t0);
+        assert_eq!(lda.infer(&[]), 0);
+    }
+
+    #[test]
+    fn theme_model_assign_matches_training_semantics() {
+        let docs = two_theme_corpus(30, 30);
+        let model = ThemeModel::fit(&docs, 20, 4, 2, 9);
+        let a = model.assign(&[0, 1, 2, 3, 4]);
+        let b = model.assign(&[15, 16, 17, 18]);
+        // Different vocab blocks land in different super-themes.
+        let ont = model.ontology();
+        assert_ne!(ont.ancestor_at_depth(a, 2), ont.ancestor_at_depth(b, 2));
+        assert!(ontology_similarity(ont, a, b) <= 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty corpus")]
+    fn theme_model_empty_panics() {
+        let _ = ThemeModel::fit(&[], 5, 2, 2, 0);
+    }
+
+    #[test]
+    fn clustered_hierarchy_handles_empty() {
+        let (_, nodes) = build_clustered_hierarchy(&[], 5, 3, 2, 0);
+        assert!(nodes.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn out_of_vocab_panics() {
+        let _ = Lda::fit(&[vec![5]], 3, &LdaConfig::new(2, 0));
+    }
+}

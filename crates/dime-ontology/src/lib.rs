@@ -1,0 +1,27 @@
+//! Ontology trees and semantic similarity for DIME.
+//!
+//! Implements the third similarity family of "Discovering Mis-Categorized
+//! Entities" (ICDE 2018): **ontology-based similarity**. Categories form a
+//! rooted tree ([`Ontology`], e.g. Google Scholar Metrics' venue taxonomy),
+//! entities map to nodes, and similarity is `2·|LCA|/(|n|+|n′|)` over node
+//! depths ([`ontology_similarity`]).
+//!
+//! For DIME⁺'s filter step this crate provides the *node signature* scheme
+//! of Section IV-B ([`tau`], [`tau_min`], [`node_signature`]) with the
+//! paper's Lemmas 4.1/4.2 verified as property tests, and for attributes
+//! lacking a curated ontology it provides an [`Lda`] topic model plus
+//! [`build_theme_hierarchy`] to learn one from text, as the paper does for
+//! Amazon product descriptions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lda;
+mod signature;
+mod similarity;
+mod tree;
+
+pub use lda::{build_clustered_hierarchy, build_theme_hierarchy, Lda, LdaConfig, ThemeModel};
+pub use signature::{node_signature, tau, tau_min};
+pub use similarity::{ontology_similarity, ontology_similarity_opt};
+pub use tree::{Node, NodeId, Ontology};

@@ -1,0 +1,155 @@
+//! Ontology node signatures (paper Section IV-B, Lemmas 4.1 and 4.2).
+//!
+//! For the predicate `ontology_similarity ≥ θ`, the signature of a node `n`
+//! with depth `|n|` is an ancestor at depth
+//!
+//! ```text
+//! τ_n = ⌈ θ·|n| / (2 − θ) ⌉
+//! ```
+//!
+//! because `sim(n, n′) ≥ θ` forces `|LCA(n, n′)| ≥ τ_n` (Lemma 4.1). Since
+//! ancestor-descendant checks between two different signature depths are
+//! awkward, DIME⁺ uses a single depth `τ_min = min over the group of τ_n`:
+//! every node takes its ancestor at `τ_min` as its *node signature*, and
+//! similar nodes are guaranteed to have **equal** node signatures
+//! (Lemma 4.2).
+
+use crate::{NodeId, Ontology};
+
+/// Computes `τ_n = ⌈θ·depth/(2−θ)⌉`, clamped to at least 1 (the root).
+///
+/// ```
+/// use dime_ontology::tau;
+/// // Paper Example 6 with θ = 0.75:
+/// assert_eq!(tau(0.75, 2), 2); // Computer Science
+/// assert_eq!(tau(0.75, 3), 2); // Database
+/// assert_eq!(tau(0.75, 4), 3); // VLDB
+/// ```
+pub fn tau(theta: f64, depth: u32) -> u32 {
+    assert!((0.0..=1.0).contains(&theta), "ontology threshold must be in [0,1]");
+    let raw = (theta * depth as f64) / (2.0 - theta);
+    // −ε before ceil: rounding τ *up* past its exact value would pick a
+    // signature deeper than the guaranteed LCA depth (a false dismissal);
+    // one too shallow is merely less selective.
+    (((raw - 1e-9).ceil()) as u32).max(1)
+}
+
+/// The minimum `τ_n` over a collection of node depths — the shared
+/// signature depth for the group (paper: `τ_min`).
+///
+/// Returns 1 (the root depth) for an empty collection, which keeps every
+/// signature valid though unselective.
+pub fn tau_min(theta: f64, depths: impl IntoIterator<Item = u32>) -> u32 {
+    depths.into_iter().map(|d| tau(theta, d)).min().unwrap_or(1)
+}
+
+/// The *node signature* of `node` at signature depth `tau_min`: its
+/// ancestor at that depth (or the node itself if it is shallower).
+pub fn node_signature(ont: &Ontology, node: NodeId, tau_min: u32) -> NodeId {
+    let d = ont.depth(node).min(tau_min);
+    ont.ancestor_at_depth(node, d)
+        .expect("depth clamped to node depth, ancestor must exist")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology_similarity;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_6_signatures() {
+        let mut o = Ontology::new("venue");
+        let cs = o.add_child(o.root(), "computer science");
+        let db = o.add_child(cs, "database");
+        let vldb = o.add_child(db, "vldb");
+        let theta = 0.75;
+        // τ values from Example 6.
+        assert_eq!(tau(theta, o.depth(cs)), 2);
+        assert_eq!(tau(theta, o.depth(db)), 2);
+        assert_eq!(tau(theta, o.depth(vldb)), 3);
+        // Per-node τ signatures: cs→cs, db→cs, vldb→db.
+        assert_eq!(o.ancestor_at_depth(db, 2), Some(cs));
+        assert_eq!(o.ancestor_at_depth(vldb, 3), Some(db));
+        // Node signatures at τ_min = 2 are all "computer science".
+        let tmin = tau_min(theta, [o.depth(cs), o.depth(db), o.depth(vldb)]);
+        assert_eq!(tmin, 2);
+        for n in [cs, db, vldb] {
+            assert_eq!(node_signature(&o, n, tmin), cs);
+        }
+    }
+
+    #[test]
+    fn tau_is_clamped_to_root() {
+        assert_eq!(tau(0.01, 1), 1);
+        assert_eq!(tau(0.0, 5), 1);
+    }
+
+    #[test]
+    fn tau_min_empty_defaults_to_root() {
+        assert_eq!(tau_min(0.5, []), 1);
+    }
+
+    #[test]
+    fn shallow_node_signature_is_itself() {
+        let o = Ontology::new("r");
+        assert_eq!(node_signature(&o, o.root(), 3), o.root());
+    }
+
+    /// Builds a random-ish tree and returns all node ids.
+    fn build_tree(shape: &[usize]) -> (Ontology, Vec<NodeId>) {
+        let mut o = Ontology::new("root");
+        let mut frontier = vec![o.root()];
+        let mut all = vec![o.root()];
+        for (lvl, &width) in shape.iter().enumerate() {
+            let mut next = Vec::new();
+            for (pi, &p) in frontier.iter().enumerate() {
+                for c in 0..width {
+                    let id = o.add_child(p, &format!("n{lvl}-{pi}-{c}"));
+                    next.push(id);
+                    all.push(id);
+                }
+            }
+            frontier = next;
+        }
+        (o, all)
+    }
+
+    proptest! {
+        /// Lemma 4.2: sim(n, n′) ≥ θ ⇒ equal node signatures at τ_min.
+        #[test]
+        fn prop_lemma_4_2(theta in 0.05f64..0.99, i in 0usize..50, j in 0usize..50) {
+            let (o, all) = build_tree(&[3, 2, 2]);
+            let a = all[i % all.len()];
+            let b = all[j % all.len()];
+            let tmin = tau_min(theta, all.iter().map(|&n| o.depth(n)));
+            if ontology_similarity(&o, a, b) >= theta {
+                prop_assert_eq!(node_signature(&o, a, tmin), node_signature(&o, b, tmin),
+                    "similar nodes must share a node signature");
+            }
+        }
+
+        /// Lemma 4.1: sim ≥ θ ⇒ per-node τ ancestors are equal or in an
+        /// ancestor-descendant relationship.
+        #[test]
+        fn prop_lemma_4_1(theta in 0.05f64..0.99, i in 0usize..50, j in 0usize..50) {
+            let (o, all) = build_tree(&[3, 2, 2]);
+            let a = all[i % all.len()];
+            let b = all[j % all.len()];
+            if ontology_similarity(&o, a, b) >= theta {
+                let sa = o.ancestor_at_depth(a, tau(theta, o.depth(a))).unwrap();
+                let sb = o.ancestor_at_depth(b, tau(theta, o.depth(b))).unwrap();
+                prop_assert!(
+                    sa == sb || o.is_ancestor_or_self(sa, sb) || o.is_ancestor_or_self(sb, sa)
+                );
+            }
+        }
+
+        /// τ is monotone in both θ and depth.
+        #[test]
+        fn prop_tau_monotone(t1 in 0.05f64..0.95, dt in 0.0f64..0.04, d in 1u32..30) {
+            prop_assert!(tau(t1, d) <= tau(t1 + dt, d));
+            prop_assert!(tau(t1, d) <= tau(t1, d + 1));
+        }
+    }
+}

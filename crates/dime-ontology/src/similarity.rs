@@ -1,0 +1,109 @@
+//! Ontology similarity (paper Section II).
+//!
+//! For nodes `n`, `n′` of an ontology tree the similarity is
+//!
+//! ```text
+//! sim(n, n′) = 2·|LCA(n, n′)| / (|n| + |n′|)
+//! ```
+//!
+//! where `|n|` is the node's depth (root = 1). SIGMOD and VLDB, both at
+//! depth 4 with LCA "Database" at depth 3, score `2·3 / (4+4) = 0.75`
+//! (paper Example 4 — note the paper rounds this to 3/4).
+
+use crate::{NodeId, Ontology};
+
+/// Computes `2·|LCA|/(|n|+|n′|)` for two nodes of `ont`.
+///
+/// ```
+/// use dime_ontology::{Ontology, ontology_similarity};
+/// let mut ont = Ontology::new("venue");
+/// let sigmod = ont.add_path(&["computer science", "database", "sigmod"]);
+/// let vldb = ont.add_path(&["computer science", "database", "vldb"]);
+/// assert_eq!(ontology_similarity(&ont, sigmod, vldb), 0.75);
+/// assert_eq!(ontology_similarity(&ont, sigmod, sigmod), 1.0);
+/// ```
+pub fn ontology_similarity(ont: &Ontology, a: NodeId, b: NodeId) -> f64 {
+    let lca = ont.lca(a, b);
+    let da = ont.depth(a) as f64;
+    let db = ont.depth(b) as f64;
+    2.0 * ont.depth(lca) as f64 / (da + db)
+}
+
+/// Ontology similarity over *optional* node mappings: entities whose value
+/// failed to map to the ontology are treated as maximally dissimilar
+/// (similarity 0) to everything, including other unmapped values.
+pub fn ontology_similarity_opt(ont: &Ontology, a: Option<NodeId>, b: Option<NodeId>) -> f64 {
+    match (a, b) {
+        (Some(a), Some(b)) => ontology_similarity(ont, a, b),
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> (Ontology, Vec<NodeId>) {
+        let mut o = Ontology::new("venue");
+        let mut nodes = vec![o.root()];
+        nodes.push(o.add_path(&["cs", "db", "sigmod"]));
+        nodes.push(o.add_path(&["cs", "db", "vldb"]));
+        nodes.push(o.add_path(&["cs", "system", "icpads"]));
+        nodes.push(o.add_path(&["chem", "rsc advances"]));
+        nodes.push(o.lookup("db").unwrap());
+        nodes.push(o.lookup("cs").unwrap());
+        (o, nodes)
+    }
+
+    #[test]
+    fn paper_example_4() {
+        let (o, _) = sample();
+        let s = o.lookup("sigmod").unwrap();
+        let v = o.lookup("vldb").unwrap();
+        assert_eq!(ontology_similarity(&o, s, v), 0.75);
+    }
+
+    #[test]
+    fn cross_field_similarity_is_low() {
+        let (o, _) = sample();
+        let s = o.lookup("sigmod").unwrap();
+        let r = o.lookup("rsc advances").unwrap();
+        // LCA is the root (depth 1): 2·1/(4+3) ≈ 0.2857.
+        assert!(ontology_similarity(&o, s, r) < 0.3);
+    }
+
+    #[test]
+    fn ancestor_descendant() {
+        let (o, _) = sample();
+        let s = o.lookup("sigmod").unwrap();
+        let db = o.lookup("db").unwrap();
+        // LCA(sigmod, db) = db: 2·3/(4+3) = 6/7.
+        assert!((ontology_similarity(&o, s, db) - 6.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unmapped_values_are_dissimilar() {
+        let (o, _) = sample();
+        let s = o.lookup("sigmod").unwrap();
+        assert_eq!(ontology_similarity_opt(&o, Some(s), None), 0.0);
+        assert_eq!(ontology_similarity_opt(&o, None, None), 0.0);
+        assert_eq!(ontology_similarity_opt(&o, Some(s), Some(s)), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bounds_and_symmetry(i in 0usize..7, j in 0usize..7) {
+            let (o, nodes) = sample();
+            let s = ontology_similarity(&o, nodes[i], nodes[j]);
+            prop_assert!(s > 0.0 && s <= 1.0);
+            prop_assert!((s - ontology_similarity(&o, nodes[j], nodes[i])).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_self_similarity_is_one(i in 0usize..7) {
+            let (o, nodes) = sample();
+            prop_assert_eq!(ontology_similarity(&o, nodes[i], nodes[i]), 1.0);
+        }
+    }
+}

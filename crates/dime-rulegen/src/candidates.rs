@@ -1,0 +1,152 @@
+//! Candidate predicate generation (paper Section V-A, Theorem 3).
+//!
+//! Rule generation would have to search infinitely many thresholds, but
+//! only thresholds equal to a similarity value *realized on an example
+//! pair* can change which examples a rule covers (Theorem 3). So the
+//! candidate predicates for attribute `A` and function `f` are exactly
+//! `f(A) ≥ f(e, e′)` over positive example pairs (and `f(A) ≤ f(e, e′)`
+//! over negative pairs for negative rules).
+
+use dime_core::{Group, Polarity, Predicate, SimilarityFn};
+
+/// The library `F` of similarity functions available per attribute.
+#[derive(Debug, Clone, Default)]
+pub struct FunctionLibrary {
+    entries: Vec<(usize, SimilarityFn)>,
+}
+
+impl FunctionLibrary {
+    /// Builds a library from explicit `(attribute, function)` pairs.
+    pub fn new(entries: Vec<(usize, SimilarityFn)>) -> Self {
+        Self { entries }
+    }
+
+    /// A sensible default for a group: `Overlap` and `Jaccard` on every
+    /// attribute, plus `Ontology` on attributes that carry an ontology.
+    pub fn default_for(group: &Group) -> Self {
+        let mut entries = Vec::new();
+        for attr in 0..group.schema().len() {
+            entries.push((attr, SimilarityFn::Overlap));
+            entries.push((attr, SimilarityFn::Jaccard));
+            if group.ontology(attr).is_some() {
+                entries.push((attr, SimilarityFn::Ontology));
+            }
+        }
+        Self { entries }
+    }
+
+    /// The `(attribute, function)` pairs.
+    pub fn entries(&self) -> &[(usize, SimilarityFn)] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Generates the finite candidate predicate set for one polarity.
+///
+/// For [`Polarity::Positive`], thresholds come from similarity values on
+/// `positive` example pairs (predicates `f(A) ≥ θ`); for
+/// [`Polarity::Negative`], from values on `negative` pairs (`f(A) ≤ σ`).
+/// Duplicate `(attr, func, threshold)` triples are removed; thresholds are
+/// sorted descending per `(attr, func)` so stricter predicates come first.
+pub fn candidate_predicates(
+    group: &Group,
+    examples: &[(usize, usize)],
+    library: &FunctionLibrary,
+    polarity: Polarity,
+) -> Vec<Predicate> {
+    let mut out: Vec<Predicate> = Vec::new();
+    for &(attr, func) in library.entries() {
+        let mut thresholds: Vec<f64> = examples
+            .iter()
+            .map(|&(a, b)| {
+                Predicate::new(attr, func, 0.0).similarity(group, group.entity(a), group.entity(b))
+            })
+            .collect();
+        thresholds.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        thresholds.dedup();
+        for t in thresholds {
+            // A trivial threshold covers every pair and cannot discriminate.
+            let trivial = match polarity {
+                Polarity::Positive => t <= 0.0 && func.higher_is_similar(),
+                Polarity::Negative => t >= 1.0 && func.higher_is_similar() && !matches!(func, SimilarityFn::Overlap),
+            };
+            if trivial {
+                continue;
+            }
+            out.push(Predicate::new(attr, func, t));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dime_core::{GroupBuilder, Schema};
+    use dime_text::TokenizerKind;
+
+    fn group() -> Group {
+        let schema = Schema::new([("Authors", TokenizerKind::List(','))]);
+        let mut b = GroupBuilder::new(schema);
+        b.add_entity(&["a, b, c"]);
+        b.add_entity(&["a, b"]);
+        b.add_entity(&["z"]);
+        b.build()
+    }
+
+    #[test]
+    fn positive_thresholds_come_from_positive_pairs() {
+        let g = group();
+        let lib = FunctionLibrary::new(vec![(0, SimilarityFn::Overlap)]);
+        let preds = candidate_predicates(&g, &[(0, 1)], &lib, Polarity::Positive);
+        // overlap(e0, e1) = 2 → single candidate `overlap ≥ 2`.
+        assert_eq!(preds.len(), 1);
+        assert_eq!(preds[0].threshold, 2.0);
+    }
+
+    #[test]
+    fn negative_thresholds_come_from_negative_pairs() {
+        let g = group();
+        let lib = FunctionLibrary::new(vec![(0, SimilarityFn::Overlap)]);
+        let preds = candidate_predicates(&g, &[(0, 2), (1, 2)], &lib, Polarity::Negative);
+        // overlap = 0 for both pairs → one candidate `overlap ≤ 0`.
+        assert_eq!(preds.len(), 1);
+        assert_eq!(preds[0].threshold, 0.0);
+    }
+
+    #[test]
+    fn trivial_positive_thresholds_pruned() {
+        let g = group();
+        let lib = FunctionLibrary::new(vec![(0, SimilarityFn::Jaccard)]);
+        // Pair (0,2) has Jaccard 0 → would be the trivial `J ≥ 0`.
+        let preds = candidate_predicates(&g, &[(0, 2)], &lib, Polarity::Positive);
+        assert!(preds.is_empty());
+    }
+
+    #[test]
+    fn default_library_covers_all_attrs() {
+        let g = group();
+        let lib = FunctionLibrary::default_for(&g);
+        assert_eq!(lib.len(), 2); // overlap + jaccard, no ontology attached
+    }
+
+    #[test]
+    fn thresholds_dedup_and_sort_descending() {
+        let g = group();
+        let lib = FunctionLibrary::new(vec![(0, SimilarityFn::Overlap)]);
+        let preds =
+            candidate_predicates(&g, &[(0, 1), (0, 1), (0, 2)], &lib, Polarity::Positive);
+        let ts: Vec<f64> = preds.iter().map(|p| p.threshold).collect();
+        assert_eq!(ts, vec![2.0]); // 0 pruned as trivial, 2 deduped
+    }
+}

@@ -1,0 +1,32 @@
+//! Rule generation from examples (paper Section V).
+//!
+//! Given positive examples (entity pairs that belong together) and negative
+//! examples (pairs that do not), this crate derives the positive and
+//! negative rules DIME runs with:
+//!
+//! * [`candidate_predicates`] restricts the threshold space to the finitely
+//!   many similarity values realized on example pairs (Theorem 3);
+//! * [`generate_positive_rules`] / [`generate_negative_rules`] implement
+//!   the paper's greedy algorithm (DIME-Rule, Sections V-C/V-D);
+//! * [`enumerate_rules`] + [`best_rule_set_exhaustive`] implement the
+//!   exponential enumeration algorithm (Section V-B) for small instances
+//!   and for validating the greedy result — the underlying subset-selection
+//!   problem is NP-hard (Theorem 4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod candidates;
+mod enumerate;
+mod greedy;
+mod objective;
+
+pub use candidates::{candidate_predicates, FunctionLibrary};
+pub use enumerate::{best_rule_set_exhaustive, enumerate_rules};
+pub use greedy::{
+    generate_negative_rules, generate_positive_rules, generate_rules_greedy,
+    generate_rules_greedy_with_objective, GreedyConfig,
+};
+pub use objective::{
+    coverage, default_objective, rules_cover, score, score_with, Coverage, WeightedObjective,
+};

@@ -1,0 +1,160 @@
+//! Objective functions for rule-set quality (paper Section V-A).
+//!
+//! The paper's general objective family: larger coverage of the wanted
+//! examples and smaller coverage of the unwanted ones is better. The
+//! default instance is `F(Σ, S⁺, S⁻) = |E_Σ ∩ S⁺| − |E_Σ ∩ S⁻|` for
+//! positive rules, with the roles of `S⁺`/`S⁻` swapped for negative rules.
+
+use dime_core::{Group, Rule};
+
+/// Which example pairs a rule set covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coverage {
+    /// Covered pairs from the *wanted* set (S⁺ for positive rules).
+    pub wanted: usize,
+    /// Covered pairs from the *unwanted* set.
+    pub unwanted: usize,
+}
+
+/// Evaluates whether any rule of `rules` covers the pair `(a, b)`.
+pub fn rules_cover(group: &Group, rules: &[Rule], pair: (usize, usize)) -> bool {
+    let (a, b) = (group.entity(pair.0), group.entity(pair.1));
+    rules.iter().any(|r| r.eval(group, a, b))
+}
+
+/// Computes the coverage of a rule set over wanted/unwanted example pairs.
+///
+/// For positive generation pass `(S⁺, S⁻)`; for negative generation pass
+/// `(S⁻, S⁺)` — the caller decides which side is "wanted".
+pub fn coverage(
+    group: &Group,
+    rules: &[Rule],
+    wanted: &[(usize, usize)],
+    unwanted: &[(usize, usize)],
+) -> Coverage {
+    Coverage {
+        wanted: wanted.iter().filter(|&&p| rules_cover(group, rules, p)).count(),
+        unwanted: unwanted.iter().filter(|&&p| rules_cover(group, rules, p)).count(),
+    }
+}
+
+/// The default objective `|E ∩ wanted| − |E ∩ unwanted|`.
+pub fn default_objective(c: Coverage) -> f64 {
+    c.wanted as f64 - c.unwanted as f64
+}
+
+/// A weighted instance of the paper's general objective family
+/// (Section V-A: "many functions belong to this general case"): larger
+/// wanted coverage is better, larger unwanted coverage is worse, with
+/// configurable exchange rates.
+///
+/// `precision_biased(k)` penalizes covering an unwanted example `k` times
+/// as much as covering a wanted one helps — useful when learned positive
+/// rules feed a pivot partition that must stay clean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedObjective {
+    /// Reward per covered wanted example.
+    pub wanted_weight: f64,
+    /// Penalty per covered unwanted example.
+    pub unwanted_weight: f64,
+}
+
+impl Default for WeightedObjective {
+    fn default() -> Self {
+        Self { wanted_weight: 1.0, unwanted_weight: 1.0 }
+    }
+}
+
+impl WeightedObjective {
+    /// An objective that fears false coverage `k`× more than it values
+    /// true coverage.
+    pub fn precision_biased(k: f64) -> Self {
+        assert!(k > 0.0, "bias must be positive");
+        Self { wanted_weight: 1.0, unwanted_weight: k }
+    }
+
+    /// Evaluates the objective on a coverage.
+    pub fn value(&self, c: Coverage) -> f64 {
+        self.wanted_weight * c.wanted as f64 - self.unwanted_weight * c.unwanted as f64
+    }
+}
+
+/// Scores a rule set with a weighted objective.
+pub fn score_with(
+    group: &Group,
+    rules: &[Rule],
+    wanted: &[(usize, usize)],
+    unwanted: &[(usize, usize)],
+    objective: WeightedObjective,
+) -> f64 {
+    objective.value(coverage(group, rules, wanted, unwanted))
+}
+
+/// Scores a rule set with the default objective.
+pub fn score(
+    group: &Group,
+    rules: &[Rule],
+    wanted: &[(usize, usize)],
+    unwanted: &[(usize, usize)],
+) -> f64 {
+    default_objective(coverage(group, rules, wanted, unwanted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dime_core::{GroupBuilder, Predicate, Schema, SimilarityFn};
+    use dime_text::TokenizerKind;
+
+    fn group() -> Group {
+        let schema = Schema::new([("A", TokenizerKind::List(','))]);
+        let mut b = GroupBuilder::new(schema);
+        b.add_entity(&["a, b"]); // 0
+        b.add_entity(&["a, b"]); // 1
+        b.add_entity(&["z"]); // 2
+        b.build()
+    }
+
+    #[test]
+    fn coverage_counts_sides_independently() {
+        let g = group();
+        let rule = Rule::positive(vec![Predicate::new(0, SimilarityFn::Overlap, 2.0)]);
+        let c = coverage(&g, &[rule], &[(0, 1)], &[(0, 2), (1, 2)]);
+        assert_eq!(c, Coverage { wanted: 1, unwanted: 0 });
+    }
+
+    #[test]
+    fn score_is_wanted_minus_unwanted() {
+        let g = group();
+        // A sloppy rule covering everything.
+        let rule = Rule::positive(vec![Predicate::new(0, SimilarityFn::Overlap, 0.0)]);
+        let s = score(&g, &[rule], &[(0, 1)], &[(0, 2), (1, 2)]);
+        assert_eq!(s, 1.0 - 2.0);
+    }
+
+    #[test]
+    fn weighted_objective_trades_off() {
+        let g = group();
+        let rule = Rule::positive(vec![Predicate::new(0, SimilarityFn::Overlap, 0.0)]);
+        // Covers 1 wanted, 2 unwanted.
+        let balanced = score_with(&g, std::slice::from_ref(&rule), &[(0, 1)], &[(0, 2), (1, 2)],
+            WeightedObjective::default());
+        assert_eq!(balanced, -1.0);
+        let cautious = score_with(&g, std::slice::from_ref(&rule), &[(0, 1)], &[(0, 2), (1, 2)],
+            WeightedObjective::precision_biased(3.0));
+        assert_eq!(cautious, 1.0 - 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias must be positive")]
+    fn zero_bias_panics() {
+        let _ = WeightedObjective::precision_biased(0.0);
+    }
+
+    #[test]
+    fn empty_rule_set_covers_nothing() {
+        let g = group();
+        let c = coverage(&g, &[], &[(0, 1)], &[(0, 2)]);
+        assert_eq!(c, Coverage { wanted: 0, unwanted: 0 });
+    }
+}

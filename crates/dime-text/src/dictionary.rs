@@ -1,0 +1,182 @@
+//! String interning with document-frequency tracking.
+//!
+//! Every token that appears in a dataset is interned once into a
+//! [`Dictionary`], which maps it to a dense [`TokenId`]. Entities then store
+//! attribute values as sorted `Vec<TokenId>`, so set-similarity computations
+//! (overlap, Jaccard, …) become integer merge-joins instead of string
+//! comparisons.
+//!
+//! The dictionary also counts *document frequency* — in how many attribute
+//! values a token appears — which is what the prefix-filtering signature
+//! scheme of DIME⁺ uses as its global token order (rare tokens first, so the
+//! prefixes that become signatures are maximally selective).
+
+use std::collections::HashMap;
+
+/// A dense identifier for an interned token.
+///
+/// Ids are assigned in first-seen order and are stable for the lifetime of
+/// the [`Dictionary`].
+pub type TokenId = u32;
+
+/// An interning dictionary over tokens with document-frequency counts.
+///
+/// # Examples
+///
+/// ```
+/// use dime_text::Dictionary;
+///
+/// let mut dict = Dictionary::new();
+/// let a = dict.intern("nan");
+/// let b = dict.intern("tang");
+/// assert_ne!(a, b);
+/// assert_eq!(dict.intern("nan"), a); // idempotent
+/// assert_eq!(dict.resolve(a), Some("nan"));
+/// assert_eq!(dict.len(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    by_token: HashMap<String, TokenId>,
+    tokens: Vec<String>,
+    doc_freq: Vec<u32>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty dictionary with capacity for `n` distinct tokens.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            by_token: HashMap::with_capacity(n),
+            tokens: Vec::with_capacity(n),
+            doc_freq: Vec::with_capacity(n),
+        }
+    }
+
+    /// Interns `token`, returning its id. Repeated calls with the same token
+    /// return the same id and do **not** bump document frequency (use
+    /// [`Dictionary::observe`] for that).
+    pub fn intern(&mut self, token: &str) -> TokenId {
+        if let Some(&id) = self.by_token.get(token) {
+            return id;
+        }
+        let id = self.tokens.len() as TokenId;
+        self.by_token.insert(token.to_owned(), id);
+        self.tokens.push(token.to_owned());
+        self.doc_freq.push(0);
+        id
+    }
+
+    /// Interns every token of one attribute *value* and records one document
+    /// occurrence per **distinct** token in the value.
+    ///
+    /// Returns the sorted, deduplicated token-id set of the value — the
+    /// canonical representation entities store.
+    pub fn observe(&mut self, value_tokens: &[String]) -> Vec<TokenId> {
+        let mut ids: Vec<TokenId> = value_tokens.iter().map(|t| self.intern(t)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        for &id in &ids {
+            self.doc_freq[id as usize] += 1;
+        }
+        ids
+    }
+
+    /// Looks up an already-interned token without inserting.
+    pub fn get(&self, token: &str) -> Option<TokenId> {
+        self.by_token.get(token).copied()
+    }
+
+    /// Resolves an id back to its token string.
+    pub fn resolve(&self, id: TokenId) -> Option<&str> {
+        self.tokens.get(id as usize).map(String::as_str)
+    }
+
+    /// The document frequency of a token: how many values it was
+    /// [observed](Dictionary::observe) in.
+    pub fn doc_freq(&self, id: TokenId) -> u32 {
+        self.doc_freq.get(id as usize).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct interned tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Iterates over `(id, token, doc_freq)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (TokenId, &str, u32)> {
+        self.tokens
+            .iter()
+            .zip(self.doc_freq.iter())
+            .enumerate()
+            .map(|(i, (t, &df))| (i as TokenId, t.as_str(), df))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("sigmod");
+        assert_eq!(d.intern("sigmod"), a);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn observe_dedups_and_sorts() {
+        let mut d = Dictionary::new();
+        let ids = d.observe(&strs(&["b", "a", "b", "c"]));
+        assert_eq!(ids.len(), 3);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn doc_freq_counts_values_not_occurrences() {
+        let mut d = Dictionary::new();
+        d.observe(&strs(&["x", "x", "y"]));
+        d.observe(&strs(&["x"]));
+        let x = d.get("x").unwrap();
+        let y = d.get("y").unwrap();
+        assert_eq!(d.doc_freq(x), 2); // two values contained x
+        assert_eq!(d.doc_freq(y), 1);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut d = Dictionary::new();
+        let id = d.intern("vldb");
+        assert_eq!(d.resolve(id), Some("vldb"));
+        assert_eq!(d.resolve(999), None);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let d = Dictionary::new();
+        assert_eq!(d.get("absent"), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut d = Dictionary::new();
+        d.observe(&strs(&["a", "b"]));
+        let all: Vec<_> = d.iter().collect();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].1, "a");
+    }
+}

@@ -1,0 +1,211 @@
+//! Character-based similarity: Levenshtein edit distance.
+//!
+//! Provides the full distance, a banded threshold-bounded variant with the
+//! `O(θ · min(|a|, |b|))` cost the paper cites for verification, and a
+//! normalized edit *similarity* in `[0, 1]` usable wherever a similarity
+//! (rather than a distance) predicate is wanted.
+
+/// Plain Levenshtein distance (insert/delete/substitute, unit costs).
+///
+/// Runs in `O(|a|·|b|)` time and `O(min(|a|,|b|))` space.
+///
+/// ```
+/// use dime_text::levenshtein;
+/// assert_eq!(levenshtein("kitten", "sitting"), 3);
+/// assert_eq!(levenshtein("", "abc"), 3);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(lc != sc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Threshold-bounded Levenshtein: returns `Some(d)` if the distance is
+/// `d ≤ max_dist`, otherwise `None`.
+///
+/// Uses the banded dynamic program that only fills cells within `max_dist`
+/// of the diagonal, giving the `O(θ · min(|a|, |b|))` verification cost the
+/// paper assumes, plus a length-difference early exit.
+///
+/// ```
+/// use dime_text::levenshtein_leq;
+/// assert_eq!(levenshtein_leq("kitten", "sitting", 3), Some(3));
+/// assert_eq!(levenshtein_leq("kitten", "sitting", 2), None);
+/// assert_eq!(levenshtein_leq("same", "same", 0), Some(0));
+/// ```
+pub fn levenshtein_leq(a: &str, b: &str, max_dist: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if long.len() - short.len() > max_dist {
+        return None;
+    }
+    if short.is_empty() {
+        return Some(long.len()); // ≤ max_dist by the check above
+    }
+    const BIG: usize = usize::MAX / 2;
+    // Row over the *short* string; band half-width max_dist around the
+    // diagonal j ≈ i.
+    let mut prev = vec![BIG; short.len() + 1];
+    let mut cur = vec![BIG; short.len() + 1];
+    for (j, cell) in prev.iter_mut().enumerate().take(max_dist.min(short.len()) + 1) {
+        *cell = j;
+    }
+    for (i, &lc) in long.iter().enumerate() {
+        let row = i + 1;
+        let lo = row.saturating_sub(max_dist);
+        let hi = (row + max_dist).min(short.len());
+        if lo > hi {
+            return None;
+        }
+        // Sentinel the cells just outside this row's band: the buffers are
+        // reused every other row, so they hold stale values from row-2 that
+        // the next row (whose band may shift by one) would otherwise read.
+        if lo >= 1 {
+            cur[lo - 1] = BIG;
+        }
+        let mut row_min = BIG;
+        if lo == 0 {
+            cur[0] = row;
+            row_min = row;
+        }
+        for j in lo.max(1)..=hi {
+            let sc = short[j - 1];
+            let sub = prev[j - 1] + usize::from(lc != sc);
+            let best = sub.min(prev[j] + 1).min(cur[j - 1] + 1);
+            cur[j] = best;
+            row_min = row_min.min(best);
+        }
+        if hi < short.len() {
+            cur[hi + 1] = BIG;
+        }
+        if row_min > max_dist {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[short.len()];
+    (d <= max_dist).then_some(d)
+}
+
+/// Normalized edit similarity `1 − lev(a, b) / max(|a|, |b|)` in `[0, 1]`.
+///
+/// Two empty strings have similarity 1.
+///
+/// ```
+/// use dime_text::edit_similarity;
+/// assert_eq!(edit_similarity("abcd", "abcd"), 1.0);
+/// assert_eq!(edit_similarity("abcd", "wxyz"), 0.0);
+/// ```
+pub fn edit_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let max = la.max(lb);
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("gumbo", "gambol"), 2);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("a", ""), 1);
+    }
+
+    #[test]
+    fn unicode_chars_count_once() {
+        assert_eq!(levenshtein("özsu", "ozsu"), 1);
+    }
+
+    #[test]
+    fn leq_agrees_with_full() {
+        let pairs = [
+            ("kitten", "sitting"),
+            ("", "abc"),
+            ("abc", "abc"),
+            ("database", "databases"),
+            ("nan tang", "n j tang"),
+        ];
+        for (a, b) in pairs {
+            let d = levenshtein(a, b);
+            for t in 0..=d + 2 {
+                let got = levenshtein_leq(a, b, t);
+                if t >= d {
+                    assert_eq!(got, Some(d), "{a:?} vs {b:?} @ {t}");
+                } else {
+                    assert_eq!(got, None, "{a:?} vs {b:?} @ {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leq_length_diff_early_exit() {
+        assert_eq!(levenshtein_leq("ab", "abcdefgh", 3), None);
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(edit_similarity("", ""), 1.0);
+        assert_eq!(edit_similarity("", "xy"), 0.0);
+        let s = edit_similarity("sigmod", "sigmot");
+        assert!(s > 0.8 && s < 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_symmetric(a in "[a-d]{0,12}", b in "[a-d]{0,12}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn prop_triangle(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
+            prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        }
+
+        #[test]
+        fn prop_identity(a in "[a-z]{0,16}") {
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+            prop_assert_eq!(levenshtein_leq(&a, &a, 0), Some(0));
+        }
+
+        #[test]
+        fn prop_leq_matches_full(a in "[a-c]{0,10}", b in "[a-c]{0,10}", t in 0usize..6) {
+            let d = levenshtein(&a, &b);
+            let got = levenshtein_leq(&a, &b, t);
+            if d <= t {
+                prop_assert_eq!(got, Some(d));
+            } else {
+                prop_assert_eq!(got, None);
+            }
+        }
+
+        #[test]
+        fn prop_similarity_in_unit_interval(a in "[a-e]{0,10}", b in "[a-e]{0,10}") {
+            let s = edit_similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Text primitives for DIME: tokenization, string similarity, and the
+//! prefix-filtering machinery behind DIME⁺ signatures.
+//!
+//! This crate implements the *symbolic* similarity layer of
+//! "Discovering Mis-Categorized Entities" (ICDE 2018):
+//!
+//! * [`Dictionary`] — token interning + document frequency;
+//! * [`TokenizerKind`] — per-attribute tokenization strategies;
+//! * set-based similarities ([`overlap`], [`jaccard`], [`dice`], [`cosine`])
+//!   over sorted token-id slices;
+//! * character-based similarity ([`levenshtein`], [`levenshtein_leq`],
+//!   [`edit_similarity`]) with the banded `O(θ·min)` verifier;
+//! * [`qgrams`] extraction and [`GlobalOrder`]-sorted prefix signatures
+//!   ([`overlap_prefix_len`], [`jaccard_prefix_len`], [`edit_prefix_len`]).
+//!
+//! Ontology-based (semantic) similarity lives in the `dime-ontology` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dictionary;
+mod edit;
+mod order;
+mod prefix;
+mod qgram;
+mod setsim;
+mod tokenize;
+
+pub use dictionary::{Dictionary, TokenId};
+pub use edit::{edit_similarity, levenshtein, levenshtein_leq};
+pub use order::GlobalOrder;
+pub use prefix::{edit_prefix_len, jaccard_prefix_len, overlap_prefix_len, prefix};
+pub use qgram::{gram_count, qgrams};
+pub use setsim::{cosine, dice, has_overlap, intersection_size, jaccard, overlap};
+pub use tokenize::{tokenize_list, tokenize_whole, tokenize_words, TokenizerKind};

@@ -1,0 +1,113 @@
+//! Global token ordering for prefix filtering.
+//!
+//! Prefix signatures are only correct if *every* value sorts its tokens by
+//! the *same* total order, and they are only *selective* if rare tokens
+//! come first (so the short prefixes that become signatures contain the
+//! least-shared tokens). [`GlobalOrder`] ranks tokens by ascending document
+//! frequency with the token id as tie-breaker.
+
+use crate::{Dictionary, TokenId};
+
+/// A total order over interned tokens: rarer (lower document frequency)
+/// tokens rank first.
+#[derive(Debug, Clone)]
+pub struct GlobalOrder {
+    /// `rank[id]` = position of token `id` in the global order (0 = first).
+    rank: Vec<u32>,
+}
+
+impl GlobalOrder {
+    /// Builds the order from a dictionary's document frequencies.
+    pub fn from_dictionary(dict: &Dictionary) -> Self {
+        let mut ids: Vec<TokenId> = (0..dict.len() as TokenId).collect();
+        ids.sort_unstable_by_key(|&id| (dict.doc_freq(id), id));
+        let mut rank = vec![0u32; dict.len()];
+        for (pos, &id) in ids.iter().enumerate() {
+            rank[id as usize] = pos as u32;
+        }
+        Self { rank }
+    }
+
+    /// Builds an order from explicit `(token, frequency)` pairs already
+    /// expressed as dense ids — useful in tests.
+    pub fn from_frequencies(freqs: &[u32]) -> Self {
+        let mut ids: Vec<u32> = (0..freqs.len() as u32).collect();
+        ids.sort_unstable_by_key(|&id| (freqs[id as usize], id));
+        let mut rank = vec![0u32; freqs.len()];
+        for (pos, &id) in ids.iter().enumerate() {
+            rank[id as usize] = pos as u32;
+        }
+        Self { rank }
+    }
+
+    /// Rank of a token (0 = rarest). Tokens unknown to the order (interned
+    /// after the order was built) rank last.
+    pub fn rank(&self, id: TokenId) -> u32 {
+        self.rank.get(id as usize).copied().unwrap_or(u32::MAX)
+    }
+
+    /// Sorts a token slice ascending by this order (rarest first). Tokens
+    /// unknown to the order all rank last but stay mutually ordered by id,
+    /// so the order remains *total* even for tokens interned later — the
+    /// prefix-filter guarantee only needs consistency, not freshness.
+    pub fn sort(&self, tokens: &mut [TokenId]) {
+        tokens.sort_unstable_by_key(|&t| (self.rank(t), t));
+    }
+
+    /// Returns a copy of `tokens` sorted by this order.
+    pub fn sorted(&self, tokens: &[TokenId]) -> Vec<TokenId> {
+        let mut v = tokens.to_vec();
+        self.sort(&mut v);
+        v
+    }
+
+    /// Number of ranked tokens.
+    pub fn len(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// Whether the order ranks no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.rank.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rare_tokens_rank_first() {
+        let mut d = Dictionary::new();
+        let common = d.observe(&["the".into()])[0];
+        d.observe(&["the".into()]);
+        d.observe(&["the".into()]);
+        let rare = d.observe(&["katara".into()])[0];
+        let order = GlobalOrder::from_dictionary(&d);
+        assert!(order.rank(rare) < order.rank(common));
+    }
+
+    #[test]
+    fn unknown_tokens_rank_last() {
+        let d = Dictionary::new();
+        let order = GlobalOrder::from_dictionary(&d);
+        assert_eq!(order.rank(42), u32::MAX);
+    }
+
+    #[test]
+    fn sort_is_stable_total_order() {
+        let order = GlobalOrder::from_frequencies(&[5, 1, 3, 1]);
+        let mut v = vec![0, 1, 2, 3];
+        order.sort(&mut v);
+        // freq 1 tokens (ids 1,3, tie broken by id) then freq 3 then freq 5.
+        assert_eq!(v, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn sorted_returns_copy() {
+        let order = GlobalOrder::from_frequencies(&[2, 1]);
+        let v = vec![0, 1];
+        assert_eq!(order.sorted(&v), vec![1, 0]);
+        assert_eq!(v, vec![0, 1]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Prefix-filtering signature lengths (Section IV-B of the paper).
+//!
+//! A *signature set* for a predicate has the completeness guarantee: if two
+//! values satisfy the predicate, their signature sets intersect. For
+//! set-based and character-based predicates, the signature of a value is a
+//! *prefix* of its tokens/grams sorted by a [`crate::GlobalOrder`]:
+//!
+//! * overlap ≥ θ → first `|v| − θ + 1` tokens;
+//! * Jaccard ≥ θ → first `|v| − ⌈θ·|v|⌉ + 1` tokens;
+//! * edit distance ≤ θ over q-grams → first `q·θ + 1` grams.
+//!
+//! The functions here compute prefix *lengths*; a length of 0 means the
+//! value can never satisfy the predicate (e.g. fewer than θ tokens), so it
+//! has an empty signature set and is pruned outright.
+
+/// Prefix length for the predicate `overlap ≥ theta` on a value of
+/// `len` tokens: `len − theta + 1`, or 0 when unsatisfiable.
+///
+/// ```
+/// use dime_text::overlap_prefix_len;
+/// assert_eq!(overlap_prefix_len(6, 2), 5);
+/// assert_eq!(overlap_prefix_len(1, 2), 0); // can never share 2 tokens
+/// assert_eq!(overlap_prefix_len(3, 0), 3); // trivial predicate: whole set
+/// ```
+pub fn overlap_prefix_len(len: usize, theta: usize) -> usize {
+    if theta == 0 {
+        return len; // `overlap ≥ 0` is trivially true; keep everything.
+    }
+    if len < theta {
+        0
+    } else {
+        len - theta + 1
+    }
+}
+
+/// Prefix length for `jaccard ≥ theta` on a value of `len` tokens:
+/// `len − ⌈theta·len⌉ + 1`, or 0 when unsatisfiable.
+///
+/// Completeness: `J(a,b) ≥ θ` implies `|a∩b| ≥ θ·|a∪b| ≥ θ·len` for each
+/// side, i.e. overlap ≥ `⌈θ·len⌉`, and the overlap prefix bound applies.
+pub fn jaccard_prefix_len(len: usize, theta: f64) -> usize {
+    assert!((0.0..=1.0).contains(&theta), "jaccard threshold must be in [0,1]");
+    if len == 0 {
+        // Empty vs empty has Jaccard 1; treat as unsatisfiable via prefixes
+        // (callers handle empty values separately).
+        return 0;
+    }
+    // −ε before ceil: a float product that lands a hair above the exact
+    // bound must not shorten the prefix below soundness.
+    let needed = ((theta * len as f64) - 1e-9).ceil().max(1.0) as usize;
+    overlap_prefix_len(len, needed)
+}
+
+/// Signature count for `edit_distance ≤ theta` with `q`-grams:
+/// `q·theta + 1` grams, or `None` when the value is a *wildcard*.
+///
+/// Completeness (Gravano et al.): one edit destroys at most `q` distinct
+/// grams, so within distance θ the two gram sets differ by ≤ `q·θ` grams;
+/// if **both** sets hold at least `q·θ + 1` grams, their `q·θ + 1` rarest
+/// grams must intersect. A value with fewer distinct grams than that admits
+/// no sound prefix signature — the count filter is vacuous for it — so this
+/// returns `None` and the caller must treat the value as a wildcard that is
+/// a candidate against everything.
+pub fn edit_prefix_len(gram_count: usize, q: usize, theta: usize) -> Option<usize> {
+    let n = q * theta + 1;
+    (gram_count >= n).then_some(n)
+}
+
+/// Takes the length-`n` prefix of an order-sorted token slice.
+pub fn prefix(sorted_tokens: &[u32], n: usize) -> &[u32] {
+    &sorted_tokens[..n.min(sorted_tokens.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{intersection_size, jaccard, GlobalOrder};
+    use proptest::prelude::*;
+
+    #[test]
+    fn overlap_lengths() {
+        assert_eq!(overlap_prefix_len(5, 1), 5);
+        assert_eq!(overlap_prefix_len(5, 5), 1);
+        assert_eq!(overlap_prefix_len(5, 6), 0);
+    }
+
+    #[test]
+    fn jaccard_lengths() {
+        // len 4, θ=0.5 → need 2 common → prefix 3.
+        assert_eq!(jaccard_prefix_len(4, 0.5), 3);
+        assert_eq!(jaccard_prefix_len(4, 1.0), 1);
+        assert_eq!(jaccard_prefix_len(0, 0.5), 0);
+    }
+
+    #[test]
+    fn edit_lengths() {
+        assert_eq!(edit_prefix_len(10, 2, 1), Some(3));
+        assert_eq!(edit_prefix_len(2, 2, 3), None); // too few grams → wildcard
+        assert_eq!(edit_prefix_len(7, 2, 3), Some(7));
+    }
+
+    #[test]
+    fn prefix_slicing() {
+        assert_eq!(prefix(&[9, 8, 7], 2), &[9, 8]);
+        assert_eq!(prefix(&[9], 5), &[9]);
+    }
+
+    fn sorted_set() -> impl Strategy<Value = Vec<u32>> {
+        proptest::collection::btree_set(0u32..60, 1..20)
+            .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+    }
+
+    proptest! {
+        /// The core completeness property: overlap ≥ θ ⇒ prefixes intersect.
+        #[test]
+        fn prop_overlap_filter_complete(a in sorted_set(), b in sorted_set(), theta in 1usize..6, freqs in proptest::collection::vec(0u32..10, 60)) {
+            let order = GlobalOrder::from_frequencies(&freqs);
+            let ov = intersection_size(&a, &b);
+            if ov >= theta {
+                let sa = order.sorted(&a);
+                let sb = order.sorted(&b);
+                let pa = prefix(&sa, overlap_prefix_len(sa.len(), theta));
+                let pb = prefix(&sb, overlap_prefix_len(sb.len(), theta));
+                let share = pa.iter().any(|x| pb.contains(x));
+                prop_assert!(share, "overlap {ov} ≥ {theta} but prefixes disjoint");
+            }
+        }
+
+        /// Jaccard ≥ θ ⇒ Jaccard prefixes intersect.
+        #[test]
+        fn prop_jaccard_filter_complete(a in sorted_set(), b in sorted_set(), theta in 0.1f64..1.0, freqs in proptest::collection::vec(0u32..10, 60)) {
+            let order = GlobalOrder::from_frequencies(&freqs);
+            if jaccard(&a, &b) >= theta {
+                let sa = order.sorted(&a);
+                let sb = order.sorted(&b);
+                let pa = prefix(&sa, jaccard_prefix_len(sa.len(), theta));
+                let pb = prefix(&sb, jaccard_prefix_len(sb.len(), theta));
+                prop_assert!(pa.iter().any(|x| pb.contains(x)));
+            }
+        }
+
+        /// Edit distance ≤ θ ⇒ q-gram prefixes intersect.
+        #[test]
+        fn prop_edit_filter_complete(s in "[a-c]{4,12}", edits in 0usize..3, q in 2usize..4) {
+            use crate::{levenshtein, qgrams};
+            // Mutate `s` by `edits` substitutions.
+            let mut chars: Vec<char> = s.chars().collect();
+            for k in 0..edits {
+                let i = (k * 7) % chars.len();
+                chars[i] = if chars[i] == 'z' { 'y' } else { 'z' };
+            }
+            let t: String = chars.into_iter().collect();
+            let d = levenshtein(&s, &t);
+            let theta = d; // exactly tight threshold
+            let ga = qgrams(&s, q);
+            let gb = qgrams(&t, q);
+            // Build a frequency order over grams.
+            let mut all: Vec<String> = ga.iter().chain(gb.iter()).cloned().collect();
+            all.sort();
+            all.dedup();
+            let idx = |g: &String| all.binary_search(g).unwrap() as u32;
+            let sa: Vec<u32> = ga.iter().map(idx).collect();
+            let sb: Vec<u32> = gb.iter().map(idx).collect();
+            match (edit_prefix_len(sa.len(), q, theta), edit_prefix_len(sb.len(), q, theta)) {
+                (Some(la), Some(lb)) => {
+                    let pa = &sa[..la];
+                    let pb = &sb[..lb];
+                    prop_assert!(pa.iter().any(|x| pb.contains(x)),
+                        "d={d} θ={theta} but gram prefixes disjoint");
+                }
+                // Wildcard: no signature-based claim is made, trivially sound.
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Positional-free q-gram extraction for character-based signatures.
+//!
+//! The q-gram prefix scheme of Gravano et al. (used by DIME⁺ for edit
+//! distance) needs the *set* of substrings of length `q` of a value. Two
+//! strings within edit distance `θ` differ in at most `q·θ` grams, so after
+//! sorting grams by a global (rarity) order, the first `q·θ + 1` grams of
+//! each string must intersect — that prefix is the signature.
+
+/// Extracts the deduplicated set of `q`-grams of `s` (as owned strings).
+///
+/// Strings shorter than `q` yield their entirety as a single gram so that
+/// very short values still have a non-empty signature.
+///
+/// ```
+/// use dime_text::qgrams;
+/// let g = qgrams("vldb", 2);
+/// assert_eq!(g, vec!["db", "ld", "vl"]); // lexicographically sorted
+/// assert_eq!(qgrams("ab", 3), vec!["ab"]);
+/// ```
+pub fn qgrams(s: &str, q: usize) -> Vec<String> {
+    assert!(q >= 1, "q must be ≥ 1");
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return Vec::new();
+    }
+    if chars.len() < q {
+        return vec![chars.iter().collect()];
+    }
+    let mut grams: Vec<String> = chars.windows(q).map(|w| w.iter().collect()).collect();
+    grams.sort_unstable();
+    grams.dedup();
+    grams
+}
+
+/// Number of grams (before dedup) a string of `len` chars produces.
+pub fn gram_count(len: usize, q: usize) -> usize {
+    if len == 0 {
+        0
+    } else if len < q {
+        1
+    } else {
+        len - q + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_extraction() {
+        assert_eq!(qgrams("abc", 2), vec!["ab", "bc"]);
+        assert_eq!(qgrams("aaaa", 2), vec!["aa"]); // dedup
+        assert!(qgrams("", 2).is_empty());
+    }
+
+    #[test]
+    fn short_strings_become_one_gram() {
+        assert_eq!(qgrams("x", 3), vec!["x"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be")]
+    fn zero_q_panics() {
+        let _ = qgrams("abc", 0);
+    }
+
+    #[test]
+    fn gram_count_formula() {
+        assert_eq!(gram_count(0, 2), 0);
+        assert_eq!(gram_count(1, 2), 1);
+        assert_eq!(gram_count(5, 2), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_grams_are_substrings(s in "[a-d]{0,15}", q in 1usize..4) {
+            for g in qgrams(&s, q) {
+                prop_assert!(s.contains(&g), "{g:?} not in {s:?}");
+            }
+        }
+
+        #[test]
+        fn prop_sorted_dedup(s in "[a-d]{0,15}", q in 1usize..4) {
+            let g = qgrams(&s, q);
+            prop_assert!(g.windows(2).all(|w| w[0] < w[1]));
+        }
+
+        #[test]
+        fn prop_edit_one_changes_at_most_q_grams(s in "[a-c]{4,12}", i in 0usize..12, q in 1usize..4) {
+            // Substituting one char destroys at most q distinct grams.
+            let chars: Vec<char> = s.chars().collect();
+            let i = i % chars.len();
+            let mut t = chars.clone();
+            t[i] = if t[i] == 'z' { 'y' } else { 'z' };
+            let t: String = t.into_iter().collect();
+            let ga = qgrams(&s, q);
+            let gb = qgrams(&t, q);
+            let lost = ga.iter().filter(|g| gb.binary_search(g).is_err()).count();
+            prop_assert!(lost <= q, "lost {lost} > q {q}");
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Set-based similarity functions over sorted token-id slices.
+//!
+//! All functions require their inputs to be **sorted and deduplicated**
+//! (the representation produced by [`crate::Dictionary::observe`]); they run
+//! as a single merge pass, `O(|a| + |b|)` — the cost model the paper uses
+//! for set-based verification.
+
+use crate::TokenId;
+
+/// Size of the intersection of two sorted, deduplicated slices.
+///
+/// ```
+/// use dime_text::intersection_size;
+/// assert_eq!(intersection_size(&[1, 3, 5, 9], &[2, 3, 5, 7]), 2);
+/// ```
+pub fn intersection_size(a: &[TokenId], b: &[TokenId]) -> usize {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "lhs must be sorted+dedup");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "rhs must be sorted+dedup");
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Overlap similarity `|a ∩ b|` — the raw number of common tokens.
+///
+/// This is the `f_ov` of the paper (e.g. "≥ 2 common authors").
+pub fn overlap(a: &[TokenId], b: &[TokenId]) -> f64 {
+    intersection_size(a, b) as f64
+}
+
+/// Jaccard similarity `|a ∩ b| / |a ∪ b|` in `[0, 1]`.
+///
+/// Returns 1.0 for two empty sets (they are identical), consistent with the
+/// convention that a missing value only matches another missing value.
+pub fn jaccard(a: &[TokenId], b: &[TokenId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = intersection_size(a, b);
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Dice coefficient `2|a ∩ b| / (|a| + |b|)` in `[0, 1]`.
+pub fn dice(a: &[TokenId], b: &[TokenId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    2.0 * intersection_size(a, b) as f64 / (a.len() + b.len()) as f64
+}
+
+/// Cosine similarity `|a ∩ b| / sqrt(|a|·|b|)` in `[0, 1]` for binary
+/// token vectors.
+pub fn cosine(a: &[TokenId], b: &[TokenId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    intersection_size(a, b) as f64 / ((a.len() as f64) * (b.len() as f64)).sqrt()
+}
+
+/// True iff the two sorted slices share at least one element.
+///
+/// Short-circuits on the first hit, so it is cheaper than
+/// [`intersection_size`] when only existence matters (the signature filter).
+pub fn has_overlap(a: &[TokenId], b: &[TokenId]) -> bool {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn intersection_basic() {
+        assert_eq!(intersection_size(&[], &[]), 0);
+        assert_eq!(intersection_size(&[1], &[]), 0);
+        assert_eq!(intersection_size(&[1, 2, 3], &[1, 2, 3]), 3);
+        assert_eq!(intersection_size(&[1, 4], &[2, 3]), 0);
+    }
+
+    #[test]
+    fn overlap_counts() {
+        assert_eq!(overlap(&[1, 2, 5], &[2, 5, 9]), 2.0);
+    }
+
+    #[test]
+    fn jaccard_range_and_edges() {
+        assert_eq!(jaccard(&[], &[]), 1.0);
+        assert_eq!(jaccard(&[1], &[]), 0.0);
+        assert_eq!(jaccard(&[1, 2], &[1, 2]), 1.0);
+        assert!((jaccard(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dice_and_cosine_edges() {
+        assert_eq!(dice(&[], &[]), 1.0);
+        assert_eq!(cosine(&[], &[]), 1.0);
+        assert_eq!(cosine(&[1], &[]), 0.0);
+        assert!((dice(&[1, 2], &[2, 3]) - 0.5).abs() < 1e-12);
+        assert!((cosine(&[1, 2], &[2, 3]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn has_overlap_short_circuit() {
+        assert!(has_overlap(&[1, 9], &[9]));
+        assert!(!has_overlap(&[1, 3], &[2, 4]));
+    }
+
+    fn sorted_set() -> impl Strategy<Value = Vec<TokenId>> {
+        proptest::collection::btree_set(0u32..200, 0..30)
+            .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+    }
+
+    proptest! {
+        #[test]
+        fn prop_symmetry(a in sorted_set(), b in sorted_set()) {
+            prop_assert_eq!(intersection_size(&a, &b), intersection_size(&b, &a));
+            prop_assert!((jaccard(&a, &b) - jaccard(&b, &a)).abs() < 1e-12);
+            prop_assert!((dice(&a, &b) - dice(&b, &a)).abs() < 1e-12);
+            prop_assert!((cosine(&a, &b) - cosine(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_bounds(a in sorted_set(), b in sorted_set()) {
+            let j = jaccard(&a, &b);
+            let d = dice(&a, &b);
+            let c = cosine(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&j));
+            prop_assert!((0.0..=1.0).contains(&d));
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+            // Jaccard ≤ Dice always.
+            prop_assert!(j <= d + 1e-12);
+        }
+
+        #[test]
+        fn prop_identity(a in sorted_set()) {
+            prop_assert_eq!(intersection_size(&a, &a), a.len());
+            prop_assert!((jaccard(&a, &a) - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_has_overlap_agrees(a in sorted_set(), b in sorted_set()) {
+            prop_assert_eq!(has_overlap(&a, &b), intersection_size(&a, &b) > 0);
+        }
+
+        #[test]
+        fn prop_intersection_matches_naive(a in sorted_set(), b in sorted_set()) {
+            let naive = a.iter().filter(|x| b.contains(x)).count();
+            prop_assert_eq!(intersection_size(&a, &b), naive);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Tokenizers that turn raw attribute strings into token lists.
+//!
+//! DIME treats most attributes as *multi-valued*: `Authors` is a list of
+//! names, `Also_viewed` is a list of ASINs, `Title` is a bag of words. The
+//! tokenizer chosen per attribute decides what the unit of set similarity
+//! is. Three are provided:
+//!
+//! * [`tokenize_words`] — lowercase alphanumeric word extraction, the right
+//!   choice for free text (titles, descriptions);
+//! * [`tokenize_list`] — split on a delimiter and trim, for explicit lists
+//!   (author lists, ASIN lists);
+//! * [`tokenize_whole`] — the whole (normalized) string as a single token,
+//!   for identifier-like attributes.
+
+/// How an attribute string is split into tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenizerKind {
+    /// Lowercased maximal alphanumeric runs (`"KATARA: A Data…"` →
+    /// `["katara", "a", "data", …]`).
+    Words,
+    /// Split on a delimiter, trim whitespace, lowercase
+    /// (`"Nan Tang, Guoren Wang"` → `["nan tang", "guoren wang"]`).
+    List(char),
+    /// The entire trimmed, lowercased string as one token.
+    Whole,
+}
+
+impl TokenizerKind {
+    /// Applies this tokenizer to `value`.
+    pub fn tokenize(&self, value: &str) -> Vec<String> {
+        match self {
+            TokenizerKind::Words => tokenize_words(value),
+            TokenizerKind::List(d) => tokenize_list(value, *d),
+            TokenizerKind::Whole => tokenize_whole(value),
+        }
+    }
+}
+
+/// Splits `value` into lowercase alphanumeric words.
+///
+/// Any non-alphanumeric character is a separator; empty tokens are dropped.
+///
+/// ```
+/// use dime_text::tokenize_words;
+/// assert_eq!(
+///     tokenize_words("NADEEF: A generalized data-cleaning system"),
+///     vec!["nadeef", "a", "generalized", "data", "cleaning", "system"]
+/// );
+/// ```
+pub fn tokenize_words(value: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in value.chars() {
+        if ch.is_alphanumeric() {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Splits `value` on `delim`, trims each piece, lowercases, drops empties.
+///
+/// ```
+/// use dime_text::tokenize_list;
+/// assert_eq!(
+///     tokenize_list("Nan Tang, Guoren Wang, ", ','),
+///     vec!["nan tang", "guoren wang"]
+/// );
+/// ```
+pub fn tokenize_list(value: &str, delim: char) -> Vec<String> {
+    value
+        .split(delim)
+        .map(|p| p.trim().to_lowercase())
+        .filter(|p| !p.is_empty())
+        .collect()
+}
+
+/// Returns the whole trimmed, lowercased string as a single-element token
+/// list (or an empty list for blank input).
+pub fn tokenize_whole(value: &str) -> Vec<String> {
+    let t = value.trim().to_lowercase();
+    if t.is_empty() {
+        Vec::new()
+    } else {
+        vec![t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_handles_punctuation_and_case() {
+        assert_eq!(
+            tokenize_words("Win: an efficient (XML) strategy!"),
+            vec!["win", "an", "efficient", "xml", "strategy"]
+        );
+    }
+
+    #[test]
+    fn words_empty_input() {
+        assert!(tokenize_words("  --- ").is_empty());
+        assert!(tokenize_words("").is_empty());
+    }
+
+    #[test]
+    fn words_unicode() {
+        assert_eq!(tokenize_words("Tamer Özsu"), vec!["tamer", "özsu"]);
+    }
+
+    #[test]
+    fn list_trims_and_drops_empty() {
+        assert_eq!(tokenize_list(" a ;; b ; ", ';'), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn whole_is_single_token() {
+        assert_eq!(tokenize_whole(" B000BTL0OA "), vec!["b000btl0oa"]);
+        assert!(tokenize_whole("   ").is_empty());
+    }
+
+    #[test]
+    fn kind_dispatch() {
+        assert_eq!(TokenizerKind::Words.tokenize("a b"), vec!["a", "b"]);
+        assert_eq!(TokenizerKind::List(',').tokenize("a,b"), vec!["a", "b"]);
+        assert_eq!(TokenizerKind::Whole.tokenize("a b"), vec!["a b"]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Auditing a synthetic Amazon product category.
+//!
+//! Generates a "router" category with 20% injected products from a sibling
+//! category, runs DIME⁺ with the paper's Amazon rules (co-purchase overlap
+//! + LDA description-theme ontology), and compares against the CR
+//! clustering baseline on the same group.
+//!
+//! Run with: `cargo run --example amazon_categories [--release]`
+
+use dime::baselines::{cr_cluster, CrConfig, Linkage};
+use dime::core::discover_fast;
+use dime::data::{amazon_attr, amazon_category, amazon_rules, AmazonConfig};
+use dime::metrics::evaluate_sets;
+
+fn main() {
+    let cfg = AmazonConfig::new(0, 200, 0.2, 7);
+    let category = amazon_category(&cfg);
+    println!(
+        "category '{}': {} products, {} mis-categorized (e = {:.0}%)\n",
+        category.name,
+        category.group.len(),
+        category.truth.len(),
+        category.error_rate() * 100.0
+    );
+
+    // ---- DIME⁺ with the paper's rules ϕ3+..ϕ5+ / φ4-..φ5-. ---------------
+    let (positive, negative) = amazon_rules();
+    let discovery = discover_fast(&category.group, &positive, &negative);
+    let flagged = discovery.mis_categorized();
+    let m = evaluate_sets(flagged.iter(), category.truth.iter());
+    println!(
+        "DIME+: {} flagged | precision {:.2} recall {:.2} F {:.2}",
+        flagged.len(),
+        m.precision,
+        m.recall,
+        m.f_measure
+    );
+
+    // ---- CR baseline on the same group. -----------------------------------
+    let cr_cfg = CrConfig {
+        attrs: vec![amazon_attr::TITLE, amazon_attr::DESCRIPTION],
+        refs: vec![amazon_attr::ALSO_BOUGHT, amazon_attr::ALSO_VIEWED],
+        alpha: 0.6,
+        threshold: 0.15,
+        linkage: Linkage::Single,
+    };
+    let cr = cr_cluster(&category.group, &cr_cfg);
+    let cr_flagged = cr.mis_categorized();
+    let cm = evaluate_sets(cr_flagged.iter(), category.truth.iter());
+    println!(
+        "CR   : {} flagged | precision {:.2} recall {:.2} F {:.2}",
+        cr_flagged.len(),
+        cm.precision,
+        cm.recall,
+        cm.f_measure
+    );
+
+    // ---- Show what an undetected (hard) error looks like. ------------------
+    let missed: Vec<usize> =
+        category.truth.iter().copied().filter(|id| !flagged.contains(id)).collect();
+    if let Some(&id) = missed.first() {
+        let e = category.group.entity(id);
+        println!("\nan undetected hard error (cross-category co-views + blended description):");
+        println!("  asin        : {}", e.value(amazon_attr::ASIN).text);
+        println!("  title       : {}", e.value(amazon_attr::TITLE).text);
+        println!("  description : {}", e.value(amazon_attr::DESCRIPTION).text);
+    } else {
+        println!("\nevery injected error was discovered at this error rate");
+    }
+}

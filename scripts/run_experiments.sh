@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper's evaluation into
+# results/*.txt. Full run takes ~15-25 minutes, dominated by the naive
+# engine at DBGen scale; pass QUICK=1 for a ~2-minute smoke version.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p dime-bench --bins
+B=./target/release
+mkdir -p results
+
+if [[ "${QUICK:-0}" == "1" ]]; then
+  PAGES=12; CATS=3; PRODUCTS=100
+  SCHOLAR_MAX=1500; AMAZON_MAX=4000; QUAD_CAP=1200
+  DBGEN_MAX=20000; DBGEN_NAIVE_CAP=20000
+else
+  PAGES=40; CATS=8; PRODUCTS=200
+  SCHOLAR_MAX=3000; AMAZON_MAX=10000; QUAD_CAP=3000
+  DBGEN_MAX=100000; DBGEN_NAIVE_CAP=40000
+fi
+
+$B/exp_fig6   --pages "$PAGES" --categories "$CATS" --products "$PRODUCTS" | tee results/fig6.txt
+$B/exp_fig7   --pages "$PAGES" --categories "$CATS" --products "$PRODUCTS" | tee results/fig7.txt
+$B/exp_fig8   | tee results/fig8.txt
+$B/exp_table1 | tee results/table1.txt
+$B/exp_fig10  | tee results/fig10.txt
+$B/exp_fig9   --scholar-max "$SCHOLAR_MAX" --amazon-max "$AMAZON_MAX" --quad-cap "$QUAD_CAP" | tee results/fig9.txt
+$B/exp_dbgen  --max "$DBGEN_MAX" --naive-cap "$DBGEN_NAIVE_CAP" | tee results/dbgen.txt
+$B/exp_ablation | tee results/ablation.txt
+$B/exp_check    | tee results/check.txt
+echo "all experiments written to results/"

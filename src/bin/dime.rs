@@ -1,0 +1,335 @@
+//! `dime` — command-line discovery of mis-categorized entities.
+//!
+//! ```text
+//! dime discover --group <group.json> --rules <rules.txt> [--engine fast|naive] [--json] [--explain]
+//! dime learn    --group <group.json> --truth <ids.json>
+//! dime demo     <scholar|amazon> [--seed N] [--json]
+//! dime check-rules --group <group.json> --rules <rules.txt>
+//! dime stats    --group <group.json>
+//! ```
+//!
+//! `discover` loads a JSON group document (see `dime_data::load_group_json`
+//! for the format) and a rule file in the textual DSL
+//! (`dime_core::parse_rules`), runs DIME⁺ (or Algorithm 1 with
+//! `--engine naive`), and prints a human-readable report — or the full JSON
+//! report with `--json`.
+//!
+//! `demo` generates a synthetic Scholar page or Amazon category with known
+//! ground truth and reports precision/recall per scrollbar step.
+
+use dime::core::{
+    discover_fast, discover_naive, parse_rules, Discovery, Group, GroupStats, Polarity, Rule,
+};
+use dime::data::{
+    amazon_category, amazon_rules, discovery_to_json, load_group_json, scholar_page,
+    scholar_rules, AmazonConfig, LabeledGroup, ScholarConfig,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("discover") => cmd_discover(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        Some("check-rules") => cmd_check_rules(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("learn") => cmd_learn(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "dime — discover mis-categorized entities (ICDE 2018)\n\n\
+         USAGE:\n\
+         \x20 dime discover --group <group.json> --rules <rules.txt> [--engine fast|naive] [--json]\n\
+         \x20 dime demo <scholar|amazon> [--seed N] [--json]\n\
+         \x20 dime check-rules --group <group.json> --rules <rules.txt>\n\
+         \x20 dime stats --group <group.json>\n\
+         \x20 dime learn --group <group.json> --truth <ids.json>\n\n\
+         Rule file format (one rule per line, '#' comments):\n\
+         \x20 positive: overlap(Authors) >= 2\n\
+         \x20 positive: overlap(Authors) >= 1 and ontology(Venue) >= 0.75\n\
+         \x20 negative: overlap(Authors) <= 0"
+    );
+}
+
+fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn has_flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+fn load_inputs(args: &[String]) -> Result<(Group, Vec<Rule>, Vec<Rule>), String> {
+    let group_path = flag_value(args, "--group").ok_or("missing --group <file>")?;
+    let rules_path = flag_value(args, "--rules").ok_or("missing --rules <file>")?;
+    let group_text =
+        std::fs::read_to_string(group_path).map_err(|e| format!("{group_path}: {e}"))?;
+    let rules_text =
+        std::fs::read_to_string(rules_path).map_err(|e| format!("{rules_path}: {e}"))?;
+    let group = load_group_json(&group_text).map_err(|e| e.to_string())?;
+    let rules = parse_rules(&rules_text, group.schema()).map_err(|e| e.to_string())?;
+    let (pos, neg): (Vec<_>, Vec<_>) =
+        rules.into_iter().partition(|r| r.polarity == Polarity::Positive);
+    if pos.is_empty() {
+        return Err("rule file contains no positive rules".into());
+    }
+    if neg.is_empty() {
+        return Err("rule file contains no negative rules".into());
+    }
+    Ok((group, pos, neg))
+}
+
+fn cmd_discover(args: &[String]) -> ExitCode {
+    let (group, pos, neg) = match load_inputs(args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if group.is_empty() {
+        eprintln!("error: the group is empty");
+        return ExitCode::FAILURE;
+    }
+    let discovery = match flag_value(args, "--engine") {
+        Some("naive") => discover_naive(&group, &pos, &neg),
+        Some("fast") | None => discover_fast(&group, &pos, &neg),
+        Some(other) => {
+            eprintln!("error: unknown engine {other:?} (use 'fast' or 'naive')");
+            return ExitCode::FAILURE;
+        }
+    };
+    if has_flag(args, "--json") {
+        println!("{}", serde_json::to_string_pretty(&discovery_to_json(&group, &discovery)).unwrap());
+    } else {
+        print_report(&group, &discovery, has_flag(args, "--explain"), &neg);
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_report(group: &Group, discovery: &Discovery, explain: bool, negative: &[Rule]) {
+    println!(
+        "{} entities → {} partitions (pivot: {} entities)",
+        group.len(),
+        discovery.partitions.len(),
+        discovery.pivot_members().len()
+    );
+    for step in &discovery.steps {
+        println!(
+            "  with {} negative rule(s): {} flagged",
+            step.rules_applied,
+            step.flagged.len()
+        );
+    }
+    let flagged = discovery.mis_categorized();
+    if flagged.is_empty() {
+        println!("\nno mis-categorized entities discovered");
+        return;
+    }
+    println!("\nmis-categorized entities:");
+    let names: Vec<&str> = group.schema().attrs().iter().map(|a| a.name.as_str()).collect();
+    for id in flagged {
+        let e = group.entity(id);
+        let summary: Vec<String> = names
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| !e.value(*k).text.is_empty())
+            .take(3)
+            .map(|(k, n)| format!("{n}: {}", e.value(k).text))
+            .collect();
+        println!("  [{id}] {}", summary.join(" | "));
+        if explain {
+            if let Some(w) = discovery.witness_for(id) {
+                println!(
+                    "        flagged by negative rule #{}: {}",
+                    w.rule + 1,
+                    negative[w.rule].to_dsl(group.schema())
+                );
+                let p = group.entity(w.pivot_entity);
+                let first = names.first().copied().unwrap_or("?");
+                println!(
+                    "        witness pair: [{}] vs pivot [{}] ({}: {})",
+                    w.entity,
+                    w.pivot_entity,
+                    first,
+                    p.value(0).text
+                );
+            }
+        }
+    }
+}
+
+/// `dime learn`: derive positive/negative rules from a labeled group.
+///
+/// `--truth` is a JSON array of mis-categorized entity ids. Prints a rule
+/// file (the DSL) learned by the greedy DIME-Rule algorithm, ready for
+/// `dime discover --rules`.
+fn cmd_learn(args: &[String]) -> ExitCode {
+    use dime::data::{ExampleSet, LabeledGroup};
+    use dime::rulegen::{
+        generate_negative_rules, generate_positive_rules, FunctionLibrary, GreedyConfig,
+    };
+    let (Some(group_path), Some(truth_path)) =
+        (flag_value(args, "--group"), flag_value(args, "--truth"))
+    else {
+        eprintln!("error: learn needs --group <group.json> and --truth <ids.json>");
+        return ExitCode::FAILURE;
+    };
+    let group_text = match std::fs::read_to_string(group_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {group_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let group = match load_group_json(&group_text) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let truth_text = match std::fs::read_to_string(truth_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {truth_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let truth_ids: Vec<usize> = match serde_json::from_str(&truth_text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: --truth must be a JSON array of entity ids: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(&bad) = truth_ids.iter().find(|&&id| id >= group.len()) {
+        eprintln!("error: truth id {bad} out of range (group has {} entities)", group.len());
+        return ExitCode::FAILURE;
+    }
+    let schema = group.schema().clone();
+    let lg = LabeledGroup {
+        name: group_path.to_string(),
+        group,
+        truth: truth_ids.into_iter().collect(),
+    };
+    let ex = ExampleSet::from_labeled(&lg, 250, 250);
+    if ex.positive.is_empty() || ex.negative.is_empty() {
+        eprintln!("error: need both correct and mis-categorized entities to learn from");
+        return ExitCode::FAILURE;
+    }
+    let library = FunctionLibrary::default_for(&lg.group);
+    let cfg = GreedyConfig::default();
+    let pos = generate_positive_rules(&lg.group, &ex.positive, &ex.negative, &library, &cfg);
+    let neg = generate_negative_rules(&lg.group, &ex.positive, &ex.negative, &library, &cfg);
+    if pos.is_empty() || neg.is_empty() {
+        eprintln!("error: no discriminating rules found — check the labels");
+        return ExitCode::FAILURE;
+    }
+    println!("# learned from {} positive / {} negative examples", ex.positive.len(), ex.negative.len());
+    for r in pos.iter().chain(neg.iter()) {
+        println!("{}", r.to_dsl(&schema));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_demo(args: &[String]) -> ExitCode {
+    let seed: u64 = flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let (lg, pos, neg): (LabeledGroup, _, _) = match args.first().map(String::as_str) {
+        Some("scholar") => {
+            let lg = scholar_page("demo", &ScholarConfig::default_page(seed));
+            let (p, n) = scholar_rules();
+            (lg, p, n)
+        }
+        Some("amazon") => {
+            let lg = amazon_category(&AmazonConfig::new(0, 200, 0.2, seed));
+            let (p, n) = amazon_rules();
+            (lg, p, n)
+        }
+        _ => {
+            eprintln!("error: demo needs a dataset: scholar | amazon");
+            return ExitCode::FAILURE;
+        }
+    };
+    let discovery = discover_fast(&lg.group, &pos, &neg);
+    if has_flag(args, "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&discovery_to_json(&lg.group, &discovery)).unwrap()
+        );
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "synthetic {} group: {} entities, {} truly mis-categorized\n",
+        lg.name,
+        lg.group.len(),
+        lg.truth.len()
+    );
+    for step in &discovery.steps {
+        let m = dime::metrics::evaluate_sets(step.flagged.iter(), lg.truth.iter());
+        println!(
+            "  with {} negative rule(s): {:3} flagged | precision {:.2} recall {:.2} F {:.2}",
+            step.rules_applied,
+            step.flagged.len(),
+            m.precision,
+            m.recall,
+            m.f_measure
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_stats(args: &[String]) -> ExitCode {
+    let Some(group_path) = flag_value(args, "--group") else {
+        eprintln!("error: missing --group <file>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(group_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {group_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match load_group_json(&text) {
+        Ok(group) => {
+            print!("{}", GroupStats::compute(&group));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_check_rules(args: &[String]) -> ExitCode {
+    match load_inputs(args) {
+        Ok((_, pos, neg)) => {
+            println!("{} positive rule(s):", pos.len());
+            for r in &pos {
+                println!("  {r}");
+            }
+            println!("{} negative rule(s):", neg.len());
+            for r in &neg {
+                println!("  {r}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

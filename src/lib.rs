@@ -1,0 +1,54 @@
+//! # DIME — Discovering Mis-Categorized Entities
+//!
+//! A Rust implementation of *Discovering Mis-Categorized Entities*
+//! (Hao, Tang, Li, Feng — ICDE 2018): a rule-based framework that, given a
+//! group of entities categorized together (a Google Scholar profile, an
+//! Amazon product category), finds the entities that do not belong.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — entities, rules, DIME (Algorithm 1) and DIME⁺
+//!   (Algorithm 2, the signature-based fast engine);
+//! * [`text`] — tokenization, string similarity, prefix signatures;
+//! * [`ontology`] — ontology trees, LCA similarity, node signatures, LDA;
+//! * [`index`] — union-find and the signature inverted index;
+//! * [`rulegen`] — greedy + enumeration rule generation from examples;
+//! * [`baselines`] — CR, SVM, decision tree, SIFI;
+//! * [`data`] — synthetic Scholar / Amazon / DBGen datasets;
+//! * [`metrics`] — precision/recall/F-measure, k-fold splits.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dime::core::{discover_fast, GroupBuilder, Predicate, Rule, Schema, SimilarityFn};
+//! use dime::text::TokenizerKind;
+//!
+//! let schema = Schema::new([("Authors", TokenizerKind::List(','))]);
+//! let mut b = GroupBuilder::new(schema);
+//! b.add_entity(&["ann, bob"]);
+//! b.add_entity(&["bob, ann, carol"]);
+//! b.add_entity(&["someone else"]);
+//! let group = b.build();
+//!
+//! let pos = vec![Rule::positive(vec![Predicate::new(0, SimilarityFn::Overlap, 2.0)])];
+//! let neg = vec![Rule::negative(vec![Predicate::new(0, SimilarityFn::Overlap, 0.0)])];
+//! let discovery = discover_fast(&group, &pos, &neg);
+//! assert_eq!(discovery.mis_categorized().into_iter().collect::<Vec<_>>(), vec![2]);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/dime-bench` for the
+//! binaries that regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod tutorial;
+
+pub use dime_baselines as baselines;
+pub use dime_core as core;
+pub use dime_data as data;
+pub use dime_index as index;
+pub use dime_metrics as metrics;
+pub use dime_ontology as ontology;
+pub use dime_rulegen as rulegen;
+pub use dime_text as text;

@@ -1,0 +1,183 @@
+//! # Tutorial: from raw entities to explained discoveries
+//!
+//! A guided tour of the whole API. Every code block compiles and runs as a
+//! doc-test.
+//!
+//! ## 1. Model your group
+//!
+//! A *group* is a set of entities some upstream system categorized
+//! together. Declare the relation's schema — each attribute with the
+//! tokenizer that matches its shape — then add entities:
+//!
+//! ```
+//! use dime::core::{GroupBuilder, Schema};
+//! use dime::text::TokenizerKind;
+//!
+//! let schema = Schema::new([
+//!     ("Title", TokenizerKind::Words),       // free text → words
+//!     ("Authors", TokenizerKind::List(',')), // explicit list → names
+//!     ("Year", TokenizerKind::Whole),        // identifier-ish → one token
+//! ]);
+//! let mut builder = GroupBuilder::new(schema);
+//! builder.add_entity(&["A data cleaning system", "Ann Li, Bo Chen", "2015"]);
+//! builder.add_entity(&["Data quality rules", "Ann Li, Cai Wu", "2017"]);
+//! let group = builder.build();
+//! assert_eq!(group.len(), 2);
+//! // Values are tokenized, interned, and shared across entities:
+//! assert!(group
+//!     .entity(0)
+//!     .value(1)
+//!     .tokens
+//!     .iter()
+//!     .any(|t| group.entity(1).value(1).tokens.contains(t))); // "ann li"
+//! ```
+//!
+//! ## 2. Attach semantics with an ontology
+//!
+//! String similarity cannot see that SIGMOD and VLDB are the same field.
+//! Attach a category tree and values auto-map to nodes (exact name, token,
+//! or bounded-edit-distance match):
+//!
+//! ```
+//! use dime::core::{GroupBuilder, Schema};
+//! use dime::ontology::{ontology_similarity, Ontology};
+//! use dime::text::TokenizerKind;
+//! use std::sync::Arc;
+//!
+//! let mut venues = Ontology::new("venue");
+//! venues.add_path(&["computer science", "database", "sigmod"]);
+//! venues.add_path(&["computer science", "database", "vldb"]);
+//!
+//! let schema = Schema::new([("Venue", TokenizerKind::Words)]);
+//! let mut b = GroupBuilder::new(schema);
+//! b.attach_ontology("Venue", Arc::new(venues));
+//! b.add_entity(&["SIGMOD 2015"]); // token "sigmod" matches the leaf
+//! b.add_entity(&["VLDB 2013"]);
+//! let g = b.build();
+//!
+//! let (a, b_) = (g.entity(0).value(0).node.unwrap(), g.entity(1).value(0).node.unwrap());
+//! // Same field, different venues: 2·|LCA| / (|n|+|n'|) = 2·3/(4+4).
+//! assert_eq!(ontology_similarity(g.ontology(0).unwrap(), a, b_), 0.75);
+//! ```
+//!
+//! No curated ontology? Learn one with LDA from a background corpus and
+//! assign values by inference — see [`ThemeModel`](crate::ontology::ThemeModel).
+//!
+//! ## 3. Write rules — in code or as text
+//!
+//! Positive rules assert "these belong together"; negative rules assert
+//! "these do not". The textual DSL keeps them in config files:
+//!
+//! ```
+//! use dime::core::{parse_rules, Polarity, Schema};
+//! use dime::text::TokenizerKind;
+//!
+//! let schema = Schema::new([
+//!     ("Authors", TokenizerKind::List(',')),
+//!     ("Venue", TokenizerKind::Words),
+//! ]);
+//! let rules = parse_rules(
+//!     "
+//!     positive: overlap(Authors) >= 2
+//!     positive: overlap(Authors) >= 1 and ontology(Venue) >= 0.75
+//!     negative: overlap(Authors) = 0
+//!     negative: overlap(Authors) <= 1 and ontology(Venue) <= 0.25
+//!     ",
+//!     &schema,
+//! )
+//! .unwrap();
+//! assert_eq!(rules.iter().filter(|r| r.polarity == Polarity::Positive).count(), 2);
+//! // Rules round-trip back to the DSL:
+//! assert!(rules[0].to_dsl(&schema).starts_with("positive: overlap(Authors)"));
+//! ```
+//!
+//! ## 4. Discover, scroll, explain
+//!
+//! ```
+//! use dime::core::{discover_fast, GroupBuilder, Predicate, Rule, Schema, SimilarityFn};
+//! use dime::text::TokenizerKind;
+//!
+//! let schema = Schema::new([("Authors", TokenizerKind::List(','))]);
+//! let mut b = GroupBuilder::new(schema);
+//! b.add_entity(&["ann, bob"]);
+//! b.add_entity(&["ann, bob, carol"]);
+//! b.add_entity(&["bob, carol"]);
+//! b.add_entity(&["someone else"]);
+//! let group = b.build();
+//!
+//! let pos = vec![Rule::positive(vec![Predicate::new(0, SimilarityFn::Overlap, 2.0)])];
+//! let neg = vec![Rule::negative(vec![Predicate::new(0, SimilarityFn::Overlap, 0.0)])];
+//! let d = discover_fast(&group, &pos, &neg);
+//!
+//! // Partitions + pivot:
+//! assert_eq!(d.pivot_members(), &[0, 1, 2]);
+//! // The scrollbar: one monotone result set per negative rule.
+//! assert_eq!(d.at_step(0).unwrap().len(), 1);
+//! // Explanations: which rule fired, on which witness pair.
+//! let w = d.witness_for(3).unwrap();
+//! assert_eq!(w.rule, 0);
+//! assert!(neg[w.rule].eval(&group, group.entity(w.entity), group.entity(w.pivot_entity)));
+//! ```
+//!
+//! ## 5. Learn rules from examples
+//!
+//! Given labeled pairs, the greedy DIME-Rule algorithm derives both rule
+//! sets (paper Section V):
+//!
+//! ```
+//! use dime::core::{GroupBuilder, Schema, SimilarityFn};
+//! use dime::rulegen::{generate_positive_rules, FunctionLibrary, GreedyConfig};
+//! use dime::text::TokenizerKind;
+//!
+//! let schema = Schema::new([("Authors", TokenizerKind::List(','))]);
+//! let mut b = GroupBuilder::new(schema);
+//! b.add_entity(&["a, b, c"]);
+//! b.add_entity(&["a, b"]);
+//! b.add_entity(&["x, y"]);
+//! let g = b.build();
+//!
+//! let rules = generate_positive_rules(
+//!     &g,
+//!     &[(0, 1)],          // positive example pairs
+//!     &[(0, 2), (1, 2)],  // negative example pairs
+//!     &FunctionLibrary::new(vec![(0, SimilarityFn::Overlap)]),
+//!     &GreedyConfig::default(),
+//! );
+//! assert_eq!(rules[0].predicates[0].threshold, 2.0);
+//! ```
+//!
+//! ## 6. Streaming groups
+//!
+//! When the group grows over time, [`IncrementalDime`](crate::core::IncrementalDime)
+//! maintains partitions across insertions and matches the batch engines
+//! exactly:
+//!
+//! ```
+//! use dime::core::{discover_naive, GroupBuilder, IncrementalDime, Predicate, Rule, Schema, SimilarityFn};
+//! use dime::text::TokenizerKind;
+//!
+//! let schema = Schema::new([("Authors", TokenizerKind::List(','))]);
+//! let pos = vec![Rule::positive(vec![Predicate::new(0, SimilarityFn::Overlap, 2.0)])];
+//! let neg = vec![Rule::negative(vec![Predicate::new(0, SimilarityFn::Overlap, 0.0)])];
+//! let mut engine = IncrementalDime::new(GroupBuilder::new(schema).build(), pos.clone(), neg.clone());
+//! engine.add_entity(&["ann, bob"]);
+//! engine.add_entity(&["ann, bob, carol"]);
+//! engine.add_entity(&["zed"]);
+//! let d = engine.discovery();
+//! assert_eq!(d, discover_naive(engine.group(), &pos, &neg));
+//! ```
+//!
+//! ## 7. Evaluate
+//!
+//! ```
+//! use dime::metrics::evaluate_sets;
+//! let truth = [4usize, 9];
+//! let flagged = [4usize, 7];
+//! let m = evaluate_sets(flagged.iter(), truth.iter());
+//! assert_eq!(m.precision, 0.5);
+//! assert_eq!(m.recall, 0.5);
+//! ```
+//!
+//! For full evaluations against synthetic ground truth, see the
+//! generators in [`data`](crate::data) and the experiment binaries in
+//! `crates/dime-bench`.

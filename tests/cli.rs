@@ -1,0 +1,209 @@
+//! End-to-end tests of the `dime` CLI binary: group + rule files in,
+//! reports out, and clean errors for malformed inputs.
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("dime-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+const GROUP: &str = r#"{
+  "schema": [
+    {"name": "Title", "tokenizer": "words"},
+    {"name": "Authors", "tokenizer": {"list": ","}},
+    {"name": "Venue", "tokenizer": "words"}
+  ],
+  "ontologies": {
+    "Venue": [
+      ["computer science", "database", "sigmod"],
+      ["computer science", "database", "vldb"],
+      ["chemical sciences", "general", "rsc advances"]
+    ]
+  },
+  "entities": [
+    {"Title": "katara data cleaning", "Authors": "xu chu, ihab ilyas, nan tang", "Venue": "SIGMOD"},
+    {"Title": "nadeef data cleaning", "Authors": "amr ebaid, ihab ilyas, nan tang", "Venue": "VLDB"},
+    {"Title": "oxidative desulfurization", "Authors": "jianlong wang", "Venue": "RSC Advances"}
+  ]
+}"#;
+
+const RULES: &str = "\
+positive: overlap(Authors) >= 2
+negative: overlap(Authors) = 0
+";
+
+fn dime() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dime"))
+}
+
+#[test]
+fn discover_prints_flagged_entities() {
+    let group = write_temp("g1.json", GROUP);
+    let rules = write_temp("r1.txt", RULES);
+    let out = dime()
+        .args(["discover", "--group"])
+        .arg(&group)
+        .arg("--rules")
+        .arg(&rules)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("mis-categorized entities"), "{stdout}");
+    assert!(stdout.contains("jianlong wang"), "{stdout}");
+}
+
+#[test]
+fn discover_json_report_is_valid_json() {
+    let group = write_temp("g2.json", GROUP);
+    let rules = write_temp("r2.txt", RULES);
+    let out = dime()
+        .args(["discover", "--json", "--group"])
+        .arg(&group)
+        .arg("--rules")
+        .arg(&rules)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(v["mis_categorized"].as_array().unwrap().len(), 1);
+    assert_eq!(v["mis_categorized"][0]["Authors"], "jianlong wang");
+}
+
+#[test]
+fn both_engines_agree() {
+    let group = write_temp("g3.json", GROUP);
+    let rules = write_temp("r3.txt", RULES);
+    let run = |engine: &str| {
+        let out = dime()
+            .args(["discover", "--json", "--engine", engine, "--group"])
+            .arg(&group)
+            .arg("--rules")
+            .arg(&rules)
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        String::from_utf8(out.stdout).unwrap()
+    };
+    assert_eq!(run("fast"), run("naive"));
+}
+
+#[test]
+fn check_rules_echoes_parsed_rules() {
+    let group = write_temp("g4.json", GROUP);
+    let rules = write_temp("r4.txt", RULES);
+    let out = dime()
+        .args(["check-rules", "--group"])
+        .arg(&group)
+        .arg("--rules")
+        .arg(&rules)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 positive rule(s)"), "{stdout}");
+    assert!(stdout.contains("f_ov"), "{stdout}");
+}
+
+#[test]
+fn bad_rule_file_fails_with_message() {
+    let group = write_temp("g5.json", GROUP);
+    let rules = write_temp("r5.txt", "positive: sorcery(Authors) >= 1\n");
+    let out = dime()
+        .args(["discover", "--group"])
+        .arg(&group)
+        .arg("--rules")
+        .arg(&rules)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown similarity function"), "{stderr}");
+}
+
+#[test]
+fn missing_flags_fail_cleanly() {
+    let out = dime().args(["discover"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--group"));
+}
+
+#[test]
+fn unknown_command_shows_usage() {
+    let out = dime().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn explain_shows_witnessing_rule() {
+    let group = write_temp("g6.json", GROUP);
+    let rules = write_temp("r6.txt", RULES);
+    let out = dime()
+        .args(["discover", "--explain", "--group"])
+        .arg(&group)
+        .arg("--rules")
+        .arg(&rules)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("flagged by negative rule #1"), "{stdout}");
+    assert!(stdout.contains("witness pair"), "{stdout}");
+}
+
+#[test]
+fn learn_emits_parseable_rules() {
+    let group = write_temp("g7.json", GROUP);
+    let truth = write_temp("t7.json", "[2]");
+    let out = dime()
+        .args(["learn", "--group"])
+        .arg(&group)
+        .arg("--truth")
+        .arg(&truth)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // The emitted rules must round-trip through check-rules.
+    let rules = write_temp("r7.txt", &stdout);
+    let out = dime()
+        .args(["check-rules", "--group"])
+        .arg(&group)
+        .arg("--rules")
+        .arg(&rules)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "learned rules failed to parse: {stdout}");
+}
+
+#[test]
+fn learn_rejects_out_of_range_truth() {
+    let group = write_temp("g8.json", GROUP);
+    let truth = write_temp("t8.json", "[99]");
+    let out = dime()
+        .args(["learn", "--group"])
+        .arg(&group)
+        .arg("--truth")
+        .arg(&truth)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+}
+
+#[test]
+fn stats_summarizes_attributes() {
+    let group = write_temp("g9.json", GROUP);
+    let out = dime().args(["stats", "--group"]).arg(&group).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("3 entities"), "{stdout}");
+    assert!(stdout.contains("Authors"), "{stdout}");
+}

@@ -144,7 +144,7 @@ pub fn kmeans_cluster(group: &Group, attrs: &[usize], config: &KMeansConfig) -> 
         for (i, p) in points.iter().enumerate() {
             let best = (0..k)
                 .min_by(|&a, &b| {
-                    distance(p, &centroids[a]).partial_cmp(&distance(p, &centroids[b])).unwrap()
+                    distance(p, &centroids[a]).total_cmp(&distance(p, &centroids[b]))
                 })
                 .unwrap();
             if assignment[i] != best {

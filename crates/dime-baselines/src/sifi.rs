@@ -46,7 +46,7 @@ fn slot_thresholds(
             Predicate::new(attr, func, 0.0).similarity(group, group.entity(a), group.entity(b))
         })
         .collect();
-    ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ts.sort_by(f64::total_cmp);
     ts.dedup();
     ts
 }

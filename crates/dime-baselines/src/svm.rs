@@ -139,7 +139,7 @@ impl SvmPipeline {
         // (β = 0.3) of the positive class, ties broken toward precision.
         let mut decisions: Vec<(f64, bool)> =
             xs.iter().zip(&ys).map(|(x, &y)| (model.decision(x), y > 0.0)).collect();
-        decisions.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        decisions.sort_by(|a, b| a.0.total_cmp(&b.0));
         let total_pos = decisions.iter().filter(|d| d.1).count();
         let mut best = (0.0f64, f64::MIN);
         for k in 0..=decisions.len() {

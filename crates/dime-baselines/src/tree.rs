@@ -149,7 +149,7 @@ fn best_split(xs: &[Vec<f64>], ys: &[bool], idx: &[usize]) -> Option<(usize, f64
     for f in 0..dim {
         // Sort sample indices by this feature.
         let mut order: Vec<usize> = idx.to_vec();
-        order.sort_by(|&a, &b| xs[a][f].partial_cmp(&xs[b][f]).unwrap());
+        order.sort_by(|&a, &b| xs[a][f].total_cmp(&xs[b][f]));
         let mut left_pos = 0usize;
         for k in 0..total - 1 {
             if ys[order[k]] {

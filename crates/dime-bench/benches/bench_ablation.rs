@@ -7,11 +7,15 @@ use dime_core::{discover_fast_with, DimePlusConfig};
 use dime_data::{dbgen_group, dbgen_rules, scholar_page, scholar_rules, DbgenConfig, ScholarConfig};
 
 fn configs() -> [(&'static str, DimePlusConfig); 4] {
+    let full = DimePlusConfig::default(); // benefit order + transitivity, 1 thread
     [
-        ("full", DimePlusConfig { benefit_order: true, transitivity_skip: true }),
-        ("no_benefit_order", DimePlusConfig { benefit_order: false, transitivity_skip: true }),
-        ("no_transitivity", DimePlusConfig { benefit_order: true, transitivity_skip: false }),
-        ("neither", DimePlusConfig { benefit_order: false, transitivity_skip: false }),
+        ("full", full),
+        ("no_benefit_order", DimePlusConfig { benefit_order: false, ..full }),
+        ("no_transitivity", DimePlusConfig { transitivity_skip: false, ..full }),
+        (
+            "neither",
+            DimePlusConfig { benefit_order: false, transitivity_skip: false, ..full },
+        ),
     ]
 }
 

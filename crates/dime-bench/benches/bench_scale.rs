@@ -3,7 +3,7 @@
 //! growing size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dime_core::{discover_fast, discover_naive};
+use dime_core::{discover_fast, discover_naive, discover_parallel};
 use dime_data::{dbgen_group, dbgen_rules, scholar_page, scholar_rules, DbgenConfig, ScholarConfig};
 
 fn bench_scholar_scale(c: &mut Criterion) {
@@ -38,5 +38,25 @@ fn bench_dbgen_scale(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_scholar_scale, bench_dbgen_scale);
+fn bench_parallel_scale(c: &mut Criterion) {
+    let (pos, neg) = dbgen_rules();
+    let mut g = c.benchmark_group("dbgen_parallel");
+    g.sample_size(10);
+    for n in [4000usize, 10000] {
+        let lg = dbgen_group(&DbgenConfig::new(n, n as u64));
+        g.bench_with_input(BenchmarkId::new("dime_plus_1t", n), &lg, |b, lg| {
+            b.iter(|| discover_fast(&lg.group, &pos, &neg))
+        });
+        for threads in [2usize, 4, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("dime_parallel_{threads}t"), n),
+                &lg,
+                |b, lg| b.iter(|| discover_parallel(&lg.group, &pos, &neg, threads)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scholar_scale, bench_dbgen_scale, bench_parallel_scale);
 criterion_main!(benches);

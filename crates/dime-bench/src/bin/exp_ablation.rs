@@ -19,11 +19,13 @@ fn main() {
     let dbgen_n: usize = arg_or("dbgen", 5000);
     let seed: u64 = arg_or("seed", 42);
 
+    let full = DimePlusConfig::default();
     let configs = [
-        ("full (paper DIME+)", DimePlusConfig { benefit_order: true, transitivity_skip: true }),
-        ("no benefit order", DimePlusConfig { benefit_order: false, transitivity_skip: true }),
-        ("no transitivity", DimePlusConfig { benefit_order: true, transitivity_skip: false }),
-        ("neither", DimePlusConfig { benefit_order: false, transitivity_skip: false }),
+        ("full (paper DIME+)", full),
+        ("no benefit order", DimePlusConfig { benefit_order: false, ..full }),
+        ("no transitivity", DimePlusConfig { transitivity_skip: false, ..full }),
+        ("neither", DimePlusConfig { benefit_order: false, transitivity_skip: false, ..full }),
+        ("parallel x8", DimePlusConfig { threads: 8, ..full }),
     ];
 
     println!("== Ablation: DIME+ verification optimizations ==");

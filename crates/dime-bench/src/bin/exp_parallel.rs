@@ -1,0 +1,88 @@
+//! Parallel-engine scaling table — the single-group thread sweep plus the
+//! multi-group batch driver (DESIGN.md §5 companion to `exp_dbgen`).
+//!
+//! Part 1 sweeps `discover_parallel` thread counts on one DBGen group and
+//! reports speedups over the sequential DIME⁺ engine; results are asserted
+//! identical across all thread counts (and against naive DIME below
+//! `--naive-cap`). Part 2 runs the batch driver over many Scholar pages to
+//! show inter-group parallelism composing with the engine knob.
+//!
+//! Flags: `--dbgen N` (default 10000), `--naive-cap N` (default 5000),
+//! `--pages N` (default 16), `--page-size N` (default 500), `--seed S`.
+
+use dime_bench::{arg_or, default_threads, run_batch_parallel, secs, Table};
+use dime_core::{discover_fast, discover_naive, discover_parallel};
+use dime_data::{dbgen_group, dbgen_rules, scholar_page, scholar_rules, DbgenConfig, ScholarConfig};
+use std::time::Instant;
+
+fn main() {
+    let dbgen_n: usize = arg_or("dbgen", 10_000);
+    let naive_cap: usize = arg_or("naive-cap", 5_000);
+    let pages: usize = arg_or("pages", 16);
+    let page_size: usize = arg_or("page-size", 500);
+    let seed: u64 = arg_or("seed", 42);
+
+    // Part 1: thread sweep on a single large group.
+    let (pos, neg) = dbgen_rules();
+    let lg = dbgen_group(&DbgenConfig::new(dbgen_n, seed));
+    println!("== Parallel DIME+ thread sweep: DBGen({dbgen_n}) ==");
+
+    let t0 = Instant::now();
+    let reference = discover_fast(&lg.group, &pos, &neg);
+    let base = t0.elapsed().as_secs_f64();
+    if dbgen_n <= naive_cap {
+        assert_eq!(reference, discover_naive(&lg.group, &pos, &neg), "fast must match naive");
+    }
+
+    let mut t = Table::new(&["engine", "threads", "time", "speedup"]);
+    t.row(vec!["dime+ sequential".into(), "1".into(), secs(base), "1.0x".into()]);
+    let avail = default_threads();
+    let mut sweep = vec![1usize, 2, 4, 8];
+    if !sweep.contains(&avail) {
+        sweep.push(avail);
+    }
+    for threads in sweep {
+        let t0 = Instant::now();
+        let d = discover_parallel(&lg.group, &pos, &neg, threads);
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert_eq!(d, reference, "parallel engine diverged at threads={threads}");
+        t.row(vec![
+            "dime+ parallel".into(),
+            threads.to_string(),
+            secs(elapsed),
+            format!("{:.1}x", base / elapsed.max(1e-9)),
+        ]);
+    }
+    t.print();
+    println!("(all rows asserted identical to the sequential DIME+ discovery)");
+
+    // Part 2: many independent groups through the batch driver.
+    println!("\n== Batch driver: {pages} Scholar pages x {page_size} entities ==");
+    let (spos, sneg) = scholar_rules();
+    let lgs: Vec<_> = (0..pages)
+        .map(|i| {
+            scholar_page("batch", &ScholarConfig::scaled_to(page_size, seed.wrapping_add(i as u64)))
+        })
+        .collect();
+    let groups: Vec<&dime_core::Group> = lgs.iter().map(|lg| &lg.group).collect();
+
+    let t0 = Instant::now();
+    let expected = run_batch_parallel(&groups, &spos, &sneg, 1, 1);
+    let batch_base = t0.elapsed().as_secs_f64();
+    let mut t = Table::new(&["workers", "engine threads", "time", "speedup"]);
+    t.row(vec!["1".into(), "1".into(), secs(batch_base), "1.0x".into()]);
+    for (workers, engine_threads) in [(2, 1), (4, 1), (8, 1), (4, 2)] {
+        let t0 = Instant::now();
+        let got = run_batch_parallel(&groups, &spos, &sneg, workers, engine_threads);
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert_eq!(got, expected, "batch results must not depend on scheduling");
+        t.row(vec![
+            workers.to_string(),
+            engine_threads.to_string(),
+            secs(elapsed),
+            format!("{:.1}x", batch_base / elapsed.max(1e-9)),
+        ]);
+    }
+    t.print();
+    println!("(batch output order and contents asserted identical to the sequential run)");
+}

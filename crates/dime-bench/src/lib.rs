@@ -103,7 +103,7 @@ pub fn best_step(steps: &[Prf]) -> Prf {
     steps
         .iter()
         .copied()
-        .max_by(|a, b| a.f_measure.partial_cmp(&b.f_measure).unwrap())
+        .max_by(|a, b| a.f_measure.total_cmp(&b.f_measure))
         .unwrap_or(Prf::from_counts(0, 0, 0))
 }
 
@@ -136,6 +136,37 @@ pub fn run_dime_at_step(lg: &LabeledGroup, pos: &[Rule], neg: &[Rule], step: usi
     let flagged = d.at_step(step).cloned().unwrap_or_default();
     let metrics = dime_metrics::evaluate_sets(flagged.iter(), lg.truth.iter());
     MethodRun { flagged, metrics, seconds }
+}
+
+/// Runs the parallel DIME⁺ engine and evaluates the best scrollbar step.
+pub fn run_dime_parallel(
+    lg: &LabeledGroup,
+    pos: &[Rule],
+    neg: &[Rule],
+    threads: usize,
+) -> MethodRun {
+    let t = Instant::now();
+    let d = dime_core::discover_parallel(&lg.group, pos, neg, threads);
+    let seconds = t.elapsed().as_secs_f64();
+    let per_step = scrollbar_metrics(lg, &d);
+    let best = best_step(&per_step);
+    MethodRun { flagged: d.mis_categorized(), metrics: best, seconds }
+}
+
+/// Batch driver: discovers mis-categorized entities in many independent
+/// groups at once. Inter-group parallelism comes from [`parallel_map`]
+/// (one group per worker); intra-group parallelism from the engine's own
+/// `threads` knob. The two compose — e.g. 4 workers × 2 engine threads —
+/// but for many small groups prefer `engine_threads = 1` and let the group
+/// fan-out saturate the cores. Output order matches input order.
+pub fn run_batch_parallel(
+    groups: &[&dime_core::Group],
+    pos: &[Rule],
+    neg: &[Rule],
+    workers: usize,
+    engine_threads: usize,
+) -> Vec<Discovery> {
+    parallel_map(groups, workers, |g| dime_core::discover_parallel(g, pos, neg, engine_threads))
 }
 
 /// Runs the naive DIME (Algorithm 1) for timing comparisons.
@@ -397,6 +428,20 @@ mod tests {
         }
         let empty: Vec<u64> = Vec::new();
         assert!(parallel_map(&empty, 4, |&x: &u64| x).is_empty());
+    }
+
+    #[test]
+    fn batch_driver_matches_sequential_runs() {
+        let (pos, neg) = scholar_rules();
+        let pages: Vec<_> =
+            (0..4u64).map(|s| scholar_page("b", &ScholarConfig::small(s))).collect();
+        let groups: Vec<&dime_core::Group> = pages.iter().map(|lg| &lg.group).collect();
+        let expected: Vec<_> =
+            groups.iter().map(|g| dime_core::discover_fast(g, &pos, &neg)).collect();
+        for (workers, engine_threads) in [(1, 1), (4, 1), (2, 2)] {
+            let got = run_batch_parallel(&groups, &pos, &neg, workers, engine_threads);
+            assert_eq!(got, expected, "workers={workers} engine_threads={engine_threads}");
+        }
     }
 
     #[test]

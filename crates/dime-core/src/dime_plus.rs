@@ -19,9 +19,10 @@
 
 use crate::discover::{check_polarities, cumulate_steps, pick_pivot, Discovery, ScrollStep, Witness};
 use crate::entity::Group;
+use crate::par::{par_map, par_shards, resolve_threads};
 use crate::rule::Rule;
 use crate::signature::{PredSigs, SigContext};
-use dime_index::{InvertedIndex, UnionFind};
+use dime_index::{ConcurrentUnionFind, InvertedIndex, UnionFind};
 use std::collections::HashSet;
 
 /// Tuning knobs for DIME⁺ (all defaults match the paper's design).
@@ -33,11 +34,26 @@ pub struct DimePlusConfig {
     /// Skip candidate pairs already connected via union-find (`true`).
     /// Exposed for the ablation benchmarks.
     pub transitivity_skip: bool,
+    /// Worker threads for the filter–verify phases: `1` (the default) runs
+    /// the sequential engine over [`UnionFind`]; `> 1` shards signature
+    /// generation, candidate gathering, verification, and partition
+    /// flagging across scoped threads over a [`ConcurrentUnionFind`];
+    /// `0` means one worker per available core. Every setting produces the
+    /// identical [`Discovery`].
+    pub threads: usize,
 }
 
 impl Default for DimePlusConfig {
     fn default() -> Self {
-        Self { benefit_order: true, transitivity_skip: true }
+        Self { benefit_order: true, transitivity_skip: true, threads: 1 }
+    }
+}
+
+impl DimePlusConfig {
+    /// The default configuration with an explicit worker count (`0` = one
+    /// worker per available core).
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads, ..Self::default() }
     }
 }
 
@@ -67,6 +83,41 @@ pub fn discover_fast(group: &Group, positive: &[Rule], negative: &[Rule]) -> Dis
     discover_fast_with(group, positive, negative, DimePlusConfig::default())
 }
 
+/// Runs DIME⁺ with the filter–verify phases fanned out over `threads`
+/// scoped workers (`0` = one worker per available core, `1` = the
+/// sequential engine).
+///
+/// Produces the identical [`Discovery`] as [`discover_fast`] and
+/// [`crate::discover_naive`] for every thread count: the final partition
+/// is the connected closure of the rule-satisfying pairs, which is
+/// independent of verification order, and the negative phase flags each
+/// partition independently.
+///
+/// # Examples
+///
+/// ```
+/// use dime_core::{discover_fast, discover_parallel, GroupBuilder, Predicate, Rule, Schema, SimilarityFn};
+/// use dime_text::TokenizerKind;
+///
+/// let schema = Schema::new([("Authors", TokenizerKind::List(','))]);
+/// let mut b = GroupBuilder::new(schema);
+/// b.add_entity(&["ann, bob"]);
+/// b.add_entity(&["ann, bob, carol"]);
+/// b.add_entity(&["zed"]);
+/// let group = b.build();
+/// let pos = vec![Rule::positive(vec![Predicate::new(0, SimilarityFn::Overlap, 2.0)])];
+/// let neg = vec![Rule::negative(vec![Predicate::new(0, SimilarityFn::Overlap, 0.0)])];
+/// assert_eq!(discover_parallel(&group, &pos, &neg, 4), discover_fast(&group, &pos, &neg));
+/// ```
+pub fn discover_parallel(
+    group: &Group,
+    positive: &[Rule],
+    negative: &[Rule],
+    threads: usize,
+) -> Discovery {
+    discover_fast_with(group, positive, negative, DimePlusConfig::with_threads(threads))
+}
+
 /// Runs DIME⁺ with an explicit [`DimePlusConfig`].
 pub fn discover_fast_with(
     group: &Group,
@@ -77,6 +128,10 @@ pub fn discover_fast_with(
     check_polarities(positive, negative);
     let n = group.len();
     assert!(n > 0, "cannot discover in an empty group");
+    let workers = resolve_threads(config.threads);
+    if workers > 1 {
+        return discover_parallel_impl(group, positive, negative, config, workers);
+    }
     let mut ctx = SigContext::new(group);
 
     // ---- Step 1: partitions via signature filter + ordered verification.
@@ -104,6 +159,241 @@ pub fn discover_fast_with(
     }
     let steps: Vec<ScrollStep> = cumulate_steps(&partitions, &per_rule);
     Discovery { partitions, pivot, steps, witnesses }
+}
+
+/// The multi-threaded engine body: same three steps as the sequential
+/// path, with each phase sharded across `workers` scoped threads and the
+/// satisfied pairs merged through a lock-free [`ConcurrentUnionFind`].
+fn discover_parallel_impl(
+    group: &Group,
+    positive: &[Rule],
+    negative: &[Rule],
+    config: DimePlusConfig,
+    workers: usize,
+) -> Discovery {
+    let n = group.len();
+    let mut ctx = SigContext::new(group);
+
+    // ---- Step 1: partitions via sharded filter + verification.
+    let uf = ConcurrentUnionFind::new(n);
+    for rule in positive {
+        verify_positive_rule_parallel(group, &mut ctx, rule, &uf, config, workers);
+    }
+    let partitions = uf.components();
+
+    // ---- Step 2: pivot partition.
+    let pivot = pick_pivot(&partitions);
+
+    // ---- Step 3: negative rules, each partition scanned independently.
+    let mut per_rule: Vec<Vec<bool>> = Vec::with_capacity(negative.len());
+    let mut witnesses: Vec<Witness> = Vec::new();
+    for (ri, rule) in negative.iter().enumerate() {
+        let (flags, rule_witnesses) =
+            flag_partitions_parallel(group, &mut ctx, rule, &partitions, pivot, workers);
+        for w in rule_witnesses {
+            if !witnesses.iter().any(|x| x.partition == w.partition) {
+                witnesses.push(Witness { rule: ri, ..w });
+            }
+        }
+        per_rule.push(flags);
+    }
+    let steps: Vec<ScrollStep> = cumulate_steps(&partitions, &per_rule);
+    Discovery { partitions, pivot, steps, witnesses }
+}
+
+/// Parallel filter + verification for one positive rule.
+///
+/// Candidate generation is sharded per signature bucket and verification
+/// is striped across workers in (approximate) benefit order. The result is
+/// order-independent: a pair's verification outcome never depends on
+/// union-find state, and a pair skipped by the transitivity check is
+/// already connected, so the final components are the connected closure of
+/// the satisfying candidate pairs under any interleaving.
+fn verify_positive_rule_parallel(
+    group: &Group,
+    ctx: &mut SigContext<'_>,
+    rule: &Rule,
+    uf: &ConcurrentUnionFind,
+    config: DimePlusConfig,
+    workers: usize,
+) {
+    let n = group.len();
+    let mut index = InvertedIndex::new();
+    let mut wildcards: Vec<u32> = Vec::new();
+    let mut sig_count = vec![0usize; n];
+    for (eid, sigs) in ctx.positive_rule_signatures_threaded(rule, workers).into_iter().enumerate()
+    {
+        match sigs {
+            None => wildcards.push(eid as u32),
+            Some(sigs) => {
+                sig_count[eid] = sigs.len();
+                for s in sigs {
+                    index.insert(s, eid as u32);
+                }
+            }
+        }
+    }
+
+    // Sharded candidate gathering: each worker walks its residue class of
+    // signature buckets (and of wildcard entities) and emits packed pairs,
+    // pre-filtered against components built by *earlier* rules — no unions
+    // happen while gathering, so the candidate set is deterministic.
+    let buckets: Vec<&[u32]> = index.lists().collect();
+    let shards = if n < crate::par::SEQ_CUTOFF { 1 } else { workers };
+    let mut packed: Vec<u64> = par_shards(shards, |shard| {
+        let mut out: Vec<u64> = Vec::new();
+        for bucket in buckets.iter().skip(shard).step_by(shards) {
+            let mut uniq = bucket.to_vec();
+            uniq.sort_unstable();
+            uniq.dedup();
+            for i in 0..uniq.len() {
+                for j in i + 1..uniq.len() {
+                    let (a, b) = order_pair(uniq[i], uniq[j]);
+                    if config.transitivity_skip && uf.same(a as usize, b as usize) {
+                        continue;
+                    }
+                    out.push((u64::from(a) << 32) | u64::from(b));
+                }
+            }
+        }
+        for w in wildcards.iter().skip(shard).step_by(shards) {
+            for other in 0..n as u32 {
+                if other == *w {
+                    continue;
+                }
+                if config.transitivity_skip && uf.same(*w as usize, other as usize) {
+                    continue;
+                }
+                let (a, b) = order_pair(*w, other);
+                out.push((u64::from(a) << 32) | u64::from(b));
+            }
+        }
+        out
+    });
+
+    packed.sort_unstable();
+    let mut candidates: Vec<(u32, u32, u32)> = Vec::new();
+    let mut k = 0usize;
+    while k < packed.len() {
+        let key = packed[k];
+        let mut count = 1u32;
+        while k + (count as usize) < packed.len() && (packed[k + count as usize] == key) {
+            count += 1;
+        }
+        candidates.push(((key >> 32) as u32, key as u32, count));
+        k += count as usize;
+    }
+
+    let ordered: Vec<(u32, u32)> = if config.benefit_order {
+        let mut keyed: Vec<(f64, u32, u32)> = par_map(candidates.len(), workers, |i| {
+            let (a, b, c) = candidates[i];
+            let (ea, eb) = (group.entity(a as usize), group.entity(b as usize));
+            let avg = (sig_count[a as usize] + sig_count[b as usize]).max(1) as f64 / 2.0;
+            let prob = c as f64 / avg;
+            let cost = rule.cost(group, ea, eb).max(1e-9);
+            (prob / cost, a, b)
+        });
+        keyed.sort_by(|x, y| y.0.total_cmp(&x.0).then_with(|| (x.1, x.2).cmp(&(y.1, y.2))));
+        keyed.into_iter().map(|(_, a, b)| (a, b)).collect()
+    } else {
+        // `candidates` is already sorted by (a, b) via the packed sort.
+        candidates.iter().map(|&(a, b, _)| (a, b)).collect()
+    };
+
+    // Striped verification: worker `t` takes pairs t, t+workers, … so all
+    // workers advance through the benefit ranking together. Unions land in
+    // the shared concurrent union-find as they are found.
+    let stripes = if ordered.len() < crate::par::SEQ_CUTOFF { 1 } else { workers };
+    par_shards(stripes, |shard| {
+        for &(a, b) in ordered.iter().skip(shard).step_by(stripes) {
+            if config.transitivity_skip && uf.same(a as usize, b as usize) {
+                continue;
+            }
+            if rule.eval(group, group.entity(a as usize), group.entity(b as usize)) {
+                uf.union(a as usize, b as usize);
+            }
+        }
+        Vec::<()>::new()
+    });
+}
+
+/// Parallel negative phase for one rule: partitions are flagged against
+/// the pivot concurrently — each partition's signature aggregation and
+/// scan is independent — and results are collected in partition order, so
+/// flags (and thus `cumulate_steps`) match the sequential engine exactly.
+fn flag_partitions_parallel(
+    group: &Group,
+    ctx: &mut SigContext<'_>,
+    rule: &Rule,
+    partitions: &[Vec<usize>],
+    pivot: usize,
+    workers: usize,
+) -> (Vec<bool>, Vec<Witness>) {
+    let m = rule.predicates.len();
+    let ent_sigs: Vec<Vec<PredSigs>> = ctx.rule_sigs_negative_all(rule, workers);
+
+    let aggregate = |members: &[usize]| -> (Vec<HashSet<u64>>, Vec<bool>) {
+        let mut sets: Vec<HashSet<u64>> = vec![HashSet::new(); m];
+        let mut wild = vec![false; m];
+        for &e in members {
+            for (pi, ps) in ent_sigs[e].iter().enumerate() {
+                match ps {
+                    PredSigs::Sigs(s) => sets[pi].extend(s.iter().copied()),
+                    _ => wild[pi] = true,
+                }
+            }
+        }
+        (sets, wild)
+    };
+
+    let (pivot_sets, pivot_wild) = aggregate(&partitions[pivot]);
+    let score = |sigs: &[PredSigs], other: &[HashSet<u64>]| -> usize {
+        sigs.iter()
+            .zip(other)
+            .map(|(ps, set)| match ps {
+                PredSigs::Sigs(s) => s.iter().filter(|v| set.contains(v)).count(),
+                _ => set.len(), // wildcard: assume maximally similar
+            })
+            .sum()
+    };
+
+    let results: Vec<(bool, Option<Witness>)> = par_map(partitions.len(), workers, |pi| {
+        if pi == pivot {
+            return (false, None);
+        }
+        let part = &partitions[pi];
+        let (sets, wild) = aggregate(part);
+        let filter_conclusive =
+            (0..m).all(|k| !wild[k] && !pivot_wild[k] && sets[k].is_disjoint(&pivot_sets[k]));
+        if filter_conclusive {
+            let w = Witness {
+                partition: pi,
+                rule: 0,
+                entity: part[0],
+                pivot_entity: partitions[pivot][0],
+            };
+            return (true, Some(w));
+        }
+        let mut part_order: Vec<(usize, usize)> =
+            part.iter().map(|&e| (score(&ent_sigs[e], &pivot_sets), e)).collect();
+        part_order.sort_unstable();
+        let mut pivot_order: Vec<(usize, usize)> =
+            partitions[pivot].iter().map(|&p| (score(&ent_sigs[p], &sets), p)).collect();
+        pivot_order.sort_unstable();
+        for &(_, e) in &part_order {
+            for &(_, p) in &pivot_order {
+                if rule.eval(group, group.entity(e), group.entity(p)) {
+                    let w = Witness { partition: pi, rule: 0, entity: e, pivot_entity: p };
+                    return (true, Some(w));
+                }
+            }
+        }
+        (false, None)
+    });
+
+    let flags: Vec<bool> = results.iter().map(|(f, _)| *f).collect();
+    let witnesses: Vec<Witness> = results.into_iter().filter_map(|(_, w)| w).collect();
+    (flags, witnesses)
 }
 
 /// Filter + ordered verification for one positive rule, merging satisfied
@@ -188,7 +478,7 @@ fn verify_positive_rule(
                 (prob / cost, a, b)
             })
             .collect();
-        keyed.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap().then_with(|| (x.1, x.2).cmp(&(y.1, y.2))));
+        keyed.sort_by(|x, y| y.0.total_cmp(&x.0).then_with(|| (x.1, x.2).cmp(&(y.1, y.2))));
         for (_, a, b) in keyed {
             try_union(group, rule, uf, a as usize, b as usize, config.transitivity_skip);
         }
@@ -374,11 +664,109 @@ mod tests {
         let reference = discover_naive(&g, &pos, &neg);
         for benefit_order in [false, true] {
             for transitivity_skip in [false, true] {
-                let cfg = DimePlusConfig { benefit_order, transitivity_skip };
-                let got = discover_fast_with(&g, &pos, &neg, cfg);
-                assert_eq!(got, reference, "config {cfg:?} diverged");
+                for threads in [1usize, 2, 4] {
+                    let cfg = DimePlusConfig { benefit_order, transitivity_skip, threads };
+                    let got = discover_fast_with(&g, &pos, &neg, cfg);
+                    assert_eq!(got, reference, "config {cfg:?} diverged");
+                }
             }
         }
+    }
+
+    #[test]
+    fn parallel_matches_naive_on_paper_example() {
+        let g = figure1_group();
+        let (pos, neg) = paper_rules();
+        let reference = discover_naive(&g, &pos, &neg);
+        for threads in [0usize, 1, 2, 3, 8] {
+            assert_eq!(
+                discover_parallel(&g, &pos, &neg, threads),
+                reference,
+                "threads = {threads} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_witnesses_are_valid() {
+        let g = figure1_group();
+        let (pos, neg) = paper_rules();
+        let d = discover_parallel(&g, &pos, &neg, 4);
+        assert!(!d.witnesses.is_empty());
+        for w in &d.witnesses {
+            assert!(
+                neg[w.rule].eval(&g, g.entity(w.entity), g.entity(w.pivot_entity)),
+                "witness {w:?} does not satisfy its rule"
+            );
+            assert!(d.partitions[w.partition].contains(&w.entity));
+            assert!(d.pivot_members().contains(&w.pivot_entity));
+        }
+    }
+
+    /// The shrunk case once recorded in
+    /// `proptest-regressions/dime_plus.txt`: entities whose author lists
+    /// and titles are almost all empty, with `theta = 2`, exercising the
+    /// empty-token signature markers and the tied-singleton pivot path.
+    /// Promoted to a named test so all three engines stay pinned on it.
+    #[test]
+    fn regression_empty_token_entities_theta2() {
+        let lists: Vec<Vec<u32>> =
+            vec![vec![], vec![], vec![], vec![], vec![1], vec![], vec![], vec![], vec![2, 1]];
+        let titles: Vec<String> =
+            ["", "", "", "", "b ", "", "", "", "b"].iter().map(|s| s.to_string()).collect();
+        let g = random_group(&lists, &titles);
+        let (pos, neg) = regression_rules(2);
+        let naive = discover_naive(&g, &pos, &neg);
+        // Entities 4 and 8 share author a1 (overlap ≥ 1 + title Jaccard
+        // ≥ 0.5); every other entity is a singleton, and the tied pivot
+        // must fall to the smallest-id partition.
+        assert_eq!(
+            naive.partitions,
+            vec![
+                vec![0],
+                vec![1],
+                vec![2],
+                vec![3],
+                vec![4, 8],
+                vec![5],
+                vec![6],
+                vec![7]
+            ]
+        );
+        assert_eq!(naive.pivot, 4);
+        assert_eq!(discover_fast(&g, &pos, &neg), naive);
+        for benefit_order in [false, true] {
+            for transitivity_skip in [false, true] {
+                for threads in [1usize, 2, 4] {
+                    let cfg = DimePlusConfig { benefit_order, transitivity_skip, threads };
+                    assert_eq!(
+                        discover_fast_with(&g, &pos, &neg, cfg),
+                        naive,
+                        "config {cfg:?} diverged on the regression seed"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The rule set the equivalence proptest (and the regression seed)
+    /// runs under.
+    fn regression_rules(theta: usize) -> (Vec<Rule>, Vec<Rule>) {
+        let pos = vec![
+            Rule::positive(vec![Predicate::new(1, SimilarityFn::Overlap, theta as f64)]),
+            Rule::positive(vec![
+                Predicate::new(1, SimilarityFn::Overlap, 1.0),
+                Predicate::new(0, SimilarityFn::Jaccard, 0.5),
+            ]),
+        ];
+        let neg = vec![
+            Rule::negative(vec![Predicate::new(1, SimilarityFn::Overlap, 0.0)]),
+            Rule::negative(vec![
+                Predicate::new(1, SimilarityFn::Overlap, 1.0),
+                Predicate::new(0, SimilarityFn::Jaccard, 0.2),
+            ]),
+        ];
+        (pos, neg)
     }
 
     #[test]
@@ -411,6 +799,9 @@ mod tests {
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+        /// The central correctness property of the signature framework:
+        /// all three engines — naive, fast, and parallel at several thread
+        /// counts — produce the identical `Discovery` on random groups.
         #[test]
         fn prop_fast_equals_naive(
             lists in proptest::collection::vec(proptest::collection::vec(0u32..10, 0..5), 1..14),
@@ -419,23 +810,14 @@ mod tests {
         ) {
             let titles = &titles[..lists.len()];
             let g = random_group(&lists, titles);
-            let pos = vec![
-                Rule::positive(vec![Predicate::new(1, SimilarityFn::Overlap, theta as f64)]),
-                Rule::positive(vec![
-                    Predicate::new(1, SimilarityFn::Overlap, 1.0),
-                    Predicate::new(0, SimilarityFn::Jaccard, 0.5),
-                ]),
-            ];
-            let neg = vec![
-                Rule::negative(vec![Predicate::new(1, SimilarityFn::Overlap, 0.0)]),
-                Rule::negative(vec![
-                    Predicate::new(1, SimilarityFn::Overlap, 1.0),
-                    Predicate::new(0, SimilarityFn::Jaccard, 0.2),
-                ]),
-            ];
-            let fast = discover_fast(&g, &pos, &neg);
+            let (pos, neg) = regression_rules(theta);
             let naive = discover_naive(&g, &pos, &neg);
-            prop_assert_eq!(fast, naive);
+            let fast = discover_fast(&g, &pos, &neg);
+            prop_assert_eq!(&fast, &naive);
+            for threads in [1usize, 2, 4] {
+                let par = discover_parallel(&g, &pos, &neg, threads);
+                prop_assert_eq!(&par, &naive, "threads = {}", threads);
+            }
         }
     }
 }

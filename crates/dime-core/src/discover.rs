@@ -139,12 +139,20 @@ pub(crate) fn check_polarities(positive: &[Rule], negative: &[Rule]) {
     );
 }
 
-/// Selects the pivot partition: largest size, then smallest first member.
+/// Selects the pivot partition: largest size, ties broken toward the
+/// partition containing the smallest entity id.
+///
+/// The tie-break deliberately scans for the minimum member instead of
+/// trusting `p[0]`: every engine must pick the same pivot even if a caller
+/// hands partitions whose members are not sorted ascending.
 pub(crate) fn pick_pivot(partitions: &[Vec<usize>]) -> usize {
+    let min_member = |p: &[usize]| *p.iter().min().expect("partitions have at least one member");
     partitions
         .iter()
         .enumerate()
-        .max_by(|(_, a), (_, b)| a.len().cmp(&b.len()).then(b[0].cmp(&a[0])))
+        .max_by(|(_, a), (_, b)| {
+            a.len().cmp(&b.len()).then_with(|| min_member(b).cmp(&min_member(a)))
+        })
         .map(|(i, _)| i)
         .expect("non-empty group has at least one partition")
 }
@@ -352,6 +360,20 @@ mod tests {
         let d = discover_naive(&g, &pos, &neg);
         let flagged = d.mis_categorized();
         assert!(d.pivot_members().iter().all(|e| !flagged.contains(e)));
+    }
+
+    #[test]
+    fn pivot_tie_break_ignores_member_ordering() {
+        // Two size-2 partitions tie; the one containing entity 1 wins no
+        // matter how the members (or the partitions) are ordered.
+        let sorted = vec![vec![1, 5], vec![2, 4], vec![3]];
+        assert_eq!(pick_pivot(&sorted), 0);
+        let shuffled = vec![vec![5, 1], vec![4, 2], vec![3]];
+        assert_eq!(pick_pivot(&shuffled), 0);
+        let reversed = vec![vec![4, 2], vec![5, 1], vec![3]];
+        assert_eq!(pick_pivot(&reversed), 1);
+        // Size still dominates the tie-break.
+        assert_eq!(pick_pivot(&[vec![9], vec![3, 8, 7]]), 1);
     }
 
     #[test]

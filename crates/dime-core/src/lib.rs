@@ -10,12 +10,15 @@
 //! 3. negative rules ([`Rule::negative`]), applied cumulatively, flag
 //!    partitions dissimilar to the pivot — the scrollbar of results.
 //!
-//! Two interchangeable engines are provided:
+//! Three interchangeable engines are provided:
 //!
 //! * [`discover_naive`] — Algorithm 1, the `O(n²)` all-pairs baseline;
 //! * [`discover_fast`] — Algorithm 2 (DIME⁺), the signature-based
 //!   filter–verify engine with benefit-ordered verification and
 //!   transitivity short-circuiting. It returns bit-identical results.
+//! * [`discover_parallel`] — DIME⁺ with both phases sharded across scoped
+//!   worker threads over a lock-free union-find; still bit-identical
+//!   (also reachable as the `threads` knob on [`DimePlusConfig`]).
 //!
 //! ```
 //! use dime_core::{discover_fast, GroupBuilder, Predicate, Rule, Schema, SimilarityFn};
@@ -42,6 +45,7 @@ mod dime_plus;
 mod discover;
 mod entity;
 mod incremental;
+mod par;
 mod parse;
 mod review;
 mod rule;
@@ -49,7 +53,7 @@ mod signature;
 mod stats;
 
 pub use diagnostics::{AttrStats, GroupStats};
-pub use dime_plus::{discover_fast, discover_fast_with, DimePlusConfig};
+pub use dime_plus::{discover_fast, discover_fast_with, discover_parallel, DimePlusConfig};
 pub use discover::{discover_naive, Discovery, ScrollStep, Witness};
 pub use entity::{AttrDef, AttrValue, Entity, Group, GroupBuilder, Schema};
 pub use incremental::IncrementalDime;

@@ -1,0 +1,108 @@
+//! Minimal scoped-thread fan-out used by the parallel DIME⁺ engine.
+//!
+//! The engine only needs two shapes — an order-preserving indexed map and
+//! a plain worker fan-out — so this wraps `std::thread::scope` directly
+//! instead of pulling in a work-stealing runtime: the work units (one
+//! entity row, one signature-bucket shard, one partition) are already
+//! coarse and balanced, so contiguous chunking is within noise of
+//! stealing, and the dependency footprint stays zero.
+
+/// Inputs below this size run on one worker: spawning a scope of threads
+/// costs on the order of 0.1 ms, which dwarfs the work of a few dozen
+/// items and would dominate the many small groups of a batch run.
+pub(crate) const SEQ_CUTOFF: usize = 64;
+
+/// Resolves a `threads` knob: `0` means one worker per available core.
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Maps `f` over `0..n` on up to `threads` scoped workers, preserving
+/// index order in the result. Falls back to a plain sequential map for a
+/// single worker (or tiny inputs), so callers can use one code path.
+///
+/// A panic in any worker propagates to the caller after all workers have
+/// been joined by the scope.
+pub(crate) fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n < SEQ_CUTOFF {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut parts: Vec<Vec<T>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            let f = &f;
+            handles.push(scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>()));
+        }
+        for h in handles {
+            parts.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// Runs `f(worker_index)` once per worker and concatenates the returned
+/// buffers in worker order — the fan-out used for sharded candidate
+/// generation and striped verification, where each worker walks its own
+/// residue class or bucket slice.
+pub(crate) fn par_shards<T, F>(threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> Vec<T> + Sync,
+{
+    let threads = threads.max(1);
+    if threads <= 1 {
+        return f(0);
+    }
+    let mut parts: Vec<Vec<T>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let f = &f;
+            handles.push(scope.spawn(move || f(t)));
+        }
+        for h in handles {
+            parts.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    parts.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let seq: Vec<usize> = (0..97).map(|i| i * 3).collect();
+        for threads in [1, 2, 5, 16] {
+            assert_eq!(par_map(97, threads, |i| i * 3), seq, "threads = {threads}");
+        }
+        assert!(par_map(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn par_shards_concatenates_in_worker_order() {
+        let got = par_shards(4, |t| vec![t, t]);
+        assert_eq!(got, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        assert_eq!(par_shards(1, |t| vec![t]), vec![0]);
+    }
+
+    #[test]
+    fn resolve_threads_maps_zero_to_cores() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

@@ -133,6 +133,7 @@ impl<'g> SigContext<'g> {
         pred: &Predicate,
         polarity: Polarity,
     ) -> PredSigs {
+        self.warm_tau(pred, polarity);
         match polarity {
             Polarity::Positive => self.positive_sigs(entity, pred),
             Polarity::Negative => self.negative_sigs(entity, pred),
@@ -151,14 +152,28 @@ impl<'g> SigContext<'g> {
     /// predicate subset. Components combine by XOR, so tuple hashes are
     /// independent of construction order.
     pub fn positive_rule_signatures(&mut self, rule: &Rule) -> Vec<Option<Vec<u64>>> {
+        self.positive_rule_signatures_threaded(rule, 1)
+    }
+
+    /// [`SigContext::positive_rule_signatures`] with per-entity rows and
+    /// tuple composition fanned out over `threads` workers. The `τ_min`
+    /// cache is warmed up front so row generation is read-only; results
+    /// are identical to the sequential path for every thread count.
+    pub fn positive_rule_signatures_threaded(
+        &mut self,
+        rule: &Rule,
+        threads: usize,
+    ) -> Vec<Option<Vec<u64>>> {
         debug_assert_eq!(rule.polarity, Polarity::Positive);
+        for pred in &rule.predicates {
+            self.warm_tau(pred, Polarity::Positive);
+        }
         let n = self.group.len();
         let m = rule.predicates.len();
         // Per-entity, per-predicate signature sets (salted by predicate).
-        let mut per: Vec<Vec<PredSigs>> = Vec::with_capacity(n);
-        for eid in 0..n {
-            per.push(self.salted_positive_row(eid, rule));
-        }
+        let ctx = &*self;
+        let per: Vec<Vec<PredSigs>> =
+            crate::par::par_map(n, threads, |eid| ctx.salted_positive_row(eid, rule));
         // Rule-level predicate subset: non-trivial predicates ordered by
         // average signature-set size, greedily added while the *maximum*
         // per-entity tuple count stays bounded.
@@ -188,7 +203,7 @@ impl<'g> SigContext<'g> {
             // Every predicate trivial for every entity: all pairs match.
             return vec![None; n];
         }
-        stats.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        stats.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         let mut chosen: Vec<usize> = vec![stats[0].0];
         let mut worst = stats[0].2;
         for &(pi, _, mx) in &stats[1..] {
@@ -199,7 +214,7 @@ impl<'g> SigContext<'g> {
             chosen.push(pi);
         }
         let plan = PositiveRulePlan { chosen };
-        per.into_iter().map(|row| compose_row(row, &plan)).collect()
+        crate::par::par_map(n, threads, |eid| compose_row(&per[eid], &plan))
     }
 
     /// Chooses the predicate subset a rule's composite tuples will use,
@@ -228,11 +243,14 @@ impl<'g> SigContext<'g> {
         rule: &Rule,
         plan: &PositiveRulePlan,
     ) -> Option<Vec<u64>> {
+        for pred in &rule.predicates {
+            self.warm_tau(pred, Polarity::Positive);
+        }
         let row = self.salted_positive_row(eid, rule);
-        compose_row(row, plan)
+        compose_row(&row, plan)
     }
 
-    fn salted_positive_row(&mut self, eid: usize, rule: &Rule) -> Vec<PredSigs> {
+    fn salted_positive_row(&self, eid: usize, rule: &Rule) -> Vec<PredSigs> {
         let e = self.group.entity(eid);
         (0..rule.predicates.len())
             .map(|pi| match self.positive_sigs(e, &rule.predicates[pi]) {
@@ -249,12 +267,30 @@ impl<'g> SigContext<'g> {
     /// predicate order.
     pub fn rule_sigs_negative(&mut self, entity: &Entity, rule: &Rule) -> Vec<PredSigs> {
         debug_assert_eq!(rule.polarity, Polarity::Negative);
+        for pred in &rule.predicates {
+            self.warm_tau(pred, Polarity::Negative);
+        }
         rule.predicates.iter().map(|p| self.negative_sigs(entity, p)).collect()
+    }
+
+    /// [`SigContext::rule_sigs_negative`] for **every** entity of the
+    /// group, fanned out over `threads` workers (the `τ_min` cache is
+    /// warmed first so workers only read).
+    pub fn rule_sigs_negative_all(&mut self, rule: &Rule, threads: usize) -> Vec<Vec<PredSigs>> {
+        debug_assert_eq!(rule.polarity, Polarity::Negative);
+        for pred in &rule.predicates {
+            self.warm_tau(pred, Polarity::Negative);
+        }
+        let ctx = &*self;
+        crate::par::par_map(self.group.len(), threads, |eid| {
+            let e = ctx.group.entity(eid);
+            rule.predicates.iter().map(|p| ctx.negative_sigs(e, p)).collect()
+        })
     }
 
     // ---- positive predicates --------------------------------------------
 
-    fn positive_sigs(&mut self, entity: &Entity, pred: &Predicate) -> PredSigs {
+    fn positive_sigs(&self, entity: &Entity, pred: &Predicate) -> PredSigs {
         let value = entity.value(pred.attr);
         let theta = pred.threshold;
         match pred.func {
@@ -309,7 +345,7 @@ impl<'g> SigContext<'g> {
                 match value.node {
                     None => PredSigs::Sigs(Vec::new()), // sim 0 < θ, never
                     Some(node) => {
-                        let tm = self.tau_min_for(pred.attr, theta);
+                        let tm = self.tau_for(pred.attr, theta);
                         let ont = self
                             .group
                             .ontology(pred.attr)
@@ -324,7 +360,7 @@ impl<'g> SigContext<'g> {
 
     // ---- negative predicates --------------------------------------------
 
-    fn negative_sigs(&mut self, entity: &Entity, pred: &Predicate) -> PredSigs {
+    fn negative_sigs(&self, entity: &Entity, pred: &Predicate) -> PredSigs {
         let value = entity.value(pred.attr);
         let sigma = pred.threshold;
         match pred.func {
@@ -396,7 +432,7 @@ impl<'g> SigContext<'g> {
                     // Unmapped ⇒ similarity 0 ≤ σ against everything.
                     None => PredSigs::Sigs(Vec::new()),
                     Some(node) => {
-                        let tm = self.tau_min_for(pred.attr, sigma.max(f64::MIN_POSITIVE));
+                        let tm = self.tau_for(pred.attr, sigma.max(f64::MIN_POSITIVE));
                         let ont = self
                             .group
                             .ontology(pred.attr)
@@ -460,14 +496,40 @@ impl<'g> SigContext<'g> {
     }
 
     /// `τ_min` for an ontology predicate: the minimum `τ_n` over every
-    /// mapped node of this attribute in the group (cached).
-    fn tau_min_for(&mut self, attr: usize, theta: f64) -> u32 {
-        let key = (attr, theta.to_bits());
-        if let Some(&t) = self.tau_cache.get(&key) {
+    /// mapped node of this attribute in the group. Reads through the cache
+    /// without writing, so signature rows can be generated from `&self` on
+    /// worker threads; the public entry points warm the cache first (see
+    /// [`SigContext::warm_tau`]) so repeated lookups stay memoized.
+    fn tau_for(&self, attr: usize, theta: f64) -> u32 {
+        if let Some(&t) = self.tau_cache.get(&(attr, theta.to_bits())) {
             return t;
         }
-        let ont = self.group.ontology(attr);
-        let t = match ont {
+        self.compute_tau(attr, theta)
+    }
+
+    /// Ensures the `τ_min` value a predicate's signatures will need is in
+    /// the cache — called once per predicate before row generation, which
+    /// keeps [`SigContext::tau_for`] a pure read on the hot path.
+    fn warm_tau(&mut self, pred: &Predicate, polarity: Polarity) {
+        if pred.func != SimilarityFn::Ontology {
+            return;
+        }
+        let theta = match polarity {
+            Polarity::Positive if pred.threshold > 0.0 => pred.threshold,
+            Polarity::Negative if (0.0..1.0).contains(&pred.threshold) => {
+                pred.threshold.max(f64::MIN_POSITIVE)
+            }
+            _ => return, // trivial / unsatisfiable branches never reach τ
+        };
+        let key = (pred.attr, theta.to_bits());
+        if !self.tau_cache.contains_key(&key) {
+            let t = self.compute_tau(pred.attr, theta);
+            self.tau_cache.insert(key, t);
+        }
+    }
+
+    fn compute_tau(&self, attr: usize, theta: f64) -> u32 {
+        match self.group.ontology(attr) {
             None => 1,
             Some(ont) if self.conservative_tau => {
                 // Any future entity could map to the shallowest node.
@@ -481,9 +543,7 @@ impl<'g> SigContext<'g> {
                     .filter_map(|e| e.value(attr).node)
                     .map(|n| ont.depth(n)),
             ),
-        };
-        self.tau_cache.insert(key, t);
-        t
+        }
     }
 }
 
@@ -514,7 +574,7 @@ fn is_trivially_true(pred: &Predicate, polarity: Polarity) -> bool {
 /// Folds one entity's per-predicate signatures into composite tuples under
 /// a plan (see [`SigContext::positive_rule_signatures`] for the semantics
 /// of `None` / empty results).
-fn compose_row(row: Vec<PredSigs>, plan: &PositiveRulePlan) -> Option<Vec<u64>> {
+fn compose_row(row: &[PredSigs], plan: &PositiveRulePlan) -> Option<Vec<u64>> {
     if plan.chosen.is_empty() {
         return None; // nothing to index on: brute force
     }

@@ -78,8 +78,17 @@ fn parse_tokenizer(v: &Option<Value>) -> Result<TokenizerKind, LoadError> {
             other => err(format!("unknown tokenizer {other:?} (use \"words\", \"whole\", or {{\"list\": \",\"}})")),
         },
         Some(Value::Object(o)) => match o.get("list") {
-            Some(Value::String(d)) if d.chars().count() == 1 => {
-                Ok(TokenizerKind::List(d.chars().next().unwrap()))
+            // Accept exactly one character — anything else (empty string,
+            // multi-char, non-string, missing key) is a parse error, never
+            // a panic.
+            Some(Value::String(d)) => {
+                let mut chars = d.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(TokenizerKind::List(c)),
+                    _ => err(format!(
+                        "list tokenizer needs a single-character delimiter, got {d:?}"
+                    )),
+                }
             }
             _ => err("list tokenizer needs a single-character delimiter"),
         },
@@ -250,6 +259,24 @@ mod tests {
         assert!(load_group_json(doc).is_err());
         let doc = r#"{"schema": [{"name": "A"}], "ontologies": {"B": []}, "entities": []}"#;
         assert!(load_group_json(doc).is_err());
+    }
+
+    #[test]
+    fn malformed_list_delimiters_error_instead_of_panicking() {
+        // Empty delimiter string.
+        let doc = r#"{"schema": [{"name": "A", "tokenizer": {"list": ""}}], "entities": []}"#;
+        let e = load_group_json(doc).unwrap_err();
+        assert!(e.message.contains("single-character delimiter"), "{e}");
+        // Multi-character delimiter.
+        let doc = r#"{"schema": [{"name": "A", "tokenizer": {"list": ",,"}}], "entities": []}"#;
+        let e = load_group_json(doc).unwrap_err();
+        assert!(e.message.contains("single-character delimiter"), "{e}");
+        // Non-string delimiter value.
+        let doc = r#"{"schema": [{"name": "A", "tokenizer": {"list": 3}}], "entities": []}"#;
+        assert!(load_group_json(doc).is_err());
+        // A multi-byte single character is fine.
+        let doc = r#"{"schema": [{"name": "A", "tokenizer": {"list": "—"}}], "entities": []}"#;
+        assert!(load_group_json(doc).is_ok());
     }
 
     #[test]

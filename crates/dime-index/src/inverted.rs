@@ -105,6 +105,14 @@ impl InvertedIndex {
     pub fn signatures(&self) -> impl Iterator<Item = u64> + '_ {
         self.lists.keys().copied()
     }
+
+    /// Iterates over the inverted lists themselves (postings per
+    /// signature) — lets the parallel engine shard candidate generation by
+    /// bucket without a per-signature hash lookup. Iteration order follows
+    /// the internal map and is unspecified.
+    pub fn lists(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        self.lists.values().map(Vec::as_slice)
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +154,17 @@ mod tests {
         idx.insert(1, 5);
         assert_eq!(idx.list(1), Some(&[5u32][..]));
         assert_eq!(idx.posting_count(), 1);
+    }
+
+    #[test]
+    fn lists_expose_all_postings() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(1, 0);
+        idx.insert(1, 1);
+        idx.insert(2, 7);
+        let mut all: Vec<Vec<u32>> = idx.lists().map(<[u32]>::to_vec).collect();
+        all.sort();
+        assert_eq!(all, vec![vec![0, 1], vec![7]]);
     }
 
     #[test]

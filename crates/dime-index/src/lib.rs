@@ -1,12 +1,15 @@
 //! Index structures backing the DIME⁺ signature framework: a disjoint-set
 //! forest ([`UnionFind`]) for transitivity short-circuiting and connected
-//! components, and a signature [`InvertedIndex`] for the filter step.
+//! components, its lock-free sibling ([`ConcurrentUnionFind`]) for the
+//! parallel engine, and a signature [`InvertedIndex`] for the filter step.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod concurrent;
 mod inverted;
 mod union_find;
 
+pub use concurrent::ConcurrentUnionFind;
 pub use inverted::InvertedIndex;
 pub use union_find::UnionFind;

@@ -177,7 +177,7 @@ impl Lda {
             .max_by(|&a, &b| {
                 let la: f64 = words.iter().map(|&w| self.word_prob(a, w).ln()).sum();
                 let lb: f64 = words.iter().map(|&w| self.word_prob(b, w).ln()).sum();
-                la.partial_cmp(&lb).unwrap()
+                la.total_cmp(&lb)
             })
             .unwrap_or(0)
     }
@@ -452,7 +452,7 @@ impl ThemeModel {
                         })
                         .sum()
                 };
-                score(&a.1).partial_cmp(&score(&b.1)).unwrap()
+                score(&a.1).total_cmp(&score(&b.1))
             })
             .expect("at least one super-theme");
         // Best topic within the chosen super-theme, weighted by topic mass.
@@ -471,7 +471,7 @@ impl ThemeModel {
                         .sum::<f64>()
                         + (total + 1.0).ln()
                 };
-                score(a).partial_cmp(&score(b)).unwrap()
+                score(a).total_cmp(&score(b))
             })
             .expect("super-theme has at least one topic");
         self.topic_node[t]

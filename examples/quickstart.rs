@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use dime::core::{discover_fast, GroupBuilder, Predicate, Rule, Schema, SimilarityFn};
+use dime::core::{discover_fast, discover_parallel, GroupBuilder, Predicate, Rule, Schema, SimilarityFn};
 use dime::ontology::Ontology;
 use dime::text::TokenizerKind;
 use std::sync::Arc;
@@ -89,6 +89,8 @@ fn main() {
 
     // ---- 5. Discover. -----------------------------------------------------
     let discovery = discover_fast(&group, &positive, &negative);
+    // The multi-threaded engine is result-identical (0 = all cores).
+    assert_eq!(discover_parallel(&group, &positive, &negative, 0), discovery);
 
     println!("partitions:");
     for (i, p) in discovery.partitions.iter().enumerate() {

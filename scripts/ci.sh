@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: release build, full test suite, and lint-clean clippy.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings

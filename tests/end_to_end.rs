@@ -42,13 +42,36 @@ fn every_engine_config_agrees_on_scholar() {
     let reference = discover_naive(&lg.group, &pos, &neg);
     for benefit_order in [false, true] {
         for transitivity_skip in [false, true] {
-            let cfg = DimePlusConfig { benefit_order, transitivity_skip };
-            assert_eq!(
-                discover_fast_with(&lg.group, &pos, &neg, cfg),
-                reference,
-                "{cfg:?} diverged from Algorithm 1"
-            );
+            for threads in [1, 4] {
+                let cfg = DimePlusConfig { benefit_order, transitivity_skip, threads };
+                assert_eq!(
+                    discover_fast_with(&lg.group, &pos, &neg, cfg),
+                    reference,
+                    "{cfg:?} diverged from Algorithm 1"
+                );
+            }
         }
+    }
+}
+
+#[test]
+fn parallel_engine_matches_naive_on_generators() {
+    use dime::core::discover_parallel;
+    let lg = dbgen_group(&DbgenConfig::new(400, 11));
+    let (pos, neg) = dbgen_rules();
+    let reference = discover_naive(&lg.group, &pos, &neg);
+    for threads in [0, 1, 2, 3, 8] {
+        assert_eq!(
+            discover_parallel(&lg.group, &pos, &neg, threads),
+            reference,
+            "parallel engine diverged at threads={threads}"
+        );
+    }
+    let lg = scholar_page("par", &ScholarConfig::small(41));
+    let (pos, neg) = scholar_rules();
+    let reference = discover_naive(&lg.group, &pos, &neg);
+    for threads in [2, 8] {
+        assert_eq!(discover_parallel(&lg.group, &pos, &neg, threads), reference);
     }
 }
 

@@ -17,7 +17,7 @@
 use dime_core::Group;
 use dime_index::{InvertedIndex, UnionFind};
 use dime_text::TokenId;
-use std::collections::{BinaryHeap, BTreeSet, HashSet};
+use std::collections::{BTreeSet, BinaryHeap, HashSet};
 
 /// How cluster-pair similarity is computed during agglomeration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -118,8 +118,7 @@ pub fn cr_cluster(group: &Group, config: &CrConfig) -> CrResult {
     let n = group.len();
     assert!(n > 0, "cannot cluster an empty group");
     // Per-cluster merged token sets, one per configured attribute.
-    let all_attrs: Vec<usize> =
-        config.attrs.iter().chain(config.refs.iter()).copied().collect();
+    let all_attrs: Vec<usize> = config.attrs.iter().chain(config.refs.iter()).copied().collect();
     let mut tokens: Vec<Vec<BTreeSet<TokenId>>> = (0..n)
         .map(|e| {
             all_attrs
@@ -247,7 +246,13 @@ mod tests {
     }
 
     fn cfg(threshold: f64) -> CrConfig {
-        CrConfig { attrs: vec![0], refs: vec![], alpha: 0.0, threshold, linkage: Linkage::UnionAverage }
+        CrConfig {
+            attrs: vec![0],
+            refs: vec![],
+            alpha: 0.0,
+            threshold,
+            linkage: Linkage::UnionAverage,
+        }
     }
 
     #[test]
@@ -275,8 +280,13 @@ mod tests {
     fn relational_term_contributes() {
         // With alpha=1 only the refs attribute matters.
         let g = group();
-        let cfg =
-            CrConfig { attrs: vec![], refs: vec![0], alpha: 1.0, threshold: 0.3, linkage: Linkage::UnionAverage };
+        let cfg = CrConfig {
+            attrs: vec![],
+            refs: vec![0],
+            alpha: 1.0,
+            threshold: 0.3,
+            linkage: Linkage::UnionAverage,
+        };
         let res = cr_cluster(&g, &cfg);
         assert_eq!(res.clusters.len(), 2);
     }

@@ -81,12 +81,7 @@ impl KMeansResult {
             .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
             .map(|(i, _)| i)
             .unwrap_or(0);
-        self.assignment
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c != largest)
-            .map(|(e, _)| e)
-            .collect()
+        self.assignment.iter().enumerate().filter(|&(_, &c)| c != largest).map(|(e, _)| e).collect()
     }
 }
 
@@ -111,13 +106,7 @@ pub fn kmeans_cluster(group: &Group, attrs: &[usize], config: &KMeansConfig) -> 
     while centroids.len() < k {
         let d2: Vec<f64> = points
             .iter()
-            .map(|p| {
-                centroids
-                    .iter()
-                    .map(|c| distance(p, c))
-                    .fold(f64::INFINITY, f64::min)
-                    .powi(2)
-            })
+            .map(|p| centroids.iter().map(|c| distance(p, c)).fold(f64::INFINITY, f64::min).powi(2))
             .collect();
         let total: f64 = d2.iter().sum();
         if total <= f64::EPSILON {
@@ -143,9 +132,7 @@ pub fn kmeans_cluster(group: &Group, attrs: &[usize], config: &KMeansConfig) -> 
         let mut changed = false;
         for (i, p) in points.iter().enumerate() {
             let best = (0..k)
-                .min_by(|&a, &b| {
-                    distance(p, &centroids[a]).total_cmp(&distance(p, &centroids[b]))
-                })
+                .min_by(|&a, &b| distance(p, &centroids[a]).total_cmp(&distance(p, &centroids[b])))
                 .unwrap();
             if assignment[i] != best {
                 assignment[i] = best;

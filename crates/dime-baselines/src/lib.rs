@@ -25,8 +25,8 @@ mod svm;
 mod tree;
 
 pub use cr::{cr_best_of, cr_cluster, CrConfig, CrResult, Linkage};
-pub use kmeans::{kmeans_cluster, KMeansConfig, KMeansResult};
 pub use features::PairFeatures;
+pub use kmeans::{kmeans_cluster, KMeansConfig, KMeansResult};
 pub use sifi::{sifi_optimize, RuleStructure};
 pub use svm::{LinearSvm, SvmConfig, SvmPipeline};
 pub use tree::{DecisionTree, TreeConfig};

@@ -26,10 +26,7 @@ pub fn sifi_optimize(
     unwanted: &[(usize, usize)],
     polarity: Polarity,
 ) -> Vec<Rule> {
-    structures
-        .iter()
-        .map(|s| optimize_rule(group, s, wanted, unwanted, polarity))
-        .collect()
+    structures.iter().map(|s| optimize_rule(group, s, wanted, unwanted, polarity)).collect()
 }
 
 /// Candidate thresholds for one `(attr, func)` slot: similarity values on
@@ -59,10 +56,8 @@ fn optimize_rule(
     polarity: Polarity,
 ) -> Rule {
     assert!(!structure.is_empty(), "rule structure cannot be empty");
-    let slots: Vec<Vec<f64>> = structure
-        .iter()
-        .map(|&(attr, func)| slot_thresholds(group, attr, func, wanted))
-        .collect();
+    let slots: Vec<Vec<f64>> =
+        structure.iter().map(|&(attr, func)| slot_thresholds(group, attr, func, wanted)).collect();
     // Initialize each threshold to the loosest candidate (covers all wanted
     // examples), then tighten greedily.
     let init = |k: usize| -> f64 {
@@ -134,13 +129,8 @@ mod tests {
     #[test]
     fn finds_separating_threshold() {
         let (g, pos, neg) = toy();
-        let rules = sifi_optimize(
-            &g,
-            &[vec![(0, SimilarityFn::Overlap)]],
-            &pos,
-            &neg,
-            Polarity::Positive,
-        );
+        let rules =
+            sifi_optimize(&g, &[vec![(0, SimilarityFn::Overlap)]], &pos, &neg, Polarity::Positive);
         assert_eq!(rules.len(), 1);
         // overlap ≥ 1 covers both positives, no negatives → optimal.
         assert_eq!(rules[0].predicates[0].threshold, 1.0);
@@ -150,13 +140,8 @@ mod tests {
     #[test]
     fn negative_polarity_flips_direction() {
         let (g, pos, neg) = toy();
-        let rules = sifi_optimize(
-            &g,
-            &[vec![(0, SimilarityFn::Overlap)]],
-            &neg,
-            &pos,
-            Polarity::Negative,
-        );
+        let rules =
+            sifi_optimize(&g, &[vec![(0, SimilarityFn::Overlap)]], &neg, &pos, Polarity::Negative);
         // overlap ≤ 0 covers all negatives, no positives.
         assert_eq!(rules[0].predicates[0].threshold, 0.0);
         assert_eq!(score(&g, &rules, &neg, &pos), 3.0);

@@ -150,11 +150,8 @@ impl SvmPipeline {
             let p = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
             let r = if total_pos == 0 { 1.0 } else { tp as f64 / (tp + fnn) as f64 };
             const BETA2: f64 = 0.09; // β = 0.3
-            let f = if p == 0.0 && r == 0.0 {
-                0.0
-            } else {
-                (1.0 + BETA2) * p * r / (BETA2 * p + r)
-            };
+            let f =
+                if p == 0.0 && r == 0.0 { 0.0 } else { (1.0 + BETA2) * p * r / (BETA2 * p + r) };
             let t = if k == 0 {
                 f64::NEG_INFINITY
             } else if k == decisions.len() {

@@ -179,12 +179,7 @@ mod tests {
     use super::*;
 
     fn xor_data() -> (Vec<Vec<f64>>, Vec<bool>) {
-        let xs = vec![
-            vec![0.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-        ];
+        let xs = vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
         let ys = vec![false, true, true, false];
         (xs, ys)
     }

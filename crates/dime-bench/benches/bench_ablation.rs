@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dime_core::{discover_fast_with, DimePlusConfig};
-use dime_data::{dbgen_group, dbgen_rules, scholar_page, scholar_rules, DbgenConfig, ScholarConfig};
+use dime_data::{
+    dbgen_group, dbgen_rules, scholar_page, scholar_rules, DbgenConfig, ScholarConfig,
+};
 
 fn configs() -> [(&'static str, DimePlusConfig); 4] {
     let full = DimePlusConfig::default(); // benefit order + transitivity, 1 thread
@@ -12,10 +14,7 @@ fn configs() -> [(&'static str, DimePlusConfig); 4] {
         ("full", full),
         ("no_benefit_order", DimePlusConfig { benefit_order: false, ..full }),
         ("no_transitivity", DimePlusConfig { transitivity_skip: false, ..full }),
-        (
-            "neither",
-            DimePlusConfig { benefit_order: false, transitivity_skip: false, ..full },
-        ),
+        ("neither", DimePlusConfig { benefit_order: false, transitivity_skip: false, ..full }),
     ]
 }
 

@@ -5,7 +5,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dime_core::{Polarity, Predicate, SigContext, SimilarityFn};
-use dime_data::{dbgen_group, dbgen_rules, scholar_page, scholar_rules, DbgenConfig, ScholarConfig};
+use dime_data::{
+    dbgen_group, dbgen_rules, scholar_page, scholar_rules, DbgenConfig, ScholarConfig,
+};
 use dime_index::InvertedIndex;
 
 fn bench_signature_generation(c: &mut Criterion) {
@@ -76,5 +78,10 @@ fn bench_ontology_node_signatures(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_signature_generation, bench_candidates_vs_all_pairs, bench_ontology_node_signatures);
+criterion_group!(
+    benches,
+    bench_signature_generation,
+    bench_candidates_vs_all_pairs,
+    bench_ontology_node_signatures
+);
 criterion_main!(benches);

@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dime_core::{discover_fast, discover_naive, discover_parallel};
-use dime_data::{dbgen_group, dbgen_rules, scholar_page, scholar_rules, DbgenConfig, ScholarConfig};
+use dime_data::{
+    dbgen_group, dbgen_rules, scholar_page, scholar_rules, DbgenConfig, ScholarConfig,
+};
 
 fn bench_scholar_scale(c: &mut Criterion) {
     let (pos, neg) = scholar_rules();

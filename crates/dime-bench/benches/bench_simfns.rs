@@ -10,12 +10,8 @@ fn bench_set_similarity(c: &mut Criterion) {
     let a: Vec<u32> = (0..40).map(|x| x * 3).collect();
     let b: Vec<u32> = (0..40).map(|x| x * 4).collect();
     let mut g = c.benchmark_group("setsim");
-    g.bench_function("overlap_40", |bench| {
-        bench.iter(|| overlap(black_box(&a), black_box(&b)))
-    });
-    g.bench_function("jaccard_40", |bench| {
-        bench.iter(|| jaccard(black_box(&a), black_box(&b)))
-    });
+    g.bench_function("overlap_40", |bench| bench.iter(|| overlap(black_box(&a), black_box(&b))));
+    g.bench_function("jaccard_40", |bench| bench.iter(|| jaccard(black_box(&a), black_box(&b))));
     g.finish();
 }
 

@@ -11,7 +11,9 @@
 
 use dime_bench::{arg_or, secs, Table};
 use dime_core::{discover_fast_with, DimePlusConfig};
-use dime_data::{dbgen_group, dbgen_rules, scholar_page, scholar_rules, DbgenConfig, ScholarConfig};
+use dime_data::{
+    dbgen_group, dbgen_rules, scholar_page, scholar_rules, DbgenConfig, ScholarConfig,
+};
 use std::time::Instant;
 
 fn main() {

@@ -20,8 +20,10 @@
 //!
 //! Flags: `--seed S` (default 42). Runtime ≈ 1–2 minutes.
 
-use dime_bench::{run_cr_fixed, run_dime_best, run_kmeans, scrollbar_metrics, Dataset, CR_THRESHOLDS};
 use dime_bench::arg_or;
+use dime_bench::{
+    run_cr_fixed, run_dime_best, run_kmeans, scrollbar_metrics, Dataset, CR_THRESHOLDS,
+};
 use dime_core::{discover_fast, discover_naive, PartitionStats, Polarity, SimilarityFn};
 use dime_data::{
     amazon_category, amazon_rules, dbgen_group, dbgen_rules, scholar_attr, scholar_page,
@@ -45,8 +47,7 @@ fn main() {
         let pages: Vec<_> = (0..8)
             .map(|i| scholar_page("chk", &ScholarConfig::default_page(seed + i * 131)))
             .collect();
-        let mean =
-            |ms: &[Prf]| ms.iter().map(|m| m.f_measure).sum::<f64>() / ms.len() as f64;
+        let mean = |ms: &[Prf]| ms.iter().map(|m| m.f_measure).sum::<f64>() / ms.len() as f64;
         let dime: Vec<Prf> = pages.iter().map(|lg| run_dime_best(lg, &pos, &neg).metrics).collect();
         let cr_best = CR_THRESHOLDS
             .iter()
@@ -56,10 +57,19 @@ fn main() {
                 mean(&ms)
             })
             .fold(0.0f64, f64::max);
-        let km: Vec<Prf> = pages.iter().map(|lg| run_kmeans(lg, Dataset::Scholar).metrics).collect();
+        let km: Vec<Prf> =
+            pages.iter().map(|lg| run_kmeans(lg, Dataset::Scholar).metrics).collect();
         let (df, kf) = (mean(&dime), mean(&km));
-        all_ok &= check("Exp-1 DIME ≥ CR (Scholar F)", df >= cr_best - 0.02, format!("DIME {df:.2} vs CR {cr_best:.2}"));
-        all_ok &= check("Exp-1 k-means collapses", kf < df - 0.3, format!("k-means {kf:.2} vs DIME {df:.2}"));
+        all_ok &= check(
+            "Exp-1 DIME ≥ CR (Scholar F)",
+            df >= cr_best - 0.02,
+            format!("DIME {df:.2} vs CR {cr_best:.2}"),
+        );
+        all_ok &= check(
+            "Exp-1 k-means collapses",
+            kf < df - 0.3,
+            format!("k-means {kf:.2} vs DIME {df:.2}"),
+        );
     }
 
     // ---- 2. Amazon: precision ↑, recall ↓ with e% -------------------------
@@ -107,11 +117,7 @@ fn main() {
         // many true positives at once — the paper's Fig. 8 shows the same).
         let precision_declines =
             means.last().map(|l| means[0].precision >= l.precision - 1e-9).unwrap_or(true);
-        all_ok &= check(
-            "Exp-3 recall monotone along scrollbar",
-            recall_monotone,
-            "6 pages".into(),
-        );
+        all_ok &= check("Exp-3 recall monotone along scrollbar", recall_monotone, "6 pages".into());
         all_ok &= check(
             "Exp-3 precision declines NR1 → NR_last (mean)",
             precision_declines,
@@ -200,7 +206,8 @@ fn main() {
             &lib,
             &GreedyConfig::default(),
         );
-        let sifi = sifi_optimize(&lg.group, &structures, &ex.positive, &ex.negative, Polarity::Positive);
+        let sifi =
+            sifi_optimize(&lg.group, &structures, &ex.positive, &ex.negative, Polarity::Positive);
         let (gf, sf) = (f_of(&greedy), f_of(&sifi));
         all_ok &= check("Exp-6 DIME-Rule ≥ SIFI", gf >= sf - 0.02, format!("{gf:.2} vs {sf:.2}"));
     }

@@ -36,12 +36,7 @@ fn main() {
                 format!("{:.1}x", naive.seconds / fast.seconds.max(1e-9)),
             ]);
         } else {
-            t.row(vec![
-                format!("Gen({}k)", n / 1000),
-                "-".into(),
-                secs(fast.seconds),
-                "-".into(),
-            ]);
+            t.row(vec![format!("Gen({}k)", n / 1000), "-".into(), secs(fast.seconds), "-".into()]);
         }
         n += step;
     }

@@ -11,8 +11,8 @@
 //!
 //! Flags: `--examples N` (default 240), `--seed S`.
 
-use dime_bench::{arg_or, f2, Table};
 use dime_baselines::{sifi_optimize, DecisionTree, PairFeatures, RuleStructure, TreeConfig};
+use dime_bench::{arg_or, f2, Table};
 use dime_core::{Group, Polarity, SimilarityFn};
 use dime_data::{
     amazon_attr, amazon_category, scholar_attr, scholar_page, AmazonConfig, ExampleSet,
@@ -62,10 +62,8 @@ fn cross_validate(
         let train_idx = fold_complement(examples.len(), fold);
         let train: Vec<Example> = train_idx.iter().map(|&i| examples[i]).collect();
         let test: Vec<Example> = fold.iter().map(|&i| examples[i]).collect();
-        let pos: Vec<(usize, usize)> =
-            train.iter().filter(|e| e.1).map(|e| e.0).collect();
-        let neg: Vec<(usize, usize)> =
-            train.iter().filter(|e| !e.1).map(|e| e.0).collect();
+        let pos: Vec<(usize, usize)> = train.iter().filter(|e| e.1).map(|e| e.0).collect();
+        let neg: Vec<(usize, usize)> = train.iter().filter(|e| !e.1).map(|e| e.0).collect();
         if pos.is_empty() || neg.is_empty() {
             continue;
         }

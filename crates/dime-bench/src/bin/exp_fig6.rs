@@ -12,7 +12,10 @@
 //! Flags: `--pages N` (default 24), `--categories N` (default 6),
 //! `--products N` (default 150), `--seed S`.
 
-use dime_bench::{arg_or, default_threads, f2, parallel_map, run_cr_fixed, run_dime_best, run_kmeans, run_svm, train_svm, Dataset, Table, CR_THRESHOLDS};
+use dime_bench::{
+    arg_or, default_threads, f2, parallel_map, run_cr_fixed, run_dime_best, run_kmeans, run_svm,
+    train_svm, Dataset, Table, CR_THRESHOLDS,
+};
 use dime_data::{amazon_rules, amazon_suite, scholar_corpus, scholar_rules};
 use dime_metrics::Prf;
 
@@ -33,10 +36,8 @@ fn main() {
     // Pages are independent; evaluate them in parallel.
     let per_page = parallel_map(test, default_threads(), |lg| {
         let dime = run_dime_best(lg, &pos, &neg).metrics;
-        let crs: Vec<Prf> = CR_THRESHOLDS
-            .iter()
-            .map(|&t| run_cr_fixed(lg, Dataset::Scholar, t).metrics)
-            .collect();
+        let crs: Vec<Prf> =
+            CR_THRESHOLDS.iter().map(|&t| run_cr_fixed(lg, Dataset::Scholar, t).metrics).collect();
         let svm = run_svm(&svm, lg).metrics;
         let km = run_kmeans(lg, Dataset::Scholar).metrics;
         (dime, crs, svm, km)
@@ -53,15 +54,11 @@ fn main() {
     // The paper reports CR at its best single threshold per dataset.
     let cr_m = cr_by_t
         .iter()
-        .max_by(|a, b| {
-            Prf::mean(a).f_measure.partial_cmp(&Prf::mean(b).f_measure).unwrap()
-        })
+        .max_by(|a, b| Prf::mean(a).f_measure.partial_cmp(&Prf::mean(b).f_measure).unwrap())
         .unwrap()
         .clone();
     let mut t = Table::new(&["method", "precision", "recall", "f-measure"]);
-    for (name, m) in
-        [("DIME", &dime_m), ("CR", &cr_m), ("SVM", &svm_m), ("KMeans", &km_m)]
-    {
+    for (name, m) in [("DIME", &dime_m), ("CR", &cr_m), ("SVM", &svm_m), ("KMeans", &km_m)] {
         let avg = Prf::mean(m);
         t.row(vec![name.into(), f2(avg.precision), f2(avg.recall), f2(avg.f_measure)]);
     }
@@ -99,9 +96,7 @@ fn main() {
         let sm: Vec<Prf> = per_cat.iter().map(|r| r.2).collect();
         let cm = cr_by_t
             .iter()
-            .max_by(|a, b| {
-                Prf::mean(a).f_measure.partial_cmp(&Prf::mean(b).f_measure).unwrap()
-            })
+            .max_by(|a, b| Prf::mean(a).f_measure.partial_cmp(&Prf::mean(b).f_measure).unwrap())
             .unwrap()
             .clone();
         let (d, c, s) = (Prf::mean(&dm), Prf::mean(&cm), Prf::mean(&sm));

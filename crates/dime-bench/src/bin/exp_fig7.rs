@@ -49,8 +49,7 @@ fn main() {
     // ---------------- Figure 7(b-d): Amazon ----------------
     println!("\n== Figure 7(b-d): Amazon — per negative rule across error rates ==");
     let (pos_a, neg_a) = amazon_rules();
-    let mut t =
-        Table::new(&["e%", "NR1-P", "NR1-R", "NR1-F", "NR2-P", "NR2-R", "NR2-F"]);
+    let mut t = Table::new(&["e%", "NR1-P", "NR1-R", "NR1-F", "NR2-P", "NR2-R", "NR2-F"]);
     for e_pct in [10u32, 20, 30, 40] {
         let e = e_pct as f64 / 100.0;
         let suite = amazon_suite(categories, products, e, seed.wrapping_add(e_pct as u64));

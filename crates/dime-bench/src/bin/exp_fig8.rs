@@ -16,9 +16,7 @@ fn main() {
     let (pos, neg) = scholar_rules();
 
     println!("== Figure 8: per-page precision / recall (20 Scholar pages) ==");
-    let mut t = Table::new(&[
-        "page", "NR1-P", "NR1-R", "NR2-P", "NR2-R", "NR3-P", "NR3-R",
-    ]);
+    let mut t = Table::new(&["page", "NR1-P", "NR1-R", "NR2-P", "NR2-R", "NR3-P", "NR3-R"]);
     for (i, name) in PAGE_NAMES.iter().enumerate() {
         // Page profiles vary in size and error mix, like the real crawl.
         let mut cfg = ScholarConfig::default_page(seed.wrapping_add(i as u64 * 37));

@@ -11,11 +11,13 @@
 //! Flags: `--scholar-max N` (default 3000), `--amazon-max N` (default
 //! 6000), `--quad-cap N` (default 2500), `--seed S`.
 
-use dime_bench::{arg_or, run_cr, run_dime_best, run_dime_naive_timed, run_svm, secs, train_svm, Dataset, Table};
+use dime_bench::{
+    arg_or, run_cr, run_dime_best, run_dime_naive_timed, run_svm, secs, train_svm, Dataset, Table,
+};
+use dime_data::amazon_category;
 use dime_data::{
     amazon_rules, amazon_suite, scholar_page, scholar_rules, AmazonConfig, ScholarConfig,
 };
-use dime_data::amazon_category;
 
 fn main() {
     let scholar_max: usize = arg_or("scholar-max", 3000);
@@ -59,12 +61,7 @@ fn main() {
     let mut n = 2000usize;
     while n <= amazon_max {
         let products = (n as f64 * 0.6) as usize; // 40% error rate
-        let lg = amazon_category(&AmazonConfig::new(
-            0,
-            products,
-            0.4,
-            seed.wrapping_add(n as u64),
-        ));
+        let lg = amazon_category(&AmazonConfig::new(0, products, 0.4, seed.wrapping_add(n as u64)));
         let fast = run_dime_best(&lg, &pos_a, &neg_a);
         let naive = run_dime_naive_timed(&lg, &pos_a, &neg_a);
         let (cr_s, svm_s) = if n <= quad_cap {

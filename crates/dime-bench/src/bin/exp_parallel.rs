@@ -12,7 +12,9 @@
 
 use dime_bench::{arg_or, default_threads, run_batch_parallel, secs, Table};
 use dime_core::{discover_fast, discover_naive, discover_parallel};
-use dime_data::{dbgen_group, dbgen_rules, scholar_page, scholar_rules, DbgenConfig, ScholarConfig};
+use dime_data::{
+    dbgen_group, dbgen_rules, scholar_page, scholar_rules, DbgenConfig, ScholarConfig,
+};
 use std::time::Instant;
 
 fn main() {

@@ -1,0 +1,204 @@
+//! Service throughput driver — measures `dime-serve` end to end: many
+//! concurrent clients hammering live sessions over real TCP with mixed
+//! traffic (create / add / remove / discovery / scrollbar / stats), then
+//! reports per-op latencies, overall throughput, and the server's own
+//! global counters. Writes the machine-readable summary to
+//! `results/BENCH_serve.json` so the perf trajectory is tracked in CI.
+//!
+//! Flags: `--clients N` (default 4), `--rounds N` (default 20),
+//! `--batch N` entities added per round (default 8), `--workers N`
+//! (default clients + 2), `--out PATH` (default
+//! `results/BENCH_serve.json`).
+
+use dime_bench::{arg_or, secs, Table};
+use dime_serve::{Client, ServeConfig, Server};
+use serde_json::{json, Value};
+use std::time::Instant;
+
+/// Per-op latency accumulator (microseconds).
+#[derive(Default, Clone)]
+struct Lat {
+    count: u64,
+    total_micros: u64,
+    max_micros: u64,
+}
+
+impl Lat {
+    fn record(&mut self, micros: u64) {
+        self.count += 1;
+        self.total_micros += micros;
+        self.max_micros = self.max_micros.max(micros);
+    }
+
+    fn merge(&mut self, other: &Lat) {
+        self.count += other.count;
+        self.total_micros += other.total_micros;
+        self.max_micros = self.max_micros.max(other.max_micros);
+    }
+
+    fn mean_micros(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total_micros / self.count
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        json!({
+            "count": self.count,
+            "mean_micros": self.mean_micros(),
+            "max_micros": self.max_micros,
+        })
+    }
+}
+
+/// One latency slot per op in [`OPS`] order.
+const OPS: [&str; 6] = ["create", "add", "remove", "discovery", "scrollbar", "stats"];
+
+#[derive(Default, Clone)]
+struct ClientLats([Lat; 6]);
+
+impl ClientLats {
+    fn timed<T>(&mut self, op: usize, f: impl FnOnce() -> T) -> T {
+        let t = Instant::now();
+        let out = f();
+        self.0[op].record(t.elapsed().as_micros() as u64);
+        out
+    }
+}
+
+fn group_doc() -> Value {
+    json!({
+        "schema": [
+            {"name": "Title", "tokenizer": "words"},
+            {"name": "Authors", "tokenizer": {"list": ","}}
+        ],
+        "entities": []
+    })
+}
+
+const RULES: &str = "positive: overlap(Authors) >= 2\nnegative: overlap(Authors) <= 0";
+
+/// One client's whole workload: a session, then `rounds` of batched adds,
+/// periodic removals, a discovery, a scrollbar read, and a stats probe.
+fn drive_client(addr: std::net::SocketAddr, c: usize, rounds: usize, batch: usize) -> ClientLats {
+    let mut lats = ClientLats::default();
+    let mut client = Client::connect(addr).expect("connect");
+    let session =
+        lats.timed(0, || client.create_session(&group_doc(), RULES)).expect("create_session");
+
+    let mut live = 0usize; // entity count mirror, for valid removals
+    for round in 0..rounds {
+        // Linked papers per round plus one outlier, all client-scoped
+        // so sessions never share tokens.
+        let rows: Vec<Value> = (0..batch)
+            .map(|i| {
+                if i + 1 == batch {
+                    json!([format!("stray {round}"), format!("loner{c}r{round}")])
+                } else {
+                    json!([format!("paper {round}-{i}"), format!("a{c}core, a{c}r{round}n{i}")])
+                }
+            })
+            .collect();
+        lats.timed(1, || client.add_entities(session, &rows)).expect("add_entities");
+        live += rows.len();
+
+        if round % 4 == 3 && live > 1 {
+            lats.timed(2, || client.remove_entity(session, round % live)).expect("remove_entity");
+            live -= 1;
+        }
+
+        let report = lats.timed(3, || client.discovery(session)).expect("discovery");
+        let steps = report["steps"].as_array().map_or(0, Vec::len);
+        if steps > 0 {
+            lats.timed(4, || client.scrollbar(session, 0)).expect("scrollbar");
+        }
+        lats.timed(5, || client.stats(Some(session))).expect("stats");
+    }
+    client.close_session(session).expect("close");
+    lats
+}
+
+fn main() {
+    let clients: usize = arg_or("clients", 4);
+    let rounds: usize = arg_or("rounds", 20);
+    let batch: usize = arg_or("batch", 8);
+    let workers: usize = arg_or("workers", clients + 2);
+    let out: String = arg_or("out", "results/BENCH_serve.json".to_string());
+
+    println!("== dime-serve throughput: {clients} clients x {rounds} rounds (batch {batch}, {workers} workers) ==");
+
+    let server = Server::bind(ServeConfig { workers, ..ServeConfig::default() }).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+
+    let t0 = Instant::now();
+    let per_client: Vec<ClientLats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| scope.spawn(move || drive_client(addr, c, rounds, batch)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    // Aggregate client-side latencies across the fleet.
+    let mut merged = ClientLats::default();
+    for cl in &per_client {
+        for (slot, lat) in merged.0.iter_mut().zip(&cl.0) {
+            slot.merge(lat);
+        }
+    }
+    let ops_total: u64 = merged.0.iter().map(|l| l.count).sum();
+    let throughput = ops_total as f64 / wall.max(1e-9);
+
+    // The server's own view, then a clean drain.
+    let server_stats = {
+        let mut probe = Client::connect(addr).expect("stats connect");
+        probe.stats(None).expect("global stats")
+    };
+    handle.shutdown();
+    runner.join().expect("server thread").expect("server run");
+
+    let mut t = Table::new(&["op", "count", "mean", "max"]);
+    for (name, lat) in OPS.iter().zip(&merged.0) {
+        t.row(vec![
+            name.to_string(),
+            lat.count.to_string(),
+            secs(lat.mean_micros() as f64 / 1e6),
+            secs(lat.max_micros as f64 / 1e6),
+        ]);
+    }
+    t.print();
+    println!("total: {ops_total} ops in {} = {throughput:.0} ops/s", secs(wall));
+    println!(
+        "server: {} requests, {} pairs verified, {} errors",
+        server_stats["requests"], server_stats["pairs_verified"], server_stats["errors"]
+    );
+
+    let latency: Value = OPS
+        .iter()
+        .zip(&merged.0)
+        .map(|(name, lat)| (name.to_string(), lat.to_value()))
+        .collect::<serde_json::Map<String, Value>>()
+        .into();
+    let summary = json!({
+        "config": {"clients": clients, "rounds": rounds, "batch": batch, "workers": workers},
+        "wall_seconds": wall,
+        "ops_total": ops_total,
+        "throughput_ops_per_sec": throughput,
+        "latency_micros": latency,
+        "server_stats": server_stats,
+    });
+    let path = std::path::Path::new(&out);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    let mut body = serde_json::to_string_pretty(&summary).expect("serialize summary");
+    body.push('\n');
+    std::fs::write(path, body).expect("write summary");
+    println!("wrote {out}");
+}

@@ -18,7 +18,11 @@ fn main() {
 
     println!("== Table I: partition-size buckets after positive rules ==");
     let mut t = Table::new(&[
-        "page", "total", "[1,10) grp/ent/err", "[10,100) grp/ent/err", "[100,1000) grp/ent/err",
+        "page",
+        "total",
+        "[1,10) grp/ent/err",
+        "[10,100) grp/ent/err",
+        "[100,1000) grp/ent/err",
         "err<10",
     ]);
     let mut total_errors = 0usize;
@@ -37,7 +41,8 @@ fn main() {
         let d = discover_fast(&lg.group, &pos, &[]);
         let truth: std::collections::HashSet<usize> = lg.truth.iter().copied().collect();
         let stats = PartitionStats::compute(&d.partitions, &truth);
-        let fmt = |b: dime_core::BucketStats| format!("{}/{}/{}", b.partitions, b.entities, b.errors);
+        let fmt =
+            |b: dime_core::BucketStats| format!("{}/{}/{}", b.partitions, b.entities, b.errors);
         t.row(vec![
             name.to_string(),
             lg.group.len().to_string(),

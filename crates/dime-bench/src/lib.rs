@@ -21,7 +21,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dime_baselines::{cr_best_of, kmeans_cluster, CrConfig, KMeansConfig, Linkage, PairFeatures, SvmConfig, SvmPipeline};
+use dime_baselines::{
+    cr_best_of, kmeans_cluster, CrConfig, KMeansConfig, Linkage, PairFeatures, SvmConfig,
+    SvmPipeline,
+};
 use dime_core::{discover_fast, discover_naive, Discovery, Rule};
 use dime_data::{amazon_attr, scholar_attr, ExampleSet, LabeledGroup};
 use dime_metrics::Prf;
@@ -63,9 +66,9 @@ impl Dataset {
 
     /// The pair-feature space for the ML baselines.
     pub fn features(self) -> PairFeatures {
-        use dime_core::SimilarityFn::{Jaccard, Ontology, Overlap};
         #[allow(unused_imports)]
         use dime_core::SimilarityFn;
+        use dime_core::SimilarityFn::{Jaccard, Ontology, Overlap};
         match self {
             Dataset::Scholar => PairFeatures::new(vec![
                 (scholar_attr::TITLE, Jaccard),
@@ -91,10 +94,7 @@ impl Dataset {
 
 /// Evaluates every scrollbar step of a discovery against ground truth.
 pub fn scrollbar_metrics(lg: &LabeledGroup, d: &Discovery) -> Vec<Prf> {
-    d.steps
-        .iter()
-        .map(|s| dime_metrics::evaluate_sets(s.flagged.iter(), lg.truth.iter()))
-        .collect()
+    d.steps.iter().map(|s| dime_metrics::evaluate_sets(s.flagged.iter(), lg.truth.iter())).collect()
 }
 
 /// The best-F scrollbar step (the paper's "best result our approach can
@@ -241,10 +241,8 @@ pub fn train_svm(train: &[&LabeledGroup], dataset: Dataset) -> SvmPipeline {
             examples.push((&lg.group, (a, b), false));
         }
     }
-    let examples: Vec<_> = examples
-        .into_iter()
-        .map(|(g, p, s)| (g as &dime_core::Group, p, s))
-        .collect();
+    let examples: Vec<_> =
+        examples.into_iter().map(|(g, p, s)| (g as &dime_core::Group, p, s)).collect();
     SvmPipeline::train(features, examples, &SvmConfig::default())
 }
 

@@ -140,8 +140,14 @@ impl fmt::Display for GroupStats {
             writeln!(
                 f,
                 "{:<18} {:>5.0}% {:>9} {:>4}/{:>4.1}/{:<4} {:>8.1} {:>8}",
-                a.name, fill, a.distinct_tokens, a.tokens_min, a.tokens_mean, a.tokens_max,
-                a.text_len_mean, mapped
+                a.name,
+                fill,
+                a.distinct_tokens,
+                a.tokens_min,
+                a.tokens_mean,
+                a.tokens_max,
+                a.text_len_mean,
+                mapped
             )?;
         }
         Ok(())
@@ -195,8 +201,7 @@ mod tests {
         let s = GroupStats::compute(&group());
         let set_ok: Vec<&str> = s.set_viable(0.9).iter().map(|a| a.name.as_str()).collect();
         assert_eq!(set_ok, vec!["Authors"]);
-        let ont_ok: Vec<&str> =
-            s.ontology_viable(0.5).iter().map(|a| a.name.as_str()).collect();
+        let ont_ok: Vec<&str> = s.ontology_viable(0.5).iter().map(|a| a.name.as_str()).collect();
         assert_eq!(ont_ok, vec!["Venue"]);
         assert!(s.ontology_viable(0.9).is_empty());
     }

@@ -17,7 +17,9 @@
 //!   order, realized as an `O(n log n)` entity-level ordering by shared
 //!   signature mass), stopping at the first satisfied pair.
 
-use crate::discover::{check_polarities, cumulate_steps, pick_pivot, Discovery, ScrollStep, Witness};
+use crate::discover::{
+    check_polarities, cumulate_steps, pick_pivot, Discovery, ScrollStep, Witness,
+};
 use crate::entity::Group;
 use crate::par::{par_map, par_shards, resolve_threads};
 use crate::rule::Rule;
@@ -565,9 +567,8 @@ pub(crate) fn flag_partitions_fast(
             continue;
         }
         let (sets, wild) = aggregate(part);
-        let filter_conclusive = (0..m).all(|k| {
-            !wild[k] && !pivot_wild[k] && sets[k].is_disjoint(&pivot_sets[k])
-        });
+        let filter_conclusive =
+            (0..m).all(|k| !wild[k] && !pivot_wild[k] && sets[k].is_disjoint(&pivot_sets[k]));
         if filter_conclusive {
             // Every pair satisfies every predicate: flag with no
             // verification (Algorithm 2 lines 18-19). Any pair witnesses.
@@ -598,21 +599,14 @@ pub(crate) fn flag_partitions_fast(
         let mut part_order: Vec<(usize, usize)> =
             part.iter().map(|&e| (score(&ent_sigs[e], &pivot_sets), e)).collect();
         part_order.sort_unstable();
-        let mut pivot_order: Vec<(usize, usize)> = partitions[pivot]
-            .iter()
-            .map(|&p| (score(&ent_sigs[p], &sets), p))
-            .collect();
+        let mut pivot_order: Vec<(usize, usize)> =
+            partitions[pivot].iter().map(|&p| (score(&ent_sigs[p], &sets), p)).collect();
         pivot_order.sort_unstable();
         'verify: for &(_, e) in &part_order {
             for &(_, p) in &pivot_order {
                 if rule.eval(group, group.entity(e), group.entity(p)) {
                     flags[pi] = true;
-                    witnesses.push(Witness {
-                        partition: pi,
-                        rule: 0,
-                        entity: e,
-                        pivot_entity: p,
-                    });
+                    witnesses.push(Witness { partition: pi, rule: 0, entity: e, pivot_entity: p });
                     break 'verify;
                 }
             }
@@ -722,16 +716,7 @@ mod tests {
         // must fall to the smallest-id partition.
         assert_eq!(
             naive.partitions,
-            vec![
-                vec![0],
-                vec![1],
-                vec![2],
-                vec![3],
-                vec![4, 8],
-                vec![5],
-                vec![6],
-                vec![7]
-            ]
+            vec![vec![0], vec![1], vec![2], vec![3], vec![4, 8], vec![5], vec![6], vec![7]]
         );
         assert_eq!(naive.pivot, 4);
         assert_eq!(discover_fast(&g, &pos, &neg), naive);
@@ -785,10 +770,8 @@ mod tests {
     /// Random-group equivalence between DIME and DIME⁺ — the central
     /// correctness property of the signature framework.
     fn random_group(lists: &[Vec<u32>], titles: &[String]) -> Group {
-        let schema = Schema::new([
-            ("Title", TokenizerKind::Words),
-            ("Authors", TokenizerKind::List(',')),
-        ]);
+        let schema =
+            Schema::new([("Title", TokenizerKind::Words), ("Authors", TokenizerKind::List(','))]);
         let mut b = GroupBuilder::new(schema);
         for (l, t) in lists.iter().zip(titles) {
             let joined: Vec<String> = l.iter().map(|x| format!("a{x}")).collect();

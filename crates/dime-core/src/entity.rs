@@ -49,10 +49,7 @@ impl Schema {
     /// than source code.
     pub fn from_owned(attrs: impl IntoIterator<Item = (String, TokenizerKind)>) -> Self {
         Self {
-            attrs: attrs
-                .into_iter()
-                .map(|(name, tokenizer)| AttrDef { name, tokenizer })
-                .collect(),
+            attrs: attrs.into_iter().map(|(name, tokenizer)| AttrDef { name, tokenizer }).collect(),
         }
     }
 
@@ -190,6 +187,24 @@ impl Group {
             .collect();
         self.push_entity_with_nodes(raw_values, &nodes)
     }
+
+    /// Removes the entity with id `id`, compacting ids: every entity with a
+    /// larger id shifts down by one so ids stay dense (`0..len`). Returns
+    /// `false` (and changes nothing) for an out-of-range id.
+    ///
+    /// Tokens the removed entity interned stay in the dictionary — a
+    /// dictionary only grows, which is what keeps frozen token orders (see
+    /// [`crate::IncrementalDime`]) valid across removals.
+    pub fn remove_entity(&mut self, id: usize) -> bool {
+        if id >= self.entities.len() {
+            return false;
+        }
+        self.entities.remove(id);
+        for e in &mut self.entities[id..] {
+            e.id -= 1;
+        }
+        true
+    }
 }
 
 /// Maps a raw value to an ontology node: exact whole-value lookup first,
@@ -233,10 +248,8 @@ fn approx_map_value(ont: &Ontology, normalized: &str) -> Option<NodeId> {
         let name = ont.name(id);
         // Length pre-filter: similarity ≥ τ needs |len difference| small.
         let sim_whole = bounded_edit_similarity(name, normalized);
-        let sim_tok = tokens
-            .iter()
-            .map(|t| bounded_edit_similarity(name, t))
-            .fold(0.0f64, f64::max);
+        let sim_tok =
+            tokens.iter().map(|t| bounded_edit_similarity(name, t)).fold(0.0f64, f64::max);
         let sim = sim_whole.max(sim_tok);
         if sim >= APPROX_MAP_THRESHOLD {
             let depth = ont.depth(id);
@@ -332,11 +345,8 @@ impl GroupBuilder {
     ///
     /// Panics if `raw_values.len()` differs from the schema arity.
     pub fn add_entity(&mut self, raw_values: &[&str]) -> usize {
-        let nodes: Vec<Option<NodeId>> = raw_values
-            .iter()
-            .enumerate()
-            .map(|(i, raw)| self.auto_map(i, raw))
-            .collect();
+        let nodes: Vec<Option<NodeId>> =
+            raw_values.iter().enumerate().map(|(i, raw)| self.auto_map(i, raw)).collect();
         self.add_entity_with_nodes(raw_values, &nodes)
     }
 

@@ -18,12 +18,23 @@
 //!   rather than the depths present so far, so a later, shallower value
 //!   cannot break Lemma 4.2.
 //!
+//! Entity **removal** ([`IncrementalDime::remove_entity`]) is scoped to the
+//! affected partition: partitions not containing the removed entity keep
+//! their merges verbatim (positive links are pairwise properties, so
+//! removing a non-member cannot invalidate them), and only the removed
+//! entity's partition is re-discovered among its remaining members. Ids
+//! compact (every later id shifts down by one) so the group stays dense.
+//!
 //! The negative phase (pivot selection + partition flagging) is recomputed
 //! on [`IncrementalDime::discovery`] — it is partition-level and cheap
 //! relative to pair discovery.
+//!
+//! For an end-to-end walkthrough of streaming discovery see
+//! `examples/streaming_profile.rs`; for serving many live groups over this
+//! engine concurrently, see the `dime-serve` crate.
 
-use crate::discover::{cumulate_steps, pick_pivot, Discovery, Witness};
 use crate::dime_plus::flag_partitions_fast;
+use crate::discover::{cumulate_steps, pick_pivot, Discovery, Witness};
 use crate::entity::Group;
 use crate::rule::Rule;
 use crate::signature::{PositiveRulePlan, SigContext};
@@ -65,6 +76,10 @@ pub struct IncrementalDime {
     /// Per rule: entities whose signatures are wildcards (must be compared
     /// against every entity).
     wildcards: Vec<Vec<u32>>,
+    /// Candidate pairs actually verified (positive-rule evaluations) over
+    /// the engine's lifetime — the observability counter surfaced by
+    /// `dime-serve` session stats.
+    pairs_verified: u64,
 }
 
 impl IncrementalDime {
@@ -92,6 +107,7 @@ impl IncrementalDime {
             negative,
             plans,
             order,
+            pairs_verified: 0,
         };
         for eid in 0..this.group.len() {
             this.uf.push();
@@ -113,6 +129,12 @@ impl IncrementalDime {
     /// Whether no entities have been added yet.
     pub fn is_empty(&self) -> bool {
         self.group.is_empty()
+    }
+
+    /// How many candidate pairs the engine has verified (positive-rule
+    /// evaluations) since construction, across insertions and removals.
+    pub fn pairs_verified(&self) -> u64 {
+        self.pairs_verified
     }
 
     /// Adds an entity (ontology nodes auto-mapped) and links it into the
@@ -138,6 +160,91 @@ impl IncrementalDime {
         id
     }
 
+    /// Removes the entity with id `id`, returning `false` (and changing
+    /// nothing) for an out-of-range id. Ids compact: every entity with a
+    /// larger id shifts down by one, exactly like
+    /// [`Group::remove_entity`].
+    ///
+    /// The rebuild is scoped to the affected partition. Partitions not
+    /// containing `id` keep their merges: positive links are pairwise
+    /// properties, so removing a non-member cannot invalidate them, and
+    /// links never cross partition boundaries. Only the removed entity's
+    /// partition is re-discovered among its remaining members (it may
+    /// split when the removed entity was the bridge). The per-rule
+    /// inverted indexes are re-derived under the *same* frozen token order
+    /// and rule plans, so later insertions stay comparable.
+    pub fn remove_entity(&mut self, id: usize) -> bool {
+        if id >= self.group.len() {
+            return false;
+        }
+        let components = self.uf.components();
+        let affected = components
+            .iter()
+            .position(|c| c.binary_search(&id).is_ok())
+            .expect("every entity sits in exactly one component");
+        self.group.remove_entity(id);
+        let shift = |e: usize| if e > id { e - 1 } else { e };
+
+        // Surviving components keep their merges verbatim.
+        let mut uf = UnionFind::new(self.group.len());
+        for (ci, comp) in components.iter().enumerate() {
+            if ci == affected {
+                continue;
+            }
+            let first = shift(comp[0]);
+            for &m in &comp[1..] {
+                uf.union(first, shift(m));
+            }
+        }
+
+        // Re-discover the affected component among its remaining members:
+        // any path between two members ran entirely inside the component,
+        // so pairwise evaluation over the members is exhaustive.
+        let members: Vec<usize> =
+            components[affected].iter().filter(|&&m| m != id).map(|&m| shift(m)).collect();
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                if uf.same(a, b) {
+                    continue;
+                }
+                self.pairs_verified += 1;
+                let (ea, eb) = (self.group.entity(a), self.group.entity(b));
+                if self.positive.iter().any(|r| r.eval(&self.group, ea, eb)) {
+                    uf.union(a, b);
+                }
+            }
+        }
+        self.uf = uf;
+        self.rebuild_indexes();
+        true
+    }
+
+    /// Re-derives the per-rule inverted indexes and wildcard lists for the
+    /// current entity set — same frozen order, same plans, so the state is
+    /// exactly what integrating the surviving entities in id order would
+    /// have produced.
+    fn rebuild_indexes(&mut self) {
+        self.indexes = vec![InvertedIndex::new(); self.positive.len()];
+        self.wildcards = vec![Vec::new(); self.positive.len()];
+        for ri in 0..self.positive.len() {
+            let rule = self.positive[ri].clone();
+            for eid in 0..self.group.len() {
+                let sigs = {
+                    let mut ctx = SigContext::with_frozen_order(&self.group, &self.order);
+                    ctx.entity_positive_signatures(eid, &rule, &self.plans[ri])
+                };
+                match sigs {
+                    None => self.wildcards[ri].push(eid as u32),
+                    Some(sigs) => {
+                        for s in sigs {
+                            self.indexes[ri].insert(s, eid as u32);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Probes the per-rule indexes with the new entity's signatures,
     /// verifies surviving candidates, merges, then registers the entity.
     fn integrate(&mut self, eid: usize) {
@@ -151,7 +258,14 @@ impl IncrementalDime {
                 None => {
                     // Wildcard: verify against every existing entity.
                     for other in 0..eid {
-                        Self::try_link(&self.group, &mut self.uf, &rule, eid, other);
+                        Self::try_link(
+                            &self.group,
+                            &mut self.uf,
+                            &mut self.pairs_verified,
+                            &rule,
+                            eid,
+                            other,
+                        );
                     }
                     self.wildcards[ri].push(eid as u32);
                 }
@@ -168,7 +282,14 @@ impl IncrementalDime {
                     cands.sort_unstable();
                     cands.dedup();
                     for other in cands {
-                        Self::try_link(&self.group, &mut self.uf, &rule, eid, other as usize);
+                        Self::try_link(
+                            &self.group,
+                            &mut self.uf,
+                            &mut self.pairs_verified,
+                            &rule,
+                            eid,
+                            other as usize,
+                        );
                     }
                     for s in sigs {
                         self.indexes[ri].insert(s, eid as u32);
@@ -178,10 +299,18 @@ impl IncrementalDime {
         }
     }
 
-    fn try_link(group: &Group, uf: &mut UnionFind, rule: &Rule, a: usize, b: usize) {
+    fn try_link(
+        group: &Group,
+        uf: &mut UnionFind,
+        pairs_verified: &mut u64,
+        rule: &Rule,
+        a: usize,
+        b: usize,
+    ) {
         if a == b || uf.same(a, b) {
             return;
         }
+        *pairs_verified += 1;
         if rule.eval(group, group.entity(a), group.entity(b)) {
             uf.union(a, b);
         }
@@ -225,10 +354,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn schema() -> Schema {
-        Schema::new([
-            ("Title", TokenizerKind::Words),
-            ("Authors", TokenizerKind::List(',')),
-        ])
+        Schema::new([("Title", TokenizerKind::Words), ("Authors", TokenizerKind::List(','))])
     }
 
     fn rules() -> (Vec<Rule>, Vec<Rule>) {
@@ -247,7 +373,8 @@ mod tests {
     #[test]
     fn matches_batch_on_simple_sequence() {
         let (pos, neg) = rules();
-        let mut inc = IncrementalDime::new(GroupBuilder::new(schema()).build(), pos.clone(), neg.clone());
+        let mut inc =
+            IncrementalDime::new(GroupBuilder::new(schema()).build(), pos.clone(), neg.clone());
         let rows = [
             ("entity matching rules", "ann, bob"),
             ("entity matching systems", "ann, bob, carol"),
@@ -280,6 +407,117 @@ mod tests {
         let (pos, neg) = rules();
         let mut inc = IncrementalDime::new(GroupBuilder::new(schema()).build(), pos, neg);
         let _ = inc.discovery();
+    }
+
+    /// Rebuilds the equivalent batch group from surviving rows, in id
+    /// order — the reference against which removal is checked.
+    fn batch_group(rows: &[(String, String)]) -> Group {
+        let mut b = GroupBuilder::new(schema());
+        for (t, a) in rows {
+            b.add_entity(&[t.as_str(), a.as_str()]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn remove_splits_a_bridged_partition() {
+        let (pos, neg) = rules();
+        let mut inc =
+            IncrementalDime::new(GroupBuilder::new(schema()).build(), pos.clone(), neg.clone());
+        // 0 and 2 only connect through bridge entity 1.
+        inc.add_entity(&["t", "ann, bob"]);
+        inc.add_entity(&["t", "ann, bob, carol, dan"]);
+        inc.add_entity(&["t", "carol, dan"]);
+        inc.add_entity(&["t", "zed, yan"]);
+        assert_eq!(inc.discovery().partitions.len(), 2);
+        assert!(inc.remove_entity(1));
+        // Bridge gone: {old 0} and {old 2 → new 1} split apart.
+        let d = inc.discovery();
+        assert_eq!(d.partitions.len(), 3);
+        let rows = vec![
+            ("t".to_string(), "ann, bob".to_string()),
+            ("t".to_string(), "carol, dan".to_string()),
+            ("t".to_string(), "zed, yan".to_string()),
+        ];
+        assert_eq!(d, discover_naive(&batch_group(&rows), &pos, &neg));
+    }
+
+    #[test]
+    fn remove_out_of_range_is_a_noop() {
+        let (pos, neg) = rules();
+        let mut inc = IncrementalDime::new(GroupBuilder::new(schema()).build(), pos, neg);
+        inc.add_entity(&["t", "ann"]);
+        assert!(!inc.remove_entity(1));
+        assert!(!inc.remove_entity(99));
+        assert_eq!(inc.len(), 1);
+        assert!(inc.remove_entity(0));
+        assert!(inc.is_empty());
+    }
+
+    #[test]
+    fn add_after_remove_reuses_compacted_ids() {
+        let (pos, neg) = rules();
+        let mut inc =
+            IncrementalDime::new(GroupBuilder::new(schema()).build(), pos.clone(), neg.clone());
+        inc.add_entity(&["a", "ann, bob"]);
+        inc.add_entity(&["b", "ann, bob"]);
+        inc.add_entity(&["c", "zed"]);
+        assert!(inc.remove_entity(0));
+        let id = inc.add_entity(&["d", "ann, bob"]);
+        assert_eq!(id, 2, "ids stay dense after a removal");
+        let rows = vec![
+            ("b".to_string(), "ann, bob".to_string()),
+            ("c".to_string(), "zed".to_string()),
+            ("d".to_string(), "ann, bob".to_string()),
+        ];
+        assert_eq!(inc.discovery(), discover_naive(&batch_group(&rows), &pos, &neg));
+    }
+
+    #[test]
+    fn pairs_verified_counts_work() {
+        let (pos, neg) = rules();
+        let mut inc = IncrementalDime::new(GroupBuilder::new(schema()).build(), pos, neg);
+        inc.add_entity(&["a", "ann, bob"]);
+        assert_eq!(inc.pairs_verified(), 0, "first entity has nothing to verify against");
+        inc.add_entity(&["b", "ann, bob"]);
+        assert!(inc.pairs_verified() > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// The removal invariant: after any interleaving of insertions and
+        /// removals, the result equals a from-scratch batch run on the
+        /// final group.
+        #[test]
+        fn prop_add_remove_interleaving_equals_batch(
+            ops in proptest::collection::vec(
+                (proptest::bool::ANY, proptest::collection::vec(0u32..10, 0..5), 0usize..16),
+                1..16,
+            ),
+        ) {
+            let (pos, neg) = rules();
+            let mut inc =
+                IncrementalDime::new(GroupBuilder::new(schema()).build(), pos.clone(), neg.clone());
+            let mut rows: Vec<(String, String)> = Vec::new();
+            for (i, (is_remove, list, pick)) in ops.iter().enumerate() {
+                if *is_remove && !rows.is_empty() {
+                    let id = pick % rows.len();
+                    prop_assert!(inc.remove_entity(id));
+                    rows.remove(id);
+                } else {
+                    let joined: Vec<String> = list.iter().map(|x| format!("a{x}")).collect();
+                    let title = format!("t{}", i % 3);
+                    let authors = joined.join(", ");
+                    inc.add_entity(&[title.as_str(), authors.as_str()]);
+                    rows.push((title, authors));
+                }
+            }
+            prop_assert_eq!(inc.len(), rows.len());
+            if !rows.is_empty() {
+                let d = inc.discovery();
+                prop_assert_eq!(d, discover_naive(&batch_group(&rows), &pos, &neg));
+            }
+        }
     }
 
     proptest! {

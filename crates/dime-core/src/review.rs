@@ -71,9 +71,7 @@ impl ReviewSession {
     pub fn pending(&self) -> Vec<usize> {
         self.discovery
             .at_step(self.position)
-            .map(|s| {
-                s.iter().copied().filter(|e| !self.decisions.contains_key(e)).collect()
-            })
+            .map(|s| s.iter().copied().filter(|e| !self.decisions.contains_key(e)).collect())
             .unwrap_or_default()
     }
 
@@ -84,31 +82,24 @@ impl ReviewSession {
     /// Panics if the entity is not suggested at the current position —
     /// reviewing something the user cannot see is a UI bug.
     pub fn decide(&mut self, entity: usize, decision: Decision) {
-        let visible = self
-            .discovery
-            .at_step(self.position)
-            .map(|s| s.contains(&entity))
-            .unwrap_or(false);
-        assert!(visible, "entity {entity} is not suggested at scrollbar position {}", self.position);
+        let visible =
+            self.discovery.at_step(self.position).map(|s| s.contains(&entity)).unwrap_or(false);
+        assert!(
+            visible,
+            "entity {entity} is not suggested at scrollbar position {}",
+            self.position
+        );
         self.decisions.insert(entity, decision);
     }
 
     /// Entities the user confirmed as mis-categorized so far.
     pub fn confirmed(&self) -> Vec<usize> {
-        self.decisions
-            .iter()
-            .filter(|(_, d)| **d == Decision::Confirmed)
-            .map(|(&e, _)| e)
-            .collect()
+        self.decisions.iter().filter(|(_, d)| **d == Decision::Confirmed).map(|(&e, _)| e).collect()
     }
 
     /// Entities the user rejected as false alarms so far.
     pub fn rejected(&self) -> Vec<usize> {
-        self.decisions
-            .iter()
-            .filter(|(_, d)| **d == Decision::Rejected)
-            .map(|(&e, _)| e)
-            .collect()
+        self.decisions.iter().filter(|(_, d)| **d == Decision::Rejected).map(|(&e, _)| e).collect()
     }
 
     /// How many suggestions the user has reviewed — the paper's cost

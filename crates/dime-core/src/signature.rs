@@ -29,9 +29,7 @@
 use crate::entity::{Entity, Group};
 use crate::rule::{Polarity, Predicate, Rule, SimilarityFn};
 use dime_ontology::{node_signature, tau_min};
-use dime_text::{
-    edit_prefix_len, overlap_prefix_len, qgrams, GlobalOrder, TokenId,
-};
+use dime_text::{edit_prefix_len, overlap_prefix_len, qgrams, GlobalOrder, TokenId};
 use std::borrow::Cow;
 use std::collections::HashMap;
 
@@ -334,8 +332,7 @@ impl<'g> SigContext<'g> {
                 // +ε: the quotient of an exactly-representable bound can
                 // land at 0.999…8 and floor a distance too low (observed:
                 // θ = 0.8, |v| = 4 → 0.9999999999999998).
-                let dmax =
-                    (((1.0 - theta) * len as f64 / theta) + FP_EPS).floor() as usize;
+                let dmax = (((1.0 - theta) * len as f64 / theta) + FP_EPS).floor() as usize;
                 self.gram_prefix_sigs(&value.text, dmax)
             }
             SimilarityFn::Ontology => {
@@ -346,10 +343,8 @@ impl<'g> SigContext<'g> {
                     None => PredSigs::Sigs(Vec::new()), // sim 0 < θ, never
                     Some(node) => {
                         let tm = self.tau_for(pred.attr, theta);
-                        let ont = self
-                            .group
-                            .ontology(pred.attr)
-                            .expect("mapped node implies ontology");
+                        let ont =
+                            self.group.ontology(pred.attr).expect("mapped node implies ontology");
                         let sig = node_signature(ont, node, tm);
                         PredSigs::Sigs(vec![mix64(0x0e70 ^ u64::from(sig) << 8)])
                     }
@@ -417,8 +412,7 @@ impl<'g> SigContext<'g> {
                 if len == 0 {
                     return PredSigs::Sigs(vec![mix64(0xE55)]);
                 }
-                let dmax =
-                    (((1.0 - sigma) * len as f64 / sigma) + FP_EPS).floor() as usize;
+                let dmax = (((1.0 - sigma) * len as f64 / sigma) + FP_EPS).floor() as usize;
                 self.gram_prefix_sigs(&value.text, dmax)
             }
             SimilarityFn::Ontology => {
@@ -433,10 +427,8 @@ impl<'g> SigContext<'g> {
                     None => PredSigs::Sigs(Vec::new()),
                     Some(node) => {
                         let tm = self.tau_for(pred.attr, sigma.max(f64::MIN_POSITIVE));
-                        let ont = self
-                            .group
-                            .ontology(pred.attr)
-                            .expect("mapped node implies ontology");
+                        let ont =
+                            self.group.ontology(pred.attr).expect("mapped node implies ontology");
                         let sig = node_signature(ont, node, tm);
                         PredSigs::Sigs(vec![mix64(0x0e70 ^ u64::from(sig) << 8)])
                     }
@@ -839,27 +831,7 @@ mod tests {
         ) {
             use dime_ontology::Ontology;
             use std::sync::Arc;
-            let mut ont = Ontology::new("root");
-            let mut nodes = Vec::new();
-            for f in 0..3 {
-                for s in 0..2 {
-                    for v in 0..2 {
-                        nodes.push(ont.add_path(&[
-                            &format!("f{f}"), &format!("s{f}{s}"), &format!("v{f}{s}{v}"),
-                        ]));
-                    }
-                }
-            }
-            let schema = Schema::new([("V", TokenizerKind::Whole)]);
-            let mut b = GroupBuilder::new(schema);
-            b.attach_ontology("V", Arc::new(ont));
-            for (i, &a) in assignments.iter().enumerate() {
-                let _ = a;
-                b.add_entity(&[format!("value-{i}").as_str()]);
-            }
-            let mut g = b.build();
-            // Assign nodes directly (the Whole values never auto-map).
-            // Rebuild with explicit nodes instead.
+            // Whole values never auto-map, so assign ontology nodes directly.
             let mut b2 = GroupBuilder::new(Schema::new([("V", TokenizerKind::Whole)]));
             let mut ont2 = Ontology::new("root");
             let mut nodes2 = Vec::new();
@@ -879,7 +851,7 @@ mod tests {
                     &[Some(nodes2[a % nodes2.len()])],
                 );
             }
-            g = b2.build();
+            let g = b2.build();
             let mut ctx = SigContext::new(&g);
             let pred = Predicate::new(0, SimilarityFn::Ontology, sigma);
             let rule = Rule::negative(vec![pred]);

@@ -24,8 +24,8 @@ use dime_text::TokenizerKind;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
-use std::sync::OnceLock;
 use std::sync::Arc;
+use std::sync::OnceLock;
 
 /// Attribute indices of the Amazon schema.
 pub mod attr {
@@ -352,8 +352,7 @@ pub fn amazon_category(cfg: &AmazonConfig) -> LabeledGroup {
     let brands = ["acme", "zenbrand", "nordix", "kaiko", "verra", "optilon"];
     let own_vocab = DescVocab::of(cat);
     let foreign_vocab = DescVocab::of(sibling);
-    let mut rows: Vec<ProductRow> =
-        Vec::with_capacity(cfg.products + cfg.niche * 3 + n_errors);
+    let mut rows: Vec<ProductRow> = Vec::with_capacity(cfg.products + cfg.niche * 3 + n_errors);
 
     for (i, asin) in own_asins.iter().enumerate() {
         let clique = i / cfg.clique;
@@ -361,10 +360,14 @@ pub fn amazon_category(cfg: &AmazonConfig) -> LabeledGroup {
             asin: asin.clone(),
             title: product_title(&mut rng, cat.title_words),
             brand: brands[rng.gen_range(0..brands.len())].to_owned(),
-            also_bought: co_purchase_list(&mut rng, &own_asins, clique, cfg.clique, 5, 3).join(", "),
-            also_viewed: co_purchase_list(&mut rng, &own_asins, clique, cfg.clique, 5, 3).join(", "),
-            bought_together: co_purchase_list(&mut rng, &own_asins, clique, cfg.clique, 2, 1).join(", "),
-            buy_after_viewing: co_purchase_list(&mut rng, &own_asins, clique, cfg.clique, 2, 1).join(", "),
+            also_bought: co_purchase_list(&mut rng, &own_asins, clique, cfg.clique, 5, 3)
+                .join(", "),
+            also_viewed: co_purchase_list(&mut rng, &own_asins, clique, cfg.clique, 5, 3)
+                .join(", "),
+            bought_together: co_purchase_list(&mut rng, &own_asins, clique, cfg.clique, 2, 1)
+                .join(", "),
+            buy_after_viewing: co_purchase_list(&mut rng, &own_asins, clique, cfg.clique, 2, 1)
+                .join(", "),
             description: {
                 let len = rng.gen_range(15..25);
                 own_vocab.sample(&mut rng, i, len, None, 0.0)
@@ -429,11 +432,9 @@ pub fn amazon_category(cfg: &AmazonConfig) -> LabeledGroup {
             // injected products that stay undetected at high e%.
             if rng.gen_bool(0.5) {
                 let tc1 = rng.gen_range(0..4);
-                also_bought
-                    .extend(co_purchase_list(&mut rng, &own_asins, tc1, cfg.clique, 1, 0));
+                also_bought.extend(co_purchase_list(&mut rng, &own_asins, tc1, cfg.clique, 1, 0));
                 let tc2 = rng.gen_range(0..4);
-                also_viewed
-                    .extend(co_purchase_list(&mut rng, &own_asins, tc2, cfg.clique, 1, 0));
+                also_viewed.extend(co_purchase_list(&mut rng, &own_asins, tc2, cfg.clique, 1, 0));
             }
             desc_mix = 0.75;
         }
@@ -444,7 +445,8 @@ pub fn amazon_category(cfg: &AmazonConfig) -> LabeledGroup {
             also_bought: also_bought.join(", "),
             also_viewed: also_viewed.join(", "),
             bought_together: co_purchase_list(&mut rng, pool, clique, cfg.clique, 2, 0).join(", "),
-            buy_after_viewing: co_purchase_list(&mut rng, pool, clique, cfg.clique, 2, 0).join(", "),
+            buy_after_viewing: co_purchase_list(&mut rng, pool, clique, cfg.clique, 2, 0)
+                .join(", "),
             description: {
                 let len = rng.gen_range(15..25);
                 foreign_vocab.sample(&mut rng, i, len, Some(&own_vocab), desc_mix)
@@ -492,7 +494,12 @@ pub fn amazon_category(cfg: &AmazonConfig) -> LabeledGroup {
 
 /// Generates a suite of categories at one error rate (for the Fig. 6/7
 /// sweeps).
-pub fn amazon_suite(n_categories: usize, products: usize, error_rate: f64, seed: u64) -> Vec<LabeledGroup> {
+pub fn amazon_suite(
+    n_categories: usize,
+    products: usize,
+    error_rate: f64,
+    seed: u64,
+) -> Vec<LabeledGroup> {
     (0..n_categories)
         .map(|i| {
             amazon_category(&AmazonConfig::new(

@@ -84,14 +84,52 @@ pub fn dbgen_rules() -> (Vec<Rule>, Vec<Rule>) {
 }
 
 const STREET_WORDS: &[&str] = &[
-    "main", "oak", "pine", "maple", "cedar", "elm", "washington", "lake", "hill", "park",
-    "river", "spring", "north", "south", "east", "west", "highland", "forest", "sunset",
-    "meadow", "street", "avenue", "road", "lane", "drive", "court", "boulevard",
+    "main",
+    "oak",
+    "pine",
+    "maple",
+    "cedar",
+    "elm",
+    "washington",
+    "lake",
+    "hill",
+    "park",
+    "river",
+    "spring",
+    "north",
+    "south",
+    "east",
+    "west",
+    "highland",
+    "forest",
+    "sunset",
+    "meadow",
+    "street",
+    "avenue",
+    "road",
+    "lane",
+    "drive",
+    "court",
+    "boulevard",
 ];
 
 const CITIES: &[&str] = &[
-    "springfield", "riverton", "lakeside", "fairview", "georgetown", "arlington", "clinton",
-    "salem", "madison", "oxford", "bristol", "dover", "hudson", "milton", "newport", "ashland",
+    "springfield",
+    "riverton",
+    "lakeside",
+    "fairview",
+    "georgetown",
+    "arlington",
+    "clinton",
+    "salem",
+    "madison",
+    "oxford",
+    "bristol",
+    "dover",
+    "hudson",
+    "milton",
+    "newport",
+    "ashland",
 ];
 
 /// Applies a typo to a string: substitute, delete, or transpose one char.
@@ -127,11 +165,7 @@ pub fn dbgen_group(cfg: &DbgenConfig) -> LabeledGroup {
     while made < n_clustered {
         let size = rng.gen_range(2..=cfg.cluster_size * 2 - 2).min(n_clustered - made).max(1);
         let name = sample_name(&mut rng);
-        let addr = format!(
-            "{} {}",
-            rng.gen_range(1..999),
-            sample_words(&mut rng, STREET_WORDS, 2)
-        );
+        let addr = format!("{} {}", rng.gen_range(1..999), sample_words(&mut rng, STREET_WORDS, 2));
         let city = CITIES[rng.gen_range(0..CITIES.len())];
         let phone: String = format!("555-{:04}", rng.gen_range(0..10000));
         for k in 0..size {
@@ -149,13 +183,10 @@ pub fn dbgen_group(cfg: &DbgenConfig) -> LabeledGroup {
     }
     for _ in 0..n_strangers {
         let name = sample_name(&mut rng);
-        let addr = format!(
-            "{} {}",
-            rng.gen_range(1..999),
-            sample_words(&mut rng, STREET_WORDS, 2)
-        );
+        let addr = format!("{} {}", rng.gen_range(1..999), sample_words(&mut rng, STREET_WORDS, 2));
         let city = CITIES[rng.gen_range(0..CITIES.len())];
-        let id = b.add_entity(&[&name, &addr, city, &format!("555-{:04}", rng.gen_range(0..10000))]);
+        let id =
+            b.add_entity(&[&name, &addr, city, &format!("555-{:04}", rng.gen_range(0..10000))]);
         truth.insert(id);
     }
     LabeledGroup { name: format!("dbgen-{n}"), group: b.build(), truth }
@@ -186,10 +217,7 @@ mod tests {
     fn fast_equals_naive_on_dbgen() {
         let lg = dbgen_group(&DbgenConfig::new(120, 9));
         let (pos, neg) = dbgen_rules();
-        assert_eq!(
-            discover_fast(&lg.group, &pos, &neg),
-            discover_naive(&lg.group, &pos, &neg)
-        );
+        assert_eq!(discover_fast(&lg.group, &pos, &neg), discover_naive(&lg.group, &pos, &neg));
     }
 
     #[test]

@@ -29,9 +29,7 @@
 use dime_core::{Discovery, Group, GroupBuilder, Schema};
 use dime_ontology::Ontology;
 use dime_text::TokenizerKind;
-use serde::Deserialize;
 use serde_json::{json, Value};
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -54,28 +52,15 @@ fn err<T>(message: impl Into<String>) -> Result<T, LoadError> {
     Err(LoadError { message: message.into() })
 }
 
-#[derive(Deserialize)]
-struct GroupDoc {
-    schema: Vec<AttrDoc>,
-    #[serde(default)]
-    ontologies: HashMap<String, Vec<Vec<String>>>,
-    entities: Vec<Value>,
-}
-
-#[derive(Deserialize)]
-struct AttrDoc {
-    name: String,
-    #[serde(default)]
-    tokenizer: Option<Value>,
-}
-
-fn parse_tokenizer(v: &Option<Value>) -> Result<TokenizerKind, LoadError> {
+fn parse_tokenizer(v: Option<&Value>) -> Result<TokenizerKind, LoadError> {
     match v {
-        None => Ok(TokenizerKind::Words),
+        None | Some(Value::Null) => Ok(TokenizerKind::Words),
         Some(Value::String(s)) => match s.as_str() {
             "words" => Ok(TokenizerKind::Words),
             "whole" => Ok(TokenizerKind::Whole),
-            other => err(format!("unknown tokenizer {other:?} (use \"words\", \"whole\", or {{\"list\": \",\"}})")),
+            other => err(format!(
+                "unknown tokenizer {other:?} (use \"words\", \"whole\", or {{\"list\": \",\"}})"
+            )),
         },
         Some(Value::Object(o)) => match o.get("list") {
             // Accept exactly one character — anything else (empty string,
@@ -85,9 +70,9 @@ fn parse_tokenizer(v: &Option<Value>) -> Result<TokenizerKind, LoadError> {
                 let mut chars = d.chars();
                 match (chars.next(), chars.next()) {
                     (Some(c), None) => Ok(TokenizerKind::List(c)),
-                    _ => err(format!(
-                        "list tokenizer needs a single-character delimiter, got {d:?}"
-                    )),
+                    _ => {
+                        err(format!("list tokenizer needs a single-character delimiter, got {d:?}"))
+                    }
                 }
             }
             _ => err("list tokenizer needs a single-character delimiter"),
@@ -98,58 +83,113 @@ fn parse_tokenizer(v: &Option<Value>) -> Result<TokenizerKind, LoadError> {
 
 /// Parses a JSON group document (see the module docs for the format).
 pub fn load_group_json(input: &str) -> Result<Group, LoadError> {
-    let doc: GroupDoc = match serde_json::from_str(input) {
+    let doc: Value = match serde_json::from_str(input) {
         Ok(d) => d,
         Err(e) => return err(format!("invalid JSON: {e}")),
     };
-    if doc.schema.is_empty() {
+    load_group_value(&doc)
+}
+
+/// Parses an already-decoded group document (the same format as
+/// [`load_group_json`]) — the entry point for callers that receive the
+/// document embedded in a larger JSON message, such as the `dime-serve`
+/// wire protocol.
+pub fn load_group_value(doc: &Value) -> Result<Group, LoadError> {
+    let obj = match doc.as_object() {
+        Some(o) => o,
+        None => return err("group document must be a JSON object"),
+    };
+    let schema_docs = match obj.get("schema").and_then(Value::as_array) {
+        Some(s) => s,
+        None => return err("group document needs a \"schema\" array"),
+    };
+    if schema_docs.is_empty() {
         return err("schema must declare at least one attribute");
     }
     // Leak-free static names aren't possible here; Schema::new takes
     // &'static str, so build AttrDefs through the owned constructor below.
-    let names: Vec<String> = doc.schema.iter().map(|a| a.name.clone()).collect();
-    let toks: Vec<TokenizerKind> = doc
-        .schema
-        .iter()
-        .map(|a| parse_tokenizer(&a.tokenizer))
-        .collect::<Result<_, _>>()?;
+    let mut names: Vec<String> = Vec::with_capacity(schema_docs.len());
+    let mut toks: Vec<TokenizerKind> = Vec::with_capacity(schema_docs.len());
+    for (i, attr) in schema_docs.iter().enumerate() {
+        let attr = match attr.as_object() {
+            Some(a) => a,
+            None => return err(format!("schema attribute {i} must be an object")),
+        };
+        match attr.get("name").and_then(Value::as_str) {
+            Some(n) => names.push(n.to_string()),
+            None => return err(format!("schema attribute {i} needs a string \"name\"")),
+        }
+        toks.push(parse_tokenizer(attr.get("tokenizer"))?);
+    }
     let schema = Schema::from_owned(names.iter().cloned().zip(toks.iter().copied()));
 
     let mut builder = GroupBuilder::new(schema);
-    for (name, paths) in &doc.ontologies {
-        if !names.contains(name) {
-            return err(format!("ontology for unknown attribute {name:?}"));
+    match obj.get("ontologies") {
+        None | Some(Value::Null) => {}
+        Some(Value::Object(onts)) => {
+            for (name, paths) in onts {
+                if !names.contains(name) {
+                    return err(format!("ontology for unknown attribute {name:?}"));
+                }
+                let paths = match paths.as_array() {
+                    Some(p) => p,
+                    None => return err(format!("ontology {name:?} must be a list of paths")),
+                };
+                let mut ont = Ontology::new(name);
+                for path in paths {
+                    let parts: Vec<&str> = match path.as_array() {
+                        Some(p) => p.iter().filter_map(Value::as_str).collect(),
+                        None => {
+                            return err(format!(
+                                "ontology {name:?}: each path must be an array of strings"
+                            ))
+                        }
+                    };
+                    if parts.len() != path.as_array().map_or(0, Vec::len) {
+                        return err(format!(
+                            "ontology {name:?}: each path must be an array of strings"
+                        ));
+                    }
+                    ont.add_path(&parts);
+                }
+                builder.attach_ontology(name, Arc::new(ont));
+            }
         }
-        let mut ont = Ontology::new(name);
-        for path in paths {
-            let parts: Vec<&str> = path.iter().map(String::as_str).collect();
-            ont.add_path(&parts);
-        }
-        builder.attach_ontology(name, Arc::new(ont));
+        Some(other) => return err(format!("\"ontologies\" must be an object, got {other}")),
     }
 
-    for (i, row) in doc.entities.iter().enumerate() {
-        let values: Vec<String> = match row {
-            Value::Array(a) => {
-                if a.len() != names.len() {
-                    return err(format!(
-                        "entity {i}: expected {} values, got {}",
-                        names.len(),
-                        a.len()
-                    ));
-                }
-                a.iter().map(value_to_string).collect()
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    match obj.get("entities") {
+        None | Some(Value::Null) => {}
+        Some(Value::Array(rows)) => {
+            for (i, row) in rows.iter().enumerate() {
+                let values = entity_row_values(row, &name_refs)
+                    .map_err(|e| LoadError { message: format!("entity {i}: {}", e.message) })?;
+                let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+                builder.add_entity(&refs);
             }
-            Value::Object(o) => names
-                .iter()
-                .map(|n| o.get(n).map(value_to_string).unwrap_or_default())
-                .collect(),
-            other => return err(format!("entity {i}: expected object or array, got {other}")),
-        };
-        let refs: Vec<&str> = values.iter().map(String::as_str).collect();
-        builder.add_entity(&refs);
+        }
+        Some(other) => return err(format!("\"entities\" must be an array, got {other}")),
     }
     Ok(builder.build())
+}
+
+/// Converts one entity row (an array in schema order, or an object keyed
+/// by attribute name with missing attributes defaulting to empty) into the
+/// attribute values expected by `GroupBuilder::add_entity`.
+pub fn entity_row_values(row: &Value, names: &[&str]) -> Result<Vec<String>, LoadError> {
+    match row {
+        Value::Array(a) => {
+            if a.len() != names.len() {
+                return err(format!("expected {} values, got {}", names.len(), a.len()));
+            }
+            Ok(a.iter().map(value_to_string).collect())
+        }
+        Value::Object(o) => {
+            Ok(names.iter().map(|n| o.get(*n).map(value_to_string).unwrap_or_default()).collect())
+        }
+        other => err(format!("expected object or array, got {other}")),
+    }
 }
 
 fn value_to_string(v: &Value) -> String {
@@ -163,8 +203,7 @@ fn value_to_string(v: &Value) -> String {
 /// Serializes a discovery result as a JSON report: partitions, the pivot,
 /// and per-scrollbar-step flagged entities (with their raw values).
 pub fn discovery_to_json(group: &Group, discovery: &Discovery) -> Value {
-    let attr_names: Vec<&str> =
-        group.schema().attrs().iter().map(|a| a.name.as_str()).collect();
+    let attr_names: Vec<&str> = group.schema().attrs().iter().map(|a| a.name.as_str()).collect();
     let entity_json = |id: usize| -> Value {
         let e = group.entity(id);
         let mut m = serde_json::Map::new();

@@ -34,7 +34,7 @@ pub use amazon::{
     amazon_category, amazon_rules, amazon_schema, amazon_suite, attr as amazon_attr, AmazonConfig,
 };
 pub use dbgen::{attr as dbgen_attr, dbgen_group, dbgen_rules, dbgen_schema, DbgenConfig};
-pub use io::{discovery_to_json, load_group_json, LoadError};
+pub use io::{discovery_to_json, entity_row_values, load_group_json, load_group_value, LoadError};
 pub use scholar::{
     attr as scholar_attr, scholar_corpus, scholar_page, scholar_rules, scholar_schema,
     venue_ontology, ScholarConfig, PAGE_NAMES,

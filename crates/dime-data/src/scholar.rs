@@ -31,8 +31,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::collections::HashSet;
-use std::sync::OnceLock;
 use std::sync::Arc;
+use std::sync::OnceLock;
 
 /// Attribute indices of the Scholar schema (8 attributes, like the crawl).
 pub mod attr {
@@ -312,9 +312,8 @@ pub fn scholar_page(name: &str, cfg: &ScholarConfig) -> LabeledGroup {
             })
             .collect()
     };
-    let eras: Vec<Vec<String>> = (0..cfg.eras)
-        .map(|e| pool[e * 6..(e * 6 + 8).min(pool.len())].to_vec())
-        .collect();
+    let eras: Vec<Vec<String>> =
+        (0..cfg.eras).map(|e| pool[e * 6..(e * 6 + 8).min(pool.len())].to_vec()).collect();
 
     // The owner publishes mostly in two home subfields.
     let home_subs: Vec<usize> = {
@@ -337,7 +336,10 @@ pub fn scholar_page(name: &str, cfg: &ScholarConfig) -> LabeledGroup {
         }
         let sub = &field.subfields[home_subs[rng.gen_range(0..home_subs.len())]];
         rows.push(PubRow {
-            title: { let n = rng.gen_range(5..9); sample_words(&mut rng, field.title_words, n) },
+            title: {
+                let n = rng.gen_range(5..9);
+                sample_words(&mut rng, field.title_words, n)
+            },
             authors: authors.join(", "),
             year: rng.gen_range(1995..2018),
             venue: Some(sub.venues[rng.gen_range(0..sub.venues.len())]),
@@ -348,7 +350,10 @@ pub fn scholar_page(name: &str, cfg: &ScholarConfig) -> LabeledGroup {
 
     // --- one-off publications (correct, small partitions) -----------------
     for _ in 0..cfg.one_offs {
-        let fresh = { let n = rng.gen_range(1..=3); fresh_names(&mut rng, n) };
+        let fresh = {
+            let n = rng.gen_range(1..=3);
+            fresh_names(&mut rng, n)
+        };
         let mut authors = vec![owner.clone()];
         authors.extend(fresh);
         // A subfield the owner normally avoids (venue sim 0.5 to the
@@ -364,7 +369,10 @@ pub fn scholar_page(name: &str, cfg: &ScholarConfig) -> LabeledGroup {
             Some(sub.venues[rng.gen_range(0..sub.venues.len())])
         };
         rows.push(PubRow {
-            title: { let n = rng.gen_range(5..9); sample_words(&mut rng, field.title_words, n) },
+            title: {
+                let n = rng.gen_range(5..9);
+                sample_words(&mut rng, field.title_words, n)
+            },
             authors: authors.join(", "),
             year: rng.gen_range(1995..2018),
             venue,
@@ -386,7 +394,10 @@ pub fn scholar_page(name: &str, cfg: &ScholarConfig) -> LabeledGroup {
                 authors.push(team[(start + k) % team.len()].clone());
             }
             rows.push(PubRow {
-                title: { let n = rng.gen_range(5..9); sample_words(&mut rng, field.title_words, n) },
+                title: {
+                    let n = rng.gen_range(5..9);
+                    sample_words(&mut rng, field.title_words, n)
+                },
                 authors: authors.join(", "),
                 year: rng.gen_range(1995..2018),
                 venue: Some(sub.venues[rng.gen_range(0..sub.venues.len())]),
@@ -398,12 +409,18 @@ pub fn scholar_page(name: &str, cfg: &ScholarConfig) -> LabeledGroup {
 
     // --- the owner's own pubs with a garbled name (correct, flagged) ------
     for _ in 0..cfg.garbled_own {
-        let fresh = { let n = rng.gen_range(1..=2); fresh_names(&mut rng, n) };
+        let fresh = {
+            let n = rng.gen_range(1..=2);
+            fresh_names(&mut rng, n)
+        };
         let mut authors = vec![garble_name(&mut rng, &owner)];
         authors.extend(fresh);
         let sub = &field.subfields[home_subs[0]];
         rows.push(PubRow {
-            title: { let n = rng.gen_range(5..9); sample_words(&mut rng, field.title_words, n) },
+            title: {
+                let n = rng.gen_range(5..9);
+                sample_words(&mut rng, field.title_words, n)
+            },
             authors: authors.join(", "),
             year: rng.gen_range(1995..2018),
             venue: Some(sub.venues[rng.gen_range(0..sub.venues.len())]),
@@ -422,8 +439,11 @@ pub fn scholar_page(name: &str, cfg: &ScholarConfig) -> LabeledGroup {
     let mut garbled_idx = 0usize;
     while remaining > 0 {
         let burst = rng.gen_range(1..=2.min(remaining));
-        let stranger_field =
-            if garbled_idx.is_multiple_of(2) { &FIELDS[rng.gen_range(1..FIELDS.len())] } else { field };
+        let stranger_field = if garbled_idx.is_multiple_of(2) {
+            &FIELDS[rng.gen_range(1..FIELDS.len())]
+        } else {
+            field
+        };
         garbled_idx += 1;
         let strangers = fresh_names(&mut rng, 4);
         for _ in 0..burst {
@@ -431,7 +451,10 @@ pub fn scholar_page(name: &str, cfg: &ScholarConfig) -> LabeledGroup {
             authors[0] = garble_name(&mut rng, &owner); // near-miss name
             let sub = &stranger_field.subfields[rng.gen_range(0..stranger_field.subfields.len())];
             rows.push(PubRow {
-                title: { let n = rng.gen_range(5..9); sample_words(&mut rng, stranger_field.title_words, n) },
+                title: {
+                    let n = rng.gen_range(5..9);
+                    sample_words(&mut rng, stranger_field.title_words, n)
+                },
                 authors: authors.join(", "),
                 year: rng.gen_range(1995..2018),
                 venue: Some(sub.venues[rng.gen_range(0..sub.venues.len())]),
@@ -453,7 +476,10 @@ pub fn scholar_page(name: &str, cfg: &ScholarConfig) -> LabeledGroup {
             authors.push(owner.clone()); // the namesake token
             let sub = &foreign_field.subfields[rng.gen_range(0..foreign_field.subfields.len())];
             rows.push(PubRow {
-                title: { let n = rng.gen_range(5..9); sample_words(&mut rng, foreign_field.title_words, n) },
+                title: {
+                    let n = rng.gen_range(5..9);
+                    sample_words(&mut rng, foreign_field.title_words, n)
+                },
                 authors: authors.join(", "),
                 year: rng.gen_range(1995..2018),
                 venue: Some(sub.venues[rng.gen_range(0..sub.venues.len())]),
@@ -486,7 +512,10 @@ pub fn scholar_page(name: &str, cfg: &ScholarConfig) -> LabeledGroup {
             let mut authors: Vec<String> = colleagues[..rng.gen_range(1..=3)].to_vec();
             authors.push(owner.clone());
             rows.push(PubRow {
-                title: { let n = rng.gen_range(5..9); sample_words(&mut rng, title_field.title_words, n) },
+                title: {
+                    let n = rng.gen_range(5..9);
+                    sample_words(&mut rng, title_field.title_words, n)
+                },
                 authors: authors.join(", "),
                 year: rng.gen_range(1995..2018),
                 venue: Some(sub.venues[rng.gen_range(0..sub.venues.len())]),
@@ -529,16 +558,7 @@ fn build_group(name: &str, rows: Vec<PubRow>, seed: u64) -> LabeledGroup {
         let volume = (row.year % 40 + 1).to_string();
         let issue = (row.year % 6 + 1).to_string();
         let pages = format!("{}-{}", row.year % 900 + 1, row.year % 900 + 13);
-        let nodes = [
-            title_nodes[i],
-            None,
-            None,
-            venue_node,
-            None,
-            None,
-            None,
-            None,
-        ];
+        let nodes = [title_nodes[i], None, None, venue_node, None, None, None, None];
         let id = b.add_entity_with_nodes(
             &[
                 &row.title,
@@ -561,9 +581,26 @@ fn build_group(name: &str, rows: Vec<PubRow>, seed: u64) -> LabeledGroup {
 
 /// The 20 page names of paper Figure 8 / Table I.
 pub const PAGE_NAMES: &[&str] = &[
-    "Jeffrey", "Wenfei", "Nan", "Cong", "Zhifeng", "Divyakant", "Francesco", "Samuel", "Tamer",
-    "Juliana", "Ullman", "Divesh", "Gustavo", "Jennifer", "Anhai", "Torsten", "Marcelo", "Nikos",
-    "Tim", "Laks",
+    "Jeffrey",
+    "Wenfei",
+    "Nan",
+    "Cong",
+    "Zhifeng",
+    "Divyakant",
+    "Francesco",
+    "Samuel",
+    "Tamer",
+    "Juliana",
+    "Ullman",
+    "Divesh",
+    "Gustavo",
+    "Jennifer",
+    "Anhai",
+    "Torsten",
+    "Marcelo",
+    "Nikos",
+    "Tim",
+    "Laks",
 ];
 
 /// Generates a corpus of `n_pages` pages with varied sizes and error mixes
@@ -602,12 +639,8 @@ mod tests {
     fn venues_map_into_ontology() {
         let cfg = ScholarConfig::small(3);
         let lg = scholar_page("nan", &cfg);
-        let mapped = lg
-            .group
-            .entities()
-            .iter()
-            .filter(|e| e.value(attr::VENUE).node.is_some())
-            .count();
+        let mapped =
+            lg.group.entities().iter().filter(|e| e.value(attr::VENUE).node.is_some()).count();
         // Mainstream/error venues map; ~30% of one-offs use obscure
         // workshops that are deliberately missing from the ontology.
         assert!(mapped >= lg.group.len() - cfg.one_offs, "too few mapped: {mapped}");
@@ -647,11 +680,7 @@ mod tests {
         // The full scrollbar reaches decent recall on the truth.
         let all = d.mis_categorized();
         let tp = all.iter().filter(|e| lg.truth.contains(e)).count();
-        assert!(
-            tp * 2 >= lg.truth.len(),
-            "recall too low: {tp}/{}",
-            lg.truth.len()
-        );
+        assert!(tp * 2 >= lg.truth.len(), "recall too low: {tp}/{}", lg.truth.len());
     }
 
     #[test]

@@ -104,11 +104,7 @@ mod tests {
         for i in 0..6 {
             b.add_entity(&[&format!("e{i}")]);
         }
-        LabeledGroup {
-            name: "t".into(),
-            group: b.build(),
-            truth: [4, 5].into_iter().collect(),
-        }
+        LabeledGroup { name: "t".into(), group: b.build(), truth: [4, 5].into_iter().collect() }
     }
 
     #[test]

@@ -17,10 +17,10 @@ pub const FIRST_NAMES: &[&str] = &[
 
 /// Last names used for synthetic authors and DBGen persons.
 pub const LAST_NAMES: &[&str] = &[
-    "tang", "li", "wang", "chen", "zhang", "feng", "hao", "liu", "zhao", "wu", "zhou", "xu",
-    "sun", "ma", "zhu", "hu", "guo", "lin", "he", "gao", "smith", "jones", "brown", "miller",
-    "davis", "garcia", "wilson", "moore", "taylor", "thomas", "lee", "white", "harris", "clark",
-    "lewis", "walker", "hall", "young", "allen", "king", "wright", "scott", "green", "baker",
+    "tang", "li", "wang", "chen", "zhang", "feng", "hao", "liu", "zhao", "wu", "zhou", "xu", "sun",
+    "ma", "zhu", "hu", "guo", "lin", "he", "gao", "smith", "jones", "brown", "miller", "davis",
+    "garcia", "wilson", "moore", "taylor", "thomas", "lee", "white", "harris", "clark", "lewis",
+    "walker", "hall", "young", "allen", "king", "wright", "scott", "green", "baker",
 ];
 
 /// A research field with its own title vocabulary, subfields, and venues.
@@ -48,67 +48,201 @@ pub const FIELDS: &[Field] = &[
     Field {
         name: "computer science",
         subfields: &[
-            Subfield { name: "database", venues: &["sigmod", "vldb", "icde", "pods", "edbt", "cikm", "tods", "vldbj", "tkde"] },
-            Subfield { name: "system", venues: &["icpads", "osdi", "sosp", "atc", "eurosys", "nsdi"] },
+            Subfield {
+                name: "database",
+                venues: &[
+                    "sigmod", "vldb", "icde", "pods", "edbt", "cikm", "tods", "vldbj", "tkde",
+                ],
+            },
+            Subfield {
+                name: "system",
+                venues: &["icpads", "osdi", "sosp", "atc", "eurosys", "nsdi"],
+            },
             Subfield { name: "information retrieval", venues: &["sigir", "wsdm", "ecir", "trec"] },
-            Subfield { name: "machine learning", venues: &["icml", "nips", "kdd", "aaai", "ijcai"] },
+            Subfield {
+                name: "machine learning",
+                venues: &["icml", "nips", "kdd", "aaai", "ijcai"],
+            },
             Subfield { name: "theory", venues: &["stoc", "focs", "soda", "icalp"] },
         ],
         title_words: &[
-            "data", "query", "index", "cleaning", "entity", "matching", "distributed", "graph",
-            "stream", "transaction", "join", "similarity", "crowdsourcing", "knowledge",
-            "learning", "ranking", "retrieval", "parallel", "storage", "optimization",
-            "scalable", "efficient", "system", "model", "clustering", "xml", "keyword",
+            "data",
+            "query",
+            "index",
+            "cleaning",
+            "entity",
+            "matching",
+            "distributed",
+            "graph",
+            "stream",
+            "transaction",
+            "join",
+            "similarity",
+            "crowdsourcing",
+            "knowledge",
+            "learning",
+            "ranking",
+            "retrieval",
+            "parallel",
+            "storage",
+            "optimization",
+            "scalable",
+            "efficient",
+            "system",
+            "model",
+            "clustering",
+            "xml",
+            "keyword",
         ],
     },
     Field {
         name: "chemical sciences",
         subfields: &[
-            Subfield { name: "chemical sciences general", venues: &["rsc advances", "jacs", "angewandte chemie", "chemical reviews"] },
-            Subfield { name: "organic chemistry", venues: &["organic letters", "journal of organic chemistry", "tetrahedron"] },
-            Subfield { name: "materials chemistry", venues: &["chemistry of materials", "journal of materials chemistry"] },
+            Subfield {
+                name: "chemical sciences general",
+                venues: &["rsc advances", "jacs", "angewandte chemie", "chemical reviews"],
+            },
+            Subfield {
+                name: "organic chemistry",
+                venues: &["organic letters", "journal of organic chemistry", "tetrahedron"],
+            },
+            Subfield {
+                name: "materials chemistry",
+                venues: &["chemistry of materials", "journal of materials chemistry"],
+            },
         ],
         title_words: &[
-            "oxidative", "synthesis", "catalytic", "polymer", "desulfurization", "extraction",
-            "molecular", "compound", "reaction", "solvent", "crystal", "ligand", "oxidation",
-            "membrane", "nanoparticle", "electrochemical", "thermal", "spectroscopy", "glycol",
-            "aqueous", "ionic", "carbon",
+            "oxidative",
+            "synthesis",
+            "catalytic",
+            "polymer",
+            "desulfurization",
+            "extraction",
+            "molecular",
+            "compound",
+            "reaction",
+            "solvent",
+            "crystal",
+            "ligand",
+            "oxidation",
+            "membrane",
+            "nanoparticle",
+            "electrochemical",
+            "thermal",
+            "spectroscopy",
+            "glycol",
+            "aqueous",
+            "ionic",
+            "carbon",
         ],
     },
     Field {
         name: "life sciences",
         subfields: &[
-            Subfield { name: "genetics", venues: &["nature genetics", "genome research", "plos genetics"] },
-            Subfield { name: "neuroscience", venues: &["neuron", "journal of neuroscience", "nature neuroscience"] },
+            Subfield {
+                name: "genetics",
+                venues: &["nature genetics", "genome research", "plos genetics"],
+            },
+            Subfield {
+                name: "neuroscience",
+                venues: &["neuron", "journal of neuroscience", "nature neuroscience"],
+            },
         ],
         title_words: &[
-            "gene", "protein", "expression", "cell", "neural", "cortex", "genome", "sequencing",
-            "receptor", "pathway", "mutation", "regulation", "synaptic", "cognitive", "clinical",
-            "molecular", "tissue", "brain", "rna", "dna",
+            "gene",
+            "protein",
+            "expression",
+            "cell",
+            "neural",
+            "cortex",
+            "genome",
+            "sequencing",
+            "receptor",
+            "pathway",
+            "mutation",
+            "regulation",
+            "synaptic",
+            "cognitive",
+            "clinical",
+            "molecular",
+            "tissue",
+            "brain",
+            "rna",
+            "dna",
         ],
     },
     Field {
         name: "physics",
         subfields: &[
-            Subfield { name: "condensed matter", venues: &["physical review b", "nature physics", "prl"] },
-            Subfield { name: "astrophysics", venues: &["astrophysical journal", "mnras", "astronomy and astrophysics"] },
+            Subfield {
+                name: "condensed matter",
+                venues: &["physical review b", "nature physics", "prl"],
+            },
+            Subfield {
+                name: "astrophysics",
+                venues: &["astrophysical journal", "mnras", "astronomy and astrophysics"],
+            },
         ],
         title_words: &[
-            "quantum", "lattice", "phonon", "superconductivity", "magnetization", "photon",
-            "scattering", "spin", "entanglement", "plasma", "galaxy", "stellar", "accretion",
-            "cosmological", "dark", "matter", "relativistic", "radiation", "spectrum", "orbital",
+            "quantum",
+            "lattice",
+            "phonon",
+            "superconductivity",
+            "magnetization",
+            "photon",
+            "scattering",
+            "spin",
+            "entanglement",
+            "plasma",
+            "galaxy",
+            "stellar",
+            "accretion",
+            "cosmological",
+            "dark",
+            "matter",
+            "relativistic",
+            "radiation",
+            "spectrum",
+            "orbital",
         ],
     },
     Field {
         name: "economics",
         subfields: &[
-            Subfield { name: "microeconomics", venues: &["econometrica", "american economic review", "journal of political economy"] },
-            Subfield { name: "finance", venues: &["journal of finance", "review of financial studies"] },
+            Subfield {
+                name: "microeconomics",
+                venues: &[
+                    "econometrica",
+                    "american economic review",
+                    "journal of political economy",
+                ],
+            },
+            Subfield {
+                name: "finance",
+                venues: &["journal of finance", "review of financial studies"],
+            },
         ],
         title_words: &[
-            "market", "equilibrium", "auction", "incentive", "welfare", "taxation", "pricing",
-            "liquidity", "volatility", "portfolio", "asset", "risk", "monetary", "inflation",
-            "labor", "trade", "growth", "consumption", "elasticity", "contract",
+            "market",
+            "equilibrium",
+            "auction",
+            "incentive",
+            "welfare",
+            "taxation",
+            "pricing",
+            "liquidity",
+            "volatility",
+            "portfolio",
+            "asset",
+            "risk",
+            "monetary",
+            "inflation",
+            "labor",
+            "trade",
+            "growth",
+            "consumption",
+            "elasticity",
+            "contract",
         ],
     },
     Field {
@@ -118,9 +252,24 @@ pub const FIELDS: &[Field] = &[
             Subfield { name: "control", venues: &["automatica", "ieee tac", "cdc"] },
         ],
         title_words: &[
-            "signal", "filter", "control", "estimation", "adaptive", "nonlinear", "feedback",
-            "robust", "frequency", "sensor", "noise", "tracking", "stability", "sampling",
-            "detection", "fusion", "modulation", "spectrum",
+            "signal",
+            "filter",
+            "control",
+            "estimation",
+            "adaptive",
+            "nonlinear",
+            "feedback",
+            "robust",
+            "frequency",
+            "sensor",
+            "noise",
+            "tracking",
+            "stability",
+            "sampling",
+            "detection",
+            "fusion",
+            "modulation",
+            "spectrum",
         ],
     },
 ];
@@ -143,91 +292,613 @@ pub const PRODUCT_CATEGORIES: &[ProductCategory] = &[
     ProductCategory {
         department: "electronics",
         name: "router",
-        title_words: &["wireless", "router", "broadband", "gigabit", "dual", "band", "wifi", "ethernet", "gateway", "mesh"],
+        title_words: &[
+            "wireless",
+            "router",
+            "broadband",
+            "gigabit",
+            "dual",
+            "band",
+            "wifi",
+            "ethernet",
+            "gateway",
+            "mesh",
+        ],
         themes: &[
-            &["internet", "connection", "shares", "ethernet", "wired", "users", "access", "network", "broadband", "firewall", "dsl", "cable", "port", "lan", "wan", "speed", "bandwidth", "signal", "coverage", "antenna"],
-            &["setup", "easy", "install", "app", "parental", "controls", "guest", "security", "wpa", "encryption", "firmware", "update", "browser", "configuration", "wizard", "support", "warranty", "manual", "quick", "guide"],
+            &[
+                "internet",
+                "connection",
+                "shares",
+                "ethernet",
+                "wired",
+                "users",
+                "access",
+                "network",
+                "broadband",
+                "firewall",
+                "dsl",
+                "cable",
+                "port",
+                "lan",
+                "wan",
+                "speed",
+                "bandwidth",
+                "signal",
+                "coverage",
+                "antenna",
+            ],
+            &[
+                "setup",
+                "easy",
+                "install",
+                "app",
+                "parental",
+                "controls",
+                "guest",
+                "security",
+                "wpa",
+                "encryption",
+                "firmware",
+                "update",
+                "browser",
+                "configuration",
+                "wizard",
+                "support",
+                "warranty",
+                "manual",
+                "quick",
+                "guide",
+            ],
         ],
     },
     ProductCategory {
         department: "electronics",
         name: "adapter",
-        title_words: &["usb", "adapter", "ethernet", "lan", "converter", "hub", "port", "cable", "type", "hdmi"],
+        title_words: &[
+            "usb",
+            "adapter",
+            "ethernet",
+            "lan",
+            "converter",
+            "hub",
+            "port",
+            "cable",
+            "type",
+            "hdmi",
+        ],
         themes: &[
-            &["usb", "compatible", "powered", "plug", "play", "converter", "laptop", "desktop", "port", "device", "driver", "windows", "mac", "chipset", "transfer", "rate", "compact", "portable", "aluminum", "braided"],
-            &["hdmi", "video", "output", "resolution", "display", "monitor", "projector", "audio", "sync", "mirror", "extend", "screen", "adapter", "male", "female", "gold", "plated", "connector", "signal", "stable"],
+            &[
+                "usb",
+                "compatible",
+                "powered",
+                "plug",
+                "play",
+                "converter",
+                "laptop",
+                "desktop",
+                "port",
+                "device",
+                "driver",
+                "windows",
+                "mac",
+                "chipset",
+                "transfer",
+                "rate",
+                "compact",
+                "portable",
+                "aluminum",
+                "braided",
+            ],
+            &[
+                "hdmi",
+                "video",
+                "output",
+                "resolution",
+                "display",
+                "monitor",
+                "projector",
+                "audio",
+                "sync",
+                "mirror",
+                "extend",
+                "screen",
+                "adapter",
+                "male",
+                "female",
+                "gold",
+                "plated",
+                "connector",
+                "signal",
+                "stable",
+            ],
         ],
     },
     ProductCategory {
         department: "beauty",
         name: "shampoo",
-        title_words: &["shampoo", "moisturizing", "volume", "repair", "natural", "organic", "keratin", "argan", "coconut", "daily"],
+        title_words: &[
+            "shampoo",
+            "moisturizing",
+            "volume",
+            "repair",
+            "natural",
+            "organic",
+            "keratin",
+            "argan",
+            "coconut",
+            "daily",
+        ],
         themes: &[
-            &["hair", "scalp", "moisture", "dry", "damaged", "repair", "shine", "smooth", "frizz", "color", "treated", "sulfate", "free", "paraben", "gentle", "cleansing", "nourish", "vitamins", "oils", "lather"],
-            &["scent", "fragrance", "lavender", "fresh", "botanical", "extract", "aloe", "chamomile", "tea", "tree", "mint", "citrus", "relaxing", "spa", "salon", "quality", "silky", "soft", "healthy", "glow"],
+            &[
+                "hair",
+                "scalp",
+                "moisture",
+                "dry",
+                "damaged",
+                "repair",
+                "shine",
+                "smooth",
+                "frizz",
+                "color",
+                "treated",
+                "sulfate",
+                "free",
+                "paraben",
+                "gentle",
+                "cleansing",
+                "nourish",
+                "vitamins",
+                "oils",
+                "lather",
+            ],
+            &[
+                "scent",
+                "fragrance",
+                "lavender",
+                "fresh",
+                "botanical",
+                "extract",
+                "aloe",
+                "chamomile",
+                "tea",
+                "tree",
+                "mint",
+                "citrus",
+                "relaxing",
+                "spa",
+                "salon",
+                "quality",
+                "silky",
+                "soft",
+                "healthy",
+                "glow",
+            ],
         ],
     },
     ProductCategory {
         department: "beauty",
         name: "lotion",
-        title_words: &["lotion", "body", "hydrating", "shea", "butter", "vitamin", "daily", "repair", "sensitive", "skin"],
+        title_words: &[
+            "lotion",
+            "body",
+            "hydrating",
+            "shea",
+            "butter",
+            "vitamin",
+            "daily",
+            "repair",
+            "sensitive",
+            "skin",
+        ],
         themes: &[
-            &["skin", "hydration", "dry", "moisturizer", "absorbs", "greasy", "fragrance", "dermatologist", "tested", "sensitive", "hypoallergenic", "ceramides", "glycerin", "barrier", "repair", "soothing", "itch", "relief", "cream", "daily"],
-            &["shea", "butter", "cocoa", "natural", "ingredients", "vitamin", "antioxidants", "nourishing", "radiant", "glow", "smooth", "soft", "elastic", "firming", "anti", "aging", "wrinkle", "spa", "luxurious", "rich"],
+            &[
+                "skin",
+                "hydration",
+                "dry",
+                "moisturizer",
+                "absorbs",
+                "greasy",
+                "fragrance",
+                "dermatologist",
+                "tested",
+                "sensitive",
+                "hypoallergenic",
+                "ceramides",
+                "glycerin",
+                "barrier",
+                "repair",
+                "soothing",
+                "itch",
+                "relief",
+                "cream",
+                "daily",
+            ],
+            &[
+                "shea",
+                "butter",
+                "cocoa",
+                "natural",
+                "ingredients",
+                "vitamin",
+                "antioxidants",
+                "nourishing",
+                "radiant",
+                "glow",
+                "smooth",
+                "soft",
+                "elastic",
+                "firming",
+                "anti",
+                "aging",
+                "wrinkle",
+                "spa",
+                "luxurious",
+                "rich",
+            ],
         ],
     },
     ProductCategory {
         department: "home and kitchen",
         name: "blender",
-        title_words: &["blender", "high", "speed", "smoothie", "countertop", "personal", "glass", "stainless", "pro", "quiet"],
+        title_words: &[
+            "blender",
+            "high",
+            "speed",
+            "smoothie",
+            "countertop",
+            "personal",
+            "glass",
+            "stainless",
+            "pro",
+            "quiet",
+        ],
         themes: &[
-            &["blend", "smoothie", "ice", "crush", "motor", "watt", "blades", "stainless", "steel", "pitcher", "speed", "settings", "pulse", "puree", "soup", "frozen", "fruit", "powerful", "torque", "jar"],
-            &["dishwasher", "safe", "easy", "clean", "bpa", "free", "lid", "spout", "travel", "cup", "compact", "kitchen", "counter", "cord", "storage", "recipe", "book", "warranty", "base", "suction"],
+            &[
+                "blend",
+                "smoothie",
+                "ice",
+                "crush",
+                "motor",
+                "watt",
+                "blades",
+                "stainless",
+                "steel",
+                "pitcher",
+                "speed",
+                "settings",
+                "pulse",
+                "puree",
+                "soup",
+                "frozen",
+                "fruit",
+                "powerful",
+                "torque",
+                "jar",
+            ],
+            &[
+                "dishwasher",
+                "safe",
+                "easy",
+                "clean",
+                "bpa",
+                "free",
+                "lid",
+                "spout",
+                "travel",
+                "cup",
+                "compact",
+                "kitchen",
+                "counter",
+                "cord",
+                "storage",
+                "recipe",
+                "book",
+                "warranty",
+                "base",
+                "suction",
+            ],
         ],
     },
     ProductCategory {
         department: "home and kitchen",
         name: "cookware",
-        title_words: &["cookware", "nonstick", "pan", "set", "skillet", "frying", "induction", "ceramic", "cast", "iron"],
+        title_words: &[
+            "cookware",
+            "nonstick",
+            "pan",
+            "set",
+            "skillet",
+            "frying",
+            "induction",
+            "ceramic",
+            "cast",
+            "iron",
+        ],
         themes: &[
-            &["nonstick", "coating", "scratch", "resistant", "even", "heat", "distribution", "aluminum", "induction", "compatible", "oven", "safe", "handle", "cool", "touch", "pour", "rim", "frying", "saute", "simmer"],
-            &["ceramic", "toxin", "free", "pfoa", "ptfe", "healthy", "cooking", "durable", "granite", "finish", "lightweight", "ergonomic", "grip", "dishwasher", "care", "seasoning", "cast", "iron", "skillet", "heirloom"],
+            &[
+                "nonstick",
+                "coating",
+                "scratch",
+                "resistant",
+                "even",
+                "heat",
+                "distribution",
+                "aluminum",
+                "induction",
+                "compatible",
+                "oven",
+                "safe",
+                "handle",
+                "cool",
+                "touch",
+                "pour",
+                "rim",
+                "frying",
+                "saute",
+                "simmer",
+            ],
+            &[
+                "ceramic",
+                "toxin",
+                "free",
+                "pfoa",
+                "ptfe",
+                "healthy",
+                "cooking",
+                "durable",
+                "granite",
+                "finish",
+                "lightweight",
+                "ergonomic",
+                "grip",
+                "dishwasher",
+                "care",
+                "seasoning",
+                "cast",
+                "iron",
+                "skillet",
+                "heirloom",
+            ],
         ],
     },
     ProductCategory {
         department: "toys and games",
         name: "building blocks",
-        title_words: &["building", "blocks", "set", "creative", "construction", "bricks", "classic", "pieces", "educational", "stem"],
+        title_words: &[
+            "building",
+            "blocks",
+            "set",
+            "creative",
+            "construction",
+            "bricks",
+            "classic",
+            "pieces",
+            "educational",
+            "stem",
+        ],
         themes: &[
-            &["pieces", "bricks", "compatible", "build", "creative", "imagination", "colors", "shapes", "instructions", "model", "castle", "vehicle", "city", "minifigure", "baseplate", "storage", "box", "ages", "gift", "collection"],
-            &["educational", "stem", "learning", "motor", "skills", "develop", "hand", "eye", "coordination", "problem", "solving", "kids", "toddler", "safe", "nontoxic", "durable", "plastic", "rounded", "edges", "classroom"],
+            &[
+                "pieces",
+                "bricks",
+                "compatible",
+                "build",
+                "creative",
+                "imagination",
+                "colors",
+                "shapes",
+                "instructions",
+                "model",
+                "castle",
+                "vehicle",
+                "city",
+                "minifigure",
+                "baseplate",
+                "storage",
+                "box",
+                "ages",
+                "gift",
+                "collection",
+            ],
+            &[
+                "educational",
+                "stem",
+                "learning",
+                "motor",
+                "skills",
+                "develop",
+                "hand",
+                "eye",
+                "coordination",
+                "problem",
+                "solving",
+                "kids",
+                "toddler",
+                "safe",
+                "nontoxic",
+                "durable",
+                "plastic",
+                "rounded",
+                "edges",
+                "classroom",
+            ],
         ],
     },
     ProductCategory {
         department: "sports and outdoors",
         name: "tent",
-        title_words: &["tent", "camping", "person", "backpacking", "waterproof", "dome", "instant", "family", "season", "lightweight"],
+        title_words: &[
+            "tent",
+            "camping",
+            "person",
+            "backpacking",
+            "waterproof",
+            "dome",
+            "instant",
+            "family",
+            "season",
+            "lightweight",
+        ],
         themes: &[
-            &["waterproof", "rainfly", "seams", "taped", "floor", "bathtub", "wind", "poles", "fiberglass", "aluminum", "stakes", "guylines", "vestibule", "footprint", "weather", "storm", "ventilation", "mesh", "condensation", "canopy"],
-            &["setup", "minutes", "freestanding", "instant", "carry", "bag", "packed", "weight", "compact", "spacious", "interior", "height", "doors", "pockets", "gear", "loft", "lantern", "hook", "camping", "hiking"],
+            &[
+                "waterproof",
+                "rainfly",
+                "seams",
+                "taped",
+                "floor",
+                "bathtub",
+                "wind",
+                "poles",
+                "fiberglass",
+                "aluminum",
+                "stakes",
+                "guylines",
+                "vestibule",
+                "footprint",
+                "weather",
+                "storm",
+                "ventilation",
+                "mesh",
+                "condensation",
+                "canopy",
+            ],
+            &[
+                "setup",
+                "minutes",
+                "freestanding",
+                "instant",
+                "carry",
+                "bag",
+                "packed",
+                "weight",
+                "compact",
+                "spacious",
+                "interior",
+                "height",
+                "doors",
+                "pockets",
+                "gear",
+                "loft",
+                "lantern",
+                "hook",
+                "camping",
+                "hiking",
+            ],
         ],
     },
     ProductCategory {
         department: "sports and outdoors",
         name: "sleeping bag",
-        title_words: &["sleeping", "bag", "degree", "mummy", "down", "synthetic", "compression", "adult", "winter", "ultralight"],
+        title_words: &[
+            "sleeping",
+            "bag",
+            "degree",
+            "mummy",
+            "down",
+            "synthetic",
+            "compression",
+            "adult",
+            "winter",
+            "ultralight",
+        ],
         themes: &[
-            &["temperature", "rating", "degree", "warmth", "insulation", "down", "fill", "synthetic", "loft", "baffles", "draft", "collar", "hood", "cinch", "thermal", "cold", "winter", "ripstop", "shell", "liner"],
-            &["zipper", "snag", "free", "compression", "sack", "packs", "small", "lightweight", "roomy", "mummy", "rectangular", "footbox", "machine", "washable", "dries", "storage", "straps", "camping", "backpacking", "travel"],
+            &[
+                "temperature",
+                "rating",
+                "degree",
+                "warmth",
+                "insulation",
+                "down",
+                "fill",
+                "synthetic",
+                "loft",
+                "baffles",
+                "draft",
+                "collar",
+                "hood",
+                "cinch",
+                "thermal",
+                "cold",
+                "winter",
+                "ripstop",
+                "shell",
+                "liner",
+            ],
+            &[
+                "zipper",
+                "snag",
+                "free",
+                "compression",
+                "sack",
+                "packs",
+                "small",
+                "lightweight",
+                "roomy",
+                "mummy",
+                "rectangular",
+                "footbox",
+                "machine",
+                "washable",
+                "dries",
+                "storage",
+                "straps",
+                "camping",
+                "backpacking",
+                "travel",
+            ],
         ],
     },
     ProductCategory {
         department: "toys and games",
         name: "board game",
-        title_words: &["board", "game", "family", "party", "strategy", "card", "classic", "night", "players", "edition"],
+        title_words: &[
+            "board", "game", "family", "party", "strategy", "card", "classic", "night", "players",
+            "edition",
+        ],
         themes: &[
-            &["players", "turns", "dice", "cards", "board", "strategy", "win", "points", "rules", "minutes", "playtime", "family", "night", "fun", "laugh", "party", "teams", "guess", "trivia", "challenge"],
-            &["components", "quality", "tokens", "miniatures", "artwork", "illustrated", "expansion", "replayability", "cooperative", "competitive", "ages", "adult", "kids", "gift", "box", "insert", "rulebook", "setup", "quick", "learn"],
+            &[
+                "players",
+                "turns",
+                "dice",
+                "cards",
+                "board",
+                "strategy",
+                "win",
+                "points",
+                "rules",
+                "minutes",
+                "playtime",
+                "family",
+                "night",
+                "fun",
+                "laugh",
+                "party",
+                "teams",
+                "guess",
+                "trivia",
+                "challenge",
+            ],
+            &[
+                "components",
+                "quality",
+                "tokens",
+                "miniatures",
+                "artwork",
+                "illustrated",
+                "expansion",
+                "replayability",
+                "cooperative",
+                "competitive",
+                "ages",
+                "adult",
+                "kids",
+                "gift",
+                "box",
+                "insert",
+                "rulebook",
+                "setup",
+                "quick",
+                "learn",
+            ],
         ],
     },
 ];
@@ -236,10 +907,10 @@ pub const PRODUCT_CATEGORIES: &[ProductCategory] = &[
 /// descriptions — the cross-category vocabulary overlap that makes string
 /// similarity noisy on real catalogs.
 pub const GENERIC_PRODUCT_WORDS: &[&str] = &[
-    "premium", "pro", "series", "pack", "new", "black", "white", "compact", "portable",
-    "quality", "durable", "design", "perfect", "ideal", "home", "office", "travel", "gift",
-    "value", "best", "top", "rated", "easy", "use", "includes", "features", "improved",
-    "original", "classic", "modern",
+    "premium", "pro", "series", "pack", "new", "black", "white", "compact", "portable", "quality",
+    "durable", "design", "perfect", "ideal", "home", "office", "travel", "gift", "value", "best",
+    "top", "rated", "easy", "use", "includes", "features", "improved", "original", "classic",
+    "modern",
 ];
 
 /// Samples a full person name `"first last"`.

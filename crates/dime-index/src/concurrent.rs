@@ -125,12 +125,7 @@ impl ConcurrentUnionFind {
             // while `child` is still a root, so no union is ever lost.
             let (child, parent) = if ra > rb { (ra, rb) } else { (rb, ra) };
             if self.parent[child]
-                .compare_exchange(
-                    child as u32,
-                    parent as u32,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                )
+                .compare_exchange(child as u32, parent as u32, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
                 return true;

@@ -29,11 +29,7 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates `len` singleton sets.
     pub fn new(len: usize) -> Self {
-        Self {
-            parent: (0..len as u32).collect(),
-            rank: vec![0; len],
-            components: len,
-        }
+        Self { parent: (0..len as u32).collect(), rank: vec![0; len], components: len }
     }
 
     /// Number of elements.

@@ -106,8 +106,7 @@ impl Lda {
                     // Full conditional: (N_dk + α)(N_kw + β)/(N_k + Vβ).
                     let mut total = 0.0;
                     for t in 0..k {
-                        let p = (doc_topic[d][t] as f64 + alpha)
-                            * (topic_word[t][w] as f64 + beta)
+                        let p = (doc_topic[d][t] as f64 + alpha) * (topic_word[t][w] as f64 + beta)
                             / (topic_total[t] as f64 + vbeta);
                         total += p;
                         weights[t] = total;
@@ -300,9 +299,8 @@ impl ThemeModel {
         let lda = Lda::fit(docs, vocab, &LdaConfig::new(topics, seed));
 
         // Topic-word probability vectors.
-        let dists: Vec<Vec<f64>> = (0..topics)
-            .map(|t| (0..vocab as u32).map(|w| lda.word_prob(t, w)).collect())
-            .collect();
+        let dists: Vec<Vec<f64>> =
+            (0..topics).map(|t| (0..vocab as u32).map(|w| lda.word_prob(t, w)).collect()).collect();
         let cosine = |a: &[f64], b: &[f64]| -> f64 {
             let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
             let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
@@ -383,9 +381,8 @@ impl ThemeModel {
             }
         }
         let mut ontology = Ontology::new("themes");
-        let super_nodes: Vec<NodeId> = (0..n_labels)
-            .map(|g| ontology.add_child(0, &format!("super-{g}")))
-            .collect();
+        let super_nodes: Vec<NodeId> =
+            (0..n_labels).map(|g| ontology.add_child(0, &format!("super-{g}"))).collect();
         let mut topic_node = vec![ontology.root(); topics];
         for (t, v) in votes.iter().enumerate() {
             let g = v
@@ -439,8 +436,7 @@ impl ThemeModel {
             .iter()
             .max_by(|a, b| {
                 let score = |members: &[usize]| -> f64 {
-                    let total: f64 =
-                        members.iter().map(|&t| self.lda.topic_total(t) as f64).sum();
+                    let total: f64 = members.iter().map(|&t| self.lda.topic_total(t) as f64).sum();
                     words
                         .iter()
                         .map(|&w| {
@@ -465,8 +461,7 @@ impl ThemeModel {
                     words
                         .iter()
                         .map(|&w| {
-                            ((self.lda.topic_word_count(t, w) as f64 + beta) / (total + vbeta))
-                                .ln()
+                            ((self.lda.topic_word_count(t, w) as f64 + beta) / (total + vbeta)).ln()
                         })
                         .sum::<f64>()
                         + (total + 1.0).ln()

@@ -47,8 +47,7 @@ pub fn tau_min(theta: f64, depths: impl IntoIterator<Item = u32>) -> u32 {
 /// ancestor at that depth (or the node itself if it is shallower).
 pub fn node_signature(ont: &Ontology, node: NodeId, tau_min: u32) -> NodeId {
     let d = ont.depth(node).min(tau_min);
-    ont.ancestor_at_depth(node, d)
-        .expect("depth clamped to node depth, ancestor must exist")
+    ont.ancestor_at_depth(node, d).expect("depth clamped to node depth, ancestor must exist")
 }
 
 #[cfg(test)]

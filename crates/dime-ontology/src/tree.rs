@@ -48,12 +48,8 @@ pub struct Ontology {
 impl Ontology {
     /// Creates an ontology containing only a root node named `root_name`.
     pub fn new(root_name: &str) -> Self {
-        let root = Node {
-            name: root_name.to_lowercase(),
-            parent: None,
-            depth: 1,
-            children: Vec::new(),
-        };
+        let root =
+            Node { name: root_name.to_lowercase(), parent: None, depth: 1, children: Vec::new() };
         let mut by_name = HashMap::new();
         by_name.insert(root.name.clone(), 0);
         Self { nodes: vec![root], by_name }
@@ -75,7 +71,12 @@ impl Ontology {
         }
         let id = self.nodes.len() as NodeId;
         let depth = self.nodes[parent as usize].depth + 1;
-        self.nodes.push(Node { name: key.clone(), parent: Some(parent), depth, children: Vec::new() });
+        self.nodes.push(Node {
+            name: key.clone(),
+            parent: Some(parent),
+            depth,
+            children: Vec::new(),
+        });
         self.nodes[parent as usize].children.push(id);
         self.by_name.insert(key, id);
         id
@@ -201,11 +202,7 @@ impl Ontology {
     /// calling [`Ontology::add_path`], and the JSON interchange format of
     /// the `dime` CLI.
     pub fn to_paths(&self) -> Vec<Vec<String>> {
-        self.leaves()
-            .into_iter()
-            .filter(|&l| l != self.root())
-            .map(|l| self.path_of(l))
-            .collect()
+        self.leaves().into_iter().filter(|&l| l != self.root()).map(|l| self.path_of(l)).collect()
     }
 
     /// Renders the tree as an indented outline (two spaces per level).

@@ -78,7 +78,9 @@ pub fn candidate_predicates(
             // A trivial threshold covers every pair and cannot discriminate.
             let trivial = match polarity {
                 Polarity::Positive => t <= 0.0 && func.higher_is_similar(),
-                Polarity::Negative => t >= 1.0 && func.higher_is_similar() && !matches!(func, SimilarityFn::Overlap),
+                Polarity::Negative => {
+                    t >= 1.0 && func.higher_is_similar() && !matches!(func, SimilarityFn::Overlap)
+                }
             };
             if trivial {
                 continue;
@@ -144,8 +146,7 @@ mod tests {
     fn thresholds_dedup_and_sort_descending() {
         let g = group();
         let lib = FunctionLibrary::new(vec![(0, SimilarityFn::Overlap)]);
-        let preds =
-            candidate_predicates(&g, &[(0, 1), (0, 1), (0, 2)], &lib, Polarity::Positive);
+        let preds = candidate_predicates(&g, &[(0, 1), (0, 1), (0, 2)], &lib, Polarity::Positive);
         let ts: Vec<f64> = preds.iter().map(|p| p.threshold).collect();
         assert_eq!(ts, vec![2.0]); // 0 pruned as trivial, 2 deduped
     }

@@ -27,10 +27,8 @@ pub fn enumerate_rules(
     let mut attrs: Vec<usize> = candidates.iter().map(|p| p.attr).collect();
     attrs.sort_unstable();
     attrs.dedup();
-    let per_attr: Vec<Vec<&Predicate>> = attrs
-        .iter()
-        .map(|&a| candidates.iter().filter(|p| p.attr == a).collect())
-        .collect();
+    let per_attr: Vec<Vec<&Predicate>> =
+        attrs.iter().map(|&a| candidates.iter().filter(|p| p.attr == a).collect()).collect();
     let total: usize = per_attr.iter().map(|v| v.len() + 1).product::<usize>() - 1;
     assert!(
         total <= max_rules_cap,
@@ -101,10 +99,8 @@ mod tests {
     use dime_text::TokenizerKind;
 
     fn toy() -> (Group, Vec<(usize, usize)>, Vec<(usize, usize)>) {
-        let schema = Schema::new([
-            ("Authors", TokenizerKind::List(',')),
-            ("Title", TokenizerKind::Words),
-        ]);
+        let schema =
+            Schema::new([("Authors", TokenizerKind::List(',')), ("Title", TokenizerKind::Words)]);
         let mut b = GroupBuilder::new(schema);
         b.add_entity(&["a, b, c", "data cleaning systems"]);
         b.add_entity(&["a, b", "data cleaning rules"]);
@@ -130,10 +126,8 @@ mod tests {
     #[test]
     fn multi_attribute_enumeration_counts() {
         let (g, pos, _) = toy();
-        let lib = FunctionLibrary::new(vec![
-            (0, SimilarityFn::Overlap),
-            (1, SimilarityFn::Jaccard),
-        ]);
+        let lib =
+            FunctionLibrary::new(vec![(0, SimilarityFn::Overlap), (1, SimilarityFn::Jaccard)]);
         let cands = candidate_predicates(&g, &pos, &lib, Polarity::Positive);
         let n0 = cands.iter().filter(|p| p.attr == 0).count();
         let n1 = cands.iter().filter(|p| p.attr == 1).count();

@@ -54,7 +54,8 @@ pub fn generate_rules_greedy(
     let mut unwanted_left: Vec<(usize, usize)> = unwanted.to_vec();
 
     while rules.len() < config.max_rules {
-        let Some(rule) = grow_rule(group, &wanted_left, &unwanted_left, &candidates, polarity, config)
+        let Some(rule) =
+            grow_rule(group, &wanted_left, &unwanted_left, &candidates, polarity, config)
         else {
             break;
         };
@@ -324,16 +325,25 @@ mod tests {
         // Pollute the negatives so a loose rule covers some of them.
         let lib = FunctionLibrary::new(vec![(0, SimilarityFn::Jaccard)]);
         let balanced = generate_rules_greedy_with_objective(
-            &g, &pos, &neg, &lib, Polarity::Positive, &GreedyConfig::default(),
+            &g,
+            &pos,
+            &neg,
+            &lib,
+            Polarity::Positive,
+            &GreedyConfig::default(),
             WeightedObjective::default(),
         );
         let cautious = generate_rules_greedy_with_objective(
-            &g, &pos, &neg, &lib, Polarity::Positive, &GreedyConfig::default(),
+            &g,
+            &pos,
+            &neg,
+            &lib,
+            Polarity::Positive,
+            &GreedyConfig::default(),
             WeightedObjective::precision_biased(5.0),
         );
-        let unwanted_cov = |rules: &[dime_core::Rule]| {
-            crate::objective::coverage(&g, rules, &pos, &neg).unwanted
-        };
+        let unwanted_cov =
+            |rules: &[dime_core::Rule]| crate::objective::coverage(&g, rules, &pos, &neg).unwanted;
         assert!(unwanted_cov(&cautious) <= unwanted_cov(&balanced));
     }
 
@@ -345,10 +355,8 @@ mod tests {
     /// we assert the outcome, not the predicate order.)
     #[test]
     fn paper_example_12_shape() {
-        let schema = Schema::new([
-            ("Authors", TokenizerKind::List(',')),
-            ("Venue", TokenizerKind::Words),
-        ]);
+        let schema =
+            Schema::new([("Authors", TokenizerKind::List(',')), ("Venue", TokenizerKind::Words)]);
         let mut venues = dime_ontology::Ontology::new("venue");
         for v in ["sigmod", "vldb", "icde"] {
             venues.add_path(&["cs", "database", v]);
@@ -365,10 +373,8 @@ mod tests {
         let g = b.build();
         let pos = vec![(0, 1), (0, 2), (1, 2)];
         let neg = vec![(0, 3), (0, 4), (1, 3), (1, 4), (2, 3), (2, 4)];
-        let lib = FunctionLibrary::new(vec![
-            (0, SimilarityFn::Overlap),
-            (1, SimilarityFn::Ontology),
-        ]);
+        let lib =
+            FunctionLibrary::new(vec![(0, SimilarityFn::Overlap), (1, SimilarityFn::Ontology)]);
         let rules = generate_positive_rules(&g, &pos, &neg, &lib, &GreedyConfig::default());
         assert!(!rules.is_empty());
         // The rule set must use the ontology signal somewhere — pure

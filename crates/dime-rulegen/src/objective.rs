@@ -137,11 +137,21 @@ mod tests {
         let g = group();
         let rule = Rule::positive(vec![Predicate::new(0, SimilarityFn::Overlap, 0.0)]);
         // Covers 1 wanted, 2 unwanted.
-        let balanced = score_with(&g, std::slice::from_ref(&rule), &[(0, 1)], &[(0, 2), (1, 2)],
-            WeightedObjective::default());
+        let balanced = score_with(
+            &g,
+            std::slice::from_ref(&rule),
+            &[(0, 1)],
+            &[(0, 2), (1, 2)],
+            WeightedObjective::default(),
+        );
         assert_eq!(balanced, -1.0);
-        let cautious = score_with(&g, std::slice::from_ref(&rule), &[(0, 1)], &[(0, 2), (1, 2)],
-            WeightedObjective::precision_biased(3.0));
+        let cautious = score_with(
+            &g,
+            std::slice::from_ref(&rule),
+            &[(0, 1)],
+            &[(0, 2), (1, 2)],
+            WeightedObjective::precision_biased(3.0),
+        );
         assert_eq!(cautious, 1.0 - 6.0);
     }
 

@@ -1,0 +1,192 @@
+//! A small blocking client for the discovery service — the same framed
+//! protocol as the server, one request/response pair at a time over a
+//! persistent connection.
+//!
+//! ```no_run
+//! use dime_serve::Client;
+//! use serde_json::json;
+//!
+//! let mut client = Client::connect("127.0.0.1:7878")?;
+//! let session = client.create_session(
+//!     &json!({"schema": [{"name": "Authors", "tokenizer": {"list": ","}}]}),
+//!     "positive: overlap(Authors) >= 2\nnegative: overlap(Authors) <= 0",
+//! )?;
+//! client.add_entities(session, &[json!(["ann, bob"]), json!(["ann, bob, carl"])])?;
+//! let report = client.discovery(session)?;
+//! println!("{}", report["pivot"]);
+//! # Ok::<(), dime_serve::ClientError>(())
+//! ```
+
+use crate::protocol::{
+    encode_frame, ErrorCode, Frame, FrameReader, ProtocolError, Request, Response,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+use serde_json::Value;
+use std::fmt;
+use std::io::{self, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Errors a [`Client`] call can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed (connect, read, write, or unexpected EOF).
+    Io(io::Error),
+    /// The server's reply violated the wire protocol.
+    Protocol(ProtocolError),
+    /// The server answered with a structured error response.
+    Server {
+        /// The machine-readable code.
+        code: ErrorCode,
+        /// The human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error {code}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// A blocking connection to a discovery server.
+pub struct Client {
+    reader: FrameReader<BufReader<TcpStream>>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server address.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: FrameReader::new(BufReader::new(stream), DEFAULT_MAX_FRAME_BYTES),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.writer.write_all(encode_frame(&req.to_value()).as_bytes())?;
+        self.writer.flush()?;
+        loop {
+            match self.reader.read_frame()? {
+                Frame::Eof => {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-request",
+                    )))
+                }
+                Frame::Oversized => {
+                    return Err(ClientError::Protocol(ProtocolError::new(
+                        ErrorCode::FrameTooLarge,
+                        "response frame exceeded the client-side cap",
+                    )))
+                }
+                Frame::Line(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let value: Value = serde_json::from_str(&line).map_err(|e| {
+                        ClientError::Protocol(ProtocolError::new(
+                            ErrorCode::BadFrame,
+                            format!("unparsable response: {e}"),
+                        ))
+                    })?;
+                    return Ok(Response::from_value(&value)?);
+                }
+            }
+        }
+    }
+
+    /// Sends one request, mapping error responses to [`ClientError::Server`].
+    pub fn call(&mut self, req: &Request) -> Result<Value, ClientError> {
+        match self.request(req)? {
+            Response::Ok(v) => Ok(v),
+            Response::Err { code, message } => Err(ClientError::Server { code, message }),
+        }
+    }
+
+    /// Health check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.call(&Request::Ping).map(|_| ())
+    }
+
+    /// Creates a session from a group document and a rules DSL string,
+    /// returning its id.
+    pub fn create_session(&mut self, group: &Value, rules: &str) -> Result<u64, ClientError> {
+        let v =
+            self.call(&Request::CreateSession { group: group.clone(), rules: rules.to_string() })?;
+        v.get("session").and_then(Value::as_u64).ok_or_else(|| {
+            ClientError::Protocol(ProtocolError::new(
+                ErrorCode::BadFrame,
+                "create_session reply carries no session id",
+            ))
+        })
+    }
+
+    /// Appends entity rows, returning the assigned ids.
+    pub fn add_entities(
+        &mut self,
+        session: u64,
+        entities: &[Value],
+    ) -> Result<Vec<usize>, ClientError> {
+        let v = self.call(&Request::AddEntities { session, entities: entities.to_vec() })?;
+        let ids = v.get("ids").and_then(Value::as_array).ok_or_else(|| {
+            ClientError::Protocol(ProtocolError::new(
+                ErrorCode::BadFrame,
+                "add_entities reply carries no ids",
+            ))
+        })?;
+        Ok(ids.iter().filter_map(Value::as_u64).map(|id| id as usize).collect())
+    }
+
+    /// Removes one entity by id.
+    pub fn remove_entity(&mut self, session: u64, entity: usize) -> Result<Value, ClientError> {
+        self.call(&Request::RemoveEntity { session, entity })
+    }
+
+    /// Runs discovery, returning the full report.
+    pub fn discovery(&mut self, session: u64) -> Result<Value, ClientError> {
+        self.call(&Request::Discovery { session })
+    }
+
+    /// Runs discovery, returning one scrollbar step.
+    pub fn scrollbar(&mut self, session: u64, step: usize) -> Result<Value, ClientError> {
+        self.call(&Request::Scrollbar { session, step })
+    }
+
+    /// Fetches global (`None`) or per-session counters.
+    pub fn stats(&mut self, session: Option<u64>) -> Result<Value, ClientError> {
+        self.call(&Request::Stats { session })
+    }
+
+    /// Drops a session.
+    pub fn close_session(&mut self, session: u64) -> Result<Value, ClientError> {
+        self.call(&Request::CloseSession { session })
+    }
+
+    /// Asks the server to drain and stop.
+    pub fn shutdown(&mut self) -> Result<Value, ClientError> {
+        self.call(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,65 @@
+//! A concurrent discovery service: many live groups, each backed by the
+//! incremental DIME engine, served over a newline-delimited JSON protocol
+//! on plain TCP — `std::net` and a worker pool of scoped threads, no
+//! async runtime.
+//!
+//! The moving parts:
+//!
+//! * [`protocol`](crate::protocol) — the framed request/response
+//!   vocabulary ([`Request`], [`Response`], [`ErrorCode`]) and the
+//!   size-capped [`FrameReader`], shared by server and client;
+//! * [`Server`] — accept loop + fixed worker pool over a sharded
+//!   [`SessionStore`](session::SessionStore), with per-request panic
+//!   isolation, admission limits, idle timeouts, and graceful
+//!   drain-on-shutdown;
+//! * [`Client`] — a small blocking client library;
+//! * [`metrics`](crate::metrics) — per-session and global counters
+//!   surfaced by the `stats` operation.
+//!
+//! Start a server and talk to it:
+//!
+//! ```
+//! use dime_serve::{Client, ServeConfig, Server};
+//! use serde_json::json;
+//!
+//! let server = Server::bind(ServeConfig { workers: 2, ..ServeConfig::default() })?;
+//! let addr = server.local_addr();
+//! let runner = std::thread::spawn(move || server.run());
+//!
+//! let mut client = Client::connect(addr)?;
+//! let session = client.create_session(
+//!     &json!({"schema": [{"name": "Authors", "tokenizer": {"list": ","}}]}),
+//!     "positive: overlap(Authors) >= 2\nnegative: overlap(Authors) <= 0",
+//! )?;
+//! client.add_entities(session, &[
+//!     json!(["ann, bob"]),
+//!     json!(["ann, bob, carl"]),
+//!     json!(["dora"]),
+//! ])?;
+//! let report = client.discovery(session)?;
+//! assert_eq!(report["mis_categorized"][0]["id"], 2);
+//!
+//! client.shutdown()?;              // drains in-flight work, then stops
+//! runner.join().unwrap()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The same group/rules formats drive the `dime serve` / `dime client`
+//! CLI subcommands; `examples/streaming_profile.rs` in the root crate
+//! walks the underlying incremental engine directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+mod server;
+pub mod session;
+
+pub use client::{Client, ClientError};
+pub use protocol::{
+    encode_frame, ErrorCode, Frame, FrameReader, ProtocolError, Request, Response,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+pub use server::{ServeConfig, Server, ServerHandle};

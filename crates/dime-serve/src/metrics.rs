@@ -1,0 +1,206 @@
+//! Observability counters: lock-free global counters shared by every
+//! worker, plus per-session counters mutated under the session lock.
+//!
+//! Both surface through the `stats` operation — `{"op": "stats"}` returns
+//! the global view, `{"op": "stats", "session": id}` one session's view.
+
+use serde_json::{json, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A latency aggregate: count, total, and max, in microseconds.
+///
+/// Uses relaxed atomics throughout — the three cells are independently
+/// monotone, so a reader may observe a total slightly ahead of the count
+/// (or vice versa), which is fine for monitoring counters.
+#[derive(Debug, Default)]
+pub struct LatencyStat {
+    count: AtomicU64,
+    total_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl LatencyStat {
+    /// Records one measured duration.
+    pub fn record(&self, elapsed: Duration) {
+        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Snapshot as `{count, total_micros, max_micros, mean_micros}`.
+    pub fn to_value(&self) -> Value {
+        let count = self.count.load(Ordering::Relaxed);
+        let total = self.total_micros.load(Ordering::Relaxed);
+        json!({
+            "count": count,
+            "total_micros": total,
+            "max_micros": self.max_micros.load(Ordering::Relaxed),
+            "mean_micros": if count == 0 { 0 } else { total / count },
+        })
+    }
+}
+
+/// Server-wide counters, updated lock-free by every worker.
+#[derive(Debug, Default)]
+pub struct GlobalMetrics {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Requests handled (including ones answered with an error).
+    pub requests: AtomicU64,
+    /// Requests answered with an error response.
+    pub errors: AtomicU64,
+    /// Frames dropped for exceeding the size cap.
+    pub oversized_frames: AtomicU64,
+    /// Sessions created over the server's lifetime.
+    pub sessions_created: AtomicU64,
+    /// Sessions closed over the server's lifetime.
+    pub sessions_closed: AtomicU64,
+    /// Entities added across all sessions.
+    pub entities_added: AtomicU64,
+    /// Entities removed across all sessions.
+    pub entities_removed: AtomicU64,
+    /// Discovery/scrollbar runs across all sessions.
+    pub discoveries: AtomicU64,
+    /// Candidate pairs verified by sessions that have since closed; the
+    /// global `pairs_verified` figure is this plus the live-session sum,
+    /// so closing a session never loses its work from the total.
+    pub pairs_verified_closed: AtomicU64,
+    /// Latency of discovery/scrollbar runs (the flagging pipeline).
+    pub flag_latency: LatencyStat,
+}
+
+impl GlobalMetrics {
+    /// Bumps a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot of every counter, with the live-session gauge and the
+    /// live sessions' verified-pair sum supplied by the caller (both live
+    /// in the session store, not here). The reported `pairs_verified`
+    /// also folds in pairs banked from closed sessions.
+    pub fn to_value(&self, sessions_live: u64, pairs_verified_live: u64) -> Value {
+        let pairs_verified =
+            self.pairs_verified_closed.load(Ordering::Relaxed).saturating_add(pairs_verified_live);
+        json!({
+            "connections": self.connections.load(Ordering::Relaxed),
+            "requests": self.requests.load(Ordering::Relaxed),
+            "errors": self.errors.load(Ordering::Relaxed),
+            "oversized_frames": self.oversized_frames.load(Ordering::Relaxed),
+            "sessions": {
+                "created": self.sessions_created.load(Ordering::Relaxed),
+                "closed": self.sessions_closed.load(Ordering::Relaxed),
+                "live": sessions_live,
+            },
+            "entities_added": self.entities_added.load(Ordering::Relaxed),
+            "entities_removed": self.entities_removed.load(Ordering::Relaxed),
+            "discoveries": self.discoveries.load(Ordering::Relaxed),
+            "pairs_verified": pairs_verified,
+            "flag_latency": self.flag_latency.to_value(),
+        })
+    }
+}
+
+/// Per-session counters; mutated only under the owning session's lock, so
+/// plain integers suffice.
+#[derive(Debug, Default, Clone)]
+pub struct SessionMetrics {
+    /// Requests routed to this session.
+    pub requests: u64,
+    /// Entities added to this session.
+    pub entities_added: u64,
+    /// Entities removed from this session.
+    pub entities_removed: u64,
+    /// Discovery/scrollbar runs on this session.
+    pub discoveries: u64,
+    /// Count of discovery latency samples.
+    pub flag_count: u64,
+    /// Sum of discovery latencies, in microseconds.
+    pub flag_total_micros: u64,
+    /// Max discovery latency, in microseconds.
+    pub flag_max_micros: u64,
+}
+
+impl SessionMetrics {
+    /// Records one discovery latency sample.
+    pub fn record_flag_latency(&mut self, elapsed: Duration) {
+        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        self.flag_count += 1;
+        self.flag_total_micros += micros;
+        self.flag_max_micros = self.flag_max_micros.max(micros);
+    }
+
+    /// Snapshot, with the live-entity count and the engine's verified-pair
+    /// counter supplied by the caller.
+    pub fn to_value(&self, entities: usize, pairs_verified: u64) -> Value {
+        json!({
+            "requests": self.requests,
+            "entities": entities,
+            "entities_added": self.entities_added,
+            "entities_removed": self.entities_removed,
+            "discoveries": self.discoveries,
+            "pairs_verified": pairs_verified,
+            "flag_latency": {
+                "count": self.flag_count,
+                "total_micros": self.flag_total_micros,
+                "max_micros": self.flag_max_micros,
+                "mean_micros": if self.flag_count == 0 { 0 } else { self.flag_total_micros / self.flag_count },
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stat_aggregates() {
+        let s = LatencyStat::default();
+        s.record(Duration::from_micros(10));
+        s.record(Duration::from_micros(30));
+        let v = s.to_value();
+        assert_eq!(v["count"], 2);
+        assert_eq!(v["total_micros"], 40);
+        assert_eq!(v["max_micros"], 30);
+        assert_eq!(v["mean_micros"], 20);
+    }
+
+    #[test]
+    fn session_metrics_snapshot() {
+        let mut m = SessionMetrics::default();
+        m.requests = 3;
+        m.record_flag_latency(Duration::from_micros(8));
+        let v = m.to_value(5, 17);
+        assert_eq!(v["requests"], 3);
+        assert_eq!(v["entities"], 5);
+        assert_eq!(v["pairs_verified"], 17);
+        assert_eq!(v["flag_latency"]["count"], 1);
+    }
+
+    #[test]
+    fn global_metrics_snapshot_includes_gauges() {
+        let g = GlobalMetrics::default();
+        GlobalMetrics::bump(&g.requests);
+        GlobalMetrics::add(&g.entities_added, 4);
+        let v = g.to_value(2, 9);
+        assert_eq!(v["requests"], 1);
+        assert_eq!(v["entities_added"], 4);
+        assert_eq!(v["sessions"]["live"], 2);
+        assert_eq!(v["pairs_verified"], 9);
+    }
+
+    #[test]
+    fn closed_session_pairs_fold_into_global_total() {
+        let g = GlobalMetrics::default();
+        GlobalMetrics::add(&g.pairs_verified_closed, 5);
+        assert_eq!(g.to_value(1, 9)["pairs_verified"], 14);
+    }
+}

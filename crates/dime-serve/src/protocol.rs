@@ -1,0 +1,597 @@
+//! The wire protocol of the discovery service: newline-delimited JSON
+//! frames over TCP, one request or response object per line.
+//!
+//! A request is a JSON object whose `"op"` field selects the operation:
+//!
+//! | op               | fields                         | reply data                      |
+//! |------------------|--------------------------------|---------------------------------|
+//! | `ping`           | —                              | `{"pong": true}`                |
+//! | `create_session` | `group` (doc), `rules` (DSL)   | `{"session": id, "entities": n}`|
+//! | `add_entities`   | `session`, `entities` (rows)   | `{"ids": [...], "entities": n}` |
+//! | `remove_entity`  | `session`, `entity`            | `{"removed": id, "entities": n}`|
+//! | `discovery`      | `session`                      | full discovery report           |
+//! | `scrollbar`      | `session`, `step`              | one scrollbar step              |
+//! | `stats`          | optional `session`             | counters                        |
+//! | `close_session`  | `session`                      | `{"closed": id}`                |
+//! | `shutdown`       | —                              | `{"shutting_down": true}`       |
+//!
+//! `group` uses the same document format as `dime_data::load_group_json`
+//! (schema + optional ontologies + optional initial entities); `rules` is
+//! the textual DSL of `dime_core::parse_rules`. Entity rows are arrays in
+//! schema order or objects keyed by attribute name.
+//!
+//! A response is `{"ok": <data>}` or
+//! `{"err": {"code": "...", "message": "..."}}`. Error codes are the
+//! machine-readable [`ErrorCode`] set; messages are human-readable and not
+//! part of the stable surface.
+//!
+//! Framing is handled by [`FrameReader`], which enforces a maximum frame
+//! size *while* reading — an oversized line is discarded (up to its
+//! newline) and surfaced as [`Frame::Oversized`] so a server can answer
+//! with a structured error instead of buffering without bound or killing
+//! the connection.
+
+use serde_json::{json, Value};
+use std::fmt;
+use std::io::{self, BufRead};
+
+/// Default cap on a single frame (request or response line), in bytes.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Machine-readable error codes of the wire protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame was not a valid JSON object.
+    BadFrame,
+    /// The frame exceeded the server's maximum frame size.
+    FrameTooLarge,
+    /// The `"op"` field named no known operation.
+    UnknownOp,
+    /// The request was structurally invalid (missing/ill-typed fields,
+    /// unparsable group or rules, out-of-range step, ...).
+    BadRequest,
+    /// The named session does not exist (never created, or closed).
+    NoSuchSession,
+    /// The named entity does not exist in the session.
+    NoSuchEntity,
+    /// Discovery was requested on a session with no entities.
+    EmptyGroup,
+    /// The request carried more entities than the admission limit allows.
+    TooManyEntities,
+    /// The server is at its session-count limit.
+    TooManySessions,
+    /// The server is draining for shutdown and accepts no new sessions.
+    ShuttingDown,
+    /// The server failed internally (e.g. a panicking handler).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadFrame => "bad_frame",
+            ErrorCode::FrameTooLarge => "frame_too_large",
+            ErrorCode::UnknownOp => "unknown_op",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::NoSuchSession => "no_such_session",
+            ErrorCode::NoSuchEntity => "no_such_entity",
+            ErrorCode::EmptyGroup => "empty_group",
+            ErrorCode::TooManyEntities => "too_many_entities",
+            ErrorCode::TooManySessions => "too_many_sessions",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire spelling back into a code.
+    pub fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "bad_frame" => ErrorCode::BadFrame,
+            "frame_too_large" => ErrorCode::FrameTooLarge,
+            "unknown_op" => ErrorCode::UnknownOp,
+            "bad_request" => ErrorCode::BadRequest,
+            "no_such_session" => ErrorCode::NoSuchSession,
+            "no_such_entity" => ErrorCode::NoSuchEntity,
+            "empty_group" => ErrorCode::EmptyGroup,
+            "too_many_entities" => ErrorCode::TooManyEntities,
+            "too_many_sessions" => ErrorCode::TooManySessions,
+            "shutting_down" => ErrorCode::ShuttingDown,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// Every code, for exhaustive round-trip tests.
+    pub const ALL: [ErrorCode; 11] = [
+        ErrorCode::BadFrame,
+        ErrorCode::FrameTooLarge,
+        ErrorCode::UnknownOp,
+        ErrorCode::BadRequest,
+        ErrorCode::NoSuchSession,
+        ErrorCode::NoSuchEntity,
+        ErrorCode::EmptyGroup,
+        ErrorCode::TooManyEntities,
+        ErrorCode::TooManySessions,
+        ErrorCode::ShuttingDown,
+        ErrorCode::Internal,
+    ];
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A structured protocol failure: the code to answer with plus a
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// The machine-readable code.
+    pub code: ErrorCode,
+    /// The human-readable description.
+    pub message: String,
+}
+
+impl ProtocolError {
+    /// Builds an error from a code and message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self { code, message: message.into() }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn bad(message: impl Into<String>) -> ProtocolError {
+    ProtocolError::new(ErrorCode::BadRequest, message)
+}
+
+/// A request of the discovery service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Health check.
+    Ping,
+    /// Creates a session from a group document and a rules DSL string.
+    CreateSession {
+        /// The group document (`dime_data::load_group_json` format).
+        group: Value,
+        /// The rule set in the textual DSL, at least one positive and one
+        /// negative rule.
+        rules: String,
+    },
+    /// Appends entities (rows in schema order or keyed objects).
+    AddEntities {
+        /// Target session id.
+        session: u64,
+        /// The entity rows.
+        entities: Vec<Value>,
+    },
+    /// Removes one entity by id (later ids shift down by one).
+    RemoveEntity {
+        /// Target session id.
+        session: u64,
+        /// The entity id to remove.
+        entity: usize,
+    },
+    /// Runs discovery and returns the full report.
+    Discovery {
+        /// Target session id.
+        session: u64,
+    },
+    /// Runs discovery and returns a single scrollbar step.
+    Scrollbar {
+        /// Target session id.
+        session: u64,
+        /// 0-based scrollbar position (negative rules `0..=step` enabled).
+        step: usize,
+    },
+    /// Returns global counters, or one session's counters.
+    Stats {
+        /// Restrict to one session when set.
+        session: Option<u64>,
+    },
+    /// Drops a session and frees its state.
+    CloseSession {
+        /// Target session id.
+        session: u64,
+    },
+    /// Asks the server to drain in-flight work and stop.
+    Shutdown,
+}
+
+impl Request {
+    /// The wire spelling of this request's operation.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::CreateSession { .. } => "create_session",
+            Request::AddEntities { .. } => "add_entities",
+            Request::RemoveEntity { .. } => "remove_entity",
+            Request::Discovery { .. } => "discovery",
+            Request::Scrollbar { .. } => "scrollbar",
+            Request::Stats { .. } => "stats",
+            Request::CloseSession { .. } => "close_session",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// Encodes the request as a JSON value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Request::Ping => json!({"op": "ping"}),
+            Request::CreateSession { group, rules } => {
+                json!({"op": "create_session", "group": group, "rules": rules})
+            }
+            Request::AddEntities { session, entities } => {
+                json!({"op": "add_entities", "session": session, "entities": entities})
+            }
+            Request::RemoveEntity { session, entity } => {
+                json!({"op": "remove_entity", "session": session, "entity": entity})
+            }
+            Request::Discovery { session } => json!({"op": "discovery", "session": session}),
+            Request::Scrollbar { session, step } => {
+                json!({"op": "scrollbar", "session": session, "step": step})
+            }
+            Request::Stats { session: Some(s) } => json!({"op": "stats", "session": s}),
+            Request::Stats { session: None } => json!({"op": "stats"}),
+            Request::CloseSession { session } => {
+                json!({"op": "close_session", "session": session})
+            }
+            Request::Shutdown => json!({"op": "shutdown"}),
+        }
+    }
+
+    /// Decodes a request from a JSON value, with structured errors for
+    /// unknown operations and missing/ill-typed fields.
+    pub fn from_value(value: &Value) -> Result<Self, ProtocolError> {
+        let obj = value.as_object().ok_or_else(|| bad("request must be a JSON object"))?;
+        let op = match obj.get("op") {
+            Some(v) => v.as_str().ok_or_else(|| bad("\"op\" must be a string"))?,
+            None => return Err(bad("missing \"op\" field")),
+        };
+        Ok(match op {
+            "ping" => Request::Ping,
+            "create_session" => Request::CreateSession {
+                group: need(obj, "create_session", "group")?.clone(),
+                rules: need_str(obj, "create_session", "rules")?.to_string(),
+            },
+            "add_entities" => Request::AddEntities {
+                session: need_u64(obj, "add_entities", "session")?,
+                entities: need(obj, "add_entities", "entities")?
+                    .as_array()
+                    .ok_or_else(|| bad("add_entities: \"entities\" must be an array"))?
+                    .clone(),
+            },
+            "remove_entity" => Request::RemoveEntity {
+                session: need_u64(obj, "remove_entity", "session")?,
+                entity: need_u64(obj, "remove_entity", "entity")? as usize,
+            },
+            "discovery" => Request::Discovery { session: need_u64(obj, "discovery", "session")? },
+            "scrollbar" => Request::Scrollbar {
+                session: need_u64(obj, "scrollbar", "session")?,
+                step: need_u64(obj, "scrollbar", "step")? as usize,
+            },
+            "stats" => Request::Stats {
+                session: match obj.get("session") {
+                    None | Some(Value::Null) => None,
+                    Some(v) => Some(
+                        v.as_u64()
+                            .ok_or_else(|| bad("stats: \"session\" must be an unsigned integer"))?,
+                    ),
+                },
+            },
+            "close_session" => {
+                Request::CloseSession { session: need_u64(obj, "close_session", "session")? }
+            }
+            "shutdown" => Request::Shutdown,
+            other => {
+                return Err(ProtocolError::new(
+                    ErrorCode::UnknownOp,
+                    format!("unknown op {other:?}"),
+                ))
+            }
+        })
+    }
+}
+
+fn need<'a>(
+    obj: &'a serde_json::Map<String, Value>,
+    op: &str,
+    key: &str,
+) -> Result<&'a Value, ProtocolError> {
+    obj.get(key).ok_or_else(|| bad(format!("{op}: missing \"{key}\" field")))
+}
+
+fn need_str<'a>(
+    obj: &'a serde_json::Map<String, Value>,
+    op: &str,
+    key: &str,
+) -> Result<&'a str, ProtocolError> {
+    need(obj, op, key)?.as_str().ok_or_else(|| bad(format!("{op}: \"{key}\" must be a string")))
+}
+
+fn need_u64(
+    obj: &serde_json::Map<String, Value>,
+    op: &str,
+    key: &str,
+) -> Result<u64, ProtocolError> {
+    need(obj, op, key)?
+        .as_u64()
+        .ok_or_else(|| bad(format!("{op}: \"{key}\" must be an unsigned integer")))
+}
+
+/// A response of the discovery service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Success, with the operation-specific payload.
+    Ok(Value),
+    /// Failure, with a machine-readable code and a human-readable message.
+    Err {
+        /// The machine-readable code.
+        code: ErrorCode,
+        /// The human-readable description.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Builds an error response.
+    pub fn err(code: ErrorCode, message: impl Into<String>) -> Self {
+        Response::Err { code, message: message.into() }
+    }
+
+    /// Whether this is a success response.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Response::Ok(_))
+    }
+
+    /// Encodes the response as a JSON value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Response::Ok(data) => json!({"ok": data}),
+            Response::Err { code, message } => {
+                json!({"err": {"code": code.as_str(), "message": message}})
+            }
+        }
+    }
+
+    /// Decodes a response from a JSON value.
+    pub fn from_value(value: &Value) -> Result<Self, ProtocolError> {
+        let obj = value.as_object().ok_or_else(|| bad("response must be a JSON object"))?;
+        if let Some(data) = obj.get("ok") {
+            return Ok(Response::Ok(data.clone()));
+        }
+        let err = obj
+            .get("err")
+            .and_then(Value::as_object)
+            .ok_or_else(|| bad("response must carry \"ok\" or an \"err\" object"))?;
+        let code = err
+            .get("code")
+            .and_then(Value::as_str)
+            .and_then(ErrorCode::from_str)
+            .ok_or_else(|| bad("error response carries no known \"code\""))?;
+        let message = err.get("message").and_then(Value::as_str).unwrap_or_default().to_string();
+        Ok(Response::Err { code, message })
+    }
+}
+
+/// Encodes one value as a wire frame: compact JSON plus the terminating
+/// newline. Compact JSON never contains a raw newline (control characters
+/// inside strings are escaped), so framing is unambiguous.
+pub fn encode_frame(value: &Value) -> String {
+    let mut s = serde_json::to_string(value).unwrap_or_else(|_| {
+        r#"{"err":{"code":"internal","message":"response encoding failed"}}"#.to_string()
+    });
+    s.push('\n');
+    s
+}
+
+/// One framing outcome from [`FrameReader::read_frame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// The peer closed the connection (no partial frame pending).
+    Eof,
+    /// One complete line (without its newline).
+    Line(String),
+    /// A line exceeded the frame cap; it was discarded up to its newline
+    /// and the stream is re-synchronized for the next frame.
+    Oversized,
+}
+
+/// A newline-delimited frame reader with a hard per-frame size cap.
+///
+/// Reads never buffer more than the cap: once a line exceeds it, the
+/// reader switches to discard mode, consumes up to the terminating
+/// newline, and reports [`Frame::Oversized`] — the connection stays usable.
+/// Partial frames survive read timeouts (`WouldBlock`/`TimedOut` are
+/// returned to the caller with all buffered bytes retained), which is what
+/// lets a server poll its shutdown flag between reads without corrupting
+/// a slowly-arriving frame.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    partial: Vec<u8>,
+    discarding: bool,
+    max_bytes: usize,
+}
+
+impl<R: BufRead> FrameReader<R> {
+    /// Wraps a buffered reader with the given per-frame cap.
+    pub fn new(inner: R, max_bytes: usize) -> Self {
+        Self { inner, partial: Vec::new(), discarding: false, max_bytes }
+    }
+
+    /// Reads the next frame. `WouldBlock`/`TimedOut` IO errors surface as
+    /// `Err` with the partial frame retained; call again to resume.
+    pub fn read_frame(&mut self) -> io::Result<Frame> {
+        loop {
+            let buf = match self.inner.fill_buf() {
+                Ok(b) => b,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if buf.is_empty() {
+                // EOF. A trailing unterminated line still counts as a frame.
+                if self.discarding {
+                    self.discarding = false;
+                    return Ok(Frame::Oversized);
+                }
+                if self.partial.is_empty() {
+                    return Ok(Frame::Eof);
+                }
+                let line = String::from_utf8_lossy(&self.partial).into_owned();
+                self.partial.clear();
+                return Ok(Frame::Line(line));
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if self.discarding {
+                        self.inner.consume(pos + 1);
+                        self.discarding = false;
+                        return Ok(Frame::Oversized);
+                    }
+                    self.partial.extend_from_slice(&buf[..pos]);
+                    self.inner.consume(pos + 1);
+                    if self.partial.len() > self.max_bytes {
+                        self.partial.clear();
+                        return Ok(Frame::Oversized);
+                    }
+                    let mut line = std::mem::take(&mut self.partial);
+                    // Tolerate CRLF peers.
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return Ok(Frame::Line(String::from_utf8_lossy(&line).into_owned()));
+                }
+                None => {
+                    let n = buf.len();
+                    if !self.discarding {
+                        self.partial.extend_from_slice(buf);
+                        if self.partial.len() > self.max_bytes {
+                            self.partial.clear();
+                            self.discarding = true;
+                        }
+                    }
+                    self.inner.consume(n);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: &Request) {
+        let line = encode_frame(&req.to_value());
+        let value: Value = serde_json::from_str(line.trim_end()).unwrap();
+        assert_eq!(&Request::from_value(&value).unwrap(), req);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(&Request::Ping);
+        roundtrip_request(&Request::CreateSession {
+            group: json!({"schema": [{"name": "A"}], "entities": []}),
+            rules: "positive: overlap(A) >= 1\nnegative: overlap(A) <= 0".into(),
+        });
+        roundtrip_request(&Request::AddEntities {
+            session: 7,
+            entities: vec![json!(["x"]), json!({"A": "y"})],
+        });
+        roundtrip_request(&Request::RemoveEntity { session: 7, entity: 3 });
+        roundtrip_request(&Request::Discovery { session: 1 });
+        roundtrip_request(&Request::Scrollbar { session: 1, step: 2 });
+        roundtrip_request(&Request::Stats { session: None });
+        roundtrip_request(&Request::Stats { session: Some(4) });
+        roundtrip_request(&Request::CloseSession { session: 4 });
+        roundtrip_request(&Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            Response::Ok(json!({"pong": true})),
+            Response::Ok(Value::Null),
+            Response::err(ErrorCode::NoSuchSession, "session 9 does not exist"),
+        ] {
+            let line = encode_frame(&resp.to_value());
+            let value: Value = serde_json::from_str(line.trim_end()).unwrap();
+            assert_eq!(Response::from_value(&value).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn error_codes_roundtrip() {
+        for code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::from_str(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_str("sorcery"), None);
+    }
+
+    #[test]
+    fn unknown_op_and_missing_fields_are_structured() {
+        let e = Request::from_value(&json!({"op": "sorcery"})).unwrap_err();
+        assert_eq!(e.code, ErrorCode::UnknownOp);
+        let e = Request::from_value(&json!({"op": "discovery"})).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        let e = Request::from_value(&json!({"op": "discovery", "session": "one"})).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        let e = Request::from_value(&json!([1, 2])).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        let e = Request::from_value(&json!({"session": 1})).unwrap_err();
+        assert!(e.message.contains("op"), "{e}");
+    }
+
+    #[test]
+    fn frame_reader_splits_lines() {
+        let data = b"{\"op\":\"ping\"}\n{\"op\":\"shutdown\"}\nrest-without-newline";
+        let mut r = FrameReader::new(&data[..], 1 << 10);
+        assert_eq!(r.read_frame().unwrap(), Frame::Line("{\"op\":\"ping\"}".into()));
+        assert_eq!(r.read_frame().unwrap(), Frame::Line("{\"op\":\"shutdown\"}".into()));
+        assert_eq!(r.read_frame().unwrap(), Frame::Line("rest-without-newline".into()));
+        assert_eq!(r.read_frame().unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn frame_reader_discards_oversized_lines_and_resyncs() {
+        let mut data = vec![b'x'; 100];
+        data.push(b'\n');
+        data.extend_from_slice(b"ok\n");
+        let mut r = FrameReader::new(&data[..], 16);
+        assert_eq!(r.read_frame().unwrap(), Frame::Oversized);
+        assert_eq!(r.read_frame().unwrap(), Frame::Line("ok".into()));
+        assert_eq!(r.read_frame().unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn frame_reader_oversized_at_eof() {
+        let data = vec![b'x'; 64];
+        let mut r = FrameReader::new(&data[..], 16);
+        assert_eq!(r.read_frame().unwrap(), Frame::Oversized);
+        assert_eq!(r.read_frame().unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn frame_reader_strips_carriage_returns() {
+        let data = b"{\"op\":\"ping\"}\r\n";
+        let mut r = FrameReader::new(&data[..], 1 << 10);
+        assert_eq!(r.read_frame().unwrap(), Frame::Line("{\"op\":\"ping\"}".into()));
+    }
+
+    #[test]
+    fn encode_frame_is_single_line() {
+        let v = json!({"text": "line one\nline two", "n": 3});
+        let frame = encode_frame(&v);
+        assert_eq!(frame.matches('\n').count(), 1);
+        assert!(frame.ends_with('\n'));
+    }
+}

@@ -1,0 +1,766 @@
+//! The discovery server: a blocking accept loop feeding a fixed pool of
+//! scoped worker threads (the `std::thread::scope` idiom of
+//! `dime-core/src/par.rs` — coarse, pre-balanced work units need no
+//! work-stealing or async runtime).
+//!
+//! Each accepted connection is owned by one worker for its lifetime and
+//! served serially: frames are read through the size-capped
+//! [`FrameReader`], dispatched against the sharded [`SessionStore`], and
+//! answered in order, so pipelined requests get pipelined responses.
+//! Whitespace-only lines are ignored (a trailing newline from shell
+//! clients is not an error).
+//!
+//! Shutdown is graceful by construction: the `shutdown` request (or
+//! [`ServerHandle::shutdown`]) sets a flag and wakes the accept loop with
+//! a self-connection. The accept loop stops handing out new connections;
+//! every worker keeps serving its connection until the peer closes or two
+//! consecutive poll intervals pass with no new frame — fully received
+//! requests are in-flight work and always get their response. `run`
+//! returns once every worker has drained.
+
+use crate::metrics::GlobalMetrics;
+use crate::protocol::{
+    encode_frame, ErrorCode, Frame, FrameReader, Request, Response, DEFAULT_MAX_FRAME_BYTES,
+};
+use crate::session::{lock, Session, SessionStore};
+use dime_core::{parse_rules, IncrementalDime, Polarity, Rule};
+use dime_data::{discovery_to_json, entity_row_values, load_group_value};
+use serde_json::{json, Value};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks a free port.
+    pub addr: String,
+    /// Worker threads; `0` resolves to the available cores, floored at 4
+    /// so a small box still serves several persistent connections.
+    pub workers: usize,
+    /// Hard cap on one request or response frame, in bytes.
+    pub max_frame_bytes: usize,
+    /// Admission limit on entities per `create_session`/`add_entities`.
+    pub max_entities_per_request: usize,
+    /// Cap on concurrently live sessions.
+    pub max_sessions: usize,
+    /// Shard count of the session store.
+    pub session_shards: usize,
+    /// Read-poll granularity — how often an idle worker re-checks the
+    /// shutdown flag; also the unit of the drain grace period.
+    pub poll_interval: Duration,
+    /// Connections idle longer than this are closed.
+    pub idle_timeout: Duration,
+    /// Write timeout per response frame.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            max_entities_per_request: 4096,
+            max_sessions: 4096,
+            session_shards: 8,
+            poll_interval: Duration::from_millis(25),
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Resolves the worker knob: `0` means available cores, floored at 4.
+fn resolve_workers(workers: usize) -> usize {
+    if workers == 0 {
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1).max(4)
+    } else {
+        workers
+    }
+}
+
+/// State shared by the accept loop, the workers, and [`ServerHandle`]s.
+struct Shared {
+    store: SessionStore,
+    metrics: GlobalMetrics,
+    shutdown: AtomicBool,
+    config: ServeConfig,
+    addr: SocketAddr,
+    started: Instant,
+}
+
+impl Shared {
+    /// Sets the shutdown flag and wakes the blocking accept loop with a
+    /// self-connection (dropped immediately; the loop re-checks the flag
+    /// before handing a connection to the pool).
+    fn initiate_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+}
+
+/// A cloneable handle for observing and stopping a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Initiates graceful shutdown, equivalent to a `shutdown` request.
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Whether shutdown has been initiated.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound, not-yet-running discovery server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the configured address. The server does not accept
+    /// connections until [`Server::run`] is called.
+    pub fn bind(config: ServeConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            store: SessionStore::new(config.session_shards, config.max_sessions),
+            metrics: GlobalMetrics::default(),
+            shutdown: AtomicBool::new(false),
+            config,
+            addr,
+            started: Instant::now(),
+        });
+        Ok(Self { listener, shared })
+    }
+
+    /// The bound address (with the real port when `0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A handle for stopping the server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Serves until shutdown is initiated, then drains: queued and live
+    /// connections finish their buffered requests before workers exit.
+    pub fn run(self) -> io::Result<()> {
+        let workers = resolve_workers(self.shared.config.workers);
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&self.shared);
+                scope.spawn(move || worker_loop(&rx, &shared));
+            }
+            for stream in self.listener.incoming() {
+                if self.shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    GlobalMetrics::bump(&self.shared.metrics.connections);
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+            }
+            // Dropping the sender lets workers drain the queued
+            // connections and exit; the scope joins them all.
+            drop(tx);
+        });
+        Ok(())
+    }
+}
+
+/// Pulls connections off the shared queue until the accept loop hangs up,
+/// serving each to completion. Holding the receiver lock across `recv` is
+/// deliberate: exactly one idle worker blocks on the channel while the
+/// rest wait on the mutex, and both unblock cleanly on disconnect.
+fn worker_loop(rx: &Mutex<mpsc::Receiver<TcpStream>>, shared: &Shared) {
+    loop {
+        let stream = match lock(rx).recv() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        handle_connection(stream, shared);
+    }
+}
+
+/// Serves one connection until EOF, an IO error, idle timeout, or the
+/// post-shutdown drain grace expires.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let cfg = &shared.config;
+    if stream.set_read_timeout(Some(cfg.poll_interval)).is_err()
+        || stream.set_write_timeout(Some(cfg.write_timeout)).is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = FrameReader::new(io::BufReader::new(stream), cfg.max_frame_bytes);
+    let mut idle = Duration::ZERO;
+    let mut shutdown_polls = 0u32;
+    loop {
+        match reader.read_frame() {
+            Ok(Frame::Eof) => return,
+            Ok(Frame::Oversized) => {
+                idle = Duration::ZERO;
+                shutdown_polls = 0;
+                GlobalMetrics::bump(&shared.metrics.oversized_frames);
+                GlobalMetrics::bump(&shared.metrics.requests);
+                GlobalMetrics::bump(&shared.metrics.errors);
+                let resp = Response::err(
+                    ErrorCode::FrameTooLarge,
+                    format!("frame exceeds {} bytes", cfg.max_frame_bytes),
+                );
+                if write_response(&mut writer, &resp).is_err() {
+                    return;
+                }
+            }
+            Ok(Frame::Line(line)) => {
+                idle = Duration::ZERO;
+                shutdown_polls = 0;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (resp, is_shutdown) = process_line(&line, shared);
+                GlobalMetrics::bump(&shared.metrics.requests);
+                if !resp.is_ok() {
+                    GlobalMetrics::bump(&shared.metrics.errors);
+                }
+                if write_response(&mut writer, &resp).is_err() {
+                    return;
+                }
+                if is_shutdown {
+                    shared.initiate_shutdown();
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // Drain grace: two consecutive empty polls mean no
+                    // buffered request remains on this connection.
+                    shutdown_polls += 1;
+                    if shutdown_polls >= 2 {
+                        return;
+                    }
+                } else {
+                    idle += cfg.poll_interval;
+                    if idle >= cfg.idle_timeout {
+                        return;
+                    }
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_response(writer: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    writer.write_all(encode_frame(&resp.to_value()).as_bytes())?;
+    writer.flush()
+}
+
+/// Parses and dispatches one frame. The handler runs under
+/// `catch_unwind` so a panicking request becomes an `internal` error
+/// response instead of a dead worker (session locks recover from the
+/// poisoning; see `session::lock`).
+fn process_line(line: &str, shared: &Shared) -> (Response, bool) {
+    let value: Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => return (Response::err(ErrorCode::BadFrame, format!("invalid JSON: {e}")), false),
+    };
+    let req = match Request::from_value(&value) {
+        Ok(r) => r,
+        Err(e) => return (Response::err(e.code, e.message), false),
+    };
+    let is_shutdown = matches!(req, Request::Shutdown);
+    let resp = catch_unwind(AssertUnwindSafe(|| handle_request(&req, shared)))
+        .unwrap_or_else(|_| Response::err(ErrorCode::Internal, "request handler panicked"));
+    (resp, is_shutdown)
+}
+
+fn no_such_session(id: u64) -> Response {
+    Response::err(ErrorCode::NoSuchSession, format!("session {id} does not exist"))
+}
+
+/// Pure request dispatch — everything below the framing layer, shared by
+/// the unit tests (which exercise it without sockets) and the workers.
+fn handle_request(req: &Request, shared: &Shared) -> Response {
+    let cfg = &shared.config;
+    match req {
+        Request::Ping => Response::Ok(json!({"pong": true})),
+        Request::Shutdown => Response::Ok(json!({"shutting_down": true})),
+        Request::CreateSession { group, rules } => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Response::err(
+                    ErrorCode::ShuttingDown,
+                    "server is draining; no new sessions",
+                );
+            }
+            let group = match load_group_value(group) {
+                Ok(g) => g,
+                Err(e) => return Response::err(ErrorCode::BadRequest, e.message),
+            };
+            if group.len() > cfg.max_entities_per_request {
+                return Response::err(
+                    ErrorCode::TooManyEntities,
+                    format!(
+                        "group carries {} entities; the limit is {}",
+                        group.len(),
+                        cfg.max_entities_per_request
+                    ),
+                );
+            }
+            let parsed = match parse_rules(rules, group.schema()) {
+                Ok(r) => r,
+                Err(e) => return Response::err(ErrorCode::BadRequest, format!("bad rules: {e}")),
+            };
+            let (pos, neg): (Vec<Rule>, Vec<Rule>) =
+                parsed.into_iter().partition(|r| r.polarity == Polarity::Positive);
+            if pos.is_empty() || neg.is_empty() {
+                return Response::err(
+                    ErrorCode::BadRequest,
+                    "rules must include at least one positive and one negative rule",
+                );
+            }
+            let entities = group.len();
+            let session = Session::new(IncrementalDime::new(group, pos, neg));
+            match shared.store.insert(session) {
+                None => Response::err(
+                    ErrorCode::TooManySessions,
+                    format!("live-session limit of {} reached", cfg.max_sessions),
+                ),
+                Some(id) => {
+                    GlobalMetrics::bump(&shared.metrics.sessions_created);
+                    GlobalMetrics::add(&shared.metrics.entities_added, entities as u64);
+                    Response::Ok(json!({"session": id, "entities": entities}))
+                }
+            }
+        }
+        Request::AddEntities { session, entities } => {
+            if entities.len() > cfg.max_entities_per_request {
+                return Response::err(
+                    ErrorCode::TooManyEntities,
+                    format!(
+                        "request carries {} entities; the limit is {}",
+                        entities.len(),
+                        cfg.max_entities_per_request
+                    ),
+                );
+            }
+            let Some(sess) = shared.store.get(*session) else {
+                return no_such_session(*session);
+            };
+            let mut guard = lock(&sess);
+            let sess = &mut *guard;
+            sess.metrics.requests += 1;
+            // Validate every row before mutating anything: a bad row in
+            // the middle must not half-apply the batch.
+            let names: Vec<&str> = sess.attr_names.iter().map(String::as_str).collect();
+            let mut rows: Vec<Vec<String>> = Vec::with_capacity(entities.len());
+            for (i, row) in entities.iter().enumerate() {
+                match entity_row_values(row, &names) {
+                    Ok(values) => rows.push(values),
+                    Err(e) => {
+                        return Response::err(
+                            ErrorCode::BadRequest,
+                            format!("entity {i}: {}", e.message),
+                        )
+                    }
+                }
+            }
+            let ids: Vec<usize> = rows
+                .iter()
+                .map(|values| {
+                    let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+                    sess.engine.add_entity(&refs)
+                })
+                .collect();
+            sess.metrics.entities_added += ids.len() as u64;
+            GlobalMetrics::add(&shared.metrics.entities_added, ids.len() as u64);
+            Response::Ok(json!({"ids": ids, "entities": sess.engine.len()}))
+        }
+        Request::RemoveEntity { session, entity } => {
+            let Some(sess) = shared.store.get(*session) else {
+                return no_such_session(*session);
+            };
+            let mut sess = lock(&sess);
+            sess.metrics.requests += 1;
+            if !sess.engine.remove_entity(*entity) {
+                return Response::err(
+                    ErrorCode::NoSuchEntity,
+                    format!("entity {entity} out of range (session holds {})", sess.engine.len()),
+                );
+            }
+            sess.metrics.entities_removed += 1;
+            GlobalMetrics::bump(&shared.metrics.entities_removed);
+            Response::Ok(json!({"removed": entity, "entities": sess.engine.len()}))
+        }
+        Request::Discovery { session } => with_discovery(shared, *session, |sess, d| {
+            Response::Ok(discovery_to_json(sess.engine.group(), d))
+        }),
+        Request::Scrollbar { session, step } => {
+            let step = *step;
+            with_discovery(shared, *session, |_, d| {
+                if step >= d.steps.len() {
+                    return Response::err(
+                        ErrorCode::BadRequest,
+                        format!("step {step} out of range ({} steps)", d.steps.len()),
+                    );
+                }
+                let s = &d.steps[step];
+                Response::Ok(json!({
+                    "step": step,
+                    "rules_applied": s.rules_applied,
+                    "flagged": s.flagged.iter().copied().collect::<Vec<_>>(),
+                    "pivot": d.pivot,
+                }))
+            })
+        }
+        Request::Stats { session: Some(id) } => {
+            let Some(sess) = shared.store.get(*id) else {
+                return no_such_session(*id);
+            };
+            let mut sess = lock(&sess);
+            sess.metrics.requests += 1;
+            Response::Ok(sess.metrics.to_value(sess.engine.len(), sess.engine.pairs_verified()))
+        }
+        Request::Stats { session: None } => {
+            let mut v = shared
+                .metrics
+                .to_value(shared.store.len() as u64, shared.store.total_pairs_verified());
+            if let Some(obj) = v.as_object_mut() {
+                obj.insert(
+                    "uptime_micros".into(),
+                    json!(u64::try_from(shared.started.elapsed().as_micros()).unwrap_or(u64::MAX)),
+                );
+            }
+            Response::Ok(v)
+        }
+        Request::CloseSession { session } => {
+            let sess = shared.store.get(*session);
+            if shared.store.remove(*session) {
+                // Bank the detached session's verified-pair count so the
+                // global total survives the close. Exactly one closer wins
+                // the `remove` race, so the count is banked exactly once.
+                if let Some(sess) = sess {
+                    GlobalMetrics::add(
+                        &shared.metrics.pairs_verified_closed,
+                        lock(&sess).engine.pairs_verified(),
+                    );
+                }
+                GlobalMetrics::bump(&shared.metrics.sessions_closed);
+                Response::Ok(json!({"closed": session}))
+            } else {
+                no_such_session(*session)
+            }
+        }
+    }
+}
+
+/// Common body of `discovery` and `scrollbar`: locate the session, guard
+/// the empty group, time the discovery run, record latencies, then let
+/// `render` shape the payload.
+fn with_discovery(
+    shared: &Shared,
+    session: u64,
+    render: impl FnOnce(&Session, &dime_core::Discovery) -> Response,
+) -> Response {
+    let Some(sess) = shared.store.get(session) else {
+        return no_such_session(session);
+    };
+    let mut guard = lock(&sess);
+    let sess = &mut *guard;
+    sess.metrics.requests += 1;
+    if sess.engine.is_empty() {
+        return Response::err(ErrorCode::EmptyGroup, "discovery needs at least one entity");
+    }
+    let start = Instant::now();
+    let d = sess.engine.discovery();
+    let elapsed = start.elapsed();
+    sess.metrics.discoveries += 1;
+    sess.metrics.record_flag_latency(elapsed);
+    GlobalMetrics::bump(&shared.metrics.discoveries);
+    shared.metrics.flag_latency.record(elapsed);
+    render(sess, &d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared() -> Shared {
+        let config =
+            ServeConfig { max_entities_per_request: 8, max_sessions: 4, ..ServeConfig::default() };
+        Shared {
+            store: SessionStore::new(config.session_shards, config.max_sessions),
+            metrics: GlobalMetrics::default(),
+            shutdown: AtomicBool::new(false),
+            config,
+            addr: "127.0.0.1:1".parse().unwrap(),
+            started: Instant::now(),
+        }
+    }
+
+    fn group_doc() -> Value {
+        json!({
+            "schema": [
+                {"name": "Title", "tokenizer": "words"},
+                {"name": "Authors", "tokenizer": {"list": ","}}
+            ],
+            "entities": []
+        })
+    }
+
+    const RULES: &str = "positive: overlap(Authors) >= 2\nnegative: overlap(Authors) <= 0";
+
+    fn create(shared: &Shared) -> u64 {
+        let resp = handle_request(
+            &Request::CreateSession { group: group_doc(), rules: RULES.into() },
+            shared,
+        );
+        match resp {
+            Response::Ok(v) => v["session"].as_u64().unwrap(),
+            Response::Err { code, message } => panic!("create failed: {code} {message}"),
+        }
+    }
+
+    fn expect_err(resp: Response, code: ErrorCode) {
+        match resp {
+            Response::Err { code: c, .. } => assert_eq!(c, code),
+            Response::Ok(v) => panic!("expected {code}, got ok: {v}"),
+        }
+    }
+
+    #[test]
+    fn ping_pongs() {
+        let s = shared();
+        assert_eq!(handle_request(&Request::Ping, &s), Response::Ok(json!({"pong": true})));
+    }
+
+    #[test]
+    fn full_session_lifecycle_matches_batch_discovery() {
+        let s = shared();
+        let id = create(&s);
+        let rows = vec![
+            json!(["data cleaning", "ann, bob"]),
+            json!({"Title": "data quality", "Authors": "ann, bob, carl"}),
+            json!(["organic synthesis", "dora"]),
+        ];
+        let resp = handle_request(&Request::AddEntities { session: id, entities: rows }, &s);
+        let Response::Ok(v) = resp else { panic!("add failed: {resp:?}") };
+        assert_eq!(v["ids"], json!([0, 1, 2]));
+
+        let Response::Ok(report) = handle_request(&Request::Discovery { session: id }, &s) else {
+            panic!("discovery failed")
+        };
+        assert_eq!(report["partitions"].as_array().unwrap().len(), 2);
+        let flagged = report["mis_categorized"].as_array().unwrap();
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0]["Authors"], "dora");
+
+        // The scrollbar step mirrors the report's first step.
+        let Response::Ok(step) = handle_request(&Request::Scrollbar { session: id, step: 0 }, &s)
+        else {
+            panic!("scrollbar failed")
+        };
+        assert_eq!(step["flagged"], report["steps"][0]["flagged"]);
+
+        expect_err(
+            handle_request(&Request::Scrollbar { session: id, step: 99 }, &s),
+            ErrorCode::BadRequest,
+        );
+
+        let Response::Ok(stats) = handle_request(&Request::Stats { session: Some(id) }, &s) else {
+            panic!("stats failed")
+        };
+        assert_eq!(stats["entities"], 3);
+        // discovery + both scrollbar calls ran the engine (the
+        // out-of-range step fails only after flagging).
+        assert_eq!(stats["discoveries"], 3);
+        assert!(stats["pairs_verified"].as_u64().unwrap() > 0);
+
+        let Response::Ok(closed) = handle_request(&Request::CloseSession { session: id }, &s)
+        else {
+            panic!("close failed")
+        };
+        assert_eq!(closed["closed"], id);
+        expect_err(
+            handle_request(&Request::Discovery { session: id }, &s),
+            ErrorCode::NoSuchSession,
+        );
+
+        // The closed session's verified pairs stay in the global total.
+        let Response::Ok(global) = handle_request(&Request::Stats { session: None }, &s) else {
+            panic!("global stats failed")
+        };
+        assert!(global["pairs_verified"].as_u64().unwrap() > 0);
+        assert_eq!(global["sessions"]["live"], 0);
+    }
+
+    #[test]
+    fn remove_entity_roundtrip() {
+        let s = shared();
+        let id = create(&s);
+        handle_request(
+            &Request::AddEntities {
+                session: id,
+                entities: vec![json!(["a", "ann, bob"]), json!(["b", "zed, yan"])],
+            },
+            &s,
+        );
+        let Response::Ok(v) = handle_request(&Request::RemoveEntity { session: id, entity: 0 }, &s)
+        else {
+            panic!("remove failed")
+        };
+        assert_eq!(v["entities"], 1);
+        expect_err(
+            handle_request(&Request::RemoveEntity { session: id, entity: 5 }, &s),
+            ErrorCode::NoSuchEntity,
+        );
+    }
+
+    #[test]
+    fn empty_group_discovery_is_a_structured_error() {
+        let s = shared();
+        let id = create(&s);
+        expect_err(handle_request(&Request::Discovery { session: id }, &s), ErrorCode::EmptyGroup);
+    }
+
+    #[test]
+    fn bad_rows_do_not_half_apply() {
+        let s = shared();
+        let id = create(&s);
+        expect_err(
+            handle_request(
+                &Request::AddEntities {
+                    session: id,
+                    entities: vec![json!(["good", "ann"]), json!(["arity mismatch"])],
+                },
+                &s,
+            ),
+            ErrorCode::BadRequest,
+        );
+        let Response::Ok(stats) = handle_request(&Request::Stats { session: Some(id) }, &s) else {
+            panic!("stats failed")
+        };
+        assert_eq!(stats["entities"], 0, "no row of a rejected batch may land");
+    }
+
+    #[test]
+    fn admission_limits_are_enforced() {
+        let s = shared();
+        let id = create(&s);
+        let rows: Vec<Value> = (0..9).map(|i| json!([format!("t{i}"), "ann"])).collect();
+        expect_err(
+            handle_request(&Request::AddEntities { session: id, entities: rows }, &s),
+            ErrorCode::TooManyEntities,
+        );
+        for _ in 0..3 {
+            create(&s);
+        }
+        expect_err(
+            handle_request(&Request::CreateSession { group: group_doc(), rules: RULES.into() }, &s),
+            ErrorCode::TooManySessions,
+        );
+    }
+
+    #[test]
+    fn create_session_rejects_bad_input() {
+        let s = shared();
+        expect_err(
+            handle_request(
+                &Request::CreateSession { group: json!({"entities": []}), rules: RULES.into() },
+                &s,
+            ),
+            ErrorCode::BadRequest,
+        );
+        expect_err(
+            handle_request(
+                &Request::CreateSession { group: group_doc(), rules: "gibberish".into() },
+                &s,
+            ),
+            ErrorCode::BadRequest,
+        );
+        expect_err(
+            handle_request(
+                &Request::CreateSession {
+                    group: group_doc(),
+                    rules: "positive: overlap(Authors) >= 2".into(),
+                },
+                &s,
+            ),
+            ErrorCode::BadRequest,
+        );
+    }
+
+    #[test]
+    fn shutdown_refuses_new_sessions_but_serves_existing() {
+        let s = shared();
+        let id = create(&s);
+        handle_request(
+            &Request::AddEntities { session: id, entities: vec![json!(["t", "ann"])] },
+            &s,
+        );
+        s.shutdown.store(true, Ordering::SeqCst);
+        expect_err(
+            handle_request(&Request::CreateSession { group: group_doc(), rules: RULES.into() }, &s),
+            ErrorCode::ShuttingDown,
+        );
+        assert!(handle_request(&Request::Discovery { session: id }, &s).is_ok());
+    }
+
+    #[test]
+    fn process_line_survives_garbage() {
+        let s = shared();
+        let (resp, _) = process_line("{not json", &s);
+        expect_err(resp, ErrorCode::BadFrame);
+        let (resp, _) = process_line("{\"op\": \"sorcery\"}", &s);
+        expect_err(resp, ErrorCode::UnknownOp);
+        let (resp, is_shutdown) = process_line("{\"op\": \"shutdown\"}", &s);
+        assert!(resp.is_ok());
+        assert!(is_shutdown);
+    }
+
+    #[test]
+    fn global_stats_snapshot() {
+        let s = shared();
+        let id = create(&s);
+        handle_request(
+            &Request::AddEntities { session: id, entities: vec![json!(["t", "ann"])] },
+            &s,
+        );
+        GlobalMetrics::bump(&s.metrics.requests);
+        let Response::Ok(v) = handle_request(&Request::Stats { session: None }, &s) else {
+            panic!("stats failed")
+        };
+        assert_eq!(v["sessions"]["live"], 1);
+        assert_eq!(v["entities_added"], 1);
+        assert!(v["uptime_micros"].as_u64().is_some());
+    }
+}

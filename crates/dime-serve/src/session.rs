@@ -1,0 +1,186 @@
+//! The session store: many live groups, each an [`IncrementalDime`]
+//! engine behind its own lock, sharded so that lookups under concurrent
+//! traffic contend only within a shard.
+//!
+//! Locking discipline: a worker takes one shard lock just long enough to
+//! clone the session's `Arc`, then operates under the session's own lock.
+//! Shard locks never nest with session locks held, and no worker ever
+//! holds two session locks, so the store is deadlock-free by construction.
+
+use crate::metrics::SessionMetrics;
+use dime_core::IncrementalDime;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Locks a mutex, recovering from poisoning: a worker that panicked
+/// mid-request must not brick the session (or shard) for everyone else.
+/// The panicking handler is answered with an `internal` error; the data it
+/// may have half-updated is counters, which tolerate slack.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One live group: the incremental engine, its schema's attribute names
+/// (cached for entity-row conversion), and its counters.
+pub struct Session {
+    /// The incremental discovery engine.
+    pub engine: IncrementalDime,
+    /// Attribute names in schema order.
+    pub attr_names: Vec<String>,
+    /// Per-session counters.
+    pub metrics: SessionMetrics,
+}
+
+impl Session {
+    /// Wraps an engine, caching its schema's attribute names.
+    pub fn new(engine: IncrementalDime) -> Self {
+        let attr_names = engine.group().schema().attrs().iter().map(|a| a.name.clone()).collect();
+        Self { engine, attr_names, metrics: SessionMetrics::default() }
+    }
+}
+
+/// A sharded map from session id to live session.
+pub struct SessionStore {
+    shards: Vec<Mutex<HashMap<u64, Arc<Mutex<Session>>>>>,
+    next_id: AtomicU64,
+    live: AtomicU64,
+    max_sessions: usize,
+}
+
+impl SessionStore {
+    /// Builds a store with the given shard count (minimum 1) and cap on
+    /// concurrently live sessions.
+    pub fn new(shards: usize, max_sessions: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            next_id: AtomicU64::new(1),
+            live: AtomicU64::new(0),
+            max_sessions,
+        }
+    }
+
+    fn shard(&self, id: u64) -> &Mutex<HashMap<u64, Arc<Mutex<Session>>>> {
+        &self.shards[(id % self.shards.len() as u64) as usize]
+    }
+
+    /// Registers a session and returns its fresh id, or `None` when the
+    /// store is at its live-session cap.
+    pub fn insert(&self, session: Session) -> Option<u64> {
+        // Optimistically claim a slot; back out on overflow. The cap may
+        // briefly be observed as exceeded by concurrent inserters, never
+        // by more than the number of racing requests.
+        if self.live.fetch_add(1, Ordering::SeqCst) as usize >= self.max_sessions {
+            self.live.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        lock(self.shard(id)).insert(id, Arc::new(Mutex::new(session)));
+        Some(id)
+    }
+
+    /// Looks up a session by id.
+    pub fn get(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
+        lock(self.shard(id)).get(&id).cloned()
+    }
+
+    /// Drops a session. Returns whether it existed. In-flight requests
+    /// holding the session's `Arc` finish against the detached state.
+    pub fn remove(&self, id: u64) -> bool {
+        let existed = lock(self.shard(id)).remove(&id).is_some();
+        if existed {
+            self.live.fetch_sub(1, Ordering::SeqCst);
+        }
+        existed
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.live.load(Ordering::SeqCst) as usize
+    }
+
+    /// Whether no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sums the verified-pair counters across every live session — the
+    /// store-wide half of the global stats snapshot.
+    pub fn total_pairs_verified(&self) -> u64 {
+        let mut total = 0u64;
+        for shard in &self.shards {
+            let sessions: Vec<Arc<Mutex<Session>>> = lock(shard).values().cloned().collect();
+            // Session locks are taken after the shard lock is released.
+            for s in sessions {
+                total = total.saturating_add(lock(&s).engine.pairs_verified());
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dime_core::{GroupBuilder, Predicate, Rule, Schema, SimilarityFn};
+    use dime_text::TokenizerKind;
+
+    fn engine() -> IncrementalDime {
+        let schema = Schema::new([("Authors", TokenizerKind::List(','))]);
+        IncrementalDime::new(
+            GroupBuilder::new(schema).build(),
+            vec![Rule::positive(vec![Predicate::new(0, SimilarityFn::Overlap, 1.0)])],
+            vec![Rule::negative(vec![Predicate::new(0, SimilarityFn::Overlap, 0.0)])],
+        )
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let store = SessionStore::new(4, 8);
+        let id = store.insert(Session::new(engine())).unwrap();
+        assert!(store.get(id).is_some());
+        assert_eq!(store.len(), 1);
+        assert!(store.remove(id));
+        assert!(!store.remove(id));
+        assert!(store.get(id).is_none());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let store = SessionStore::new(2, 8);
+        let a = store.insert(Session::new(engine())).unwrap();
+        assert!(store.remove(a));
+        let b = store.insert(Session::new(engine())).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cap_rejects_and_frees_on_remove() {
+        let store = SessionStore::new(2, 2);
+        let a = store.insert(Session::new(engine())).unwrap();
+        let _b = store.insert(Session::new(engine())).unwrap();
+        assert!(store.insert(Session::new(engine())).is_none());
+        assert!(store.remove(a));
+        assert!(store.insert(Session::new(engine())).is_some());
+    }
+
+    #[test]
+    fn pairs_verified_sums_across_sessions() {
+        let store = SessionStore::new(2, 8);
+        for _ in 0..2 {
+            let mut s = Session::new(engine());
+            s.engine.add_entity(&["ann"]);
+            s.engine.add_entity(&["ann"]);
+            store.insert(s).unwrap();
+        }
+        assert_eq!(store.total_pairs_verified(), 2);
+    }
+
+    #[test]
+    fn session_caches_attr_names() {
+        let s = Session::new(engine());
+        assert_eq!(s.attr_names, vec!["Authors".to_string()]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Wire-protocol tests: property-based round-trips of the frame
+//! vocabulary, and malformed-frame handling against a live server —
+//! truncated lines, oversized frames, and unknown ops must come back as
+//! structured errors on the same connection, never kill a worker.
+
+use dime_serve::{
+    encode_frame, ErrorCode, Frame, FrameReader, Request, Response, ServeConfig, Server,
+};
+use proptest::prelude::*;
+use serde_json::{json, Value};
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Exercises escaping: quotes, backslashes, newlines, unicode.
+    proptest::string::string_regex("[a-z\"\\\\\n\u{1F980}\u{7}]{0,12}").unwrap()
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Ping),
+        Just(Request::Shutdown),
+        any::<u64>().prop_map(|session| Request::Discovery { session }),
+        any::<u64>().prop_map(|session| Request::CloseSession { session }),
+        (any::<u64>(), any::<usize>())
+            .prop_map(|(session, step)| Request::Scrollbar { session, step }),
+        (any::<u64>(), any::<usize>())
+            .prop_map(|(session, entity)| Request::RemoveEntity { session, entity }),
+        proptest::option::of(any::<u64>()).prop_map(|session| Request::Stats { session }),
+        (arb_text(), arb_text()).prop_map(|(name, rules)| Request::CreateSession {
+            group: json!({"schema": [{"name": name}], "entities": []}),
+            rules,
+        }),
+        (any::<u64>(), proptest::collection::vec(arb_text(), 0..4)).prop_map(|(session, rows)| {
+            Request::AddEntities {
+                session,
+                entities: rows.into_iter().map(|r| json!([r])).collect(),
+            }
+        }),
+    ]
+}
+
+proptest! {
+    /// Every request survives encode → frame → parse → decode, and its
+    /// frame is a single line (compact JSON escapes raw newlines).
+    #[test]
+    fn prop_request_frames_roundtrip(req in arb_request()) {
+        let frame = encode_frame(&req.to_value());
+        prop_assert_eq!(frame.matches('\n').count(), 1, "frame must be one line");
+        prop_assert!(frame.ends_with('\n'));
+        let v: Value = serde_json::from_str(frame.trim_end()).unwrap();
+        prop_assert_eq!(Request::from_value(&v).unwrap(), req);
+    }
+
+    /// Every response survives the same trip.
+    #[test]
+    fn prop_response_frames_roundtrip(
+        ok in any::<bool>(),
+        text in arb_text(),
+        code_ix in 0usize..ErrorCode::ALL.len(),
+    ) {
+        let resp = if ok {
+            Response::Ok(json!({"payload": text}))
+        } else {
+            Response::err(ErrorCode::ALL[code_ix], text)
+        };
+        let frame = encode_frame(&resp.to_value());
+        prop_assert_eq!(frame.matches('\n').count(), 1);
+        let v: Value = serde_json::from_str(frame.trim_end()).unwrap();
+        prop_assert_eq!(Response::from_value(&v).unwrap(), resp);
+    }
+
+    /// A frame reader over arbitrary chunks of concatenated frames
+    /// recovers exactly the original lines.
+    #[test]
+    fn prop_frame_reader_reassembles(lines in proptest::collection::vec("[a-z{}\" ]{0,40}", 0..8)) {
+        let mut bytes = Vec::new();
+        for l in &lines {
+            bytes.extend_from_slice(l.as_bytes());
+            bytes.push(b'\n');
+        }
+        let mut reader = FrameReader::new(&bytes[..], 1 << 10);
+        for l in &lines {
+            prop_assert_eq!(reader.read_frame().unwrap(), Frame::Line(l.clone()));
+        }
+        prop_assert_eq!(reader.read_frame().unwrap(), Frame::Eof);
+    }
+}
+
+/// Spawns a server with a small frame cap; returns (addr, join-handle,
+/// shutdown-handle).
+fn spawn_server(
+) -> (std::net::SocketAddr, std::thread::JoinHandle<std::io::Result<()>>, dime_serve::ServerHandle)
+{
+    let server =
+        Server::bind(ServeConfig { workers: 2, max_frame_bytes: 512, ..ServeConfig::default() })
+            .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+    (addr, runner, handle)
+}
+
+struct RawConn {
+    writer: TcpStream,
+    reader: FrameReader<BufReader<TcpStream>>,
+}
+
+impl RawConn {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let writer = stream.try_clone().expect("clone");
+        Self { writer, reader: FrameReader::new(BufReader::new(stream), 1 << 20) }
+    }
+
+    fn send(&mut self, bytes: &str) {
+        self.writer.write_all(bytes.as_bytes()).expect("write");
+        self.writer.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> Response {
+        match self.reader.read_frame().expect("read") {
+            Frame::Line(l) => {
+                let v: Value = serde_json::from_str(&l).expect("response JSON");
+                Response::from_value(&v).expect("response shape")
+            }
+            other => panic!("expected a response line, got {other:?}"),
+        }
+    }
+
+    fn recv_err(&mut self) -> ErrorCode {
+        match self.recv() {
+            Response::Err { code, .. } => code,
+            Response::Ok(v) => panic!("expected an error, got ok: {v}"),
+        }
+    }
+}
+
+#[test]
+fn malformed_frames_get_structured_errors_and_the_worker_survives() {
+    let (addr, runner, handle) = spawn_server();
+    let mut conn = RawConn::connect(addr);
+
+    conn.send("{truncated json\n");
+    assert_eq!(conn.recv_err(), ErrorCode::BadFrame);
+
+    conn.send(&format!("{}\n", "x".repeat(600)));
+    assert_eq!(conn.recv_err(), ErrorCode::FrameTooLarge);
+
+    conn.send("{\"op\": \"sorcery\"}\n");
+    assert_eq!(conn.recv_err(), ErrorCode::UnknownOp);
+
+    conn.send("{\"op\": \"discovery\"}\n");
+    assert_eq!(conn.recv_err(), ErrorCode::BadRequest);
+
+    conn.send("{\"op\": \"discovery\", \"session\": \"nine\"}\n");
+    assert_eq!(conn.recv_err(), ErrorCode::BadRequest);
+
+    conn.send("{\"op\": \"discovery\", \"session\": 42}\n");
+    assert_eq!(conn.recv_err(), ErrorCode::NoSuchSession);
+
+    conn.send("[1, 2, 3]\n");
+    assert_eq!(conn.recv_err(), ErrorCode::BadRequest);
+
+    // The same connection — and so the same worker — still serves
+    // well-formed traffic after every kind of garbage.
+    conn.send("{\"op\": \"ping\"}\n");
+    assert_eq!(conn.recv(), Response::Ok(json!({"pong": true})));
+
+    handle.shutdown();
+    runner.join().unwrap().unwrap();
+}
+
+#[test]
+fn truncated_final_line_still_gets_a_response() {
+    let (addr, runner, handle) = spawn_server();
+    let mut conn = RawConn::connect(addr);
+    // An unterminated, half-written frame followed by EOF on the write
+    // half: the server must answer (bad_frame) rather than hang or die.
+    conn.send("{\"op\": \"pi");
+    conn.writer.shutdown(std::net::Shutdown::Write).expect("half-close");
+    assert_eq!(conn.recv_err(), ErrorCode::BadFrame);
+    handle.shutdown();
+    runner.join().unwrap().unwrap();
+}
+
+#[test]
+fn pipelined_requests_get_ordered_responses() {
+    let (addr, runner, handle) = spawn_server();
+    let mut conn = RawConn::connect(addr);
+    conn.send("{\"op\": \"ping\"}\n{\"op\": \"stats\"}\n{\"op\": \"ping\"}\n");
+    assert_eq!(conn.recv(), Response::Ok(json!({"pong": true})));
+    match conn.recv() {
+        Response::Ok(v) => assert!(v.get("requests").is_some(), "stats payload: {v}"),
+        other => panic!("stats failed: {other:?}"),
+    }
+    assert_eq!(conn.recv(), Response::Ok(json!({"pong": true})));
+    handle.shutdown();
+    runner.join().unwrap().unwrap();
+}
+
+#[test]
+fn blank_lines_are_ignored_between_frames() {
+    let (addr, runner, handle) = spawn_server();
+    let mut conn = RawConn::connect(addr);
+    conn.send("\n  \n{\"op\": \"ping\"}\n");
+    assert_eq!(conn.recv(), Response::Ok(json!({"pong": true})));
+    handle.shutdown();
+    runner.join().unwrap().unwrap();
+}

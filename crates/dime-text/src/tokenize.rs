@@ -73,11 +73,7 @@ pub fn tokenize_words(value: &str) -> Vec<String> {
 /// );
 /// ```
 pub fn tokenize_list(value: &str, delim: char) -> Vec<String> {
-    value
-        .split(delim)
-        .map(|p| p.trim().to_lowercase())
-        .filter(|p| !p.is_empty())
-        .collect()
+    value.split(delim).map(|p| p.trim().to_lowercase()).filter(|p| !p.is_empty()).collect()
 }
 
 /// Returns the whole trimmed, lowercased string as a single-element token

@@ -5,7 +5,9 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use dime::core::{discover_fast, discover_parallel, GroupBuilder, Predicate, Rule, Schema, SimilarityFn};
+use dime::core::{
+    discover_fast, discover_parallel, GroupBuilder, Predicate, Rule, Schema, SimilarityFn,
+};
 use dime::ontology::Ontology;
 use dime::text::TokenizerKind;
 use std::sync::Arc;

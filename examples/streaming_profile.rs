@@ -50,7 +50,11 @@ fn main() {
     // Publications arrive over time; every few insertions the profile
     // owner checks the current flags.
     let stream: [(&str, &str, &str); 6] = [
-        ("data placement for parallel xml databases", "nan tang, guoren wang, jeffrey xu yu", "icde"),
+        (
+            "data placement for parallel xml databases",
+            "nan tang, guoren wang, jeffrey xu yu",
+            "icde",
+        ),
         ("katara a data cleaning system", "xu chu, ihab ilyas, nan tang", "sigmod"),
         ("nadeef a generalized data cleaning system", "amr ebaid, ihab ilyas, nan tang", "vldb"),
         ("discriminative bi-term topic model", "yunqing xia, nj tang", "sigir"),

@@ -1,8 +1,16 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: release build, full test suite, and lint-clean clippy.
+# Tier-1 CI gate: formatting, release build, full test suite (with the
+# dime-serve end-to-end integration test called out explicitly), and
+# lint-clean clippy.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all --check
 cargo build --release
 cargo test -q
+# The service integration test (N concurrent clients against a live
+# server, responses checked bit-identical to discover_fast) runs as part
+# of `cargo test`, but it is the acceptance gate for dime-serve — run it
+# by name so a filtered or partial test invocation can never skip it.
+cargo test -q --test serve
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,101 @@
+#!/bin/bash
+# Offline build + test harness: compiles every workspace target with plain
+# rustc against the functional stub crates in scripts/offline/stubs
+# (rand / serde_json / proptest / criterion), for containers where cargo
+# cannot reach a registry. See scripts/offline/README.md.
+#
+# Usage: scripts/offline/build_all.sh [OUT_DIR]   (default /tmp/dime-offline)
+set -e
+R="$(cd "$(dirname "$0")/../.." && pwd)"
+OUT="${1:-/tmp/dime-offline}"
+S="$OUT/stubs"
+mkdir -p "$S"
+cd "$OUT"
+
+RC="rustc --edition 2021 -L . -L $S"
+
+# 1. Stub crates.
+for stub in rand serde_json proptest criterion; do
+  rustc --edition 2021 --crate-type rlib "$R/scripts/offline/stubs/$stub.rs" \
+    --crate-name "$stub" -o "$S/lib$stub.rlib"
+  echo "stub $stub OK"
+done
+X="--extern serde_json=$S/libserde_json.rlib --extern rand=$S/librand.rlib --extern proptest=$S/libproptest.rlib --extern criterion=$S/libcriterion.rlib"
+
+lib() { # name path extra-externs...
+  local name=$1 path=$2; shift 2
+  $RC --crate-type rlib "$path" --crate-name "$name" $X "$@" -o "lib$name.rlib"
+  echo "lib $name OK"
+}
+tst() { # name path extra-externs...
+  local name=$1 path=$2; shift 2
+  $RC --test "$path" --crate-name "${name}_test" $X "$@" -o "${name}_test"
+  echo "test-bin $name OK"
+}
+
+E_text="--extern dime_text=libdime_text.rlib"
+E_index="--extern dime_index=libdime_index.rlib"
+E_ont="--extern dime_ontology=libdime_ontology.rlib"
+E_core="--extern dime_core=libdime_core.rlib"
+E_metrics="--extern dime_metrics=libdime_metrics.rlib"
+E_rulegen="--extern dime_rulegen=libdime_rulegen.rlib"
+E_baselines="--extern dime_baselines=libdime_baselines.rlib"
+E_data="--extern dime_data=libdime_data.rlib"
+E_serve="--extern dime_serve=libdime_serve.rlib"
+E_bench="--extern dime_bench=libdime_bench.rlib"
+E_dime="--extern dime=libdime.rlib"
+
+# 2. Workspace libraries, dependency order.
+lib dime_text     $R/crates/dime-text/src/lib.rs
+lib dime_index    $R/crates/dime-index/src/lib.rs
+lib dime_ontology $R/crates/dime-ontology/src/lib.rs
+lib dime_core     $R/crates/dime-core/src/lib.rs     $E_text $E_index $E_ont
+lib dime_metrics  $R/crates/dime-metrics/src/lib.rs
+lib dime_rulegen  $R/crates/dime-rulegen/src/lib.rs  $E_core $E_text $E_ont
+lib dime_baselines $R/crates/dime-baselines/src/lib.rs $E_core $E_index $E_rulegen $E_text $E_ont $E_metrics
+lib dime_data     $R/crates/dime-data/src/lib.rs     $E_core $E_ont $E_text
+lib dime_serve    $R/crates/dime-serve/src/lib.rs    $E_core $E_data $E_text
+lib dime_bench    $R/crates/dime-bench/src/lib.rs    $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve
+lib dime          $R/src/lib.rs                      $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve
+
+# 3. Unit-test binaries.
+tst dime_text     $R/crates/dime-text/src/lib.rs
+tst dime_index    $R/crates/dime-index/src/lib.rs
+tst dime_ontology $R/crates/dime-ontology/src/lib.rs
+tst dime_core     $R/crates/dime-core/src/lib.rs     $E_text $E_index $E_ont
+tst dime_metrics  $R/crates/dime-metrics/src/lib.rs
+tst dime_rulegen  $R/crates/dime-rulegen/src/lib.rs  $E_core $E_text $E_ont $E_data $E_metrics
+tst dime_baselines $R/crates/dime-baselines/src/lib.rs $E_core $E_index $E_rulegen $E_text $E_ont $E_metrics $E_data
+tst dime_data     $R/crates/dime-data/src/lib.rs     $E_core $E_ont $E_text
+tst dime_serve    $R/crates/dime-serve/src/lib.rs    $E_core $E_data $E_text
+tst dime_bench    $R/crates/dime-bench/src/lib.rs    $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve
+tst dime_facade   $R/src/lib.rs                      $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve
+
+# 4. Integration-test binaries.
+ALL_E="$E_dime $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_bench"
+tst end_to_end     $R/tests/end_to_end.rs             $ALL_E
+tst serve          $R/tests/serve.rs                  $ALL_E
+tst serve_protocol $R/crates/dime-serve/tests/protocol.rs $E_serve $E_core $E_data $E_text
+
+# 5. Binaries, benches, examples.
+for b in $R/crates/dime-bench/src/bin/*.rs; do
+  name=$(basename "$b" .rs)
+  $RC "$b" --crate-name "$name" $X $ALL_E -o "bin_$name"
+  echo "bin $name OK"
+done
+for b in $R/crates/dime-bench/benches/*.rs; do
+  name=$(basename "$b" .rs)
+  $RC "$b" --crate-name "$name" $X $ALL_E -o "bench_$name"
+  echo "bench $name OK"
+done
+$RC $R/src/bin/dime.rs --crate-name dime_cli $X $ALL_E -o bin_dime
+echo "bin dime OK"
+# The CLI test harness locates the binary through this compile-time env var.
+CARGO_BIN_EXE_dime="$OUT/bin_dime" $RC --test $R/tests/cli.rs --crate-name cli_test $X $ALL_E -o cli_test
+echo "test-bin cli OK"
+for ex in $R/examples/*.rs; do
+  name=$(basename "$ex" .rs)
+  $RC "$ex" --crate-name "ex_$name" $X $ALL_E -o "ex_$name"
+  echo "example $name OK"
+done
+echo "ALL BUILDS OK (artifacts in $OUT)"

@@ -1,0 +1,513 @@
+//! A functional mini-proptest for offline builds: strategies really
+//! generate values (from a deterministic xorshift PRNG) and `proptest!`
+//! really runs each property for the configured number of cases. No
+//! shrinking — a failure reports the assert message and the case number
+//! only. The strategy surface covers what this workspace uses: integer
+//! and float ranges, `any`, `Just`, tuples, `prop_map`, `prop_oneof!`,
+//! `collection::{vec, btree_set}`, `option::of`, `bool::ANY`, and
+//! simple one-char-class regexes (`"[a-c ]{0,10}"`).
+
+use std::fmt;
+
+/// Deterministic xorshift64* generator — no external deps, stable
+/// across runs so failures are reproducible.
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed | 1)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A value generator. Unlike real proptest there is no shrinking tree —
+/// `generate` yields the final value directly.
+pub trait Strategy: Sized {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F> {
+        Map(self, f)
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, _why: &'static str, f: F) -> Filter<Self, F> {
+        Filter(self, f)
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy(Box::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+}
+
+pub struct Map<S, F>(S, F);
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.1)(self.0.generate(rng))
+    }
+}
+
+pub struct Filter<S, F>(S, F);
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.0.generate(rng);
+            if (self.1)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates in a row");
+    }
+}
+
+/// Type-erased strategy — what `prop_oneof!` arms collapse into.
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice over type-erased arms (the `prop_oneof!` backend).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let ix = rng.below(self.0.len() as u64) as usize;
+        self.0[ix].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty)*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u64; // 0 means the full u64 span
+                if span == 0 { rng.next_u64() as $t } else { (lo + rng.below(span) as i128) as $t }
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.unit_f64() * (self.end() - self.start())
+    }
+}
+
+/// Regex string strategies (`"[a-c ]{0,10}"`). Supported form: a single
+/// character class (with `a-z` ranges and `\`-escapes) followed by an
+/// optional `{m}`/`{m,n}` repetition; or a plain literal string.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::compile(self).unwrap_or_else(|e| panic!("{e}")).generate(rng)
+    }
+}
+
+pub mod string {
+    use super::{Strategy, TestRng};
+
+    #[derive(Debug)]
+    pub struct Error(pub String);
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "string_regex: {}", self.0)
+        }
+    }
+    impl std::error::Error for Error {}
+
+    pub struct RegexGeneratorStrategy {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let n = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+            (0..n)
+                .map(|_| self.chars[rng.below(self.chars.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    /// Compiles the supported regex subset (see the impl on `&str`).
+    pub(super) fn compile(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut it = pattern.chars().peekable();
+        let mut chars = Vec::new();
+        match it.next() {
+            Some('[') => {
+                loop {
+                    match it.next() {
+                        None => return Err(Error(format!("unterminated class in {pattern:?}"))),
+                        Some(']') => break,
+                        Some('\\') => match it.next() {
+                            Some('n') => chars.push('\n'),
+                            Some('t') => chars.push('\t'),
+                            Some('r') => chars.push('\r'),
+                            Some(c) => chars.push(c),
+                            None => return Err(Error(format!("dangling escape in {pattern:?}"))),
+                        },
+                        Some(c) => {
+                            if it.peek() == Some(&'-') {
+                                it.next();
+                                match it.next() {
+                                    Some(']') | None => {
+                                        return Err(Error(format!("bad range in {pattern:?}")))
+                                    }
+                                    Some(hi) => {
+                                        for u in c as u32..=hi as u32 {
+                                            if let Some(ch) = char::from_u32(u) {
+                                                chars.push(ch);
+                                            }
+                                        }
+                                    }
+                                }
+                            } else {
+                                chars.push(c);
+                            }
+                        }
+                    }
+                }
+            }
+            Some(other) => {
+                return Err(Error(format!(
+                    "only `[class]{{m,n}}` patterns are supported offline, got {other:?} in {pattern:?}"
+                )))
+            }
+            None => return Err(Error("empty pattern".into())),
+        }
+        if chars.is_empty() {
+            return Err(Error(format!("empty class in {pattern:?}")));
+        }
+        let (min, max) = match it.peek() {
+            Some('{') => {
+                it.next();
+                let body: String = it.by_ref().take_while(|&c| c != '}').collect();
+                let parts: Vec<&str> = body.split(',').collect();
+                match parts.as_slice() {
+                    [m] => {
+                        let m = m.trim().parse().map_err(|_| Error(format!("bad repeat in {pattern:?}")))?;
+                        (m, m)
+                    }
+                    [m, n] => (
+                        m.trim().parse().map_err(|_| Error(format!("bad repeat in {pattern:?}")))?,
+                        n.trim().parse().map_err(|_| Error(format!("bad repeat in {pattern:?}")))?,
+                    ),
+                    _ => return Err(Error(format!("bad repeat in {pattern:?}"))),
+                }
+            }
+            None => (1, 1),
+            Some(c) => return Err(Error(format!("unsupported regex syntax {c:?} in {pattern:?}"))),
+        };
+        if it.next().is_some() {
+            return Err(Error(format!("trailing pattern after repetition in {pattern:?}")));
+        }
+        if min > max {
+            return Err(Error(format!("inverted repeat in {pattern:?}")));
+        }
+        Ok(RegexGeneratorStrategy { chars, min, max })
+    }
+
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        compile(pattern)
+    }
+}
+
+pub struct Just<T>(pub T);
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `any::<T>()` — full-range generation for primitives.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+macro_rules! arbitrary_int {
+    ($($t:ty)*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t { rng.next_u64() as $t }
+        }
+    )*};
+}
+arbitrary_int!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        TestRng::unit_f64(rng)
+    }
+}
+
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $ix:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$ix.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+pub mod bool {
+    pub struct Any;
+    pub const ANY: Any = Any;
+    impl super::Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut super::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S>(S);
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+    pub fn of<S: Strategy>(s: S) -> OptionStrategy<S> {
+        OptionStrategy(s)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.min + (rng.next_u64() % (self.max - self.min + 1) as u64) as usize
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut out = std::collections::BTreeSet::new();
+            // Duplicates shrink the set; bounded attempts keep this total.
+            for _ in 0..target.saturating_mul(4).max(8) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+}
+
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl fmt::Debug for ProptestConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProptestConfig {{ cases: {} }}", self.cases)
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$($strat),+]
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union(std::vec![
+            $($crate::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run ($cfg) $($rest)* }
+    };
+    (@run ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = { $cfg }.cases;
+                // A fixed per-test seed keeps failures reproducible.
+                let mut seed: u64 = 0x9E37_79B9_7F4A_7C15;
+                for b in stringify!($name).bytes() {
+                    seed = seed.rotate_left(8) ^ (b as u64);
+                }
+                for case in 0..cases {
+                    let mut rng = $crate::TestRng::new(seed ^ ((case as u64) << 32) ^ case as u64);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let run = || -> () { $body };
+                    run();
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block)*) => {
+        $crate::proptest! { @run ($crate::ProptestConfig::default()) $($(#[$meta])* fn $name($($args)*) $body)* }
+    };
+}

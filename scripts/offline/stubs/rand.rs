@@ -1,0 +1,126 @@
+//! Typecheck/run stub for the `rand` 0.8 surface this workspace uses:
+//! StdRng, SeedableRng::seed_from_u64, Rng::{gen, gen_range, gen_bool}.
+//! Functional (splitmix64/xoshiro-ish) but NOT stream-compatible with the
+//! real StdRng — statistical assertions seeded against real rand may
+//! diverge.
+
+pub mod rngs {
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        rngs::StdRng { state: state ^ 0xDEADBEEFCAFEF00D }
+    }
+}
+
+pub trait SampleUniform: Sized {
+    fn sample_in(rng: &mut dyn RngCore, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(rng: &mut dyn RngCore, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = if inclusive {
+                    (hi as u128) - (lo as u128) + 1
+                } else {
+                    assert!(hi > lo, "gen_range: empty range");
+                    (hi as u128) - (lo as u128)
+                };
+                lo + ((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample_in(rng: &mut dyn RngCore, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        T::sample_in(rng, self.start, self.end, false)
+    }
+}
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_in(rng, lo, hi, true)
+    }
+}
+
+pub trait Random {
+    fn random(rng: &mut dyn RngCore) -> Self;
+}
+impl Random for f64 {
+    fn random(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+impl Random for u32 {
+    fn random(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() as u32
+    }
+}
+impl Random for u64 {
+    fn random(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+impl Random for bool {
+    fn random(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::random(self) < p
+    }
+    fn gen<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+}
+impl<R: RngCore> Rng for R {}

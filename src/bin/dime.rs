@@ -6,6 +6,8 @@
 //! dime demo     <scholar|amazon> [--seed N] [--json]
 //! dime check-rules --group <group.json> --rules <rules.txt>
 //! dime stats    --group <group.json>
+//! dime serve    [--addr H:P] [--workers N] [--max-frame-bytes N] [--max-entities N] [--max-sessions N]
+//! dime client   --addr H:P <op> [op args]
 //! ```
 //!
 //! `discover` loads a JSON group document (see `dime_data::load_group_json`
@@ -16,14 +18,22 @@
 //!
 //! `demo` generates a synthetic Scholar page or Amazon category with known
 //! ground truth and reports precision/recall per scrollbar step.
+//!
+//! `serve` hosts live groups over the incremental engine behind the
+//! JSON-lines TCP protocol of the `dime-serve` crate, and `client` sends
+//! one protocol request to a running server (see the README's "Running as
+//! a service" section for the protocol reference).
 
 use dime::core::{
     discover_fast, discover_naive, parse_rules, Discovery, Group, GroupStats, Polarity, Rule,
 };
 use dime::data::{
-    amazon_category, amazon_rules, discovery_to_json, load_group_json, scholar_page,
-    scholar_rules, AmazonConfig, LabeledGroup, ScholarConfig,
+    amazon_category, amazon_rules, discovery_to_json, load_group_json, scholar_page, scholar_rules,
+    AmazonConfig, LabeledGroup, ScholarConfig,
 };
+use dime::serve::{Client, ClientError, Request, ServeConfig, Server};
+use serde_json::Value;
+use std::io::Write;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -34,6 +44,8 @@ fn main() -> ExitCode {
         Some("check-rules") => cmd_check_rules(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("learn") => cmd_learn(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -54,7 +66,9 @@ fn print_usage() {
          \x20 dime demo <scholar|amazon> [--seed N] [--json]\n\
          \x20 dime check-rules --group <group.json> --rules <rules.txt>\n\
          \x20 dime stats --group <group.json>\n\
-         \x20 dime learn --group <group.json> --truth <ids.json>\n\n\
+         \x20 dime learn --group <group.json> --truth <ids.json>\n\
+         \x20 dime serve [--addr H:P] [--workers N] [--max-frame-bytes N] [--max-entities N] [--max-sessions N]\n\
+         \x20 dime client --addr H:P <ping|create|add|remove|discovery|scrollbar|stats|close|shutdown> [op args]\n\n\
          Rule file format (one rule per line, '#' comments):\n\
          \x20 positive: overlap(Authors) >= 2\n\
          \x20 positive: overlap(Authors) >= 1 and ontology(Venue) >= 0.75\n\
@@ -68,6 +82,33 @@ fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
 
 fn has_flag(args: &[String], key: &str) -> bool {
     args.iter().any(|a| a == key)
+}
+
+/// Writes a JSON value to stdout (pretty-printed, newline-terminated)
+/// without panicking: a broken pipe (`dime … --json | head`) exits as a
+/// clean success, and serialization or write failures become error exits
+/// instead of unwinding through `println!`.
+fn emit_json(value: &Value) -> ExitCode {
+    let text = match serde_json::to_string_pretty(value) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: failed to serialize the report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut out = std::io::stdout().lock();
+    let written = out
+        .write_all(text.as_bytes())
+        .and_then(|()| out.write_all(b"\n"))
+        .and_then(|()| out.flush());
+    match written {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: failed to write the report: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn load_inputs(args: &[String]) -> Result<(Group, Vec<Rule>, Vec<Rule>), String> {
@@ -111,10 +152,9 @@ fn cmd_discover(args: &[String]) -> ExitCode {
         }
     };
     if has_flag(args, "--json") {
-        println!("{}", serde_json::to_string_pretty(&discovery_to_json(&group, &discovery)).unwrap());
-    } else {
-        print_report(&group, &discovery, has_flag(args, "--explain"), &neg);
+        return emit_json(&discovery_to_json(&group, &discovery));
     }
+    print_report(&group, &discovery, has_flag(args, "--explain"), &neg);
     ExitCode::SUCCESS
 }
 
@@ -126,11 +166,7 @@ fn print_report(group: &Group, discovery: &Discovery, explain: bool, negative: &
         discovery.pivot_members().len()
     );
     for step in &discovery.steps {
-        println!(
-            "  with {} negative rule(s): {} flagged",
-            step.rules_applied,
-            step.flagged.len()
-        );
+        println!("  with {} negative rule(s): {} flagged", step.rules_applied, step.flagged.len());
     }
     let flagged = discovery.mis_categorized();
     if flagged.is_empty() {
@@ -237,7 +273,11 @@ fn cmd_learn(args: &[String]) -> ExitCode {
         eprintln!("error: no discriminating rules found — check the labels");
         return ExitCode::FAILURE;
     }
-    println!("# learned from {} positive / {} negative examples", ex.positive.len(), ex.negative.len());
+    println!(
+        "# learned from {} positive / {} negative examples",
+        ex.positive.len(),
+        ex.negative.len()
+    );
     for r in pos.iter().chain(neg.iter()) {
         println!("{}", r.to_dsl(&schema));
     }
@@ -264,11 +304,7 @@ fn cmd_demo(args: &[String]) -> ExitCode {
     };
     let discovery = discover_fast(&lg.group, &pos, &neg);
     if has_flag(args, "--json") {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&discovery_to_json(&lg.group, &discovery)).unwrap()
-        );
-        return ExitCode::SUCCESS;
+        return emit_json(&discovery_to_json(&lg.group, &discovery));
     }
     println!(
         "synthetic {} group: {} entities, {} truly mis-categorized\n",
@@ -311,6 +347,165 @@ fn cmd_stats(args: &[String]) -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Parses an optional numeric flag, distinguishing "absent" from
+/// "unparsable" so typos fail loudly instead of silently using a default.
+fn numeric_flag<T: std::str::FromStr>(args: &[String], key: &str) -> Result<Option<T>, String> {
+    match flag_value(args, key) {
+        None => Ok(None),
+        Some(v) => v.parse().map(Some).map_err(|_| format!("{key} needs a number, got {v:?}")),
+    }
+}
+
+/// `dime serve`: host live groups behind the `dime-serve` TCP protocol.
+/// Runs until a client sends `{"op": "shutdown"}`, then drains and exits.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut config = ServeConfig {
+        addr: flag_value(args, "--addr").unwrap_or("127.0.0.1:7878").to_string(),
+        ..ServeConfig::default()
+    };
+    let knobs: [(&str, &mut usize); 4] = [
+        ("--workers", &mut config.workers),
+        ("--max-frame-bytes", &mut config.max_frame_bytes),
+        ("--max-entities", &mut config.max_entities_per_request),
+        ("--max-sessions", &mut config.max_sessions),
+    ];
+    for (key, slot) in knobs {
+        match numeric_flag(args, key) {
+            Ok(None) => {}
+            Ok(Some(n)) => *slot = n,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: failed to bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Announce the resolved address (port 0 picks a free port) on stdout
+    // so scripts can parse it; flush before blocking in the accept loop.
+    println!("dime-serve listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    match server.run() {
+        Ok(()) => {
+            eprintln!("dime-serve drained and stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: server failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `dime client`: send one protocol request to a running server and print
+/// the JSON payload of the response.
+fn cmd_client(args: &[String]) -> ExitCode {
+    let Some(addr) = flag_value(args, "--addr") else {
+        eprintln!("error: client needs --addr <host:port>");
+        return ExitCode::FAILURE;
+    };
+    let req = match build_client_request(args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: failed to connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.call(&req) {
+        Ok(payload) => emit_json(&payload),
+        Err(ClientError::Server { code, message }) => {
+            eprintln!("server error {code}: {message}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Builds the protocol request described by `dime client` operands.
+fn build_client_request(args: &[String]) -> Result<Request, String> {
+    let session = || -> Result<u64, String> {
+        numeric_flag(args, "--session")?.ok_or_else(|| "missing --session <id>".to_string())
+    };
+    // The op is the first positional argument — skip every flag together
+    // with its value so `--addr 1.2.3.4:7 stats --session 5` parses
+    // regardless of ordering.
+    const VALUED_FLAGS: [&str; 7] =
+        ["--addr", "--session", "--entity", "--step", "--group", "--rules", "--entities"];
+    let mut op = None;
+    let mut i = 0;
+    while i < args.len() {
+        if VALUED_FLAGS.contains(&args[i].as_str()) {
+            i += 2;
+        } else if args[i].starts_with("--") {
+            i += 1;
+        } else {
+            op = Some(args[i].as_str());
+            break;
+        }
+    }
+    let op = op.ok_or_else(|| {
+        "client needs an operation: ping | create | add | remove | discovery | scrollbar | stats | close | shutdown"
+            .to_string()
+    })?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "create" => {
+            let group_path =
+                flag_value(args, "--group").ok_or("create needs --group <group.json>")?;
+            let rules_path =
+                flag_value(args, "--rules").ok_or("create needs --rules <rules.txt>")?;
+            let group_text =
+                std::fs::read_to_string(group_path).map_err(|e| format!("{group_path}: {e}"))?;
+            let rules =
+                std::fs::read_to_string(rules_path).map_err(|e| format!("{rules_path}: {e}"))?;
+            let group: Value = serde_json::from_str(&group_text)
+                .map_err(|e| format!("{group_path}: invalid JSON: {e}"))?;
+            Ok(Request::CreateSession { group, rules })
+        }
+        "add" => {
+            let rows_path =
+                flag_value(args, "--entities").ok_or("add needs --entities <rows.json>")?;
+            let text =
+                std::fs::read_to_string(rows_path).map_err(|e| format!("{rows_path}: {e}"))?;
+            let rows: Value = serde_json::from_str(&text)
+                .map_err(|e| format!("{rows_path}: invalid JSON: {e}"))?;
+            let entities = rows
+                .as_array()
+                .cloned()
+                .ok_or_else(|| format!("{rows_path}: expected a JSON array of rows"))?;
+            Ok(Request::AddEntities { session: session()?, entities })
+        }
+        "remove" => {
+            let entity = numeric_flag(args, "--entity")?.ok_or("remove needs --entity <id>")?;
+            Ok(Request::RemoveEntity { session: session()?, entity })
+        }
+        "discovery" => Ok(Request::Discovery { session: session()? }),
+        "scrollbar" => {
+            let step = numeric_flag(args, "--step")?.ok_or("scrollbar needs --step <n>")?;
+            Ok(Request::Scrollbar { session: session()?, step })
+        }
+        "stats" => Ok(Request::Stats { session: numeric_flag(args, "--session")? }),
+        "close" => Ok(Request::CloseSession { session: session()? }),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown client operation {other:?}")),
     }
 }
 

@@ -15,7 +15,9 @@
 //! * [`rulegen`] — greedy + enumeration rule generation from examples;
 //! * [`baselines`] — CR, SVM, decision tree, SIFI;
 //! * [`data`] — synthetic Scholar / Amazon / DBGen datasets;
-//! * [`metrics`] — precision/recall/F-measure, k-fold splits.
+//! * [`metrics`] — precision/recall/F-measure, k-fold splits;
+//! * [`serve`] — the concurrent JSON-lines TCP discovery service over
+//!   the incremental engine (`dime serve` / `dime client`).
 //!
 //! ## Quickstart
 //!
@@ -51,4 +53,5 @@ pub use dime_index as index;
 pub use dime_metrics as metrics;
 pub use dime_ontology as ontology;
 pub use dime_rulegen as rulegen;
+pub use dime_serve as serve;
 pub use dime_text as text;

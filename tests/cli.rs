@@ -162,13 +162,8 @@ fn explain_shows_witnessing_rule() {
 fn learn_emits_parseable_rules() {
     let group = write_temp("g7.json", GROUP);
     let truth = write_temp("t7.json", "[2]");
-    let out = dime()
-        .args(["learn", "--group"])
-        .arg(&group)
-        .arg("--truth")
-        .arg(&truth)
-        .output()
-        .unwrap();
+    let out =
+        dime().args(["learn", "--group"]).arg(&group).arg("--truth").arg(&truth).output().unwrap();
     assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8(out.stdout).unwrap();
     // The emitted rules must round-trip through check-rules.
@@ -187,13 +182,8 @@ fn learn_emits_parseable_rules() {
 fn learn_rejects_out_of_range_truth() {
     let group = write_temp("g8.json", GROUP);
     let truth = write_temp("t8.json", "[99]");
-    let out = dime()
-        .args(["learn", "--group"])
-        .arg(&group)
-        .arg("--truth")
-        .arg(&truth)
-        .output()
-        .unwrap();
+    let out =
+        dime().args(["learn", "--group"]).arg(&group).arg("--truth").arg(&truth).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
 }
@@ -206,4 +196,100 @@ fn stats_summarizes_attributes() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("3 entities"), "{stdout}");
     assert!(stdout.contains("Authors"), "{stdout}");
+}
+
+#[test]
+fn json_output_survives_a_broken_pipe() {
+    use std::io::Read;
+    // A report large enough to overflow the ~64 KiB pipe buffer after the
+    // reader hangs up, so the writer definitely hits EPIPE.
+    let mut doc = String::from(
+        r#"{"schema": [{"name": "Authors", "tokenizer": {"list": ","}}], "entities": ["#,
+    );
+    for i in 0..6000 {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push_str(&format!("[\"author-number-{i}\"]"));
+    }
+    doc.push_str("]}");
+    let group = write_temp("g10.json", &doc);
+    let rules =
+        write_temp("r10.txt", "positive: overlap(Authors) >= 1\nnegative: overlap(Authors) = 0\n");
+    let mut child = dime()
+        .args(["discover", "--json", "--group"])
+        .arg(&group)
+        .arg("--rules")
+        .arg(&rules)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    // Read one byte to be sure output started, then hang up the pipe.
+    let mut stdout = child.stdout.take().unwrap();
+    let mut byte = [0u8; 1];
+    stdout.read_exact(&mut byte).unwrap();
+    drop(stdout);
+    let status = child.wait().unwrap();
+    let mut stderr = String::new();
+    child.stderr.take().unwrap().read_to_string(&mut stderr).unwrap();
+    assert!(status.success(), "a broken pipe must exit cleanly, stderr: {stderr}");
+}
+
+#[test]
+fn serve_and_client_roundtrip() {
+    use std::io::{BufRead, BufReader, Read};
+    let mut server = dime()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "4"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    // The first stdout line announces the resolved address.
+    let mut announce = String::new();
+    BufReader::new(server.stdout.as_mut().unwrap()).read_line(&mut announce).unwrap();
+    let addr = announce.trim().rsplit(' ').next().unwrap().to_string();
+    assert!(addr.contains(':'), "bad announce line: {announce}");
+
+    let run_ok = |args: &[&str]| -> serde_json::Value {
+        let out = dime().args(["client", "--addr", &addr]).args(args).output().unwrap();
+        assert!(
+            out.status.success(),
+            "client {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        serde_json::from_slice(&out.stdout).unwrap()
+    };
+
+    assert_eq!(run_ok(&["ping"])["pong"], true);
+
+    let group = write_temp("g11.json", GROUP);
+    let rules = write_temp("r11.txt", RULES);
+    let created =
+        run_ok(&["create", "--group", group.to_str().unwrap(), "--rules", rules.to_str().unwrap()]);
+    let session = created["session"].as_u64().unwrap().to_string();
+    assert_eq!(created["entities"], 3);
+
+    let report = run_ok(&["discovery", "--session", &session]);
+    assert_eq!(report["mis_categorized"][0]["Authors"], "jianlong wang");
+
+    let stats = run_ok(&["stats", "--session", &session]);
+    assert_eq!(stats["entities"], 3);
+
+    // A protocol error surfaces as a failing exit with the server's code.
+    let out = dime()
+        .args(["client", "--addr", &addr, "discovery", "--session", "99999"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no_such_session"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    assert_eq!(run_ok(&["shutdown"])["shutting_down"], true);
+    let status = server.wait().unwrap();
+    assert!(status.success(), "server must drain and exit cleanly");
+    let mut rest = String::new();
+    server.stdout.take().unwrap().read_to_string(&mut rest).unwrap();
 }

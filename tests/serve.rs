@@ -1,0 +1,215 @@
+//! End-to-end tests of the discovery service: many concurrent clients
+//! driving live sessions over real TCP, with every served discovery
+//! checked against a from-scratch `discover_fast` run on the same final
+//! group, and graceful shutdown draining every in-flight request.
+
+use dime::core::{discover_fast, parse_rules, GroupBuilder, Polarity, Schema};
+use dime::data::discovery_to_json;
+use dime::serve::{Client, Frame, FrameReader, ServeConfig, Server};
+use dime::text::TokenizerKind;
+use serde_json::{json, Value};
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+
+const RULES: &str = "positive: overlap(Authors) >= 2\nnegative: overlap(Authors) <= 0";
+
+fn group_doc() -> Value {
+    json!({
+        "schema": [
+            {"name": "Title", "tokenizer": "words"},
+            {"name": "Authors", "tokenizer": {"list": ","}}
+        ],
+        "entities": []
+    })
+}
+
+/// The reference result: `discover_fast` on a batch-built group holding
+/// exactly `rows`, serialized the same way the server serializes.
+fn reference_report(rows: &[(String, String)]) -> Value {
+    let schema =
+        Schema::new([("Title", TokenizerKind::Words), ("Authors", TokenizerKind::List(','))]);
+    let mut b = GroupBuilder::new(schema);
+    for (t, a) in rows {
+        b.add_entity(&[t.as_str(), a.as_str()]);
+    }
+    let group = b.build();
+    let rules = parse_rules(RULES, group.schema()).expect("rules parse");
+    let (pos, neg): (Vec<_>, Vec<_>) =
+        rules.into_iter().partition(|r| r.polarity == Polarity::Positive);
+    let d = discover_fast(&group, &pos, &neg);
+    discovery_to_json(&group, &d)
+}
+
+/// Strips the `witnesses` field: witness pairs legitimately differ
+/// between engines (any pivot member violating the rule is a valid
+/// witness), exactly like `Discovery`'s own `PartialEq`.
+fn comparable(mut report: Value) -> Value {
+    report.as_object_mut().expect("report object").remove("witnesses");
+    report
+}
+
+/// Eight concurrent clients, each driving its own session over one
+/// persistent connection with mixed traffic — batched adds, removals,
+/// scrollbar reads, stats, error probes — asserting that every discovery
+/// the server returns matches `discover_fast` on the same final group.
+#[test]
+fn concurrent_clients_see_batch_identical_discoveries() {
+    const CLIENTS: usize = 8;
+    let server = Server::bind(ServeConfig {
+        // Well above the client count: each persistent connection owns a
+        // worker for its lifetime, and auto-resolve on a small CI box
+        // could starve them.
+        workers: CLIENTS + 4,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client.ping().expect("ping");
+                let session = client.create_session(&group_doc(), RULES).expect("create");
+                let mut rows: Vec<(String, String)> = Vec::new();
+
+                // Three linked papers, one outlier, then a client-specific
+                // tail; author pools are disjoint across clients so any
+                // cross-session bleed would change the result.
+                let base = [
+                    ("entity matching", format!("a{c}x, a{c}y")),
+                    ("entity matching redux", format!("a{c}x, a{c}y, a{c}z")),
+                    ("entity matching again", format!("a{c}y, a{c}z")),
+                    ("organic synthesis", format!("q{c}")),
+                ];
+                let batch: Vec<Value> = base.iter().map(|(t, a)| json!([t, a])).collect();
+                let ids = client.add_entities(session, &batch).expect("add");
+                assert_eq!(ids, vec![0, 1, 2, 3]);
+                rows.extend(base.iter().map(|(t, a)| (t.to_string(), a.clone())));
+
+                for i in 0..6 {
+                    let title = format!("tail paper {i}");
+                    let authors = format!("a{c}x, a{c}t{i}");
+                    client.add_entities(session, &[json!([title, authors])]).expect("tail add");
+                    rows.push((title, authors));
+
+                    if i % 2 == 0 {
+                        // Remove the bridge of the moment and mirror the
+                        // id compaction locally.
+                        let victim = i % rows.len();
+                        client.remove_entity(session, victim).expect("remove");
+                        rows.remove(victim);
+                    }
+
+                    let report = client.discovery(session).expect("discovery");
+                    assert_eq!(
+                        comparable(report.clone()),
+                        comparable(reference_report(&rows)),
+                        "client {c}, round {i}"
+                    );
+
+                    // The scrollbar step must mirror the full report.
+                    let step = client.scrollbar(session, 0).expect("scrollbar");
+                    assert_eq!(step["flagged"], report["steps"][0]["flagged"]);
+                }
+
+                // Error probes on the live connection must not disturb it.
+                assert!(client.discovery(session + 10_000).is_err());
+                assert!(client.remove_entity(session, 9_999).is_err());
+
+                let stats = client.stats(Some(session)).expect("stats");
+                assert_eq!(stats["entities"].as_u64().unwrap() as usize, rows.len());
+                assert!(stats["pairs_verified"].as_u64().unwrap() > 0);
+                assert!(stats["flag_latency"]["count"].as_u64().unwrap() >= 6);
+
+                let report = client.discovery(session).expect("final discovery");
+                assert_eq!(comparable(report), comparable(reference_report(&rows)));
+                client.close_session(session).expect("close");
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    // All sessions closed; global counters saw every client.
+    let mut client = Client::connect(addr).expect("stats connect");
+    let stats = client.stats(None).expect("global stats");
+    assert_eq!(stats["sessions"]["live"], 0);
+    assert_eq!(stats["sessions"]["created"], CLIENTS);
+    assert_eq!(stats["sessions"]["closed"], CLIENTS);
+    assert!(stats["requests"].as_u64().unwrap() > (CLIENTS * 10) as u64);
+    drop(client);
+
+    handle.shutdown();
+    runner.join().expect("server thread").expect("server run");
+}
+
+/// Graceful shutdown must drain: requests already written to the server
+/// — including connections still queued for a worker — all get their
+/// response, and `run` returns only after every worker exits.
+#[test]
+fn shutdown_drains_every_inflight_request() {
+    const PENDING: usize = 8;
+    let server = Server::bind(ServeConfig {
+        // Fewer workers than pending connections, so the drain must also
+        // empty the accept queue, not just finish busy workers.
+        workers: 3,
+        poll_interval: std::time::Duration::from_millis(10),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+
+    // Seed a session for the pending requests to hit.
+    let session = {
+        let mut client = Client::connect(addr).expect("setup connect");
+        let session = client.create_session(&group_doc(), RULES).expect("create");
+        client
+            .add_entities(
+                session,
+                &[json!(["t", "ann, bob"]), json!(["t", "ann, bob, carl"]), json!(["t", "dora"])],
+            )
+            .expect("seed");
+        session
+    };
+
+    // Write one discovery request per connection and deliberately do not
+    // read anything yet.
+    let mut pending: Vec<TcpStream> = (0..PENDING)
+        .map(|_| {
+            let mut s = TcpStream::connect(addr).expect("pending connect");
+            let frame = format!("{{\"op\": \"discovery\", \"session\": {session}}}\n");
+            s.write_all(frame.as_bytes()).expect("write pending");
+            s.flush().expect("flush pending");
+            s
+        })
+        .collect();
+
+    // Let the accept loop take them all in, then pull the plug.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    handle.shutdown();
+
+    // Every single request written before shutdown must get its response.
+    let expected = comparable(reference_report(&[
+        ("t".into(), "ann, bob".into()),
+        ("t".into(), "ann, bob, carl".into()),
+        ("t".into(), "dora".into()),
+    ]));
+    for stream in pending.drain(..) {
+        let mut reader = FrameReader::new(BufReader::new(stream), 1 << 20);
+        match reader.read_frame().expect("drained read") {
+            Frame::Line(line) => {
+                let v: Value = serde_json::from_str(&line).expect("response JSON");
+                let report = v.get("ok").cloned().expect("ok response");
+                assert_eq!(comparable(report), expected);
+            }
+            other => panic!("dropped in-flight response: {other:?}"),
+        }
+    }
+    runner.join().expect("server thread").expect("server run");
+}

@@ -1,12 +1,16 @@
 //! Ablations of DIME⁺'s two verification optimizations (DESIGN.md §5):
 //! benefit-ordered candidate verification and the union-find transitivity
-//! short-circuit, each toggled independently on the same workloads.
+//! short-circuit, each toggled independently on the same workloads — plus
+//! the tracing hook's own cost: untraced entry point vs the traced entry
+//! point with the no-op sink (must be statistically indistinguishable) vs
+//! a live recorder.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dime_core::{discover_fast_with, DimePlusConfig};
+use dime_core::{discover_fast_traced, discover_fast_with, DimePlusConfig};
 use dime_data::{
     dbgen_group, dbgen_rules, scholar_page, scholar_rules, DbgenConfig, ScholarConfig,
 };
+use dime_trace::{NoopSink, Recorder};
 
 fn configs() -> [(&'static str, DimePlusConfig); 4] {
     let full = DimePlusConfig::default(); // benefit order + transitivity, 1 thread
@@ -44,5 +48,28 @@ fn bench_dbgen_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_scholar_ablation, bench_dbgen_ablation);
+/// The disabled-sink overhead ablation: `plain` (the untraced entry
+/// point) and `noop_sink` (the traced entry point with tracing disabled)
+/// must be indistinguishable — the instrumentation guards every flush
+/// behind `sink.enabled()`. `recorder` shows the cost of live tracing.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let (pos, neg) = scholar_rules();
+    let lg = scholar_page("trace", &ScholarConfig::scaled_to(1500, 99));
+    let cfg = DimePlusConfig::default();
+    let mut g = c.benchmark_group("trace_overhead_scholar_1500");
+    g.sample_size(10);
+    g.bench_function("plain", |b| b.iter(|| discover_fast_with(&lg.group, &pos, &neg, cfg)));
+    g.bench_function("noop_sink", |b| {
+        b.iter(|| discover_fast_traced(&lg.group, &pos, &neg, cfg, &NoopSink))
+    });
+    g.bench_function("recorder", |b| {
+        b.iter(|| {
+            let recorder = Recorder::new();
+            discover_fast_traced(&lg.group, &pos, &neg, cfg, &recorder)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scholar_ablation, bench_dbgen_ablation, bench_trace_overhead);
 criterion_main!(benches);

@@ -19,12 +19,19 @@
 //! 6.  §V  Exp-6 — greedy DIME-Rule ≥ SIFI on the Scholar CV page.
 //!
 //! Flags: `--seed S` (default 42). Runtime ≈ 1–2 minutes.
+//!
+//! `--smoke` runs only a seconds-scale engine-agreement check (the three
+//! engines on a tiny DBGen group, with a generous wall-clock ceiling) —
+//! the CI bench-smoke stage uses it to guard the engines on every push
+//! without paying for the full reproduction suite.
 
 use dime_bench::arg_or;
 use dime_bench::{
     run_cr_fixed, run_dime_best, run_kmeans, scrollbar_metrics, Dataset, CR_THRESHOLDS,
 };
-use dime_core::{discover_fast, discover_naive, PartitionStats, Polarity, SimilarityFn};
+use dime_core::{
+    discover_fast, discover_naive, discover_parallel, PartitionStats, Polarity, SimilarityFn,
+};
 use dime_data::{
     amazon_category, amazon_rules, dbgen_group, dbgen_rules, scholar_attr, scholar_page,
     scholar_rules, AmazonConfig, DbgenConfig, ExampleSet, ScholarConfig,
@@ -37,8 +44,39 @@ fn check(name: &str, ok: bool, detail: String) -> bool {
     ok
 }
 
+/// The CI smoke check: the three engines must agree bit-for-bit on a tiny
+/// generated group, inside a generous time ceiling (the run takes well
+/// under a second; the ceiling only catches pathological slowdowns).
+fn run_smoke(seed: u64) -> bool {
+    const CEILING_SECS: f64 = 30.0;
+    let (pos, neg) = dbgen_rules();
+    let lg = dbgen_group(&DbgenConfig::new(600, seed));
+    let t0 = Instant::now();
+    let naive = discover_naive(&lg.group, &pos, &neg);
+    let fast = discover_fast(&lg.group, &pos, &neg);
+    let parallel = discover_parallel(&lg.group, &pos, &neg, 0);
+    let wall = t0.elapsed().as_secs_f64();
+    let mut ok = true;
+    ok &= check("smoke naive == fast", naive == fast, "DBGen 600".into());
+    ok &= check("smoke fast == parallel", fast == parallel, "DBGen 600".into());
+    ok &= check(
+        "smoke under time ceiling",
+        wall <= CEILING_SECS,
+        format!("{wall:.2}s (ceiling {CEILING_SECS}s)"),
+    );
+    ok
+}
+
 fn main() {
     let seed: u64 = arg_or("seed", 42);
+    if std::env::args().any(|a| a == "--smoke") {
+        if run_smoke(seed) {
+            println!("\nsmoke checks passed");
+            return;
+        }
+        println!("\nSMOKE CHECKS FAILED");
+        std::process::exit(1);
+    }
     let mut all_ok = true;
 
     // ---- 1. Scholar: DIME > CR, DIME >> k-means ---------------------------

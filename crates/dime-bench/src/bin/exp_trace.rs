@@ -1,0 +1,154 @@
+//! Phase-breakdown driver — runs the traced DIME⁺ engine over the
+//! standard synthetic workloads with a `dime-trace` recorder attached and
+//! reports where the wall-clock goes: per-phase totals (signature
+//! building, index probing, verification, union, flagging), engine
+//! counters, and per-rule hit counts. Writes the machine-readable
+//! summary to `results/BENCH_trace.json` so the phase mix is tracked in
+//! CI alongside the throughput numbers.
+//!
+//! Also measures the cost of the hook itself: each workload runs once
+//! with the no-op sink and once with the recorder, and the summary
+//! carries both wall-clock figures (`wall_noop_seconds` /
+//! `wall_recorder_seconds`) so a regression in the disabled-sink path
+//! shows up as their ratio drifting from 1.
+//!
+//! Flags: `--seed S` (default 42), `--scholar N` entities (default 2000),
+//! `--dbgen N` entities (default 5000), `--threads N` (default 1),
+//! `--out PATH` (default `results/BENCH_trace.json`).
+
+use dime_bench::{arg_or, secs, Table};
+use dime_core::{discover_fast_traced, DimePlusConfig, Group, Rule};
+use dime_data::{
+    dbgen_group, dbgen_rules, scholar_page, scholar_rules, DbgenConfig, ScholarConfig,
+};
+use dime_trace::{NoopSink, Recorder, TraceReport};
+use serde_json::{json, Value};
+use std::time::Instant;
+
+/// One workload's traced run: the report plus both wall-clock readings.
+struct TracedRun {
+    name: &'static str,
+    entities: usize,
+    wall_noop: f64,
+    wall_recorder: f64,
+    report: TraceReport,
+}
+
+fn run_workload(
+    name: &'static str,
+    group: &Group,
+    pos: &[Rule],
+    neg: &[Rule],
+    config: DimePlusConfig,
+) -> TracedRun {
+    // Warm-up pass, then the no-op-sink baseline and the recorded run.
+    discover_fast_traced(group, pos, neg, config, &NoopSink);
+    let t0 = Instant::now();
+    let baseline = discover_fast_traced(group, pos, neg, config, &NoopSink);
+    let wall_noop = t0.elapsed().as_secs_f64();
+    let recorder = Recorder::new();
+    let t0 = Instant::now();
+    let traced = discover_fast_traced(group, pos, neg, config, &recorder);
+    let wall_recorder = t0.elapsed().as_secs_f64();
+    assert_eq!(baseline, traced, "tracing must not change the discovery");
+    TracedRun { name, entities: group.len(), wall_noop, wall_recorder, report: recorder.snapshot() }
+}
+
+fn report_to_value(run: &TracedRun) -> Value {
+    let phases: Vec<Value> = run
+        .report
+        .phases
+        .iter()
+        .map(|p| json!({"name": p.name, "count": p.count, "total_ns": p.total_ns}))
+        .collect();
+    let counters: serde_json::Map<String, Value> =
+        run.report.counters.iter().map(|(n, v)| (n.clone(), json!(v))).collect();
+    let rule_hits: Vec<Value> = run
+        .report
+        .rule_hits
+        .iter()
+        .map(|r| json!({"kind": r.kind.label(), "rule": r.rule, "hits": r.hits}))
+        .collect();
+    json!({
+        "workload": run.name,
+        "entities": run.entities,
+        "wall_noop_seconds": run.wall_noop,
+        "wall_recorder_seconds": run.wall_recorder,
+        "phases": phases,
+        "counters": counters,
+        "rule_hits": rule_hits,
+    })
+}
+
+fn print_run(run: &TracedRun) {
+    let wall_ns = (run.wall_recorder * 1e9).max(1.0);
+    println!(
+        "\n== {} ({} entities): noop {} / recorder {} ==",
+        run.name,
+        run.entities,
+        secs(run.wall_noop),
+        secs(run.wall_recorder)
+    );
+    let mut t = Table::new(&["phase", "count", "total", "% wall"]);
+    for p in &run.report.phases {
+        t.row(vec![
+            p.name.clone(),
+            p.count.to_string(),
+            secs(p.total_ns as f64 / 1e9),
+            format!("{:.1}%", p.total_ns as f64 * 100.0 / wall_ns),
+        ]);
+    }
+    t.print();
+    let top = ["signature_build", "index_probe", "verify", "union", "flag"];
+    let tiled: u64 = run
+        .report
+        .phases
+        .iter()
+        .filter(|p| top.contains(&p.name.as_str()))
+        .map(|p| p.total_ns)
+        .sum();
+    println!("top-level phases cover {:.1}% of wall-clock", tiled as f64 * 100.0 / wall_ns);
+    for (name, v) in &run.report.counters {
+        println!("  {name:<28} {v}");
+    }
+}
+
+fn main() {
+    let seed: u64 = arg_or("seed", 42);
+    let scholar_n: usize = arg_or("scholar", 2000);
+    let dbgen_n: usize = arg_or("dbgen", 5000);
+    let threads: usize = arg_or("threads", 1);
+    let out: String = arg_or("out", "results/BENCH_trace.json".to_string());
+    let config = DimePlusConfig { threads, ..DimePlusConfig::default() };
+
+    let mut runs = Vec::new();
+    {
+        let (pos, neg) = scholar_rules();
+        let lg = scholar_page("trace", &ScholarConfig::scaled_to(scholar_n, seed));
+        runs.push(run_workload("scholar", &lg.group, &pos, &neg, config));
+    }
+    {
+        let (pos, neg) = dbgen_rules();
+        let lg = dbgen_group(&DbgenConfig::new(dbgen_n, seed));
+        runs.push(run_workload("dbgen", &lg.group, &pos, &neg, config));
+    }
+
+    for run in &runs {
+        print_run(run);
+    }
+
+    let summary = json!({
+        "config": {"seed": seed, "scholar": scholar_n, "dbgen": dbgen_n, "threads": threads},
+        "workloads": runs.iter().map(report_to_value).collect::<Vec<_>>(),
+    });
+    let path = std::path::Path::new(&out);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    let mut body = serde_json::to_string_pretty(&summary).expect("serialize summary");
+    body.push('\n');
+    std::fs::write(path, body).expect("write summary");
+    println!("\nwrote {out}");
+}

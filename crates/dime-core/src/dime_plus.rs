@@ -25,6 +25,7 @@ use crate::par::{par_map, par_shards, resolve_threads};
 use crate::rule::Rule;
 use crate::signature::{PredSigs, SigContext};
 use dime_index::{ConcurrentUnionFind, InvertedIndex, UnionFind};
+use dime_trace::{span, RuleKind, TraceSink, NOOP};
 use std::collections::HashSet;
 
 /// Tuning knobs for DIME⁺ (all defaults match the paper's design).
@@ -127,31 +128,61 @@ pub fn discover_fast_with(
     negative: &[Rule],
     config: DimePlusConfig,
 ) -> Discovery {
+    discover_fast_traced(group, positive, negative, config, &NOOP)
+}
+
+/// Runs DIME⁺ exactly like [`discover_fast_with`] while reporting phase
+/// spans (`signature_build`, `index_probe`, `verify`, `union`, `flag`),
+/// counters, and per-rule hit counts to `sink`.
+///
+/// The five phase names tile the run: they never nest, so their summed
+/// durations account for the whole wall-clock up to the (trivial)
+/// book-keeping between phases. Tracing never changes the result — hot
+/// loops accumulate plain local counters and flush once per phase, and a
+/// disabled sink ([`dime_trace::NoopSink`]) skips even the clock reads.
+pub fn discover_fast_traced(
+    group: &Group,
+    positive: &[Rule],
+    negative: &[Rule],
+    config: DimePlusConfig,
+    sink: &dyn TraceSink,
+) -> Discovery {
     check_polarities(positive, negative);
     let n = group.len();
     assert!(n > 0, "cannot discover in an empty group");
     let workers = resolve_threads(config.threads);
     if workers > 1 {
-        return discover_parallel_impl(group, positive, negative, config, workers);
+        return discover_parallel_impl(group, positive, negative, config, workers, sink);
     }
-    let mut ctx = SigContext::new(group);
+    let mut ctx = {
+        let _s = span(sink, "signature_build");
+        SigContext::new(group)
+    };
 
     // ---- Step 1: partitions via signature filter + ordered verification.
     let mut uf = UnionFind::new(n);
-    for rule in positive {
-        verify_positive_rule(group, &mut ctx, rule, &mut uf, config);
+    for (ri, rule) in positive.iter().enumerate() {
+        verify_positive_rule(group, &mut ctx, rule, &mut uf, config, sink, ri);
     }
-    let partitions = uf.components();
-
-    // ---- Step 2: pivot partition.
-    let pivot = pick_pivot(&partitions);
+    // ---- Step 2: components + pivot partition.
+    let (partitions, pivot) = {
+        let _s = span(sink, "union");
+        let partitions = uf.components();
+        let pivot = pick_pivot(&partitions);
+        (partitions, pivot)
+    };
 
     // ---- Step 3: negative rules over partitions.
     let mut per_rule: Vec<Vec<bool>> = Vec::with_capacity(negative.len());
     let mut witnesses: Vec<Witness> = Vec::new();
     for (ri, rule) in negative.iter().enumerate() {
-        let (flags, rule_witnesses) =
-            flag_partitions_fast(group, &mut ctx, rule, &partitions, pivot);
+        let (flags, rule_witnesses) = {
+            let _s = span(sink, "flag");
+            flag_partitions_fast(group, &mut ctx, rule, &partitions, pivot, sink)
+        };
+        if sink.enabled() {
+            sink.rule_hits(RuleKind::Negative, ri, flags.iter().filter(|&&f| f).count() as u64);
+        }
         for w in rule_witnesses {
             if !witnesses.iter().any(|x| x.partition == w.partition) {
                 witnesses.push(Witness { rule: ri, ..w });
@@ -172,26 +203,41 @@ fn discover_parallel_impl(
     negative: &[Rule],
     config: DimePlusConfig,
     workers: usize,
+    sink: &dyn TraceSink,
 ) -> Discovery {
     let n = group.len();
-    let mut ctx = SigContext::new(group);
+    let mut ctx = {
+        let _s = span(sink, "signature_build");
+        SigContext::new(group)
+    };
 
     // ---- Step 1: partitions via sharded filter + verification.
     let uf = ConcurrentUnionFind::new(n);
-    for rule in positive {
-        verify_positive_rule_parallel(group, &mut ctx, rule, &uf, config, workers);
+    for (ri, rule) in positive.iter().enumerate() {
+        verify_positive_rule_parallel(group, &mut ctx, rule, &uf, config, workers, sink, ri);
     }
-    let partitions = uf.components();
-
-    // ---- Step 2: pivot partition.
-    let pivot = pick_pivot(&partitions);
+    // ---- Step 2: components + pivot partition.
+    let (partitions, pivot) = {
+        let _s = span(sink, "union");
+        let partitions = uf.components();
+        let pivot = pick_pivot(&partitions);
+        (partitions, pivot)
+    };
+    if sink.enabled() {
+        sink.add("uf_merges", uf.merge_count());
+    }
 
     // ---- Step 3: negative rules, each partition scanned independently.
     let mut per_rule: Vec<Vec<bool>> = Vec::with_capacity(negative.len());
     let mut witnesses: Vec<Witness> = Vec::new();
     for (ri, rule) in negative.iter().enumerate() {
-        let (flags, rule_witnesses) =
-            flag_partitions_parallel(group, &mut ctx, rule, &partitions, pivot, workers);
+        let (flags, rule_witnesses) = {
+            let _s = span(sink, "flag");
+            flag_partitions_parallel(group, &mut ctx, rule, &partitions, pivot, workers, sink)
+        };
+        if sink.enabled() {
+            sink.rule_hits(RuleKind::Negative, ri, flags.iter().filter(|&&f| f).count() as u64);
+        }
         for w in rule_witnesses {
             if !witnesses.iter().any(|x| x.partition == w.partition) {
                 witnesses.push(Witness { rule: ri, ..w });
@@ -211,6 +257,7 @@ fn discover_parallel_impl(
 /// union-find state, and a pair skipped by the transitivity check is
 /// already connected, so the final components are the connected closure of
 /// the satisfying candidate pairs under any interleaving.
+#[allow(clippy::too_many_arguments)] // internal engine body; `ri` and `sink` ride along
 fn verify_positive_rule_parallel(
     group: &Group,
     ctx: &mut SigContext<'_>,
@@ -218,24 +265,35 @@ fn verify_positive_rule_parallel(
     uf: &ConcurrentUnionFind,
     config: DimePlusConfig,
     workers: usize,
+    sink: &dyn TraceSink,
+    ri: usize,
 ) {
     let n = group.len();
     let mut index = InvertedIndex::new();
     let mut wildcards: Vec<u32> = Vec::new();
     let mut sig_count = vec![0usize; n];
-    for (eid, sigs) in ctx.positive_rule_signatures_threaded(rule, workers).into_iter().enumerate()
     {
-        match sigs {
-            None => wildcards.push(eid as u32),
-            Some(sigs) => {
-                sig_count[eid] = sigs.len();
-                for s in sigs {
-                    index.insert(s, eid as u32);
+        let _s = span(sink, "signature_build");
+        for (eid, sigs) in
+            ctx.positive_rule_signatures_threaded(rule, workers).into_iter().enumerate()
+        {
+            match sigs {
+                None => wildcards.push(eid as u32),
+                Some(sigs) => {
+                    sig_count[eid] = sigs.len();
+                    for s in sigs {
+                        index.insert(s, eid as u32);
+                    }
                 }
             }
         }
     }
+    if sink.enabled() {
+        sink.add("signatures_built", index.posting_count() as u64);
+        sink.add("wildcard_entities", wildcards.len() as u64);
+    }
 
+    let probe = span(sink, "index_probe");
     // Sharded candidate gathering: each worker walks its residue class of
     // signature buckets (and of wildcard entities) and emits packed pairs,
     // pre-filtered against components built by *earlier* rules — no unions
@@ -301,22 +359,46 @@ fn verify_positive_rule_parallel(
         // `candidates` is already sorted by (a, b) via the packed sort.
         candidates.iter().map(|&(a, b, _)| (a, b)).collect()
     };
+    drop(probe);
+    if sink.enabled() {
+        let total_pairs = (n as u64) * (n as u64 - 1) / 2;
+        sink.add("candidate_pairs", ordered.len() as u64);
+        sink.add("pairs_pruned_filter", total_pairs.saturating_sub(ordered.len() as u64));
+        // Sharded gathering scans each inverted list exactly once instead
+        // of point-probing, so each bucket counts as one probe.
+        sink.add("index_probes", index.probe_count() + buckets.len() as u64);
+    }
 
     // Striped verification: worker `t` takes pairs t, t+workers, … so all
     // workers advance through the benefit ranking together. Unions land in
-    // the shared concurrent union-find as they are found.
+    // the shared concurrent union-find as they are found. Each stripe
+    // returns its local tally (and its own worker span, so traces show the
+    // interleaving across thread ids).
+    let verify = span(sink, "verify");
     let stripes = if ordered.len() < crate::par::SEQ_CUTOFF { 1 } else { workers };
-    par_shards(stripes, |shard| {
+    let tallies: Vec<VerifyTally> = par_shards(stripes, |shard| {
+        let _w = span(sink, "verify_worker");
+        let mut tally = VerifyTally::default();
         for &(a, b) in ordered.iter().skip(shard).step_by(stripes) {
             if config.transitivity_skip && uf.same(a as usize, b as usize) {
+                tally.skipped += 1;
                 continue;
             }
+            tally.verified += 1;
             if rule.eval(group, group.entity(a as usize), group.entity(b as usize)) {
+                tally.hits += 1;
                 uf.union(a as usize, b as usize);
             }
         }
-        Vec::<()>::new()
+        vec![tally]
     });
+    drop(verify);
+    if sink.enabled() {
+        let total = tallies.iter().fold(VerifyTally::default(), VerifyTally::fold);
+        sink.add("pairs_verified", total.verified);
+        sink.add("pairs_skipped_transitivity", total.skipped);
+        sink.rule_hits(RuleKind::Positive, ri, total.hits);
+    }
 }
 
 /// Parallel negative phase for one rule: partitions are flagged against
@@ -330,6 +412,7 @@ fn flag_partitions_parallel(
     partitions: &[Vec<usize>],
     pivot: usize,
     workers: usize,
+    sink: &dyn TraceSink,
 ) -> (Vec<bool>, Vec<Witness>) {
     let m = rule.predicates.len();
     let ent_sigs: Vec<Vec<PredSigs>> = ctx.rule_sigs_negative_all(rule, workers);
@@ -359,42 +442,51 @@ fn flag_partitions_parallel(
             .sum()
     };
 
-    let results: Vec<(bool, Option<Witness>)> = par_map(partitions.len(), workers, |pi| {
-        if pi == pivot {
-            return (false, None);
-        }
-        let part = &partitions[pi];
-        let (sets, wild) = aggregate(part);
-        let filter_conclusive =
-            (0..m).all(|k| !wild[k] && !pivot_wild[k] && sets[k].is_disjoint(&pivot_sets[k]));
-        if filter_conclusive {
-            let w = Witness {
-                partition: pi,
-                rule: 0,
-                entity: part[0],
-                pivot_entity: partitions[pivot][0],
-            };
-            return (true, Some(w));
-        }
-        let mut part_order: Vec<(usize, usize)> =
-            part.iter().map(|&e| (score(&ent_sigs[e], &pivot_sets), e)).collect();
-        part_order.sort_unstable();
-        let mut pivot_order: Vec<(usize, usize)> =
-            partitions[pivot].iter().map(|&p| (score(&ent_sigs[p], &sets), p)).collect();
-        pivot_order.sort_unstable();
-        for &(_, e) in &part_order {
-            for &(_, p) in &pivot_order {
-                if rule.eval(group, group.entity(e), group.entity(p)) {
-                    let w = Witness { partition: pi, rule: 0, entity: e, pivot_entity: p };
-                    return (true, Some(w));
+    // Per-partition result plus local counters: (flag, witness,
+    // evaluations performed, flagged-by-filter-alone).
+    let results: Vec<(bool, Option<Witness>, u64, bool)> =
+        par_map(partitions.len(), workers, |pi| {
+            if pi == pivot {
+                return (false, None, 0, false);
+            }
+            let part = &partitions[pi];
+            let (sets, wild) = aggregate(part);
+            let filter_conclusive =
+                (0..m).all(|k| !wild[k] && !pivot_wild[k] && sets[k].is_disjoint(&pivot_sets[k]));
+            if filter_conclusive {
+                let w = Witness {
+                    partition: pi,
+                    rule: 0,
+                    entity: part[0],
+                    pivot_entity: partitions[pivot][0],
+                };
+                return (true, Some(w), 0, true);
+            }
+            let mut part_order: Vec<(usize, usize)> =
+                part.iter().map(|&e| (score(&ent_sigs[e], &pivot_sets), e)).collect();
+            part_order.sort_unstable();
+            let mut pivot_order: Vec<(usize, usize)> =
+                partitions[pivot].iter().map(|&p| (score(&ent_sigs[p], &sets), p)).collect();
+            pivot_order.sort_unstable();
+            let mut evals = 0u64;
+            for &(_, e) in &part_order {
+                for &(_, p) in &pivot_order {
+                    evals += 1;
+                    if rule.eval(group, group.entity(e), group.entity(p)) {
+                        let w = Witness { partition: pi, rule: 0, entity: e, pivot_entity: p };
+                        return (true, Some(w), evals, false);
+                    }
                 }
             }
-        }
-        (false, None)
-    });
+            (false, None, evals, false)
+        });
 
-    let flags: Vec<bool> = results.iter().map(|(f, _)| *f).collect();
-    let witnesses: Vec<Witness> = results.into_iter().filter_map(|(_, w)| w).collect();
+    if sink.enabled() {
+        sink.add("negative_pairs_verified", results.iter().map(|r| r.2).sum());
+        sink.add("partitions_flagged_filter_only", results.iter().filter(|r| r.3).count() as u64);
+    }
+    let flags: Vec<bool> = results.iter().map(|(f, ..)| *f).collect();
+    let witnesses: Vec<Witness> = results.into_iter().filter_map(|(_, w, ..)| w).collect();
     (flags, witnesses)
 }
 
@@ -406,23 +498,33 @@ fn verify_positive_rule(
     rule: &Rule,
     uf: &mut UnionFind,
     config: DimePlusConfig,
+    sink: &dyn TraceSink,
+    ri: usize,
 ) {
     let n = group.len();
     let mut index = InvertedIndex::new();
     let mut wildcards: Vec<u32> = Vec::new();
     let mut sig_count = vec![0usize; n];
-    for (eid, sigs) in ctx.positive_rule_signatures(rule).into_iter().enumerate() {
-        match sigs {
-            None => wildcards.push(eid as u32),
-            Some(sigs) => {
-                sig_count[eid] = sigs.len();
-                for s in sigs {
-                    index.insert(s, eid as u32);
+    {
+        let _s = span(sink, "signature_build");
+        for (eid, sigs) in ctx.positive_rule_signatures(rule).into_iter().enumerate() {
+            match sigs {
+                None => wildcards.push(eid as u32),
+                Some(sigs) => {
+                    sig_count[eid] = sigs.len();
+                    for s in sigs {
+                        index.insert(s, eid as u32);
+                    }
                 }
             }
         }
     }
+    if sink.enabled() {
+        sink.add("signatures_built", index.posting_count() as u64);
+        sink.add("wildcard_entities", wildcards.len() as u64);
+    }
 
+    let probe = span(sink, "index_probe");
     // Candidate pairs with shared-signature counts (the probability
     // numerator of the benefit order). Pairs already connected by earlier
     // rules are pruned here — the transitivity short-circuit applied at
@@ -468,7 +570,7 @@ fn verify_positive_rule(
         k += count as usize;
     }
 
-    if config.benefit_order {
+    let ordered: Vec<(u32, u32)> = if config.benefit_order {
         // Benefit B = P/C with P ≈ shared / avg(sig counts), C = rule cost.
         let mut keyed: Vec<(f64, u32, u32)> = candidates
             .iter()
@@ -481,13 +583,56 @@ fn verify_positive_rule(
             })
             .collect();
         keyed.sort_by(|x, y| y.0.total_cmp(&x.0).then_with(|| (x.1, x.2).cmp(&(y.1, y.2))));
-        for (_, a, b) in keyed {
-            try_union(group, rule, uf, a as usize, b as usize, config.transitivity_skip);
-        }
+        keyed.into_iter().map(|(_, a, b)| (a, b)).collect()
     } else {
         candidates.sort_unstable_by_key(|&(a, b, _)| (a, b));
-        for (a, b, _) in candidates {
-            try_union(group, rule, uf, a as usize, b as usize, config.transitivity_skip);
+        candidates.into_iter().map(|(a, b, _)| (a, b)).collect()
+    };
+    drop(probe);
+    if sink.enabled() {
+        let total_pairs = (n as u64) * (n as u64 - 1) / 2;
+        sink.add("candidate_pairs", ordered.len() as u64);
+        sink.add("pairs_pruned_filter", total_pairs.saturating_sub(ordered.len() as u64));
+        sink.add("index_probes", index.probe_count());
+    }
+
+    let mut tally = VerifyTally::default();
+    {
+        let _s = span(sink, "verify");
+        for (a, b) in ordered {
+            let (a, b) = (a as usize, b as usize);
+            try_union(group, rule, uf, a, b, config.transitivity_skip, &mut tally);
+        }
+    }
+    if sink.enabled() {
+        sink.add("pairs_verified", tally.verified);
+        sink.add("pairs_skipped_transitivity", tally.skipped);
+        sink.add("uf_merges", tally.merges);
+        sink.rule_hits(RuleKind::Positive, ri, tally.hits);
+    }
+}
+
+/// Local accumulation for one verification pass: hot loops bump these
+/// plain integers and flush them to the [`TraceSink`] once per phase.
+#[derive(Debug, Default, Clone, Copy)]
+struct VerifyTally {
+    /// Pairs skipped because transitivity already connected them.
+    skipped: u64,
+    /// Pairs actually evaluated against the rule.
+    verified: u64,
+    /// Evaluations that satisfied the rule.
+    hits: u64,
+    /// Unions that merged two previously-disjoint components.
+    merges: u64,
+}
+
+impl VerifyTally {
+    fn fold(self, other: &VerifyTally) -> VerifyTally {
+        VerifyTally {
+            skipped: self.skipped + other.skipped,
+            verified: self.verified + other.verified,
+            hits: self.hits + other.hits,
+            merges: self.merges + other.merges,
         }
     }
 }
@@ -499,12 +644,18 @@ fn try_union(
     a: usize,
     b: usize,
     transitivity_skip: bool,
+    tally: &mut VerifyTally,
 ) {
     if transitivity_skip && uf.same(a, b) {
+        tally.skipped += 1;
         return;
     }
+    tally.verified += 1;
     if rule.eval(group, group.entity(a), group.entity(b)) {
-        uf.union(a, b);
+        tally.hits += 1;
+        if uf.union(a, b) {
+            tally.merges += 1;
+        }
     }
 }
 
@@ -537,9 +688,12 @@ pub(crate) fn flag_partitions_fast(
     rule: &Rule,
     partitions: &[Vec<usize>],
     pivot: usize,
+    sink: &dyn TraceSink,
 ) -> (Vec<bool>, Vec<Witness>) {
     let m = rule.predicates.len();
     let mut witnesses: Vec<Witness> = Vec::new();
+    let mut negative_evals = 0u64;
+    let mut filter_only_flags = 0u64;
     // Per-entity per-predicate signature sets.
     let ent_sigs: Vec<Vec<PredSigs>> =
         group.entities().iter().map(|e| ctx.rule_sigs_negative(e, rule)).collect();
@@ -573,6 +727,7 @@ pub(crate) fn flag_partitions_fast(
             // Every pair satisfies every predicate: flag with no
             // verification (Algorithm 2 lines 18-19). Any pair witnesses.
             flags[pi] = true;
+            filter_only_flags += 1;
             witnesses.push(Witness {
                 partition: pi,
                 rule: 0,
@@ -604,6 +759,7 @@ pub(crate) fn flag_partitions_fast(
         pivot_order.sort_unstable();
         'verify: for &(_, e) in &part_order {
             for &(_, p) in &pivot_order {
+                negative_evals += 1;
                 if rule.eval(group, group.entity(e), group.entity(p)) {
                     flags[pi] = true;
                     witnesses.push(Witness { partition: pi, rule: 0, entity: e, pivot_entity: p });
@@ -611,6 +767,10 @@ pub(crate) fn flag_partitions_fast(
                 }
             }
         }
+    }
+    if sink.enabled() {
+        sink.add("negative_pairs_verified", negative_evals);
+        sink.add("partitions_flagged_filter_only", filter_only_flags);
     }
     (flags, witnesses)
 }
@@ -752,6 +912,66 @@ mod tests {
             ]),
         ];
         (pos, neg)
+    }
+
+    #[test]
+    fn traced_run_equals_untraced_and_populates_report() {
+        use dime_trace::Recorder;
+        let g = figure1_group();
+        let (pos, neg) = paper_rules();
+        let reference = discover_fast(&g, &pos, &neg);
+        for threads in [1usize, 4] {
+            let rec = Recorder::new();
+            let cfg = DimePlusConfig::with_threads(threads);
+            let traced = discover_fast_traced(&g, &pos, &neg, cfg, &rec);
+            assert_eq!(traced, reference, "tracing changed the result (threads = {threads})");
+            let report = rec.snapshot();
+            for phase in ["signature_build", "index_probe", "verify", "union", "flag"] {
+                assert!(
+                    report.phases.iter().any(|p| p.name == phase && p.count > 0),
+                    "missing phase {phase} (threads = {threads})"
+                );
+            }
+            assert!(report.counter("signatures_built") > 0);
+            assert!(report.counter("candidate_pairs") > 0);
+            assert!(report.counter("pairs_verified") > 0);
+            assert!(report.counter("index_probes") > 0);
+            assert!(
+                report.rule_hits.iter().any(|r| r.kind == RuleKind::Positive && r.hits > 0),
+                "no positive rule hits recorded"
+            );
+            assert!(
+                report.rule_hits.iter().any(|r| r.kind == RuleKind::Negative && r.hits > 0),
+                "no negative rule hits recorded"
+            );
+            if threads > 1 {
+                let workers: HashSet<u64> = report
+                    .spans
+                    .iter()
+                    .filter(|s| s.name == "verify_worker")
+                    .map(|s| s.thread)
+                    .collect();
+                assert!(!workers.is_empty(), "parallel run recorded no worker spans");
+            }
+        }
+    }
+
+    /// The tiling contract behind `dime --trace`: the five phase names
+    /// never nest among themselves, so summed phase durations are
+    /// comparable against total wall-clock.
+    #[test]
+    fn phase_spans_do_not_nest() {
+        use dime_trace::Recorder;
+        let g = figure1_group();
+        let (pos, neg) = paper_rules();
+        let rec = Recorder::new();
+        let _ = discover_fast_traced(&g, &pos, &neg, DimePlusConfig::default(), &rec);
+        let phases = ["signature_build", "index_probe", "verify", "union", "flag"];
+        for s in &rec.snapshot().spans {
+            if phases.contains(&s.name) {
+                assert_eq!(s.depth, 0, "phase span {} recorded at depth {}", s.name, s.depth);
+            }
+        }
     }
 
     #[test]

@@ -41,6 +41,8 @@ use crate::signature::{PositiveRulePlan, SigContext};
 use dime_index::{InvertedIndex, UnionFind};
 use dime_ontology::NodeId;
 use dime_text::GlobalOrder;
+use dime_trace::{span, NoopSink, RuleKind, TraceSink};
+use std::sync::Arc;
 
 /// Incrementally maintained DIME state over a growing group.
 ///
@@ -80,6 +82,9 @@ pub struct IncrementalDime {
     /// the engine's lifetime — the observability counter surfaced by
     /// `dime-serve` session stats.
     pairs_verified: u64,
+    /// Trace sink receiving per-operation spans and counters; a no-op
+    /// sink by default, replaceable via [`IncrementalDime::with_sink`].
+    sink: Arc<dyn TraceSink + Send + Sync>,
 }
 
 impl IncrementalDime {
@@ -108,12 +113,22 @@ impl IncrementalDime {
             plans,
             order,
             pairs_verified: 0,
+            sink: Arc::new(NoopSink),
         };
         for eid in 0..this.group.len() {
             this.uf.push();
             this.integrate(eid);
         }
         this
+    }
+
+    /// Replaces the trace sink, so subsequent insertions, removals and
+    /// discovery runs report spans and counters into it. The default sink
+    /// is a no-op.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Arc<dyn TraceSink + Send + Sync>) -> Self {
+        self.sink = sink;
+        self
     }
 
     /// The current group.
@@ -140,10 +155,17 @@ impl IncrementalDime {
     /// Adds an entity (ontology nodes auto-mapped) and links it into the
     /// partition structure. Returns its id.
     pub fn add_entity(&mut self, raw_values: &[&str]) -> usize {
+        let sink = Arc::clone(&self.sink);
+        let _op = span(sink.as_ref(), "incremental_add");
+        let before = self.pairs_verified;
         let id = self.group.push_entity(raw_values);
         let uid = self.uf.push();
         debug_assert_eq!(id, uid);
         self.integrate(id);
+        if sink.enabled() {
+            sink.add("entities_added", 1);
+            sink.add("pairs_verified", self.pairs_verified - before);
+        }
         id
     }
 
@@ -153,10 +175,17 @@ impl IncrementalDime {
         raw_values: &[&str],
         nodes: &[Option<NodeId>],
     ) -> usize {
+        let sink = Arc::clone(&self.sink);
+        let _op = span(sink.as_ref(), "incremental_add");
+        let before = self.pairs_verified;
         let id = self.group.push_entity_with_nodes(raw_values, nodes);
         let uid = self.uf.push();
         debug_assert_eq!(id, uid);
         self.integrate(id);
+        if sink.enabled() {
+            sink.add("entities_added", 1);
+            sink.add("pairs_verified", self.pairs_verified - before);
+        }
         id
     }
 
@@ -177,6 +206,9 @@ impl IncrementalDime {
         if id >= self.group.len() {
             return false;
         }
+        let sink = Arc::clone(&self.sink);
+        let _op = span(sink.as_ref(), "incremental_remove");
+        let before = self.pairs_verified;
         let components = self.uf.components();
         let affected = components
             .iter()
@@ -216,6 +248,10 @@ impl IncrementalDime {
         }
         self.uf = uf;
         self.rebuild_indexes();
+        if sink.enabled() {
+            sink.add("entities_removed", 1);
+            sink.add("pairs_verified", self.pairs_verified - before);
+        }
         true
     }
 
@@ -324,14 +360,28 @@ impl IncrementalDime {
     /// Panics on an empty group (no pivot exists).
     pub fn discovery(&mut self) -> Discovery {
         assert!(!self.group.is_empty(), "cannot discover in an empty group");
+        let sink = Arc::clone(&self.sink);
+        let union_span = span(sink.as_ref(), "union");
         let partitions = self.uf.components();
         let pivot = pick_pivot(&partitions);
+        drop(union_span);
         let mut ctx = SigContext::with_frozen_order(&self.group, &self.order);
         let mut per_rule: Vec<Vec<bool>> = Vec::with_capacity(self.negative.len());
         let mut witnesses: Vec<Witness> = Vec::new();
         for (ri, rule) in self.negative.iter().enumerate() {
-            let (flags, rule_witnesses) =
-                flag_partitions_fast(&self.group, &mut ctx, rule, &partitions, pivot);
+            let flag_span = span(sink.as_ref(), "flag");
+            let (flags, rule_witnesses) = flag_partitions_fast(
+                &self.group,
+                &mut ctx,
+                rule,
+                &partitions,
+                pivot,
+                sink.as_ref(),
+            );
+            drop(flag_span);
+            if sink.enabled() {
+                sink.rule_hits(RuleKind::Negative, ri, flags.iter().filter(|&&f| f).count() as u64);
+            }
             for w in rule_witnesses {
                 if !witnesses.iter().any(|x| x.partition == w.partition) {
                     witnesses.push(Witness { rule: ri, ..w });
@@ -481,6 +531,31 @@ mod tests {
         assert_eq!(inc.pairs_verified(), 0, "first entity has nothing to verify against");
         inc.add_entity(&["b", "ann, bob"]);
         assert!(inc.pairs_verified() > 0);
+    }
+
+    #[test]
+    fn trace_sink_sees_incremental_operations() {
+        use dime_trace::Recorder;
+        let (pos, neg) = rules();
+        let rec = Arc::new(Recorder::new());
+        let mut inc = IncrementalDime::new(GroupBuilder::new(schema()).build(), pos, neg)
+            .with_sink(rec.clone());
+        inc.add_entity(&["a", "ann, bob"]);
+        inc.add_entity(&["b", "ann, bob"]);
+        inc.add_entity(&["c", "zed"]);
+        assert!(inc.remove_entity(2));
+        let _ = inc.discovery();
+        let report = rec.snapshot();
+        assert_eq!(report.counter("entities_added"), 3);
+        assert_eq!(report.counter("entities_removed"), 1);
+        assert_eq!(report.counter("pairs_verified"), inc.pairs_verified());
+        for phase in ["incremental_add", "incremental_remove", "union", "flag"] {
+            assert!(
+                report.phases.iter().any(|p| p.name == phase && p.count > 0),
+                "missing phase {phase}"
+            );
+        }
+        assert!(report.rule_hits.iter().any(|r| r.kind == dime_trace::RuleKind::Negative));
     }
 
     proptest! {

@@ -53,7 +53,9 @@ mod signature;
 mod stats;
 
 pub use diagnostics::{AttrStats, GroupStats};
-pub use dime_plus::{discover_fast, discover_fast_with, discover_parallel, DimePlusConfig};
+pub use dime_plus::{
+    discover_fast, discover_fast_traced, discover_fast_with, discover_parallel, DimePlusConfig,
+};
 pub use discover::{discover_naive, Discovery, ScrollStep, Witness};
 pub use entity::{AttrDef, AttrValue, Entity, Group, GroupBuilder, Schema};
 pub use incremental::IncrementalDime;

@@ -20,7 +20,7 @@
 //!   independent of thread interleaving, so once the workers have joined,
 //!   [`ConcurrentUnionFind::components`] is deterministic.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// A wait-free-read, lock-free-update disjoint-set over `0..len`,
 /// shareable across threads by reference.
@@ -46,13 +46,14 @@ use std::sync::atomic::{AtomicU32, Ordering};
 #[derive(Debug)]
 pub struct ConcurrentUnionFind {
     parent: Vec<AtomicU32>,
+    merges: AtomicU64,
 }
 
 impl ConcurrentUnionFind {
     /// Creates `len` singleton sets.
     pub fn new(len: usize) -> Self {
         assert!(len <= u32::MAX as usize, "element ids must fit in u32");
-        Self { parent: (0..len as u32).map(AtomicU32::new).collect() }
+        Self { parent: (0..len as u32).map(AtomicU32::new).collect(), merges: AtomicU64::new(0) }
     }
 
     /// Number of elements.
@@ -128,6 +129,7 @@ impl ConcurrentUnionFind {
                 .compare_exchange(child as u32, parent as u32, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
+                self.merges.fetch_add(1, Ordering::Relaxed);
                 return true;
             }
             // Lost the race: restart from the (now stale) roots, which are
@@ -135,6 +137,14 @@ impl ConcurrentUnionFind {
             a = ra;
             b = rb;
         }
+    }
+
+    /// Number of unions that actually merged two sets. Since connectivity
+    /// only grows and every merge is one winning CAS, after workers join
+    /// this equals `len() - component_count()` exactly, whatever the
+    /// interleaving — the observability layer's "union-find merges".
+    pub fn merge_count(&self) -> u64 {
+        self.merges.load(Ordering::Relaxed)
     }
 
     /// Current number of disjoint sets (exact when no unions are racing).
@@ -210,6 +220,9 @@ mod tests {
                 }
             });
             assert_eq!(uf.components(), seq.components(), "threads = {threads}");
+            // Exactly n-1 CASes can win while building one chain, no
+            // matter how the racing workers interleave.
+            assert_eq!(uf.merge_count(), (n - 1) as u64);
         }
     }
 

@@ -7,6 +7,7 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// An inverted index from opaque signature values to entity ids.
 ///
@@ -27,9 +28,21 @@ use std::collections::HashMap;
 /// let pairs = idx.candidate_pairs();
 /// assert_eq!(pairs, vec![(0, 1)]);
 /// ```
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct InvertedIndex {
     lists: HashMap<u64, Vec<u32>>,
+    /// Point-lookup count ([`InvertedIndex::list`] calls), kept atomic so
+    /// the parallel engine can probe through a shared reference.
+    probes: AtomicU64,
+}
+
+impl Clone for InvertedIndex {
+    fn clone(&self) -> Self {
+        Self {
+            lists: self.lists.clone(),
+            probes: AtomicU64::new(self.probes.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl InvertedIndex {
@@ -57,9 +70,16 @@ impl InvertedIndex {
         }
     }
 
-    /// The inverted list for `signature`, if any.
+    /// The inverted list for `signature`, if any. Counted as one probe.
     pub fn list(&self, signature: u64) -> Option<&[u32]> {
+        self.probes.fetch_add(1, Ordering::Relaxed);
         self.lists.get(&signature).map(Vec::as_slice)
+    }
+
+    /// Number of point lookups served so far — the observability layer's
+    /// "index probe" counter. Monotone for the life of the index.
+    pub fn probe_count(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
     }
 
     /// Number of distinct signatures.
@@ -165,6 +185,18 @@ mod tests {
         let mut all: Vec<Vec<u32>> = idx.lists().map(<[u32]>::to_vec).collect();
         all.sort();
         assert_eq!(all, vec![vec![0, 1], vec![7]]);
+    }
+
+    #[test]
+    fn probes_count_point_lookups_and_survive_clone() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(1, 0);
+        assert_eq!(idx.probe_count(), 0);
+        idx.list(1);
+        idx.list(2); // misses count too: the probe happened
+        assert_eq!(idx.probe_count(), 2);
+        let copy = idx.clone();
+        assert_eq!(copy.probe_count(), 2);
     }
 
     #[test]

@@ -180,6 +180,12 @@ impl Client {
         self.call(&Request::Stats { session })
     }
 
+    /// Fetches the server's engine trace report: phase timings, engine
+    /// counters, per-rule hits, and latency histograms.
+    pub fn trace(&mut self) -> Result<Value, ClientError> {
+        self.call(&Request::Trace)
+    }
+
     /// Drops a session.
     pub fn close_session(&mut self, session: u64) -> Result<Value, ClientError> {
         self.call(&Request::CloseSession { session })

@@ -1,44 +1,97 @@
 //! Observability counters: lock-free global counters shared by every
-//! worker, plus per-session counters mutated under the session lock.
+//! worker, histogram-backed latency aggregates, and per-session counters
+//! mutated under the session lock.
 //!
-//! Both surface through the `stats` operation — `{"op": "stats"}` returns
-//! the global view, `{"op": "stats", "session": id}` one session's view.
+//! Everything surfaces through the `stats` operation — `{"op": "stats"}`
+//! returns the global view, `{"op": "stats", "session": id}` one
+//! session's view — and the engine-level trace through `{"op": "trace"}`.
+//!
+//! Session-scoped counters follow one uniform banking rule: the global
+//! figure is the [`SessionTotals`] banked from *closed* sessions plus the
+//! same totals summed over the *live* sessions, both folded through
+//! [`SessionTotals::absorb`]. Closing a session therefore never loses any
+//! of its counters — verified pairs, added entities, latency samples, all
+//! of them move from the live sum into the bank atomically with the close.
 
-use serde_json::{json, Value};
+use dime_trace::{Histogram, HistogramSnapshot, TraceReport};
+use serde_json::{json, Map, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// A latency aggregate: count, total, and max, in microseconds.
-///
-/// Uses relaxed atomics throughout — the three cells are independently
-/// monotone, so a reader may observe a total slightly ahead of the count
-/// (or vice versa), which is fine for monitoring counters.
-#[derive(Debug, Default)]
+/// A latency aggregate backed by a [`Histogram`] of microseconds:
+/// lock-free recording, mergeable, with count/total/max plus p50/p95/p99
+/// quantile snapshots (quantiles are bucket upper bounds, so they never
+/// under-report; see `dime_trace::Histogram`).
+#[derive(Debug, Default, Clone)]
 pub struct LatencyStat {
-    count: AtomicU64,
-    total_micros: AtomicU64,
-    max_micros: AtomicU64,
+    hist: Histogram,
 }
 
 impl LatencyStat {
     /// Records one measured duration.
     pub fn record(&self, elapsed: Duration) {
-        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_micros.fetch_add(micros, Ordering::Relaxed);
-        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+        self.hist.record(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
     }
 
-    /// Snapshot as `{count, total_micros, max_micros, mean_micros}`.
+    /// Folds another aggregate into this one (bucket-wise addition; every
+    /// derived figure is monotone under the merge).
+    pub fn merge(&self, other: &LatencyStat) {
+        self.hist.merge(&other.hist);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// Snapshot as `{count, total_micros, max_micros, mean_micros,
+    /// p50_micros, p95_micros, p99_micros}`.
     pub fn to_value(&self) -> Value {
-        let count = self.count.load(Ordering::Relaxed);
-        let total = self.total_micros.load(Ordering::Relaxed);
+        let s = self.hist.snapshot();
         json!({
-            "count": count,
-            "total_micros": total,
-            "max_micros": self.max_micros.load(Ordering::Relaxed),
-            "mean_micros": if count == 0 { 0 } else { total / count },
+            "count": s.count,
+            "total_micros": s.total,
+            "max_micros": s.max,
+            "mean_micros": s.mean(),
+            "p50_micros": s.p50,
+            "p95_micros": s.p95,
+            "p99_micros": s.p99,
         })
+    }
+}
+
+/// The session-scoped counters in aggregate, atomic form. One instance
+/// banks the totals of closed sessions; another accumulates the live sum
+/// for a stats snapshot. Both are filled through [`SessionTotals::absorb`]
+/// — a single code path, so no counter can be banked and live-summed
+/// inconsistently.
+#[derive(Debug, Default)]
+pub struct SessionTotals {
+    /// Requests routed to sessions.
+    pub requests: AtomicU64,
+    /// Entities added (initial group rows included).
+    pub entities_added: AtomicU64,
+    /// Entities removed.
+    pub entities_removed: AtomicU64,
+    /// Discovery/scrollbar runs.
+    pub discoveries: AtomicU64,
+    /// Candidate pairs verified by the engines.
+    pub pairs_verified: AtomicU64,
+    /// Latency of discovery/scrollbar runs (the flagging pipeline).
+    pub flag_latency: LatencyStat,
+}
+
+impl SessionTotals {
+    /// Folds one session's counters — plus its engine's verified-pair
+    /// count, which lives in the engine rather than in [`SessionMetrics`]
+    /// — into the totals.
+    pub fn absorb(&self, m: &SessionMetrics, pairs_verified: u64) {
+        self.requests.fetch_add(m.requests, Ordering::Relaxed);
+        self.entities_added.fetch_add(m.entities_added, Ordering::Relaxed);
+        self.entities_removed.fetch_add(m.entities_removed, Ordering::Relaxed);
+        self.discoveries.fetch_add(m.discoveries, Ordering::Relaxed);
+        self.pairs_verified.fetch_add(pairs_verified, Ordering::Relaxed);
+        self.flag_latency.merge(&m.flag_latency);
     }
 }
 
@@ -57,18 +110,10 @@ pub struct GlobalMetrics {
     pub sessions_created: AtomicU64,
     /// Sessions closed over the server's lifetime.
     pub sessions_closed: AtomicU64,
-    /// Entities added across all sessions.
-    pub entities_added: AtomicU64,
-    /// Entities removed across all sessions.
-    pub entities_removed: AtomicU64,
-    /// Discovery/scrollbar runs across all sessions.
-    pub discoveries: AtomicU64,
-    /// Candidate pairs verified by sessions that have since closed; the
-    /// global `pairs_verified` figure is this plus the live-session sum,
-    /// so closing a session never loses its work from the total.
-    pub pairs_verified_closed: AtomicU64,
-    /// Latency of discovery/scrollbar runs (the flagging pipeline).
-    pub flag_latency: LatencyStat,
+    /// Session-scoped counters banked from closed sessions; the global
+    /// stats view adds the live-session sum on top, so closing a session
+    /// never loses any of its counters from the totals.
+    pub closed: SessionTotals,
 }
 
 impl GlobalMetrics {
@@ -82,13 +127,16 @@ impl GlobalMetrics {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Snapshot of every counter, with the live-session gauge and the
-    /// live sessions' verified-pair sum supplied by the caller (both live
-    /// in the session store, not here). The reported `pairs_verified`
-    /// also folds in pairs banked from closed sessions.
-    pub fn to_value(&self, sessions_live: u64, pairs_verified_live: u64) -> Value {
-        let pairs_verified =
-            self.pairs_verified_closed.load(Ordering::Relaxed).saturating_add(pairs_verified_live);
+    /// Snapshot of every counter. `sessions_live` and `live` (the live
+    /// sessions' summed totals) are supplied by the caller — they live in
+    /// the session store, not here. Every session-scoped figure is
+    /// reported as banked-from-closed plus live.
+    pub fn to_value(&self, sessions_live: u64, live: &SessionTotals) -> Value {
+        let total = |closed: &AtomicU64, live: &AtomicU64| {
+            closed.load(Ordering::Relaxed).saturating_add(live.load(Ordering::Relaxed))
+        };
+        let flag_latency = self.closed.flag_latency.clone();
+        flag_latency.merge(&live.flag_latency);
         json!({
             "connections": self.connections.load(Ordering::Relaxed),
             "requests": self.requests.load(Ordering::Relaxed),
@@ -99,42 +147,37 @@ impl GlobalMetrics {
                 "closed": self.sessions_closed.load(Ordering::Relaxed),
                 "live": sessions_live,
             },
-            "entities_added": self.entities_added.load(Ordering::Relaxed),
-            "entities_removed": self.entities_removed.load(Ordering::Relaxed),
-            "discoveries": self.discoveries.load(Ordering::Relaxed),
-            "pairs_verified": pairs_verified,
-            "flag_latency": self.flag_latency.to_value(),
+            "session_requests": total(&self.closed.requests, &live.requests),
+            "entities_added": total(&self.closed.entities_added, &live.entities_added),
+            "entities_removed": total(&self.closed.entities_removed, &live.entities_removed),
+            "discoveries": total(&self.closed.discoveries, &live.discoveries),
+            "pairs_verified": total(&self.closed.pairs_verified, &live.pairs_verified),
+            "flag_latency": flag_latency.to_value(),
         })
     }
 }
 
 /// Per-session counters; mutated only under the owning session's lock, so
-/// plain integers suffice.
+/// plain integers suffice (the latency histogram is atomic-backed either
+/// way).
 #[derive(Debug, Default, Clone)]
 pub struct SessionMetrics {
     /// Requests routed to this session.
     pub requests: u64,
-    /// Entities added to this session.
+    /// Entities added to this session (initial group rows included).
     pub entities_added: u64,
     /// Entities removed from this session.
     pub entities_removed: u64,
     /// Discovery/scrollbar runs on this session.
     pub discoveries: u64,
-    /// Count of discovery latency samples.
-    pub flag_count: u64,
-    /// Sum of discovery latencies, in microseconds.
-    pub flag_total_micros: u64,
-    /// Max discovery latency, in microseconds.
-    pub flag_max_micros: u64,
+    /// Latency of this session's discovery/scrollbar runs.
+    pub flag_latency: LatencyStat,
 }
 
 impl SessionMetrics {
     /// Records one discovery latency sample.
     pub fn record_flag_latency(&mut self, elapsed: Duration) {
-        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-        self.flag_count += 1;
-        self.flag_total_micros += micros;
-        self.flag_max_micros = self.flag_max_micros.max(micros);
+        self.flag_latency.record(elapsed);
     }
 
     /// Snapshot, with the live-entity count and the engine's verified-pair
@@ -147,14 +190,66 @@ impl SessionMetrics {
             "entities_removed": self.entities_removed,
             "discoveries": self.discoveries,
             "pairs_verified": pairs_verified,
-            "flag_latency": {
-                "count": self.flag_count,
-                "total_micros": self.flag_total_micros,
-                "max_micros": self.flag_max_micros,
-                "mean_micros": if self.flag_count == 0 { 0 } else { self.flag_total_micros / self.flag_count },
-            },
+            "flag_latency": self.flag_latency.to_value(),
         })
     }
+}
+
+/// Serializes a histogram snapshot with unit-agnostic keys — used for the
+/// engine-trace histograms, whose unit is whatever the instrumentation
+/// recorded (the serve layer records microseconds).
+fn histogram_snapshot_value(s: &HistogramSnapshot) -> Value {
+    json!({
+        "count": s.count,
+        "total": s.total,
+        "max": s.max,
+        "mean": s.mean(),
+        "p50": s.p50,
+        "p95": s.p95,
+        "p99": s.p99,
+    })
+}
+
+/// Serializes a [`TraceReport`] for the `trace` protocol op and the CLI's
+/// `--trace --json` output: per-phase aggregates, named counters (as one
+/// object), per-rule hit counts, histogram snapshots, and the raw-span
+/// tally (span *records* are deliberately not shipped — a long-lived
+/// server holds up to the recorder cap of them, and the aggregates carry
+/// the signal).
+pub fn trace_report_to_value(report: &TraceReport) -> Value {
+    let phases: Vec<Value> = report
+        .phases
+        .iter()
+        .map(|p| json!({"name": p.name, "count": p.count, "total_ns": p.total_ns}))
+        .collect();
+    let mut counters = Map::new();
+    for (name, value) in &report.counters {
+        counters.insert(name.clone(), json!(value));
+    }
+    let rule_hits: Vec<Value> = report
+        .rule_hits
+        .iter()
+        .map(|r| json!({"kind": r.kind.label(), "rule": r.rule, "hits": r.hits}))
+        .collect();
+    let histograms: Vec<Value> = report
+        .histograms
+        .iter()
+        .map(|(name, s)| {
+            let mut v = histogram_snapshot_value(s);
+            if let Some(obj) = v.as_object_mut() {
+                obj.insert("name".into(), json!(name));
+            }
+            v
+        })
+        .collect();
+    json!({
+        "phases": phases,
+        "counters": counters,
+        "rule_hits": rule_hits,
+        "histograms": histograms,
+        "spans": report.spans.len(),
+        "dropped_spans": report.dropped_spans,
+    })
 }
 
 #[cfg(test)]
@@ -171,6 +266,22 @@ mod tests {
         assert_eq!(v["total_micros"], 40);
         assert_eq!(v["max_micros"], 30);
         assert_eq!(v["mean_micros"], 20);
+        // 30µs lands in [16, 32): the upper tail reports the bucket top.
+        assert_eq!(v["p99_micros"], 31);
+        assert!(v["p50_micros"].as_u64().unwrap() >= 10);
+    }
+
+    #[test]
+    fn latency_stat_merge_is_additive() {
+        let a = LatencyStat::default();
+        let b = LatencyStat::default();
+        a.record(Duration::from_micros(5));
+        b.record(Duration::from_micros(500));
+        a.merge(&b);
+        let v = a.to_value();
+        assert_eq!(v["count"], 2);
+        assert_eq!(v["total_micros"], 505);
+        assert_eq!(v["max_micros"], 500);
     }
 
     #[test]
@@ -189,8 +300,11 @@ mod tests {
     fn global_metrics_snapshot_includes_gauges() {
         let g = GlobalMetrics::default();
         GlobalMetrics::bump(&g.requests);
-        GlobalMetrics::add(&g.entities_added, 4);
-        let v = g.to_value(2, 9);
+        let live = SessionTotals::default();
+        let mut m = SessionMetrics::default();
+        m.entities_added = 4;
+        live.absorb(&m, 9);
+        let v = g.to_value(2, &live);
         assert_eq!(v["requests"], 1);
         assert_eq!(v["entities_added"], 4);
         assert_eq!(v["sessions"]["live"], 2);
@@ -198,9 +312,48 @@ mod tests {
     }
 
     #[test]
-    fn closed_session_pairs_fold_into_global_total() {
+    fn closed_sessions_fold_into_every_global_total() {
+        // Banking at close and live summing go through the same absorb
+        // path, so every counter — not just pairs — survives a close.
         let g = GlobalMetrics::default();
-        GlobalMetrics::add(&g.pairs_verified_closed, 5);
-        assert_eq!(g.to_value(1, 9)["pairs_verified"], 14);
+        let mut m = SessionMetrics::default();
+        m.requests = 2;
+        m.entities_added = 5;
+        m.entities_removed = 1;
+        m.discoveries = 3;
+        m.record_flag_latency(Duration::from_micros(40));
+        g.closed.absorb(&m, 7);
+
+        let live = SessionTotals::default();
+        let mut live_m = SessionMetrics::default();
+        live_m.entities_added = 2;
+        live_m.record_flag_latency(Duration::from_micros(10));
+        live.absorb(&live_m, 2);
+
+        let v = g.to_value(1, &live);
+        assert_eq!(v["entities_added"], 7);
+        assert_eq!(v["entities_removed"], 1);
+        assert_eq!(v["discoveries"], 3);
+        assert_eq!(v["pairs_verified"], 9);
+        assert_eq!(v["session_requests"], 2);
+        assert_eq!(v["flag_latency"]["count"], 2);
+        assert_eq!(v["flag_latency"]["total_micros"], 50);
+    }
+
+    #[test]
+    fn trace_report_serializes_aggregates() {
+        use dime_trace::{Recorder, RuleKind, TraceSink};
+        let rec = Recorder::new();
+        rec.add("pairs_verified", 12);
+        rec.rule_hits(RuleKind::Positive, 0, 4);
+        rec.latency("flag_micros", 100);
+        let v = trace_report_to_value(&rec.snapshot());
+        assert_eq!(v["counters"]["pairs_verified"], 12);
+        assert_eq!(v["rule_hits"][0]["kind"], "positive");
+        assert_eq!(v["rule_hits"][0]["hits"], 4);
+        assert_eq!(v["histograms"][0]["name"], "flag_micros");
+        assert_eq!(v["histograms"][0]["count"], 1);
+        assert_eq!(v["spans"], 0);
+        assert_eq!(v["dropped_spans"], 0);
     }
 }

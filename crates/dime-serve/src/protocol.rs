@@ -12,6 +12,7 @@
 //! | `discovery`      | `session`                      | full discovery report           |
 //! | `scrollbar`      | `session`, `step`              | one scrollbar step              |
 //! | `stats`          | optional `session`             | counters                        |
+//! | `trace`          | —                              | engine trace report             |
 //! | `close_session`  | `session`                      | `{"closed": id}`                |
 //! | `shutdown`       | —                              | `{"shutting_down": true}`       |
 //!
@@ -197,6 +198,10 @@ pub enum Request {
         /// Restrict to one session when set.
         session: Option<u64>,
     },
+    /// Returns the server's engine trace report: per-phase timings,
+    /// counters, per-rule hit counts, and latency histograms aggregated
+    /// across every session's engine.
+    Trace,
     /// Drops a session and frees its state.
     CloseSession {
         /// Target session id.
@@ -217,6 +222,7 @@ impl Request {
             Request::Discovery { .. } => "discovery",
             Request::Scrollbar { .. } => "scrollbar",
             Request::Stats { .. } => "stats",
+            Request::Trace => "trace",
             Request::CloseSession { .. } => "close_session",
             Request::Shutdown => "shutdown",
         }
@@ -241,6 +247,7 @@ impl Request {
             }
             Request::Stats { session: Some(s) } => json!({"op": "stats", "session": s}),
             Request::Stats { session: None } => json!({"op": "stats"}),
+            Request::Trace => json!({"op": "trace"}),
             Request::CloseSession { session } => {
                 json!({"op": "close_session", "session": session})
             }
@@ -287,6 +294,7 @@ impl Request {
                     ),
                 },
             },
+            "trace" => Request::Trace,
             "close_session" => {
                 Request::CloseSession { session: need_u64(obj, "close_session", "session")? }
             }
@@ -512,6 +520,7 @@ mod tests {
         roundtrip_request(&Request::Scrollbar { session: 1, step: 2 });
         roundtrip_request(&Request::Stats { session: None });
         roundtrip_request(&Request::Stats { session: Some(4) });
+        roundtrip_request(&Request::Trace);
         roundtrip_request(&Request::CloseSession { session: 4 });
         roundtrip_request(&Request::Shutdown);
     }

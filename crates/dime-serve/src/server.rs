@@ -25,6 +25,7 @@ use crate::protocol::{
 use crate::session::{lock, Session, SessionStore};
 use dime_core::{parse_rules, IncrementalDime, Polarity, Rule};
 use dime_data::{discovery_to_json, entity_row_values, load_group_value};
+use dime_trace::{Recorder, TraceSink};
 use serde_json::{json, Value};
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -87,6 +88,10 @@ fn resolve_workers(workers: usize) -> usize {
 struct Shared {
     store: SessionStore,
     metrics: GlobalMetrics,
+    /// Trace sink shared by every session's engine; the `trace` op
+    /// snapshots it. Engine counters and phase spans from all sessions
+    /// aggregate here.
+    recorder: Arc<Recorder>,
     shutdown: AtomicBool,
     config: ServeConfig,
     addr: SocketAddr,
@@ -143,6 +148,7 @@ impl Server {
         let shared = Arc::new(Shared {
             store: SessionStore::new(config.session_shards, config.max_sessions),
             metrics: GlobalMetrics::default(),
+            recorder: Arc::new(Recorder::new()),
             shutdown: AtomicBool::new(false),
             config,
             addr,
@@ -349,7 +355,13 @@ fn handle_request(req: &Request, shared: &Shared) -> Response {
                 );
             }
             let entities = group.len();
-            let session = Session::new(IncrementalDime::new(group, pos, neg));
+            let sink: Arc<dyn TraceSink + Send + Sync> = shared.recorder.clone();
+            let engine = IncrementalDime::new(group, pos, neg).with_sink(sink);
+            let mut session = Session::new(engine);
+            // The initial group's rows count toward the session's
+            // entities_added, so closing the session banks them like any
+            // other per-session counter.
+            session.metrics.entities_added = entities as u64;
             match shared.store.insert(session) {
                 None => Response::err(
                     ErrorCode::TooManySessions,
@@ -357,7 +369,6 @@ fn handle_request(req: &Request, shared: &Shared) -> Response {
                 ),
                 Some(id) => {
                     GlobalMetrics::bump(&shared.metrics.sessions_created);
-                    GlobalMetrics::add(&shared.metrics.entities_added, entities as u64);
                     Response::Ok(json!({"session": id, "entities": entities}))
                 }
             }
@@ -402,7 +413,6 @@ fn handle_request(req: &Request, shared: &Shared) -> Response {
                 })
                 .collect();
             sess.metrics.entities_added += ids.len() as u64;
-            GlobalMetrics::add(&shared.metrics.entities_added, ids.len() as u64);
             Response::Ok(json!({"ids": ids, "entities": sess.engine.len()}))
         }
         Request::RemoveEntity { session, entity } => {
@@ -418,7 +428,6 @@ fn handle_request(req: &Request, shared: &Shared) -> Response {
                 );
             }
             sess.metrics.entities_removed += 1;
-            GlobalMetrics::bump(&shared.metrics.entities_removed);
             Response::Ok(json!({"removed": entity, "entities": sess.engine.len()}))
         }
         Request::Discovery { session } => with_discovery(shared, *session, |sess, d| {
@@ -451,9 +460,8 @@ fn handle_request(req: &Request, shared: &Shared) -> Response {
             Response::Ok(sess.metrics.to_value(sess.engine.len(), sess.engine.pairs_verified()))
         }
         Request::Stats { session: None } => {
-            let mut v = shared
-                .metrics
-                .to_value(shared.store.len() as u64, shared.store.total_pairs_verified());
+            let mut v =
+                shared.metrics.to_value(shared.store.len() as u64, &shared.store.aggregate());
             if let Some(obj) = v.as_object_mut() {
                 obj.insert(
                     "uptime_micros".into(),
@@ -462,17 +470,19 @@ fn handle_request(req: &Request, shared: &Shared) -> Response {
             }
             Response::Ok(v)
         }
+        Request::Trace => {
+            Response::Ok(crate::metrics::trace_report_to_value(&shared.recorder.snapshot()))
+        }
         Request::CloseSession { session } => {
             let sess = shared.store.get(*session);
             if shared.store.remove(*session) {
-                // Bank the detached session's verified-pair count so the
-                // global total survives the close. Exactly one closer wins
-                // the `remove` race, so the count is banked exactly once.
+                // Bank every per-session counter of the detached session
+                // so the global totals survive the close. Exactly one
+                // closer wins the `remove` race, so the counters are
+                // banked exactly once.
                 if let Some(sess) = sess {
-                    GlobalMetrics::add(
-                        &shared.metrics.pairs_verified_closed,
-                        lock(&sess).engine.pairs_verified(),
-                    );
+                    let guard = lock(&sess);
+                    shared.metrics.closed.absorb(&guard.metrics, guard.engine.pairs_verified());
                 }
                 GlobalMetrics::bump(&shared.metrics.sessions_closed);
                 Response::Ok(json!({"closed": session}))
@@ -505,8 +515,6 @@ fn with_discovery(
     let elapsed = start.elapsed();
     sess.metrics.discoveries += 1;
     sess.metrics.record_flag_latency(elapsed);
-    GlobalMetrics::bump(&shared.metrics.discoveries);
-    shared.metrics.flag_latency.record(elapsed);
     render(sess, &d)
 }
 
@@ -520,6 +528,7 @@ mod tests {
         Shared {
             store: SessionStore::new(config.session_shards, config.max_sessions),
             metrics: GlobalMetrics::default(),
+            recorder: Arc::new(Recorder::new()),
             shutdown: AtomicBool::new(false),
             config,
             addr: "127.0.0.1:1".parse().unwrap(),
@@ -762,5 +771,93 @@ mod tests {
         assert_eq!(v["sessions"]["live"], 1);
         assert_eq!(v["entities_added"], 1);
         assert!(v["uptime_micros"].as_u64().is_some());
+    }
+
+    /// Closing a session must not erase ANY of its counters from the
+    /// global stats — every per-session counter is banked through the
+    /// same path (the original code banked only `pairs_verified`, so
+    /// `entities_added` and friends silently dropped on close).
+    #[test]
+    fn session_close_banks_all_counters() {
+        let s = shared();
+        let id = create(&s);
+        handle_request(
+            &Request::AddEntities {
+                session: id,
+                entities: vec![json!(["a", "ann, bob"]), json!(["b", "ann, bob"])],
+            },
+            &s,
+        );
+        handle_request(&Request::Discovery { session: id }, &s);
+        handle_request(&Request::RemoveEntity { session: id, entity: 1 }, &s);
+        handle_request(&Request::CloseSession { session: id }, &s);
+
+        let Response::Ok(v) = handle_request(&Request::Stats { session: None }, &s) else {
+            panic!("global stats failed")
+        };
+        assert_eq!(v["sessions"]["live"], 0);
+        assert_eq!(v["entities_added"], 2, "entities_added must survive session close");
+        assert_eq!(v["entities_removed"], 1, "entities_removed must survive session close");
+        assert_eq!(v["discoveries"], 1, "discoveries must survive session close");
+        assert!(v["pairs_verified"].as_u64().unwrap() > 0);
+        assert_eq!(v["flag_latency"]["count"], 1, "latency histogram must survive close");
+        assert_eq!(v["session_requests"], 3);
+    }
+
+    /// Rows carried by the `create_session` group document land in the
+    /// session's own counters, so they bank on close like rows added
+    /// through `add_entities`.
+    #[test]
+    fn initial_group_rows_count_and_bank() {
+        let s = shared();
+        let doc = json!({
+            "schema": [
+                {"name": "Title", "tokenizer": "words"},
+                {"name": "Authors", "tokenizer": {"list": ","}}
+            ],
+            "entities": [["t1", "ann, bob"], ["t2", "ann, bob"]]
+        });
+        let Response::Ok(v) =
+            handle_request(&Request::CreateSession { group: doc, rules: RULES.into() }, &s)
+        else {
+            panic!("create failed")
+        };
+        let id = v["session"].as_u64().unwrap();
+        assert_eq!(v["entities"], 2);
+
+        let Response::Ok(live) = handle_request(&Request::Stats { session: None }, &s) else {
+            panic!("stats failed")
+        };
+        assert_eq!(live["entities_added"], 2);
+
+        handle_request(&Request::CloseSession { session: id }, &s);
+        let Response::Ok(after) = handle_request(&Request::Stats { session: None }, &s) else {
+            panic!("stats failed")
+        };
+        assert_eq!(after["entities_added"], 2, "initial rows must survive session close");
+    }
+
+    /// The `trace` op surfaces the engine's phase spans and counters:
+    /// every session's engine feeds the shared recorder.
+    #[test]
+    fn trace_op_reports_engine_phases() {
+        let s = shared();
+        let id = create(&s);
+        handle_request(
+            &Request::AddEntities {
+                session: id,
+                entities: vec![json!(["a", "ann, bob"]), json!(["b", "ann, bob"])],
+            },
+            &s,
+        );
+        handle_request(&Request::Discovery { session: id }, &s);
+
+        let Response::Ok(v) = handle_request(&Request::Trace, &s) else { panic!("trace failed") };
+        let phases: Vec<&str> =
+            v["phases"].as_array().unwrap().iter().map(|p| p["name"].as_str().unwrap()).collect();
+        assert!(phases.contains(&"flag"), "discovery must record a flag phase: {phases:?}");
+        assert!(phases.contains(&"incremental_add"), "adds must record spans: {phases:?}");
+        assert!(v["counters"]["pairs_verified"].as_u64().unwrap() > 0);
+        assert!(v["counters"]["entities_added"].as_u64().unwrap() >= 2);
     }
 }

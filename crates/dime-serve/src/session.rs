@@ -7,7 +7,7 @@
 //! Shard locks never nest with session locks held, and no worker ever
 //! holds two session locks, so the store is deadlock-free by construction.
 
-use crate::metrics::SessionMetrics;
+use crate::metrics::{SessionMetrics, SessionTotals};
 use dime_core::IncrementalDime;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -105,18 +105,27 @@ impl SessionStore {
         self.len() == 0
     }
 
-    /// Sums the verified-pair counters across every live session — the
-    /// store-wide half of the global stats snapshot.
-    pub fn total_pairs_verified(&self) -> u64 {
-        let mut total = 0u64;
+    /// Sums every session-scoped counter across the live sessions — the
+    /// live half of the global stats snapshot (the closed half is banked
+    /// in `GlobalMetrics::closed` through the same
+    /// [`SessionTotals::absorb`] path).
+    pub fn aggregate(&self) -> SessionTotals {
+        let totals = SessionTotals::default();
         for shard in &self.shards {
             let sessions: Vec<Arc<Mutex<Session>>> = lock(shard).values().cloned().collect();
             // Session locks are taken after the shard lock is released.
             for s in sessions {
-                total = total.saturating_add(lock(&s).engine.pairs_verified());
+                let guard = lock(&s);
+                totals.absorb(&guard.metrics, guard.engine.pairs_verified());
             }
         }
-        total
+        totals
+    }
+
+    /// The live sessions' verified-pair sum — a convenience view of
+    /// [`SessionStore::aggregate`].
+    pub fn total_pairs_verified(&self) -> u64 {
+        self.aggregate().pairs_verified.into_inner()
     }
 }
 

@@ -1,0 +1,299 @@
+//! Fixed-bucket latency histogram: 64 power-of-two buckets, lock-free
+//! recording, mergeable, with quantile snapshots.
+//!
+//! Bucket `0` counts the value `0`; bucket `i >= 1` counts values in
+//! `[2^(i-1), 2^i)`, with the top bucket absorbing everything above.
+//! Quantiles are reported as the *upper bound* of the bucket the rank
+//! falls in, so they are never under-estimates and carry at most a 2×
+//! resolution error — and, crucially, they are exactly monotone under
+//! [`Histogram::merge`] (a merged quantile always lies between the two
+//! inputs' quantiles; see the property tests).
+//!
+//! Values are unit-agnostic `u64`s: record nanoseconds, microseconds, or
+//! byte counts — the snapshot reports whatever unit went in.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets in a [`Histogram`]; covers the full `u64` range.
+pub const BUCKETS: usize = 64;
+
+/// A mergeable, lock-free histogram over `u64` values.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    total: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Clone for Histogram {
+    fn clone(&self) -> Self {
+        let out = Self::new();
+        out.merge(self);
+        out
+    }
+}
+
+/// Bucket index for a value: 0 for 0, else `floor(log2(v)) + 1`, capped.
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Largest value a bucket can hold (its reported quantile value).
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Folds another histogram into this one. Every bucket count, the
+    /// total, and the max are component-wise non-decreasing.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.total.fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A point-in-time copy of all counts and derived quantiles.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: [u64; BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        let count: u64 = buckets.iter().sum();
+        let snap = HistogramSnapshot {
+            count,
+            total: self.total.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            p50: 0,
+            p95: 0,
+            p99: 0,
+            buckets,
+        };
+        HistogramSnapshot {
+            p50: snap.quantile(1, 2),
+            p95: snap.quantile(19, 20),
+            p99: snap.quantile(99, 100),
+            ..snap
+        }
+    }
+}
+
+/// Plain-data view of a [`Histogram`] at one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (saturating only at `u64` wrap; callers
+    /// recording durations will not get near it).
+    pub total: u64,
+    /// Largest recorded value (exact, not bucketed).
+    pub max: u64,
+    /// Median (bucket upper bound).
+    pub p50: u64,
+    /// 95th percentile (bucket upper bound).
+    pub p95: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+    /// Raw per-bucket counts; see the module docs for bucket boundaries.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// The `num/den` quantile as a bucket upper bound: the value of the
+    /// first bucket whose cumulative count reaches `ceil(count * num/den)`.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, num: u64, den: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as u128 * num as u128 + den as u128 - 1) / den as u128) as u64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return bucket_upper(i);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of the recorded values, 0 when empty.
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total / self.count
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(10), 1023);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!((s.count, s.total, s.max, s.p50, s.p95, s.p99, s.mean()), (0, 0, 0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn single_value_quantiles() {
+        let h = Histogram::new();
+        h.record(100);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.total, 100);
+        assert_eq!(s.max, 100);
+        // 100 lands in [64, 128): every quantile reports the bucket top.
+        assert_eq!((s.p50, s.p95, s.p99), (127, 127, 127));
+    }
+
+    #[test]
+    fn quantiles_split_a_bimodal_distribution() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(10); // bucket [8, 16)
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket [512, 1024)
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50, 15);
+        assert_eq!(s.p95, 1023);
+        assert_eq!(s.max, 1000);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(5);
+        b.record(5);
+        b.record(500);
+        a.merge(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total, 510);
+        assert_eq!(s.max, 500);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let a = Histogram::new();
+        a.record(7);
+        let b = a.clone();
+        a.record(7);
+        assert_eq!(b.count(), 1);
+        assert_eq!(a.count(), 2);
+    }
+
+    fn from_values(values: &[u64]) -> Histogram {
+        let h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    proptest! {
+        /// The satellite property: merging never lowers any bucket count,
+        /// and every merged quantile lies between the inputs' quantiles.
+        #[test]
+        fn merge_is_monotone(
+            xs in proptest::collection::vec(0u64..1 << 40, 0..200),
+            ys in proptest::collection::vec(0u64..1 << 40, 0..200),
+        ) {
+            let a = from_values(&xs);
+            let b = from_values(&ys);
+            let merged = a.clone();
+            merged.merge(&b);
+            let (sa, sb, sm) = (a.snapshot(), b.snapshot(), merged.snapshot());
+
+            for i in 0..BUCKETS {
+                prop_assert!(sm.buckets[i] >= sa.buckets[i]);
+                prop_assert!(sm.buckets[i] >= sb.buckets[i]);
+            }
+            prop_assert_eq!(sm.count, sa.count + sb.count);
+            prop_assert!(sm.max >= sa.max.max(sb.max));
+
+            for (num, den) in [(1u64, 2u64), (19, 20), (99, 100)] {
+                let (qa, qb, qm) =
+                    (sa.quantile(num, den), sb.quantile(num, den), sm.quantile(num, den));
+                if sa.count == 0 || sb.count == 0 {
+                    // Merging with an empty histogram is the identity.
+                    prop_assert_eq!(qm, qa.max(qb));
+                } else {
+                    prop_assert!(qm >= qa.min(qb), "q{num}/{den}: {qm} < min({qa}, {qb})");
+                    prop_assert!(qm <= qa.max(qb), "q{num}/{den}: {qm} > max({qa}, {qb})");
+                }
+            }
+        }
+
+        /// Quantiles never under-report: the true quantile of the raw
+        /// values is <= the bucketed quantile, within one bucket.
+        #[test]
+        fn quantile_upper_bounds_true_rank(
+            values in proptest::collection::vec(0u64..1 << 40, 1..200),
+        ) {
+            let s = from_values(&values).snapshot();
+            let mut xs = values;
+            xs.sort_unstable();
+            for (num, den) in [(1u64, 2u64), (19, 20), (99, 100)] {
+                let rank = (xs.len() as u64 * num).div_ceil(den).max(1) as usize;
+                let truth = xs[rank - 1];
+                prop_assert!(s.quantile(num, den) >= truth);
+            }
+        }
+    }
+}

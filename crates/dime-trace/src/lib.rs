@@ -1,0 +1,30 @@
+//! Zero-dependency observability for the DIME engines: span-based
+//! structured tracing with monotonic timestamps and thread tagging,
+//! fixed-bucket latency histograms with quantile snapshots, and
+//! per-rule / per-phase counters.
+//!
+//! The design center is the [`TraceSink`] trait: every method has a
+//! no-op default, so the disabled path ([`NoopSink`], or the `NOOP`
+//! static) costs one virtual call per *phase*, not per pair — hot loops
+//! accumulate plain local integers and flush once at phase boundaries.
+//! The collecting implementation is [`Recorder`], whose [`Recorder::snapshot`]
+//! yields a plain-data [`TraceReport`] that callers render as a table or
+//! serialize to JSON themselves (this crate deliberately has no
+//! serialization dependency).
+//!
+//! Spans are RAII: [`span`] returns a [`SpanGuard`] that reports the
+//! enclosed interval on drop, which keeps per-thread nesting balanced
+//! even when a worker panics and unwinds mid-phase.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod recorder;
+mod sink;
+mod span;
+
+pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+pub use recorder::{PhaseStat, Recorder, RuleHitStat, TraceReport};
+pub use sink::{NoopSink, RuleKind, TraceSink, NOOP};
+pub use span::{now_nanos, span, thread_depth, thread_id, SpanGuard, SpanRecord};

@@ -1,0 +1,338 @@
+//! The collecting [`TraceSink`]: aggregates phases, counters, rule hits,
+//! and latency histograms, and keeps a bounded buffer of raw spans.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::sink::{RuleKind, TraceSink};
+use crate::span::SpanRecord;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Default cap on buffered raw spans. Phase aggregates stay exact past
+/// the cap; only the per-span timeline is truncated (and the truncation
+/// is counted), so a long-running server cannot grow without bound.
+const DEFAULT_MAX_SPANS: usize = 4096;
+
+#[derive(Default)]
+struct Inner {
+    spans: Vec<SpanRecord>,
+    dropped_spans: u64,
+    phases: BTreeMap<&'static str, (u64, u64)>, // name -> (count, total_ns)
+    counters: BTreeMap<&'static str, u64>,
+    rules: BTreeMap<(RuleKind, usize), u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+/// A thread-safe, in-memory trace collector.
+///
+/// Locks once per sink call — instrumented code flushes at phase
+/// boundaries, so contention is per-phase, not per-pair.
+pub struct Recorder {
+    inner: Mutex<Inner>,
+    max_spans: usize,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// An empty recorder with the default raw-span cap.
+    pub fn new() -> Self {
+        Self::with_max_spans(DEFAULT_MAX_SPANS)
+    }
+
+    /// An empty recorder keeping at most `max_spans` raw spans.
+    pub fn with_max_spans(max_spans: usize) -> Self {
+        Self { inner: Mutex::new(Inner::default()), max_spans }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panicking worker mid-record leaves only aggregate counters
+        // possibly short by one flush; never poison the whole trace.
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// A plain-data copy of everything recorded so far.
+    pub fn snapshot(&self) -> TraceReport {
+        let inner = self.lock();
+        TraceReport {
+            spans: inner.spans.clone(),
+            dropped_spans: inner.dropped_spans,
+            phases: inner
+                .phases
+                .iter()
+                .map(|(&name, &(count, total_ns))| PhaseStat {
+                    name: name.to_string(),
+                    count,
+                    total_ns,
+                })
+                .collect(),
+            counters: inner.counters.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+            rule_hits: inner
+                .rules
+                .iter()
+                .map(|(&(kind, rule), &hits)| RuleHitStat { kind, rule, hits })
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(&k, h)| (k.to_string(), h.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Clears all recorded data (the raw-span cap is kept).
+    pub fn reset(&self) {
+        *self.lock() = Inner::default();
+    }
+}
+
+impl TraceSink for Recorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span(&self, record: SpanRecord) {
+        let mut inner = self.lock();
+        let slot = inner.phases.entry(record.name).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 += record.duration_ns();
+        if inner.spans.len() < self.max_spans {
+            inner.spans.push(record);
+        } else {
+            inner.dropped_spans += 1;
+        }
+    }
+
+    fn add(&self, counter: &'static str, n: u64) {
+        *self.lock().counters.entry(counter).or_insert(0) += n;
+    }
+
+    fn rule_hits(&self, kind: RuleKind, rule: usize, hits: u64) {
+        *self.lock().rules.entry((kind, rule)).or_insert(0) += hits;
+    }
+
+    fn latency(&self, histogram: &'static str, value: u64) {
+        self.lock().histograms.entry(histogram).or_default().record(value);
+    }
+}
+
+/// Aggregate time spent in one named phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Phase name, e.g. `"verify"`.
+    pub name: String,
+    /// Number of spans recorded under this name.
+    pub count: u64,
+    /// Total nanoseconds across those spans.
+    pub total_ns: u64,
+}
+
+/// Hit count for one rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleHitStat {
+    /// Positive or negative family.
+    pub kind: RuleKind,
+    /// Rule index within its family (input order).
+    pub rule: usize,
+    /// Number of entity pairs (positive) or partitions (negative) the
+    /// rule matched.
+    pub hits: u64,
+}
+
+/// Everything a [`Recorder`] saw, as plain owned data: render it as a
+/// table or serialize it downstream (this crate has no serializer).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Raw spans, oldest first, truncated at the recorder's cap.
+    pub spans: Vec<SpanRecord>,
+    /// Spans dropped once the cap was reached (aggregates stay exact).
+    pub dropped_spans: u64,
+    /// Per-phase aggregates, sorted by name.
+    pub phases: Vec<PhaseStat>,
+    /// Named counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Per-rule hit counts, positives before negatives, by rule index.
+    pub rule_hits: Vec<RuleHitStat>,
+    /// Named histogram snapshots, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl TraceReport {
+    /// Total nanoseconds recorded under `phase`, 0 when absent.
+    pub fn phase_total_ns(&self, phase: &str) -> u64 {
+        self.phases.iter().find(|p| p.name == phase).map_or(0, |p| p.total_ns)
+    }
+
+    /// Value of a named counter, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(k, _)| k == name).map_or(0, |&(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{span, thread_depth};
+    use proptest::prelude::*;
+
+    #[test]
+    fn aggregates_phases_counters_rules_histograms() {
+        let rec = Recorder::new();
+        {
+            let _a = span(&rec, "verify");
+        }
+        {
+            let _b = span(&rec, "verify");
+        }
+        rec.add("pairs_verified", 10);
+        rec.add("pairs_verified", 5);
+        rec.rule_hits(RuleKind::Positive, 0, 3);
+        rec.rule_hits(RuleKind::Negative, 1, 2);
+        rec.latency("flag_micros", 100);
+        rec.latency("flag_micros", 200);
+
+        let report = rec.snapshot();
+        assert_eq!(report.spans.len(), 2);
+        assert_eq!(report.phases.len(), 1);
+        assert_eq!(report.phases[0].name, "verify");
+        assert_eq!(report.phases[0].count, 2);
+        assert_eq!(report.counter("pairs_verified"), 15);
+        assert_eq!(report.counter("absent"), 0);
+        assert_eq!(
+            report.rule_hits,
+            vec![
+                RuleHitStat { kind: RuleKind::Positive, rule: 0, hits: 3 },
+                RuleHitStat { kind: RuleKind::Negative, rule: 1, hits: 2 },
+            ]
+        );
+        assert_eq!(report.histograms.len(), 1);
+        assert_eq!(report.histograms[0].1.count, 2);
+        assert_eq!(report.histograms[0].1.total, 300);
+    }
+
+    #[test]
+    fn span_cap_truncates_but_keeps_aggregates_exact() {
+        let rec = Recorder::with_max_spans(2);
+        for _ in 0..5 {
+            let _s = span(&rec, "verify");
+        }
+        let report = rec.snapshot();
+        assert_eq!(report.spans.len(), 2);
+        assert_eq!(report.dropped_spans, 3);
+        assert_eq!(report.phases[0].count, 5);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let rec = Recorder::new();
+        rec.add("c", 1);
+        {
+            let _s = span(&rec, "p");
+        }
+        rec.reset();
+        assert_eq!(rec.snapshot(), TraceReport::default());
+    }
+
+    /// Checks one thread's spans nest like balanced parentheses: spans
+    /// at depth d+1 fall inside the enclosing depth-d interval, and the
+    /// count of recorded spans equals the count of opened guards.
+    fn assert_balanced(spans: &[SpanRecord]) {
+        for s in spans {
+            assert!(s.end_ns >= s.start_ns);
+        }
+        // Recorded in drop (close) order: replay as a stack machine.
+        let mut stack: Vec<SpanRecord> = Vec::new();
+        let mut by_close = spans.to_vec();
+        by_close.sort_by_key(|s| (s.end_ns, std::cmp::Reverse(s.depth)));
+        for s in by_close {
+            while let Some(top) = stack.last() {
+                if top.depth >= s.depth {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(enclosing) = stack.last() {
+                assert!(enclosing.depth < s.depth);
+                assert!(enclosing.start_ns <= s.start_ns);
+            }
+            stack.push(s);
+        }
+    }
+
+    /// Silences the default "thread panicked" banner for the deliberate
+    /// panics below; anything else still reaches the previous hook.
+    fn quiet_deliberate_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let deliberate = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|m| m.contains("deliberate worker panic"));
+                if !deliberate {
+                    previous(info);
+                }
+            }));
+        });
+    }
+
+    proptest! {
+        /// The satellite property: panicking workers still close every
+        /// span they opened, per-thread depth returns to zero, and the
+        /// recorded spans nest properly.
+        #[test]
+        fn span_nesting_balanced_across_panicking_workers(
+            depths in proptest::collection::vec(1u32..6, 1..8),
+        ) {
+            quiet_deliberate_panics();
+            let rec = Recorder::new();
+            std::thread::scope(|scope| {
+                for &target in &depths {
+                    let rec = &rec;
+                    scope.spawn(move || {
+                        let outcome = std::panic::catch_unwind(
+                            std::panic::AssertUnwindSafe(|| {
+                                open_nested(rec, target);
+                            }),
+                        );
+                        // Plain asserts: a failure panics the scope,
+                        // which fails the test.
+                        assert!(outcome.is_err(), "worker was built to panic");
+                        assert_eq!(thread_depth(), 0);
+                    });
+                }
+            });
+            let report = rec.snapshot();
+            let opened: u32 = depths.iter().sum();
+            prop_assert_eq!(report.spans.len() as u32, opened);
+
+            let mut threads: std::collections::BTreeMap<u64, Vec<SpanRecord>> =
+                std::collections::BTreeMap::new();
+            for s in &report.spans {
+                threads.entry(s.thread).or_default().push(*s);
+            }
+            prop_assert_eq!(threads.len(), depths.len());
+            for spans in threads.values() {
+                assert_balanced(spans);
+                // Exactly one span per depth level 0..n on each worker.
+                let mut levels: Vec<u32> = spans.iter().map(|s| s.depth).collect();
+                levels.sort_unstable();
+                prop_assert_eq!(levels, (0..spans.len() as u32).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    /// Opens `n` nested spans then panics at the deepest point.
+    fn open_nested(rec: &Recorder, n: u32) {
+        let _guard = span(rec, "worker_phase");
+        if n == 1 {
+            panic!("deliberate worker panic");
+        }
+        open_nested(rec, n - 1);
+    }
+}

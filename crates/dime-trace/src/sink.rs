@@ -1,0 +1,82 @@
+//! The [`TraceSink`] trait: the one seam between instrumented code and
+//! whatever is collecting (or discarding) the telemetry.
+
+use crate::span::SpanRecord;
+
+/// Which rule family a hit count belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleKind {
+    /// A positive (same-category evidence) rule.
+    Positive,
+    /// A negative (mis-categorization evidence) rule.
+    Negative,
+}
+
+impl RuleKind {
+    /// Stable lowercase label, used in reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            RuleKind::Positive => "positive",
+            RuleKind::Negative => "negative",
+        }
+    }
+}
+
+/// Receives telemetry from instrumented code. Every method defaults to a
+/// no-op and `enabled()` defaults to `false`, so implementing the trait
+/// for a disabled sink is zero lines and instrumented code can skip even
+/// timestamp reads when tracing is off.
+///
+/// Hot loops must not call sink methods per element: accumulate locally
+/// and flush at phase boundaries, so the virtual dispatch cost is
+/// per-phase no matter the input size.
+pub trait TraceSink: Sync {
+    /// Whether this sink wants data. [`crate::span`] consults this to
+    /// skip clock reads entirely when off.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// A completed span (called from the thread the span ran on).
+    fn span(&self, _record: SpanRecord) {}
+
+    /// Adds `n` to the named counter.
+    fn add(&self, _counter: &'static str, _n: u64) {}
+
+    /// Adds `hits` to the per-rule hit count for rule index `rule` of
+    /// the given kind.
+    fn rule_hits(&self, _kind: RuleKind, _rule: usize, _hits: u64) {}
+
+    /// Records one value into the named histogram (unit-agnostic; the
+    /// convention in this workspace is microseconds for latencies).
+    fn latency(&self, _histogram: &'static str, _value: u64) {}
+}
+
+/// The disabled sink: every method inherits the no-op default.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {}
+
+/// A `'static` no-op sink, handy wherever a `&dyn TraceSink` default is
+/// needed without allocating.
+pub static NOOP: NoopSink = NoopSink;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_is_disabled_and_inert() {
+        assert!(!NOOP.enabled());
+        NOOP.add("anything", 1);
+        NOOP.rule_hits(RuleKind::Positive, 0, 1);
+        NOOP.latency("anything", 1);
+    }
+
+    #[test]
+    fn rule_kind_labels() {
+        assert_eq!(RuleKind::Positive.label(), "positive");
+        assert_eq!(RuleKind::Negative.label(), "negative");
+    }
+}

@@ -1,0 +1,146 @@
+//! RAII spans over a process-wide monotonic clock, tagged with small
+//! per-thread ids so interleaved parallel workers stay attributable.
+
+use crate::sink::TraceSink;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The process-wide epoch: all span timestamps are nanoseconds since the
+/// first call, so records from different threads share one timeline.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process trace epoch (monotonic).
+pub fn now_nanos() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// A small, dense id for the calling thread — assigned on first use.
+/// (`std::thread::ThreadId` has no stable integer form.)
+pub fn thread_id() -> u64 {
+    THREAD_ID.with(|id| *id)
+}
+
+/// The calling thread's current open-span depth. Returns to 0 whenever
+/// every guard on this thread has dropped — including via panic unwind.
+pub fn thread_depth() -> u32 {
+    DEPTH.with(Cell::get)
+}
+
+/// One completed span: a named interval on one thread's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Phase name, e.g. `"verify"`.
+    pub name: &'static str,
+    /// Small id of the thread the span ran on (see [`thread_id`]).
+    pub thread: u64,
+    /// Nesting depth at entry: 0 for a top-level span.
+    pub depth: u32,
+    /// Start, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// End, nanoseconds since the trace epoch.
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    /// The span's duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// RAII guard from [`span`]: reports the interval to the sink on drop,
+/// so nesting stays balanced even across a panic unwind.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
+pub struct SpanGuard<'a> {
+    sink: &'a dyn TraceSink,
+    name: &'static str,
+    start_ns: u64,
+    depth: u32,
+    active: bool,
+}
+
+/// Opens a span. When the sink is disabled this takes no timestamp and
+/// the guard's drop is a no-op, so tracing costs nothing when off.
+pub fn span<'a>(sink: &'a dyn TraceSink, name: &'static str) -> SpanGuard<'a> {
+    if !sink.enabled() {
+        return SpanGuard { sink, name, start_ns: 0, depth: 0, active: false };
+    }
+    let depth = DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth
+    });
+    SpanGuard { sink, name, start_ns: now_nanos(), depth, active: true }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        self.sink.span(SpanRecord {
+            name: self.name,
+            thread: thread_id(),
+            depth: self.depth,
+            start_ns: self.start_ns,
+            end_ns: now_nanos(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::NOOP;
+    use crate::Recorder;
+
+    #[test]
+    fn noop_spans_touch_no_state() {
+        let before = thread_depth();
+        {
+            let _a = span(&NOOP, "outer");
+            let _b = span(&NOOP, "inner");
+            assert_eq!(thread_depth(), before);
+        }
+        assert_eq!(thread_depth(), before);
+    }
+
+    #[test]
+    fn nested_spans_record_depths_and_contained_intervals() {
+        let rec = Recorder::new();
+        {
+            let _outer = span(&rec, "outer");
+            let _inner = span(&rec, "inner");
+        }
+        let report = rec.snapshot();
+        assert_eq!(report.spans.len(), 2);
+        // Inner drops first, so it is recorded first.
+        let (inner, outer) = (report.spans[0], report.spans[1]);
+        assert_eq!((inner.name, inner.depth), ("inner", 1));
+        assert_eq!((outer.name, outer.depth), ("outer", 0));
+        assert!(outer.start_ns <= inner.start_ns);
+        assert!(inner.end_ns <= outer.end_ns);
+        assert_eq!(inner.thread, outer.thread);
+    }
+
+    #[test]
+    fn thread_ids_are_distinct_and_stable() {
+        let mine = thread_id();
+        assert_eq!(mine, thread_id());
+        let other = std::thread::spawn(thread_id).join().unwrap();
+        assert_ne!(mine, other);
+    }
+}

@@ -1,16 +1,121 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: formatting, release build, full test suite (with the
-# dime-serve end-to-end integration test called out explicitly), and
-# lint-clean clippy.
-set -euo pipefail
+# Tier-1 CI gate, as named, individually timed stages:
+#
+#   fmt           rustfmt across the workspace (check only)
+#   build         release build of every crate
+#   test          full test suite (`cargo test -q`)
+#   serve-e2e     the dime-serve acceptance test, run by name so a
+#                 filtered test invocation can never skip it
+#   clippy        lint-clean across all targets, warnings denied
+#   bench-smoke   exp_check --smoke: the three engines must agree on a
+#                 tiny generated group inside a generous time ceiling
+#   offline-build the rustc-only harness (scripts/offline/build_all.sh);
+#                 skipped with a message when cargo never produced the
+#                 stub sources' toolchain or rustc is missing
+#
+# Stages run in order and fail fast: the first failure stops the run, and
+# the summary table reports every stage as ok / FAIL / skip / - (not
+# reached) with its wall-clock time.
+#
+# CI_STAGE=<name> runs exactly one stage (e.g. `CI_STAGE=clippy
+# scripts/ci.sh`); unknown names fail with the stage list.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
-cargo fmt --all --check
-cargo build --release
-cargo test -q
+STAGES=(fmt build test serve-e2e clippy bench-smoke offline-build)
+
+run_fmt() { cargo fmt --all --check; }
+run_build() { cargo build --release; }
+run_test() { cargo test -q; }
 # The service integration test (N concurrent clients against a live
 # server, responses checked bit-identical to discover_fast) runs as part
 # of `cargo test`, but it is the acceptance gate for dime-serve — run it
 # by name so a filtered or partial test invocation can never skip it.
-cargo test -q --test serve
-cargo clippy --workspace --all-targets -- -D warnings
+run_serve_e2e() { cargo test -q --test serve; }
+run_clippy() { cargo clippy --workspace --all-targets -- -D warnings; }
+# Engine-agreement smoke: naive, fast, and parallel must produce
+# bit-identical discoveries on a small DBGen group, under a time ceiling.
+run_bench_smoke() { cargo run -q --release --bin exp_check -- --smoke; }
+
+# The offline harness double-checks that the workspace still builds with
+# plain rustc against the stub crates (no registry access). Skip — not
+# fail — when rustc alone cannot provide what a stage needs.
+run_offline_build() {
+  if ! command -v rustc > /dev/null 2>&1; then
+    echo "offline-build: rustc not on PATH; skipping"
+    return 2
+  fi
+  bash scripts/offline/build_all.sh
+}
+
+# --- driver ------------------------------------------------------------
+declare -A RESULT TIME
+for s in "${STAGES[@]}"; do
+  RESULT[$s]="-"
+  TIME[$s]=""
+done
+
+print_summary() {
+  echo
+  echo "== CI summary =="
+  printf '%-14s %-6s %s\n' stage result time
+  for s in "${STAGES[@]}"; do
+    printf '%-14s %-6s %s\n' "$s" "${RESULT[$s]}" "${TIME[$s]}"
+  done
+}
+
+run_stage() {
+  local s=$1 rc t0 t1
+  echo
+  echo "== stage: $s =="
+  t0=$(date +%s)
+  case "$s" in
+    fmt) run_fmt ;;
+    build) run_build ;;
+    test) run_test ;;
+    serve-e2e) run_serve_e2e ;;
+    clippy) run_clippy ;;
+    bench-smoke) run_bench_smoke ;;
+    offline-build) run_offline_build ;;
+    *)
+      echo "unknown stage '$s' (stages: ${STAGES[*]})" >&2
+      return 1
+      ;;
+  esac
+  rc=$?
+  t1=$(date +%s)
+  TIME[$s]="$((t1 - t0))s"
+  case "$rc" in
+    0) RESULT[$s]="ok" ;;
+    2) RESULT[$s]="skip" ;;
+    *) RESULT[$s]="FAIL" ;;
+  esac
+  return "$rc"
+}
+
+if [[ -n "${CI_STAGE:-}" ]]; then
+  case " ${STAGES[*]} " in
+    *" ${CI_STAGE} "*) ;;
+    *)
+      echo "CI_STAGE='${CI_STAGE}' is not a stage (stages: ${STAGES[*]})" >&2
+      exit 1
+      ;;
+  esac
+  run_stage "$CI_STAGE"
+  rc=$?
+  print_summary
+  [[ "$rc" == 2 ]] && rc=0
+  exit "$rc"
+fi
+
+for s in "${STAGES[@]}"; do
+  run_stage "$s"
+  rc=$?
+  if [[ "$rc" != 0 && "$rc" != 2 ]]; then
+    echo
+    echo "stage '$s' failed (exit $rc) — stopping" >&2
+    print_summary
+    exit "$rc"
+  fi
+done
+print_summary

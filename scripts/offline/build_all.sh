@@ -35,6 +35,7 @@ tst() { # name path extra-externs...
 
 E_text="--extern dime_text=libdime_text.rlib"
 E_index="--extern dime_index=libdime_index.rlib"
+E_trace="--extern dime_trace=libdime_trace.rlib"
 E_ont="--extern dime_ontology=libdime_ontology.rlib"
 E_core="--extern dime_core=libdime_core.rlib"
 E_metrics="--extern dime_metrics=libdime_metrics.rlib"
@@ -48,31 +49,33 @@ E_dime="--extern dime=libdime.rlib"
 # 2. Workspace libraries, dependency order.
 lib dime_text     $R/crates/dime-text/src/lib.rs
 lib dime_index    $R/crates/dime-index/src/lib.rs
+lib dime_trace    $R/crates/dime-trace/src/lib.rs
 lib dime_ontology $R/crates/dime-ontology/src/lib.rs
-lib dime_core     $R/crates/dime-core/src/lib.rs     $E_text $E_index $E_ont
+lib dime_core     $R/crates/dime-core/src/lib.rs     $E_text $E_index $E_ont $E_trace
 lib dime_metrics  $R/crates/dime-metrics/src/lib.rs
 lib dime_rulegen  $R/crates/dime-rulegen/src/lib.rs  $E_core $E_text $E_ont
 lib dime_baselines $R/crates/dime-baselines/src/lib.rs $E_core $E_index $E_rulegen $E_text $E_ont $E_metrics
 lib dime_data     $R/crates/dime-data/src/lib.rs     $E_core $E_ont $E_text
-lib dime_serve    $R/crates/dime-serve/src/lib.rs    $E_core $E_data $E_text
-lib dime_bench    $R/crates/dime-bench/src/lib.rs    $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve
-lib dime          $R/src/lib.rs                      $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve
+lib dime_serve    $R/crates/dime-serve/src/lib.rs    $E_core $E_data $E_text $E_trace
+lib dime_bench    $R/crates/dime-bench/src/lib.rs    $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_trace
+lib dime          $R/src/lib.rs                      $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_trace
 
 # 3. Unit-test binaries.
 tst dime_text     $R/crates/dime-text/src/lib.rs
 tst dime_index    $R/crates/dime-index/src/lib.rs
+tst dime_trace    $R/crates/dime-trace/src/lib.rs
 tst dime_ontology $R/crates/dime-ontology/src/lib.rs
-tst dime_core     $R/crates/dime-core/src/lib.rs     $E_text $E_index $E_ont
+tst dime_core     $R/crates/dime-core/src/lib.rs     $E_text $E_index $E_ont $E_trace
 tst dime_metrics  $R/crates/dime-metrics/src/lib.rs
 tst dime_rulegen  $R/crates/dime-rulegen/src/lib.rs  $E_core $E_text $E_ont $E_data $E_metrics
 tst dime_baselines $R/crates/dime-baselines/src/lib.rs $E_core $E_index $E_rulegen $E_text $E_ont $E_metrics $E_data
 tst dime_data     $R/crates/dime-data/src/lib.rs     $E_core $E_ont $E_text
-tst dime_serve    $R/crates/dime-serve/src/lib.rs    $E_core $E_data $E_text
-tst dime_bench    $R/crates/dime-bench/src/lib.rs    $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve
-tst dime_facade   $R/src/lib.rs                      $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve
+tst dime_serve    $R/crates/dime-serve/src/lib.rs    $E_core $E_data $E_text $E_trace
+tst dime_bench    $R/crates/dime-bench/src/lib.rs    $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_trace
+tst dime_facade   $R/src/lib.rs                      $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_trace
 
 # 4. Integration-test binaries.
-ALL_E="$E_dime $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_bench"
+ALL_E="$E_dime $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_bench $E_trace"
 tst end_to_end     $R/tests/end_to_end.rs             $ALL_E
 tst serve          $R/tests/serve.rs                  $ALL_E
 tst serve_protocol $R/crates/dime-serve/tests/protocol.rs $E_serve $E_core $E_data $E_text

@@ -1,7 +1,7 @@
 //! `dime` — command-line discovery of mis-categorized entities.
 //!
 //! ```text
-//! dime discover --group <group.json> --rules <rules.txt> [--engine fast|naive] [--json] [--explain]
+//! dime discover --group <group.json> --rules <rules.txt> [--engine fast|naive] [--json] [--explain] [--trace]
 //! dime learn    --group <group.json> --truth <ids.json>
 //! dime demo     <scholar|amazon> [--seed N] [--json]
 //! dime check-rules --group <group.json> --rules <rules.txt>
@@ -14,7 +14,9 @@
 //! for the format) and a rule file in the textual DSL
 //! (`dime_core::parse_rules`), runs DIME⁺ (or Algorithm 1 with
 //! `--engine naive`), and prints a human-readable report — or the full JSON
-//! report with `--json`.
+//! report with `--json`. `--trace` records the engine's phase spans and
+//! counters through a `dime-trace` recorder and appends the per-phase
+//! breakdown (a table, or a `"trace"` object under `--json`).
 //!
 //! `demo` generates a synthetic Scholar page or Amazon category with known
 //! ground truth and reports precision/recall per scrollbar step.
@@ -25,16 +27,20 @@
 //! a service" section for the protocol reference).
 
 use dime::core::{
-    discover_fast, discover_naive, parse_rules, Discovery, Group, GroupStats, Polarity, Rule,
+    discover_fast, discover_fast_traced, discover_naive, parse_rules, DimePlusConfig, Discovery,
+    Group, GroupStats, Polarity, Rule,
 };
 use dime::data::{
     amazon_category, amazon_rules, discovery_to_json, load_group_json, scholar_page, scholar_rules,
     AmazonConfig, LabeledGroup, ScholarConfig,
 };
+use dime::serve::metrics::trace_report_to_value;
 use dime::serve::{Client, ClientError, Request, ServeConfig, Server};
-use serde_json::Value;
+use dime::trace::{Recorder, TraceReport};
+use serde_json::{json, Value};
 use std::io::Write;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,13 +68,13 @@ fn print_usage() {
     eprintln!(
         "dime — discover mis-categorized entities (ICDE 2018)\n\n\
          USAGE:\n\
-         \x20 dime discover --group <group.json> --rules <rules.txt> [--engine fast|naive] [--json]\n\
+         \x20 dime discover --group <group.json> --rules <rules.txt> [--engine fast|naive] [--json] [--trace]\n\
          \x20 dime demo <scholar|amazon> [--seed N] [--json]\n\
          \x20 dime check-rules --group <group.json> --rules <rules.txt>\n\
          \x20 dime stats --group <group.json>\n\
          \x20 dime learn --group <group.json> --truth <ids.json>\n\
          \x20 dime serve [--addr H:P] [--workers N] [--max-frame-bytes N] [--max-entities N] [--max-sessions N]\n\
-         \x20 dime client --addr H:P <ping|create|add|remove|discovery|scrollbar|stats|close|shutdown> [op args]\n\n\
+         \x20 dime client --addr H:P <ping|create|add|remove|discovery|scrollbar|stats|trace|close|shutdown> [op args]\n\n\
          Rule file format (one rule per line, '#' comments):\n\
          \x20 positive: overlap(Authors) >= 2\n\
          \x20 positive: overlap(Authors) >= 1 and ontology(Venue) >= 0.75\n\
@@ -143,19 +149,102 @@ fn cmd_discover(args: &[String]) -> ExitCode {
         eprintln!("error: the group is empty");
         return ExitCode::FAILURE;
     }
+    let trace = has_flag(args, "--trace");
+    let recorder = Recorder::new();
+    let start = Instant::now();
     let discovery = match flag_value(args, "--engine") {
-        Some("naive") => discover_naive(&group, &pos, &neg),
-        Some("fast") | None => discover_fast(&group, &pos, &neg),
+        Some("naive") => {
+            if trace {
+                eprintln!("error: --trace needs the fast engine (naive is not instrumented)");
+                return ExitCode::FAILURE;
+            }
+            discover_naive(&group, &pos, &neg)
+        }
+        Some("fast") | None => {
+            if trace {
+                discover_fast_traced(&group, &pos, &neg, DimePlusConfig::default(), &recorder)
+            } else {
+                discover_fast(&group, &pos, &neg)
+            }
+        }
         Some(other) => {
             eprintln!("error: unknown engine {other:?} (use 'fast' or 'naive')");
             return ExitCode::FAILURE;
         }
     };
+    let wall = start.elapsed();
     if has_flag(args, "--json") {
-        return emit_json(&discovery_to_json(&group, &discovery));
+        let mut v = discovery_to_json(&group, &discovery);
+        if trace {
+            let mut t = trace_report_to_value(&recorder.snapshot());
+            if let Some(obj) = t.as_object_mut() {
+                obj.insert(
+                    "wall_ns".into(),
+                    json!(u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX)),
+                );
+            }
+            if let Some(obj) = v.as_object_mut() {
+                obj.insert("trace".into(), t);
+            }
+        }
+        return emit_json(&v);
     }
     print_report(&group, &discovery, has_flag(args, "--explain"), &neg);
+    if trace {
+        print_trace(&recorder.snapshot(), wall);
+    }
     ExitCode::SUCCESS
+}
+
+/// The five top-level engine phases tile a discovery run: they never nest
+/// among themselves, so their summed durations approximate wall-clock
+/// (worker spans nest inside `verify` and are reported but not summed).
+const TILING_PHASES: [&str; 5] = ["signature_build", "index_probe", "verify", "union", "flag"];
+
+/// Prints the `--trace` breakdown: phase table with wall-clock share,
+/// engine counters, and per-rule hit counts.
+fn print_trace(report: &TraceReport, wall: Duration) {
+    let wall_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX).max(1);
+    println!(
+        "\ntrace: wall {:.3} ms, {} span(s) recorded ({} dropped)",
+        wall_ns as f64 / 1e6,
+        report.spans.len(),
+        report.dropped_spans
+    );
+    println!("  {:<18} {:>7} {:>12} {:>8}", "phase", "count", "total ms", "% wall");
+    let mut tiled_ns = 0u64;
+    for p in &report.phases {
+        let nested = if TILING_PHASES.contains(&p.name.as_str()) {
+            tiled_ns += p.total_ns;
+            ""
+        } else {
+            "  (nested)"
+        };
+        println!(
+            "  {:<18} {:>7} {:>12.3} {:>7.1}%{nested}",
+            p.name,
+            p.count,
+            p.total_ns as f64 / 1e6,
+            p.total_ns as f64 * 100.0 / wall_ns as f64
+        );
+    }
+    println!(
+        "  phases cover {:.3} ms = {:.1}% of wall-clock",
+        tiled_ns as f64 / 1e6,
+        tiled_ns as f64 * 100.0 / wall_ns as f64
+    );
+    if !report.counters.is_empty() {
+        println!("\ncounters:");
+        for (name, value) in &report.counters {
+            println!("  {name:<28} {value}");
+        }
+    }
+    if !report.rule_hits.is_empty() {
+        println!("\nrule hits:");
+        for r in &report.rule_hits {
+            println!("  {} rule #{}: {} hit(s)", r.kind.label(), r.rule + 1, r.hits);
+        }
+    }
 }
 
 fn print_report(group: &Group, discovery: &Discovery, explain: bool, negative: &[Rule]) {
@@ -462,7 +551,7 @@ fn build_client_request(args: &[String]) -> Result<Request, String> {
         }
     }
     let op = op.ok_or_else(|| {
-        "client needs an operation: ping | create | add | remove | discovery | scrollbar | stats | close | shutdown"
+        "client needs an operation: ping | create | add | remove | discovery | scrollbar | stats | trace | close | shutdown"
             .to_string()
     })?;
     match op {
@@ -503,6 +592,7 @@ fn build_client_request(args: &[String]) -> Result<Request, String> {
             Ok(Request::Scrollbar { session: session()?, step })
         }
         "stats" => Ok(Request::Stats { session: numeric_flag(args, "--session")? }),
+        "trace" => Ok(Request::Trace),
         "close" => Ok(Request::CloseSession { session: session()? }),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown client operation {other:?}")),

@@ -17,7 +17,9 @@
 //! * [`data`] — synthetic Scholar / Amazon / DBGen datasets;
 //! * [`metrics`] — precision/recall/F-measure, k-fold splits;
 //! * [`serve`] — the concurrent JSON-lines TCP discovery service over
-//!   the incremental engine (`dime serve` / `dime client`).
+//!   the incremental engine (`dime serve` / `dime client`);
+//! * [`trace`] — span-based tracing, phase timers, and latency
+//!   histograms behind the engines' `TraceSink` hook.
 //!
 //! ## Quickstart
 //!
@@ -55,3 +57,4 @@ pub use dime_ontology as ontology;
 pub use dime_rulegen as rulegen;
 pub use dime_serve as serve;
 pub use dime_text as text;
+pub use dime_trace as trace;

@@ -198,6 +198,87 @@ fn stats_summarizes_attributes() {
     assert!(stdout.contains("Authors"), "{stdout}");
 }
 
+/// A group big enough that engine work dwarfs per-span bookkeeping, so
+/// the phase-coverage assertion below is stable: 1500 entities in shared-
+/// author clusters of 30, which makes the verify phase do real work.
+fn sizable_group() -> String {
+    let mut doc = String::from(
+        r#"{"schema": [{"name": "Authors", "tokenizer": {"list": ","}}], "entities": ["#,
+    );
+    for i in 0..1500 {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push_str(&format!("[\"cluster-{}, member-{i}\"]", i % 50));
+    }
+    doc.push_str("]}");
+    doc
+}
+
+#[test]
+fn discover_trace_prints_phase_breakdown_covering_wall_clock() {
+    let group = write_temp("g12.json", &sizable_group());
+    let rules =
+        write_temp("r12.txt", "positive: overlap(Authors) >= 1\nnegative: overlap(Authors) = 0\n");
+    let out = dime()
+        .args(["discover", "--trace", "--group"])
+        .arg(&group)
+        .arg("--rules")
+        .arg(&rules)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for phase in ["signature_build", "index_probe", "verify", "union", "flag"] {
+        assert!(stdout.contains(phase), "missing phase {phase}: {stdout}");
+    }
+    assert!(stdout.contains("pairs_verified"), "{stdout}");
+    // The five top-level phases tile the run: their summed time must
+    // account for (nearly) the whole measured wall-clock.
+    let coverage: f64 = stdout
+        .lines()
+        .find(|l| l.contains("% of wall-clock"))
+        .and_then(|l| l.split('=').nth(1))
+        .and_then(|t| t.trim().trim_end_matches("% of wall-clock").trim().parse().ok())
+        .unwrap_or_else(|| panic!("no coverage line in: {stdout}"));
+    assert!(coverage >= 90.0, "phases cover only {coverage}% of wall-clock: {stdout}");
+    assert!(coverage <= 110.0, "phase sum exceeds wall-clock by >10%: {stdout}");
+}
+
+#[test]
+fn discover_trace_json_embeds_trace_object() {
+    let group = write_temp("g13.json", GROUP);
+    let rules = write_temp("r13.txt", RULES);
+    let out = dime()
+        .args(["discover", "--trace", "--json", "--group"])
+        .arg(&group)
+        .arg("--rules")
+        .arg(&rules)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(v["mis_categorized"].as_array().unwrap().len(), 1, "report stays intact");
+    assert!(v["trace"]["wall_ns"].as_u64().unwrap() > 0);
+    assert!(!v["trace"]["phases"].as_array().unwrap().is_empty());
+    assert!(v["trace"]["counters"]["pairs_verified"].as_u64().unwrap() > 0);
+}
+
+#[test]
+fn discover_trace_rejects_naive_engine() {
+    let group = write_temp("g14.json", GROUP);
+    let rules = write_temp("r14.txt", RULES);
+    let out = dime()
+        .args(["discover", "--trace", "--engine", "naive", "--group"])
+        .arg(&group)
+        .arg("--rules")
+        .arg(&rules)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trace"));
+}
+
 #[test]
 fn json_output_survives_a_broken_pipe() {
     use std::io::Read;
@@ -274,6 +355,12 @@ fn serve_and_client_roundtrip() {
 
     let stats = run_ok(&["stats", "--session", &session]);
     assert_eq!(stats["entities"], 3);
+
+    // The trace op surfaces the engine phases the discovery above ran.
+    let trace = run_ok(&["trace"]);
+    let phases: Vec<&str> =
+        trace["phases"].as_array().unwrap().iter().map(|p| p["name"].as_str().unwrap()).collect();
+    assert!(phases.contains(&"flag"), "trace missing flag phase: {phases:?}");
 
     // A protocol error surfaces as a failing exit with the server's code.
     let out = dime()

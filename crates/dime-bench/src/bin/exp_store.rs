@@ -1,0 +1,185 @@
+//! Persistence-layer driver — measures the `dime-store` WAL and recovery
+//! path on synthetic session traffic: append throughput under each fsync
+//! policy, recovery wall-clock versus log length (split into WAL replay
+//! and engine rebuild), and the effect of a snapshot on recovery time.
+//! Writes the machine-readable summary to `results/BENCH_store.json` so
+//! the durability tax is tracked in CI alongside the throughput numbers.
+//!
+//! Flags: `--append-ops N` (default 2000) appends per buffered policy,
+//! `--always-ops N` (default 200) appends under `fsync always` (each op
+//! is a disk round-trip, so the sample is smaller), `--recover N`
+//! (default 4000) the largest replayed log, `--out PATH` (default
+//! `results/BENCH_store.json`).
+
+use dime_bench::{arg_or, secs, Table};
+use dime_core::GroupBuilder;
+use dime_core::{IncrementalDime, Predicate, Rule, Schema, SimilarityFn};
+use dime_store::wal::{recover, Recovery, SessionWal};
+use dime_store::{FsyncPolicy, SessionState, StoreStats, WalOp};
+use dime_text::TokenizerKind;
+use serde_json::{json, Value};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dime-exp-store-{tag}-{}", std::process::id()))
+}
+
+/// A synthetic row: a few title words and a small author list, the shape
+/// the service logs for every `add_entities` row.
+fn row(i: usize) -> WalOp {
+    WalOp::AddEntity {
+        values: vec![
+            format!("entity matching at scale part {i}"),
+            format!("author{}, author{}, author{}", i % 97, (i * 7) % 89, (i * 13) % 83),
+        ],
+    }
+}
+
+/// Appends `ops` rows under `policy` into a fresh WAL and returns
+/// (seconds, bytes on disk).
+fn append_run(tag: &str, policy: FsyncPolicy, ops: usize) -> (f64, u64) {
+    let dir = temp_dir(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let stats = Arc::new(StoreStats::default());
+    let mut wal = SessionWal::create(&dir, policy, Arc::clone(&stats)).expect("create wal");
+    wal.append(&WalOp::Open { doc: "{}".into(), rules: "bench".into() }).expect("open");
+    let t0 = Instant::now();
+    for i in 0..ops {
+        wal.append(&row(i)).expect("append");
+    }
+    wal.sync().expect("final sync");
+    let elapsed = t0.elapsed().as_secs_f64();
+    let bytes = stats.snapshot().bytes_appended;
+    drop(wal);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+    (elapsed, bytes)
+}
+
+/// Builds a WAL of `ops` adds (checkpointing midway when `snapshot`),
+/// then measures recovery: WAL replay to rows, and the engine rebuild on
+/// those rows.
+fn recovery_run(tag: &str, ops: usize, snapshot: bool) -> Value {
+    let dir = temp_dir(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let stats = Arc::new(StoreStats::default());
+    let mut wal =
+        SessionWal::create(&dir, FsyncPolicy::Never, Arc::clone(&stats)).expect("create wal");
+    let open = WalOp::Open { doc: "{}".into(), rules: "bench".into() };
+    wal.append(&open).expect("open");
+    let WalOp::Open { doc, rules } = &open else { unreachable!() };
+    let mut state = SessionState::new(doc.clone(), rules.clone());
+    for i in 0..ops {
+        let op = row(i);
+        wal.append(&op).expect("append");
+        state.apply(&op);
+        if snapshot && i == ops / 2 {
+            wal.checkpoint(&state).expect("checkpoint");
+        }
+    }
+    wal.sync().expect("sync");
+    drop(wal);
+
+    let t0 = Instant::now();
+    let rec = match recover(&dir, FsyncPolicy::Never, stats).expect("recover") {
+        Recovery::Live(rec) => *rec,
+        _ => panic!("bench session must recover live"),
+    };
+    let replay = t0.elapsed().as_secs_f64();
+    assert_eq!(rec.state.rows.len(), ops, "every appended row must replay");
+
+    let schema =
+        Schema::new([("Title", TokenizerKind::Words), ("Authors", TokenizerKind::List(','))]);
+    let pos = vec![Rule::positive(vec![Predicate::new(1, SimilarityFn::Overlap, 2.0)])];
+    let neg = vec![Rule::negative(vec![Predicate::new(1, SimilarityFn::Overlap, 0.0)])];
+    let rows: Vec<(Vec<String>, Option<Vec<Option<u32>>>)> =
+        rec.state.rows.iter().map(|r| (r.values.clone(), r.nodes.clone())).collect();
+    let t0 = Instant::now();
+    let engine = IncrementalDime::reopen(GroupBuilder::new(schema).build(), pos, neg, &rows);
+    let rebuild = t0.elapsed().as_secs_f64();
+    assert_eq!(engine.len(), ops);
+    drop(engine);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+    json!({
+        "ops": ops,
+        "snapshot": snapshot,
+        "wal_replay_seconds": replay,
+        "engine_rebuild_seconds": rebuild,
+    })
+}
+
+fn main() {
+    let append_ops: usize = arg_or("append-ops", 2000);
+    let always_ops: usize = arg_or("always-ops", 200);
+    let recover_max: usize = arg_or("recover", 4000);
+    let out: String = arg_or("out", "results/BENCH_store.json".to_string());
+
+    // --- Append throughput per fsync policy.
+    let policies: [(&str, FsyncPolicy, usize); 3] = [
+        ("never", FsyncPolicy::Never, append_ops),
+        ("interval_100ms", FsyncPolicy::default(), append_ops),
+        ("always", FsyncPolicy::Always, always_ops),
+    ];
+    let mut append_results = Vec::new();
+    let mut t = Table::new(&["fsync", "ops", "wall", "ops/s", "MiB/s"]);
+    for (name, policy, ops) in policies {
+        let (elapsed, bytes) = append_run(name, policy, ops);
+        t.row(vec![
+            name.to_string(),
+            ops.to_string(),
+            secs(elapsed),
+            format!("{:.0}", ops as f64 / elapsed.max(1e-9)),
+            format!("{:.2}", bytes as f64 / (1 << 20) as f64 / elapsed.max(1e-9)),
+        ]);
+        append_results.push(json!({
+            "policy": name,
+            "ops": ops,
+            "wall_seconds": elapsed,
+            "bytes": bytes,
+        }));
+    }
+    println!("\n== WAL append throughput ==");
+    t.print();
+
+    // --- Recovery wall-clock versus log length.
+    let mut sizes: Vec<usize> = vec![recover_max / 20, recover_max / 4, recover_max];
+    sizes.retain(|&s| s > 0);
+    sizes.dedup();
+    let mut recovery_results = Vec::new();
+    let mut t = Table::new(&["ops", "snapshot", "replay", "rebuild"]);
+    for &ops in &sizes {
+        for snapshot in [false, true] {
+            let v = recovery_run("recover", ops, snapshot);
+            t.row(vec![
+                ops.to_string(),
+                snapshot.to_string(),
+                secs(v["wal_replay_seconds"].as_f64().unwrap()),
+                secs(v["engine_rebuild_seconds"].as_f64().unwrap()),
+            ]);
+            recovery_results.push(v);
+        }
+    }
+    println!("\n== recovery wall-clock ==");
+    t.print();
+
+    let summary = json!({
+        "config": {
+            "append_ops": append_ops,
+            "always_ops": always_ops,
+            "recover": recover_max,
+        },
+        "append": append_results,
+        "recovery": recovery_results,
+    });
+    let path = std::path::Path::new(&out);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    let mut body = serde_json::to_string_pretty(&summary).expect("serialize summary");
+    body.push('\n');
+    std::fs::write(path, body).expect("write summary");
+    println!("\nwrote {out}");
+}

@@ -131,6 +131,34 @@ impl IncrementalDime {
         self
     }
 
+    /// Rebuilds an engine from persisted state: the base group (commonly
+    /// empty — schema, ontologies, rules, no entities) and the surviving
+    /// rows in id order, each carrying its attribute values and, when the
+    /// entity was added with explicit ontology nodes, those nodes.
+    ///
+    /// The rebuilt engine's [`IncrementalDime::discovery`] equals the
+    /// pre-crash engine's, even though the two froze different token
+    /// orders: any add/remove interleaving equals a batch run on the
+    /// final rows (the invariant proptested below), so two engines
+    /// holding the same final rows agree. This is what `dime-store`'s
+    /// crash recovery replays into.
+    pub fn reopen(
+        group: Group,
+        positive: Vec<Rule>,
+        negative: Vec<Rule>,
+        rows: &[(Vec<String>, Option<Vec<Option<NodeId>>>)],
+    ) -> Self {
+        let mut this = Self::new(group, positive, negative);
+        for (values, nodes) in rows {
+            let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+            match nodes {
+                Some(nodes) => this.add_entity_with_nodes(&refs, nodes),
+                None => this.add_entity(&refs),
+            };
+        }
+        this
+    }
+
     /// The current group.
     pub fn group(&self) -> &Group {
         &self.group
@@ -418,6 +446,34 @@ mod tests {
             ],
             vec![Rule::negative(vec![Predicate::new(1, SimilarityFn::Overlap, 0.0)])],
         )
+    }
+
+    /// The recovery contract: an engine rebuilt from the surviving rows
+    /// (what `dime-store` replays after a crash) reports the same
+    /// discovery as the engine that lived through the operations —
+    /// despite the two freezing different token orders.
+    #[test]
+    fn reopen_from_rows_matches_the_original_engine() {
+        let (pos, neg) = rules();
+        let mut live =
+            IncrementalDime::new(GroupBuilder::new(schema()).build(), pos.clone(), neg.clone());
+        let mut rows: Vec<(Vec<String>, Option<Vec<Option<NodeId>>>)> = Vec::new();
+        let script = [
+            ("entity matching", "ann, bob"),
+            ("entity matching redux", "ann, bob, carol"),
+            ("organic synthesis", "dora"),
+            ("entity matching again", "bob, carol"),
+        ];
+        for (t, a) in script {
+            live.add_entity(&[t, a]);
+            rows.push((vec![t.to_string(), a.to_string()], None));
+        }
+        live.remove_entity(1);
+        rows.remove(1);
+
+        let mut reopened =
+            IncrementalDime::reopen(GroupBuilder::new(schema()).build(), pos, neg, &rows);
+        assert_eq!(live.discovery(), reopened.discovery());
     }
 
     #[test]

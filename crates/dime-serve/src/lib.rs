@@ -14,7 +14,11 @@
 //!   drain-on-shutdown;
 //! * [`Client`] — a small blocking client library;
 //! * [`metrics`](crate::metrics) — per-session and global counters
-//!   surfaced by the `stats` operation.
+//!   surfaced by the `stats` operation;
+//! * [`persist`](crate::persist) — the glue over `dime-store`'s WAL:
+//!   each session's durable mirror, checkpoint cadence, and the
+//!   crash-recovery path that rebuilds live engines at bind time
+//!   (enabled by [`ServeConfig::store`], off by default).
 //!
 //! Start a server and talk to it:
 //!
@@ -53,6 +57,7 @@
 
 pub mod client;
 pub mod metrics;
+pub mod persist;
 pub mod protocol;
 mod server;
 pub mod session;

@@ -19,13 +19,15 @@
 //! returns once every worker has drained.
 
 use crate::metrics::GlobalMetrics;
+use crate::persist::{persist_new_session, rebuild_session, store_stats_to_value, SessionPersist};
 use crate::protocol::{
     encode_frame, ErrorCode, Frame, FrameReader, Request, Response, DEFAULT_MAX_FRAME_BYTES,
 };
 use crate::session::{lock, Session, SessionStore};
 use dime_core::{parse_rules, IncrementalDime, Polarity, Rule};
 use dime_data::{discovery_to_json, entity_row_values, load_group_value};
-use dime_trace::{Recorder, TraceSink};
+use dime_store::{Store, StoreConfig};
+use dime_trace::{span, Recorder, TraceSink};
 use serde_json::{json, Value};
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -57,6 +59,11 @@ pub struct ServeConfig {
     pub idle_timeout: Duration,
     /// Write timeout per response frame.
     pub write_timeout: Duration,
+    /// Durable persistence (`dime-store`): `None` — the default — keeps
+    /// every session memory-only; `Some` logs each session to a WAL
+    /// under the store's data directory and recovers live sessions on
+    /// the next bind.
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +78,7 @@ impl Default for ServeConfig {
             poll_interval: Duration::from_millis(25),
             idle_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
+            store: None,
         }
     }
 }
@@ -92,6 +100,9 @@ struct Shared {
     /// snapshots it. Engine counters and phase spans from all sessions
     /// aggregate here.
     recorder: Arc<Recorder>,
+    /// The durable store, when the server persists sessions. Named apart
+    /// from `store` (the live session map) on purpose.
+    persistence: Option<Arc<Store>>,
     shutdown: AtomicBool,
     config: ServeConfig,
     addr: SocketAddr,
@@ -99,6 +110,26 @@ struct Shared {
 }
 
 impl Shared {
+    /// Builds the shared state, opening the durable store when one is
+    /// configured. Recovery is a separate step ([`recover_persisted`])
+    /// so tests can drive it explicitly.
+    fn new(config: ServeConfig, addr: SocketAddr) -> io::Result<Self> {
+        let persistence = match &config.store {
+            Some(sc) => Some(Arc::new(Store::open(sc.clone())?)),
+            None => None,
+        };
+        Ok(Self {
+            store: SessionStore::new(config.session_shards, config.max_sessions),
+            metrics: GlobalMetrics::default(),
+            recorder: Arc::new(Recorder::new()),
+            persistence,
+            shutdown: AtomicBool::new(false),
+            config,
+            addr,
+            started: Instant::now(),
+        })
+    }
+
     /// Sets the shutdown flag and wakes the blocking accept loop with a
     /// self-connection (dropped immediately; the loop re-checks the flag
     /// before handing a connection to the pool).
@@ -145,15 +176,8 @@ impl Server {
     pub fn bind(config: ServeConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let shared = Arc::new(Shared {
-            store: SessionStore::new(config.session_shards, config.max_sessions),
-            metrics: GlobalMetrics::default(),
-            recorder: Arc::new(Recorder::new()),
-            shutdown: AtomicBool::new(false),
-            config,
-            addr,
-            started: Instant::now(),
-        });
+        let shared = Arc::new(Shared::new(config, addr)?);
+        recover_persisted(&shared)?;
         Ok(Self { listener, shared })
     }
 
@@ -196,6 +220,31 @@ impl Server {
         });
         Ok(())
     }
+}
+
+/// Replays every durable session from the store into the live session
+/// map, under a `recover` trace span. A session whose stored state no
+/// longer rebuilds (e.g. a rules-format change) is skipped with a
+/// warning — recovery never turns one bad directory into a failed boot —
+/// while IO errors on the store itself do fail the bind: serving with
+/// silently dropped durable state would be worse than not starting.
+fn recover_persisted(shared: &Shared) -> io::Result<()> {
+    let Some(persistence) = &shared.persistence else { return Ok(()) };
+    let _s = span(shared.recorder.as_ref(), "recover");
+    let snapshot_every = persistence.config().snapshot_every;
+    for (id, rec) in persistence.recover_sessions()? {
+        let sink: Arc<dyn TraceSink + Send + Sync> = shared.recorder.clone();
+        let mut session = match rebuild_session(&rec.state, sink.clone()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("dime-serve: skipping durable session {id}: {e}");
+                continue;
+            }
+        };
+        session.persist = Some(SessionPersist::resume(rec, snapshot_every, sink));
+        shared.store.restore(id, session);
+    }
+    Ok(())
 }
 
 /// Pulls connections off the shared queue until the accept loop hangs up,
@@ -328,21 +377,21 @@ fn handle_request(req: &Request, shared: &Shared) -> Response {
                     "server is draining; no new sessions",
                 );
             }
-            let group = match load_group_value(group) {
+            let loaded = match load_group_value(group) {
                 Ok(g) => g,
                 Err(e) => return Response::err(ErrorCode::BadRequest, e.message),
             };
-            if group.len() > cfg.max_entities_per_request {
+            if loaded.len() > cfg.max_entities_per_request {
                 return Response::err(
                     ErrorCode::TooManyEntities,
                     format!(
                         "group carries {} entities; the limit is {}",
-                        group.len(),
+                        loaded.len(),
                         cfg.max_entities_per_request
                     ),
                 );
             }
-            let parsed = match parse_rules(rules, group.schema()) {
+            let parsed = match parse_rules(rules, loaded.schema()) {
                 Ok(r) => r,
                 Err(e) => return Response::err(ErrorCode::BadRequest, format!("bad rules: {e}")),
             };
@@ -354,24 +403,29 @@ fn handle_request(req: &Request, shared: &Shared) -> Response {
                     "rules must include at least one positive and one negative rule",
                 );
             }
-            let entities = group.len();
+            // The id is claimed before the engine is built so the
+            // session's WAL can be created under its final id.
+            let Some(id) = shared.store.allocate_id() else {
+                return Response::err(
+                    ErrorCode::TooManySessions,
+                    format!("live-session limit of {} reached", cfg.max_sessions),
+                );
+            };
+            let entities = loaded.len();
             let sink: Arc<dyn TraceSink + Send + Sync> = shared.recorder.clone();
-            let engine = IncrementalDime::new(group, pos, neg).with_sink(sink);
+            let engine = IncrementalDime::new(loaded, pos, neg).with_sink(sink.clone());
             let mut session = Session::new(engine);
             // The initial group's rows count toward the session's
             // entities_added, so closing the session banks them like any
             // other per-session counter.
             session.metrics.entities_added = entities as u64;
-            match shared.store.insert(session) {
-                None => Response::err(
-                    ErrorCode::TooManySessions,
-                    format!("live-session limit of {} reached", cfg.max_sessions),
-                ),
-                Some(id) => {
-                    GlobalMetrics::bump(&shared.metrics.sessions_created);
-                    Response::Ok(json!({"session": id, "entities": entities}))
-                }
+            if let Some(persistence) = &shared.persistence {
+                session.persist =
+                    persist_new_session(persistence, id, group, rules, &session.attr_names, sink);
             }
+            shared.store.insert_at(id, session);
+            GlobalMetrics::bump(&shared.metrics.sessions_created);
+            Response::Ok(json!({"session": id, "entities": entities}))
         }
         Request::AddEntities { session, entities } => {
             if entities.len() > cfg.max_entities_per_request {
@@ -413,6 +467,11 @@ fn handle_request(req: &Request, shared: &Shared) -> Response {
                 })
                 .collect();
             sess.metrics.entities_added += ids.len() as u64;
+            if let Some(p) = sess.persist.as_mut() {
+                for values in rows {
+                    p.log_add(values);
+                }
+            }
             Response::Ok(json!({"ids": ids, "entities": sess.engine.len()}))
         }
         Request::RemoveEntity { session, entity } => {
@@ -428,6 +487,9 @@ fn handle_request(req: &Request, shared: &Shared) -> Response {
                 );
             }
             sess.metrics.entities_removed += 1;
+            if let Some(p) = sess.persist.as_mut() {
+                p.log_remove(*entity);
+            }
             Response::Ok(json!({"removed": entity, "entities": sess.engine.len()}))
         }
         Request::Discovery { session } => with_discovery(shared, *session, |sess, d| {
@@ -467,6 +529,12 @@ fn handle_request(req: &Request, shared: &Shared) -> Response {
                     "uptime_micros".into(),
                     json!(u64::try_from(shared.started.elapsed().as_micros()).unwrap_or(u64::MAX)),
                 );
+                if let Some(persistence) = &shared.persistence {
+                    obj.insert(
+                        "store".into(),
+                        store_stats_to_value(&persistence.stats().snapshot()),
+                    );
+                }
             }
             Response::Ok(v)
         }
@@ -481,8 +549,20 @@ fn handle_request(req: &Request, shared: &Shared) -> Response {
                 // closer wins the `remove` race, so the counters are
                 // banked exactly once.
                 if let Some(sess) = sess {
-                    let guard = lock(&sess);
+                    let mut guard = lock(&sess);
                     shared.metrics.closed.absorb(&guard.metrics, guard.engine.pairs_verified());
+                    // A durable `close` record first, then the directory
+                    // goes: even if the removal is lost to a crash, the
+                    // record keeps the session from resurrecting.
+                    if let Some(p) = guard.persist.take() {
+                        p.close();
+                    }
+                }
+                if let Some(persistence) = &shared.persistence {
+                    if let Err(e) = persistence.remove_session(*session) {
+                        persistence.stats().bump_wal_failures();
+                        eprintln!("dime-serve: could not remove session {session} data: {e}");
+                    }
                 }
                 GlobalMetrics::bump(&shared.metrics.sessions_closed);
                 Response::Ok(json!({"closed": session}))
@@ -525,15 +605,32 @@ mod tests {
     fn shared() -> Shared {
         let config =
             ServeConfig { max_entities_per_request: 8, max_sessions: 4, ..ServeConfig::default() };
-        Shared {
-            store: SessionStore::new(config.session_shards, config.max_sessions),
-            metrics: GlobalMetrics::default(),
-            recorder: Arc::new(Recorder::new()),
-            shutdown: AtomicBool::new(false),
-            config,
-            addr: "127.0.0.1:1".parse().unwrap(),
-            started: Instant::now(),
-        }
+        Shared::new(config, "127.0.0.1:1".parse().unwrap()).unwrap()
+    }
+
+    /// A `Shared` persisting to `dir`, with recovery already run — the
+    /// socketless equivalent of `Server::bind` on a data directory.
+    fn shared_on_dir(dir: &std::path::Path) -> Shared {
+        let config = ServeConfig {
+            max_entities_per_request: 8,
+            max_sessions: 4,
+            store: Some(StoreConfig {
+                data_dir: dir.to_path_buf(),
+                fsync: dime_store::FsyncPolicy::Never,
+                snapshot_every: 3,
+            }),
+            ..ServeConfig::default()
+        };
+        let s = Shared::new(config, "127.0.0.1:1".parse().unwrap()).unwrap();
+        recover_persisted(&s).unwrap();
+        s
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::AtomicU64;
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("dime-serve-{tag}-{}-{n}", std::process::id()))
     }
 
     fn group_doc() -> Value {
@@ -859,5 +956,118 @@ mod tests {
         assert!(phases.contains(&"incremental_add"), "adds must record spans: {phases:?}");
         assert!(v["counters"]["pairs_verified"].as_u64().unwrap() > 0);
         assert!(v["counters"]["entities_added"].as_u64().unwrap() >= 2);
+    }
+
+    /// Witnesses are sampled, so equality across a restart is asserted on
+    /// everything else.
+    fn comparable(mut report: Value) -> Value {
+        report.as_object_mut().expect("report object").remove("witnesses");
+        report
+    }
+
+    fn discovery_of(s: &Shared, id: u64) -> Value {
+        match handle_request(&Request::Discovery { session: id }, s) {
+            Response::Ok(v) => v,
+            resp => panic!("discovery failed: {resp:?}"),
+        }
+    }
+
+    /// The heart of the persistence layer: kill the server mid-session
+    /// (drop without close), rebuild on the same data directory, and the
+    /// recovered session's `discovery()` must be bit-identical — through
+    /// initial-document rows, batched adds, a removal, a checkpoint
+    /// (snapshot_every = 3 forces one), and a second crash after further
+    /// writes.
+    #[test]
+    fn restart_recovers_sessions_bit_identical() {
+        let dir = temp_dir("restart");
+        let (id, before) = {
+            let s = shared_on_dir(&dir);
+            let doc = json!({
+                "schema": [
+                    {"name": "Title", "tokenizer": "words"},
+                    {"name": "Authors", "tokenizer": {"list": ","}}
+                ],
+                "entities": [["seed", "ann, bob"]]
+            });
+            let Response::Ok(v) =
+                handle_request(&Request::CreateSession { group: doc, rules: RULES.into() }, &s)
+            else {
+                panic!("create failed")
+            };
+            let id = v["session"].as_u64().unwrap();
+            handle_request(
+                &Request::AddEntities {
+                    session: id,
+                    entities: vec![
+                        json!(["data cleaning", "ann, bob"]),
+                        json!(["data quality", "ann, bob, carl"]),
+                        json!(["organic synthesis", "dora"]),
+                        json!(["doomed", "zed"]),
+                    ],
+                },
+                &s,
+            );
+            handle_request(&Request::RemoveEntity { session: id, entity: 4 }, &s);
+            // Seven appends against snapshot_every = 3: the crash state
+            // is a snapshot plus a WAL tail, not a bare log.
+            let Response::Ok(stats) = handle_request(&Request::Stats { session: None }, &s) else {
+                panic!("stats failed")
+            };
+            assert!(stats["store"]["snapshots_written"].as_u64().unwrap() >= 1);
+            assert!(stats["store"]["compactions"].as_u64().unwrap() >= 1);
+            (id, comparable(discovery_of(&s, id)))
+            // `s` drops here without closing the session: the crash.
+        };
+
+        let s = shared_on_dir(&dir);
+        assert_eq!(comparable(discovery_of(&s, id)), before, "recovery must be bit-identical");
+        let Response::Ok(stats) = handle_request(&Request::Stats { session: None }, &s) else {
+            panic!("stats failed")
+        };
+        assert_eq!(stats["store"]["sessions_recovered"], 1);
+
+        // The recovered session keeps persisting: crash again after more
+        // writes and the third incarnation still agrees.
+        handle_request(
+            &Request::AddEntities { session: id, entities: vec![json!(["late", "ann, bob"])] },
+            &s,
+        );
+        let before = comparable(discovery_of(&s, id));
+        drop(s);
+        let s = shared_on_dir(&dir);
+        assert_eq!(comparable(discovery_of(&s, id)), before);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A closed session writes a durable close record and loses its data
+    /// directory; neither a restart nor an id collision may bring it
+    /// back.
+    #[test]
+    fn closed_sessions_stay_closed_across_restart() {
+        let dir = temp_dir("closed");
+        let (a, b) = {
+            let s = shared_on_dir(&dir);
+            let a = create(&s);
+            let b = create(&s);
+            handle_request(
+                &Request::AddEntities { session: b, entities: vec![json!(["t", "ann"])] },
+                &s,
+            );
+            let Response::Ok(_) = handle_request(&Request::CloseSession { session: a }, &s) else {
+                panic!("close failed")
+            };
+            (a, b)
+        };
+
+        let s = shared_on_dir(&dir);
+        expect_err(
+            handle_request(&Request::Discovery { session: a }, &s),
+            ErrorCode::NoSuchSession,
+        );
+        assert!(handle_request(&Request::Discovery { session: b }, &s).is_ok());
+        let fresh = create(&s);
+        assert!(fresh > b, "recovered ids must stay reserved: {fresh} vs {b}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -8,6 +8,7 @@
 //! holds two session locks, so the store is deadlock-free by construction.
 
 use crate::metrics::{SessionMetrics, SessionTotals};
+use crate::persist::SessionPersist;
 use dime_core::IncrementalDime;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,13 +31,16 @@ pub struct Session {
     pub attr_names: Vec<String>,
     /// Per-session counters.
     pub metrics: SessionMetrics,
+    /// The session's durable mirror, when the server runs with a store
+    /// (`None` keeps the session memory-only).
+    pub persist: Option<SessionPersist>,
 }
 
 impl Session {
     /// Wraps an engine, caching its schema's attribute names.
     pub fn new(engine: IncrementalDime) -> Self {
         let attr_names = engine.group().schema().attrs().iter().map(|a| a.name.clone()).collect();
-        Self { engine, attr_names, metrics: SessionMetrics::default() }
+        Self { engine, attr_names, metrics: SessionMetrics::default(), persist: None }
     }
 }
 
@@ -65,9 +69,11 @@ impl SessionStore {
         &self.shards[(id % self.shards.len() as u64) as usize]
     }
 
-    /// Registers a session and returns its fresh id, or `None` when the
-    /// store is at its live-session cap.
-    pub fn insert(&self, session: Session) -> Option<u64> {
+    /// Claims a live-session slot and a fresh id, or `None` when the
+    /// store is at its cap. Splitting allocation from
+    /// [`SessionStore::insert_at`] lets the persistence layer create the
+    /// session's WAL under its final id before the session goes live.
+    pub fn allocate_id(&self) -> Option<u64> {
         // Optimistically claim a slot; back out on overflow. The cap may
         // briefly be observed as exceeded by concurrent inserters, never
         // by more than the number of racing requests.
@@ -75,9 +81,31 @@ impl SessionStore {
             self.live.fetch_sub(1, Ordering::SeqCst);
             return None;
         }
-        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        Some(self.next_id.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Publishes a session under an id from [`SessionStore::allocate_id`].
+    pub fn insert_at(&self, id: u64, session: Session) {
         lock(self.shard(id)).insert(id, Arc::new(Mutex::new(session)));
+    }
+
+    /// Registers a session and returns its fresh id, or `None` when the
+    /// store is at its live-session cap.
+    pub fn insert(&self, session: Session) -> Option<u64> {
+        let id = self.allocate_id()?;
+        self.insert_at(id, session);
         Some(id)
+    }
+
+    /// Re-registers a recovered session under its durable id, keeping
+    /// the never-reuse-ids invariant by raising the id floor past it.
+    /// Recovery runs before the server accepts connections, so the
+    /// live-session cap is not enforced here: durable sessions always
+    /// come back.
+    pub fn restore(&self, id: u64, session: Session) {
+        self.live.fetch_add(1, Ordering::SeqCst);
+        self.next_id.fetch_max(id + 1, Ordering::SeqCst);
+        lock(self.shard(id)).insert(id, Arc::new(Mutex::new(session)));
     }
 
     /// Looks up a session by id.
@@ -163,6 +191,16 @@ mod tests {
         assert!(store.remove(a));
         let b = store.insert(Session::new(engine())).unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn restore_raises_the_id_floor() {
+        let store = SessionStore::new(2, 8);
+        store.restore(7, Session::new(engine()));
+        assert!(store.get(7).is_some());
+        assert_eq!(store.len(), 1);
+        let next = store.insert(Session::new(engine())).unwrap();
+        assert!(next > 7, "fresh ids must never collide with recovered ones");
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Durable persistence for discovery sessions: a per-session append-only
+//! write-ahead log plus periodic snapshots, with crash recovery that
+//! replays snapshot-then-tail and never aborts on a torn write.
+//!
+//! The crate is engine-agnostic and zero-dependency (std only): it stores
+//! the session's group document and rule set as opaque strings and its
+//! entity rows as attribute-value string vectors — exactly the inputs the
+//! incremental engine consumes — so `dime-serve` can rebuild a
+//! bit-identical `IncrementalDime` from what this crate returns.
+//!
+//! On disk, every session owns one directory under
+//! `<data-dir>/sessions/<id>/`:
+//!
+//! | file       | contents                                              |
+//! |------------|-------------------------------------------------------|
+//! | `wal.log`  | 8-byte header, then CRC-framed operation records      |
+//! | `snap.bin` | one CRC-framed snapshot covering a WAL prefix         |
+//! | `snap.tmp` | in-flight snapshot; deleted on recovery               |
+//!
+//! Operations (`open` with the full group document and rules,
+//! `add_entity`, `add_entity_with_nodes`, `remove_entity`, `close`) append
+//! length-prefixed, CRC32-checksummed frames carrying a monotone sequence
+//! number. A snapshot serializes the folded session state and the highest
+//! sequence number it covers, is made durable via write-to-temp + fsync +
+//! rename, and only then is the WAL truncated (compaction). A crash
+//! between the rename and the truncation is safe: recovery skips WAL
+//! records whose sequence number the snapshot already covers.
+//!
+//! Recovery ([`Store::recover_sessions`]) folds `snap.bin` (if any) and
+//! the WAL tail into a [`SessionState`]. A torn or corrupted record —
+//! short frame, bad CRC, undecodable payload — ends the replay *cleanly*:
+//! the tail is truncated at the last complete record and the session
+//! resumes from everything before it. No half-applied operation can
+//! resurrect, because a record is either fully on disk (CRC verifies) or
+//! ignored. A durable `close` record, or removal of the session
+//! directory, means the session is gone and is never resurrected.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod record;
+pub mod store;
+pub mod wal;
+
+pub use record::{Row, SessionState, Snapshot, WalOp};
+pub use store::{Store, StoreStats, StoreStatsSnapshot};
+pub use wal::{RecoveredSession, Recovery, SessionWal};
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// When appended WAL records are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every appended record — no acknowledged operation is
+    /// ever lost, at the cost of one disk flush per operation.
+    Always,
+    /// `fsync` at most once per interval — bounds the loss window to the
+    /// interval while amortizing the flush across a batch of appends.
+    Interval(Duration),
+    /// Never `fsync` explicitly — the OS page cache decides. Survives
+    /// process crashes (the cache is kernel-owned) but not power loss.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses the CLI spelling: `always`, `never`, `interval` (the
+    /// default 100 ms window), or `interval:<ms>`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            "interval" => Ok(FsyncPolicy::default()),
+            other => match other.strip_prefix("interval:") {
+                Some(ms) => ms
+                    .parse::<u64>()
+                    .map(|ms| FsyncPolicy::Interval(Duration::from_millis(ms)))
+                    .map_err(|_| format!("bad fsync interval {ms:?} (want milliseconds)")),
+                None => {
+                    Err(format!("bad fsync policy {other:?} (want always|interval[:ms]|never)"))
+                }
+            },
+        }
+    }
+}
+
+impl Default for FsyncPolicy {
+    fn default() -> Self {
+        FsyncPolicy::Interval(Duration::from_millis(100))
+    }
+}
+
+/// Configuration of a [`Store`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Root directory; session state lives under `<data_dir>/sessions/`.
+    pub data_dir: PathBuf,
+    /// When appended records reach stable storage.
+    pub fsync: FsyncPolicy,
+    /// Operations between snapshots (and the WAL compactions they
+    /// enable); `0` disables snapshotting, leaving the WAL to grow.
+    pub snapshot_every: usize,
+}
+
+impl StoreConfig {
+    /// A config rooted at `data_dir` with the default fsync policy and
+    /// snapshot cadence.
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        Self { data_dir: data_dir.into(), fsync: FsyncPolicy::default(), snapshot_every: 256 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fsync_policy_parses_every_spelling() {
+        assert_eq!(FsyncPolicy::parse("always").unwrap(), FsyncPolicy::Always);
+        assert_eq!(FsyncPolicy::parse("never").unwrap(), FsyncPolicy::Never);
+        assert_eq!(FsyncPolicy::parse("interval").unwrap(), FsyncPolicy::default());
+        assert_eq!(
+            FsyncPolicy::parse("interval:250").unwrap(),
+            FsyncPolicy::Interval(Duration::from_millis(250))
+        );
+        assert!(FsyncPolicy::parse("interval:abc").is_err());
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+    }
+
+    #[test]
+    fn store_config_defaults() {
+        let c = StoreConfig::new("/tmp/x");
+        assert_eq!(c.fsync, FsyncPolicy::default());
+        assert_eq!(c.snapshot_every, 256);
+    }
+}

@@ -1,0 +1,431 @@
+//! The binary vocabulary inside the frames: WAL operation records and
+//! snapshots, plus the [`SessionState`] they fold into.
+//!
+//! A WAL record's payload is `[u64 seq LE][u8 tag][fields]`; tags:
+//!
+//! | tag | operation              | fields                              |
+//! |-----|------------------------|-------------------------------------|
+//! | 1   | `open`                 | doc string, rules string            |
+//! | 2   | `add_entity`           | attribute values                    |
+//! | 3   | `add_entity_with_nodes`| attribute values, ontology nodes    |
+//! | 4   | `remove_entity`        | `u64` entity id                     |
+//! | 5   | `close`                | —                                   |
+//!
+//! Strings are `u32` byte length + UTF-8; vectors are `u32` count +
+//! items; optional nodes are a `u8` flag + `u32`. Everything is
+//! little-endian. Decoding is total: any out-of-bounds length or unknown
+//! tag is a [`DecodeError`], never a panic, so a CRC-valid but
+//! wrong-version record degrades into a clean truncation upstream.
+
+use std::fmt;
+
+/// A snapshot payload's leading magic ("DSNP").
+const SNAPSHOT_MAGIC: u32 = u32::from_le_bytes(*b"DSNP");
+/// Snapshot format version.
+const SNAPSHOT_VERSION: u32 = 1;
+/// Sanity cap on decoded collection lengths; a corrupt count must not
+/// drive a huge allocation before the bounds checks catch it.
+const MAX_ITEMS: u32 = 1 << 20;
+
+/// One persisted entity row: attribute values in schema order, plus the
+/// explicit ontology nodes when the entity was added with them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// Attribute values in schema order.
+    pub values: Vec<String>,
+    /// Explicit ontology node ids, when supplied at insertion.
+    pub nodes: Option<Vec<Option<u32>>>,
+}
+
+/// One logged session operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// Session opened: the group document (entities stripped — initial
+    /// rows are logged individually) and the rule set, both opaque here.
+    Open {
+        /// The group document as a JSON string, without entities.
+        doc: String,
+        /// The rule DSL text.
+        rules: String,
+    },
+    /// An entity appended with auto-mapped ontology nodes.
+    AddEntity {
+        /// Attribute values in schema order.
+        values: Vec<String>,
+    },
+    /// An entity appended with explicit ontology nodes.
+    AddEntityWithNodes {
+        /// Attribute values in schema order.
+        values: Vec<String>,
+        /// One optional node id per attribute.
+        nodes: Vec<Option<u32>>,
+    },
+    /// An entity removed by id (ids compact on removal, mirroring the
+    /// engine).
+    RemoveEntity {
+        /// The entity id at removal time.
+        entity: u64,
+    },
+    /// Session closed; nothing after this record may resurrect it.
+    Close,
+}
+
+/// A decoding failure: torn, corrupt, or wrong-version bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError(&'static str);
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "undecodable record: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// --- primitive encoders -------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_values(out: &mut Vec<u8>, values: &[String]) {
+    put_u32(out, values.len() as u32);
+    for v in values {
+        put_str(out, v);
+    }
+}
+
+fn put_nodes(out: &mut Vec<u8>, nodes: &[Option<u32>]) {
+    put_u32(out, nodes.len() as u32);
+    for n in nodes {
+        match n {
+            Some(id) => {
+                out.push(1);
+                put_u32(out, *id);
+            }
+            None => out.push(0),
+        }
+    }
+}
+
+// --- primitive decoders -------------------------------------------------
+
+/// A bounds-checked reading position over a payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(DecodeError("record shorter than its fields"));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn count(&mut self) -> Result<u32, DecodeError> {
+        let n = self.u32()?;
+        if n > MAX_ITEMS {
+            return Err(DecodeError("collection count beyond the sanity cap"));
+        }
+        Ok(n)
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError("string is not UTF-8"))
+    }
+
+    fn values(&mut self) -> Result<Vec<String>, DecodeError> {
+        let n = self.count()?;
+        (0..n).map(|_| self.string()).collect()
+    }
+
+    fn nodes(&mut self) -> Result<Vec<Option<u32>>, DecodeError> {
+        let n = self.count()?;
+        (0..n)
+            .map(|_| match self.u8()? {
+                0 => Ok(None),
+                1 => Ok(Some(self.u32()?)),
+                _ => Err(DecodeError("bad option flag")),
+            })
+            .collect()
+    }
+
+    fn finished(&self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError("trailing bytes after the record"))
+        }
+    }
+}
+
+// --- WAL records --------------------------------------------------------
+
+/// Encodes one WAL record payload: sequence number, tag, fields.
+pub fn encode_record(seq: u64, op: &WalOp) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    put_u64(&mut out, seq);
+    match op {
+        WalOp::Open { doc, rules } => {
+            out.push(1);
+            put_str(&mut out, doc);
+            put_str(&mut out, rules);
+        }
+        WalOp::AddEntity { values } => {
+            out.push(2);
+            put_values(&mut out, values);
+        }
+        WalOp::AddEntityWithNodes { values, nodes } => {
+            out.push(3);
+            put_values(&mut out, values);
+            put_nodes(&mut out, nodes);
+        }
+        WalOp::RemoveEntity { entity } => {
+            out.push(4);
+            put_u64(&mut out, *entity);
+        }
+        WalOp::Close => out.push(5),
+    }
+    out
+}
+
+/// Decodes one WAL record payload back into `(seq, op)`.
+pub fn decode_record(payload: &[u8]) -> Result<(u64, WalOp), DecodeError> {
+    let mut c = Cursor::new(payload);
+    let seq = c.u64()?;
+    let op = match c.u8()? {
+        1 => WalOp::Open { doc: c.string()?, rules: c.string()? },
+        2 => WalOp::AddEntity { values: c.values()? },
+        3 => WalOp::AddEntityWithNodes { values: c.values()?, nodes: c.nodes()? },
+        4 => WalOp::RemoveEntity { entity: c.u64()? },
+        5 => WalOp::Close,
+        _ => return Err(DecodeError("unknown operation tag")),
+    };
+    c.finished()?;
+    Ok((seq, op))
+}
+
+// --- session state & snapshots ------------------------------------------
+
+/// The folded state of one session: the opaque group document and rules
+/// from `open`, plus the surviving rows in engine id order. Replaying
+/// `rows` into a fresh engine reproduces the pre-crash discovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionState {
+    /// The group document (entities stripped) as a JSON string.
+    pub doc: String,
+    /// The rule DSL text.
+    pub rules: String,
+    /// Surviving rows, index = engine entity id.
+    pub rows: Vec<Row>,
+}
+
+impl SessionState {
+    /// A freshly opened session with no rows.
+    pub fn new(doc: impl Into<String>, rules: impl Into<String>) -> Self {
+        Self { doc: doc.into(), rules: rules.into(), rows: Vec::new() }
+    }
+
+    /// Applies one add/remove operation to the row mirror. Returns
+    /// `false` (and changes nothing) for an out-of-range removal or a
+    /// non-row operation — replay treats that as corruption-adjacent and
+    /// stops cleanly rather than diverging.
+    pub fn apply(&mut self, op: &WalOp) -> bool {
+        match op {
+            WalOp::AddEntity { values } => {
+                self.rows.push(Row { values: values.clone(), nodes: None });
+                true
+            }
+            WalOp::AddEntityWithNodes { values, nodes } => {
+                self.rows.push(Row { values: values.clone(), nodes: Some(nodes.clone()) });
+                true
+            }
+            WalOp::RemoveEntity { entity } => {
+                let id = *entity as usize;
+                if id < self.rows.len() {
+                    self.rows.remove(id);
+                    true
+                } else {
+                    false
+                }
+            }
+            WalOp::Open { .. } | WalOp::Close => false,
+        }
+    }
+}
+
+/// A durable checkpoint: the session state plus the highest WAL sequence
+/// number it covers. Recovery skips WAL records at or below `seq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Highest sequence number folded into this snapshot.
+    pub seq: u64,
+    /// The folded state.
+    pub state: SessionState,
+}
+
+/// Encodes a snapshot payload (to be wrapped in one frame).
+pub fn encode_snapshot(snap: &Snapshot) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    put_u32(&mut out, SNAPSHOT_MAGIC);
+    put_u32(&mut out, SNAPSHOT_VERSION);
+    put_u64(&mut out, snap.seq);
+    put_str(&mut out, &snap.state.doc);
+    put_str(&mut out, &snap.state.rules);
+    put_u32(&mut out, snap.state.rows.len() as u32);
+    for row in &snap.state.rows {
+        put_values(&mut out, &row.values);
+        match &row.nodes {
+            Some(nodes) => {
+                out.push(1);
+                put_nodes(&mut out, nodes);
+            }
+            None => out.push(0),
+        }
+    }
+    out
+}
+
+/// Decodes a snapshot payload.
+pub fn decode_snapshot(payload: &[u8]) -> Result<Snapshot, DecodeError> {
+    let mut c = Cursor::new(payload);
+    if c.u32()? != SNAPSHOT_MAGIC {
+        return Err(DecodeError("bad snapshot magic"));
+    }
+    if c.u32()? != SNAPSHOT_VERSION {
+        return Err(DecodeError("unsupported snapshot version"));
+    }
+    let seq = c.u64()?;
+    let doc = c.string()?;
+    let rules = c.string()?;
+    let n = c.count()?;
+    let mut rows = Vec::with_capacity(n.min(1024) as usize);
+    for _ in 0..n {
+        let values = c.values()?;
+        let nodes = match c.u8()? {
+            0 => None,
+            1 => Some(c.nodes()?),
+            _ => return Err(DecodeError("bad option flag")),
+        };
+        rows.push(Row { values, nodes });
+    }
+    c.finished()?;
+    Ok(Snapshot { seq, state: SessionState { doc, rules, rows } })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ops() -> Vec<WalOp> {
+        vec![
+            WalOp::Open { doc: "{\"schema\": []}".into(), rules: "positive: x".into() },
+            WalOp::AddEntity { values: vec!["t".into(), "ann, bob".into()] },
+            WalOp::AddEntityWithNodes {
+                values: vec!["u".into(), "carl".into()],
+                nodes: vec![None, Some(7)],
+            },
+            WalOp::RemoveEntity { entity: 0 },
+            WalOp::Close,
+        ]
+    }
+
+    #[test]
+    fn every_op_round_trips() {
+        for (i, op) in sample_ops().iter().enumerate() {
+            let payload = encode_record(i as u64 + 1, op);
+            let (seq, back) = decode_record(&payload).expect("decode");
+            assert_eq!(seq, i as u64 + 1);
+            assert_eq!(&back, op);
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_never_panic() {
+        for op in sample_ops() {
+            let payload = encode_record(3, &op);
+            for cut in 0..payload.len() {
+                assert!(decode_record(&payload[..cut]).is_err(), "cut {cut} of {op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = encode_record(1, &WalOp::Close);
+        payload.push(0);
+        assert!(decode_record(&payload).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 1);
+        payload.push(99);
+        assert!(decode_record(&payload).is_err());
+    }
+
+    #[test]
+    fn state_folds_adds_and_removes() {
+        let mut s = SessionState::new("{}", "r");
+        assert!(s.apply(&WalOp::AddEntity { values: vec!["a".into()] }));
+        assert!(
+            s.apply(&WalOp::AddEntityWithNodes { values: vec!["b".into()], nodes: vec![Some(3)] })
+        );
+        assert!(s.apply(&WalOp::RemoveEntity { entity: 0 }));
+        assert_eq!(s.rows.len(), 1);
+        assert_eq!(s.rows[0].values, vec!["b".to_string()]);
+        assert_eq!(s.rows[0].nodes, Some(vec![Some(3)]));
+        // Out-of-range removal is refused, not panicked on.
+        assert!(!s.apply(&WalOp::RemoveEntity { entity: 9 }));
+        assert_eq!(s.rows.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut state = SessionState::new("{\"schema\": [1, 2]}", "positive: y");
+        state.apply(&WalOp::AddEntity { values: vec!["x".into(), "y".into()] });
+        state.apply(&WalOp::AddEntityWithNodes {
+            values: vec!["z".into(), "w".into()],
+            nodes: vec![Some(1), None],
+        });
+        let snap = Snapshot { seq: 42, state };
+        let payload = encode_snapshot(&snap);
+        assert_eq!(decode_snapshot(&payload).expect("decode"), snap);
+        for cut in 0..payload.len() {
+            assert!(decode_snapshot(&payload[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The store root: one directory of per-session WALs, shared counters,
+//! and whole-store recovery.
+
+use crate::wal::{self, RecoveredSession, Recovery, SessionWal};
+use crate::StoreConfig;
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Lock-free counters shared by every [`SessionWal`] of a store —
+/// surfaced by `dime-serve`'s global `stats` operation.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    records_appended: AtomicU64,
+    bytes_appended: AtomicU64,
+    snapshots_written: AtomicU64,
+    compactions: AtomicU64,
+    sessions_recovered: AtomicU64,
+    tails_truncated: AtomicU64,
+    wal_failures: AtomicU64,
+}
+
+/// A plain-value snapshot of [`StoreStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStatsSnapshot {
+    /// WAL records appended.
+    pub records_appended: u64,
+    /// Bytes appended (frame headers included).
+    pub bytes_appended: u64,
+    /// Snapshots made durable.
+    pub snapshots_written: u64,
+    /// WAL compactions performed.
+    pub compactions: u64,
+    /// Sessions restored by recovery.
+    pub sessions_recovered: u64,
+    /// Torn or corrupt WAL tails truncated during recovery.
+    pub tails_truncated: u64,
+    /// Persistence operations that failed with an IO error (the session
+    /// keeps serving from memory; see `dime-serve`).
+    pub wal_failures: u64,
+}
+
+impl StoreStats {
+    pub(crate) fn add_append(&self, bytes: u64) {
+        self.records_appended.fetch_add(1, Ordering::Relaxed);
+        self.bytes_appended.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_snapshots(&self) {
+        self.snapshots_written.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_compactions(&self) {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_recovered(&self) {
+        self.sessions_recovered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_truncated(&self) {
+        self.tails_truncated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one failed persistence operation.
+    pub fn bump_wal_failures(&self) {
+        self.wal_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of every counter.
+    pub fn snapshot(&self) -> StoreStatsSnapshot {
+        StoreStatsSnapshot {
+            records_appended: self.records_appended.load(Ordering::Relaxed),
+            bytes_appended: self.bytes_appended.load(Ordering::Relaxed),
+            snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            sessions_recovered: self.sessions_recovered.load(Ordering::Relaxed),
+            tails_truncated: self.tails_truncated.load(Ordering::Relaxed),
+            wal_failures: self.wal_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A directory of per-session WALs under `<data_dir>/sessions/<id>/`.
+pub struct Store {
+    config: StoreConfig,
+    stats: Arc<StoreStats>,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store root.
+    pub fn open(config: StoreConfig) -> io::Result<Self> {
+        let this = Self { config, stats: Arc::new(StoreStats::default()) };
+        fs::create_dir_all(this.sessions_root())?;
+        Ok(this)
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// The shared counters.
+    pub fn stats(&self) -> &Arc<StoreStats> {
+        &self.stats
+    }
+
+    fn sessions_root(&self) -> PathBuf {
+        self.config.data_dir.join("sessions")
+    }
+
+    fn session_dir(&self, id: u64) -> PathBuf {
+        self.sessions_root().join(id.to_string())
+    }
+
+    /// Creates the WAL for a new session and logs its `open` record (the
+    /// caller logs the initial rows individually, so replay is uniform).
+    pub fn create_session(&self, id: u64, doc: &str, rules: &str) -> io::Result<SessionWal> {
+        let mut wal =
+            SessionWal::create(&self.session_dir(id), self.config.fsync, Arc::clone(&self.stats))?;
+        wal.append(&crate::WalOp::Open { doc: doc.to_string(), rules: rules.to_string() })?;
+        Ok(wal)
+    }
+
+    /// Recovers every session directory, in ascending id order. Closed
+    /// and unrecoverable directories are removed; nothing in them may
+    /// resurrect. Directories whose names are not session ids are left
+    /// untouched.
+    pub fn recover_sessions(&self) -> io::Result<Vec<(u64, RecoveredSession)>> {
+        let mut ids: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(self.sessions_root())? {
+            let entry = entry?;
+            if let Ok(id) = entry.file_name().to_string_lossy().parse::<u64>() {
+                if entry.file_type()?.is_dir() {
+                    ids.push(id);
+                }
+            }
+        }
+        ids.sort_unstable();
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            let dir = self.session_dir(id);
+            match wal::recover(&dir, self.config.fsync, Arc::clone(&self.stats))? {
+                Recovery::Live(rec) => out.push((id, *rec)),
+                Recovery::Closed | Recovery::Unrecoverable => {
+                    fs::remove_dir_all(&dir)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Removes a session's directory — the durable end of its life.
+    /// Missing directories (session was never persisted) are fine.
+    pub fn remove_session(&self, id: u64) -> io::Result<()> {
+        match fs::remove_dir_all(self.session_dir(id)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FsyncPolicy, WalOp};
+    use std::path::Path;
+
+    fn temp_store(tag: &str) -> Store {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("dime-store-{tag}-{}-{n}", std::process::id()));
+        Store::open(StoreConfig { data_dir: dir, fsync: FsyncPolicy::Never, snapshot_every: 0 })
+            .expect("open store")
+    }
+
+    fn cleanup(store: &Store) {
+        let _ = fs::remove_dir_all(&store.config.data_dir);
+    }
+
+    fn add(wal: &mut SessionWal, v: &str) {
+        wal.append(&WalOp::AddEntity { values: vec![v.to_string()] }).unwrap();
+    }
+
+    #[test]
+    fn create_recover_remove_lifecycle() {
+        let store = temp_store("lifecycle");
+        let mut a = store.create_session(1, "{\"doc\": 1}", "rules-a").unwrap();
+        add(&mut a, "x");
+        let mut b = store.create_session(2, "{\"doc\": 2}", "rules-b").unwrap();
+        add(&mut b, "y");
+        add(&mut b, "z");
+        drop((a, b));
+
+        let recovered = store.recover_sessions().unwrap();
+        let ids: Vec<u64> = recovered.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(recovered[0].1.state.rules, "rules-a");
+        assert_eq!(recovered[1].1.state.rows.len(), 2);
+        assert_eq!(store.stats().snapshot().sessions_recovered, 2);
+
+        store.remove_session(1).unwrap();
+        store.remove_session(1).unwrap(); // idempotent
+        let recovered = store.recover_sessions().unwrap();
+        assert_eq!(recovered.len(), 1);
+        cleanup(&store);
+    }
+
+    #[test]
+    fn closed_sessions_are_swept_at_recovery() {
+        let store = temp_store("sweep");
+        let mut wal = store.create_session(7, "{}", "r").unwrap();
+        wal.close().unwrap();
+        drop(wal);
+        assert!(store.recover_sessions().unwrap().is_empty());
+        assert!(
+            !Path::new(&store.session_dir(7)).exists(),
+            "a closed session's directory must be swept"
+        );
+        cleanup(&store);
+    }
+
+    #[test]
+    fn foreign_directories_are_ignored() {
+        let store = temp_store("foreign");
+        fs::create_dir_all(store.sessions_root().join("not-a-session")).unwrap();
+        assert!(store.recover_sessions().unwrap().is_empty());
+        assert!(store.sessions_root().join("not-a-session").exists());
+        cleanup(&store);
+    }
+}

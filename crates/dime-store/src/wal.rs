@@ -1,0 +1,488 @@
+//! One session's write-ahead log: append, fsync policy, checkpointing
+//! (snapshot + WAL compaction), and crash recovery of the directory.
+//!
+//! Durability ordering of a checkpoint (the invariant that makes every
+//! crash window safe):
+//!
+//! 1. the snapshot is written to `snap.tmp` and fsynced;
+//! 2. `snap.tmp` is renamed over `snap.bin` (atomic on POSIX) and the
+//!    directory is fsynced;
+//! 3. only then is `wal.log` truncated back to its header.
+//!
+//! A crash before (2) leaves the old snapshot and the full WAL — recovery
+//! replays as if no checkpoint happened. A crash between (2) and (3)
+//! leaves the new snapshot *and* the records it covers — recovery skips
+//! them by sequence number, so nothing double-applies.
+
+use crate::frame::{read_frame, write_frame, FrameRead};
+use crate::record::{
+    decode_record, decode_snapshot, encode_record, encode_snapshot, SessionState, Snapshot, WalOp,
+};
+use crate::store::StoreStats;
+use crate::FsyncPolicy;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// WAL file name inside a session directory.
+pub const WAL_FILE: &str = "wal.log";
+/// Durable snapshot file name.
+pub const SNAPSHOT_FILE: &str = "snap.bin";
+/// In-flight snapshot; deleted on recovery.
+pub const SNAPSHOT_TMP_FILE: &str = "snap.tmp";
+
+/// The WAL header: magic + format version.
+const WAL_MAGIC: [u8; 4] = *b"DWAL";
+const WAL_VERSION: u32 = 1;
+const WAL_HEADER_BYTES: u64 = 8;
+
+fn wal_header() -> [u8; 8] {
+    let mut h = [0u8; 8];
+    h[..4].copy_from_slice(&WAL_MAGIC);
+    h[4..].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    h
+}
+
+/// Best-effort directory fsync, so a rename/create is durable. Some
+/// filesystems refuse to fsync directories; that is a weaker guarantee,
+/// not an error.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// An open, appendable per-session WAL.
+pub struct SessionWal {
+    dir: PathBuf,
+    file: File,
+    policy: FsyncPolicy,
+    next_seq: u64,
+    last_sync: Instant,
+    stats: Arc<StoreStats>,
+}
+
+impl SessionWal {
+    /// Creates a fresh WAL in `dir` (the directory is created; any stale
+    /// contents are removed first) and makes the empty log durable.
+    pub fn create(dir: &Path, policy: FsyncPolicy, stats: Arc<StoreStats>) -> io::Result<Self> {
+        if dir.exists() {
+            fs::remove_dir_all(dir)?;
+        }
+        fs::create_dir_all(dir)?;
+        let mut file =
+            OpenOptions::new().create(true).write(true).truncate(true).open(dir.join(WAL_FILE))?;
+        file.write_all(&wal_header())?;
+        file.sync_all()?;
+        sync_dir(dir);
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            file,
+            policy,
+            next_seq: 1,
+            last_sync: Instant::now(),
+            stats,
+        })
+    }
+
+    /// The session directory this WAL lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The sequence number the next appended record will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The shared counters this WAL reports into.
+    pub fn stats(&self) -> &Arc<StoreStats> {
+        &self.stats
+    }
+
+    /// Appends one operation record, returning its sequence number. The
+    /// record reaches stable storage according to the fsync policy.
+    pub fn append(&mut self, op: &WalOp) -> io::Result<u64> {
+        let seq = self.next_seq;
+        let payload = encode_record(seq, op);
+        let written = write_frame(&mut self.file, &payload)?;
+        self.next_seq += 1;
+        self.stats.add_append(written as u64);
+        self.maybe_sync()?;
+        Ok(seq)
+    }
+
+    fn maybe_sync(&mut self) -> io::Result<()> {
+        match self.policy {
+            FsyncPolicy::Always => self.sync(),
+            FsyncPolicy::Interval(window) => {
+                if self.last_sync.elapsed() >= window {
+                    self.sync()
+                } else {
+                    Ok(())
+                }
+            }
+            FsyncPolicy::Never => Ok(()),
+        }
+    }
+
+    /// Forces appended records to stable storage now.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Writes a durable snapshot of `state` covering every record
+    /// appended so far, then compacts: the WAL is truncated back to its
+    /// header. See the module docs for the crash-safety ordering.
+    pub fn checkpoint(&mut self, state: &SessionState) -> io::Result<()> {
+        let snap = Snapshot { seq: self.next_seq - 1, state: state.clone() };
+        let payload = encode_snapshot(&snap);
+        let tmp = self.dir.join(SNAPSHOT_TMP_FILE);
+        {
+            let mut f = OpenOptions::new().create(true).write(true).truncate(true).open(&tmp)?;
+            write_frame(&mut f, &payload)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        sync_dir(&self.dir);
+        self.stats.bump_snapshots();
+        // The snapshot is durable; the covered records may go.
+        self.file.set_len(WAL_HEADER_BYTES)?;
+        self.file.seek(SeekFrom::Start(WAL_HEADER_BYTES))?;
+        self.stats.bump_compactions();
+        Ok(())
+    }
+
+    /// Appends a durable `close` record. The caller removes the session
+    /// directory afterwards; should that be interrupted, recovery sees
+    /// the record and finishes the removal instead of resurrecting the
+    /// session.
+    pub fn close(&mut self) -> io::Result<()> {
+        self.append(&WalOp::Close)?;
+        self.sync()
+    }
+}
+
+/// A session restored from disk: its WAL reopened for appending and the
+/// folded state to rebuild an engine from.
+pub struct RecoveredSession {
+    /// The reopened WAL, positioned after the last durable record.
+    pub wal: SessionWal,
+    /// The folded session state (doc, rules, surviving rows).
+    pub state: SessionState,
+}
+
+/// Outcome of recovering one session directory.
+pub enum Recovery {
+    /// The session is live again.
+    Live(Box<RecoveredSession>),
+    /// The log ends in a durable `close`: the session must not come back
+    /// (the caller removes the directory).
+    Closed,
+    /// Nothing usable survived — no snapshot and no readable `open`
+    /// record. The caller discards the directory.
+    Unrecoverable,
+}
+
+/// Recovers one session directory: deletes any in-flight snapshot, folds
+/// `snap.bin` and the WAL tail, truncates a torn/corrupt tail at the last
+/// complete record, and reopens the WAL for appending.
+///
+/// Never panics on disk corruption; IO errors (permissions, vanished
+/// files) surface as `Err`.
+pub fn recover(dir: &Path, policy: FsyncPolicy, stats: Arc<StoreStats>) -> io::Result<Recovery> {
+    match fs::remove_file(dir.join(SNAPSHOT_TMP_FILE)) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+
+    let snapshot = read_snapshot(&dir.join(SNAPSHOT_FILE))?;
+    let wal_path = dir.join(WAL_FILE);
+    let bytes = match fs::read(&wal_path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+
+    // Scan the record region, stopping at the first torn/corrupt frame.
+    let header_ok = bytes.len() >= WAL_HEADER_BYTES as usize && bytes[..8] == wal_header();
+    let mut records: Vec<(u64, WalOp)> = Vec::new();
+    let mut keep = if header_ok { WAL_HEADER_BYTES as usize } else { 0 };
+    if header_ok {
+        let mut at = keep;
+        loop {
+            match read_frame(&bytes[at..]) {
+                FrameRead::End => break,
+                FrameRead::Corrupt => {
+                    stats.bump_truncated();
+                    break;
+                }
+                FrameRead::Ok { payload, consumed } => match decode_record(payload) {
+                    Ok(rec) => {
+                        at += consumed;
+                        keep = at;
+                        records.push(rec);
+                    }
+                    Err(_) => {
+                        // CRC-valid but unintelligible: treat like a torn
+                        // tail and resume from the records before it.
+                        stats.bump_truncated();
+                        break;
+                    }
+                },
+            }
+        }
+    } else if !bytes.is_empty() {
+        stats.bump_truncated();
+    }
+
+    // Fold snapshot-then-tail.
+    let covered = snapshot.as_ref().map_or(0, |s| s.seq);
+    let mut state = snapshot.map(|s| s.state);
+    let mut max_seq = covered;
+    let mut closed = false;
+    for (seq, op) in &records {
+        if *seq <= covered {
+            continue; // checkpoint crashed between rename and truncate
+        }
+        max_seq = max_seq.max(*seq);
+        match op {
+            WalOp::Open { doc, rules } => {
+                state = Some(SessionState::new(doc.clone(), rules.clone()))
+            }
+            WalOp::Close => {
+                closed = true;
+                break;
+            }
+            other => match state.as_mut() {
+                Some(s) => {
+                    s.apply(other);
+                }
+                // A mutation with no preceding open and no snapshot:
+                // the prefix that carried the open is gone.
+                None => return Ok(Recovery::Unrecoverable),
+            },
+        }
+    }
+    if closed {
+        return Ok(Recovery::Closed);
+    }
+    let Some(state) = state else {
+        return Ok(Recovery::Unrecoverable);
+    };
+
+    // Truncate the torn tail (or rewrite a missing/bad header) and
+    // reopen for appending.
+    let mut file = OpenOptions::new().create(true).write(true).open(&wal_path)?;
+    if keep < WAL_HEADER_BYTES as usize {
+        file.set_len(0)?;
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&wal_header())?;
+        file.sync_all()?;
+    } else if (keep as u64) < bytes.len() as u64 {
+        file.set_len(keep as u64)?;
+        file.sync_all()?;
+    }
+    file.seek(SeekFrom::End(0))?;
+
+    stats.bump_recovered();
+    let wal = SessionWal {
+        dir: dir.to_path_buf(),
+        file,
+        policy,
+        next_seq: max_seq + 1,
+        last_sync: Instant::now(),
+        stats,
+    };
+    Ok(Recovery::Live(Box::new(RecoveredSession { wal, state })))
+}
+
+fn read_snapshot(path: &Path) -> io::Result<Option<Snapshot>> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    match read_frame(&bytes) {
+        FrameRead::Ok { payload, .. } => Ok(decode_snapshot(payload).ok()),
+        // A torn or corrupt snapshot is treated as absent: the WAL may
+        // still carry the full history from its open record.
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("dime-wal-{tag}-{}-{n}", std::process::id()))
+    }
+
+    fn open_op() -> WalOp {
+        WalOp::Open { doc: "{\"schema\": [\"A\"]}".into(), rules: "positive: x".into() }
+    }
+
+    fn add_op(v: &str) -> WalOp {
+        WalOp::AddEntity { values: vec![v.to_string()] }
+    }
+
+    fn recover_live(dir: &Path) -> RecoveredSession {
+        match recover(dir, FsyncPolicy::Never, Arc::new(StoreStats::default())).expect("recover") {
+            Recovery::Live(r) => *r,
+            Recovery::Closed => panic!("unexpected closed"),
+            Recovery::Unrecoverable => panic!("unexpected unrecoverable"),
+        }
+    }
+
+    #[test]
+    fn append_then_recover_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let stats = Arc::new(StoreStats::default());
+        let mut wal = SessionWal::create(&dir, FsyncPolicy::Always, Arc::clone(&stats)).unwrap();
+        wal.append(&open_op()).unwrap();
+        wal.append(&add_op("a")).unwrap();
+        wal.append(&add_op("b")).unwrap();
+        wal.append(&WalOp::RemoveEntity { entity: 0 }).unwrap();
+        drop(wal);
+
+        let rec = recover_live(&dir);
+        assert_eq!(rec.state.rows.len(), 1);
+        assert_eq!(rec.state.rows[0].values, vec!["b".to_string()]);
+        assert_eq!(rec.wal.next_seq(), 5);
+        assert!(stats.snapshot().records_appended >= 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovered_wal_continues_the_sequence() {
+        let dir = temp_dir("continue");
+        let stats = Arc::new(StoreStats::default());
+        let mut wal = SessionWal::create(&dir, FsyncPolicy::Never, stats).unwrap();
+        wal.append(&open_op()).unwrap();
+        wal.append(&add_op("a")).unwrap();
+        drop(wal);
+
+        let mut rec = recover_live(&dir);
+        rec.wal.append(&add_op("b")).unwrap();
+        drop(rec);
+
+        let rec = recover_live(&dir);
+        assert_eq!(
+            rec.state.rows.iter().map(|r| r.values[0].as_str()).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_recovers() {
+        let dir = temp_dir("checkpoint");
+        let stats = Arc::new(StoreStats::default());
+        let mut wal = SessionWal::create(&dir, FsyncPolicy::Never, Arc::clone(&stats)).unwrap();
+        let mut state = SessionState::new("{}", "r");
+        wal.append(&open_op()).unwrap();
+        for v in ["a", "b", "c"] {
+            let op = add_op(v);
+            wal.append(&op).unwrap();
+            state.apply(&op);
+        }
+        wal.checkpoint(&state).unwrap();
+        assert_eq!(
+            fs::metadata(dir.join(WAL_FILE)).unwrap().len(),
+            WAL_HEADER_BYTES,
+            "compaction must truncate the WAL to its header"
+        );
+        // Post-checkpoint tail.
+        let op = add_op("d");
+        wal.append(&op).unwrap();
+        state.apply(&op);
+        drop(wal);
+
+        let rec = recover_live(&dir);
+        assert_eq!(rec.state.rows, state.rows);
+        let s = stats.snapshot();
+        assert_eq!(s.snapshots_written, 1);
+        assert_eq!(s.compactions, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_between_snapshot_rename_and_truncate_does_not_double_apply() {
+        let dir = temp_dir("crashwindow");
+        let stats = Arc::new(StoreStats::default());
+        let mut wal = SessionWal::create(&dir, FsyncPolicy::Never, stats).unwrap();
+        let mut state = SessionState::new("{}", "r");
+        wal.append(&open_op()).unwrap();
+        for v in ["a", "b"] {
+            let op = add_op(v);
+            wal.append(&op).unwrap();
+            state.apply(&op);
+        }
+        // Save the pre-checkpoint WAL, checkpoint, then put the old WAL
+        // back — simulating a crash after the rename, before set_len.
+        let saved = fs::read(dir.join(WAL_FILE)).unwrap();
+        wal.checkpoint(&state).unwrap();
+        drop(wal);
+        fs::write(dir.join(WAL_FILE), &saved).unwrap();
+
+        let rec = recover_live(&dir);
+        assert_eq!(rec.state.rows.len(), 2, "covered records must not re-apply");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_snapshot_tmp_is_discarded() {
+        let dir = temp_dir("torntmp");
+        let stats = Arc::new(StoreStats::default());
+        let mut wal = SessionWal::create(&dir, FsyncPolicy::Never, stats).unwrap();
+        wal.append(&open_op()).unwrap();
+        wal.append(&add_op("a")).unwrap();
+        drop(wal);
+        fs::write(dir.join(SNAPSHOT_TMP_FILE), b"half a snapsh").unwrap();
+
+        let rec = recover_live(&dir);
+        assert_eq!(rec.state.rows.len(), 1);
+        assert!(!dir.join(SNAPSHOT_TMP_FILE).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn close_record_ends_the_session() {
+        let dir = temp_dir("close");
+        let stats = Arc::new(StoreStats::default());
+        let mut wal = SessionWal::create(&dir, FsyncPolicy::Never, Arc::clone(&stats)).unwrap();
+        wal.append(&open_op()).unwrap();
+        wal.close().unwrap();
+        drop(wal);
+        match recover(&dir, FsyncPolicy::Never, stats).unwrap() {
+            Recovery::Closed => {}
+            _ => panic!("a closed session must not come back"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_or_garbage_directories_are_unrecoverable_not_fatal() {
+        let dir = temp_dir("garbage");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(WAL_FILE), b"not a wal at all").unwrap();
+        let stats = Arc::new(StoreStats::default());
+        match recover(&dir, FsyncPolicy::Never, stats).unwrap() {
+            Recovery::Unrecoverable => {}
+            _ => panic!("garbage must be unrecoverable"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

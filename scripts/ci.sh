@@ -6,9 +6,14 @@
 #   test          full test suite (`cargo test -q`)
 #   serve-e2e     the dime-serve acceptance test, run by name so a
 #                 filtered test invocation can never skip it
+#   store-recovery the dime-store fault-injection suite plus the
+#                 SIGKILL-and-restart acceptance test, run by name for
+#                 the same reason
 #   clippy        lint-clean across all targets, warnings denied
 #   bench-smoke   exp_check --smoke: the three engines must agree on a
 #                 tiny generated group inside a generous time ceiling
+#   bench-json    small-config exp_serve / exp_trace / exp_store runs,
+#                 refreshing results/BENCH_{serve,trace,store}.json
 #   offline-build the rustc-only harness (scripts/offline/build_all.sh);
 #                 skipped with a message when cargo never produced the
 #                 stub sources' toolchain or rustc is missing
@@ -22,7 +27,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-STAGES=(fmt build test serve-e2e clippy bench-smoke offline-build)
+STAGES=(fmt build test serve-e2e store-recovery clippy bench-smoke bench-json offline-build)
 
 run_fmt() { cargo fmt --all --check; }
 run_build() { cargo build --release; }
@@ -32,10 +37,22 @@ run_test() { cargo test -q; }
 # of `cargo test`, but it is the acceptance gate for dime-serve — run it
 # by name so a filtered or partial test invocation can never skip it.
 run_serve_e2e() { cargo test -q --test serve; }
+# Durability acceptance: every-byte-offset fault injection on the WAL,
+# the persistence-boundary oracle proptest, and the kill -9 / restart
+# equivalence test against a real server process.
+run_store_recovery() { cargo test -q -p dime-store && cargo test -q --test store_recovery; }
 run_clippy() { cargo clippy --workspace --all-targets -- -D warnings; }
 # Engine-agreement smoke: naive, fast, and parallel must produce
 # bit-identical discoveries on a small DBGen group, under a time ceiling.
 run_bench_smoke() { cargo run -q --release --bin exp_check -- --smoke; }
+# Small-config benchmark drivers: refresh the machine-readable summaries
+# committed under results/ so service, trace, and store numbers are
+# tracked alongside the engine benchmarks.
+run_bench_json() {
+  cargo run -q --release --bin exp_serve -- --clients 2 --rounds 4 --batch 32 &&
+    cargo run -q --release --bin exp_trace -- --scholar 400 --dbgen 800 &&
+    cargo run -q --release --bin exp_store -- --append-ops 500 --always-ops 50 --recover 1000
+}
 
 # The offline harness double-checks that the workspace still builds with
 # plain rustc against the stub crates (no registry access). Skip — not
@@ -74,8 +91,10 @@ run_stage() {
     build) run_build ;;
     test) run_test ;;
     serve-e2e) run_serve_e2e ;;
+    store-recovery) run_store_recovery ;;
     clippy) run_clippy ;;
     bench-smoke) run_bench_smoke ;;
+    bench-json) run_bench_json ;;
     offline-build) run_offline_build ;;
     *)
       echo "unknown stage '$s' (stages: ${STAGES[*]})" >&2

@@ -36,6 +36,7 @@ tst() { # name path extra-externs...
 E_text="--extern dime_text=libdime_text.rlib"
 E_index="--extern dime_index=libdime_index.rlib"
 E_trace="--extern dime_trace=libdime_trace.rlib"
+E_store="--extern dime_store=libdime_store.rlib"
 E_ont="--extern dime_ontology=libdime_ontology.rlib"
 E_core="--extern dime_core=libdime_core.rlib"
 E_metrics="--extern dime_metrics=libdime_metrics.rlib"
@@ -50,35 +51,39 @@ E_dime="--extern dime=libdime.rlib"
 lib dime_text     $R/crates/dime-text/src/lib.rs
 lib dime_index    $R/crates/dime-index/src/lib.rs
 lib dime_trace    $R/crates/dime-trace/src/lib.rs
+lib dime_store    $R/crates/dime-store/src/lib.rs
 lib dime_ontology $R/crates/dime-ontology/src/lib.rs
 lib dime_core     $R/crates/dime-core/src/lib.rs     $E_text $E_index $E_ont $E_trace
 lib dime_metrics  $R/crates/dime-metrics/src/lib.rs
 lib dime_rulegen  $R/crates/dime-rulegen/src/lib.rs  $E_core $E_text $E_ont
 lib dime_baselines $R/crates/dime-baselines/src/lib.rs $E_core $E_index $E_rulegen $E_text $E_ont $E_metrics
 lib dime_data     $R/crates/dime-data/src/lib.rs     $E_core $E_ont $E_text
-lib dime_serve    $R/crates/dime-serve/src/lib.rs    $E_core $E_data $E_text $E_trace
-lib dime_bench    $R/crates/dime-bench/src/lib.rs    $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_trace
-lib dime          $R/src/lib.rs                      $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_trace
+lib dime_serve    $R/crates/dime-serve/src/lib.rs    $E_core $E_data $E_store $E_text $E_trace
+lib dime_bench    $R/crates/dime-bench/src/lib.rs    $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_trace
+lib dime          $R/src/lib.rs                      $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_trace
 
 # 3. Unit-test binaries.
 tst dime_text     $R/crates/dime-text/src/lib.rs
 tst dime_index    $R/crates/dime-index/src/lib.rs
 tst dime_trace    $R/crates/dime-trace/src/lib.rs
+tst dime_store    $R/crates/dime-store/src/lib.rs
 tst dime_ontology $R/crates/dime-ontology/src/lib.rs
 tst dime_core     $R/crates/dime-core/src/lib.rs     $E_text $E_index $E_ont $E_trace
 tst dime_metrics  $R/crates/dime-metrics/src/lib.rs
 tst dime_rulegen  $R/crates/dime-rulegen/src/lib.rs  $E_core $E_text $E_ont $E_data $E_metrics
 tst dime_baselines $R/crates/dime-baselines/src/lib.rs $E_core $E_index $E_rulegen $E_text $E_ont $E_metrics $E_data
 tst dime_data     $R/crates/dime-data/src/lib.rs     $E_core $E_ont $E_text
-tst dime_serve    $R/crates/dime-serve/src/lib.rs    $E_core $E_data $E_text $E_trace
-tst dime_bench    $R/crates/dime-bench/src/lib.rs    $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_trace
-tst dime_facade   $R/src/lib.rs                      $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_trace
+tst dime_serve    $R/crates/dime-serve/src/lib.rs    $E_core $E_data $E_store $E_text $E_trace
+tst dime_bench    $R/crates/dime-bench/src/lib.rs    $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_trace
+tst dime_facade   $R/src/lib.rs                      $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_trace
 
 # 4. Integration-test binaries.
-ALL_E="$E_dime $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_bench $E_trace"
+ALL_E="$E_dime $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_bench $E_trace"
 tst end_to_end     $R/tests/end_to_end.rs             $ALL_E
 tst serve          $R/tests/serve.rs                  $ALL_E
 tst serve_protocol $R/crates/dime-serve/tests/protocol.rs $E_serve $E_core $E_data $E_text
+tst store_fault    $R/crates/dime-store/tests/fault_injection.rs $E_store
+tst store_oracle   $R/crates/dime-store/tests/oracle.rs    $E_store $E_core $E_text
 
 # 5. Binaries, benches, examples.
 for b in $R/crates/dime-bench/src/bin/*.rs; do
@@ -96,6 +101,8 @@ echo "bin dime OK"
 # The CLI test harness locates the binary through this compile-time env var.
 CARGO_BIN_EXE_dime="$OUT/bin_dime" $RC --test $R/tests/cli.rs --crate-name cli_test $X $ALL_E -o cli_test
 echo "test-bin cli OK"
+CARGO_BIN_EXE_dime="$OUT/bin_dime" $RC --test $R/tests/store_recovery.rs --crate-name store_recovery_test $X $ALL_E -o store_recovery_test
+echo "test-bin store_recovery OK"
 for ex in $R/examples/*.rs; do
   name=$(basename "$ex" .rs)
   $RC "$ex" --crate-name "ex_$name" $X $ALL_E -o "ex_$name"

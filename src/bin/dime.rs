@@ -7,6 +7,7 @@
 //! dime check-rules --group <group.json> --rules <rules.txt>
 //! dime stats    --group <group.json>
 //! dime serve    [--addr H:P] [--workers N] [--max-frame-bytes N] [--max-entities N] [--max-sessions N]
+//!               [--data-dir DIR] [--fsync always|never|interval[:ms]] [--snapshot-every N]
 //! dime client   --addr H:P <op> [op args]
 //! ```
 //!
@@ -36,6 +37,7 @@ use dime::data::{
 };
 use dime::serve::metrics::trace_report_to_value;
 use dime::serve::{Client, ClientError, Request, ServeConfig, Server};
+use dime::store::{FsyncPolicy, StoreConfig};
 use dime::trace::{Recorder, TraceReport};
 use serde_json::{json, Value};
 use std::io::Write;
@@ -74,6 +76,7 @@ fn print_usage() {
          \x20 dime stats --group <group.json>\n\
          \x20 dime learn --group <group.json> --truth <ids.json>\n\
          \x20 dime serve [--addr H:P] [--workers N] [--max-frame-bytes N] [--max-entities N] [--max-sessions N]\n\
+         \x20            [--data-dir DIR] [--fsync always|never|interval[:ms]] [--snapshot-every N]\n\
          \x20 dime client --addr H:P <ping|create|add|remove|discovery|scrollbar|stats|trace|close|shutdown> [op args]\n\n\
          Rule file format (one rule per line, '#' comments):\n\
          \x20 positive: overlap(Authors) >= 2\n\
@@ -470,6 +473,32 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if let Some(dir) = flag_value(args, "--data-dir") {
+        let mut store = StoreConfig::new(dir);
+        if let Some(policy) = flag_value(args, "--fsync") {
+            match FsyncPolicy::parse(policy) {
+                Ok(p) => store.fsync = p,
+                Err(e) => {
+                    eprintln!("error: --fsync: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        match numeric_flag(args, "--snapshot-every") {
+            Ok(None) => {}
+            Ok(Some(n)) => store.snapshot_every = n,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        config.store = Some(store);
+    } else if flag_value(args, "--fsync").is_some()
+        || flag_value(args, "--snapshot-every").is_some()
+    {
+        eprintln!("error: --fsync and --snapshot-every need --data-dir");
+        return ExitCode::FAILURE;
     }
     let server = match Server::bind(config) {
         Ok(s) => s,

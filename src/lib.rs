@@ -18,6 +18,9 @@
 //! * [`metrics`] — precision/recall/F-measure, k-fold splits;
 //! * [`serve`] — the concurrent JSON-lines TCP discovery service over
 //!   the incremental engine (`dime serve` / `dime client`);
+//! * [`store`] — durable session persistence: a CRC-framed write-ahead
+//!   log, periodic snapshots with log compaction, and crash recovery
+//!   (`dime serve --data-dir`);
 //! * [`trace`] — span-based tracing, phase timers, and latency
 //!   histograms behind the engines' `TraceSink` hook.
 //!
@@ -56,5 +59,6 @@ pub use dime_metrics as metrics;
 pub use dime_ontology as ontology;
 pub use dime_rulegen as rulegen;
 pub use dime_serve as serve;
+pub use dime_store as store;
 pub use dime_text as text;
 pub use dime_trace as trace;

@@ -5,7 +5,7 @@
 
 use dime::core::{discover_fast, parse_rules, GroupBuilder, Polarity, Schema};
 use dime::data::discovery_to_json;
-use dime::serve::{Client, Frame, FrameReader, ServeConfig, Server};
+use dime::serve::{Client, ClientError, ErrorCode, Frame, FrameReader, ServeConfig, Server};
 use dime::text::TokenizerKind;
 use serde_json::{json, Value};
 use std::io::{BufReader, Write};
@@ -142,6 +142,44 @@ fn concurrent_clients_see_batch_identical_discoveries() {
     assert_eq!(stats["sessions"]["closed"], CLIENTS);
     assert!(stats["requests"].as_u64().unwrap() > (CLIENTS * 10) as u64);
     drop(client);
+
+    handle.shutdown();
+    runner.join().expect("server thread").expect("server run");
+}
+
+/// Removing an entity that does not exist must come back through the
+/// client as a typed `no_such_entity` server error — not a dropped
+/// connection, not a generic failure — and must leave the session fully
+/// serviceable.
+#[test]
+fn removing_a_nonexistent_entity_is_a_structured_error() {
+    let server = Server::bind(ServeConfig { workers: 2, ..ServeConfig::default() }).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(addr).expect("connect");
+    let session = client.create_session(&group_doc(), RULES).expect("create");
+    client
+        .add_entities(session, &[json!(["t", "ann, bob"]), json!(["t", "ann, bob"])])
+        .expect("seed");
+
+    match client.remove_entity(session, 99) {
+        Err(ClientError::Server { code: ErrorCode::NoSuchEntity, message }) => {
+            assert!(message.contains("99"), "message should name the entity: {message}");
+            assert!(message.contains('2'), "message should name the range: {message}");
+        }
+        other => panic!("expected a typed no_such_entity error, got {other:?}"),
+    }
+    // The error left no half-applied state behind.
+    let report = client.discovery(session).expect("session still serves");
+    assert_eq!(
+        comparable(report),
+        comparable(reference_report(&[
+            ("t".into(), "ann, bob".into()),
+            ("t".into(), "ann, bob".into()),
+        ]))
+    );
 
     handle.shutdown();
     runner.join().expect("server thread").expect("server run");

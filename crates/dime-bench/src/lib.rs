@@ -276,6 +276,7 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
+                // dime-check: allow(atomic-ordering) — work-stealing ticket counter; slot writes synchronize via the mutex below
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= items.len() {
                     break;

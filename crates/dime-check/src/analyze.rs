@@ -1,0 +1,534 @@
+//! The rule engine: runs the catalog over one lexed file and reconciles
+//! raw findings with suppression comments.
+//!
+//! Matching is token-sequence based — the lexer has already hidden
+//! strings and comments — and scope-aware: source rules only govern
+//! production code (library and binary kinds, outside test regions),
+//! while suppression hygiene applies everywhere a `dime-check:` comment
+//! appears.
+
+use crate::lexer::{lex, LineMap, Token, TokenKind};
+use crate::rules::RuleId;
+use crate::scope::{enclosing_fn, fn_bodies, test_regions};
+use crate::suppress::{parse_suppressions, Suppression};
+
+/// How a file participates in its crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source (`src/**`, excluding `src/bin` and `src/main.rs`).
+    Lib,
+    /// Binary source (`src/bin/**`, `src/main.rs`).
+    Bin,
+    /// Integration tests (`tests/**`).
+    Test,
+    /// Benchmarks (`benches/**`).
+    Bench,
+    /// Examples (`examples/**`).
+    Example,
+}
+
+impl FileKind {
+    /// Production code: where the source rules apply.
+    fn is_production(self) -> bool {
+        matches!(self, FileKind::Lib | FileKind::Bin)
+    }
+}
+
+/// Where a file sits: enough context for every applicability decision.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Package name (`dime-serve`, …; the facade package is `dime`).
+    pub crate_name: String,
+    pub kind: FileKind,
+    /// Whether this file is the crate root (`src/lib.rs`).
+    pub is_crate_root: bool,
+}
+
+/// One rule violation at a byte offset.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: RuleId,
+    pub offset: usize,
+    pub message: String,
+}
+
+/// A finding that an active suppression covered.
+#[derive(Debug, Clone)]
+pub struct SuppressedFinding {
+    pub finding: Finding,
+    pub reason: String,
+}
+
+/// Everything the engine learned about one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Unsuppressed findings, source rules and hygiene alike. Non-empty
+    /// means the check fails.
+    pub findings: Vec<Finding>,
+    /// Findings covered by an active suppression (reported in `--json`).
+    pub suppressed: Vec<SuppressedFinding>,
+    /// Every `dime-check:` comment seen, for the suppression inventory.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Crates whose service path must not panic.
+const SERVICE_CRATES: [&str; 2] = ["dime-serve", "dime-store"];
+/// Crates allowed to read the wall clock from library code.
+const WALL_CLOCK_CRATES: [&str; 2] = ["dime-trace", "dime-bench"];
+/// The bench harness prints measurements from its library by design.
+const STDOUT_CRATES: [&str; 1] = ["dime-bench"];
+
+/// Keywords that may directly precede `[` starting an array literal,
+/// slice pattern, or type — contexts that are not indexing.
+const NON_INDEX_KEYWORDS: [&str; 20] = [
+    "let", "in", "if", "else", "match", "return", "break", "continue", "loop", "while", "for",
+    "move", "mut", "ref", "as", "where", "unsafe", "box", "dyn", "yield",
+];
+
+/// Macros whose invocation panics (the assert family is deliberately not
+/// listed: service code states invariants with `debug_assert!`, and the
+/// few release asserts guard constructor contracts, not request paths).
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Analyzes one file's source text under its context.
+pub fn analyze_source(src: &str, ctx: &FileContext) -> FileReport {
+    let tokens = lex(src);
+    let lines = LineMap::new(src);
+    let suppressions = parse_suppressions(src, &tokens, &lines);
+
+    let mut raw = Vec::new();
+    if ctx.kind.is_production() {
+        let regions = test_regions(src, &tokens);
+        let toks: Vec<Token> = tokens
+            .iter()
+            .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .copied()
+            .collect();
+        let live = |t: &Token| !regions.contains(t.start);
+        if SERVICE_CRATES.contains(&ctx.crate_name.as_str()) {
+            check_panic_in_service(src, &toks, &live, &mut raw);
+            if ctx.crate_name == "dime-store" {
+                check_fsync_before_rename(src, &toks, &live, &mut raw);
+            }
+        }
+        check_atomic_ordering(src, &toks, &live, &mut raw);
+        if ctx.kind == FileKind::Lib && !WALL_CLOCK_CRATES.contains(&ctx.crate_name.as_str()) {
+            check_wall_clock(src, &toks, &live, &mut raw);
+        }
+        if ctx.kind == FileKind::Lib && !STDOUT_CRATES.contains(&ctx.crate_name.as_str()) {
+            check_stdout_in_lib(src, &toks, &live, &mut raw);
+        }
+        if ctx.is_crate_root {
+            check_forbid_unsafe(src, &toks, &mut raw);
+        }
+    }
+
+    reconcile(raw, suppressions, &lines)
+}
+
+/// Splits raw findings into suppressed and surfaced, then adds the
+/// suppression hygiene findings.
+fn reconcile(raw: Vec<Finding>, suppressions: Vec<Suppression>, lines: &LineMap) -> FileReport {
+    let mut used = vec![false; suppressions.len()];
+    let mut report = FileReport { suppressions: Vec::new(), ..Default::default() };
+    for finding in raw {
+        let line = lines.line(finding.offset);
+        let cover = suppressions
+            .iter()
+            .position(|s| s.active() && s.rule == Some(finding.rule) && s.target_line == line);
+        match cover {
+            Some(i) => {
+                used[i] = true;
+                report
+                    .suppressed
+                    .push(SuppressedFinding { finding, reason: suppressions[i].reason.clone() });
+            }
+            None => report.findings.push(finding),
+        }
+    }
+    for (i, s) in suppressions.iter().enumerate() {
+        let hygiene = if !s.well_formed {
+            Some((
+                RuleId::UnknownRule,
+                "unparsable dime-check comment (expected `dime-check: allow(<rule>) — <reason>`)"
+                    .to_string(),
+            ))
+        } else if s.rule.is_none() {
+            Some((RuleId::UnknownRule, format!("unknown rule `{}` in allow(…)", s.rule_name)))
+        } else if s.reason.is_empty() {
+            Some((
+                RuleId::SuppressionMissingReason,
+                format!("allow({}) carries no reason — append `— <why this is safe>`", s.rule_name),
+            ))
+        } else if !used[i] {
+            Some((
+                RuleId::UnusedSuppression,
+                format!(
+                    "allow({}) covers no finding on line {} — delete it",
+                    s.rule_name, s.target_line
+                ),
+            ))
+        } else {
+            None
+        };
+        if let Some((rule, message)) = hygiene {
+            report.findings.push(Finding { rule, offset: s.offset, message });
+        }
+    }
+    report.findings.sort_by_key(|f| f.offset);
+    report.suppressions = suppressions;
+    report
+}
+
+fn ident_at<'a>(src: &'a str, toks: &[Token], i: usize) -> Option<&'a str> {
+    toks.get(i).filter(|t| t.kind == TokenKind::Ident).map(|t| t.text(src))
+}
+
+fn punct_at(src: &str, toks: &[Token], i: usize, p: &str) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokenKind::Punct && t.text(src) == p)
+}
+
+/// `unwrap`/`expect` method calls, panicking macros, and `[…]` indexing.
+fn check_panic_in_service(
+    src: &str,
+    toks: &[Token],
+    live: &dyn Fn(&Token) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if !live(t) {
+            continue;
+        }
+        match t.kind {
+            TokenKind::Ident => {
+                let name = t.text(src);
+                if (name == "unwrap" || name == "expect")
+                    && i > 0
+                    && punct_at(src, toks, i - 1, ".")
+                    && punct_at(src, toks, i + 1, "(")
+                {
+                    out.push(Finding {
+                        rule: RuleId::PanicInService,
+                        offset: t.start,
+                        message: format!(
+                            "`.{name}()` on the service path — return a typed error instead \
+                             (or add a reasoned allow)"
+                        ),
+                    });
+                } else if PANIC_MACROS.contains(&name) && punct_at(src, toks, i + 1, "!") {
+                    out.push(Finding {
+                        rule: RuleId::PanicInService,
+                        offset: t.start,
+                        message: format!("`{name}!` on the service path — answer with an error"),
+                    });
+                }
+            }
+            TokenKind::Punct if t.text(src) == "[" && i > 0 => {
+                let prev = &toks[i - 1];
+                let indexes = match prev.kind {
+                    TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text(src)),
+                    TokenKind::Punct => matches!(prev.text(src), ")" | "]" | "?"),
+                    _ => false,
+                };
+                if indexes && live(prev) {
+                    out.push(Finding {
+                        rule: RuleId::PanicInService,
+                        offset: t.start,
+                        message: "`[…]` indexing can panic on the service path — use `.get(…)` \
+                                  (or add a reasoned allow)"
+                            .to_string(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Every `Ordering::Relaxed` outside an annotated (allow-commented) site.
+fn check_atomic_ordering(
+    src: &str,
+    toks: &[Token],
+    live: &dyn Fn(&Token) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if live(t)
+            && ident_at(src, toks, i) == Some("Ordering")
+            && punct_at(src, toks, i + 1, ":")
+            && punct_at(src, toks, i + 2, ":")
+            && ident_at(src, toks, i + 3) == Some("Relaxed")
+        {
+            out.push(Finding {
+                rule: RuleId::AtomicOrdering,
+                offset: t.start,
+                message: "`Ordering::Relaxed` outside an annotated counter — state why no \
+                          ordering is needed in an allow comment"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// `rename(` must see `sync_all(`/`sync_data(` earlier in its function.
+fn check_fsync_before_rename(
+    src: &str,
+    toks: &[Token],
+    live: &dyn Fn(&Token) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let bodies = fn_bodies(src, toks);
+    let call = |name: &str, i: usize| {
+        ident_at(src, toks, i) == Some(name) && punct_at(src, toks, i + 1, "(")
+    };
+    let syncs: Vec<usize> = (0..toks.len())
+        .filter(|&i| call("sync_all", i) || call("sync_data", i))
+        .map(|i| toks[i].start)
+        .collect();
+    for i in 0..toks.len() {
+        if !call("rename", i) || !live(&toks[i]) {
+            continue;
+        }
+        let at = toks[i].start;
+        let synced = enclosing_fn(&bodies, at)
+            .is_some_and(|body| syncs.iter().any(|&s| body.start <= s && s < at));
+        if !synced {
+            out.push(Finding {
+                rule: RuleId::FsyncBeforeRename,
+                offset: at,
+                message: "`rename(` with no earlier `sync_all`/`sync_data` in this function — \
+                          a rename only commits durably after the data is fsynced"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// `Instant::now` and `SystemTime` in core library code.
+fn check_wall_clock(
+    src: &str,
+    toks: &[Token],
+    live: &dyn Fn(&Token) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if !live(t) {
+            continue;
+        }
+        if ident_at(src, toks, i) == Some("Instant")
+            && punct_at(src, toks, i + 1, ":")
+            && punct_at(src, toks, i + 2, ":")
+            && ident_at(src, toks, i + 3) == Some("now")
+        {
+            out.push(Finding {
+                rule: RuleId::WallClockInCore,
+                offset: t.start,
+                message: "`Instant::now()` in core library code — wall-clock reads belong in \
+                          dime-trace, dime-bench, or binaries (replay determinism)"
+                    .to_string(),
+            });
+        } else if ident_at(src, toks, i) == Some("SystemTime") {
+            out.push(Finding {
+                rule: RuleId::WallClockInCore,
+                offset: t.start,
+                message: "`SystemTime` in core library code — wall-clock state breaks replay \
+                          determinism"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// The crate root must carry `#![forbid(unsafe_code)]`.
+fn check_forbid_unsafe(src: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    let found = (0..toks.len()).any(|i| {
+        punct_at(src, toks, i, "#")
+            && punct_at(src, toks, i + 1, "!")
+            && punct_at(src, toks, i + 2, "[")
+            && ident_at(src, toks, i + 3) == Some("forbid")
+            && punct_at(src, toks, i + 4, "(")
+            && ident_at(src, toks, i + 5) == Some("unsafe_code")
+    });
+    if !found {
+        out.push(Finding {
+            rule: RuleId::ForbidUnsafeDrift,
+            offset: 0,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+}
+
+/// `println!`/`print!` in library code.
+fn check_stdout_in_lib(
+    src: &str,
+    toks: &[Token],
+    live: &dyn Fn(&Token) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if live(t)
+            && matches!(ident_at(src, toks, i), Some("println") | Some("print"))
+            && punct_at(src, toks, i + 1, "!")
+        {
+            out.push(Finding {
+                rule: RuleId::StdoutInLib,
+                offset: t.start,
+                message: format!(
+                    "`{}!` in library code — stdout belongs to binaries; report through a \
+                     sink or eprintln! for diagnostics",
+                    t.text(src)
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(crate_name: &str, kind: FileKind) -> FileContext {
+        FileContext { crate_name: crate_name.to_string(), kind, is_crate_root: false }
+    }
+
+    fn rules_of(report: &FileReport) -> Vec<RuleId> {
+        report.findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_flagged_only_on_service_crates() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let hit = analyze_source(src, &ctx("dime-serve", FileKind::Lib));
+        assert_eq!(rules_of(&hit), vec![RuleId::PanicInService]);
+        let core = analyze_source(src, &ctx("dime-core", FileKind::Lib));
+        assert!(core.findings.is_empty(), "panic rule is scoped to serve/store");
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }";
+        assert!(analyze_source(src, &ctx("dime-serve", FileKind::Lib)).findings.is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn t() { None::<u32>.unwrap(); } }";
+        assert!(analyze_source(src, &ctx("dime-store", FileKind::Lib)).findings.is_empty());
+    }
+
+    #[test]
+    fn indexing_flagged_but_array_literals_are_not() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 { let a = [1, 2]; v[i] + a.len() as u32 }";
+        let report = analyze_source(src, &ctx("dime-serve", FileKind::Lib));
+        assert_eq!(rules_of(&report), vec![RuleId::PanicInService]);
+        assert!(report.findings[0].message.contains("indexing"));
+    }
+
+    #[test]
+    fn attributes_and_macro_brackets_are_not_indexing() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f() -> Vec<u32> { vec![1, 2] }";
+        assert!(analyze_source(src, &ctx("dime-store", FileKind::Lib)).findings.is_empty());
+    }
+
+    #[test]
+    fn panic_macro_flagged() {
+        let src = "fn f() { panic!(\"boom\"); }";
+        let report = analyze_source(src, &ctx("dime-serve", FileKind::Lib));
+        assert_eq!(rules_of(&report), vec![RuleId::PanicInService]);
+    }
+
+    #[test]
+    fn relaxed_needs_annotation_everywhere() {
+        let src = "fn f(c: &std::sync::atomic::AtomicU64) { c.load(Ordering::Relaxed); }";
+        let report = analyze_source(src, &ctx("dime-core", FileKind::Lib));
+        assert_eq!(rules_of(&report), vec![RuleId::AtomicOrdering]);
+        let ok = "fn f(c: &A) { c.load(Ordering::Relaxed); } // dime-check: allow(atomic-ordering) — test counter";
+        let report = analyze_source(ok, &ctx("dime-core", FileKind::Lib));
+        assert!(report.findings.is_empty());
+        assert_eq!(report.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn rename_requires_prior_sync_in_same_fn() {
+        let bad = "fn swap(d: &Path) { fs::rename(d.join(\"a\"), d.join(\"b\")); }";
+        let report = analyze_source(bad, &ctx("dime-store", FileKind::Lib));
+        assert_eq!(rules_of(&report), vec![RuleId::FsyncBeforeRename]);
+
+        let good = "fn swap(f: &File, d: &Path) { f.sync_all(); fs::rename(d, d); }";
+        assert!(analyze_source(good, &ctx("dime-store", FileKind::Lib)).findings.is_empty());
+
+        let other_fn = "fn a(f: &File) { f.sync_all(); }\nfn b(d: &Path) { fs::rename(d, d); }";
+        assert_eq!(
+            rules_of(&analyze_source(other_fn, &ctx("dime-store", FileKind::Lib))),
+            vec![RuleId::FsyncBeforeRename],
+            "a sync in another function must not satisfy the contract"
+        );
+    }
+
+    #[test]
+    fn wall_clock_scoping() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(
+            rules_of(&analyze_source(src, &ctx("dime-core", FileKind::Lib))),
+            vec![RuleId::WallClockInCore]
+        );
+        assert!(analyze_source(src, &ctx("dime-trace", FileKind::Lib)).findings.is_empty());
+        assert!(analyze_source(src, &ctx("dime-core", FileKind::Bin)).findings.is_empty());
+        assert!(analyze_source(src, &ctx("dime-core", FileKind::Test)).findings.is_empty());
+    }
+
+    #[test]
+    fn crate_root_must_forbid_unsafe() {
+        let root = FileContext { crate_name: "x".into(), kind: FileKind::Lib, is_crate_root: true };
+        let report = analyze_source("pub fn f() {}", &root);
+        assert_eq!(rules_of(&report), vec![RuleId::ForbidUnsafeDrift]);
+        let ok = "#![forbid(unsafe_code)]\npub fn f() {}";
+        assert!(analyze_source(ok, &root).findings.is_empty());
+    }
+
+    #[test]
+    fn stdout_in_lib_flags_println_not_eprintln() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); }";
+        let report = analyze_source(src, &ctx("dime-core", FileKind::Lib));
+        assert_eq!(rules_of(&report), vec![RuleId::StdoutInLib]);
+        assert!(analyze_source(src, &ctx("dime-core", FileKind::Bin)).findings.is_empty());
+    }
+
+    #[test]
+    fn suppression_without_reason_is_inert_and_diagnosed() {
+        let src = "fn f(x: Option<u32>) { x.unwrap(); } // dime-check: allow(panic-in-service)";
+        let rules = rules_of(&analyze_source(src, &ctx("dime-serve", FileKind::Lib)));
+        assert!(rules.contains(&RuleId::PanicInService), "inert allow must not suppress");
+        assert!(rules.contains(&RuleId::SuppressionMissingReason));
+    }
+
+    #[test]
+    fn unused_suppression_is_drift() {
+        let src = "fn f() {} // dime-check: allow(panic-in-service) — nothing here";
+        let rules = rules_of(&analyze_source(src, &ctx("dime-serve", FileKind::Lib)));
+        assert_eq!(rules, vec![RuleId::UnusedSuppression]);
+    }
+
+    #[test]
+    fn unknown_rule_is_diagnosed() {
+        let src = "fn f() {} // dime-check: allow(no-such) — reason";
+        let rules = rules_of(&analyze_source(src, &ctx("dime-core", FileKind::Lib)));
+        assert_eq!(rules, vec![RuleId::UnknownRule]);
+    }
+
+    #[test]
+    fn standalone_suppression_covers_next_line() {
+        let src = "fn f(v: &[u32]) -> u32 {\n    // dime-check: allow(panic-in-service) — index bounded by caller\n    v[0]\n}";
+        let report = analyze_source(src, &ctx("dime-serve", FileKind::Lib));
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.suppressed.len(), 1);
+        assert_eq!(report.suppressed[0].reason, "index bounded by caller");
+    }
+
+    #[test]
+    fn hygiene_applies_in_test_files_too() {
+        let src = "fn t() {} // dime-check: allow(panic-in-service)";
+        let rules = rules_of(&analyze_source(src, &ctx("dime-serve", FileKind::Test)));
+        assert_eq!(rules, vec![RuleId::SuppressionMissingReason]);
+    }
+}

@@ -1,0 +1,453 @@
+//! A total, panic-free, token-level lexer for Rust source text.
+//!
+//! The rules in [`crate::rules`] match on *token sequences*, so the lexer's
+//! one job is to never misclassify source bytes: an `unwrap` inside a
+//! string literal, a `rename(` inside a nested block comment, or a
+//! `#[cfg(test)]` spelled inside a raw string must all come out as literal
+//! or comment tokens, not as matchable identifiers. To that end it handles
+//! line comments, nested block comments, string literals with escapes, raw
+//! strings (`r"…"`, `r#"…"#`, any hash depth), byte and C-string variants,
+//! char literals versus lifetimes, and raw identifiers (`r#fn`).
+//!
+//! The lexer is *total*: every byte of the input belongs to exactly one
+//! token or to an inter-token whitespace gap, tokens are emitted in source
+//! order without overlap, and every token boundary is a UTF-8 character
+//! boundary. `tests::prop_lex_round_trips_offsets` rebuilds the source
+//! from the token spans and their gaps and asserts byte equality on
+//! arbitrary input, so downstream `file:line:col` diagnostics can trust
+//! the offsets.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#fn`).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (integers, floats lex as number/punct/number).
+    Number,
+    /// Any string-like literal: `"…"`, `r"…"`, `b"…"`, `br#"…"#`, `c"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// `// …` (doc `///`/`//!` included) up to, not including, the newline.
+    LineComment,
+    /// `/* … */` with arbitrary nesting; unterminated runs to EOF.
+    BlockComment,
+    /// Any other single character.
+    Punct,
+}
+
+/// One token: a classification plus its byte span in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text. Spans are produced on char boundaries, so this
+    /// never panics for tokens returned by [`lex`] on the same source.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Maps byte offsets to 1-based `(line, column)` pairs; columns count
+/// characters, matching what editors display.
+#[derive(Debug)]
+pub struct LineMap {
+    line_starts: Vec<usize>,
+}
+
+impl LineMap {
+    pub fn new(src: &str) -> Self {
+        let mut line_starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        Self { line_starts }
+    }
+
+    /// The 1-based line number containing `offset`.
+    pub fn line(&self, offset: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= offset)
+    }
+
+    /// The byte offset at which 1-based `line` starts, if it exists.
+    pub fn line_start(&self, line: usize) -> Option<usize> {
+        self.line_starts.get(line.checked_sub(1)?).copied()
+    }
+
+    /// Number of lines (a trailing newline opens a final empty line).
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// 1-based `(line, column)` of `offset` within `src`.
+    pub fn line_col(&self, src: &str, offset: usize) -> (usize, usize) {
+        let line = self.line(offset);
+        let start = self.line_start(line).unwrap_or(0);
+        let col = src.get(start..offset).map_or(1, |s| s.chars().count() + 1);
+        (line, col)
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    /// `(byte offset, char)` pairs; `i` indexes into this.
+    chars: Vec<(usize, char)>,
+    i: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { src, chars: src.char_indices().collect(), i: 0 }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).map(|&(_, c)| c)
+    }
+
+    /// Byte offset of the current character (or EOF).
+    fn pos(&self) -> usize {
+        self.chars.get(self.i).map_or(self.src.len(), |&(o, _)| o)
+    }
+
+    fn bump(&mut self) {
+        self.i += 1;
+    }
+
+    /// Consumes until after the terminator of a non-raw string/char
+    /// literal, honoring backslash escapes. `quote` is `"` or `'`.
+    fn eat_quoted(&mut self, quote: char) {
+        while let Some(c) = self.peek(0) {
+            self.bump();
+            if c == '\\' {
+                self.bump(); // the escaped character, whatever it is
+            } else if c == quote {
+                return;
+            }
+        }
+    }
+
+    /// Consumes a raw-string body: the caller has consumed up to and
+    /// including the opening quote; `hashes` is the `#` count.
+    fn eat_raw(&mut self, hashes: usize) {
+        while let Some(c) = self.peek(0) {
+            self.bump();
+            if c == '"' && (0..hashes).all(|k| self.peek(k) == Some('#')) {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                return;
+            }
+        }
+    }
+
+    /// Whether a raw-string opener (`#`* then `"`) starts at `ahead`
+    /// characters from the cursor; returns the hash count.
+    fn raw_opener(&self, ahead: usize) -> Option<usize> {
+        let mut n = 0;
+        while self.peek(ahead + n) == Some('#') {
+            n += 1;
+        }
+        (self.peek(ahead + n) == Some('"')).then_some(n)
+    }
+
+    fn eat_ident(&mut self) {
+        while self.peek(0).is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            self.bump();
+        }
+    }
+
+    fn next_token(&mut self) -> Option<Token> {
+        while self.peek(0).is_some_and(char::is_whitespace) {
+            self.bump();
+        }
+        let c = self.peek(0)?;
+        let start = self.pos();
+        let kind = match c {
+            '/' if self.peek(1) == Some('/') => {
+                while self.peek(0).is_some_and(|c| c != '\n') {
+                    self.bump();
+                }
+                TokenKind::LineComment
+            }
+            '/' if self.peek(1) == Some('*') => {
+                self.bump();
+                self.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (self.peek(0), self.peek(1)) {
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            self.bump();
+                            self.bump();
+                        }
+                        (Some('*'), Some('/')) => {
+                            depth -= 1;
+                            self.bump();
+                            self.bump();
+                        }
+                        (Some(_), _) => self.bump(),
+                        (None, _) => break, // unterminated: runs to EOF
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            '"' => {
+                self.bump();
+                self.eat_quoted('"');
+                TokenKind::Str
+            }
+            // Raw strings and raw identifiers share the `r` prefix.
+            'r' | 'b' | 'c' if self.string_prefix() => self.eat_prefixed_literal(),
+            '\'' => {
+                // `'\…'` and `'x'` are char literals; otherwise a lifetime
+                // (or a bare quote, kept as an empty-named lifetime).
+                if self.peek(1) == Some('\\')
+                    || (self.peek(2) == Some('\'') && self.peek(1) != Some('\''))
+                {
+                    self.bump();
+                    self.eat_quoted('\'');
+                    TokenKind::Char
+                } else {
+                    self.bump();
+                    self.eat_ident();
+                    TokenKind::Lifetime
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                self.eat_ident();
+                TokenKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                // Integers, prefixed (0x/0b/0o) and suffixed (1u64)
+                // literals; `1.5` lexes as number/punct/number, which no
+                // rule cares about.
+                self.eat_ident();
+                TokenKind::Number
+            }
+            _ => {
+                self.bump();
+                TokenKind::Punct
+            }
+        };
+        Some(Token { kind, start, end: self.pos() })
+    }
+
+    /// Whether the cursor sits on a string-literal prefix: `r"`/`r#"`,
+    /// `b"`/`b'`/`br"`, `c"`/`cr"`, or a raw identifier `r#ident`.
+    fn string_prefix(&self) -> bool {
+        match self.peek(0) {
+            Some('r') => self.raw_opener(1).is_some() || self.raw_ident_ahead(),
+            Some('b') => {
+                matches!(self.peek(1), Some('"') | Some('\''))
+                    || (self.peek(1) == Some('r') && self.raw_opener(2).is_some())
+            }
+            Some('c') => {
+                self.peek(1) == Some('"')
+                    || (self.peek(1) == Some('r') && self.raw_opener(2).is_some())
+            }
+            _ => false,
+        }
+    }
+
+    fn raw_ident_ahead(&self) -> bool {
+        self.peek(1) == Some('#') && self.peek(2).is_some_and(|c| c.is_alphabetic() || c == '_')
+    }
+
+    fn eat_prefixed_literal(&mut self) -> TokenKind {
+        match self.peek(0) {
+            Some('r') if self.raw_ident_ahead() => {
+                self.bump(); // r
+                self.bump(); // #
+                self.eat_ident();
+                return TokenKind::Ident;
+            }
+            Some('r') => {
+                self.bump();
+            }
+            Some('b') | Some('c') => {
+                self.bump();
+                if self.peek(0) == Some('r') {
+                    self.bump();
+                }
+            }
+            _ => {}
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump();
+            self.eat_quoted('\'');
+            return TokenKind::Char;
+        }
+        let hashes = {
+            let mut n = 0;
+            while self.peek(0) == Some('#') {
+                self.bump();
+                n += 1;
+            }
+            n
+        };
+        if self.peek(0) == Some('"') {
+            self.bump();
+            if hashes == 0 {
+                self.eat_quoted('"');
+            } else {
+                self.eat_raw(hashes);
+            }
+        }
+        TokenKind::Str
+    }
+}
+
+/// Lexes `src` completely. Never panics; every returned span lies on char
+/// boundaries and the spans are sorted and non-overlapping.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lexer = Lexer::new(src);
+    let mut tokens = Vec::new();
+    while let Some(t) = lexer.next_token() {
+        tokens.push(t);
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    /// Rebuilds the source from token spans plus the whitespace gaps
+    /// between them; equality proves the offsets are exact.
+    fn reconstruct(src: &str, tokens: &[Token]) -> Option<String> {
+        let mut out = String::new();
+        let mut at = 0;
+        for t in tokens {
+            let gap = src.get(at..t.start)?;
+            if !gap.chars().all(char::is_whitespace) {
+                return None;
+            }
+            out.push_str(gap);
+            out.push_str(src.get(t.start..t.end)?);
+            at = t.end;
+        }
+        let tail = src.get(at..)?;
+        if !tail.chars().all(char::is_whitespace) {
+            return None;
+        }
+        out.push_str(tail);
+        Some(out)
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let got = kinds("let x = a.unwrap();");
+        assert_eq!(got[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(got[3], (TokenKind::Ident, "a".into()));
+        assert_eq!(got[5], (TokenKind::Ident, "unwrap".into()));
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let got = kinds(r#"let s = "x.unwrap()";"#);
+        assert!(got.iter().all(|(k, t)| *k != TokenKind::Ident || t != "unwrap"));
+        assert!(got.iter().any(|(k, _)| *k == TokenKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let src = r###"let s = r#"inner " quote and panic!()"# ; x"###;
+        let got = kinds(src);
+        assert!(got.iter().any(|(k, t)| *k == TokenKind::Str && t.contains("panic")));
+        assert_eq!(got.last().map(|(_, t)| t.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        for src in [r#"b"bytes.unwrap()""#, r##"br#"raw"#"##, r#"c"c-str""#, "b'q'"] {
+            let got = kinds(src);
+            assert_eq!(got.len(), 1, "{src} should be one literal: {got:?}");
+            assert!(matches!(got[0].0, TokenKind::Str | TokenKind::Char), "{src}: {got:?}");
+        }
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let got = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[1].0, TokenKind::BlockComment);
+        assert_eq!(got[2], (TokenKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn unterminated_comment_and_string_run_to_eof() {
+        assert_eq!(kinds("x /* never closed").len(), 2);
+        assert_eq!(kinds("y \"never closed").len(), 2);
+    }
+
+    #[test]
+    fn char_literal_versus_lifetime() {
+        let got = kinds("'a' 'static '\\n' &'b T");
+        assert_eq!(got[0].0, TokenKind::Char);
+        assert_eq!(got[1], (TokenKind::Lifetime, "'static".into()));
+        assert_eq!(got[2].0, TokenKind::Char);
+        assert!(got.iter().any(|(k, t)| *k == TokenKind::Lifetime && t == "'b"));
+    }
+
+    #[test]
+    fn raw_identifier_is_one_ident() {
+        let got = kinds("r#fn r#loop normal");
+        assert_eq!(got[0], (TokenKind::Ident, "r#fn".into()));
+        assert_eq!(got[1], (TokenKind::Ident, "r#loop".into()));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let got = kinds(r#""a \" b" x"#);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn line_comment_stops_at_newline() {
+        let got = kinds("// unwrap() here\nreal");
+        assert_eq!(got[0].0, TokenKind::LineComment);
+        assert_eq!(got[1], (TokenKind::Ident, "real".into()));
+    }
+
+    #[test]
+    fn line_map_is_one_based_and_char_counted() {
+        let src = "ab\ncdé f\n";
+        let map = LineMap::new(src);
+        assert_eq!(map.line_col(src, 0), (1, 1));
+        assert_eq!(map.line_col(src, 3), (2, 1));
+        // é is two bytes; the column after it counts characters.
+        let f_at = src.find('f').unwrap();
+        assert_eq!(map.line_col(src, f_at), (2, 5));
+    }
+
+    #[test]
+    fn round_trip_on_tricky_sources() {
+        for src in [
+            "",
+            "  \n\t ",
+            "fn main() { let v = vec![1, 2]; v[0]; }",
+            r##"let s = r#"a"# ; /* /* */ */ 'x' b'\'' "esc \\\" q" // tail"##,
+            "emoji → 'λ' \"héllo\" café",
+            "r\"unterminated raw",
+            "#![forbid(unsafe_code)]",
+        ] {
+            let tokens = lex(src);
+            assert_eq!(reconstruct(src, &tokens).as_deref(), Some(src), "round-trip {src:?}");
+        }
+    }
+}

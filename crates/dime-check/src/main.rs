@@ -1,0 +1,125 @@
+//! The `dime-check` command-line front end.
+//!
+//! ```text
+//! dime-check --workspace [--root DIR] [--json]
+//! dime-check [--json] FILE...
+//! dime-check --list-rules
+//! ```
+//!
+//! Exit status: 0 when the analyzed set is clean, 1 when any unsuppressed
+//! finding remains, 2 on usage or I/O errors. All printing in the
+//! workspace's static-analysis layer happens here, in the binary — the
+//! library stays silent, as `stdout-in-lib` demands.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dime_check::{
+    analyze_source, find_workspace_root, infer_context, run_workspace, RunReport, ALL_RULES,
+};
+
+struct Options {
+    workspace: bool,
+    json: bool,
+    list_rules: bool,
+    root: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: dime-check (--workspace [--root DIR] | FILE...) [--json]\n       dime-check --list-rules\n"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts =
+        Options { workspace: false, json: false, list_rules: false, root: None, files: Vec::new() };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => opts.workspace = true,
+            "--json" => opts.json = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" => {
+                let dir = it.next().ok_or("--root needs a directory argument")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}"));
+            }
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    if !opts.list_rules && !opts.workspace && opts.files.is_empty() {
+        return Err("nothing to analyze: pass --workspace or file paths".into());
+    }
+    if opts.workspace && !opts.files.is_empty() {
+        return Err("--workspace and explicit files are mutually exclusive".into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("dime-check: {msg}");
+            }
+            eprint!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in ALL_RULES {
+            println!("{:<26} {}", rule.name(), rule.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let run = if opts.workspace {
+        let root = match opts.root.or_else(find_workspace_root) {
+            Some(root) => root,
+            None => {
+                eprintln!("dime-check: workspace root not found; pass --root DIR");
+                return ExitCode::from(2);
+            }
+        };
+        match run_workspace(&root) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("dime-check: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut run = RunReport::default();
+        for path in &opts.files {
+            let src = match std::fs::read_to_string(path) {
+                Ok(src) => src,
+                Err(e) => {
+                    eprintln!("dime-check: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let ctx = infer_context(path);
+            run.push(path.display().to_string(), &src, analyze_source(&src, &ctx));
+        }
+        run
+    };
+
+    if opts.json {
+        print!("{}", run.render_json());
+    } else {
+        print!("{}", run.render_human());
+    }
+    if run.finding_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,196 @@
+//! Aggregated results over a set of files: `file:line:col` rendering and
+//! the `--json` report, including the suppression inventory.
+//!
+//! JSON is emitted by hand — the checker is dependency-free on purpose
+//! (see the crate manifest) and the schema is flat enough that escaping
+//! strings is the only subtlety.
+
+use crate::analyze::{FileReport, Finding, SuppressedFinding};
+use crate::lexer::LineMap;
+use crate::suppress::Suppression;
+
+/// One file's findings located for display.
+#[derive(Debug)]
+pub struct Located {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    pub findings: Vec<(Finding, usize, usize)>,
+    pub suppressed: Vec<SuppressedFinding>,
+    pub suppressions: Vec<Suppression>,
+}
+
+/// The whole run: every analyzed file plus counts.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    pub files: Vec<Located>,
+    pub files_scanned: usize,
+}
+
+impl RunReport {
+    /// Attaches one file's report, resolving offsets to line/column.
+    pub fn push(&mut self, path: String, src: &str, report: FileReport) {
+        self.files_scanned += 1;
+        let lines = LineMap::new(src);
+        let findings = report
+            .findings
+            .into_iter()
+            .map(|f| {
+                let (line, col) = lines.line_col(src, f.offset);
+                (f, line, col)
+            })
+            .collect::<Vec<_>>();
+        if findings.is_empty() && report.suppressed.is_empty() && report.suppressions.is_empty() {
+            return; // keep the report small: clean files carry no entry
+        }
+        self.files.push(Located {
+            path,
+            findings,
+            suppressed: report.suppressed,
+            suppressions: report.suppressions,
+        });
+    }
+
+    /// Number of unsuppressed findings — the process exit is 1 iff > 0.
+    pub fn finding_count(&self) -> usize {
+        self.files.iter().map(|f| f.findings.len()).sum()
+    }
+
+    pub fn suppressed_count(&self) -> usize {
+        self.files.iter().map(|f| f.suppressed.len()).sum()
+    }
+
+    pub fn suppression_count(&self) -> usize {
+        self.files.iter().map(|f| f.suppressions.len()).sum()
+    }
+
+    /// Human-readable rendering: one `file:line:col: rule: message` per
+    /// finding, then a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for file in &self.files {
+            for (f, line, col) in &file.findings {
+                out.push_str(&format!(
+                    "{}:{}:{}: {}: {}\n",
+                    file.path,
+                    line,
+                    col,
+                    f.rule.name(),
+                    f.message
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "dime-check: {} finding{} ({} suppressed by {} allows) across {} files\n",
+            self.finding_count(),
+            if self.finding_count() == 1 { "" } else { "s" },
+            self.suppressed_count(),
+            self.suppression_count(),
+            self.files_scanned,
+        ));
+        out
+    }
+
+    /// The machine-readable report: unsuppressed diagnostics, the full
+    /// suppression inventory (rule, file, line, reason), and summary
+    /// counts.
+    pub fn render_json(&self) -> String {
+        let mut diags = Vec::new();
+        let mut sups = Vec::new();
+        for file in &self.files {
+            for (f, line, col) in &file.findings {
+                diags.push(format!(
+                    "{{\"rule\":{},\"path\":{},\"line\":{line},\"col\":{col},\"message\":{}}}",
+                    json_str(f.rule.name()),
+                    json_str(&file.path),
+                    json_str(&f.message)
+                ));
+            }
+            for s in &file.suppressions {
+                sups.push(format!(
+                    "{{\"rule\":{},\"path\":{},\"line\":{},\"reason\":{}}}",
+                    json_str(&s.rule_name),
+                    json_str(&file.path),
+                    s.line,
+                    json_str(&s.reason)
+                ));
+            }
+        }
+        format!(
+            "{{\"diagnostics\":[{}],\"suppressions\":[{}],\"summary\":{{\"diagnostics\":{},\
+             \"suppressions\":{},\"suppressed_findings\":{},\"files_scanned\":{}}}}}\n",
+            diags.join(","),
+            sups.join(","),
+            self.finding_count(),
+            self.suppression_count(),
+            self.suppressed_count(),
+            self.files_scanned,
+        )
+    }
+}
+
+/// Escapes a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{analyze_source, FileContext, FileKind};
+
+    fn run_on(src: &str) -> RunReport {
+        let ctx = FileContext {
+            crate_name: "dime-serve".into(),
+            kind: FileKind::Lib,
+            is_crate_root: false,
+        };
+        let mut run = RunReport::default();
+        run.push("crates/dime-serve/src/x.rs".into(), src, analyze_source(src, &ctx));
+        run
+    }
+
+    #[test]
+    fn human_rendering_carries_file_line_col() {
+        let run = run_on("fn f(x: Option<u32>) {\n    x.unwrap();\n}");
+        let text = run.render_human();
+        assert!(text.contains("crates/dime-serve/src/x.rs:2:7: panic-in-service:"), "{text}");
+        assert!(text.contains("1 finding "), "{text}");
+    }
+
+    #[test]
+    fn json_lists_diagnostics_and_suppression_inventory() {
+        let src = "fn f(v: &[u32]) {\n    let _ = v[0]; // dime-check: allow(panic-in-service) — caller guarantees non-empty\n    None::<u32>.unwrap();\n}";
+        let json = run_on(src).render_json();
+        assert!(json.contains("\"rule\":\"panic-in-service\""), "{json}");
+        assert!(json.contains("caller guarantees non-empty"), "{json}");
+        assert!(json.contains("\"suppressed_findings\":1"), "{json}");
+        assert!(json.contains("\"diagnostics\":1"), "{json}");
+    }
+
+    #[test]
+    fn json_escaping_is_sound() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("tab\there"), "\"tab\\there\"");
+    }
+
+    #[test]
+    fn clean_run_renders_zero() {
+        let run = run_on("fn ok() {}");
+        assert_eq!(run.finding_count(), 0);
+        assert!(run.render_human().contains("0 findings"));
+    }
+}

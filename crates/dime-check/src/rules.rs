@@ -1,0 +1,135 @@
+//! The rule catalog: identifiers, prose, and scoping metadata.
+//!
+//! Each rule guards an invariant another PR introduced in code and
+//! documented in DESIGN.md; the catalog paragraph there names the PR. The
+//! enforcement logic lives in [`crate::analyze`]; this module is the
+//! single place rule names and applicability are defined, so the CLI's
+//! `--list-rules`, the JSON report, and the suppression parser all agree.
+
+/// Every rule the engine knows, in catalog order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// No `unwrap`/`expect`/panicking macro/`[…]` indexing on the service
+    /// path (`dime-serve` and `dime-store` non-test code).
+    PanicInService,
+    /// Every `Ordering::Relaxed` carries a reasoned suppression — the
+    /// "annotated counter" discipline of the lock-free structures.
+    AtomicOrdering,
+    /// A `rename(` in `dime-store` must be preceded by `sync_all`/
+    /// `sync_data` in the same function (durable-rename contract).
+    FsyncBeforeRename,
+    /// `Instant::now`/`SystemTime` are confined to `dime-trace`,
+    /// `dime-bench`, and binaries: engine state must replay
+    /// deterministically.
+    WallClockInCore,
+    /// Every crate root keeps `#![forbid(unsafe_code)]`.
+    ForbidUnsafeDrift,
+    /// Library code never writes to stdout (`println!`/`print!`); stdout
+    /// belongs to binaries and benches.
+    StdoutInLib,
+    /// A suppression comment without a `— reason` tail.
+    SuppressionMissingReason,
+    /// A `dime-check:` comment naming no known rule (or unparsable).
+    UnknownRule,
+    /// A well-formed suppression whose target line has no finding of that
+    /// rule: stale allows are drift, too.
+    UnusedSuppression,
+}
+
+/// The six source rules plus the three suppression hygiene rules.
+pub const ALL_RULES: [RuleId; 9] = [
+    RuleId::PanicInService,
+    RuleId::AtomicOrdering,
+    RuleId::FsyncBeforeRename,
+    RuleId::WallClockInCore,
+    RuleId::ForbidUnsafeDrift,
+    RuleId::StdoutInLib,
+    RuleId::SuppressionMissingReason,
+    RuleId::UnknownRule,
+    RuleId::UnusedSuppression,
+];
+
+impl RuleId {
+    /// The kebab-case name used in diagnostics and `allow(…)` comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::PanicInService => "panic-in-service",
+            RuleId::AtomicOrdering => "atomic-ordering",
+            RuleId::FsyncBeforeRename => "fsync-before-rename",
+            RuleId::WallClockInCore => "wall-clock-in-core",
+            RuleId::ForbidUnsafeDrift => "forbid-unsafe-drift",
+            RuleId::StdoutInLib => "stdout-in-lib",
+            RuleId::SuppressionMissingReason => "suppression-missing-reason",
+            RuleId::UnknownRule => "unknown-rule",
+            RuleId::UnusedSuppression => "unused-suppression",
+        }
+    }
+
+    /// Resolves an `allow(…)` argument; `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Self> {
+        ALL_RULES.into_iter().find(|r| r.name() == name)
+    }
+
+    /// One-line description for `--list-rules` and the JSON report.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::PanicInService => {
+                "no unwrap/expect, panicking macros, or [..] indexing in non-test \
+                 dime-serve/dime-store code"
+            }
+            RuleId::AtomicOrdering => {
+                "every Ordering::Relaxed needs a reasoned allow naming it a counter \
+                 with no ordering dependency"
+            }
+            RuleId::FsyncBeforeRename => {
+                "rename() in dime-store requires an earlier sync_all/sync_data in the \
+                 same function"
+            }
+            RuleId::WallClockInCore => {
+                "Instant::now/SystemTime only in dime-trace, dime-bench, and binaries \
+                 (replay determinism)"
+            }
+            RuleId::ForbidUnsafeDrift => "every crate root keeps #![forbid(unsafe_code)]",
+            RuleId::StdoutInLib => "library code must not print to stdout",
+            RuleId::SuppressionMissingReason => {
+                "a dime-check allow comment must carry `— <reason>`"
+            }
+            RuleId::UnknownRule => "a dime-check comment names no known rule",
+            RuleId::UnusedSuppression => "a suppression whose target line has no finding",
+        }
+    }
+
+    /// Whether this is a suppression-hygiene rule. Hygiene findings can
+    /// never themselves be suppressed — the fix is always to repair the
+    /// comment.
+    pub fn is_hygiene(self) -> bool {
+        matches!(
+            self,
+            RuleId::SuppressionMissingReason | RuleId::UnknownRule | RuleId::UnusedSuppression
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for rule in ALL_RULES {
+            assert_eq!(RuleId::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(RuleId::from_name("no-such-rule"), None);
+    }
+
+    #[test]
+    fn names_are_kebab_case() {
+        for rule in ALL_RULES {
+            assert!(
+                rule.name().chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{}",
+                rule.name()
+            );
+        }
+    }
+}

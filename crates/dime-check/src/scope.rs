@@ -1,0 +1,307 @@
+//! Structural scoping over the token stream: which byte ranges are test
+//! code, and which function body encloses a given offset.
+//!
+//! Rules like `panic-in-service` only govern production paths, so the
+//! engine needs to know where test code starts and ends without parsing
+//! Rust properly. Three shapes cover this workspace's conventions (and
+//! most of the ecosystem's):
+//!
+//! * an item annotated `#[cfg(test)]` — canonically `mod tests { … }`,
+//!   but any item form works (the region ends at the matching `}` of the
+//!   item's first brace, or at a top-level `;` for brace-less items);
+//! * an item annotated `#[test]`;
+//! * a `mod tests { … }` block even without the `cfg` gate.
+//!
+//! `fsync-before-rename` additionally needs function extents: a `rename(`
+//! is judged against `sync_all`/`sync_data` calls earlier in the *same*
+//! function, so the tracker records every `fn` body's brace span.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Byte ranges of test-scoped code, sorted and non-overlapping after
+/// [`test_regions`] merges nested matches.
+#[derive(Debug, Default)]
+pub struct TestRegions {
+    ranges: Vec<(usize, usize)>,
+}
+
+impl TestRegions {
+    /// Whether `offset` falls inside any test region.
+    pub fn contains(&self, offset: usize) -> bool {
+        let i = self.ranges.partition_point(|&(s, _)| s <= offset);
+        i > 0 && self.ranges.get(i - 1).is_some_and(|&(_, e)| offset < e)
+    }
+}
+
+/// Significant tokens: everything the parser structure cares about —
+/// comments are invisible to brace matching and attribute detection.
+fn significant(tokens: &[Token]) -> Vec<Token> {
+    tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .copied()
+        .collect()
+}
+
+fn is(t: &Token, src: &str, kind: TokenKind, text: &str) -> bool {
+    t.kind == kind && t.text(src) == text
+}
+
+/// Index just past the bracket that closes the one at `open` (which must
+/// hold `{`, `(`, or `[`); scans to EOF on imbalance.
+fn matching_close(toks: &[Token], src: &str, open: usize) -> usize {
+    let (o, c) = match toks.get(open).map(|t| t.text(src)) {
+        Some("{") => ("{", "}"),
+        Some("(") => ("(", ")"),
+        Some("[") => ("[", "]"),
+        _ => return toks.len(),
+    };
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokenKind::Punct {
+            let s = t.text(src);
+            if s == o {
+                depth += 1;
+            } else if s == c {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+        }
+    }
+    toks.len()
+}
+
+/// Parses an attribute starting at `#` (index `at`); returns
+/// `(index past the closing ']', attribute marks a test item)`. The test
+/// check is tolerant: `#[test]`, `#[cfg(test)]`, and any `cfg(…)` whose
+/// argument list mentions the bare word `test` (e.g. `cfg(any(test, …))`).
+fn parse_attr(toks: &[Token], src: &str, at: usize) -> Option<(usize, bool)> {
+    let mut i = at + 1;
+    // Inner attributes (`#![…]`) never gate an item; skip their `!`.
+    let inner = toks.get(i).is_some_and(|t| is(t, src, TokenKind::Punct, "!"));
+    if inner {
+        i += 1;
+    }
+    if !toks.get(i).is_some_and(|t| is(t, src, TokenKind::Punct, "[")) {
+        return None;
+    }
+    let end = matching_close(toks, src, i);
+    let body = &toks[i + 1..end.saturating_sub(1)];
+    let is_test = !inner
+        && match body.first().map(|t| t.text(src)) {
+            Some("test") => body.len() == 1,
+            Some("cfg") => body.iter().any(|t| is(t, src, TokenKind::Ident, "test")),
+            _ => false,
+        };
+    Some((end, is_test))
+}
+
+/// After an item's attributes, the item's extent: up to a top-level `;`
+/// (brace-less items like `use` or a gated `mod tests;`) or the matching
+/// `}` of its first brace.
+fn item_end(toks: &[Token], src: &str, mut i: usize) -> usize {
+    while let Some(t) = toks.get(i) {
+        if is(t, src, TokenKind::Punct, ";") {
+            return i + 1;
+        }
+        if is(t, src, TokenKind::Punct, "{") {
+            return matching_close(toks, src, i);
+        }
+        // Skip over any bracketed group (generics stay flat: `<` is not
+        // bracket-matched, but `(…)`/`[…]` in signatures are).
+        if is(t, src, TokenKind::Punct, "(") || is(t, src, TokenKind::Punct, "[") {
+            i = matching_close(toks, src, i);
+            continue;
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Computes the byte ranges of test-scoped code.
+pub fn test_regions(src: &str, tokens: &[Token]) -> TestRegions {
+    let toks = significant(tokens);
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if is(t, src, TokenKind::Punct, "#") {
+            if let Some((mut after, is_test)) = parse_attr(&toks, src, i) {
+                // Fold any stacked attributes into the same item.
+                let mut any_test = is_test;
+                while toks.get(after).is_some_and(|t| is(t, src, TokenKind::Punct, "#")) {
+                    match parse_attr(&toks, src, after) {
+                        Some((next, test)) => {
+                            any_test |= test;
+                            after = next;
+                        }
+                        None => break,
+                    }
+                }
+                if any_test {
+                    let end = item_end(&toks, src, after);
+                    let hi = toks.get(end.saturating_sub(1)).map_or(src.len(), |t| t.end);
+                    ranges.push((t.start, hi));
+                    i = end;
+                    continue;
+                }
+                i = after;
+                continue;
+            }
+        }
+        if is(t, src, TokenKind::Ident, "mod")
+            && toks.get(i + 1).is_some_and(|t| is(t, src, TokenKind::Ident, "tests"))
+            && toks.get(i + 2).is_some_and(|t| is(t, src, TokenKind::Punct, "{"))
+        {
+            let end = matching_close(&toks, src, i + 2);
+            let hi = toks.get(end.saturating_sub(1)).map_or(src.len(), |t| t.end);
+            ranges.push((t.start, hi));
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    ranges.sort_unstable();
+    // Merge overlaps so `contains` can binary-search.
+    let mut merged: Vec<(usize, usize)> = Vec::new();
+    for (s, e) in ranges {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    TestRegions { ranges: merged }
+}
+
+/// One function body's byte extent (the `{ … }` span, braces included).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnBody {
+    pub start: usize,
+    pub end: usize,
+}
+
+/// Every `fn` body in the file, nested functions and methods included,
+/// sorted by start offset. `fn` in type position (`fn()` pointers) has no
+/// following identifier and is skipped.
+pub fn fn_bodies(src: &str, tokens: &[Token]) -> Vec<FnBody> {
+    let toks = significant(tokens);
+    let mut bodies = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !is(t, src, TokenKind::Ident, "fn") {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|n| n.kind == TokenKind::Ident) {
+            continue; // `fn(…)` type position
+        }
+        // Walk to the body's `{`, stopping at `;` (trait declarations).
+        let mut j = i + 2;
+        let mut found = None;
+        while let Some(t) = toks.get(j) {
+            if is(t, src, TokenKind::Punct, ";") {
+                break;
+            }
+            if is(t, src, TokenKind::Punct, "{") {
+                found = Some(j);
+                break;
+            }
+            if is(t, src, TokenKind::Punct, "(") || is(t, src, TokenKind::Punct, "[") {
+                j = matching_close(&toks, src, j);
+                continue;
+            }
+            j += 1;
+        }
+        if let Some(open) = found {
+            let end = matching_close(&toks, src, open);
+            let hi = toks.get(end.saturating_sub(1)).map_or(src.len(), |t| t.end);
+            bodies.push(FnBody { start: toks[open].start, end: hi });
+        }
+    }
+    bodies.sort_by_key(|b| b.start);
+    bodies
+}
+
+/// The innermost function body containing `offset`, if any.
+pub fn enclosing_fn(bodies: &[FnBody], offset: usize) -> Option<FnBody> {
+    bodies.iter().filter(|b| b.start <= offset && offset < b.end).max_by_key(|b| b.start).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn regions_of(src: &str) -> TestRegions {
+        test_regions(src, &lex(src))
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_region() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let r = regions_of(src);
+        assert!(!r.contains(src.find("live").unwrap()));
+        assert!(r.contains(src.find("unwrap").unwrap()));
+    }
+
+    #[test]
+    fn bare_mod_tests_is_a_region() {
+        let src = "mod tests { fn t() {} }\nfn live() {}";
+        let r = regions_of(src);
+        assert!(r.contains(src.find("fn t").unwrap()));
+        assert!(!r.contains(src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn test_attr_covers_one_function() {
+        let src = "#[test]\nfn t() { a(); }\nfn live() { b(); }";
+        let r = regions_of(src);
+        assert!(r.contains(src.find("a()").unwrap()));
+        assert!(!r.contains(src.find("b()").unwrap()));
+    }
+
+    #[test]
+    fn stacked_attributes_still_gate() {
+        let src = "#[allow(dead_code)]\n#[cfg(test)]\nfn t() { a(); }\nfn live() {}";
+        assert!(regions_of(src).contains(src.find("a()").unwrap()));
+    }
+
+    #[test]
+    fn cfg_any_test_counts() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nmod helpers { fn h() {} }";
+        assert!(regions_of(src).contains(src.find("fn h").unwrap()));
+    }
+
+    #[test]
+    fn non_test_attrs_are_not_regions() {
+        let src = "#[derive(Debug)]\nstruct S { x: u32 }\n#![forbid(unsafe_code)]";
+        let r = regions_of(src);
+        assert!(!r.contains(src.find("x: u32").unwrap()));
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_confuse_matching() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { let s = \"}\"; a(); } }\nfn live() {}";
+        let r = regions_of(src);
+        assert!(r.contains(src.find("a()").unwrap()));
+        assert!(!r.contains(src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn fn_bodies_nest_and_resolve_innermost() {
+        let src = "fn outer() { fn inner() { mark(); } other(); }";
+        let bodies = fn_bodies(src, &lex(src));
+        assert_eq!(bodies.len(), 2);
+        let mark = src.find("mark").unwrap();
+        let inner = enclosing_fn(&bodies, mark).unwrap();
+        assert!(inner.start > bodies[0].start, "innermost body wins");
+        let other = src.find("other").unwrap();
+        assert_eq!(enclosing_fn(&bodies, other), Some(bodies[0]));
+    }
+
+    #[test]
+    fn fn_type_position_is_not_a_body() {
+        let src = "fn real(f: fn(u32) -> u32) { f(1); }";
+        assert_eq!(fn_bodies(src, &lex(src)).len(), 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Suppression comments: `// dime-check: allow(<rule>) — <reason>`.
+//!
+//! A suppression is an *annotation with teeth*: it must name a real rule,
+//! carry a human reason after an em-dash (`—`; a plain `-` or `--` is
+//! accepted), and actually cover a finding — each failure mode is its own
+//! hygiene diagnostic, so an allow can never rot silently.
+//!
+//! Scoping is by line, which keeps every allow load-bearing and reviewable:
+//!
+//! * a trailing comment covers the findings of its own line;
+//! * a standalone comment (nothing but the comment on its line) covers the
+//!   next line holding any code, so several standalone suppressions may
+//!   stack above one line.
+//!
+//! Doc comments (`///`, `//!`) are never parsed as suppressions, so the
+//! format can be quoted freely in documentation.
+
+use crate::lexer::{LineMap, Token, TokenKind};
+use crate::rules::RuleId;
+
+/// One parsed `dime-check:` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The named rule, when recognized.
+    pub rule: Option<RuleId>,
+    /// The raw rule name as written (kept for unknown-rule diagnostics).
+    pub rule_name: String,
+    /// The reason after the dash, trimmed; empty when absent.
+    pub reason: String,
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// 1-based line whose findings this suppression covers.
+    pub target_line: usize,
+    /// Byte offset of the comment (for diagnostics).
+    pub offset: usize,
+    /// Whether the comment parsed as `allow(<name>)` at all.
+    pub well_formed: bool,
+}
+
+impl Suppression {
+    /// A suppression only covers findings when it is fully valid: known
+    /// rule, well-formed, and a non-empty reason. Anything less is inert
+    /// (and diagnosed), so deleting the reason re-surfaces the finding.
+    pub fn active(&self) -> bool {
+        self.well_formed && self.rule.is_some() && !self.reason.is_empty()
+    }
+}
+
+/// Extracts the comment's claim, if it is a suppression-shaped comment.
+/// Returns `(rule_name, reason, well_formed)`.
+fn parse_body(body: &str) -> Option<(String, String, bool)> {
+    let rest = body.trim_start();
+    let rest = rest.strip_prefix("dime-check:")?;
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Some((String::new(), String::new(), false));
+    };
+    let Some(close) = rest.find(')') else {
+        return Some((String::new(), String::new(), false));
+    };
+    let name = rest[..close].trim().to_string();
+    let tail = rest[close + 1..].trim_start();
+    let reason = ["—", "--", "-"]
+        .iter()
+        .find_map(|dash| tail.strip_prefix(dash))
+        .map_or(String::new(), |r| r.trim().to_string());
+    Some((name, reason, true))
+}
+
+/// Parses every suppression comment in the token stream and resolves each
+/// one's target line.
+pub fn parse_suppressions(src: &str, tokens: &[Token], lines: &LineMap) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let text = t.text(src);
+        let Some(body) = text.strip_prefix("//") else { continue };
+        if body.starts_with('/') || body.starts_with('!') {
+            continue; // doc comment: documentation, not annotation
+        }
+        let Some((rule_name, reason, well_formed)) = parse_body(body) else { continue };
+        let line = lines.line(t.start);
+        let standalone = !tokens[..i].iter().any(|p| {
+            !matches!(p.kind, TokenKind::LineComment | TokenKind::BlockComment)
+                && lines.line(p.start) == line
+        });
+        let target_line =
+            if standalone { next_code_line(tokens, lines, line).unwrap_or(line) } else { line };
+        let rule = RuleId::from_name(&rule_name);
+        out.push(Suppression {
+            rule,
+            rule_name,
+            reason,
+            line,
+            target_line,
+            offset: t.start,
+            well_formed,
+        });
+    }
+    out
+}
+
+/// The first line after `line` that holds a non-comment token.
+fn next_code_line(tokens: &[Token], lines: &LineMap, line: usize) -> Option<usize> {
+    tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .map(|t| lines.line(t.start))
+        .find(|&l| l > line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<Suppression> {
+        parse_suppressions(src, &lex(src), &LineMap::new(src))
+    }
+
+    #[test]
+    fn trailing_comment_targets_its_own_line() {
+        let src = "x.load(o); // dime-check: allow(atomic-ordering) — monotone counter\ny();";
+        let s = &parse(src)[0];
+        assert_eq!(s.rule, Some(RuleId::AtomicOrdering));
+        assert_eq!(s.reason, "monotone counter");
+        assert_eq!((s.line, s.target_line), (1, 1));
+        assert!(s.active());
+    }
+
+    #[test]
+    fn standalone_comment_targets_next_code_line() {
+        let src =
+            "\n// dime-check: allow(panic-in-service) — bounded above\n\n// plain note\nv[i];\n";
+        let s = &parse(src)[0];
+        assert_eq!((s.line, s.target_line), (2, 5));
+    }
+
+    #[test]
+    fn stacked_standalone_comments_share_a_target() {
+        let src = "// dime-check: allow(panic-in-service) — a\n// dime-check: allow(atomic-ordering) — b\ncode();\n";
+        let got = parse(src);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|s| s.target_line == 3));
+    }
+
+    #[test]
+    fn missing_reason_is_inert() {
+        for src in [
+            "x(); // dime-check: allow(atomic-ordering)",
+            "x(); // dime-check: allow(atomic-ordering) —",
+            "x(); // dime-check: allow(atomic-ordering) —   ",
+        ] {
+            let s = &parse(src)[0];
+            assert!(s.well_formed && s.reason.is_empty() && !s.active(), "{src}");
+        }
+    }
+
+    #[test]
+    fn ascii_dashes_are_accepted() {
+        assert_eq!(
+            parse("x(); // dime-check: allow(stdout-in-lib) -- cli progress")[0].reason,
+            "cli progress"
+        );
+        assert_eq!(
+            parse("x(); // dime-check: allow(stdout-in-lib) - cli progress")[0].reason,
+            "cli progress"
+        );
+    }
+
+    #[test]
+    fn unknown_rule_is_recorded_not_dropped() {
+        let s = &parse("x(); // dime-check: allow(made-up) — why not")[0];
+        assert!(s.well_formed && s.rule.is_none());
+        assert_eq!(s.rule_name, "made-up");
+        assert!(!s.active());
+    }
+
+    #[test]
+    fn malformed_body_is_flagged_not_ignored() {
+        let s = &parse("x(); // dime-check: allows(typo) — oops")[0];
+        assert!(!s.well_formed);
+    }
+
+    #[test]
+    fn doc_comments_and_strings_are_not_suppressions() {
+        let src = "/// // dime-check: allow(stdout-in-lib) — doc example\n//! // dime-check: allow(stdout-in-lib) — x\nlet s = \"// dime-check: allow(stdout-in-lib) — y\";";
+        assert!(parse(src).is_empty());
+    }
+
+    #[test]
+    fn non_dime_check_comments_are_ignored() {
+        assert!(parse("// plain comment\n// TODO: dime-check maybe\nx();").is_empty());
+    }
+}

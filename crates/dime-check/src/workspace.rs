@@ -1,0 +1,206 @@
+//! Workspace walking: enumerates every Rust source file of every member
+//! crate and classifies it into a [`FileContext`].
+//!
+//! The walk is convention-driven rather than manifest-driven — this
+//! workspace (like most) lays crates out as `crates/<name>` plus a root
+//! facade package — so the checker needs no TOML parser and no cargo:
+//!
+//! * `crates/<name>/src/**`: library code (`src/bin/**`, `src/main.rs`
+//!   are binaries; `src/lib.rs` is the crate root);
+//! * `crates/<name>/{tests,benches,examples}/**`: test, bench, example
+//!   kinds, with `tests/fixtures/**` excluded — rule fixtures contain
+//!   deliberate violations;
+//! * the root package's `src/**`, `tests/**`, `examples/**` likewise.
+//!
+//! `target/` and dot-directories are never entered.
+
+use crate::analyze::{FileContext, FileKind};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One file to analyze: absolute path, display path, and context.
+#[derive(Debug)]
+pub struct SourceFile {
+    pub path: PathBuf,
+    /// Workspace-relative, `/`-separated — stable across machines.
+    pub rel: String,
+    pub ctx: FileContext,
+}
+
+/// Enumerates the workspace's Rust sources under `root`, sorted by
+/// relative path so reports are deterministic.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<SourceFile>> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{} has no Cargo.toml — not a workspace root", root.display()),
+        ));
+    }
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> =
+            fs::read_dir(&crates_dir)?.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+        members.sort();
+        for member in members {
+            if member.is_dir() {
+                let name = member
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                collect_package(root, &member, &name, &mut out)?;
+            }
+        }
+    }
+    // The root facade package ("dime"): same layout, workspace root dir.
+    collect_package(root, root, "dime", &mut out)?;
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+/// Collects one package's sources given its directory and crate name.
+fn collect_package(
+    root: &Path,
+    pkg: &Path,
+    name: &str,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    let src = pkg.join("src");
+    if src.is_dir() {
+        let crate_root = src.join("lib.rs");
+        walk(&src, &mut |path| {
+            let kind = if path.starts_with(src.join("bin")) || path == src.join("main.rs") {
+                FileKind::Bin
+            } else {
+                FileKind::Lib
+            };
+            push(root, path, name, kind, path == crate_root, out);
+        })?;
+    }
+    for (dir, kind) in
+        [("tests", FileKind::Test), ("benches", FileKind::Bench), ("examples", FileKind::Example)]
+    {
+        let dir = pkg.join(dir);
+        if dir.is_dir() {
+            walk(&dir, &mut |path| {
+                push(root, path, name, kind, false, out);
+            })?;
+        }
+    }
+    Ok(())
+}
+
+fn push(
+    root: &Path,
+    path: &Path,
+    name: &str,
+    kind: FileKind,
+    is_crate_root: bool,
+    out: &mut Vec<SourceFile>,
+) {
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/");
+    out.push(SourceFile {
+        path: path.to_path_buf(),
+        rel,
+        ctx: FileContext { crate_name: name.to_string(), kind, is_crate_root },
+    });
+}
+
+/// Depth-first walk over `.rs` files, skipping `target`, dot-entries, and
+/// `fixtures` directories (rule fixtures are deliberate violations).
+fn walk(dir: &Path, f: &mut impl FnMut(&Path)) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        if name.starts_with('.') || name == "target" || name == "fixtures" {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, f)?;
+        } else if name.ends_with(".rs") {
+            f(&path);
+        }
+    }
+    Ok(())
+}
+
+/// Infers a context for one explicitly-passed file path (the non
+/// `--workspace` mode): crate from a `crates/<name>/` component, kind
+/// from the conventional directory names, crate root from `src/lib.rs`.
+pub fn infer_context(path: &Path) -> FileContext {
+    let parts: Vec<String> =
+        path.components().map(|c| c.as_os_str().to_string_lossy().into_owned()).collect();
+    let crate_name = parts
+        .iter()
+        .position(|p| p == "crates")
+        .and_then(|i| parts.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "dime".to_string());
+    let has = |d: &str| parts.iter().any(|p| p == d);
+    let file = parts.last().map(String::as_str).unwrap_or("");
+    let kind = if has("tests") {
+        FileKind::Test
+    } else if has("benches") {
+        FileKind::Bench
+    } else if has("examples") {
+        FileKind::Example
+    } else if has("bin") || file == "main.rs" {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    };
+    let is_crate_root =
+        file == "lib.rs" && parts.iter().rev().nth(1).map(String::as_str) == Some("src");
+    FileContext { crate_name, kind, is_crate_root }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infer_contexts_from_paths() {
+        let c = infer_context(Path::new("crates/dime-serve/src/server.rs"));
+        assert_eq!(
+            (c.crate_name.as_str(), c.kind, c.is_crate_root),
+            ("dime-serve", FileKind::Lib, false)
+        );
+
+        let c = infer_context(Path::new("crates/dime-store/src/lib.rs"));
+        assert!(c.is_crate_root);
+
+        let c = infer_context(Path::new("crates/dime-bench/src/bin/exp_serve.rs"));
+        assert_eq!(c.kind, FileKind::Bin);
+
+        let c = infer_context(Path::new("tests/serve.rs"));
+        assert_eq!((c.crate_name.as_str(), c.kind), ("dime", FileKind::Test));
+
+        let c = infer_context(Path::new("crates/dime-bench/benches/bench_scale.rs"));
+        assert_eq!(c.kind, FileKind::Bench);
+    }
+
+    /// The walker classifies this very repository correctly when run from
+    /// a checkout (skipped silently when the layout is absent).
+    #[test]
+    fn walks_this_workspace() {
+        let Some(root) = crate::find_workspace_root() else { return };
+        let files = workspace_files(&root).expect("walk");
+        assert!(files.len() > 50, "expected a real workspace, got {}", files.len());
+        let rels: Vec<&str> = files.iter().map(|f| f.rel.as_str()).collect();
+        assert!(rels.contains(&"crates/dime-serve/src/server.rs"));
+        assert!(rels.iter().all(|r| !r.contains("/fixtures/")), "fixtures must be excluded");
+        let this = files.iter().find(|f| f.rel == "crates/dime-check/src/lib.rs").expect("self");
+        assert!(this.ctx.is_crate_root, "dime-check lints itself");
+        let bins = files.iter().filter(|f| f.ctx.kind == FileKind::Bin).count();
+        assert!(bins > 10, "bench experiment binaries should classify as Bin: {bins}");
+    }
+}

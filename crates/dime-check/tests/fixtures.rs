@@ -1,0 +1,149 @@
+//! Every rule in the catalog has a fixture under `tests/fixtures/` in
+//! which it fires exactly once. This pins two things at once: each rule
+//! detects its seeded violation (re-introducing one in the workspace
+//! cannot pass silently), and none of them over-fire on the surrounding
+//! benign code.
+
+use dime_check::{analyze_source, find_workspace_root, FileContext, FileKind, RuleId};
+
+fn fixture(name: &str) -> String {
+    let root = find_workspace_root().expect("workspace root (set DIME_CHECK_ROOT if needed)");
+    let path = root.join("crates/dime-check/tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn ctx(crate_name: &str, kind: FileKind, is_crate_root: bool) -> FileContext {
+    FileContext { crate_name: crate_name.to_string(), kind, is_crate_root }
+}
+
+/// Runs one fixture and asserts the target rule fired exactly once.
+fn fires_once(name: &str, ctx: &FileContext, rule: RuleId) -> dime_check::FileReport {
+    let report = analyze_source(&fixture(name), ctx);
+    let hits = report.findings.iter().filter(|f| f.rule == rule).count();
+    assert_eq!(hits, 1, "{name}: expected {} exactly once, got {:?}", rule.name(), report.findings);
+    report
+}
+
+#[test]
+fn panic_in_service_fires_once() {
+    let report = fires_once(
+        "panic_in_service.rs",
+        &ctx("dime-serve", FileKind::Lib, false),
+        RuleId::PanicInService,
+    );
+    assert_eq!(report.findings.len(), 1);
+}
+
+#[test]
+fn panic_fixture_is_clean_outside_service_crates() {
+    let report =
+        analyze_source(&fixture("panic_in_service.rs"), &ctx("dime-core", FileKind::Lib, false));
+    assert!(report.findings.is_empty(), "the no-panic contract is scoped to serve/store");
+}
+
+#[test]
+fn atomic_ordering_fires_once_and_the_allow_suppresses() {
+    let report = fires_once(
+        "atomic_ordering.rs",
+        &ctx("dime-index", FileKind::Lib, false),
+        RuleId::AtomicOrdering,
+    );
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.suppressed.len(), 1, "the annotated load is suppressed, not surfaced");
+    assert_eq!(report.suppressed[0].reason, "fixture counter, no ordering dependency");
+}
+
+#[test]
+fn fsync_before_rename_fires_once() {
+    let report = fires_once(
+        "fsync_before_rename.rs",
+        &ctx("dime-store", FileKind::Lib, false),
+        RuleId::FsyncBeforeRename,
+    );
+    assert_eq!(report.findings.len(), 1, "the synced swap must not fire");
+}
+
+#[test]
+fn wall_clock_fires_once_outside_test_regions() {
+    let report = fires_once(
+        "wall_clock_in_core.rs",
+        &ctx("dime-core", FileKind::Lib, false),
+        RuleId::WallClockInCore,
+    );
+    assert_eq!(report.findings.len(), 1, "the test-module Instant::now is scoped out");
+}
+
+#[test]
+fn forbid_unsafe_drift_fires_once_on_crate_roots() {
+    let report = fires_once(
+        "forbid_unsafe_drift.rs",
+        &ctx("dime-core", FileKind::Lib, true),
+        RuleId::ForbidUnsafeDrift,
+    );
+    assert_eq!(report.findings.len(), 1);
+    let non_root =
+        analyze_source(&fixture("forbid_unsafe_drift.rs"), &ctx("dime-core", FileKind::Lib, false));
+    assert!(non_root.findings.is_empty(), "only crate roots carry the attribute");
+}
+
+#[test]
+fn stdout_in_lib_fires_once() {
+    let report = fires_once(
+        "stdout_in_lib.rs",
+        &ctx("dime-core", FileKind::Lib, false),
+        RuleId::StdoutInLib,
+    );
+    assert_eq!(report.findings.len(), 1, "eprintln!/format! must not fire");
+}
+
+#[test]
+fn suppression_missing_reason_fires_once_and_is_inert() {
+    let report = fires_once(
+        "suppression_missing_reason.rs",
+        &ctx("dime-index", FileKind::Lib, false),
+        RuleId::SuppressionMissingReason,
+    );
+    let rules: Vec<RuleId> = report.findings.iter().map(|f| f.rule).collect();
+    assert!(
+        rules.contains(&RuleId::AtomicOrdering),
+        "a reasonless allow is inert: the finding it would cover surfaces too ({rules:?})"
+    );
+    assert_eq!(report.findings.len(), 2);
+}
+
+#[test]
+fn unknown_rule_fires_once() {
+    let report =
+        fires_once("unknown_rule.rs", &ctx("dime-core", FileKind::Lib, false), RuleId::UnknownRule);
+    assert_eq!(report.findings.len(), 1);
+}
+
+#[test]
+fn unused_suppression_fires_once() {
+    let report = fires_once(
+        "unused_suppression.rs",
+        &ctx("dime-serve", FileKind::Lib, false),
+        RuleId::UnusedSuppression,
+    );
+    assert_eq!(report.findings.len(), 1);
+}
+
+#[test]
+fn every_rule_has_a_fixture_test() {
+    // The catalog and this file move together: a new rule must seed a
+    // fixture in which it fires exactly once.
+    let covered = [
+        RuleId::PanicInService,
+        RuleId::AtomicOrdering,
+        RuleId::FsyncBeforeRename,
+        RuleId::WallClockInCore,
+        RuleId::ForbidUnsafeDrift,
+        RuleId::StdoutInLib,
+        RuleId::SuppressionMissingReason,
+        RuleId::UnknownRule,
+        RuleId::UnusedSuppression,
+    ];
+    for rule in dime_check::ALL_RULES {
+        assert!(covered.contains(&rule), "rule {} has no fixture", rule.name());
+    }
+}

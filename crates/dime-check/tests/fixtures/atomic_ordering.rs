@@ -1,0 +1,17 @@
+//! Fixture: `atomic-ordering` fires exactly once — the unannotated
+//! `Relaxed` load. The annotated one below it is suppressed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn read(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}
+
+pub fn read_annotated(c: &AtomicU64) -> u64 {
+    // dime-check: allow(atomic-ordering) — fixture counter, no ordering dependency
+    c.load(Ordering::Relaxed)
+}
+
+pub fn read_ordered(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Acquire)
+}

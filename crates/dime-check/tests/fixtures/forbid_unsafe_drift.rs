@@ -1,0 +1,5 @@
+//! Fixture: `forbid-unsafe-drift` fires exactly once — this file is
+//! analyzed as a crate root (`src/lib.rs`) and carries no
+//! `#![forbid(unsafe_code)]`.
+
+pub fn harmless() {}

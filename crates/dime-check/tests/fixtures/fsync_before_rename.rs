@@ -1,0 +1,16 @@
+//! Fixture: `fsync-before-rename` fires exactly once — the rename with
+//! no earlier fsync in its function. The second function satisfies the
+//! contract.
+
+use std::fs::{self, File};
+use std::io;
+use std::path::Path;
+
+pub fn unsynced_swap(dir: &Path) -> io::Result<()> {
+    fs::rename(dir.join("tmp"), dir.join("cur"))
+}
+
+pub fn synced_swap(file: &File, dir: &Path) -> io::Result<()> {
+    file.sync_all()?;
+    fs::rename(dir.join("tmp"), dir.join("cur"))
+}

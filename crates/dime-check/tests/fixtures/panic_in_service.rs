@@ -1,0 +1,9 @@
+//! Fixture: `panic-in-service` fires exactly once (analyzed as
+//! `dime-serve` library code by `tests/fixtures.rs`; this directory is
+//! excluded from the workspace walk).
+
+pub fn boom(x: Option<u32>) -> u32 {
+    // `.unwrap_or(…)` and friends are fine; only the panicking call fires.
+    let _ = x.unwrap_or(0);
+    x.unwrap()
+}

@@ -1,0 +1,8 @@
+//! Fixture: `stdout-in-lib` fires exactly once — the `println!`.
+//! `eprintln!` (diagnostics) and formatting macros stay silent.
+
+pub fn log(msg: &str) {
+    println!("{msg}");
+    eprintln!("{msg}");
+    let _ = format!("{msg}");
+}

@@ -1,0 +1,11 @@
+//! Fixture: `suppression-missing-reason` fires exactly once — the allow
+//! names a real rule and would cover the `Relaxed` below it, but gives
+//! no reason, so it is inert and diagnosed (the covered finding is also
+//! surfaced; the test pins both).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn read(c: &AtomicU64) -> u64 {
+    // dime-check: allow(atomic-ordering)
+    c.load(Ordering::Relaxed)
+}

@@ -1,0 +1,4 @@
+//! Fixture: `unknown-rule` fires exactly once — the allow names a rule
+//! that does not exist.
+
+pub fn fine() {} // dime-check: allow(no-such-rule) — a reason that helps nothing

@@ -1,0 +1,5 @@
+//! Fixture: `unused-suppression` fires exactly once — a fully valid
+//! allow that covers no finding on its target line.
+
+// dime-check: allow(panic-in-service) — nothing on the next line can panic
+pub fn fine() {}

@@ -1,0 +1,19 @@
+//! Fixture: `wall-clock-in-core` fires exactly once — `Instant::now()`
+//! in library code of a non-exempt crate. The test copy of the same call
+//! is scoped out.
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = Instant::now();
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the lexer: on arbitrary input — well-formed or
+//! garbage — lexing must never panic, and the token stream must tile the
+//! input exactly (every byte belongs to at most one token, offsets are
+//! monotone, and token boundaries land on `char` boundaries).
+//!
+//! Inputs are built two ways: concatenations of Rust-ish fragments
+//! (strings, raw strings, comments, char literals, lifetimes — the
+//! constructs whose lexing is subtle), and raw near-ASCII soup. The
+//! strategies stay within the offline proptest stub's subset: `Just`,
+//! `prop_oneof!`, `collection::vec`, `prop_map`, and one-char-class
+//! regexes.
+
+use dime_check::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("fn main() {}".to_string()),
+        Just("\"a string\"".to_string()),
+        Just("\"esc \\\" aped\"".to_string()),
+        Just("r\"raw\"".to_string()),
+        Just("r#\"raw # quote\"#".to_string()),
+        Just("r##\"deeper \"# still\"##".to_string()),
+        Just("b\"bytes\"".to_string()),
+        Just("br#\"raw bytes\"#".to_string()),
+        Just("'c'".to_string()),
+        Just("'\\n'".to_string()),
+        Just("'static".to_string()),
+        Just("<'a>".to_string()),
+        Just("// line comment\n".to_string()),
+        Just("/* block */".to_string()),
+        Just("/* outer /* nested */ outer */".to_string()),
+        Just("/* unterminated".to_string()),
+        Just("\"unterminated".to_string()),
+        Just("r#\"unterminated".to_string()),
+        Just("r#ident".to_string()),
+        Just("0x1F_u64".to_string()),
+        Just("1.5e-3".to_string()),
+        Just("dime-check: allow(panic-in-service) — why".to_string()),
+        Just("…—é".to_string()),
+        Just("#![forbid(unsafe_code)]".to_string()),
+        "[ -~]{0,6}".prop_map(|s: String| s),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn lexing_fragment_soup_never_panics_and_tiles_the_input(
+        parts in proptest::collection::vec(fragment(), 0..24)
+    ) {
+        check_tiling(&parts.concat());
+    }
+
+    #[test]
+    fn lexing_ascii_soup_never_panics_and_tiles_the_input(
+        src in "[ -~]{0,64}"
+    ) {
+        check_tiling(&src);
+    }
+}
+
+fn check_tiling(src: &str) {
+    let tokens = lex(src);
+    let mut prev_end = 0usize;
+    for t in &tokens {
+        prop_assert_is_fine(t.start < t.end, "empty token");
+        prop_assert_is_fine(t.start >= prev_end, "overlapping tokens");
+        prop_assert_is_fine(t.end <= src.len(), "token past the end");
+        prop_assert_is_fine(src.is_char_boundary(t.start), "start off char boundary");
+        prop_assert_is_fine(src.is_char_boundary(t.end), "end off char boundary");
+        prop_assert_is_fine(!t.text(src).is_empty(), "text() must resolve");
+        prev_end = t.end;
+    }
+    // The gaps between tokens are pure whitespace: reassembling tokens and
+    // whitespace must reproduce the source byte-for-byte.
+    let mut rebuilt = String::new();
+    let mut at = 0usize;
+    for t in &tokens {
+        rebuilt.push_str(src.get(at..t.start).unwrap_or(""));
+        rebuilt.push_str(t.text(src));
+        at = t.end;
+    }
+    rebuilt.push_str(src.get(at..).unwrap_or(""));
+    assert_eq!(rebuilt, src, "byte-offset round-trip");
+    for gap in gaps(src, &tokens) {
+        assert!(
+            gap.chars().all(char::is_whitespace),
+            "non-whitespace byte escaped tokenization: {gap:?} in {src:?}"
+        );
+    }
+    let _ = tokens.iter().filter(|t| t.kind == TokenKind::Ident).count();
+}
+
+/// Substrings of `src` not covered by any token.
+fn gaps<'a>(src: &'a str, tokens: &[dime_check::lexer::Token]) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    for t in tokens {
+        if t.start > at {
+            out.extend(src.get(at..t.start));
+        }
+        at = t.end;
+    }
+    if at < src.len() {
+        out.extend(src.get(at..));
+    }
+    out
+}
+
+/// A plain assert with a label (the stub's `prop_assert!` works too, but
+/// a uniform helper keeps the property readable).
+fn prop_assert_is_fine(cond: bool, what: &str) {
+    assert!(cond, "{what}");
+}

@@ -129,6 +129,7 @@ impl ConcurrentUnionFind {
                 .compare_exchange(child as u32, parent as u32, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
+                // dime-check: allow(atomic-ordering) — monotone merge counter; correctness rides on the AcqRel CAS above
                 self.merges.fetch_add(1, Ordering::Relaxed);
                 return true;
             }
@@ -144,6 +145,7 @@ impl ConcurrentUnionFind {
     /// this equals `len() - component_count()` exactly, whatever the
     /// interleaving — the observability layer's "union-find merges".
     pub fn merge_count(&self) -> u64 {
+        // dime-check: allow(atomic-ordering) — counter read after workers join; the join is the synchronization point
         self.merges.load(Ordering::Relaxed)
     }
 

@@ -37,9 +37,16 @@ pub struct InvertedIndex {
 }
 
 impl Clone for InvertedIndex {
+    /// Cloning requires `&mut`-free access, so the probe counter is read
+    /// atomically. The snapshot is best-effort by design: `probes` is a
+    /// statistics counter with no ordering relationship to `lists` (which
+    /// only changes under `&mut self`), so a clone taken while other
+    /// threads probe may miss their in-flight increments — the count is
+    /// diagnostic, never load-bearing.
     fn clone(&self) -> Self {
         Self {
             lists: self.lists.clone(),
+            // dime-check: allow(atomic-ordering) — best-effort snapshot of a diagnostic counter; lists is quiescent under &mut elsewhere
             probes: AtomicU64::new(self.probes.load(Ordering::Relaxed)),
         }
     }
@@ -72,6 +79,7 @@ impl InvertedIndex {
 
     /// The inverted list for `signature`, if any. Counted as one probe.
     pub fn list(&self, signature: u64) -> Option<&[u32]> {
+        // dime-check: allow(atomic-ordering) — monotone probe counter; no reader orders against it
         self.probes.fetch_add(1, Ordering::Relaxed);
         self.lists.get(&signature).map(Vec::as_slice)
     }
@@ -79,6 +87,7 @@ impl InvertedIndex {
     /// Number of point lookups served so far — the observability layer's
     /// "index probe" counter. Monotone for the life of the index.
     pub fn probe_count(&self) -> u64 {
+        // dime-check: allow(atomic-ordering) — monotone counter read for observability; staleness is acceptable
         self.probes.load(Ordering::Relaxed)
     }
 

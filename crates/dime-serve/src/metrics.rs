@@ -86,11 +86,11 @@ impl SessionTotals {
     /// count, which lives in the engine rather than in [`SessionMetrics`]
     /// — into the totals.
     pub fn absorb(&self, m: &SessionMetrics, pairs_verified: u64) {
-        self.requests.fetch_add(m.requests, Ordering::Relaxed);
-        self.entities_added.fetch_add(m.entities_added, Ordering::Relaxed);
-        self.entities_removed.fetch_add(m.entities_removed, Ordering::Relaxed);
-        self.discoveries.fetch_add(m.discoveries, Ordering::Relaxed);
-        self.pairs_verified.fetch_add(pairs_verified, Ordering::Relaxed);
+        self.requests.fetch_add(m.requests, Ordering::Relaxed); // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
+        self.entities_added.fetch_add(m.entities_added, Ordering::Relaxed); // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
+        self.entities_removed.fetch_add(m.entities_removed, Ordering::Relaxed); // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
+        self.discoveries.fetch_add(m.discoveries, Ordering::Relaxed); // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
+        self.pairs_verified.fetch_add(pairs_verified, Ordering::Relaxed); // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
         self.flag_latency.merge(&m.flag_latency);
     }
 }
@@ -119,12 +119,12 @@ pub struct GlobalMetrics {
 impl GlobalMetrics {
     /// Bumps a counter by one.
     pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.fetch_add(1, Ordering::Relaxed); // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
     }
 
     /// Adds `n` to a counter.
     pub fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+        counter.fetch_add(n, Ordering::Relaxed); // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
     }
 
     /// Snapshot of every counter. `sessions_live` and `live` (the live
@@ -133,18 +133,19 @@ impl GlobalMetrics {
     /// reported as banked-from-closed plus live.
     pub fn to_value(&self, sessions_live: u64, live: &SessionTotals) -> Value {
         let total = |closed: &AtomicU64, live: &AtomicU64| {
+            // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
             closed.load(Ordering::Relaxed).saturating_add(live.load(Ordering::Relaxed))
         };
         let flag_latency = self.closed.flag_latency.clone();
         flag_latency.merge(&live.flag_latency);
         json!({
-            "connections": self.connections.load(Ordering::Relaxed),
-            "requests": self.requests.load(Ordering::Relaxed),
-            "errors": self.errors.load(Ordering::Relaxed),
-            "oversized_frames": self.oversized_frames.load(Ordering::Relaxed),
+            "connections": self.connections.load(Ordering::Relaxed), // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
+            "requests": self.requests.load(Ordering::Relaxed), // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
+            "errors": self.errors.load(Ordering::Relaxed), // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
+            "oversized_frames": self.oversized_frames.load(Ordering::Relaxed), // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
             "sessions": {
-                "created": self.sessions_created.load(Ordering::Relaxed),
-                "closed": self.sessions_closed.load(Ordering::Relaxed),
+                "created": self.sessions_created.load(Ordering::Relaxed), // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
+                "closed": self.sessions_closed.load(Ordering::Relaxed), // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
                 "live": sessions_live,
             },
             "session_requests": total(&self.closed.requests, &live.requests),

@@ -465,6 +465,7 @@ impl<R: BufRead> FrameReader<R> {
                         self.discarding = false;
                         return Ok(Frame::Oversized);
                     }
+                    // dime-check: allow(panic-in-service) — pos comes from position() over this very buf, so the range is in bounds
                     self.partial.extend_from_slice(&buf[..pos]);
                     self.inner.consume(pos + 1);
                     if self.partial.len() > self.max_bytes {

@@ -126,6 +126,7 @@ impl Shared {
             shutdown: AtomicBool::new(false),
             config,
             addr,
+            // dime-check: allow(wall-clock-in-core) — uptime epoch for the stats endpoint; never feeds discovery results
             started: Instant::now(),
         })
     }
@@ -498,13 +499,12 @@ fn handle_request(req: &Request, shared: &Shared) -> Response {
         Request::Scrollbar { session, step } => {
             let step = *step;
             with_discovery(shared, *session, |_, d| {
-                if step >= d.steps.len() {
+                let Some(s) = d.steps.get(step) else {
                     return Response::err(
                         ErrorCode::BadRequest,
                         format!("step {step} out of range ({} steps)", d.steps.len()),
                     );
-                }
-                let s = &d.steps[step];
+                };
                 Response::Ok(json!({
                     "step": step,
                     "rules_applied": s.rules_applied,
@@ -590,6 +590,7 @@ fn with_discovery(
     if sess.engine.is_empty() {
         return Response::err(ErrorCode::EmptyGroup, "discovery needs at least one entity");
     }
+    // dime-check: allow(wall-clock-in-core) — latency measurement feeding metrics only, not results
     let start = Instant::now();
     let d = sess.engine.discovery();
     let elapsed = start.elapsed();

@@ -39,6 +39,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     let table = crc_table();
     let mut c = !0u32;
     for &b in bytes {
+        // dime-check: allow(panic-in-service) — index is masked to 0..=255 and the table holds 256 entries
         c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
     !c
@@ -62,24 +63,27 @@ pub enum FrameRead<'a> {
     Corrupt,
 }
 
+/// Reads the little-endian `u32` at `at`, `None` past the end.
+fn le_u32(buf: &[u8], at: usize) -> Option<u32> {
+    let bytes = buf.get(at..at.checked_add(4)?)?;
+    Some(u32::from_le_bytes(bytes.try_into().ok()?))
+}
+
 /// Decodes the frame at the front of `buf`.
 pub fn read_frame(buf: &[u8]) -> FrameRead<'_> {
     if buf.is_empty() {
         return FrameRead::End;
     }
-    if buf.len() < FRAME_HEADER_BYTES {
+    let (Some(len), Some(crc)) = (le_u32(buf, 0), le_u32(buf, 4)) else {
         return FrameRead::Corrupt;
-    }
-    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
-    let crc = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    };
     if len > MAX_PAYLOAD_BYTES {
         return FrameRead::Corrupt;
     }
     let total = FRAME_HEADER_BYTES + len as usize;
-    if buf.len() < total {
+    let Some(payload) = buf.get(FRAME_HEADER_BYTES..total) else {
         return FrameRead::Corrupt;
-    }
-    let payload = &buf[FRAME_HEADER_BYTES..total];
+    };
     if crc32(payload) != crc {
         return FrameRead::Corrupt;
     }

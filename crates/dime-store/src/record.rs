@@ -132,24 +132,25 @@ impl<'a> Cursor<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         let end = self.pos.checked_add(n).ok_or(DecodeError("length overflow"))?;
-        if end > self.buf.len() {
-            return Err(DecodeError("record shorter than its fields"));
-        }
-        let s = &self.buf[self.pos..end];
+        let s = self.buf.get(self.pos..end).ok_or(DecodeError("record shorter than its fields"))?;
         self.pos = end;
         Ok(s)
     }
 
     fn u8(&mut self) -> Result<u8, DecodeError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or(DecodeError("record shorter than its fields"))
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        let bytes =
+            self.take(4)?.try_into().map_err(|_| DecodeError("record shorter than its fields"))?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        let bytes =
+            self.take(8)?.try_into().map_err(|_| DecodeError("record shorter than its fields"))?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     fn count(&mut self) -> Result<u32, DecodeError> {

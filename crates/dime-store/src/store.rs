@@ -44,41 +44,41 @@ pub struct StoreStatsSnapshot {
 
 impl StoreStats {
     pub(crate) fn add_append(&self, bytes: u64) {
-        self.records_appended.fetch_add(1, Ordering::Relaxed);
-        self.bytes_appended.fetch_add(bytes, Ordering::Relaxed);
+        self.records_appended.fetch_add(1, Ordering::Relaxed); // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
+        self.bytes_appended.fetch_add(bytes, Ordering::Relaxed); // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
     }
 
     pub(crate) fn bump_snapshots(&self) {
-        self.snapshots_written.fetch_add(1, Ordering::Relaxed);
+        self.snapshots_written.fetch_add(1, Ordering::Relaxed); // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
     }
 
     pub(crate) fn bump_compactions(&self) {
-        self.compactions.fetch_add(1, Ordering::Relaxed);
+        self.compactions.fetch_add(1, Ordering::Relaxed); // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
     }
 
     pub(crate) fn bump_recovered(&self) {
-        self.sessions_recovered.fetch_add(1, Ordering::Relaxed);
+        self.sessions_recovered.fetch_add(1, Ordering::Relaxed); // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
     }
 
     pub(crate) fn bump_truncated(&self) {
-        self.tails_truncated.fetch_add(1, Ordering::Relaxed);
+        self.tails_truncated.fetch_add(1, Ordering::Relaxed); // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
     }
 
     /// Records one failed persistence operation.
     pub fn bump_wal_failures(&self) {
-        self.wal_failures.fetch_add(1, Ordering::Relaxed);
+        self.wal_failures.fetch_add(1, Ordering::Relaxed); // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
     }
 
     /// A consistent-enough point-in-time copy of every counter.
     pub fn snapshot(&self) -> StoreStatsSnapshot {
         StoreStatsSnapshot {
-            records_appended: self.records_appended.load(Ordering::Relaxed),
-            bytes_appended: self.bytes_appended.load(Ordering::Relaxed),
-            snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
-            compactions: self.compactions.load(Ordering::Relaxed),
-            sessions_recovered: self.sessions_recovered.load(Ordering::Relaxed),
-            tails_truncated: self.tails_truncated.load(Ordering::Relaxed),
-            wal_failures: self.wal_failures.load(Ordering::Relaxed),
+            records_appended: self.records_appended.load(Ordering::Relaxed), // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
+            bytes_appended: self.bytes_appended.load(Ordering::Relaxed), // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
+            snapshots_written: self.snapshots_written.load(Ordering::Relaxed), // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
+            compactions: self.compactions.load(Ordering::Relaxed), // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
+            sessions_recovered: self.sessions_recovered.load(Ordering::Relaxed), // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
+            tails_truncated: self.tails_truncated.load(Ordering::Relaxed), // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
+            wal_failures: self.wal_failures.load(Ordering::Relaxed), // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
         }
     }
 }

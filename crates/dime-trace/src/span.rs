@@ -22,6 +22,7 @@ pub fn now_nanos() -> u64 {
 static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
+    // dime-check: allow(atomic-ordering) — id allocator; uniqueness comes from fetch_add atomicity, not ordering
     static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
     static DEPTH: Cell<u32> = const { Cell::new(0) };
 }

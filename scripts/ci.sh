@@ -9,6 +9,10 @@
 #   store-recovery the dime-store fault-injection suite plus the
 #                 SIGKILL-and-restart acceptance test, run by name for
 #                 the same reason
+#   check         dime-check --workspace: the in-repo static analyzer
+#                 (no-panic service path, annotated Relaxed orderings,
+#                 fsync-before-rename, wall-clock scoping, forbid(unsafe)
+#                 drift, stdout hygiene) with zero unsuppressed findings
 #   clippy        lint-clean across all targets, warnings denied
 #   bench-smoke   exp_check --smoke: the three engines must agree on a
 #                 tiny generated group inside a generous time ceiling
@@ -27,7 +31,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-STAGES=(fmt build test serve-e2e store-recovery clippy bench-smoke bench-json offline-build)
+STAGES=(fmt build test serve-e2e store-recovery check clippy bench-smoke bench-json offline-build)
 
 run_fmt() { cargo fmt --all --check; }
 run_build() { cargo build --release; }
@@ -41,6 +45,9 @@ run_serve_e2e() { cargo test -q --test serve; }
 # the persistence-boundary oracle proptest, and the kill -9 / restart
 # equivalence test against a real server process.
 run_store_recovery() { cargo test -q -p dime-store && cargo test -q --test store_recovery; }
+# The repo's own rule engine: exits non-zero on any unsuppressed finding,
+# so a deleted allow or a re-introduced violation fails CI here.
+run_check() { cargo run -q --release -p dime-check -- --workspace; }
 run_clippy() { cargo clippy --workspace --all-targets -- -D warnings; }
 # Engine-agreement smoke: naive, fast, and parallel must produce
 # bit-identical discoveries on a small DBGen group, under a time ceiling.
@@ -92,6 +99,7 @@ run_stage() {
     test) run_test ;;
     serve-e2e) run_serve_e2e ;;
     store-recovery) run_store_recovery ;;
+    check) run_check ;;
     clippy) run_clippy ;;
     bench-smoke) run_bench_smoke ;;
     bench-json) run_bench_json ;;

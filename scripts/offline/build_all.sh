@@ -46,9 +46,11 @@ E_data="--extern dime_data=libdime_data.rlib"
 E_serve="--extern dime_serve=libdime_serve.rlib"
 E_bench="--extern dime_bench=libdime_bench.rlib"
 E_dime="--extern dime=libdime.rlib"
+E_check="--extern dime_check=libdime_check.rlib"
 
 # 2. Workspace libraries, dependency order.
 lib dime_text     $R/crates/dime-text/src/lib.rs
+lib dime_check    $R/crates/dime-check/src/lib.rs
 lib dime_index    $R/crates/dime-index/src/lib.rs
 lib dime_trace    $R/crates/dime-trace/src/lib.rs
 lib dime_store    $R/crates/dime-store/src/lib.rs
@@ -64,6 +66,7 @@ lib dime          $R/src/lib.rs                      $E_core $E_text $E_ont $E_i
 
 # 3. Unit-test binaries.
 tst dime_text     $R/crates/dime-text/src/lib.rs
+tst dime_check    $R/crates/dime-check/src/lib.rs
 tst dime_index    $R/crates/dime-index/src/lib.rs
 tst dime_trace    $R/crates/dime-trace/src/lib.rs
 tst dime_store    $R/crates/dime-store/src/lib.rs
@@ -84,6 +87,8 @@ tst serve          $R/tests/serve.rs                  $ALL_E
 tst serve_protocol $R/crates/dime-serve/tests/protocol.rs $E_serve $E_core $E_data $E_text
 tst store_fault    $R/crates/dime-store/tests/fault_injection.rs $E_store
 tst store_oracle   $R/crates/dime-store/tests/oracle.rs    $E_store $E_core $E_text
+tst check_fixtures $R/crates/dime-check/tests/fixtures.rs  $E_check
+tst check_lexer_prop $R/crates/dime-check/tests/lexer_prop.rs $E_check
 
 # 5. Binaries, benches, examples.
 for b in $R/crates/dime-bench/src/bin/*.rs; do
@@ -98,6 +103,16 @@ for b in $R/crates/dime-bench/benches/*.rs; do
 done
 $RC $R/src/bin/dime.rs --crate-name dime_cli $X $ALL_E -o bin_dime
 echo "bin dime OK"
+$RC $R/crates/dime-check/src/main.rs --crate-name dime_check $E_check -o bin_dime_check
+echo "bin dime-check OK"
+# The analyzer gates the offline path too: zero unsuppressed findings
+# over the workspace, and the per-rule fixtures still fire.
+./bin_dime_check --root "$R" --workspace
+echo "dime-check workspace OK"
+DIME_CHECK_ROOT="$R" ./dime_check_test -q
+DIME_CHECK_ROOT="$R" ./check_fixtures_test -q
+DIME_CHECK_ROOT="$R" ./check_lexer_prop_test -q
+echo "dime-check tests OK"
 # The CLI test harness locates the binary through this compile-time env var.
 CARGO_BIN_EXE_dime="$OUT/bin_dime" $RC --test $R/tests/cli.rs --crate-name cli_test $X $ALL_E -o cli_test
 echo "test-bin cli OK"

@@ -1,0 +1,74 @@
+//! Criterion microbenchmarks for the verify-path kernels: bit-parallel
+//! Myers edit distance vs the DP oracle, and galloping / bitset set
+//! intersection vs the merge pass. `exp_micro` reports the same kernels as
+//! ns/pair JSON; this harness gives the statistically-sampled view.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dime_text::{
+    block_build_into, block_intersection_size, edit_distance, edit_distance_leq,
+    intersection_size_gallop, intersection_size_merge, levenshtein, levenshtein_leq,
+};
+
+fn bench_edit_kernels(c: &mut Criterion) {
+    let a = "discovering mis-categorized entities in large catalogs";
+    let b = "discovering miscategorised entities in larger catalogs";
+    let long_a: String = a.repeat(8);
+    let long_b: String = b.repeat(8);
+    let mut g = c.benchmark_group("edit_kernels");
+    g.bench_function("dp_full_54", |bench| bench.iter(|| levenshtein(black_box(a), black_box(b))));
+    g.bench_function("myers_word_54", |bench| {
+        bench.iter(|| edit_distance(black_box(a), black_box(b)))
+    });
+    g.bench_function("dp_leq3_54", |bench| {
+        bench.iter(|| levenshtein_leq(black_box(a), black_box(b), 3))
+    });
+    g.bench_function("myers_leq3_54", |bench| {
+        bench.iter(|| edit_distance_leq(black_box(a), black_box(b), 3))
+    });
+    g.bench_function("dp_full_432", |bench| {
+        bench.iter(|| levenshtein(black_box(&long_a), black_box(&long_b)))
+    });
+    g.bench_function("myers_blocked_432", |bench| {
+        bench.iter(|| edit_distance(black_box(&long_a), black_box(&long_b)))
+    });
+    g.finish();
+}
+
+fn bench_set_kernels(c: &mut Criterion) {
+    let small: Vec<u32> = (0..8).map(|x| x * 131).collect();
+    let large: Vec<u32> = (0..2048).map(|x| x * 3 + 1).collect();
+    let dense_a: Vec<u32> = (0..256).collect();
+    let dense_b: Vec<u32> = (64..320).collect();
+    let (mut keys, mut words) = (Vec::new(), Vec::new());
+    block_build_into(&dense_a, &mut keys, &mut words);
+    let a_blocks = keys.len();
+    block_build_into(&dense_b, &mut keys, &mut words);
+    let mut g = c.benchmark_group("set_kernels");
+    g.bench_function("merge_8x2048", |bench| {
+        bench.iter(|| intersection_size_merge(black_box(&small), black_box(&large)))
+    });
+    g.bench_function("gallop_8x2048", |bench| {
+        bench.iter(|| intersection_size_gallop(black_box(&small), black_box(&large)))
+    });
+    g.bench_function("merge_dense_256", |bench| {
+        bench.iter(|| intersection_size_merge(black_box(&dense_a), black_box(&dense_b)))
+    });
+    g.bench_function("bitset_dense_256", |bench| {
+        bench.iter(|| {
+            block_intersection_size(
+                black_box(&keys[..a_blocks]),
+                black_box(&words[..a_blocks]),
+                black_box(&keys[a_blocks..]),
+                black_box(&words[a_blocks..]),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_edit_kernels, bench_set_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,213 @@
+//! Similarity-kernel microbenchmark driver — ns/pair for every similarity
+//! family, old kernel vs new kernel side by side.
+//!
+//! The verify phase of DIME⁺ is a tight loop over per-pair similarity
+//! calls, so its ceiling is exactly these numbers: the scalar DP vs the
+//! bit-parallel Myers kernel for edit predicates, the merge pass vs the
+//! galloping and bitset kernels for set predicates, and the pointer-walk
+//! LCA for ontology predicates. Each row reports nanoseconds per pair over
+//! `--pairs` evaluations (default 200 000), with a checksum accumulated
+//! across calls so the optimizer cannot discard the work.
+//!
+//! Writes the machine-readable summary to `results/BENCH_micro.json` so CI
+//! tracks kernel regressions alongside the end-to-end throughput numbers.
+//!
+//! Flags: `--pairs N` (default 200000), `--out PATH` (default
+//! `results/BENCH_micro.json`).
+
+use dime_bench::{arg_or, Table};
+use dime_ontology::{ontology_similarity, Ontology};
+use dime_text::{
+    block_build_into, block_intersection_size, cosine, dice, edit_distance, edit_distance_leq,
+    edit_similarity, intersection_size, intersection_size_gallop, intersection_size_merge, jaccard,
+    levenshtein, levenshtein_leq, overlap,
+};
+use serde_json::{json, Value};
+use std::time::Instant;
+
+/// One measured kernel: family, kernel name, and ns per pair.
+struct Row {
+    family: &'static str,
+    kernel: &'static str,
+    ns_per_pair: f64,
+    checksum: f64,
+}
+
+/// Times `f` over `pairs` calls; the f64 returns are summed into a
+/// checksum that keeps the calls observable.
+fn time_pairs(
+    family: &'static str,
+    kernel: &'static str,
+    pairs: usize,
+    mut f: impl FnMut(usize) -> f64,
+) -> Row {
+    // Warm-up: populate thread-local scratch and caches.
+    let mut warm = 0.0f64;
+    for i in 0..pairs.min(100) {
+        warm += f(i);
+    }
+    std::hint::black_box(warm);
+    let mut checksum = 0.0f64;
+    let t0 = Instant::now();
+    for i in 0..pairs {
+        checksum += f(i);
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / pairs as f64;
+    Row { family, kernel, ns_per_pair: ns, checksum }
+}
+
+/// Deterministic 64-bit mixer for synthetic data (no RNG dependency).
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A sorted deduplicated id set of `len` elements spread over `universe`.
+fn id_set(seed: u64, len: usize, universe: u32) -> Vec<u32> {
+    let mut v: Vec<u32> = (0..len as u64 * 2).map(|i| mix(seed ^ i) as u32 % universe).collect();
+    v.sort_unstable();
+    v.dedup();
+    v.truncate(len);
+    v
+}
+
+fn ascii_string(seed: u64, len: usize) -> String {
+    (0..len as u64).map(|i| char::from(b'a' + (mix(seed ^ i) % 26) as u8)).collect()
+}
+
+fn main() {
+    let pairs: usize = arg_or("pairs", 200_000);
+    let out: String = arg_or("out", "results/BENCH_micro.json".to_string());
+    let mut rows: Vec<Row> = Vec::new();
+
+    // ---- Set families. Three pair shapes: balanced author-list-sized
+    // sets (the common verify case), heavily skewed sizes (gallop's home
+    // turf), and dense clustered ids (the bitset case).
+    let bal_a = id_set(1, 40, 4096);
+    let bal_b = id_set(2, 40, 4096);
+    let skew_small = id_set(3, 8, 1 << 20);
+    let skew_large = id_set(4, 2048, 1 << 20);
+    let dense_a: Vec<u32> = (0..256).collect();
+    let dense_b: Vec<u32> = (64..320).collect();
+    let (mut keys, mut words) = (Vec::new(), Vec::new());
+    block_build_into(&dense_a, &mut keys, &mut words);
+    let a_blocks = keys.len();
+    block_build_into(&dense_b, &mut keys, &mut words);
+    let (ak, aw) = (&keys[..a_blocks], &words[..a_blocks]);
+    let (bk, bw) = (&keys[a_blocks..], &words[a_blocks..]);
+
+    rows.push(time_pairs("set", "merge_40x40", pairs, |_| {
+        intersection_size_merge(&bal_a, &bal_b) as f64
+    }));
+    rows.push(time_pairs("set", "merge_8x2048", pairs, |_| {
+        intersection_size_merge(&skew_small, &skew_large) as f64
+    }));
+    rows.push(time_pairs("set", "gallop_8x2048", pairs, |_| {
+        intersection_size_gallop(&skew_small, &skew_large) as f64
+    }));
+    rows.push(time_pairs("set", "merge_dense_256", pairs, |_| {
+        intersection_size_merge(&dense_a, &dense_b) as f64
+    }));
+    rows.push(time_pairs("set", "bitset_dense_256", pairs, |_| {
+        block_intersection_size(ak, aw, bk, bw) as f64
+    }));
+    rows.push(time_pairs("set", "adaptive_8x2048", pairs, |_| {
+        intersection_size(&skew_small, &skew_large) as f64
+    }));
+    rows.push(time_pairs("overlap", "adaptive_40x40", pairs, |_| overlap(&bal_a, &bal_b)));
+    rows.push(time_pairs("jaccard", "adaptive_40x40", pairs, |_| jaccard(&bal_a, &bal_b)));
+    rows.push(time_pairs("dice", "adaptive_40x40", pairs, |_| dice(&bal_a, &bal_b)));
+    rows.push(time_pairs("cosine", "adaptive_40x40", pairs, |_| cosine(&bal_a, &bal_b)));
+
+    // ---- Edit families. A title-sized ASCII pair (the single-word Myers
+    // case), a long pair (the blocked case), and a unicode pair (the
+    // char-slice case).
+    let t_a = ascii_string(5, 48);
+    let t_b = {
+        // ~6 scattered substitutions away from t_a.
+        let mut s: Vec<u8> = t_a.clone().into_bytes();
+        for i in [3usize, 11, 19, 27, 35, 43] {
+            s[i] = b'z';
+        }
+        String::from_utf8(s).expect("ascii edits stay utf8")
+    };
+    let long_a = ascii_string(6, 400);
+    let long_b = ascii_string(7, 400);
+    let uni_a: String = t_a.chars().map(|c| if c == 'a' { 'ä' } else { c }).collect();
+    let uni_b: String = t_b.chars().map(|c| if c == 'a' { 'ä' } else { c }).collect();
+
+    rows.push(time_pairs("edit_distance", "dp_48", pairs, |_| levenshtein(&t_a, &t_b) as f64));
+    rows.push(time_pairs("edit_distance", "myers_48", pairs, |_| edit_distance(&t_a, &t_b) as f64));
+    rows.push(time_pairs("edit_distance", "dp_leq3_48", pairs, |_| {
+        levenshtein_leq(&t_a, &t_b, 3).map_or(-1.0, |d| d as f64)
+    }));
+    rows.push(time_pairs("edit_distance", "myers_leq3_48", pairs, |_| {
+        edit_distance_leq(&t_a, &t_b, 3).map_or(-1.0, |d| d as f64)
+    }));
+    rows.push(time_pairs("edit_distance", "dp_400", pairs / 10 + 1, |_| {
+        levenshtein(&long_a, &long_b) as f64
+    }));
+    rows.push(time_pairs("edit_distance", "myers_blocked_400", pairs, |_| {
+        edit_distance(&long_a, &long_b) as f64
+    }));
+    rows.push(time_pairs("edit_distance", "myers_unicode_48", pairs, |_| {
+        edit_distance(&uni_a, &uni_b) as f64
+    }));
+    rows.push(time_pairs("edit_similarity", "myers_48", pairs, |_| edit_similarity(&t_a, &t_b)));
+
+    // ---- Ontology: depth-4 LCA walk, the `f_on` of the paper.
+    let mut ont = Ontology::new("root");
+    let mut leaves = Vec::new();
+    for f in 0..4 {
+        for s in 0..5 {
+            for v in 0..8 {
+                leaves.push(ont.add_path(&[
+                    &format!("field-{f}"),
+                    &format!("sub-{f}-{s}"),
+                    &format!("venue-{f}-{s}-{v}"),
+                ]));
+            }
+        }
+    }
+    let (la, lb) = (leaves[0], leaves[leaves.len() - 1]);
+    let (lc, ld) = (leaves[1], leaves[2]);
+    rows.push(time_pairs("ontology", "lca_far", pairs, |_| ontology_similarity(&ont, la, lb)));
+    rows.push(time_pairs("ontology", "lca_near", pairs, |_| ontology_similarity(&ont, lc, ld)));
+
+    // ---- Report.
+    let mut table = Table::new(&["family", "kernel", "ns/pair"]);
+    for r in &rows {
+        table.row(vec![
+            r.family.to_string(),
+            r.kernel.to_string(),
+            format!("{:.1}", r.ns_per_pair),
+        ]);
+    }
+    table.print();
+    let checksum: f64 = rows.iter().map(|r| r.checksum).sum();
+    println!("checksum {checksum:.3}");
+
+    let kernels: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            json!({
+                "family": r.family,
+                "kernel": r.kernel,
+                "ns_per_pair": (r.ns_per_pair * 10.0).round() / 10.0,
+            })
+        })
+        .collect();
+    let doc = json!({
+        "bench": "micro",
+        "pairs": pairs,
+        "kernels": kernels,
+    });
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, serde_json::to_string_pretty(&doc).expect("serialize"))
+        .expect("write BENCH_micro.json");
+    println!("wrote {out}");
+}

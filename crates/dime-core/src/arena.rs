@@ -1,0 +1,617 @@
+//! Pointer-free verification arena for the DIME⁺ candidate loops.
+//!
+//! [`VerifyArena`] interns every attribute value of a [`Group`] into
+//! contiguous packed buffers at build time — token ids, ASCII bytes,
+//! decoded chars, 64-bit bitset blocks for dense token sets, and
+//! root-to-node ontology ancestor paths — addressed by
+//! `slot = entity_id · attr_count + attr` with `(offset, len)` spans.
+//! Verification then touches only `u32` ids and packed slices: no `String`
+//! pointer chasing, no per-pair char decoding, no hash lookups.
+//!
+//! Every kernel is *bit-identical* to the scalar [`Rule::eval`] /
+//! [`Rule::cost`] path:
+//!
+//! * set similarities produce the same intersection integer (merge, gallop
+//!   and bitset kernels agree exactly) and funnel it through the same
+//!   `*_counts` f64 expressions;
+//! * edit predicates go through the same [`EditCheck`] integer cutoffs and
+//!   the same bounded kernels the scalar path uses;
+//! * ontology similarity recomputes `2·depth(lca)/(d_a + d_b)` from packed
+//!   ancestor paths, whose common-prefix length equals the LCA depth.
+
+use crate::entity::Group;
+use crate::rule::{
+    edit_distance_check, edit_similarity_check, EditCheck, Polarity, Predicate, Rule, SimilarityFn,
+};
+use dime_ontology::NodeId;
+use dime_text::{
+    block_build_into, block_intersection_size, cosine_counts, dice_counts, edit_distance_leq_bytes,
+    edit_distance_leq_chars, intersection_size_gallop, intersection_size_merge, jaccard_counts,
+    overlap_counts, TokenId,
+};
+
+/// Size-ratio cutover to the galloping kernel; mirrors the dispatch inside
+/// [`dime_text::intersection_size`].
+const GALLOP_RATIO: usize = 16;
+/// Token sets smaller than this never get a bitset representation — the
+/// merge pass already finishes in a handful of comparisons.
+const DENSE_MIN_TOKENS: usize = 8;
+/// Minimum average ids per 64-bit block for a set to count as *dense*
+/// (below this, the popcount walk touches more words than merge would).
+const DENSE_IDS_PER_BLOCK: usize = 2;
+
+/// `(offset, len)` into one of the packed buffers, in element units.
+type Span = (u32, u32);
+
+#[inline]
+fn slice<T>(buf: &[T], span: Span) -> &[T] {
+    let (o, l) = (span.0 as usize, span.1 as usize);
+    &buf[o..o + l]
+}
+
+/// The packed, immutable verification view of a [`Group`].
+///
+/// Build once per discovery run (inside the `signature_build` phase), then
+/// evaluate rules by entity id via [`VerifyArena::eval_rule`] /
+/// [`VerifyArena::rule_cost`]. The arena owns plain `Vec`s only, so shared
+/// references are `Sync` and the parallel engine's scoped workers can
+/// verify against one arena concurrently.
+pub(crate) struct VerifyArena {
+    /// Attributes per entity (`slot = eid · attrs + attr`).
+    attrs: usize,
+    /// Whether each attribute has an attached ontology.
+    has_ontology: Vec<bool>,
+    token_span: Vec<Span>,
+    tokens: Vec<TokenId>,
+    /// Valid only where `is_ascii` (empty span otherwise).
+    byte_span: Vec<Span>,
+    bytes: Vec<u8>,
+    /// Valid for every slot (ASCII text is re-encoded as chars too, so
+    /// mixed pairs need no per-pair decoding).
+    char_span: Vec<Span>,
+    chars: Vec<char>,
+    char_len: Vec<u32>,
+    is_ascii: Vec<bool>,
+    /// Bitset blocks, present only for dense token sets (empty span
+    /// otherwise); keys are sorted `id >> 6` block indices.
+    block_span: Vec<Span>,
+    block_keys: Vec<TokenId>,
+    block_words: Vec<u64>,
+    /// Root-to-node ancestor path, present when the attribute has an
+    /// ontology and the value resolved to a node (empty span otherwise).
+    anc_span: Vec<Span>,
+    anc: Vec<NodeId>,
+    /// The `depth(node)` term of the ontology cost model (1 when the node
+    /// or the ontology is missing, matching the scalar `unwrap_or(1)`).
+    node_depth: Vec<u32>,
+}
+
+impl VerifyArena {
+    /// Interns the whole group. `O(total data)` — one pass over every
+    /// value, no per-pair work afterwards.
+    pub(crate) fn new(group: &Group) -> Self {
+        let attrs = group.schema().len();
+        let slots = group.len() * attrs;
+        let mut a = VerifyArena {
+            attrs,
+            has_ontology: (0..attrs).map(|i| group.ontology(i).is_some()).collect(),
+            token_span: Vec::with_capacity(slots),
+            tokens: Vec::new(),
+            byte_span: Vec::with_capacity(slots),
+            bytes: Vec::new(),
+            char_span: Vec::with_capacity(slots),
+            chars: Vec::new(),
+            char_len: Vec::with_capacity(slots),
+            is_ascii: Vec::with_capacity(slots),
+            block_span: Vec::with_capacity(slots),
+            block_keys: Vec::new(),
+            block_words: Vec::new(),
+            anc_span: Vec::with_capacity(slots),
+            anc: Vec::new(),
+            node_depth: Vec::with_capacity(slots),
+        };
+        for e in group.entities() {
+            for (ai, v) in e.values.iter().enumerate() {
+                let start = a.tokens.len();
+                a.tokens.extend_from_slice(&v.tokens);
+                a.token_span.push((start as u32, v.tokens.len() as u32));
+
+                a.char_len.push(v.char_len);
+                a.is_ascii.push(v.is_ascii);
+                if v.is_ascii {
+                    let start = a.bytes.len();
+                    a.bytes.extend_from_slice(v.text.as_bytes());
+                    a.byte_span.push((start as u32, v.text.len() as u32));
+                } else {
+                    a.byte_span.push((0, 0));
+                }
+                let start = a.chars.len();
+                a.chars.extend(v.text.chars());
+                a.char_span.push((start as u32, (a.chars.len() - start) as u32));
+                debug_assert_eq!(a.chars.len() - start, v.char_len as usize);
+
+                let start = a.block_keys.len();
+                if is_dense(&v.tokens) {
+                    block_build_into(&v.tokens, &mut a.block_keys, &mut a.block_words);
+                }
+                a.block_span.push((start as u32, (a.block_keys.len() - start) as u32));
+
+                let start = a.anc.len();
+                let mut depth = 1u32;
+                if let (Some(ont), Some(node)) = (group.ontology(ai), v.node) {
+                    depth = ont.depth(node);
+                    let mut cur = Some(node);
+                    while let Some(nd) = cur {
+                        a.anc.push(nd);
+                        cur = ont.parent(nd);
+                    }
+                    a.anc[start..].reverse();
+                    debug_assert_eq!(a.anc.len() - start, depth as usize);
+                }
+                a.anc_span.push((start as u32, (a.anc.len() - start) as u32));
+                a.node_depth.push(depth);
+            }
+        }
+        a
+    }
+
+    /// Lowers a rule against this arena for the hot candidate loops:
+    /// [`EditCheck`] cutoffs are tabulated for every reachable `max_len`
+    /// (replacing the per-pair guess-then-adjust derivation with one
+    /// indexed load), and predicates are reordered cheapest-kernel-first —
+    /// set/ontology merges before `O(k·len)` edit kernels — so a failing
+    /// cheap conjunct skips the expensive one. A conjunction's evaluation
+    /// order is unobservable, so the boolean (and every counter downstream)
+    /// is identical to [`Self::eval_rule`].
+    pub(crate) fn compile<'r>(&self, rule: &'r Rule) -> CompiledRule<'r> {
+        let cap = self.char_len.iter().copied().max().unwrap_or(0) as usize;
+        let mut preds: Vec<CompiledPred<'r>> = rule
+            .predicates
+            .iter()
+            .map(|p| {
+                let checks = match p.func {
+                    SimilarityFn::EditDistance => {
+                        EditChecks::Fixed(edit_distance_check(p.threshold, rule.polarity))
+                    }
+                    SimilarityFn::EditSimilarity => EditChecks::ByMax(
+                        (0..=cap)
+                            .map(|m| {
+                                if m == 0 {
+                                    // Placeholder: the `max == 0` pair case
+                                    // short-circuits before the table load.
+                                    EditCheck::Always
+                                } else {
+                                    edit_similarity_check(p.threshold, rule.polarity, m)
+                                }
+                            })
+                            .collect(),
+                    ),
+                    _ => EditChecks::None,
+                };
+                CompiledPred { pred: p, checks }
+            })
+            .collect();
+        // Stable partition: non-edit predicates keep their relative order
+        // and run first.
+        preds.sort_by_key(|cp| {
+            matches!(cp.pred.func, SimilarityFn::EditDistance | SimilarityFn::EditSimilarity)
+        });
+        CompiledRule { polarity: rule.polarity, preds }
+    }
+
+    /// [`Self::eval_rule`] over a pre-lowered rule — the same boolean with
+    /// no per-pair cutoff derivation.
+    pub(crate) fn eval_compiled(&self, cr: &CompiledRule<'_>, a: usize, b: usize) -> bool {
+        cr.preds.iter().all(|cp| {
+            let p = cp.pred;
+            match &cp.checks {
+                EditChecks::None => self.eval_pred(p, cr.polarity, a, b),
+                EditChecks::Fixed(check) => {
+                    let sa = a * self.attrs + p.attr;
+                    let sb = b * self.attrs + p.attr;
+                    self.eval_edit(*check, sa, sb)
+                }
+                EditChecks::ByMax(table) => {
+                    let sa = a * self.attrs + p.attr;
+                    let sb = b * self.attrs + p.attr;
+                    let max = self.char_len[sa].max(self.char_len[sb]) as usize;
+                    if max == 0 {
+                        p.holds(1.0, cr.polarity)
+                    } else {
+                        self.eval_edit(table[max], sa, sb)
+                    }
+                }
+            }
+        })
+    }
+
+    /// Evaluates the rule's conjunction on a pair of entity ids; identical
+    /// boolean to `rule.eval(group, group.entity(a), group.entity(b))`.
+    ///
+    /// The engines run [`Self::eval_compiled`]; this uncompiled form is the
+    /// differential oracle the tests pit it against.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn eval_rule(&self, rule: &Rule, a: usize, b: usize) -> bool {
+        rule.predicates.iter().all(|p| self.eval_pred(p, rule.polarity, a, b))
+    }
+
+    /// The rule's verification cost estimate; identical f64 to
+    /// `rule.cost(group, group.entity(a), group.entity(b))`.
+    pub(crate) fn rule_cost(&self, rule: &Rule, a: usize, b: usize) -> f64 {
+        rule.predicates
+            .iter()
+            .map(|p| {
+                let sa = a * self.attrs + p.attr;
+                let sb = b * self.attrs + p.attr;
+                match p.func {
+                    SimilarityFn::Overlap
+                    | SimilarityFn::Jaccard
+                    | SimilarityFn::Dice
+                    | SimilarityFn::Cosine => {
+                        (self.token_span[sa].1 as usize + self.token_span[sb].1 as usize) as f64
+                    }
+                    SimilarityFn::EditSimilarity | SimilarityFn::EditDistance => {
+                        let min = self.char_len[sa].min(self.char_len[sb]) as f64;
+                        (p.threshold.max(1.0)) * min
+                    }
+                    SimilarityFn::Ontology => {
+                        f64::from(self.node_depth[sa]) + f64::from(self.node_depth[sb])
+                    }
+                }
+            })
+            .sum()
+    }
+
+    fn eval_pred(&self, p: &Predicate, polarity: Polarity, a: usize, b: usize) -> bool {
+        let sa = a * self.attrs + p.attr;
+        let sb = b * self.attrs + p.attr;
+        match p.func {
+            SimilarityFn::Overlap => p.holds(overlap_counts(self.inter(sa, sb)), polarity),
+            SimilarityFn::Jaccard => {
+                let (la, lb) = (self.token_span[sa].1 as usize, self.token_span[sb].1 as usize);
+                p.holds(jaccard_counts(self.inter(sa, sb), la, lb), polarity)
+            }
+            SimilarityFn::Dice => {
+                let (la, lb) = (self.token_span[sa].1 as usize, self.token_span[sb].1 as usize);
+                p.holds(dice_counts(self.inter(sa, sb), la, lb), polarity)
+            }
+            SimilarityFn::Cosine => {
+                let (la, lb) = (self.token_span[sa].1 as usize, self.token_span[sb].1 as usize);
+                p.holds(cosine_counts(self.inter(sa, sb), la, lb), polarity)
+            }
+            SimilarityFn::EditSimilarity => {
+                let max = self.char_len[sa].max(self.char_len[sb]) as usize;
+                if max == 0 {
+                    p.holds(1.0, polarity)
+                } else {
+                    self.eval_edit(edit_similarity_check(p.threshold, polarity, max), sa, sb)
+                }
+            }
+            SimilarityFn::EditDistance => {
+                self.eval_edit(edit_distance_check(p.threshold, polarity), sa, sb)
+            }
+            SimilarityFn::Ontology => p.holds(self.ontology_sim(p.attr, sa, sb), polarity),
+        }
+    }
+
+    /// Exact `|a ∩ b|` with per-pair kernel choice: gallop on heavy size
+    /// skew, bitset popcount when both sides are dense, merge otherwise.
+    fn inter(&self, sa: usize, sb: usize) -> usize {
+        let ta = slice(&self.tokens, self.token_span[sa]);
+        let tb = slice(&self.tokens, self.token_span[sb]);
+        let (small, large) = if ta.len() <= tb.len() { (ta, tb) } else { (tb, ta) };
+        if small.is_empty() {
+            return 0;
+        }
+        if large.len() / small.len() >= GALLOP_RATIO {
+            return intersection_size_gallop(small, large);
+        }
+        let (ka, la) = (self.block_span[sa], self.block_span[sb]);
+        if ka.1 > 0 && la.1 > 0 {
+            return block_intersection_size(
+                slice(&self.block_keys, ka),
+                slice(&self.block_words, ka),
+                slice(&self.block_keys, la),
+                slice(&self.block_words, la),
+            );
+        }
+        intersection_size_merge(small, large)
+    }
+
+    fn eval_edit(&self, check: EditCheck, sa: usize, sb: usize) -> bool {
+        match check {
+            EditCheck::Always => true,
+            EditCheck::Never => false,
+            EditCheck::AtMost(k) => self.edit_leq(sa, sb, k).is_some(),
+            EditCheck::AtLeast(k) => k == 0 || self.edit_leq(sa, sb, k - 1).is_none(),
+        }
+    }
+
+    /// Bounded edit distance over the packed text; same dispatch the `&str`
+    /// entry points use (byte kernel iff both sides are ASCII), so the
+    /// result is the identical integer.
+    fn edit_leq(&self, sa: usize, sb: usize, k: usize) -> Option<usize> {
+        if self.is_ascii[sa] && self.is_ascii[sb] {
+            edit_distance_leq_bytes(
+                slice(&self.bytes, self.byte_span[sa]),
+                slice(&self.bytes, self.byte_span[sb]),
+                k,
+            )
+        } else {
+            edit_distance_leq_chars(
+                slice(&self.chars, self.char_span[sa]),
+                slice(&self.chars, self.char_span[sb]),
+                k,
+            )
+        }
+    }
+
+    /// `2·depth(lca)/(d_a + d_b)` from packed ancestor paths. The paths run
+    /// root→node, so their common-prefix length *is* the LCA depth; the f64
+    /// expression then matches `dime_ontology::ontology_similarity_opt`
+    /// term for term.
+    fn ontology_sim(&self, attr: usize, sa: usize, sb: usize) -> f64 {
+        if !self.has_ontology[attr] {
+            return 0.0;
+        }
+        let pa = slice(&self.anc, self.anc_span[sa]);
+        let pb = slice(&self.anc, self.anc_span[sb]);
+        if pa.is_empty() || pb.is_empty() {
+            return 0.0; // a value without a node has no path
+        }
+        let mut cp = 0usize;
+        while cp < pa.len() && cp < pb.len() && pa[cp] == pb[cp] {
+            cp += 1;
+        }
+        let da = pa.len() as f64;
+        let db = pb.len() as f64;
+        2.0 * cp as f64 / (da + db)
+    }
+}
+
+/// A [`Rule`] pre-lowered against one [`VerifyArena`] by
+/// [`VerifyArena::compile`]: tabulated edit cutoffs, cheapest-kernel-first
+/// predicate order. Owns only plain data, so shared references are `Sync`
+/// and one compiled rule serves every parallel verify shard.
+pub(crate) struct CompiledRule<'r> {
+    polarity: Polarity,
+    preds: Vec<CompiledPred<'r>>,
+}
+
+struct CompiledPred<'r> {
+    pred: &'r Predicate,
+    checks: EditChecks,
+}
+
+/// Precomputed [`EditCheck`] cutoffs for one predicate.
+enum EditChecks {
+    /// Non-edit predicate — evaluated through the set/ontology kernels.
+    None,
+    /// `EditDistance`: the cutoff is pair-independent.
+    Fixed(EditCheck),
+    /// `EditSimilarity`: cutoff indexed by the pair's larger char count,
+    /// covering `0..=max(char_len)` over the whole arena.
+    ByMax(Box<[EditCheck]>),
+}
+
+/// Whether a sorted token set is worth a bitset representation.
+fn is_dense(tokens: &[TokenId]) -> bool {
+    if tokens.len() < DENSE_MIN_TOKENS {
+        return false;
+    }
+    let mut blocks = 0usize;
+    let mut prev = TokenId::MAX;
+    for &t in tokens {
+        let key = t >> 6;
+        if key != prev || blocks == 0 {
+            blocks += 1;
+            prev = key;
+        }
+    }
+    tokens.len() >= DENSE_IDS_PER_BLOCK * blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::{GroupBuilder, Schema};
+    use crate::rule::tests::{figure1_group, paper_rules};
+    use dime_text::TokenizerKind;
+    use proptest::prelude::*;
+
+    /// Every similarity function over one schema, both polarities, across a
+    /// threshold sweep — the arena must agree with the scalar path on all.
+    fn all_function_rules() -> Vec<Rule> {
+        let mut rules = Vec::new();
+        for func in [
+            SimilarityFn::Overlap,
+            SimilarityFn::Jaccard,
+            SimilarityFn::Dice,
+            SimilarityFn::Cosine,
+            SimilarityFn::EditSimilarity,
+            SimilarityFn::EditDistance,
+            SimilarityFn::Ontology,
+        ] {
+            for attr in 0..3 {
+                for t in [0.0, 0.25, 0.5, 0.75, 1.0, 2.0] {
+                    rules.push(Rule::positive(vec![Predicate::new(attr, func, t)]));
+                    rules.push(Rule::negative(vec![Predicate::new(attr, func, t)]));
+                }
+            }
+        }
+        rules
+    }
+
+    #[test]
+    fn arena_matches_scalar_on_paper_example() {
+        let g = figure1_group();
+        let arena = VerifyArena::new(&g);
+        let mut rules = all_function_rules();
+        let (pos, neg) = paper_rules();
+        rules.extend(pos);
+        rules.extend(neg);
+        for rule in &rules {
+            let compiled = arena.compile(rule);
+            for a in 0..g.len() {
+                for b in 0..g.len() {
+                    let (ea, eb) = (g.entity(a), g.entity(b));
+                    assert_eq!(
+                        arena.eval_rule(rule, a, b),
+                        rule.eval(&g, ea, eb),
+                        "eval diverged: {rule} on ({a}, {b})"
+                    );
+                    assert_eq!(
+                        arena.eval_compiled(&compiled, a, b),
+                        rule.eval(&g, ea, eb),
+                        "compiled eval diverged: {rule} on ({a}, {b})"
+                    );
+                    let (ca, cs) = (arena.rule_cost(rule, a, b), rule.cost(&g, ea, eb));
+                    assert!(
+                        ca == cs || (ca.is_nan() && cs.is_nan()),
+                        "cost diverged: {rule} on ({a}, {b}): {ca} vs {cs}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_handles_unicode_and_empty_values() {
+        let schema =
+            Schema::new([("Name", TokenizerKind::Words), ("Tags", TokenizerKind::List(','))]);
+        let mut gb = GroupBuilder::new(schema);
+        gb.add_entity(&["özsu tamer", "a, b, c"]);
+        gb.add_entity(&["ozsu tamer", ""]);
+        gb.add_entity(&["", "a, c, d, e"]);
+        gb.add_entity(&["ñandú", "b"]);
+        let g = gb.build();
+        let arena = VerifyArena::new(&g);
+        for func in [
+            SimilarityFn::Overlap,
+            SimilarityFn::Jaccard,
+            SimilarityFn::EditSimilarity,
+            SimilarityFn::EditDistance,
+        ] {
+            for attr in 0..2 {
+                for t in [0.0, 0.4, 0.75, 1.0, 2.0] {
+                    for polarity in [Polarity::Positive, Polarity::Negative] {
+                        let p = Predicate::new(attr, func, t);
+                        let rule = Rule { predicates: vec![p], polarity };
+                        let compiled = arena.compile(&rule);
+                        for a in 0..g.len() {
+                            for b in 0..g.len() {
+                                assert_eq!(
+                                    arena.eval_rule(&rule, a, b),
+                                    rule.eval(&g, g.entity(a), g.entity(b)),
+                                    "{func:?} θ={t} {polarity:?} on ({a}, {b})"
+                                );
+                                assert_eq!(
+                                    arena.eval_compiled(&compiled, a, b),
+                                    rule.eval(&g, g.entity(a), g.entity(b)),
+                                    "compiled {func:?} θ={t} {polarity:?} on ({a}, {b})"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_sets_take_the_bitset_path() {
+        // 64 consecutive token ids → 1-2 blocks, far above the density bar.
+        let dense: Vec<TokenId> = (0..64).collect();
+        assert!(is_dense(&dense));
+        // 8 widely-spread ids → 8 blocks, 1 id per block.
+        let sparse: Vec<TokenId> = (0..8).map(|i| i * 1000).collect();
+        assert!(!is_dense(&sparse));
+        assert!(!is_dense(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn compiled_rules_reorder_but_agree() {
+        let g = figure1_group();
+        let arena = VerifyArena::new(&g);
+        // Edit predicate authored first: the compiled form runs the set
+        // predicate first and must still decide the same conjunction.
+        for polarity in [Polarity::Positive, Polarity::Negative] {
+            let rule = Rule {
+                predicates: vec![
+                    Predicate::new(0, SimilarityFn::EditSimilarity, 0.8),
+                    Predicate::new(1, SimilarityFn::Jaccard, 0.5),
+                ],
+                polarity,
+            };
+            let compiled = arena.compile(&rule);
+            for a in 0..g.len() {
+                for b in 0..g.len() {
+                    assert_eq!(
+                        arena.eval_compiled(&compiled, a, b),
+                        rule.eval(&g, g.entity(a), g.entity(b)),
+                        "compiled reorder diverged: {rule} on ({a}, {b})"
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_arena_matches_scalar(
+            names in proptest::collection::vec("[a-cö ]{0,12}", 2..8),
+            tags in proptest::collection::vec(
+                proptest::collection::vec(0u32..200, 0..40), 8),
+            t in 0.0f64..2.0,
+        ) {
+            let schema = Schema::new([
+                ("Name", TokenizerKind::Words),
+                ("Tags", TokenizerKind::List(',')),
+            ]);
+            let mut gb = GroupBuilder::new(schema);
+            for (name, tag_ids) in names.iter().zip(&tags) {
+                let joined: Vec<String> = tag_ids.iter().map(|x| format!("t{x}")).collect();
+                gb.add_entity(&[name.as_str(), joined.join(", ").as_str()]);
+            }
+            let g = gb.build();
+            let arena = VerifyArena::new(&g);
+            for func in [
+                SimilarityFn::Overlap,
+                SimilarityFn::Jaccard,
+                SimilarityFn::Dice,
+                SimilarityFn::Cosine,
+                SimilarityFn::EditSimilarity,
+                SimilarityFn::EditDistance,
+            ] {
+                for attr in 0..2 {
+                    for polarity in [Polarity::Positive, Polarity::Negative] {
+                        let rule = Rule {
+                            predicates: vec![Predicate::new(attr, func, t)],
+                            polarity,
+                        };
+                        let compiled = arena.compile(&rule);
+                        for a in 0..g.len() {
+                            for b in 0..g.len() {
+                                prop_assert_eq!(
+                                    arena.eval_rule(&rule, a, b),
+                                    rule.eval(&g, g.entity(a), g.entity(b)),
+                                    "{:?} θ={} {:?} on ({}, {})", func, t, polarity, a, b
+                                );
+                                prop_assert_eq!(
+                                    arena.eval_compiled(&compiled, a, b),
+                                    rule.eval(&g, g.entity(a), g.entity(b)),
+                                    "compiled {:?} θ={} {:?} on ({}, {})", func, t, polarity, a, b
+                                );
+                                prop_assert_eq!(
+                                    arena.rule_cost(&rule, a, b),
+                                    rule.cost(&g, g.entity(a), g.entity(b)),
+                                    "cost {:?} on ({}, {})", func, a, b
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -17,6 +17,7 @@
 //!   order, realized as an `O(n log n)` entity-level ordering by shared
 //!   signature mass), stopping at the first satisfied pair.
 
+use crate::arena::{CompiledRule, VerifyArena};
 use crate::discover::{
     check_polarities, cumulate_steps, pick_pivot, Discovery, ScrollStep, Witness,
 };
@@ -154,15 +155,15 @@ pub fn discover_fast_traced(
     if workers > 1 {
         return discover_parallel_impl(group, positive, negative, config, workers, sink);
     }
-    let mut ctx = {
+    let (mut ctx, arena) = {
         let _s = span(sink, "signature_build");
-        SigContext::new(group)
+        (SigContext::new(group), VerifyArena::new(group))
     };
 
     // ---- Step 1: partitions via signature filter + ordered verification.
     let mut uf = UnionFind::new(n);
     for (ri, rule) in positive.iter().enumerate() {
-        verify_positive_rule(group, &mut ctx, rule, &mut uf, config, sink, ri);
+        verify_positive_rule(group, &arena, &mut ctx, rule, &mut uf, config, sink, ri);
     }
     // ---- Step 2: components + pivot partition.
     let (partitions, pivot) = {
@@ -178,7 +179,7 @@ pub fn discover_fast_traced(
     for (ri, rule) in negative.iter().enumerate() {
         let (flags, rule_witnesses) = {
             let _s = span(sink, "flag");
-            flag_partitions_fast(group, &mut ctx, rule, &partitions, pivot, sink)
+            flag_partitions_fast(group, &arena, &mut ctx, rule, &partitions, pivot, sink)
         };
         if sink.enabled() {
             sink.rule_hits(RuleKind::Negative, ri, flags.iter().filter(|&&f| f).count() as u64);
@@ -206,15 +207,17 @@ fn discover_parallel_impl(
     sink: &dyn TraceSink,
 ) -> Discovery {
     let n = group.len();
-    let mut ctx = {
+    let (mut ctx, arena) = {
         let _s = span(sink, "signature_build");
-        SigContext::new(group)
+        (SigContext::new(group), VerifyArena::new(group))
     };
 
     // ---- Step 1: partitions via sharded filter + verification.
     let uf = ConcurrentUnionFind::new(n);
     for (ri, rule) in positive.iter().enumerate() {
-        verify_positive_rule_parallel(group, &mut ctx, rule, &uf, config, workers, sink, ri);
+        verify_positive_rule_parallel(
+            group, &arena, &mut ctx, rule, &uf, config, workers, sink, ri,
+        );
     }
     // ---- Step 2: components + pivot partition.
     let (partitions, pivot) = {
@@ -233,7 +236,7 @@ fn discover_parallel_impl(
     for (ri, rule) in negative.iter().enumerate() {
         let (flags, rule_witnesses) = {
             let _s = span(sink, "flag");
-            flag_partitions_parallel(group, &mut ctx, rule, &partitions, pivot, workers, sink)
+            flag_partitions_parallel(&arena, &mut ctx, rule, &partitions, pivot, workers, sink)
         };
         if sink.enabled() {
             sink.rule_hits(RuleKind::Negative, ri, flags.iter().filter(|&&f| f).count() as u64);
@@ -260,6 +263,7 @@ fn discover_parallel_impl(
 #[allow(clippy::too_many_arguments)] // internal engine body; `ri` and `sink` ride along
 fn verify_positive_rule_parallel(
     group: &Group,
+    arena: &VerifyArena,
     ctx: &mut SigContext<'_>,
     rule: &Rule,
     uf: &ConcurrentUnionFind,
@@ -347,10 +351,9 @@ fn verify_positive_rule_parallel(
     let ordered: Vec<(u32, u32)> = if config.benefit_order {
         let mut keyed: Vec<(f64, u32, u32)> = par_map(candidates.len(), workers, |i| {
             let (a, b, c) = candidates[i];
-            let (ea, eb) = (group.entity(a as usize), group.entity(b as usize));
             let avg = (sig_count[a as usize] + sig_count[b as usize]).max(1) as f64 / 2.0;
             let prob = c as f64 / avg;
-            let cost = rule.cost(group, ea, eb).max(1e-9);
+            let cost = arena.rule_cost(rule, a as usize, b as usize).max(1e-9);
             (prob / cost, a, b)
         });
         keyed.sort_by(|x, y| y.0.total_cmp(&x.0).then_with(|| (x.1, x.2).cmp(&(y.1, y.2))));
@@ -375,6 +378,7 @@ fn verify_positive_rule_parallel(
     // returns its local tally (and its own worker span, so traces show the
     // interleaving across thread ids).
     let verify = span(sink, "verify");
+    let compiled = arena.compile(rule);
     let stripes = if ordered.len() < crate::par::SEQ_CUTOFF { 1 } else { workers };
     let tallies: Vec<VerifyTally> = par_shards(stripes, |shard| {
         let _w = span(sink, "verify_worker");
@@ -385,7 +389,7 @@ fn verify_positive_rule_parallel(
                 continue;
             }
             tally.verified += 1;
-            if rule.eval(group, group.entity(a as usize), group.entity(b as usize)) {
+            if arena.eval_compiled(&compiled, a as usize, b as usize) {
                 tally.hits += 1;
                 uf.union(a as usize, b as usize);
             }
@@ -406,7 +410,7 @@ fn verify_positive_rule_parallel(
 /// scan is independent — and results are collected in partition order, so
 /// flags (and thus `cumulate_steps`) match the sequential engine exactly.
 fn flag_partitions_parallel(
-    group: &Group,
+    arena: &VerifyArena,
     ctx: &mut SigContext<'_>,
     rule: &Rule,
     partitions: &[Vec<usize>],
@@ -444,6 +448,7 @@ fn flag_partitions_parallel(
 
     // Per-partition result plus local counters: (flag, witness,
     // evaluations performed, flagged-by-filter-alone).
+    let compiled = arena.compile(rule);
     let results: Vec<(bool, Option<Witness>, u64, bool)> =
         par_map(partitions.len(), workers, |pi| {
             if pi == pivot {
@@ -472,7 +477,7 @@ fn flag_partitions_parallel(
             for &(_, e) in &part_order {
                 for &(_, p) in &pivot_order {
                     evals += 1;
-                    if rule.eval(group, group.entity(e), group.entity(p)) {
+                    if arena.eval_compiled(&compiled, e, p) {
                         let w = Witness { partition: pi, rule: 0, entity: e, pivot_entity: p };
                         return (true, Some(w), evals, false);
                     }
@@ -492,8 +497,10 @@ fn flag_partitions_parallel(
 
 /// Filter + ordered verification for one positive rule, merging satisfied
 /// pairs into `uf`.
+#[allow(clippy::too_many_arguments)] // internal engine body; `ri` and `sink` ride along
 fn verify_positive_rule(
     group: &Group,
+    arena: &VerifyArena,
     ctx: &mut SigContext<'_>,
     rule: &Rule,
     uf: &mut UnionFind,
@@ -575,10 +582,9 @@ fn verify_positive_rule(
         let mut keyed: Vec<(f64, u32, u32)> = candidates
             .iter()
             .map(|&(a, b, c)| {
-                let (ea, eb) = (group.entity(a as usize), group.entity(b as usize));
                 let avg = (sig_count[a as usize] + sig_count[b as usize]).max(1) as f64 / 2.0;
                 let prob = c as f64 / avg;
-                let cost = rule.cost(group, ea, eb).max(1e-9);
+                let cost = arena.rule_cost(rule, a as usize, b as usize).max(1e-9);
                 (prob / cost, a, b)
             })
             .collect();
@@ -599,9 +605,10 @@ fn verify_positive_rule(
     let mut tally = VerifyTally::default();
     {
         let _s = span(sink, "verify");
+        let compiled = arena.compile(rule);
         for (a, b) in ordered {
             let (a, b) = (a as usize, b as usize);
-            try_union(group, rule, uf, a, b, config.transitivity_skip, &mut tally);
+            try_union(arena, &compiled, uf, a, b, config.transitivity_skip, &mut tally);
         }
     }
     if sink.enabled() {
@@ -638,8 +645,8 @@ impl VerifyTally {
 }
 
 fn try_union(
-    group: &Group,
-    rule: &Rule,
+    arena: &VerifyArena,
+    rule: &CompiledRule<'_>,
     uf: &mut UnionFind,
     a: usize,
     b: usize,
@@ -651,7 +658,7 @@ fn try_union(
         return;
     }
     tally.verified += 1;
-    if rule.eval(group, group.entity(a), group.entity(b)) {
+    if arena.eval_compiled(rule, a, b) {
         tally.hits += 1;
         if uf.union(a, b) {
             tally.merges += 1;
@@ -684,6 +691,7 @@ fn index_lists(index: &InvertedIndex) -> impl Iterator<Item = Vec<u32>> + '_ {
 /// are filled in by the caller).
 pub(crate) fn flag_partitions_fast(
     group: &Group,
+    arena: &VerifyArena,
     ctx: &mut SigContext<'_>,
     rule: &Rule,
     partitions: &[Vec<usize>],
@@ -715,6 +723,7 @@ pub(crate) fn flag_partitions_fast(
     };
 
     let (pivot_sets, pivot_wild) = aggregate(&partitions[pivot]);
+    let compiled = arena.compile(rule);
     let mut flags = vec![false; partitions.len()];
     for (pi, part) in partitions.iter().enumerate() {
         if pi == pivot {
@@ -760,7 +769,7 @@ pub(crate) fn flag_partitions_fast(
         'verify: for &(_, e) in &part_order {
             for &(_, p) in &pivot_order {
                 negative_evals += 1;
-                if rule.eval(group, group.entity(e), group.entity(p)) {
+                if arena.eval_compiled(&compiled, e, p) {
                     flags[pi] = true;
                     witnesses.push(Witness { partition: pi, rule: 0, entity: e, pivot_entity: p });
                     break 'verify;
@@ -1018,6 +1027,32 @@ mod tests {
             let fast = discover_fast(&g, &pos, &neg);
             prop_assert_eq!(&fast, &naive);
             for threads in [1usize, 2, 4] {
+                let par = discover_parallel(&g, &pos, &neg, threads);
+                prop_assert_eq!(&par, &naive, "threads = {}", threads);
+            }
+        }
+
+        /// Engine equivalence with *edit* predicates in play: the fast and
+        /// parallel engines verify through the arena's bounded Myers/banded
+        /// kernels while the naive engine compares the full similarity —
+        /// the discoveries must still be identical (unicode titles
+        /// included, exercising the char-slice kernel).
+        #[test]
+        fn prop_fast_equals_naive_edit_rules(
+            titles in proptest::collection::vec("[a-cö ]{0,10}", 2..10),
+        ) {
+            let lists: Vec<Vec<u32>> = (0..titles.len()).map(|i| vec![i as u32 % 3]).collect();
+            let g = random_group(&lists, &titles);
+            let pos = vec![Rule::positive(vec![
+                Predicate::new(0, SimilarityFn::EditSimilarity, 0.6),
+            ])];
+            let neg = vec![
+                Rule::negative(vec![Predicate::new(0, SimilarityFn::EditSimilarity, 0.2)]),
+                Rule::negative(vec![Predicate::new(0, SimilarityFn::EditDistance, 6.0)]),
+            ];
+            let naive = discover_naive(&g, &pos, &neg);
+            prop_assert_eq!(&discover_fast(&g, &pos, &neg), &naive);
+            for threads in [2usize, 4] {
                 let par = discover_parallel(&g, &pos, &neg, threads);
                 prop_assert_eq!(&par, &naive, "threads = {}", threads);
             }

@@ -75,7 +75,7 @@ impl Schema {
 }
 
 /// One attribute value of an entity, with all three similarity facets.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct AttrValue {
     /// Sorted, deduplicated token ids of the value.
     pub tokens: Vec<TokenId>,
@@ -84,6 +84,28 @@ pub struct AttrValue {
     /// The ontology node this value maps to, when the attribute has an
     /// ontology and the value matched one of its nodes.
     pub node: Option<NodeId>,
+    /// Number of *chars* in `text`, cached at construction. The edit DP
+    /// runs over chars, so cost and threshold math must use this — not
+    /// `text.len()`, which counts bytes and inflates for multi-byte UTF-8.
+    pub char_len: u32,
+    /// Whether `text` is pure ASCII (cached so the verify kernels can pick
+    /// the byte-slice fast path without rescanning).
+    pub is_ascii: bool,
+}
+
+impl AttrValue {
+    /// Builds a value, caching the char length and ASCII-ness of `text`.
+    pub fn new(tokens: Vec<TokenId>, text: String, node: Option<NodeId>) -> Self {
+        let is_ascii = text.is_ascii();
+        let char_len = if is_ascii { text.len() } else { text.chars().count() } as u32;
+        Self { tokens, text, node, char_len, is_ascii }
+    }
+}
+
+impl Default for AttrValue {
+    fn default() -> Self {
+        Self::new(Vec::new(), String::new(), None)
+    }
 }
 
 /// An entity: one row of the multi-valued relation.
@@ -170,7 +192,7 @@ impl Group {
             .map(|((raw, def), &node)| {
                 let toks = def.tokenizer.tokenize(raw);
                 let tokens = self.dictionary.observe(&toks);
-                AttrValue { tokens, text: raw.trim().to_lowercase(), node }
+                AttrValue::new(tokens, raw.trim().to_lowercase(), node)
             })
             .collect();
         self.entities.push(Entity { id, values });
@@ -372,7 +394,7 @@ impl GroupBuilder {
             .map(|((raw, def), &node)| {
                 let toks = def.tokenizer.tokenize(raw);
                 let tokens = self.dictionary.observe(&toks);
-                AttrValue { tokens, text: raw.trim().to_lowercase(), node }
+                AttrValue::new(tokens, raw.trim().to_lowercase(), node)
             })
             .collect();
         self.entities.push(Entity { id, values });

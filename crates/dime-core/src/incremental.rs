@@ -33,6 +33,7 @@
 //! `examples/streaming_profile.rs`; for serving many live groups over this
 //! engine concurrently, see the `dime-serve` crate.
 
+use crate::arena::VerifyArena;
 use crate::dime_plus::flag_partitions_fast;
 use crate::discover::{cumulate_steps, pick_pivot, Discovery, Witness};
 use crate::entity::Group;
@@ -394,12 +395,14 @@ impl IncrementalDime {
         let pivot = pick_pivot(&partitions);
         drop(union_span);
         let mut ctx = SigContext::with_frozen_order(&self.group, &self.order);
+        let arena = VerifyArena::new(&self.group);
         let mut per_rule: Vec<Vec<bool>> = Vec::with_capacity(self.negative.len());
         let mut witnesses: Vec<Witness> = Vec::new();
         for (ri, rule) in self.negative.iter().enumerate() {
             let flag_span = span(sink.as_ref(), "flag");
             let (flags, rule_witnesses) = flag_partitions_fast(
                 &self.group,
+                &arena,
                 &mut ctx,
                 rule,
                 &partitions,

@@ -13,8 +13,154 @@
 
 use crate::entity::{Entity, Group};
 use dime_ontology::ontology_similarity_opt;
-use dime_text::{cosine, dice, edit_similarity, jaccard, levenshtein, overlap};
+use dime_text::{
+    cosine, dice, edit_distance, edit_distance_leq, edit_similarity, jaccard, overlap,
+};
 use std::fmt;
+
+/// An edit predicate's threshold comparison collapsed to an exact integer
+/// bound on the distance.
+///
+/// `holds(similarity(a, b))` for [`SimilarityFn::EditDistance`] /
+/// [`SimilarityFn::EditSimilarity`] is a monotone function of the integer
+/// distance `d`, so the f64 comparison can be pre-solved into one of these
+/// forms and then decided by the *bounded* kernel
+/// ([`dime_text::edit_distance_leq`]) without ever computing the full
+/// distance. The cutoffs are derived guess-then-adjust against the exact
+/// floating-point comparison, so the resulting boolean is bit-identical to
+/// the unbounded evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EditCheck {
+    /// The predicate holds for every achievable distance.
+    Always,
+    /// The predicate holds for no achievable distance.
+    Never,
+    /// Holds iff `d ≤ k`.
+    AtMost(usize),
+    /// Holds iff `d ≥ k`.
+    AtLeast(usize),
+}
+
+impl EditCheck {
+    /// Decides the check on raw strings with the bounded kernel: `O(k·min)`
+    /// work instead of the full `O(n·m)` distance.
+    pub(crate) fn eval_str(self, a: &str, b: &str) -> bool {
+        match self {
+            EditCheck::Always => true,
+            EditCheck::Never => false,
+            EditCheck::AtMost(k) => edit_distance_leq(a, b, k).is_some(),
+            EditCheck::AtLeast(k) => k == 0 || edit_distance_leq(a, b, k - 1).is_none(),
+        }
+    }
+}
+
+/// Solves `holds(d as f64)` for an [`SimilarityFn::EditDistance`] predicate
+/// into an exact [`EditCheck`].
+pub(crate) fn edit_distance_check(threshold: f64, polarity: Polarity) -> EditCheck {
+    // The exact comparison `Predicate::holds` performs on the raw distance
+    // (EditDistance is the lower-is-similar function).
+    let pred = |d: usize| match polarity {
+        Polarity::Positive => (d as f64) <= threshold,
+        Polarity::Negative => (d as f64) >= threshold,
+    };
+    let to_k = |g: f64| {
+        if g >= usize::MAX as f64 {
+            usize::MAX
+        } else {
+            g.max(0.0) as usize
+        }
+    };
+    match polarity {
+        Polarity::Positive => {
+            // pred is non-increasing in d: find the largest d that holds.
+            if !pred(0) {
+                return EditCheck::Never; // threshold < 0 or NaN
+            }
+            let mut k = to_k(threshold.floor());
+            while k < usize::MAX && pred(k + 1) {
+                k += 1;
+            }
+            while k > 0 && !pred(k) {
+                k -= 1;
+            }
+            EditCheck::AtMost(k)
+        }
+        Polarity::Negative => {
+            // pred is non-decreasing in d: find the smallest d that holds.
+            if pred(0) {
+                return EditCheck::Always; // threshold ≤ 0
+            }
+            if threshold.is_nan() {
+                return EditCheck::Never;
+            }
+            let mut k = to_k(threshold.ceil()).max(1);
+            while k > 1 && pred(k - 1) {
+                k -= 1;
+            }
+            while k < usize::MAX && !pred(k) {
+                k += 1;
+            }
+            EditCheck::AtLeast(k)
+        }
+    }
+}
+
+/// Solves `holds(1 − d/max_len)` for an [`SimilarityFn::EditSimilarity`]
+/// predicate into an exact [`EditCheck`]. `max_len` is the larger char
+/// count of the pair and must be non-zero (the caller special-cases two
+/// empty strings, whose similarity is defined as 1).
+pub(crate) fn edit_similarity_check(
+    threshold: f64,
+    polarity: Polarity,
+    max_len: usize,
+) -> EditCheck {
+    debug_assert!(max_len > 0);
+    // The exact f64 the scalar path computes for distance d, and the exact
+    // comparison `Predicate::holds` applies to it. d ranges over 0..=max_len.
+    let sim = |d: usize| 1.0 - d as f64 / max_len as f64;
+    let pred = |d: usize| match polarity {
+        Polarity::Positive => sim(d) >= threshold,
+        Polarity::Negative => sim(d) <= threshold,
+    };
+    match polarity {
+        Polarity::Positive => {
+            // sim is non-increasing in d, so pred is too.
+            if !pred(0) {
+                return EditCheck::Never;
+            }
+            if pred(max_len) {
+                return EditCheck::Always;
+            }
+            let guess = ((1.0 - threshold) * max_len as f64).floor();
+            let mut k = (guess.max(0.0) as usize).min(max_len);
+            while k + 1 <= max_len && pred(k + 1) {
+                k += 1;
+            }
+            while k > 0 && !pred(k) {
+                k -= 1;
+            }
+            EditCheck::AtMost(k)
+        }
+        Polarity::Negative => {
+            // pred is non-decreasing in d.
+            if pred(0) {
+                return EditCheck::Always;
+            }
+            if !pred(max_len) {
+                return EditCheck::Never;
+            }
+            let guess = ((1.0 - threshold) * max_len as f64).ceil();
+            let mut k = (guess.max(1.0) as usize).min(max_len);
+            while k > 1 && pred(k - 1) {
+                k -= 1;
+            }
+            while k < max_len && !pred(k) {
+                k += 1;
+            }
+            EditCheck::AtLeast(k)
+        }
+    }
+}
 
 /// The similarity functions DIME's predicates may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -93,7 +239,7 @@ impl Predicate {
             SimilarityFn::Dice => dice(&va.tokens, &vb.tokens),
             SimilarityFn::Cosine => cosine(&va.tokens, &vb.tokens),
             SimilarityFn::EditSimilarity => edit_similarity(&va.text, &vb.text),
-            SimilarityFn::EditDistance => levenshtein(&va.text, &vb.text) as f64,
+            SimilarityFn::EditDistance => edit_distance(&va.text, &vb.text) as f64,
             SimilarityFn::Ontology => match group.ontology(self.attr) {
                 Some(ont) => ontology_similarity_opt(ont, va.node, vb.node),
                 None => 0.0,
@@ -113,8 +259,28 @@ impl Predicate {
     }
 
     /// Evaluates the predicate on an entity pair.
+    ///
+    /// Edit predicates never compute the full distance here: the threshold
+    /// comparison is collapsed to an exact integer bound ([`EditCheck`])
+    /// and decided by the bounded kernel, so an adversarially long pair
+    /// costs `O(θ·min)` instead of `O(n·m)` while the boolean stays
+    /// identical to `holds(similarity(..))`.
     pub fn eval(&self, group: &Group, a: &Entity, b: &Entity, polarity: Polarity) -> bool {
-        self.holds(self.similarity(group, a, b), polarity)
+        match self.func {
+            SimilarityFn::EditDistance => {
+                let (va, vb) = (a.value(self.attr), b.value(self.attr));
+                edit_distance_check(self.threshold, polarity).eval_str(&va.text, &vb.text)
+            }
+            SimilarityFn::EditSimilarity => {
+                let (va, vb) = (a.value(self.attr), b.value(self.attr));
+                let max = va.char_len.max(vb.char_len) as usize;
+                if max == 0 {
+                    return self.holds(1.0, polarity);
+                }
+                edit_similarity_check(self.threshold, polarity, max).eval_str(&va.text, &vb.text)
+            }
+            _ => self.holds(self.similarity(group, a, b), polarity),
+        }
     }
 
     /// The verification cost estimate of the paper (Section IV-C): the
@@ -128,7 +294,11 @@ impl Predicate {
             | SimilarityFn::Dice
             | SimilarityFn::Cosine => (va.tokens.len() + vb.tokens.len()) as f64,
             SimilarityFn::EditSimilarity | SimilarityFn::EditDistance => {
-                let min = va.text.len().min(vb.text.len()) as f64;
+                // The DP runs over *chars*, so the cost model must too;
+                // `text.len()` (bytes) over-prices non-ASCII values and
+                // distorts the benefit order. Char counts are cached at
+                // group-load time.
+                let min = va.char_len.min(vb.char_len) as f64;
                 (self.threshold.max(1.0)) * min
             }
             SimilarityFn::Ontology => {
@@ -384,6 +554,96 @@ pub(crate) mod tests {
         let (pos, _) = paper_rules();
         let c = pos[1].cost(&g, g.entity(0), g.entity(1));
         assert!(c > 0.0);
+    }
+
+    #[test]
+    fn edit_checks_solve_exact_cutoffs() {
+        assert_eq!(edit_distance_check(2.0, Polarity::Positive), EditCheck::AtMost(2));
+        assert_eq!(edit_distance_check(2.5, Polarity::Positive), EditCheck::AtMost(2));
+        assert_eq!(edit_distance_check(-0.5, Polarity::Positive), EditCheck::Never);
+        assert_eq!(edit_distance_check(f64::NAN, Polarity::Positive), EditCheck::Never);
+        assert_eq!(edit_distance_check(0.0, Polarity::Negative), EditCheck::Always);
+        assert_eq!(edit_distance_check(2.0, Polarity::Negative), EditCheck::AtLeast(2));
+        assert_eq!(edit_distance_check(2.5, Polarity::Negative), EditCheck::AtLeast(3));
+        assert_eq!(edit_distance_check(f64::NAN, Polarity::Negative), EditCheck::Never);
+        // sim = 1 − d/8: `≥ 0.75` holds iff d ≤ 2, `≤ 0.75` iff d ≥ 2.
+        assert_eq!(edit_similarity_check(0.75, Polarity::Positive, 8), EditCheck::AtMost(2));
+        assert_eq!(edit_similarity_check(0.75, Polarity::Negative, 8), EditCheck::AtLeast(2));
+        assert_eq!(edit_similarity_check(0.0, Polarity::Positive, 8), EditCheck::Always);
+        assert_eq!(edit_similarity_check(1.0, Polarity::Negative, 8), EditCheck::Always);
+        assert_eq!(edit_similarity_check(0.999, Polarity::Negative, 8), EditCheck::AtLeast(1));
+        assert_eq!(edit_similarity_check(1.5, Polarity::Positive, 8), EditCheck::Never);
+    }
+
+    #[test]
+    fn bounded_edit_eval_matches_unbounded_holds() {
+        let schema = Schema::new([("Name", TokenizerKind::Words)]);
+        let texts = ["", "a", "ab", "abc", "abcd", "ozsu", "özsu", "nan tang", "n j tang"];
+        let mut gb = GroupBuilder::new(schema);
+        for t in texts {
+            gb.add_entity(&[t]);
+        }
+        let g = gb.build();
+        let thresholds =
+            [-1.0, 0.0, 0.2, 0.25, 0.4, 0.5, 0.75, 0.875, 1.0, 1.5, 2.0, 3.0, 8.0, f64::NAN];
+        for func in [SimilarityFn::EditDistance, SimilarityFn::EditSimilarity] {
+            for t in thresholds {
+                let p = Predicate::new(0, func, t);
+                for pol in [Polarity::Positive, Polarity::Negative] {
+                    for i in 0..texts.len() {
+                        for j in 0..texts.len() {
+                            let (a, b) = (g.entity(i), g.entity(j));
+                            assert_eq!(
+                                p.eval(&g, a, b, pol),
+                                p.holds(p.similarity(&g, a, b), pol),
+                                "{func:?} θ={t} {pol:?} {:?} vs {:?}",
+                                texts[i],
+                                texts[j],
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn long_adversarial_pair_evaluates_bounded() {
+        // Two 8000-char strings sharing nothing: `eval` must answer through
+        // the banded `O(θ·min)` path, never the full O(n·m) table.
+        let a = "ab".repeat(4000);
+        let b = "cd".repeat(4000);
+        let schema = Schema::new([("Name", TokenizerKind::Words)]);
+        let mut gb = GroupBuilder::new(schema);
+        gb.add_entity(&[&a]);
+        gb.add_entity(&[&b]);
+        let g = gb.build();
+        let p = Predicate::new(0, SimilarityFn::EditDistance, 3.0);
+        assert!(!p.eval(&g, g.entity(0), g.entity(1), Polarity::Positive));
+        assert!(p.eval(&g, g.entity(0), g.entity(1), Polarity::Negative));
+        let p = Predicate::new(0, SimilarityFn::EditSimilarity, 0.999);
+        assert!(!p.eval(&g, g.entity(0), g.entity(1), Polarity::Positive));
+        assert!(p.eval(&g, g.entity(0), g.entity(1), Polarity::Negative));
+    }
+
+    #[test]
+    fn edit_cost_uses_char_counts() {
+        // "ööööö" is 5 chars but 10 bytes. A byte-based cost model prices
+        // the unicode pair above the 6-char ASCII pair; the char-based
+        // model must price it below, matching the work the DP actually does.
+        let schema = Schema::new([("Name", TokenizerKind::Words)]);
+        let mut gb = GroupBuilder::new(schema);
+        gb.add_entity(&["ööööö"]);
+        gb.add_entity(&["üüüüü"]);
+        gb.add_entity(&["abcdef"]);
+        gb.add_entity(&["uvwxyz"]);
+        let g = gb.build();
+        let p = Predicate::new(0, SimilarityFn::EditSimilarity, 0.8);
+        let unicode_cost = p.cost(&g, g.entity(0), g.entity(1));
+        let ascii_cost = p.cost(&g, g.entity(2), g.entity(3));
+        assert_eq!(unicode_cost, 5.0); // θ.max(1) · min char count
+        assert_eq!(ascii_cost, 6.0);
+        assert!(unicode_cost < ascii_cost, "verification order must follow char counts");
     }
 
     #[test]

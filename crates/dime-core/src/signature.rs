@@ -324,7 +324,7 @@ impl<'g> SigContext<'g> {
                 if theta <= 0.0 {
                     return PredSigs::Trivial;
                 }
-                let len = value.text.chars().count();
+                let len = value.char_len as usize;
                 if len == 0 {
                     return PredSigs::Sigs(vec![mix64(0xE55)]);
                 }
@@ -408,7 +408,7 @@ impl<'g> SigContext<'g> {
                 if sigma == 0.0 {
                     return PredSigs::Wildcard; // sim ≤ 0 needs verification
                 }
-                let len = value.text.chars().count();
+                let len = value.char_len as usize;
                 if len == 0 {
                     return PredSigs::Sigs(vec![mix64(0xE55)]);
                 }

@@ -1,0 +1,203 @@
+//! Sparse 64-bit block bitsets for dense token-id ranges.
+//!
+//! A sorted token-id set whose ids cluster (many ids per aligned 64-id
+//! block) intersects faster as popcounts over machine words than as an
+//! element-wise merge. [`BlockSet`] stores only the *occupied* blocks — a
+//! sorted list of block keys (`id >> 6`) plus one `u64` word per key — so
+//! sparse sets pay nothing for the empty range between their ids, and the
+//! intersection is a merge over keys with one `popcount` per common block.
+//!
+//! The arena in `dime-core` stores the same representation as packed
+//! slices; the free functions ([`block_build_into`],
+//! [`block_intersection_size`]) operate on those raw `(keys, words)` pairs
+//! so both the owned and the arena-packed forms share one kernel.
+//!
+//! Like every set kernel in this crate, the result is an exact integer —
+//! identical to the merge pass — so the similarity formulas built on it
+//! are bit-identical no matter which kernel ran.
+
+use crate::TokenId;
+
+/// Bits per block: ids `64k..64k+63` share block key `k`.
+const BLOCK_BITS: u32 = 6;
+
+/// A token-id set as sorted block keys + one occupancy word per key.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlockSet {
+    keys: Vec<TokenId>,
+    words: Vec<u64>,
+}
+
+impl BlockSet {
+    /// Builds from a sorted, deduplicated id slice.
+    pub fn build(sorted: &[TokenId]) -> Self {
+        let mut s = Self::default();
+        block_build_into(sorted, &mut s.keys, &mut s.words);
+        s
+    }
+
+    /// Number of occupied 64-id blocks.
+    pub fn block_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The raw `(keys, words)` representation.
+    pub fn as_slices(&self) -> (&[TokenId], &[u64]) {
+        (&self.keys, &self.words)
+    }
+
+    /// `|self ∩ other|` via key merge + per-block popcount.
+    pub fn intersection_size(&self, other: &Self) -> usize {
+        block_intersection_size(&self.keys, &self.words, &other.keys, &other.words)
+    }
+}
+
+/// Appends the block representation of `sorted` (sorted, deduplicated ids)
+/// into `keys`/`words` — the packed-arena form of [`BlockSet::build`]. The
+/// two output vectors grow by the same count; callers slicing a packed
+/// buffer record that count once.
+pub fn block_build_into(sorted: &[TokenId], keys: &mut Vec<TokenId>, words: &mut Vec<u64>) {
+    debug_assert!(sorted.windows(2).all(|w| w[0] < w[1]), "ids must be sorted+dedup");
+    // Coalesce only within entries appended by *this* call: the buffer's
+    // pre-existing tail belongs to the previous set in the packed layout,
+    // and must not absorb this set's first block even when the keys match.
+    let start = keys.len();
+    for &id in sorted {
+        let key = id >> BLOCK_BITS;
+        let bit = 1u64 << (id & 63);
+        if keys.len() > start && keys[keys.len() - 1] == key {
+            let w = words.last_mut().expect("keys and words grow in lockstep");
+            *w |= bit;
+        } else {
+            keys.push(key);
+            words.push(bit);
+        }
+    }
+}
+
+/// `|a ∩ b|` over two block representations: merge the sorted key lists,
+/// popcount the AND of words for each common key.
+pub fn block_intersection_size(ak: &[TokenId], aw: &[u64], bk: &[TokenId], bw: &[u64]) -> usize {
+    debug_assert_eq!(ak.len(), aw.len());
+    debug_assert_eq!(bk.len(), bw.len());
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < ak.len() && j < bk.len() {
+        match ak[i].cmp(&bk[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += (aw[i] & bw[j]).count_ones() as usize;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intersection_size_merge;
+    use proptest::prelude::*;
+
+    #[test]
+    fn build_and_count() {
+        let s = BlockSet::build(&[0, 1, 63, 64, 200]);
+        assert_eq!(s.block_count(), 3); // blocks 0, 1, 3
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        assert!(BlockSet::build(&[]).is_empty());
+    }
+
+    #[test]
+    fn intersection_matches_merge() {
+        let a = [1u32, 2, 3, 64, 65, 129];
+        let b = [2u32, 3, 65, 128, 129, 500];
+        let (sa, sb) = (BlockSet::build(&a), BlockSet::build(&b));
+        assert_eq!(sa.intersection_size(&sb), intersection_size_merge(&a, &b));
+    }
+
+    #[test]
+    fn extremes() {
+        let a: Vec<u32> = (0..256).collect();
+        let sa = BlockSet::build(&a);
+        assert_eq!(sa.intersection_size(&sa), 256); // identical, fully dense
+        let b: Vec<u32> = (1000..1256).collect();
+        let sb = BlockSet::build(&b);
+        assert_eq!(sa.intersection_size(&sb), 0); // disjoint blocks
+        let c: Vec<u32> = (0..256).step_by(64).collect();
+        let sc = BlockSet::build(&c);
+        assert_eq!(sa.intersection_size(&sc), 4); // shared blocks, sparse side
+        assert_eq!(sa.intersection_size(&BlockSet::default()), 0);
+    }
+
+    #[test]
+    fn packed_append_does_not_coalesce_across_sets() {
+        // b's first id falls in the same 64-id block as a's last id; in the
+        // packed layout the two sets must still get distinct entries.
+        let a = [0u32, 65];
+        let b = [66u32, 130];
+        let mut keys = Vec::new();
+        let mut words = Vec::new();
+        block_build_into(&a, &mut keys, &mut words);
+        let a_blocks = keys.len();
+        block_build_into(&b, &mut keys, &mut words);
+        assert_eq!(keys, vec![0, 1, 1, 2]);
+        let got = block_intersection_size(
+            &keys[..a_blocks],
+            &words[..a_blocks],
+            &keys[a_blocks..],
+            &words[a_blocks..],
+        );
+        assert_eq!(got, intersection_size_merge(&a, &b));
+        assert_eq!(got, 0);
+    }
+
+    fn sorted_set() -> impl Strategy<Value = Vec<TokenId>> {
+        proptest::collection::btree_set(0u32..512, 0..80)
+            .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_merge(a in sorted_set(), b in sorted_set()) {
+            let (sa, sb) = (BlockSet::build(&a), BlockSet::build(&b));
+            prop_assert_eq!(sa.intersection_size(&sb), intersection_size_merge(&a, &b));
+            prop_assert_eq!(sb.intersection_size(&sa), intersection_size_merge(&a, &b));
+        }
+
+        #[test]
+        fn prop_len_roundtrip(a in sorted_set()) {
+            let s = BlockSet::build(&a);
+            prop_assert_eq!(s.len(), a.len());
+            prop_assert_eq!(s.intersection_size(&s), a.len());
+        }
+
+        #[test]
+        fn prop_packed_form_agrees(a in sorted_set(), b in sorted_set()) {
+            // Building into a shared packed buffer (the arena layout) gives
+            // the same answer as the owned form.
+            let mut keys = Vec::new();
+            let mut words = Vec::new();
+            block_build_into(&a, &mut keys, &mut words);
+            let a_blocks = keys.len();
+            block_build_into(&b, &mut keys, &mut words);
+            let got = block_intersection_size(
+                &keys[..a_blocks], &words[..a_blocks],
+                &keys[a_blocks..], &words[a_blocks..],
+            );
+            prop_assert_eq!(got, intersection_size_merge(&a, &b));
+        }
+    }
+}

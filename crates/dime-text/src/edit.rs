@@ -4,10 +4,34 @@
 //! `O(θ · min(|a|, |b|))` cost the paper cites for verification, and a
 //! normalized edit *similarity* in `[0, 1]` usable wherever a similarity
 //! (rather than a distance) predicate is wanted.
+//!
+//! [`levenshtein`] and [`levenshtein_leq`] are the plain dynamic programs
+//! — kept as the differential-test oracle for the bit-parallel kernels in
+//! [`crate::edit_distance`] / [`crate::edit_distance_leq`] — but they are
+//! allocation-free per call: ASCII inputs run directly over the byte
+//! slices, non-ASCII inputs decode into thread-local char buffers, and the
+//! DP rows themselves are thread-local scratch reused across calls.
+
+use std::cell::RefCell;
+
+thread_local! {
+    static SCRATCH: RefCell<DpScratch> = RefCell::new(DpScratch::default());
+}
+
+/// Reusable per-thread DP state: two rows plus decoded char buffers.
+#[derive(Default)]
+struct DpScratch {
+    prev: Vec<usize>,
+    cur: Vec<usize>,
+    chars_a: Vec<char>,
+    chars_b: Vec<char>,
+}
 
 /// Plain Levenshtein distance (insert/delete/substitute, unit costs).
 ///
-/// Runs in `O(|a|·|b|)` time and `O(min(|a|,|b|))` space.
+/// Runs in `O(|a|·|b|)` time and `O(min(|a|,|b|))` space, with no per-call
+/// allocation (thread-local scratch rows; ASCII inputs skip char decoding
+/// entirely).
 ///
 /// ```
 /// use dime_text::levenshtein;
@@ -15,23 +39,18 @@
 /// assert_eq!(levenshtein("", "abc"), 3);
 /// ```
 pub fn levenshtein(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
-    if short.is_empty() {
-        return long.len();
-    }
-    let mut prev: Vec<usize> = (0..=short.len()).collect();
-    let mut cur = vec![0usize; short.len() + 1];
-    for (i, &lc) in long.iter().enumerate() {
-        cur[0] = i + 1;
-        for (j, &sc) in short.iter().enumerate() {
-            let sub = prev[j] + usize::from(lc != sc);
-            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+    SCRATCH.with(|s| {
+        let s = &mut *s.borrow_mut();
+        if a.is_ascii() && b.is_ascii() {
+            full_dp(a.as_bytes(), b.as_bytes(), &mut s.prev, &mut s.cur)
+        } else {
+            s.chars_a.clear();
+            s.chars_a.extend(a.chars());
+            s.chars_b.clear();
+            s.chars_b.extend(b.chars());
+            full_dp(&s.chars_a, &s.chars_b, &mut s.prev, &mut s.cur)
         }
-        std::mem::swap(&mut prev, &mut cur);
-    }
-    prev[short.len()]
+    })
 }
 
 /// Threshold-bounded Levenshtein: returns `Some(d)` if the distance is
@@ -39,7 +58,8 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
 ///
 /// Uses the banded dynamic program that only fills cells within `max_dist`
 /// of the diagonal, giving the `O(θ · min(|a|, |b|))` verification cost the
-/// paper assumes, plus a length-difference early exit.
+/// paper assumes, plus a length-difference early exit. Like
+/// [`levenshtein`], allocation-free per call.
 ///
 /// ```
 /// use dime_text::levenshtein_leq;
@@ -48,9 +68,56 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
 /// assert_eq!(levenshtein_leq("same", "same", 0), Some(0));
 /// ```
 pub fn levenshtein_leq(a: &str, b: &str, max_dist: usize) -> Option<usize> {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    SCRATCH.with(|s| {
+        let s = &mut *s.borrow_mut();
+        if a.is_ascii() && b.is_ascii() {
+            banded_dp(a.as_bytes(), b.as_bytes(), max_dist, &mut s.prev, &mut s.cur)
+        } else {
+            s.chars_a.clear();
+            s.chars_a.extend(a.chars());
+            s.chars_b.clear();
+            s.chars_b.extend(b.chars());
+            banded_dp(&s.chars_a, &s.chars_b, max_dist, &mut s.prev, &mut s.cur)
+        }
+    })
+}
+
+/// The classic two-row DP over symbol slices (bytes or chars).
+pub(crate) fn full_dp<T: PartialEq + Copy>(
+    a: &[T],
+    b: &[T],
+    prev: &mut Vec<usize>,
+    cur: &mut Vec<usize>,
+) -> usize {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    prev.clear();
+    prev.extend(0..=short.len());
+    cur.clear();
+    cur.resize(short.len() + 1, 0);
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(lc != sc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(prev, cur);
+    }
+    prev[short.len()]
+}
+
+/// The banded DP over symbol slices: only cells within `max_dist` of the
+/// diagonal are filled, and a row whose minimum exceeds `max_dist` aborts.
+pub(crate) fn banded_dp<T: PartialEq + Copy>(
+    a: &[T],
+    b: &[T],
+    max_dist: usize,
+    prev: &mut Vec<usize>,
+    cur: &mut Vec<usize>,
+) -> Option<usize> {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if long.len() - short.len() > max_dist {
         return None;
     }
@@ -60,8 +127,10 @@ pub fn levenshtein_leq(a: &str, b: &str, max_dist: usize) -> Option<usize> {
     const BIG: usize = usize::MAX / 2;
     // Row over the *short* string; band half-width max_dist around the
     // diagonal j ≈ i.
-    let mut prev = vec![BIG; short.len() + 1];
-    let mut cur = vec![BIG; short.len() + 1];
+    prev.clear();
+    prev.resize(short.len() + 1, BIG);
+    cur.clear();
+    cur.resize(short.len() + 1, BIG);
     for (j, cell) in prev.iter_mut().enumerate().take(max_dist.min(short.len()) + 1) {
         *cell = j;
     }
@@ -96,7 +165,7 @@ pub fn levenshtein_leq(a: &str, b: &str, max_dist: usize) -> Option<usize> {
         if row_min > max_dist {
             return None;
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(prev, cur);
     }
     let d = prev[short.len()];
     (d <= max_dist).then_some(d)
@@ -104,7 +173,10 @@ pub fn levenshtein_leq(a: &str, b: &str, max_dist: usize) -> Option<usize> {
 
 /// Normalized edit similarity `1 − lev(a, b) / max(|a|, |b|)` in `[0, 1]`.
 ///
-/// Two empty strings have similarity 1.
+/// Two empty strings have similarity 1. The distance comes from the
+/// bit-parallel kernel ([`crate::edit_distance`]), which returns the same
+/// integer as [`levenshtein`] on every input, so the f64 result is
+/// bit-identical to the DP-backed formula.
 ///
 /// ```
 /// use dime_text::edit_similarity;
@@ -118,7 +190,7 @@ pub fn edit_similarity(a: &str, b: &str) -> f64 {
     if max == 0 {
         return 1.0;
     }
-    1.0 - levenshtein(a, b) as f64 / max as f64
+    1.0 - crate::edit_distance(a, b) as f64 / max as f64
 }
 
 #[cfg(test)]
@@ -164,6 +236,13 @@ mod tests {
     #[test]
     fn leq_length_diff_early_exit() {
         assert_eq!(levenshtein_leq("ab", "abcdefgh", 3), None);
+    }
+
+    #[test]
+    fn mixed_ascii_unicode_pairs() {
+        // One ASCII and one non-ASCII operand take the char-decoding path.
+        assert_eq!(levenshtein("ozsu", "özsu"), 1);
+        assert_eq!(levenshtein_leq("ozsu", "özsu", 1), Some(1));
     }
 
     #[test]

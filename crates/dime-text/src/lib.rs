@@ -7,9 +7,12 @@
 //! * [`Dictionary`] — token interning + document frequency;
 //! * [`TokenizerKind`] — per-attribute tokenization strategies;
 //! * set-based similarities ([`overlap`], [`jaccard`], [`dice`], [`cosine`])
-//!   over sorted token-id slices;
+//!   over sorted token-id slices, with adaptive merge/gallop dispatch and a
+//!   [`BlockSet`] bitset kernel for dense id ranges;
 //! * character-based similarity ([`levenshtein`], [`levenshtein_leq`],
-//!   [`edit_similarity`]) with the banded `O(θ·min)` verifier;
+//!   [`edit_similarity`]) with the banded `O(θ·min)` verifier, plus the
+//!   bit-parallel [`edit_distance`] / [`edit_distance_leq`] kernels the
+//!   verify hot path uses (Myers single-word + blocked variants);
 //! * [`qgrams`] extraction and [`GlobalOrder`]-sorted prefix signatures
 //!   ([`overlap_prefix_len`], [`jaccard_prefix_len`], [`edit_prefix_len`]).
 //!
@@ -18,18 +21,29 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitset;
 mod dictionary;
 mod edit;
+mod myers;
 mod order;
 mod prefix;
 mod qgram;
 mod setsim;
 mod tokenize;
 
+pub use bitset::{block_build_into, block_intersection_size, BlockSet};
 pub use dictionary::{Dictionary, TokenId};
 pub use edit::{edit_similarity, levenshtein, levenshtein_leq};
+pub use myers::{
+    edit_distance, edit_distance_bytes, edit_distance_chars, edit_distance_leq,
+    edit_distance_leq_bytes, edit_distance_leq_chars,
+};
 pub use order::GlobalOrder;
 pub use prefix::{edit_prefix_len, jaccard_prefix_len, overlap_prefix_len, prefix};
 pub use qgram::{gram_count, qgrams};
-pub use setsim::{cosine, dice, has_overlap, intersection_size, jaccard, overlap};
+pub use setsim::{
+    cosine, cosine_counts, dice, dice_counts, has_overlap, intersection_size,
+    intersection_size_gallop, intersection_size_merge, jaccard, jaccard_counts, overlap,
+    overlap_counts,
+};
 pub use tokenize::{tokenize_list, tokenize_whole, tokenize_words, TokenizerKind};

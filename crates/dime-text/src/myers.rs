@@ -1,0 +1,521 @@
+//! Myers' bit-parallel edit distance (Myers 1999, Hyyrö 2003).
+//!
+//! The verify hot path computes Levenshtein distances by the million; the
+//! classic DP in [`crate::levenshtein`] costs `O(|a|·|b|)` cell updates per
+//! pair. This module processes 64 pattern positions per machine word
+//! instead:
+//!
+//! * **single-word fast path** — patterns of ≤ 64 chars (virtually every
+//!   name/title attribute) run one word-sized column update per text char:
+//!   `O(|b|)` word ops, branch-free except the score tap at the last bit;
+//! * **multi-word block variant** — longer patterns split into ⌈m/64⌉
+//!   vertical blocks with horizontal carries threaded between them
+//!   (Hyyrö's `advance_block`), `O(⌈m/64⌉·|b|)` word ops;
+//! * **banded fallback** — for very long strings under a small threshold
+//!   `k`, the banded DP's `O(k·min)` beats the blocked variant's
+//!   `O(⌈m/64⌉·n)`, so the bounded kernels switch over past
+//!   `m > 256·(2k+1)`.
+//!
+//! The bounded variants support a threshold `k` with an exact early exit:
+//! the running score can drop by at most 1 per remaining column, so once
+//! `score − remaining > k` the pair can never verify.
+//!
+//! All scratch (Peq tables, char buffers, DP rows) is thread-local and
+//! reused across calls — the kernels allocate nothing per pair after
+//! warm-up. The `_bytes`/`_chars` variants work directly on symbol slices
+//! (the packed-arena layout `dime-core` verifies from); the `&str`
+//! entry points pick bytes for ASCII and decode to chars otherwise.
+//!
+//! [`crate::levenshtein`] (the plain DP) is kept as the differential-test
+//! oracle; the proptests at the bottom pin every path of this module to it.
+
+use crate::edit::banded_dp;
+use std::cell::RefCell;
+
+/// Machine word width: pattern positions packed per block.
+const WORD: usize = 64;
+
+/// Pattern length beyond which, per unit of `2k+1` band width, the banded
+/// DP undercuts the blocked bit-parallel kernel.
+const BANDED_CUTOVER: usize = 256;
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+    /// Char-decode buffers for the `&str` entry points, separate from the
+    /// kernel scratch so a decoded call can re-enter the slice kernels
+    /// (which borrow `SCRATCH`) without a double borrow.
+    static DECODE: RefCell<(Vec<char>, Vec<char>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Reusable per-thread state. The `peq_bytes` table keeps the invariant
+/// that it is all-zero *between* calls: each call fills only the rows of
+/// bytes present in the pattern and re-zeroes exactly those rows before
+/// returning, so the 256-row table never pays a full clear.
+#[derive(Default)]
+struct Scratch {
+    /// Blocked Peq for byte patterns: row-major `256 × blocks` words.
+    peq_bytes: Vec<u64>,
+    /// Sorted distinct chars of the current char-mode pattern.
+    uniq: Vec<char>,
+    /// Blocked Peq rows parallel to `uniq`: `uniq.len() × blocks` words.
+    peq_uniq: Vec<u64>,
+    /// Vertical positive/negative delta words, one per block.
+    pv: Vec<u64>,
+    mv: Vec<u64>,
+    /// DP rows for the banded fallback.
+    row_prev: Vec<usize>,
+    row_cur: Vec<usize>,
+}
+
+/// Exact Levenshtein distance via the bit-parallel kernels.
+///
+/// Same value as [`crate::levenshtein`] on every input (the DP remains the
+/// test oracle), at a fraction of the cost for the ≤ 64-char patterns the
+/// verify loop sees.
+///
+/// ```
+/// use dime_text::edit_distance;
+/// assert_eq!(edit_distance("kitten", "sitting"), 3);
+/// assert_eq!(edit_distance("", "abc"), 3);
+/// ```
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    if a.is_ascii() && b.is_ascii() {
+        edit_distance_bytes(a.as_bytes(), b.as_bytes())
+    } else {
+        DECODE.with(|d| {
+            let (ca, cb) = &mut *d.borrow_mut();
+            decode(a, b, ca, cb);
+            edit_distance_chars(ca, cb)
+        })
+    }
+}
+
+/// Threshold-bounded distance: `Some(d)` iff `d ≤ max_dist`.
+///
+/// Drop-in agreement with [`crate::levenshtein_leq`], with the
+/// bit-parallel column updates plus the score-based early exit.
+///
+/// ```
+/// use dime_text::edit_distance_leq;
+/// assert_eq!(edit_distance_leq("kitten", "sitting", 3), Some(3));
+/// assert_eq!(edit_distance_leq("kitten", "sitting", 2), None);
+/// ```
+pub fn edit_distance_leq(a: &str, b: &str, max_dist: usize) -> Option<usize> {
+    if a.is_ascii() && b.is_ascii() {
+        edit_distance_leq_bytes(a.as_bytes(), b.as_bytes(), max_dist)
+    } else {
+        DECODE.with(|d| {
+            let (ca, cb) = &mut *d.borrow_mut();
+            decode(a, b, ca, cb);
+            edit_distance_leq_chars(ca, cb, max_dist)
+        })
+    }
+}
+
+/// Exact distance over byte slices (one symbol per byte — equals char
+/// distance exactly when both inputs are ASCII, the caller's contract in
+/// the verify arena).
+pub fn edit_distance_bytes(a: &[u8], b: &[u8]) -> usize {
+    must(bounded_bytes(a, b, usize::MAX))
+}
+
+/// Bounded distance over byte slices; see [`edit_distance_bytes`].
+pub fn edit_distance_leq_bytes(a: &[u8], b: &[u8], max_dist: usize) -> Option<usize> {
+    bounded_bytes(a, b, max_dist)
+}
+
+/// Exact distance over char slices (the non-ASCII arena representation).
+pub fn edit_distance_chars(a: &[char], b: &[char]) -> usize {
+    must(bounded_chars(a, b, usize::MAX))
+}
+
+/// Bounded distance over char slices; see [`edit_distance_chars`].
+pub fn edit_distance_leq_chars(a: &[char], b: &[char], max_dist: usize) -> Option<usize> {
+    bounded_chars(a, b, max_dist)
+}
+
+fn decode(a: &str, b: &str, ca: &mut Vec<char>, cb: &mut Vec<char>) {
+    ca.clear();
+    ca.extend(a.chars());
+    cb.clear();
+    cb.extend(b.chars());
+}
+
+/// Unwraps a `k = usize::MAX` bounded run, where neither the length
+/// pre-check nor the score early-exit can fire.
+fn must(d: Option<usize>) -> usize {
+    match d {
+        Some(d) => d,
+        None => usize::MAX,
+    }
+}
+
+fn bounded_bytes(a: &[u8], b: &[u8], k: usize) -> Option<usize> {
+    let (pat, txt) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if txt.len() - pat.len() > k {
+        return None;
+    }
+    if pat.is_empty() {
+        return Some(txt.len());
+    }
+    if pat.len() <= WORD {
+        let mut peq = [0u64; 256];
+        for (i, &c) in pat.iter().enumerate() {
+            peq[c as usize] |= 1 << i;
+        }
+        return single_word(pat.len(), txt, |c: u8| peq[c as usize], k);
+    }
+    SCRATCH.with(|s| {
+        let s = &mut *s.borrow_mut();
+        if use_banded(pat.len(), k) {
+            return banded_dp(pat, txt, k, &mut s.row_prev, &mut s.row_cur);
+        }
+        blocked_bytes(s, pat, txt, k)
+    })
+}
+
+fn bounded_chars(a: &[char], b: &[char], k: usize) -> Option<usize> {
+    let (pat, txt) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if txt.len() - pat.len() > k {
+        return None;
+    }
+    if pat.is_empty() {
+        return Some(txt.len());
+    }
+    SCRATCH.with(|s| {
+        let s = &mut *s.borrow_mut();
+        if pat.len() > WORD && use_banded(pat.len(), k) {
+            return banded_dp(pat, txt, k, &mut s.row_prev, &mut s.row_cur);
+        }
+        chars_kernel(s, pat, txt, k)
+    })
+}
+
+/// Whether the banded DP's `O((2k+1)·m)` undercuts blocked Myers'
+/// `O(⌈m/64⌉·n)` for this pattern length and threshold.
+fn use_banded(m: usize, k: usize) -> bool {
+    k < usize::MAX / 4 && m > BANDED_CUTOVER.saturating_mul(2 * k + 1)
+}
+
+/// Single-word Myers: one column update per text symbol, score tracked at
+/// pattern bit `m − 1`. Bits above `m − 1` hold garbage but never feed back
+/// into lower bits (shifts and carries only move upward), so `pv` can start
+/// as all-ones regardless of `m`.
+#[inline]
+fn single_word<T: Copy>(m: usize, txt: &[T], peq: impl Fn(T) -> u64, k: usize) -> Option<usize> {
+    debug_assert!((1..=WORD).contains(&m));
+    let mut pv = !0u64;
+    let mut mv = 0u64;
+    let mut score = m;
+    let last = 1u64 << (m - 1);
+    let n = txt.len();
+    for (j, &c) in txt.iter().enumerate() {
+        let eq = peq(c);
+        let xv = eq | mv;
+        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+        let mut ph = mv | !(xh | pv);
+        let mut mh = pv & xh;
+        if ph & last != 0 {
+            score += 1;
+        }
+        if mh & last != 0 {
+            score -= 1;
+        }
+        // The `| 1` is the top-row boundary D[0][j] = j: a +1 horizontal
+        // carry enters the column at pattern position 0.
+        ph = (ph << 1) | 1;
+        mh <<= 1;
+        pv = mh | !(xv | ph);
+        mv = ph & xv;
+        // Score drops by at most 1 per remaining column.
+        if score > k && score - k > n - j - 1 {
+            return None;
+        }
+    }
+    (score <= k).then_some(score)
+}
+
+/// One block-column update of the multi-word variant (Hyyrö's
+/// `advance_block`): consumes the horizontal delta `hin ∈ {−1, 0, +1}`
+/// entering the block from above and returns the delta leaving at `last`.
+#[inline]
+fn advance_block(pv: &mut u64, mv: &mut u64, eq0: u64, hin: i32, last: u64) -> i32 {
+    let mut eq = eq0;
+    if hin < 0 {
+        eq |= 1;
+    }
+    let xv = eq | *mv;
+    let xh = (((eq & *pv).wrapping_add(*pv)) ^ *pv) | eq;
+    let mut ph = *mv | !(xh | *pv);
+    let mut mh = *pv & xh;
+    let mut hout = 0i32;
+    if ph & last != 0 {
+        hout += 1;
+    }
+    if mh & last != 0 {
+        hout -= 1;
+    }
+    ph <<= 1;
+    mh <<= 1;
+    if hin < 0 {
+        mh |= 1;
+    } else if hin > 0 {
+        ph |= 1;
+    }
+    *pv = mh | !(xv | ph);
+    *mv = ph & xv;
+    hout
+}
+
+/// Blocked kernel over pre-built Peq rows: `row(sym)` yields the `blocks`
+/// Peq words for a text symbol (or `None` for symbols absent from the
+/// pattern, i.e. an all-zero row).
+#[inline]
+fn blocked<'p, T: Copy>(
+    m: usize,
+    txt: &[T],
+    row: impl Fn(T) -> Option<&'p [u64]>,
+    pv: &mut Vec<u64>,
+    mv: &mut Vec<u64>,
+    k: usize,
+) -> Option<usize> {
+    let blocks = m.div_ceil(WORD);
+    debug_assert!(blocks >= 2);
+    pv.clear();
+    pv.resize(blocks, !0u64);
+    mv.clear();
+    mv.resize(blocks, 0u64);
+    let mut score = m;
+    let top = 1u64 << ((m - 1) % WORD);
+    let n = txt.len();
+    for (j, &c) in txt.iter().enumerate() {
+        let eqs = row(c);
+        // The top-row boundary enters block 0 as a +1 carry.
+        let mut carry = 1i32;
+        for w in 0..blocks {
+            let eq = eqs.map_or(0, |r| r[w]);
+            let last = if w + 1 == blocks { top } else { 1u64 << (WORD - 1) };
+            carry = advance_block(&mut pv[w], &mut mv[w], eq, carry, last);
+        }
+        score = (score as i64 + i64::from(carry)) as usize;
+        if score > k && score - k > n - j - 1 {
+            return None;
+        }
+    }
+    (score <= k).then_some(score)
+}
+
+/// Blocked byte path: fills the 256-row Peq for the pattern's bytes, runs
+/// the kernel, then re-zeroes exactly the touched rows (preserving the
+/// all-zero-between-calls invariant without a 2 KiB memset).
+fn blocked_bytes(s: &mut Scratch, pat: &[u8], txt: &[u8], k: usize) -> Option<usize> {
+    let blocks = pat.len().div_ceil(WORD);
+    let need = 256 * blocks;
+    if s.peq_bytes.len() < need {
+        // Freshly grown entries are zero, and every earlier call re-zeroed
+        // the rows it touched, so the whole table stays all-zero between
+        // calls — growth never needs a full clear. A larger-than-needed
+        // table is fine: row `c` lives at `c * blocks` regardless of the
+        // table's total length.
+        s.peq_bytes.resize(need, 0);
+    }
+    for (i, &c) in pat.iter().enumerate() {
+        s.peq_bytes[c as usize * blocks + i / WORD] |= 1 << (i % WORD);
+    }
+    let peq = &s.peq_bytes;
+    let result = blocked(
+        pat.len(),
+        txt,
+        |c: u8| Some(&peq[c as usize * blocks..c as usize * blocks + blocks]),
+        &mut s.pv,
+        &mut s.mv,
+        k,
+    );
+    for &c in pat {
+        let base = c as usize * blocks;
+        s.peq_bytes[base..base + blocks].iter_mut().for_each(|w| *w = 0);
+    }
+    result
+}
+
+/// Char path (pattern already the shorter side): builds a sorted
+/// unique-char table with per-char Peq rows, then runs single-word or
+/// blocked.
+fn chars_kernel(s: &mut Scratch, pat: &[char], txt: &[char], k: usize) -> Option<usize> {
+    let m = pat.len();
+    s.uniq.clear();
+    s.uniq.extend_from_slice(pat);
+    s.uniq.sort_unstable();
+    s.uniq.dedup();
+    let blocks = m.div_ceil(WORD);
+    s.peq_uniq.clear();
+    s.peq_uniq.resize(s.uniq.len() * blocks, 0);
+    for (i, &c) in pat.iter().enumerate() {
+        // Every pattern char is in `uniq` by construction.
+        let r = s.uniq.binary_search(&c).unwrap_or(usize::MAX);
+        s.peq_uniq[r * blocks + i / WORD] |= 1 << (i % WORD);
+    }
+    let (uniq, peq) = (&s.uniq, &s.peq_uniq);
+    if m <= WORD {
+        single_word(m, txt, |c: char| uniq.binary_search(&c).map_or(0, |r| peq[r]), k)
+    } else {
+        blocked(
+            m,
+            txt,
+            |c: char| uniq.binary_search(&c).ok().map(|r| &peq[r * blocks..r * blocks + blocks]),
+            &mut s.pv,
+            &mut s.mv,
+            k,
+        )
+    }
+}
+
+/// Exact distance over char slices via the plain DP — used by tests to
+/// pin the slice kernels without round-tripping through `&str`.
+#[cfg(test)]
+fn dp_chars(a: &[char], b: &[char]) -> usize {
+    let (mut p, mut c) = (Vec::new(), Vec::new());
+    crate::edit::full_dp(a, b, &mut p, &mut c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{levenshtein, levenshtein_leq};
+    use proptest::prelude::*;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("flaw", "lawn"), 2);
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("a", ""), 1);
+        assert_eq!(edit_distance("gumbo", "gambol"), 2);
+    }
+
+    #[test]
+    fn unicode_chars_count_once() {
+        assert_eq!(edit_distance("özsu", "ozsu"), 1);
+        assert_eq!(edit_distance("ギター", "ギターズ"), 1);
+        assert_eq!(edit_distance("ozsu", "özsu"), 1); // mixed ascii/unicode
+    }
+
+    #[test]
+    fn word_boundary_lengths() {
+        // Pattern lengths straddling the 64-char word boundary exercise the
+        // single-word/blocked dispatch and the partial top block.
+        for m in [63usize, 64, 65, 127, 128, 129] {
+            let a: String = "ab".chars().cycle().take(m).collect();
+            let mut b = a.clone();
+            b.replace_range(0..1, "x");
+            b.push('y');
+            assert_eq!(edit_distance(&a, &b), levenshtein(&a, &b), "m={m}");
+            for t in 0..4 {
+                assert_eq!(edit_distance_leq(&a, &b, t), levenshtein_leq(&a, &b, t), "m={m} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn leq_threshold_edges() {
+        let pairs = [("kitten", "sitting"), ("", "abc"), ("abc", "abc"), ("nan tang", "n j tang")];
+        for (a, b) in pairs {
+            let d = levenshtein(a, b);
+            for t in 0..=d + 2 {
+                let got = edit_distance_leq(a, b, t);
+                if t >= d {
+                    assert_eq!(got, Some(d), "{a:?} vs {b:?} @ {t}");
+                } else {
+                    assert_eq!(got, None, "{a:?} vs {b:?} @ {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn long_adversarial_pair_is_bounded() {
+        // Long strings under a small threshold take the banded fallback:
+        // O(k·min) work, never the full n·m scan.
+        let a = "a".repeat(5_000);
+        let b = "b".repeat(5_000);
+        assert_eq!(edit_distance_leq(&a, &b, 3), None);
+        assert_eq!(edit_distance_leq(&a, &b, 4_999), None);
+        assert_eq!(edit_distance_leq(&a, &b, 5_000), Some(5_000));
+        assert!(use_banded(5_000, 3), "long pair under small k must band");
+        assert!(!use_banded(5_000, 4_999), "near-full band must stay bit-parallel");
+    }
+
+    #[test]
+    fn slice_kernels_match_str_entry_points() {
+        let a = "hierarchical indexing approach";
+        let b = "hierarchical indexing approaches";
+        assert_eq!(edit_distance_bytes(a.as_bytes(), b.as_bytes()), edit_distance(a, b));
+        let ca: Vec<char> = a.chars().collect();
+        let cb: Vec<char> = b.chars().collect();
+        assert_eq!(edit_distance_chars(&ca, &cb), edit_distance(a, b));
+        assert_eq!(edit_distance_leq_chars(&ca, &cb, 2), edit_distance_leq(a, b, 2));
+        assert_eq!(edit_distance_leq_bytes(a.as_bytes(), b.as_bytes(), 1), None);
+    }
+
+    #[test]
+    fn scratch_reuse_across_strides() {
+        // Exercise the peq_bytes stride-change paths: grow, shrink, regrow.
+        let long_a = "abcd".repeat(40); // 160 chars → 3 blocks
+        let long_b = "abce".repeat(40);
+        let mid_a = "xy".repeat(40); // 80 chars → 2 blocks
+        let mid_b = "xz".repeat(40);
+        assert_eq!(edit_distance(&long_a, &long_b), levenshtein(&long_a, &long_b));
+        assert_eq!(edit_distance(&mid_a, &mid_b), levenshtein(&mid_a, &mid_b));
+        assert_eq!(edit_distance(&long_a, &long_b), levenshtein(&long_a, &long_b));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_dp_ascii(a in "[a-e ]{0,40}", b in "[a-e ]{0,40}") {
+            prop_assert_eq!(edit_distance(&a, &b), levenshtein(&a, &b));
+        }
+
+        #[test]
+        fn prop_matches_dp_unicode(a in "[aéß☃]{0,20}", b in "[aéß☃]{0,20}") {
+            prop_assert_eq!(edit_distance(&a, &b), levenshtein(&a, &b));
+        }
+
+        #[test]
+        fn prop_matches_dp_across_word_boundary(
+            a in "[ab]{50,90}",
+            b in "[ab]{50,90}",
+        ) {
+            prop_assert_eq!(edit_distance(&a, &b), levenshtein(&a, &b));
+        }
+
+        #[test]
+        fn prop_matches_dp_blocked_unicode(a in "[aé]{60,80}", b in "[aé]{60,80}") {
+            prop_assert_eq!(edit_distance(&a, &b), levenshtein(&a, &b));
+        }
+
+        #[test]
+        fn prop_leq_matches_dp(a in "[a-c]{0,70}", b in "[a-c]{0,70}", t in 0usize..8) {
+            prop_assert_eq!(edit_distance_leq(&a, &b, t), levenshtein_leq(&a, &b, t));
+        }
+
+        #[test]
+        fn prop_leq_exact_at_threshold(a in "[a-d]{0,30}", b in "[a-d]{0,30}") {
+            // k = d exactly: the early exit must not misfire on the edge.
+            let d = levenshtein(&a, &b);
+            prop_assert_eq!(edit_distance_leq(&a, &b, d), Some(d));
+            if d > 0 {
+                prop_assert_eq!(edit_distance_leq(&a, &b, d - 1), None);
+            }
+        }
+
+        #[test]
+        fn prop_char_slices_match_dp(a in "[aé]{0,70}", b in "[aé]{0,70}", t in 0usize..5) {
+            let ca: Vec<char> = a.chars().collect();
+            let cb: Vec<char> = b.chars().collect();
+            let d = dp_chars(&ca, &cb);
+            prop_assert_eq!(edit_distance_chars(&ca, &cb), d);
+            let want = (d <= t).then_some(d);
+            prop_assert_eq!(edit_distance_leq_chars(&ca, &cb, t), want);
+        }
+    }
+}

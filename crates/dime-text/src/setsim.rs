@@ -1,19 +1,53 @@
 //! Set-based similarity functions over sorted token-id slices.
 //!
 //! All functions require their inputs to be **sorted and deduplicated**
-//! (the representation produced by [`crate::Dictionary::observe`]); they run
-//! as a single merge pass, `O(|a| + |b|)` — the cost model the paper uses
-//! for set-based verification.
+//! (the representation produced by [`crate::Dictionary::observe`]). The
+//! entry points ([`intersection_size`], [`has_overlap`]) dispatch between
+//! two kernels by size skew:
+//!
+//! * a **merge pass**, `O(|a| + |b|)` — the cost model the paper uses for
+//!   set-based verification, best when the inputs are similar in size;
+//! * a **galloping** (exponential-search) pass, `O(|small| · log
+//!   |large|)` — wins when one side is much smaller, as in the skewed
+//!   candidate lists a rare-token signature probe produces.
+//!
+//! Both kernels return the same integer on every input, so the f64
+//! similarity formulas built on them are bit-identical regardless of which
+//! kernel ran. A third kernel — 64-bit bitset blocks for dense id ranges —
+//! lives in [`crate::bitset`].
 
 use crate::TokenId;
 
+/// Size ratio above which galloping beats the merge pass: with
+/// `|large| ≥ 16·|small|` the `log |large|` probes per small element cost
+/// less than scanning the large side.
+const GALLOP_RATIO: usize = 16;
+
 /// Size of the intersection of two sorted, deduplicated slices.
+///
+/// Dispatches merge vs gallop by size skew; both kernels agree exactly.
 ///
 /// ```
 /// use dime_text::intersection_size;
 /// assert_eq!(intersection_size(&[1, 3, 5, 9], &[2, 3, 5, 7]), 2);
 /// ```
 pub fn intersection_size(a: &[TokenId], b: &[TokenId]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return 0;
+    }
+    if large.len() / small.len() >= GALLOP_RATIO {
+        intersection_size_gallop(small, large)
+    } else {
+        intersection_size_merge(small, large)
+    }
+}
+
+/// The plain merge-pass kernel, `O(|a| + |b|)`.
+///
+/// Exposed so differential tests and the micro-benchmarks can pin the
+/// adaptive kernels against it.
+pub fn intersection_size_merge(a: &[TokenId], b: &[TokenId]) -> usize {
     debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "lhs must be sorted+dedup");
     debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "rhs must be sorted+dedup");
     let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
@@ -31,11 +65,44 @@ pub fn intersection_size(a: &[TokenId], b: &[TokenId]) -> usize {
     n
 }
 
+/// The galloping kernel: for each element of `small`, exponential-search
+/// forward in `large` from the previous match position, then binary-search
+/// within the bracketed window. `O(|small| · log |large|)`.
+///
+/// `small` need not actually be the shorter slice — the result is correct
+/// either way — but the cost bound assumes it is.
+pub fn intersection_size_gallop(small: &[TokenId], large: &[TokenId]) -> usize {
+    debug_assert!(small.windows(2).all(|w| w[0] < w[1]), "lhs must be sorted+dedup");
+    debug_assert!(large.windows(2).all(|w| w[0] < w[1]), "rhs must be sorted+dedup");
+    let mut base = 0usize;
+    let mut n = 0usize;
+    for &x in small {
+        let s = &large[base..];
+        if s.is_empty() {
+            break;
+        }
+        // Bracket the first element ≥ x between successive powers of two,
+        // then binary-search the bracket.
+        let mut bound = 1usize;
+        while bound < s.len() && s[bound] < x {
+            bound <<= 1;
+        }
+        let lo = bound >> 1;
+        let hi = bound.min(s.len());
+        base += lo + s[lo..hi].partition_point(|&v| v < x);
+        if base < large.len() && large[base] == x {
+            n += 1;
+            base += 1;
+        }
+    }
+    n
+}
+
 /// Overlap similarity `|a ∩ b|` — the raw number of common tokens.
 ///
 /// This is the `f_ov` of the paper (e.g. "≥ 2 common authors").
 pub fn overlap(a: &[TokenId], b: &[TokenId]) -> f64 {
-    intersection_size(a, b) as f64
+    overlap_counts(intersection_size(a, b))
 }
 
 /// Jaccard similarity `|a ∩ b| / |a ∪ b|` in `[0, 1]`.
@@ -43,48 +110,95 @@ pub fn overlap(a: &[TokenId], b: &[TokenId]) -> f64 {
 /// Returns 1.0 for two empty sets (they are identical), consistent with the
 /// convention that a missing value only matches another missing value.
 pub fn jaccard(a: &[TokenId], b: &[TokenId]) -> f64 {
-    if a.is_empty() && b.is_empty() {
-        return 1.0;
-    }
-    let inter = intersection_size(a, b);
-    let union = a.len() + b.len() - inter;
-    inter as f64 / union as f64
+    jaccard_counts(intersection_size(a, b), a.len(), b.len())
 }
 
 /// Dice coefficient `2|a ∩ b| / (|a| + |b|)` in `[0, 1]`.
 pub fn dice(a: &[TokenId], b: &[TokenId]) -> f64 {
-    if a.is_empty() && b.is_empty() {
-        return 1.0;
-    }
-    2.0 * intersection_size(a, b) as f64 / (a.len() + b.len()) as f64
+    dice_counts(intersection_size(a, b), a.len(), b.len())
 }
 
 /// Cosine similarity `|a ∩ b| / sqrt(|a|·|b|)` in `[0, 1]` for binary
 /// token vectors.
 pub fn cosine(a: &[TokenId], b: &[TokenId]) -> f64 {
-    if a.is_empty() && b.is_empty() {
+    cosine_counts(intersection_size(a, b), a.len(), b.len())
+}
+
+/// [`overlap`] from a precomputed intersection size. Every kernel (merge,
+/// gallop, bitset, arena) funnels through these `_counts` formulas so the
+/// f64 results are bit-identical across engines.
+pub fn overlap_counts(inter: usize) -> f64 {
+    inter as f64
+}
+
+/// [`jaccard`] from a precomputed intersection size and the two set sizes.
+pub fn jaccard_counts(inter: usize, la: usize, lb: usize) -> f64 {
+    if la == 0 && lb == 0 {
         return 1.0;
     }
-    if a.is_empty() || b.is_empty() {
+    let union = la + lb - inter;
+    inter as f64 / union as f64
+}
+
+/// [`dice`] from a precomputed intersection size and the two set sizes.
+pub fn dice_counts(inter: usize, la: usize, lb: usize) -> f64 {
+    if la == 0 && lb == 0 {
+        return 1.0;
+    }
+    2.0 * inter as f64 / (la + lb) as f64
+}
+
+/// [`cosine`] from a precomputed intersection size and the two set sizes.
+pub fn cosine_counts(inter: usize, la: usize, lb: usize) -> f64 {
+    if la == 0 && lb == 0 {
+        return 1.0;
+    }
+    if la == 0 || lb == 0 {
         return 0.0;
     }
-    intersection_size(a, b) as f64 / ((a.len() as f64) * (b.len() as f64)).sqrt()
+    inter as f64 / ((la as f64) * (lb as f64)).sqrt()
 }
 
 /// True iff the two sorted slices share at least one element.
 ///
 /// Short-circuits on the first hit, so it is cheaper than
-/// [`intersection_size`] when only existence matters (the signature filter).
+/// [`intersection_size`] when only existence matters (the signature
+/// filter). Skewed inputs gallop instead of merging.
 pub fn has_overlap(a: &[TokenId], b: &[TokenId]) -> bool {
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => return true,
-        }
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return false;
     }
-    false
+    if large.len() / small.len() >= GALLOP_RATIO {
+        let mut base = 0usize;
+        for &x in small {
+            let s = &large[base..];
+            if s.is_empty() {
+                return false;
+            }
+            let mut bound = 1usize;
+            while bound < s.len() && s[bound] < x {
+                bound <<= 1;
+            }
+            let lo = bound >> 1;
+            let hi = bound.min(s.len());
+            base += lo + s[lo..hi].partition_point(|&v| v < x);
+            if base < large.len() && large[base] == x {
+                return true;
+            }
+        }
+        false
+    } else {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < small.len() && j < large.len() {
+            match small[i].cmp(&large[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
 }
 
 #[cfg(test)]
@@ -101,7 +215,32 @@ mod tests {
     }
 
     #[test]
-    fn overlap_counts() {
+    fn gallop_matches_merge_on_skew() {
+        let small = [7u32, 300, 301, 9999];
+        let large: Vec<u32> = (0..10_000).step_by(3).collect();
+        assert_eq!(
+            intersection_size_gallop(&small, &large),
+            intersection_size_merge(&small, &large)
+        );
+        // The dispatch picks gallop here (10000/3 elems vs 4).
+        assert_eq!(intersection_size(&small, &large), intersection_size_merge(&small, &large));
+    }
+
+    #[test]
+    fn gallop_extremes() {
+        let a: Vec<u32> = (0..100).collect();
+        assert_eq!(intersection_size_gallop(&a, &a), a.len()); // identical
+        let b: Vec<u32> = (1000..1100).collect();
+        assert_eq!(intersection_size_gallop(&a, &b), 0); // disjoint, below
+        assert_eq!(intersection_size_gallop(&b, &a), 0); // disjoint, above
+        assert_eq!(intersection_size_gallop(&[], &a), 0);
+        assert_eq!(intersection_size_gallop(&a, &[]), 0);
+        assert_eq!(intersection_size_gallop(&[99], &a), 1); // last element
+        assert_eq!(intersection_size_gallop(&[0], &a), 1); // first element
+    }
+
+    #[test]
+    fn overlap_counts_test() {
         assert_eq!(overlap(&[1, 2, 5], &[2, 5, 9]), 2.0);
     }
 
@@ -128,9 +267,27 @@ mod tests {
         assert!(!has_overlap(&[1, 3], &[2, 4]));
     }
 
+    #[test]
+    fn has_overlap_gallop_path() {
+        let large: Vec<u32> = (0..2_000).step_by(2).collect();
+        assert!(has_overlap(&[1, 998], &large)); // 998 is even → hit
+        assert!(!has_overlap(&[1, 999], &large)); // both odd → miss
+        assert!(has_overlap(&large, &[1, 998])); // argument order irrelevant
+    }
+
     fn sorted_set() -> impl Strategy<Value = Vec<TokenId>> {
         proptest::collection::btree_set(0u32..200, 0..30)
             .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+    }
+
+    /// Skewed pair: a few elements vs a large range, so the dispatch
+    /// exercises the galloping kernel.
+    fn skewed_pair() -> impl Strategy<Value = (Vec<TokenId>, Vec<TokenId>)> {
+        (
+            proptest::collection::btree_set(0u32..5_000, 0..6),
+            proptest::collection::btree_set(0u32..5_000, 200..400),
+        )
+            .prop_map(|(a, b)| (a.into_iter().collect(), b.into_iter().collect()))
     }
 
     proptest! {
@@ -169,6 +326,22 @@ mod tests {
         fn prop_intersection_matches_naive(a in sorted_set(), b in sorted_set()) {
             let naive = a.iter().filter(|x| b.contains(x)).count();
             prop_assert_eq!(intersection_size(&a, &b), naive);
+        }
+
+        #[test]
+        fn prop_gallop_matches_merge(a in sorted_set(), b in sorted_set()) {
+            let merge = intersection_size_merge(&a, &b);
+            prop_assert_eq!(intersection_size_gallop(&a, &b), merge);
+            prop_assert_eq!(intersection_size_gallop(&b, &a), merge);
+        }
+
+        #[test]
+        fn prop_gallop_matches_merge_skewed(pair in skewed_pair()) {
+            let (a, b) = pair;
+            let merge = intersection_size_merge(&a, &b);
+            prop_assert_eq!(intersection_size_gallop(&a, &b), merge);
+            prop_assert_eq!(intersection_size(&a, &b), merge);
+            prop_assert_eq!(has_overlap(&a, &b), merge > 0);
         }
     }
 }

@@ -16,8 +16,12 @@
 #   clippy        lint-clean across all targets, warnings denied
 #   bench-smoke   exp_check --smoke: the three engines must agree on a
 #                 tiny generated group inside a generous time ceiling
-#   bench-json    small-config exp_serve / exp_trace / exp_store runs,
-#                 refreshing results/BENCH_{serve,trace,store}.json
+#   bench-micro   exp_micro smoke: the similarity-kernel microbenchmark
+#                 driver runs end to end on a small pair count (the
+#                 committed JSON is refreshed by bench-json)
+#   bench-json    small-config exp_serve / exp_trace / exp_store /
+#                 exp_micro runs, refreshing
+#                 results/BENCH_{serve,trace,store,micro}.json
 #   offline-build the rustc-only harness (scripts/offline/build_all.sh);
 #                 skipped with a message when cargo never produced the
 #                 stub sources' toolchain or rustc is missing
@@ -31,7 +35,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-STAGES=(fmt build test serve-e2e store-recovery check clippy bench-smoke bench-json offline-build)
+STAGES=(fmt build test serve-e2e store-recovery check clippy bench-smoke bench-micro bench-json offline-build)
 
 run_fmt() { cargo fmt --all --check; }
 run_build() { cargo build --release; }
@@ -52,13 +56,20 @@ run_clippy() { cargo clippy --workspace --all-targets -- -D warnings; }
 # Engine-agreement smoke: naive, fast, and parallel must produce
 # bit-identical discoveries on a small DBGen group, under a time ceiling.
 run_bench_smoke() { cargo run -q --release --bin exp_check -- --smoke; }
+# Kernel microbenchmark smoke: exp_micro must run every kernel row end to
+# end; a tiny pair count keeps it cheap, and the JSON goes to a scratch
+# path so only bench-json refreshes the committed numbers.
+run_bench_micro() {
+  cargo run -q --release --bin exp_micro -- --pairs 2000 --out "$(mktemp -d)/BENCH_micro.json"
+}
 # Small-config benchmark drivers: refresh the machine-readable summaries
 # committed under results/ so service, trace, and store numbers are
 # tracked alongside the engine benchmarks.
 run_bench_json() {
   cargo run -q --release --bin exp_serve -- --clients 2 --rounds 4 --batch 32 &&
     cargo run -q --release --bin exp_trace -- --scholar 400 --dbgen 800 &&
-    cargo run -q --release --bin exp_store -- --append-ops 500 --always-ops 50 --recover 1000
+    cargo run -q --release --bin exp_store -- --append-ops 500 --always-ops 50 --recover 1000 &&
+    cargo run -q --release --bin exp_micro -- --pairs 200000
 }
 
 # The offline harness double-checks that the workspace still builds with
@@ -102,6 +113,7 @@ run_stage() {
     check) run_check ;;
     clippy) run_clippy ;;
     bench-smoke) run_bench_smoke ;;
+    bench-micro) run_bench_micro ;;
     bench-json) run_bench_json ;;
     offline-build) run_offline_build ;;
     *)

@@ -72,7 +72,7 @@ pub struct FileReport {
 }
 
 /// Crates whose service path must not panic.
-const SERVICE_CRATES: [&str; 2] = ["dime-serve", "dime-store"];
+const SERVICE_CRATES: [&str; 3] = ["dime-serve", "dime-store", "dime-cluster"];
 /// Crates allowed to read the wall clock from library code.
 const WALL_CLOCK_CRATES: [&str; 2] = ["dime-trace", "dime-bench"];
 /// The bench harness prints measurements from its library by design.
@@ -107,7 +107,7 @@ pub fn analyze_source(src: &str, ctx: &FileContext) -> FileReport {
         let live = |t: &Token| !regions.contains(t.start);
         if SERVICE_CRATES.contains(&ctx.crate_name.as_str()) {
             check_panic_in_service(src, &toks, &live, &mut raw);
-            if ctx.crate_name == "dime-store" {
+            if matches!(ctx.crate_name.as_str(), "dime-store" | "dime-cluster") {
                 check_fsync_before_rename(src, &toks, &live, &mut raw);
             }
         }

@@ -10,13 +10,15 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RuleId {
     /// No `unwrap`/`expect`/panicking macro/`[…]` indexing on the service
-    /// path (`dime-serve` and `dime-store` non-test code).
+    /// path (`dime-serve`, `dime-store`, and `dime-cluster` non-test
+    /// code).
     PanicInService,
     /// Every `Ordering::Relaxed` carries a reasoned suppression — the
     /// "annotated counter" discipline of the lock-free structures.
     AtomicOrdering,
-    /// A `rename(` in `dime-store` must be preceded by `sync_all`/
-    /// `sync_data` in the same function (durable-rename contract).
+    /// A `rename(` in `dime-store` or `dime-cluster` must be preceded by
+    /// `sync_all`/`sync_data` in the same function (durable-rename
+    /// contract).
     FsyncBeforeRename,
     /// `Instant::now`/`SystemTime` are confined to `dime-trace`,
     /// `dime-bench`, and binaries: engine state must replay
@@ -75,15 +77,15 @@ impl RuleId {
         match self {
             RuleId::PanicInService => {
                 "no unwrap/expect, panicking macros, or [..] indexing in non-test \
-                 dime-serve/dime-store code"
+                 dime-serve/dime-store/dime-cluster code"
             }
             RuleId::AtomicOrdering => {
                 "every Ordering::Relaxed needs a reasoned allow naming it a counter \
                  with no ordering dependency"
             }
             RuleId::FsyncBeforeRename => {
-                "rename() in dime-store requires an earlier sync_all/sync_data in the \
-                 same function"
+                "rename() in dime-store or dime-cluster requires an earlier \
+                 sync_all/sync_data in the same function"
             }
             RuleId::WallClockInCore => {
                 "Instant::now/SystemTime only in dime-trace, dime-bench, and binaries \

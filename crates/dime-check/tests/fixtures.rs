@@ -38,7 +38,17 @@ fn panic_in_service_fires_once() {
 fn panic_fixture_is_clean_outside_service_crates() {
     let report =
         analyze_source(&fixture("panic_in_service.rs"), &ctx("dime-core", FileKind::Lib, false));
-    assert!(report.findings.is_empty(), "the no-panic contract is scoped to serve/store");
+    assert!(report.findings.is_empty(), "the no-panic contract is scoped to serve/store/cluster");
+}
+
+#[test]
+fn panic_in_service_covers_dime_cluster() {
+    let report = fires_once(
+        "panic_in_service.rs",
+        &ctx("dime-cluster", FileKind::Lib, false),
+        RuleId::PanicInService,
+    );
+    assert_eq!(report.findings.len(), 1);
 }
 
 #[test]
@@ -61,6 +71,16 @@ fn fsync_before_rename_fires_once() {
         RuleId::FsyncBeforeRename,
     );
     assert_eq!(report.findings.len(), 1, "the synced swap must not fire");
+}
+
+#[test]
+fn fsync_before_rename_covers_dime_cluster() {
+    let report = fires_once(
+        "fsync_before_rename.rs",
+        &ctx("dime-cluster", FileKind::Lib, false),
+        RuleId::FsyncBeforeRename,
+    );
+    assert_eq!(report.findings.len(), 1, "the durable-rename contract extends to the cluster");
 }
 
 #[test]

@@ -1,0 +1,1146 @@
+//! The cluster router: speaks the same framed JSON-lines protocol as a
+//! single `dime-serve` server, but owns no sessions itself — it places
+//! each session on one of N backend shards by consistent hashing over its
+//! router-assigned id, proxies session-scoped operations to the owning
+//! shard over a small per-shard connection pool, and fans
+//! `stats`/`trace` out to every shard, merging counters by summation and
+//! latency histograms bucket-wise (the monotone merge of
+//! `dime_trace::Histogram`).
+//!
+//! Failure model: a shard IO failure answers the client with the
+//! retryable [`ErrorCode::Unavailable`] — the request was not applied (or
+//! its fate is unknown and the client may resend; see
+//! `Client::with_retry`'s caveat). When health probing is enabled and a
+//! shard misses `fail_threshold` consecutive probes, the router promotes
+//! the shard's configured follower (the `promote`/`promote_ack` exchange
+//! of [`crate::repl`]), repoints the shard at the promoted address, bumps
+//! the shard's generation so pooled connections to the dead primary are
+//! discarded, and resumes routing. Session placement never changes on
+//! failover — the ring maps ids to shard *slots*, and a slot keeps its
+//! sessions across promotion because the follower holds a byte-identical
+//! copy of every acked log.
+
+use crate::repl::{connect_with_timeout, read_repl_frame, write_repl_frame, ReplFrame};
+use crate::ring::{Ring, DEFAULT_VNODES};
+use dime_serve::{
+    Client, ClientError, ErrorCode, Frame, FrameReader, Request, Response, DEFAULT_MAX_FRAME_BYTES,
+};
+use dime_trace::{Histogram, HistogramSnapshot, BUCKETS};
+use serde_json::{json, Map, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Recovers from lock poisoning instead of propagating panics: router
+/// state (pools, the session map) stays usable if a holder panicked.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One backend shard: its serving address and, optionally, the
+/// replication address of a warm follower to promote on failure.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// The shard primary's serve address.
+    pub addr: String,
+    /// The follower's replication address, when the shard has one.
+    pub follower: Option<String>,
+}
+
+/// Health probing and failover knobs.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Pause between probe rounds.
+    pub interval: Duration,
+    /// Consecutive probe failures before a shard is declared dead.
+    pub fail_threshold: u32,
+    /// Connect + response budget of one probe.
+    pub connect_timeout: Duration,
+    /// How long to wait for a follower's `promote_ack` (recovery replay
+    /// happens inside this window).
+    pub promote_timeout: Duration,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(500),
+            fail_threshold: 3,
+            connect_timeout: Duration::from_millis(250),
+            promote_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Tuning knobs of a [`Router`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; port `0` picks a free port.
+    pub addr: String,
+    /// The backend shards, in ring-slot order.
+    pub shards: Vec<ShardSpec>,
+    /// Virtual nodes per shard on the placement ring.
+    pub vnodes: usize,
+    /// Hard cap on pooled + in-flight connections per shard. Keep this
+    /// *below* the shard's worker count: pooled connections occupy a
+    /// shard worker for their lifetime, and health probes need a free
+    /// slot.
+    pub pool_per_shard: usize,
+    /// Hard cap on one request or response frame, in bytes.
+    pub max_frame_bytes: usize,
+    /// Read-poll granularity of client connections (shutdown checks).
+    pub poll_interval: Duration,
+    /// Client connections idle longer than this are closed.
+    pub idle_timeout: Duration,
+    /// Write timeout per response frame.
+    pub write_timeout: Duration,
+    /// Health probing and failover; `None` disables both.
+    pub health: Option<HealthConfig>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            shards: Vec::new(),
+            vnodes: DEFAULT_VNODES,
+            pool_per_shard: 2,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            poll_interval: Duration::from_millis(25),
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            health: None,
+        }
+    }
+}
+
+/// A capped pool of connections to one shard, tagged with the shard
+/// generation they were dialed under so a failover invalidates them.
+struct Pool {
+    inner: Mutex<PoolInner>,
+    available: Condvar,
+    cap: usize,
+}
+
+struct PoolInner {
+    idle: Vec<(u64, Client)>,
+    /// Connections currently checked out or being dialed.
+    outstanding: usize,
+}
+
+impl Pool {
+    fn new(cap: usize) -> Self {
+        Self {
+            inner: Mutex::new(PoolInner { idle: Vec::new(), outstanding: 0 }),
+            available: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+}
+
+/// Live state of one shard slot.
+struct ShardState {
+    addr: Mutex<String>,
+    follower: Mutex<Option<String>>,
+    healthy: AtomicBool,
+    generation: AtomicU64,
+    failovers: AtomicU64,
+    pool: Pool,
+}
+
+impl ShardState {
+    fn current_addr(&self) -> String {
+        lock(&self.addr).clone()
+    }
+
+    /// Checks a connection out of the pool, dialing a fresh one when
+    /// under the cap, blocking when at it. Stale-generation idle
+    /// connections are discarded on the way.
+    fn checkout(&self) -> io::Result<(u64, Client)> {
+        let mut inner = lock(&self.pool.inner);
+        loop {
+            let generation = self.generation.load(Ordering::SeqCst);
+            while let Some((tagged, client)) = inner.idle.pop() {
+                if tagged == generation {
+                    inner.outstanding += 1;
+                    return Ok((generation, client));
+                }
+                // Stale: dialed before a failover; drop it.
+            }
+            if inner.outstanding < self.pool.cap {
+                inner.outstanding += 1;
+                drop(inner);
+                let addr = self.current_addr();
+                return match Client::connect(addr.as_str()) {
+                    Ok(client) => Ok((generation, client)),
+                    Err(e) => {
+                        let mut inner = lock(&self.pool.inner);
+                        inner.outstanding -= 1;
+                        drop(inner);
+                        self.pool.available.notify_one();
+                        Err(e)
+                    }
+                };
+            }
+            inner = self.pool.available.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Returns a checked-out connection. A connection whose request
+    /// failed, or that outlived its generation, is dropped instead of
+    /// pooled.
+    fn give_back(&self, generation: u64, client: Client, reusable: bool) {
+        let mut inner = lock(&self.pool.inner);
+        inner.outstanding = inner.outstanding.saturating_sub(1);
+        if reusable && generation == self.generation.load(Ordering::SeqCst) {
+            inner.idle.push((generation, client));
+        }
+        drop(inner);
+        self.pool.available.notify_one();
+    }
+
+    /// Invalidates every pooled connection (failover): bumps the
+    /// generation and drops the idle set.
+    fn invalidate_pool(&self) {
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        let mut inner = lock(&self.pool.inner);
+        inner.idle.clear();
+        drop(inner);
+        self.pool.available.notify_all();
+    }
+}
+
+struct Shared {
+    config: RouterConfig,
+    ring: Ring,
+    shards: Vec<ShardState>,
+    /// Router session id → (shard slot, shard-local session id).
+    sessions: Mutex<HashMap<u64, (usize, u64)>>,
+    next_rid: AtomicU64,
+    failovers: AtomicU64,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn initiate_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+}
+
+/// A cloneable handle for observing and stopping a running [`Router`].
+#[derive(Clone)]
+pub struct RouterHandle {
+    shared: Arc<Shared>,
+}
+
+impl RouterHandle {
+    /// The bound address (with the real port when `0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Initiates graceful shutdown, equivalent to a `shutdown` request.
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Whether shutdown has been initiated.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound, not-yet-running cluster router.
+pub struct Router {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Router {
+    /// Binds the configured address. Requires at least one shard.
+    pub fn bind(config: RouterConfig) -> io::Result<Self> {
+        if config.shards.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a router needs at least one shard",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let ring = Ring::new(config.shards.len(), config.vnodes.max(1));
+        let shards = config
+            .shards
+            .iter()
+            .map(|spec| ShardState {
+                addr: Mutex::new(spec.addr.clone()),
+                follower: Mutex::new(spec.follower.clone()),
+                healthy: AtomicBool::new(true),
+                generation: AtomicU64::new(0),
+                failovers: AtomicU64::new(0),
+                pool: Pool::new(config.pool_per_shard),
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            config,
+            ring,
+            shards,
+            sessions: Mutex::new(HashMap::new()),
+            next_rid: AtomicU64::new(1),
+            failovers: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+        Ok(Self { listener, shared })
+    }
+
+    /// The bound address (with the real port when `0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A handle for stopping the router from another thread.
+    pub fn handle(&self) -> RouterHandle {
+        RouterHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Serves until shutdown: one thread per client connection, plus the
+    /// health prober when probing is configured.
+    pub fn run(self) -> io::Result<()> {
+        std::thread::scope(|scope| {
+            if self.shared.config.health.is_some() {
+                let shared = Arc::clone(&self.shared);
+                scope.spawn(move || probe_loop(&shared));
+            }
+            for stream in self.listener.incoming() {
+                if self.shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let shared = Arc::clone(&self.shared);
+                scope.spawn(move || serve_connection(stream, &shared));
+            }
+        });
+        Ok(())
+    }
+}
+
+/// Serves one client connection — the same poll/idle/drain discipline as
+/// `dime-serve`'s workers, minus the worker pool (the shard pools are the
+/// concurrency limit that matters here).
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let cfg = &shared.config;
+    if stream.set_read_timeout(Some(cfg.poll_interval)).is_err()
+        || stream.set_write_timeout(Some(cfg.write_timeout)).is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = FrameReader::new(io::BufReader::new(stream), cfg.max_frame_bytes);
+    let mut idle = Duration::ZERO;
+    let mut shutdown_polls = 0u32;
+    loop {
+        match reader.read_frame() {
+            Ok(Frame::Eof) => return,
+            Ok(Frame::Oversized) => {
+                idle = Duration::ZERO;
+                shutdown_polls = 0;
+                let resp = Response::err(
+                    ErrorCode::FrameTooLarge,
+                    format!("frame exceeds {} bytes", cfg.max_frame_bytes),
+                );
+                if write_response(&mut writer, &resp).is_err() {
+                    return;
+                }
+            }
+            Ok(Frame::Line(line)) => {
+                idle = Duration::ZERO;
+                shutdown_polls = 0;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (resp, is_shutdown) = process_line(&line, shared);
+                if write_response(&mut writer, &resp).is_err() {
+                    return;
+                }
+                if is_shutdown {
+                    shared.initiate_shutdown();
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    shutdown_polls += 1;
+                    if shutdown_polls >= 2 {
+                        return;
+                    }
+                } else {
+                    idle += cfg.poll_interval;
+                    if idle >= cfg.idle_timeout {
+                        return;
+                    }
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_response(writer: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    writer.write_all(dime_serve::encode_frame(&resp.to_value()).as_bytes())?;
+    writer.flush()
+}
+
+fn process_line(line: &str, shared: &Shared) -> (Response, bool) {
+    let value: Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => return (Response::err(ErrorCode::BadFrame, format!("invalid JSON: {e}")), false),
+    };
+    let req = match Request::from_value(&value) {
+        Ok(r) => r,
+        Err(e) => return (Response::err(e.code, e.message), false),
+    };
+    let is_shutdown = matches!(req, Request::Shutdown);
+    (route_request(&req, shared), is_shutdown)
+}
+
+/// Sends one request to a shard through its pool. IO failures come back
+/// as the retryable `unavailable`; shard-side error responses pass
+/// through verbatim.
+fn shard_request(shared: &Shared, slot: usize, req: &Request) -> Response {
+    let Some(shard) = shared.shards.get(slot) else {
+        return Response::err(ErrorCode::Internal, format!("no shard slot {slot}"));
+    };
+    let (generation, mut client) = match shard.checkout() {
+        Ok(c) => c,
+        Err(e) => {
+            return Response::err(ErrorCode::Unavailable, format!("shard {slot} unreachable: {e}"))
+        }
+    };
+    match client.request(req) {
+        Ok(resp) => {
+            shard.give_back(generation, client, true);
+            resp
+        }
+        Err(ClientError::Io(e)) => {
+            shard.give_back(generation, client, false);
+            Response::err(ErrorCode::Unavailable, format!("shard {slot} failed mid-request: {e}"))
+        }
+        Err(e) => {
+            shard.give_back(generation, client, false);
+            Response::err(ErrorCode::Internal, format!("shard {slot} protocol error: {e}"))
+        }
+    }
+}
+
+/// The request a session-scoped operation becomes on the owning shard:
+/// same operation, shard-local session id.
+fn with_session(req: &Request, session: u64) -> Request {
+    match req {
+        Request::AddEntities { entities, .. } => {
+            Request::AddEntities { session, entities: entities.clone() }
+        }
+        Request::RemoveEntity { entity, .. } => Request::RemoveEntity { session, entity: *entity },
+        Request::Discovery { .. } => Request::Discovery { session },
+        Request::Scrollbar { step, .. } => Request::Scrollbar { session, step: *step },
+        Request::Stats { .. } => Request::Stats { session: Some(session) },
+        Request::CloseSession { .. } => Request::CloseSession { session },
+        other => other.clone(),
+    }
+}
+
+/// Dispatches one request: local (ping/shutdown), placed (create),
+/// routed (session-scoped), or fanned out (global stats/trace).
+fn route_request(req: &Request, shared: &Shared) -> Response {
+    match req {
+        Request::Ping => Response::Ok(json!({"pong": true})),
+        Request::Shutdown => Response::Ok(json!({"shutting_down": true})),
+        Request::CreateSession { .. } => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Response::err(
+                    ErrorCode::ShuttingDown,
+                    "router is draining; no new sessions",
+                );
+            }
+            let rid = shared.next_rid.fetch_add(1, Ordering::SeqCst);
+            let Some(slot) = shared.ring.shard_of(rid) else {
+                return Response::err(ErrorCode::Internal, "placement ring is empty");
+            };
+            match shard_request(shared, slot, req) {
+                Response::Ok(mut v) => {
+                    let Some(remote) = v.get("session").and_then(Value::as_u64) else {
+                        return Response::err(
+                            ErrorCode::Internal,
+                            format!("shard {slot} created a session without an id"),
+                        );
+                    };
+                    lock(&shared.sessions).insert(rid, (slot, remote));
+                    if let Some(obj) = v.as_object_mut() {
+                        obj.insert("session".into(), json!(rid));
+                    }
+                    Response::Ok(v)
+                }
+                err => err,
+            }
+        }
+        Request::AddEntities { session, .. }
+        | Request::RemoveEntity { session, .. }
+        | Request::Discovery { session }
+        | Request::Scrollbar { session, .. }
+        | Request::Stats { session: Some(session) }
+        | Request::CloseSession { session } => {
+            let rid = *session;
+            let Some((slot, remote)) = lock(&shared.sessions).get(&rid).copied() else {
+                return Response::err(
+                    ErrorCode::NoSuchSession,
+                    format!("session {rid} does not exist"),
+                );
+            };
+            let resp = shard_request(shared, slot, &with_session(req, remote));
+            match (req, resp) {
+                (Request::CloseSession { .. }, Response::Ok(mut v)) => {
+                    lock(&shared.sessions).remove(&rid);
+                    if let Some(obj) = v.as_object_mut() {
+                        obj.insert("closed".into(), json!(rid));
+                    }
+                    Response::Ok(v)
+                }
+                (_, resp) => resp,
+            }
+        }
+        Request::Stats { session: None } => {
+            let (merged, reachable) = fan_out(shared, req);
+            let mut v = merge_stats(&merged);
+            if v.as_object().is_none() {
+                // Every shard unreachable: still answer with the cluster view.
+                v = Value::Object(Map::new());
+            }
+            if let Some(obj) = v.as_object_mut() {
+                obj.insert("cluster".into(), cluster_value(shared, &reachable));
+            }
+            Response::Ok(v)
+        }
+        Request::Trace => {
+            let (results, _) = fan_out(shared, req);
+            Response::Ok(merge_trace(&results))
+        }
+    }
+}
+
+/// Sends `req` to every shard, returning the successful payloads and a
+/// per-shard reachability vector (unreachable shards are simply absent
+/// from the merge — a cluster-wide view should not fail because one
+/// shard is mid-failover).
+fn fan_out(shared: &Shared, req: &Request) -> (Vec<Value>, Vec<bool>) {
+    let mut values = Vec::with_capacity(shared.shards.len());
+    let mut reachable = Vec::with_capacity(shared.shards.len());
+    for slot in 0..shared.shards.len() {
+        match shard_request(shared, slot, req) {
+            Response::Ok(v) => {
+                values.push(v);
+                reachable.push(true);
+            }
+            Response::Err { .. } => reachable.push(false),
+        }
+    }
+    (values, reachable)
+}
+
+/// The router's own contribution to the global stats view.
+fn cluster_value(shared: &Shared, reachable: &[bool]) -> Value {
+    let shards: Vec<Value> = shared
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            json!({
+                "addr": s.current_addr(),
+                "healthy": s.healthy.load(Ordering::SeqCst),
+                "reachable": reachable.get(i).copied().unwrap_or(false),
+                "generation": s.generation.load(Ordering::SeqCst),
+                "failovers": s.failovers.load(Ordering::SeqCst),
+            })
+        })
+        .collect();
+    json!({
+        "shards": shards,
+        "failovers": shared.failovers.load(Ordering::SeqCst),
+        "sessions_routed": lock(&shared.sessions).len(),
+    })
+}
+
+// --- cross-shard merging ------------------------------------------------
+
+/// Whether a JSON object is a serialized histogram aggregate (both the
+/// `_micros`-suffixed latency form and the unit-agnostic trace form
+/// carry a `buckets` array of `[index, count]` pairs).
+fn is_histogram_object(v: &Value) -> bool {
+    v.get("buckets").and_then(Value::as_array).is_some() && v.get("count").is_some()
+}
+
+/// Rebuilds a [`HistogramSnapshot`] from its serialized form. `suffix`
+/// is `"_micros"` for latency aggregates, `""` for trace histograms.
+fn snapshot_of(v: &Value, suffix: &str) -> HistogramSnapshot {
+    let field = |name: &str| {
+        v.get(&format!("{name}{suffix}"))
+            .or_else(|| v.get(name))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+    let mut buckets = [0u64; BUCKETS];
+    if let Some(pairs) = v.get("buckets").and_then(Value::as_array) {
+        for pair in pairs {
+            let Some(cells) = pair.as_array() else { continue };
+            let (Some(i), Some(n)) =
+                (cells.first().and_then(Value::as_u64), cells.get(1).and_then(Value::as_u64))
+            else {
+                continue;
+            };
+            if let Some(cell) = buckets.get_mut(i as usize) {
+                *cell = n;
+            }
+        }
+    }
+    HistogramSnapshot {
+        count: field("count"),
+        total: field("total"),
+        max: field("max"),
+        p50: 0,
+        p95: 0,
+        p99: 0,
+        buckets,
+    }
+}
+
+/// Serializes a merged histogram back into the same shape its inputs
+/// had, quantiles recomputed over the merged buckets.
+fn histogram_value(h: &Histogram, suffix: &str) -> Value {
+    let s = h.snapshot();
+    let pairs: Vec<Value> =
+        s.buckets.iter().enumerate().filter(|(_, &n)| n > 0).map(|(i, &n)| json!([i, n])).collect();
+    let mut obj = Map::new();
+    obj.insert("count".into(), json!(s.count));
+    obj.insert(format!("total{suffix}"), json!(s.total));
+    obj.insert(format!("max{suffix}"), json!(s.max));
+    obj.insert(format!("mean{suffix}"), json!(s.mean()));
+    obj.insert(format!("p50{suffix}"), json!(s.p50));
+    obj.insert(format!("p95{suffix}"), json!(s.p95));
+    obj.insert(format!("p99{suffix}"), json!(s.p99));
+    obj.insert("buckets".into(), Value::Array(pairs));
+    Value::Object(obj)
+}
+
+/// Merges several histogram objects through an actual [`Histogram`], so
+/// the merged quantiles obey the same monotonicity contract as a
+/// single-node merge.
+fn merge_histograms(values: &[&Value]) -> Value {
+    let suffix =
+        if values.iter().any(|v| v.get("total_micros").is_some()) { "_micros" } else { "" };
+    let merged = Histogram::new();
+    for v in values {
+        merged.merge_snapshot(&snapshot_of(v, suffix));
+    }
+    histogram_value(&merged, suffix)
+}
+
+/// Deep-merges per-shard `stats` payloads: numbers sum (`uptime_micros`
+/// takes the max — shard uptimes don't add), histogram objects merge
+/// bucket-wise, nested objects recurse, everything else keeps the first
+/// shard's value.
+fn merge_stats(values: &[Value]) -> Value {
+    let refs: Vec<&Value> = values.iter().collect();
+    merge_field("", &refs)
+}
+
+fn merge_field(key: &str, values: &[&Value]) -> Value {
+    let Some(first) = values.first() else { return Value::Null };
+    if values.iter().all(|v| v.as_u64().is_some()) {
+        let nums = values.iter().filter_map(|v| v.as_u64());
+        return if key == "uptime_micros" {
+            json!(nums.max().unwrap_or(0))
+        } else {
+            json!(nums.fold(0u64, u64::saturating_add))
+        };
+    }
+    if first.as_object().is_some() {
+        if values.iter().all(|v| is_histogram_object(v)) {
+            return merge_histograms(values);
+        }
+        let mut keys: Vec<&String> = Vec::new();
+        for v in values {
+            if let Some(obj) = v.as_object() {
+                for k in obj.keys() {
+                    if !keys.contains(&k) {
+                        keys.push(k);
+                    }
+                }
+            }
+        }
+        let mut out = Map::new();
+        for k in keys {
+            let at_key: Vec<&Value> = values.iter().filter_map(|v| v.get(k.as_str())).collect();
+            out.insert(k.clone(), merge_field(k, &at_key));
+        }
+        return Value::Object(out);
+    }
+    (*first).clone()
+}
+
+/// Merges per-shard `trace` payloads: phases by name, counters by key,
+/// rule hits by (kind, rule), histograms by name — sums and bucket-wise
+/// histogram merges throughout.
+fn merge_trace(values: &[Value]) -> Value {
+    let mut phases: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut rule_hits: BTreeMap<(String, u64), u64> = BTreeMap::new();
+    let mut histograms: BTreeMap<String, Histogram> = BTreeMap::new();
+    let mut spans = 0u64;
+    let mut dropped = 0u64;
+    for v in values {
+        for p in v.get("phases").and_then(Value::as_array).unwrap_or(&Vec::new()) {
+            let Some(name) = p.get("name").and_then(Value::as_str) else { continue };
+            let entry = phases.entry(name.to_string()).or_insert((0, 0));
+            entry.0 += p.get("count").and_then(Value::as_u64).unwrap_or(0);
+            entry.1 += p.get("total_ns").and_then(Value::as_u64).unwrap_or(0);
+        }
+        if let Some(obj) = v.get("counters").and_then(Value::as_object) {
+            for (k, n) in obj {
+                *counters.entry(k.clone()).or_insert(0) += n.as_u64().unwrap_or(0);
+            }
+        }
+        for r in v.get("rule_hits").and_then(Value::as_array).unwrap_or(&Vec::new()) {
+            let kind = r.get("kind").and_then(Value::as_str).unwrap_or("?").to_string();
+            let rule = r.get("rule").and_then(Value::as_u64).unwrap_or(0);
+            *rule_hits.entry((kind, rule)).or_insert(0) +=
+                r.get("hits").and_then(Value::as_u64).unwrap_or(0);
+        }
+        for h in v.get("histograms").and_then(Value::as_array).unwrap_or(&Vec::new()) {
+            let Some(name) = h.get("name").and_then(Value::as_str) else { continue };
+            histograms.entry(name.to_string()).or_default().merge_snapshot(&snapshot_of(h, ""));
+        }
+        spans += v.get("spans").and_then(Value::as_u64).unwrap_or(0);
+        dropped += v.get("dropped_spans").and_then(Value::as_u64).unwrap_or(0);
+    }
+    let phases: Vec<Value> = phases
+        .into_iter()
+        .map(
+            |(name, (count, total_ns))| json!({"name": name, "count": count, "total_ns": total_ns}),
+        )
+        .collect();
+    let mut counter_obj = Map::new();
+    for (k, n) in counters {
+        counter_obj.insert(k, json!(n));
+    }
+    let rule_hits: Vec<Value> = rule_hits
+        .into_iter()
+        .map(|((kind, rule), hits)| json!({"kind": kind, "rule": rule, "hits": hits}))
+        .collect();
+    let histograms: Vec<Value> = histograms
+        .into_iter()
+        .map(|(name, h)| {
+            let mut v = histogram_value(&h, "");
+            if let Some(obj) = v.as_object_mut() {
+                obj.insert("name".into(), json!(name));
+            }
+            v
+        })
+        .collect();
+    json!({
+        "phases": phases,
+        "counters": counter_obj,
+        "rule_hits": rule_hits,
+        "histograms": histograms,
+        "spans": spans,
+        "dropped_spans": dropped,
+    })
+}
+
+// --- health probing and failover ----------------------------------------
+
+/// Probes every shard each interval; a shard missing `fail_threshold`
+/// consecutive probes is declared dead and its follower (if any) is
+/// promoted.
+fn probe_loop(shared: &Shared) {
+    let Some(health) = shared.config.health.clone() else { return };
+    let mut consecutive_failures = vec![0u32; shared.shards.len()];
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(health.interval);
+        for (slot, shard) in shared.shards.iter().enumerate() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let Some(fails) = consecutive_failures.get_mut(slot) else { continue };
+            if probe(&shard.current_addr(), health.connect_timeout) {
+                *fails = 0;
+                shard.healthy.store(true, Ordering::SeqCst);
+                continue;
+            }
+            *fails += 1;
+            if *fails < health.fail_threshold {
+                continue;
+            }
+            shard.healthy.store(false, Ordering::SeqCst);
+            // Promote at most once: the follower slot is consumed.
+            let follower = lock(&shard.follower).take();
+            let Some(follower_addr) = follower else { continue };
+            match promote_follower(&follower_addr, &health) {
+                Ok(new_addr) => {
+                    eprintln!(
+                        "dime-cluster: shard {slot} dead after {fails} probes; promoted follower at {new_addr}",
+                        fails = *fails
+                    );
+                    *lock(&shard.addr) = new_addr;
+                    shard.invalidate_pool();
+                    shard.failovers.fetch_add(1, Ordering::SeqCst);
+                    shared.failovers.fetch_add(1, Ordering::SeqCst);
+                    shard.healthy.store(true, Ordering::SeqCst);
+                    *fails = 0;
+                }
+                Err(e) => {
+                    eprintln!("dime-cluster: promoting shard {slot}'s follower failed: {e}");
+                    *lock(&shard.follower) = Some(follower_addr);
+                }
+            }
+        }
+    }
+}
+
+/// One health probe: connect, ping, expect any well-formed response line.
+fn probe(addr: &str, timeout: Duration) -> bool {
+    let Ok(stream) = connect_with_timeout(addr, timeout) else { return false };
+    if stream.set_read_timeout(Some(timeout)).is_err()
+        || stream.set_write_timeout(Some(timeout)).is_err()
+    {
+        return false;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return false,
+    };
+    if writer.write_all(b"{\"op\":\"ping\"}\n").is_err() || writer.flush().is_err() {
+        return false;
+    }
+    let mut reader = FrameReader::new(io::BufReader::new(stream), DEFAULT_MAX_FRAME_BYTES);
+    matches!(reader.read_frame(), Ok(Frame::Line(_)))
+}
+
+/// The promotion exchange: `promote` out, `promote_ack` (with the new
+/// primary's serve address) back.
+fn promote_follower(follower_addr: &str, health: &HealthConfig) -> io::Result<String> {
+    let mut stream = connect_with_timeout(follower_addr, health.connect_timeout)?;
+    stream.set_read_timeout(Some(health.promote_timeout))?;
+    stream.set_write_timeout(Some(health.promote_timeout))?;
+    write_repl_frame(&mut stream, &ReplFrame::Promote)?;
+    match read_repl_frame(&mut stream)? {
+        ReplFrame::PromoteAck { addr } => Ok(addr),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected promote_ack, got {other:?}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::follower::{Follower, FollowerConfig};
+    use crate::repl::FollowerLink;
+    use dime_serve::{ServeConfig, Server, WalTapHandle};
+    use dime_store::{FsyncPolicy, StoreConfig};
+    use serde_json::json;
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: TestCounter = TestCounter::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("dime-router-{tag}-{}-{n}", std::process::id()))
+    }
+
+    fn group_doc() -> Value {
+        json!({"schema": [{"name": "Authors", "tokenizer": {"list": ","}}]})
+    }
+
+    const RULES: &str = "positive: overlap(Authors) >= 2\nnegative: overlap(Authors) <= 0";
+
+    fn spawn_server(workers: usize) -> (SocketAddr, dime_serve::ServerHandle) {
+        let server =
+            Server::bind(ServeConfig { workers, ..ServeConfig::default() }).expect("bind shard");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        std::thread::spawn(move || server.run());
+        (addr, handle)
+    }
+
+    fn spawn_router(config: RouterConfig) -> (SocketAddr, RouterHandle) {
+        let router = Router::bind(config).expect("bind router");
+        let addr = router.local_addr();
+        let handle = router.handle();
+        std::thread::spawn(move || router.run());
+        (addr, handle)
+    }
+
+    fn comparable(mut report: Value) -> Value {
+        report.as_object_mut().expect("report object").remove("witnesses");
+        report
+    }
+
+    #[test]
+    fn routes_sessions_across_shards_and_rewrites_ids() {
+        let (s0, h0) = spawn_server(2);
+        let (s1, h1) = spawn_server(2);
+        let (addr, router) = spawn_router(RouterConfig {
+            shards: vec![
+                ShardSpec { addr: s0.to_string(), follower: None },
+                ShardSpec { addr: s1.to_string(), follower: None },
+            ],
+            pool_per_shard: 1,
+            ..RouterConfig::default()
+        });
+
+        let mut client = Client::connect(addr).expect("connect router");
+        let mut rids = Vec::new();
+        for _ in 0..6 {
+            let rid = client.create_session(&group_doc(), RULES).expect("create");
+            client
+                .add_entities(
+                    rid,
+                    &[json!(["ann, bob"]), json!(["ann, bob, carl"]), json!(["dora"])],
+                )
+                .expect("add");
+            rids.push(rid);
+        }
+        // Router ids are globally unique even though each shard numbers
+        // its own sessions from 1.
+        let mut unique = rids.clone();
+        unique.dedup();
+        assert_eq!(unique.len(), rids.len());
+
+        for &rid in &rids {
+            let report = client.discovery(rid).expect("discovery");
+            assert_eq!(report["mis_categorized"].as_array().expect("flagged").len(), 1);
+        }
+
+        // Global stats aggregate both shards and carry the cluster view.
+        let stats = client.stats(None).expect("stats");
+        assert_eq!(stats["sessions"]["live"].as_u64().expect("live"), 6);
+        assert_eq!(stats["entities_added"].as_u64().expect("added"), 18);
+        assert_eq!(stats["cluster"]["shards"].as_array().expect("shards").len(), 2);
+        assert_eq!(stats["cluster"]["sessions_routed"], 6);
+        assert!(stats["flag_latency"]["count"].as_u64().expect("latency") >= 6);
+
+        // Trace fans out and merges phase aggregates.
+        let trace = client.trace().expect("trace");
+        let phases: Vec<&str> = trace["phases"]
+            .as_array()
+            .expect("phases")
+            .iter()
+            .map(|p| p["name"].as_str().expect("name"))
+            .collect();
+        assert!(phases.contains(&"flag"), "merged trace must carry flag phases: {phases:?}");
+
+        // Close rewrites the router id back and forgets the mapping.
+        let closed = client.close_session(rids[0]).expect("close");
+        assert_eq!(closed["closed"].as_u64().expect("closed"), rids[0]);
+        match client.discovery(rids[0]) {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::NoSuchSession),
+            other => panic!("closed session must be gone, got {other:?}"),
+        }
+
+        router.shutdown();
+        h0.shutdown();
+        h1.shutdown();
+    }
+
+    #[test]
+    fn dead_shard_is_a_retryable_unavailable() {
+        // A port with nothing listening: bind, note the addr, drop.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let (addr, router) = spawn_router(RouterConfig {
+            shards: vec![ShardSpec { addr: dead.to_string(), follower: None }],
+            pool_per_shard: 1,
+            ..RouterConfig::default()
+        });
+        let mut client = Client::connect(addr).expect("connect router");
+        match client.request(&Request::CreateSession { group: group_doc(), rules: RULES.into() }) {
+            Ok(Response::Err { code, .. }) => {
+                assert_eq!(code, ErrorCode::Unavailable);
+                assert!(code.retryable());
+            }
+            other => panic!("expected unavailable, got {other:?}"),
+        }
+        router.shutdown();
+    }
+
+    /// The full failover story in-process: primary replicates to a
+    /// follower, the primary dies, the prober promotes, and a retrying
+    /// client sees bit-identical discovery output with one failover on
+    /// the cluster record.
+    #[test]
+    fn failover_promotes_the_follower_and_preserves_sessions() {
+        let dir_p = temp_dir("primary");
+        let dir_f = temp_dir("follower");
+
+        let follower = Follower::bind(FollowerConfig {
+            data_dir: dir_f.clone(),
+            fsync: FsyncPolicy::Never,
+            workers: 2,
+            ..FollowerConfig::default()
+        })
+        .expect("bind follower");
+        let repl_addr = follower.local_addr();
+        let follower_handle = follower.handle();
+        let follower_runner = std::thread::spawn(move || follower.run());
+
+        let link = FollowerLink::new(repl_addr.to_string(), Duration::from_secs(5));
+        let primary = Server::bind(ServeConfig {
+            workers: 2,
+            store: Some(StoreConfig {
+                data_dir: dir_p.clone(),
+                fsync: FsyncPolicy::Never,
+                snapshot_every: 4,
+            }),
+            replication: Some(WalTapHandle::new(Arc::new(link))),
+            ..ServeConfig::default()
+        })
+        .expect("bind primary");
+        let primary_addr = primary.local_addr();
+        let primary_handle = primary.handle();
+        std::thread::spawn(move || primary.run());
+
+        let (addr, router) = spawn_router(RouterConfig {
+            shards: vec![ShardSpec {
+                addr: primary_addr.to_string(),
+                follower: Some(repl_addr.to_string()),
+            }],
+            pool_per_shard: 1,
+            health: Some(HealthConfig {
+                interval: Duration::from_millis(50),
+                fail_threshold: 2,
+                connect_timeout: Duration::from_millis(250),
+                promote_timeout: Duration::from_secs(10),
+            }),
+            ..RouterConfig::default()
+        });
+
+        let mut client = Client::connect(addr).expect("connect router");
+        let rid = client.create_session(&group_doc(), RULES).expect("create");
+        client
+            .add_entities(rid, &[json!(["ann, bob"]), json!(["ann, bob, carl"]), json!(["dora"])])
+            .expect("add");
+        let before = comparable(client.discovery(rid).expect("discovery"));
+
+        primary_handle.shutdown();
+
+        // The primary drains gracefully, so requests may keep succeeding
+        // against it for a moment; wait until the prober has actually
+        // promoted before checking the replica's answers.
+        let mut retrying = Client::connect(addr).expect("reconnect").with_retry(60, 25);
+        let mut failovers = 0;
+        for _ in 0..400 {
+            let stats = retrying.stats(None).expect("stats");
+            failovers = stats["cluster"]["failovers"].as_u64().unwrap_or(0);
+            if failovers == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        assert_eq!(failovers, 1, "the prober must promote the follower");
+
+        let after = comparable(retrying.discovery(rid).expect("post-failover discovery"));
+        assert_eq!(after, before, "failover must preserve discovery output bit-identically");
+
+        let stats = retrying.stats(None).expect("stats");
+        assert_eq!(stats["cluster"]["shards"][0]["failovers"], 1);
+
+        router.shutdown();
+        follower_handle.shutdown();
+        follower_runner.join().expect("follower runner").expect("clean follower run");
+        std::fs::remove_dir_all(&dir_p).expect("cleanup primary");
+        std::fs::remove_dir_all(&dir_f).expect("cleanup follower");
+    }
+
+    #[test]
+    fn stats_merge_sums_counts_and_merges_histograms() {
+        let a = json!({
+            "requests": 3,
+            "uptime_micros": 100,
+            "sessions": {"live": 1, "created": 2, "closed": 1},
+            "flag_latency": {"count": 1, "total_micros": 10, "max_micros": 10,
+                              "mean_micros": 10, "p50_micros": 15, "p95_micros": 15,
+                              "p99_micros": 15, "buckets": [[4, 1]]},
+        });
+        let b = json!({
+            "requests": 5,
+            "uptime_micros": 70,
+            "sessions": {"live": 2, "created": 2, "closed": 0},
+            "flag_latency": {"count": 2, "total_micros": 60, "max_micros": 30,
+                              "mean_micros": 30, "p50_micros": 31, "p95_micros": 31,
+                              "p99_micros": 31, "buckets": [[5, 2]]},
+        });
+        let merged = merge_stats(&[a, b]);
+        assert_eq!(merged["requests"], 8);
+        assert_eq!(merged["uptime_micros"], 100, "uptimes take the max, not the sum");
+        assert_eq!(merged["sessions"]["live"], 3);
+        assert_eq!(merged["flag_latency"]["count"], 3);
+        assert_eq!(merged["flag_latency"]["total_micros"], 70);
+        assert_eq!(merged["flag_latency"]["max_micros"], 30);
+        assert_eq!(merged["flag_latency"]["buckets"], json!([[4, 1], [5, 2]]));
+        // Quantiles recomputed over the merged buckets: 2 of 3 samples in
+        // bucket 5 puts the p95 at that bucket's top.
+        assert_eq!(merged["flag_latency"]["p95_micros"], 31);
+    }
+
+    #[test]
+    fn trace_merge_folds_by_name_kind_and_rule() {
+        let a = json!({
+            "phases": [{"name": "flag", "count": 2, "total_ns": 100}],
+            "counters": {"pairs_verified": 7},
+            "rule_hits": [{"kind": "positive", "rule": 0, "hits": 3}],
+            "histograms": [{"name": "flag_micros", "count": 1, "total": 10, "max": 10,
+                             "mean": 10, "p50": 15, "p95": 15, "p99": 15,
+                             "buckets": [[4, 1]]}],
+            "spans": 4,
+            "dropped_spans": 0,
+        });
+        let b = json!({
+            "phases": [{"name": "flag", "count": 1, "total_ns": 50},
+                        {"name": "recover", "count": 1, "total_ns": 9}],
+            "counters": {"pairs_verified": 5, "entities_added": 2},
+            "rule_hits": [{"kind": "positive", "rule": 0, "hits": 2},
+                           {"kind": "negative", "rule": 1, "hits": 1}],
+            "histograms": [],
+            "spans": 1,
+            "dropped_spans": 2,
+        });
+        let merged = merge_trace(&[a, b]);
+        let phases = merged["phases"].as_array().expect("phases");
+        let flag = phases.iter().find(|p| p["name"] == "flag").expect("flag phase");
+        assert_eq!(flag["count"], 3);
+        assert_eq!(flag["total_ns"], 150);
+        assert_eq!(phases.len(), 2);
+        assert_eq!(merged["counters"]["pairs_verified"], 12);
+        assert_eq!(merged["counters"]["entities_added"], 2);
+        let hits = merged["rule_hits"].as_array().expect("rule hits");
+        assert_eq!(hits.len(), 2);
+        let pos = hits.iter().find(|r| r["kind"] == "positive").expect("positive");
+        assert_eq!(pos["hits"], 5);
+        assert_eq!(merged["histograms"][0]["name"], "flag_micros");
+        assert_eq!(merged["spans"], 5);
+        assert_eq!(merged["dropped_spans"], 2);
+    }
+}

@@ -24,7 +24,8 @@ use crate::protocol::{
 use serde_json::Value;
 use std::fmt;
 use std::io::{self, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Errors a [`Client`] call can produce.
 #[derive(Debug)]
@@ -66,10 +67,36 @@ impl From<ProtocolError> for ClientError {
     }
 }
 
+/// Bounded retry-with-backoff, configured by [`Client::with_retry`].
+#[derive(Debug, Clone, Copy)]
+struct RetryPolicy {
+    attempts: u32,
+    base_ms: u64,
+}
+
+/// An IO failure that a reconnect-and-resend can plausibly cure: the
+/// connection was refused, reset, or timed out — nothing about the
+/// request itself was rejected.
+fn transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+    )
+}
+
 /// A blocking connection to a discovery server.
 pub struct Client {
     reader: FrameReader<BufReader<TcpStream>>,
     writer: TcpStream,
+    peer: Option<SocketAddr>,
+    retry: Option<RetryPolicy>,
 }
 
 impl Client {
@@ -77,15 +104,78 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let peer = stream.peer_addr().ok();
         let writer = stream.try_clone()?;
         Ok(Self {
             reader: FrameReader::new(BufReader::new(stream), DEFAULT_MAX_FRAME_BYTES),
             writer,
+            peer,
+            retry: None,
         })
     }
 
-    /// Sends one request and reads its response.
+    /// Enables bounded retry: on a transient IO failure (connection
+    /// refused/reset, broken pipe, unexpected EOF, `WouldBlock`/timeout)
+    /// the client reconnects and resends, and on a server error whose
+    /// code is [`ErrorCode::retryable`] it resends, up to `attempts`
+    /// extra tries with exponential backoff starting at `base_ms`
+    /// milliseconds. Off by default.
+    ///
+    /// Retrying resends the request verbatim, so a mutation whose first
+    /// send died *after* the server applied it can apply twice — enable
+    /// this only where that is acceptable (idempotent ops, or a failover
+    /// window where the dead primary's unacknowledged work is gone).
+    pub fn with_retry(mut self, attempts: u32, base_ms: u64) -> Self {
+        self.retry = Some(RetryPolicy { attempts, base_ms });
+        self
+    }
+
+    /// Drops the current connection and dials the original peer again.
+    fn reconnect(&mut self) -> io::Result<()> {
+        let peer = self
+            .peer
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "peer address unknown"))?;
+        let stream = TcpStream::connect(peer)?;
+        stream.set_nodelay(true)?;
+        self.writer = stream.try_clone()?;
+        self.reader = FrameReader::new(BufReader::new(stream), DEFAULT_MAX_FRAME_BYTES);
+        Ok(())
+    }
+
+    /// Sends one request and reads its response, retrying per
+    /// [`Client::with_retry`] when configured.
     pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.request_once(req);
+            let Some(policy) = self.retry else { return outcome };
+            let retryable = match &outcome {
+                Err(ClientError::Io(e)) => transient(e),
+                Ok(Response::Err { code, .. }) => code.retryable(),
+                _ => false,
+            };
+            if !retryable || attempt >= policy.attempts {
+                return outcome;
+            }
+            std::thread::sleep(Duration::from_millis(
+                policy.base_ms.saturating_mul(1u64 << attempt.min(10)),
+            ));
+            if matches!(&outcome, Err(ClientError::Io(_))) {
+                // The connection is suspect; a fresh dial also covers the
+                // refused-connect window of a restarting server. Connect
+                // failures are themselves retryable.
+                if let Err(e) = self.reconnect() {
+                    if !transient(&e) || attempt + 1 >= policy.attempts {
+                        return Err(ClientError::Io(e));
+                    }
+                }
+            }
+            attempt += 1;
+        }
+    }
+
+    /// One request/response round trip on the current connection.
+    fn request_once(&mut self, req: &Request) -> Result<Response, ClientError> {
         self.writer.write_all(encode_frame(&req.to_value()).as_bytes())?;
         self.writer.flush()?;
         loop {
@@ -194,5 +284,67 @@ impl Client {
     /// Asks the server to drain and stop.
     pub fn shutdown(&mut self) -> Result<Value, ClientError> {
         self.call(&Request::Shutdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, Write};
+    use std::net::TcpListener;
+
+    #[test]
+    fn transient_covers_connection_failures_only() {
+        for kind in [
+            io::ErrorKind::ConnectionRefused,
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::BrokenPipe,
+            io::ErrorKind::UnexpectedEof,
+            io::ErrorKind::WouldBlock,
+            io::ErrorKind::TimedOut,
+        ] {
+            assert!(transient(&io::Error::new(kind, "x")), "{kind:?} must be transient");
+        }
+        assert!(!transient(&io::Error::new(io::ErrorKind::PermissionDenied, "x")));
+        assert!(!transient(&io::Error::new(io::ErrorKind::InvalidData, "x")));
+    }
+
+    /// A server that drops its first connection unanswered, then serves a
+    /// ping on the second: `with_retry` must reconnect and succeed where
+    /// a plain client surfaces the EOF.
+    #[test]
+    fn retry_reconnects_across_a_dropped_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (first, _) = listener.accept().expect("accept first");
+            drop(first); // simulate a primary dying mid-request
+            let (mut second, _) = listener.accept().expect("accept second");
+            let mut line = String::new();
+            std::io::BufReader::new(second.try_clone().expect("clone"))
+                .read_line(&mut line)
+                .expect("read request");
+            second.write_all(b"{\"ok\":{\"pong\":true}}\n").expect("write response");
+        });
+
+        let mut client = Client::connect(addr).expect("connect").with_retry(3, 1);
+        client.ping().expect("retrying ping must survive the dropped connection");
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn without_retry_a_dropped_connection_is_an_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (first, _) = listener.accept().expect("accept");
+            drop(first);
+        });
+        let mut client = Client::connect(addr).expect("connect");
+        match client.ping() {
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected an IO error, got {other:?}"),
+        }
+        server.join().expect("server thread");
     }
 }

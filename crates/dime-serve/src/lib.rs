@@ -67,4 +67,4 @@ pub use protocol::{
     encode_frame, ErrorCode, Frame, FrameReader, ProtocolError, Request, Response,
     DEFAULT_MAX_FRAME_BYTES,
 };
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use server::{ServeConfig, Server, ServerHandle, WalTapHandle};

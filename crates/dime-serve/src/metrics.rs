@@ -45,7 +45,9 @@ impl LatencyStat {
     }
 
     /// Snapshot as `{count, total_micros, max_micros, mean_micros,
-    /// p50_micros, p95_micros, p99_micros}`.
+    /// p50_micros, p95_micros, p99_micros, buckets}` — `buckets` carries
+    /// the raw sparse histogram cells so a cluster router can re-merge
+    /// aggregates from many shards without losing quantile fidelity.
     pub fn to_value(&self) -> Value {
         let s = self.hist.snapshot();
         json!({
@@ -56,8 +58,18 @@ impl LatencyStat {
             "p50_micros": s.p50,
             "p95_micros": s.p95,
             "p99_micros": s.p99,
+            "buckets": sparse_buckets(&s),
         })
     }
+}
+
+/// The raw histogram cells as sparse `[index, count]` pairs — compact on
+/// the wire (latency histograms populate a handful of the 64 buckets) and
+/// loss-free, so cross-shard merges are exactly [`Histogram::merge`].
+fn sparse_buckets(s: &HistogramSnapshot) -> Value {
+    let pairs: Vec<Value> =
+        s.buckets.iter().enumerate().filter(|(_, &n)| n > 0).map(|(i, &n)| json!([i, n])).collect();
+    Value::Array(pairs)
 }
 
 /// The session-scoped counters in aggregate, atomic form. One instance
@@ -208,6 +220,7 @@ fn histogram_snapshot_value(s: &HistogramSnapshot) -> Value {
         "p50": s.p50,
         "p95": s.p95,
         "p99": s.p99,
+        "buckets": sparse_buckets(s),
     })
 }
 
@@ -270,6 +283,8 @@ mod tests {
         // 30µs lands in [16, 32): the upper tail reports the bucket top.
         assert_eq!(v["p99_micros"], 31);
         assert!(v["p50_micros"].as_u64().unwrap() >= 10);
+        // 10µs → bucket 4 ([8,16)), 30µs → bucket 5 ([16,32)).
+        assert_eq!(v["buckets"], serde_json::json!([[4, 1], [5, 1]]));
     }
 
     #[test]

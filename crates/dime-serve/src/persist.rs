@@ -13,7 +13,9 @@
 use crate::session::Session;
 use dime_core::{parse_rules, IncrementalDime, Polarity, Rule};
 use dime_data::{entity_row_values, load_group_value};
-use dime_store::{RecoveredSession, SessionState, SessionWal, Store, StoreStatsSnapshot, WalOp};
+use dime_store::{
+    RecoveredSession, SessionState, SessionWal, Store, StoreStatsSnapshot, WalOp, WalTap,
+};
 use dime_trace::{span, TraceSink};
 use serde_json::{json, Value};
 use std::io;
@@ -134,13 +136,14 @@ pub fn persist_new_session(
     rules: &str,
     attr_names: &[String],
     sink: Arc<dyn TraceSink + Send + Sync>,
+    tap: Option<Arc<dyn WalTap>>,
 ) -> Option<SessionPersist> {
     let mut stored = doc.clone();
     if let Some(obj) = stored.as_object_mut() {
         obj.remove("entities");
     }
     let stored = stored.to_string();
-    let wal = match store.create_session(id, &stored, rules) {
+    let wal = match store.create_session_with_tap(id, &stored, rules, tap) {
         Ok(w) => w,
         Err(e) => {
             store.stats().bump_wal_failures();

@@ -63,6 +63,10 @@ pub enum ErrorCode {
     TooManySessions,
     /// The server is draining for shutdown and accepts no new sessions.
     ShuttingDown,
+    /// The owning backend is temporarily unreachable (a cluster router's
+    /// shard is mid-failover). Retryable: the same request can succeed
+    /// once a replacement primary is serving.
+    Unavailable,
     /// The server failed internally (e.g. a panicking handler).
     Internal,
 }
@@ -81,8 +85,16 @@ impl ErrorCode {
             ErrorCode::TooManyEntities => "too_many_entities",
             ErrorCode::TooManySessions => "too_many_sessions",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Unavailable => "unavailable",
             ErrorCode::Internal => "internal",
         }
+    }
+
+    /// Whether a request failing with this code may succeed verbatim on a
+    /// retry (the failure is about the service's current state, not about
+    /// the request itself).
+    pub fn retryable(self) -> bool {
+        matches!(self, ErrorCode::Unavailable)
     }
 
     /// Parses a wire spelling back into a code.
@@ -98,13 +110,14 @@ impl ErrorCode {
             "too_many_entities" => ErrorCode::TooManyEntities,
             "too_many_sessions" => ErrorCode::TooManySessions,
             "shutting_down" => ErrorCode::ShuttingDown,
+            "unavailable" => ErrorCode::Unavailable,
             "internal" => ErrorCode::Internal,
             _ => return None,
         })
     }
 
     /// Every code, for exhaustive round-trip tests.
-    pub const ALL: [ErrorCode; 11] = [
+    pub const ALL: [ErrorCode; 12] = [
         ErrorCode::BadFrame,
         ErrorCode::FrameTooLarge,
         ErrorCode::UnknownOp,
@@ -115,6 +128,7 @@ impl ErrorCode {
         ErrorCode::TooManyEntities,
         ErrorCode::TooManySessions,
         ErrorCode::ShuttingDown,
+        ErrorCode::Unavailable,
         ErrorCode::Internal,
     ];
 }

@@ -64,6 +64,35 @@ pub struct ServeConfig {
     /// under the store's data directory and recovers live sessions on
     /// the next bind.
     pub store: Option<StoreConfig>,
+    /// Replication hook: when set (and `store` is set), every committed
+    /// WAL record of every session — freshly created or recovered — is
+    /// offered to the tap post-durability. `dime-cluster` uses this to
+    /// stream a shard's log to its follower.
+    pub replication: Option<WalTapHandle>,
+}
+
+/// A cloneable, `Debug`-able wrapper around a shared [`dime_store::WalTap`]
+/// so a replication hook can ride inside the otherwise plain-data
+/// [`ServeConfig`].
+#[derive(Clone)]
+pub struct WalTapHandle(Arc<dyn dime_store::WalTap>);
+
+impl WalTapHandle {
+    /// Wraps a tap for [`ServeConfig::replication`].
+    pub fn new(tap: Arc<dyn dime_store::WalTap>) -> Self {
+        Self(tap)
+    }
+
+    /// A shared reference to the underlying tap.
+    pub fn tap(&self) -> Arc<dyn dime_store::WalTap> {
+        Arc::clone(&self.0)
+    }
+}
+
+impl std::fmt::Debug for WalTapHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("WalTapHandle(..)")
+    }
 }
 
 impl Default for ServeConfig {
@@ -79,6 +108,7 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
             store: None,
+            replication: None,
         }
     }
 }
@@ -233,7 +263,7 @@ fn recover_persisted(shared: &Shared) -> io::Result<()> {
     let Some(persistence) = &shared.persistence else { return Ok(()) };
     let _s = span(shared.recorder.as_ref(), "recover");
     let snapshot_every = persistence.config().snapshot_every;
-    for (id, rec) in persistence.recover_sessions()? {
+    for (id, mut rec) in persistence.recover_sessions()? {
         let sink: Arc<dyn TraceSink + Send + Sync> = shared.recorder.clone();
         let mut session = match rebuild_session(&rec.state, sink.clone()) {
             Ok(s) => s,
@@ -242,6 +272,10 @@ fn recover_persisted(shared: &Shared) -> io::Result<()> {
                 continue;
             }
         };
+        // A recovered session resumes replicating where it left off.
+        if let Some(handle) = &shared.config.replication {
+            rec.wal.set_tap(id, handle.tap());
+        }
         session.persist = Some(SessionPersist::resume(rec, snapshot_every, sink));
         shared.store.restore(id, session);
     }
@@ -421,8 +455,16 @@ fn handle_request(req: &Request, shared: &Shared) -> Response {
             // other per-session counter.
             session.metrics.entities_added = entities as u64;
             if let Some(persistence) = &shared.persistence {
-                session.persist =
-                    persist_new_session(persistence, id, group, rules, &session.attr_names, sink);
+                let tap = shared.config.replication.as_ref().map(WalTapHandle::tap);
+                session.persist = persist_new_session(
+                    persistence,
+                    id,
+                    group,
+                    rules,
+                    &session.attr_names,
+                    sink,
+                    tap,
+                );
             }
             shared.store.insert_at(id, session);
             GlobalMetrics::bump(&shared.metrics.sessions_created);

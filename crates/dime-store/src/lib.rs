@@ -43,9 +43,10 @@ pub mod record;
 pub mod store;
 pub mod wal;
 
-pub use record::{Row, SessionState, Snapshot, WalOp};
+pub use frame::{crc32, read_frame, write_frame, FrameRead, FRAME_HEADER_BYTES, MAX_PAYLOAD_BYTES};
+pub use record::{decode_record, encode_record, Row, SessionState, Snapshot, WalOp};
 pub use store::{Store, StoreStats, StoreStatsSnapshot};
-pub use wal::{RecoveredSession, Recovery, SessionWal};
+pub use wal::{RecoveredSession, Recovery, SessionWal, WalTap};
 
 use std::path::PathBuf;
 use std::time::Duration;

@@ -118,8 +118,24 @@ impl Store {
     /// Creates the WAL for a new session and logs its `open` record (the
     /// caller logs the initial rows individually, so replay is uniform).
     pub fn create_session(&self, id: u64, doc: &str, rules: &str) -> io::Result<SessionWal> {
+        self.create_session_with_tap(id, doc, rules, None)
+    }
+
+    /// Like [`Store::create_session`], with a replication tap installed
+    /// *before* the `open` record is appended, so the tap sees the whole
+    /// log from its first byte.
+    pub fn create_session_with_tap(
+        &self,
+        id: u64,
+        doc: &str,
+        rules: &str,
+        tap: Option<Arc<dyn crate::WalTap>>,
+    ) -> io::Result<SessionWal> {
         let mut wal =
             SessionWal::create(&self.session_dir(id), self.config.fsync, Arc::clone(&self.stats))?;
+        if let Some(tap) = tap {
+            wal.set_tap(id, tap);
+        }
         wal.append(&crate::WalOp::Open { doc: doc.to_string(), rules: rules.to_string() })?;
         Ok(wal)
     }

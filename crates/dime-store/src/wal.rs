@@ -54,6 +54,19 @@ fn sync_dir(dir: &Path) {
     }
 }
 
+/// Observer of committed WAL records — the replication hook.
+///
+/// The tap sees each record *after* it reached the durability the fsync
+/// policy promises, as the exact encoded `[seq|tag|fields]` payload that
+/// went into the frame, so a receiver can re-frame it verbatim with
+/// [`SessionWal::append_raw`] and end up with a byte-equivalent log.
+pub trait WalTap: Send + Sync {
+    /// Called once per committed record. An error propagates out of the
+    /// append — callers with a fail-open policy (dime-serve) mark the
+    /// session's persistence broken rather than failing the request.
+    fn record_committed(&self, session: u64, payload: &[u8]) -> io::Result<()>;
+}
+
 /// An open, appendable per-session WAL.
 pub struct SessionWal {
     dir: PathBuf,
@@ -62,6 +75,7 @@ pub struct SessionWal {
     next_seq: u64,
     last_sync: Instant,
     stats: Arc<StoreStats>,
+    tap: Option<(u64, Arc<dyn WalTap>)>,
 }
 
 impl SessionWal {
@@ -85,7 +99,15 @@ impl SessionWal {
             // dime-check: allow(wall-clock-in-core) — paces the IntervalMs fsync policy; durability timing, not discovery state
             last_sync: Instant::now(),
             stats,
+            tap: None,
         })
+    }
+
+    /// Installs a replication tap. `session` is the id the tap reports;
+    /// every record appended from now on is offered to it post-commit.
+    /// Install before the `open` record goes in so the whole log streams.
+    pub fn set_tap(&mut self, session: u64, tap: Arc<dyn WalTap>) {
+        self.tap = Some((session, tap));
     }
 
     /// The session directory this WAL lives in.
@@ -110,6 +132,24 @@ impl SessionWal {
         let payload = encode_record(seq, op);
         let written = write_frame(&mut self.file, &payload)?;
         self.next_seq += 1;
+        self.stats.add_append(written as u64);
+        self.maybe_sync()?;
+        if let Some((session, tap)) = &self.tap {
+            tap.record_committed(*session, &payload)?;
+        }
+        Ok(seq)
+    }
+
+    /// Appends an already-encoded record verbatim — the follower side of
+    /// replication. The payload is decoded first so a corrupt stream is
+    /// rejected instead of poisoning the log, and the WAL's own sequence
+    /// counter is advanced to follow the primary's numbering. Durability
+    /// follows the fsync policy, exactly as for [`SessionWal::append`].
+    pub fn append_raw(&mut self, payload: &[u8]) -> io::Result<u64> {
+        let (seq, _op) = decode_record(payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad record: {e}")))?;
+        let written = write_frame(&mut self.file, payload)?;
+        self.next_seq = seq + 1;
         self.stats.add_append(written as u64);
         self.maybe_sync()?;
         Ok(seq)
@@ -301,6 +341,7 @@ pub fn recover(dir: &Path, policy: FsyncPolicy, stats: Arc<StoreStats>) -> io::R
         // dime-check: allow(wall-clock-in-core) — paces the IntervalMs fsync policy; durability timing, not discovery state
         last_sync: Instant::now(),
         stats,
+        tap: None,
     };
     Ok(Recovery::Live(Box::new(RecoveredSession { wal, state })))
 }
@@ -473,6 +514,88 @@ mod tests {
             Recovery::Closed => {}
             _ => panic!("a closed session must not come back"),
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A tap that mirrors every payload into a second WAL via
+    /// `append_raw` — replication in miniature.
+    struct MirrorTap {
+        follower: std::sync::Mutex<SessionWal>,
+        seen: std::sync::Mutex<Vec<u64>>,
+    }
+
+    impl WalTap for MirrorTap {
+        fn record_committed(&self, _session: u64, payload: &[u8]) -> io::Result<()> {
+            let seq = self.follower.lock().expect("follower lock poisoned").append_raw(payload)?;
+            self.seen.lock().expect("seen lock poisoned").push(seq);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn tap_stream_replayed_raw_recovers_identically() {
+        let primary_dir = temp_dir("tap-primary");
+        let follower_dir = temp_dir("tap-follower");
+        let stats = Arc::new(StoreStats::default());
+        let follower =
+            SessionWal::create(&follower_dir, FsyncPolicy::Never, Arc::clone(&stats)).unwrap();
+        let tap = Arc::new(MirrorTap {
+            follower: std::sync::Mutex::new(follower),
+            seen: std::sync::Mutex::new(Vec::new()),
+        });
+
+        let mut wal =
+            SessionWal::create(&primary_dir, FsyncPolicy::Never, Arc::clone(&stats)).unwrap();
+        wal.set_tap(7, Arc::clone(&tap) as Arc<dyn WalTap>);
+        wal.append(&open_op()).unwrap();
+        wal.append(&add_op("a")).unwrap();
+        wal.append(&add_op("b")).unwrap();
+        wal.append(&WalOp::RemoveEntity { entity: 0 }).unwrap();
+        drop(wal);
+
+        assert_eq!(*tap.seen.lock().unwrap(), vec![1, 2, 3, 4], "acked seqs follow the primary");
+        // Byte-for-byte identical logs, and an identical fold.
+        assert_eq!(
+            fs::read(primary_dir.join(WAL_FILE)).unwrap(),
+            fs::read(follower_dir.join(WAL_FILE)).unwrap()
+        );
+        let p = recover_live(&primary_dir);
+        let f = recover_live(&follower_dir);
+        assert_eq!(p.state.rows, f.state.rows);
+        assert_eq!(p.wal.next_seq(), f.wal.next_seq());
+        fs::remove_dir_all(&primary_dir).unwrap();
+        fs::remove_dir_all(&follower_dir).unwrap();
+    }
+
+    struct FailingTap;
+
+    impl WalTap for FailingTap {
+        fn record_committed(&self, _session: u64, _payload: &[u8]) -> io::Result<()> {
+            Err(io::Error::new(io::ErrorKind::BrokenPipe, "follower gone"))
+        }
+    }
+
+    #[test]
+    fn tap_failure_surfaces_as_append_error_after_local_commit() {
+        let dir = temp_dir("tap-fail");
+        let stats = Arc::new(StoreStats::default());
+        let mut wal = SessionWal::create(&dir, FsyncPolicy::Never, stats).unwrap();
+        wal.set_tap(1, Arc::new(FailingTap));
+        assert!(wal.append(&open_op()).is_err(), "tap errors must propagate");
+        // The local append still happened — the record is on disk.
+        drop(wal);
+        let rec = recover_live(&dir);
+        assert_eq!(rec.wal.next_seq(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_raw_rejects_garbage() {
+        let dir = temp_dir("rawbad");
+        let stats = Arc::new(StoreStats::default());
+        let mut wal = SessionWal::create(&dir, FsyncPolicy::Never, stats).unwrap();
+        assert!(wal.append_raw(b"definitely not a record").is_err());
+        assert_eq!(wal.next_seq(), 1, "a rejected payload must not advance the sequence");
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -86,6 +86,21 @@ impl Histogram {
         self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
+    /// Folds a plain-data snapshot into this histogram — the cross-shard
+    /// merge path, where the other side's counts arrived over the wire as
+    /// a [`HistogramSnapshot`] rather than a live histogram. Identical
+    /// monotonicity contract to [`Histogram::merge`].
+    pub fn merge_snapshot(&self, other: &HistogramSnapshot) {
+        for (mine, &n) in self.buckets.iter().zip(&other.buckets) {
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed); // dime-check: allow(atomic-ordering) — histogram cells are independent counters; snapshots are point-in-time by contract
+            }
+        }
+        self.total.fetch_add(other.total, Ordering::Relaxed); // dime-check: allow(atomic-ordering) — histogram cells are independent counters; snapshots are point-in-time by contract
+                                                              // dime-check: allow(atomic-ordering) — histogram cells are independent counters; snapshots are point-in-time by contract
+        self.max.fetch_max(other.max, Ordering::Relaxed);
+    }
+
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum() // dime-check: allow(atomic-ordering) — histogram cells are independent counters; snapshots are point-in-time by contract
@@ -227,6 +242,21 @@ mod tests {
         assert_eq!(s.count, 3);
         assert_eq!(s.total, 510);
         assert_eq!(s.max, 500);
+    }
+
+    #[test]
+    fn merge_snapshot_matches_merge() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [0, 1, 7, 100, 1 << 20] {
+            a.record(v);
+            b.record(v * 3 + 1);
+        }
+        let via_merge = a.clone();
+        via_merge.merge(&b);
+        let via_snapshot = a.clone();
+        via_snapshot.merge_snapshot(&b.snapshot());
+        assert_eq!(via_snapshot.snapshot(), via_merge.snapshot());
     }
 
     #[test]

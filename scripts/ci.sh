@@ -9,6 +9,9 @@
 #   store-recovery the dime-store fault-injection suite plus the
 #                 SIGKILL-and-restart acceptance test, run by name for
 #                 the same reason
+#   cluster-e2e   the dime-cluster acceptance test: SIGKILL a replicated
+#                 shard under a probing router mid-traffic; the follower
+#                 must be promoted with zero closed-session data loss
 #   check         dime-check --workspace: the in-repo static analyzer
 #                 (no-panic service path, annotated Relaxed orderings,
 #                 fsync-before-rename, wall-clock scoping, forbid(unsafe)
@@ -20,8 +23,8 @@
 #                 driver runs end to end on a small pair count (the
 #                 committed JSON is refreshed by bench-json)
 #   bench-json    small-config exp_serve / exp_trace / exp_store /
-#                 exp_micro runs, refreshing
-#                 results/BENCH_{serve,trace,store,micro}.json
+#                 exp_micro / exp_cluster runs, refreshing
+#                 results/BENCH_{serve,trace,store,micro,cluster}.json
 #   offline-build the rustc-only harness (scripts/offline/build_all.sh);
 #                 skipped with a message when cargo never produced the
 #                 stub sources' toolchain or rustc is missing
@@ -35,7 +38,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-STAGES=(fmt build test serve-e2e store-recovery check clippy bench-smoke bench-micro bench-json offline-build)
+STAGES=(fmt build test serve-e2e store-recovery cluster-e2e check clippy bench-smoke bench-micro bench-json offline-build)
 
 run_fmt() { cargo fmt --all --check; }
 run_build() { cargo build --release; }
@@ -49,6 +52,10 @@ run_serve_e2e() { cargo test -q --test serve; }
 # the persistence-boundary oracle proptest, and the kill -9 / restart
 # equivalence test against a real server process.
 run_store_recovery() { cargo test -q -p dime-store && cargo test -q --test store_recovery; }
+# Clustering acceptance: kill a replicated shard mid-traffic; the router
+# must promote its follower and every committed session must replay
+# bit-identically. Run by name so a filtered invocation can never skip it.
+run_cluster_e2e() { cargo test -q -p dime-cluster && cargo test -q --test cluster; }
 # The repo's own rule engine: exits non-zero on any unsuppressed finding,
 # so a deleted allow or a re-introduced violation fails CI here.
 run_check() { cargo run -q --release -p dime-check -- --workspace; }
@@ -69,7 +76,8 @@ run_bench_json() {
   cargo run -q --release --bin exp_serve -- --clients 2 --rounds 4 --batch 32 &&
     cargo run -q --release --bin exp_trace -- --scholar 400 --dbgen 800 &&
     cargo run -q --release --bin exp_store -- --append-ops 500 --always-ops 50 --recover 1000 &&
-    cargo run -q --release --bin exp_micro -- --pairs 200000
+    cargo run -q --release --bin exp_micro -- --pairs 200000 &&
+    cargo run -q --release --bin exp_cluster -- --lifecycles 10
 }
 
 # The offline harness double-checks that the workspace still builds with
@@ -110,6 +118,7 @@ run_stage() {
     test) run_test ;;
     serve-e2e) run_serve_e2e ;;
     store-recovery) run_store_recovery ;;
+    cluster-e2e) run_cluster_e2e ;;
     check) run_check ;;
     clippy) run_clippy ;;
     bench-smoke) run_bench_smoke ;;

@@ -44,6 +44,7 @@ E_rulegen="--extern dime_rulegen=libdime_rulegen.rlib"
 E_baselines="--extern dime_baselines=libdime_baselines.rlib"
 E_data="--extern dime_data=libdime_data.rlib"
 E_serve="--extern dime_serve=libdime_serve.rlib"
+E_cluster="--extern dime_cluster=libdime_cluster.rlib"
 E_bench="--extern dime_bench=libdime_bench.rlib"
 E_dime="--extern dime=libdime.rlib"
 E_check="--extern dime_check=libdime_check.rlib"
@@ -61,8 +62,9 @@ lib dime_rulegen  $R/crates/dime-rulegen/src/lib.rs  $E_core $E_text $E_ont
 lib dime_baselines $R/crates/dime-baselines/src/lib.rs $E_core $E_index $E_rulegen $E_text $E_ont $E_metrics
 lib dime_data     $R/crates/dime-data/src/lib.rs     $E_core $E_ont $E_text
 lib dime_serve    $R/crates/dime-serve/src/lib.rs    $E_core $E_data $E_store $E_text $E_trace
+lib dime_cluster  $R/crates/dime-cluster/src/lib.rs  $E_serve $E_store $E_trace
 lib dime_bench    $R/crates/dime-bench/src/lib.rs    $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_trace
-lib dime          $R/src/lib.rs                      $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_trace
+lib dime          $R/src/lib.rs                      $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_cluster $E_trace
 
 # 3. Unit-test binaries.
 tst dime_text     $R/crates/dime-text/src/lib.rs
@@ -77,11 +79,12 @@ tst dime_rulegen  $R/crates/dime-rulegen/src/lib.rs  $E_core $E_text $E_ont $E_d
 tst dime_baselines $R/crates/dime-baselines/src/lib.rs $E_core $E_index $E_rulegen $E_text $E_ont $E_metrics $E_data
 tst dime_data     $R/crates/dime-data/src/lib.rs     $E_core $E_ont $E_text
 tst dime_serve    $R/crates/dime-serve/src/lib.rs    $E_core $E_data $E_store $E_text $E_trace
+tst dime_cluster  $R/crates/dime-cluster/src/lib.rs  $E_serve $E_store $E_trace
 tst dime_bench    $R/crates/dime-bench/src/lib.rs    $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_trace
-tst dime_facade   $R/src/lib.rs                      $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_trace
+tst dime_facade   $R/src/lib.rs                      $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_cluster $E_trace
 
 # 4. Integration-test binaries.
-ALL_E="$E_dime $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_bench $E_trace"
+ALL_E="$E_dime $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_cluster $E_bench $E_trace"
 tst end_to_end     $R/tests/end_to_end.rs             $ALL_E
 tst serve          $R/tests/serve.rs                  $ALL_E
 tst serve_protocol $R/crates/dime-serve/tests/protocol.rs $E_serve $E_core $E_data $E_text
@@ -118,6 +121,8 @@ CARGO_BIN_EXE_dime="$OUT/bin_dime" $RC --test $R/tests/cli.rs --crate-name cli_t
 echo "test-bin cli OK"
 CARGO_BIN_EXE_dime="$OUT/bin_dime" $RC --test $R/tests/store_recovery.rs --crate-name store_recovery_test $X $ALL_E -o store_recovery_test
 echo "test-bin store_recovery OK"
+CARGO_BIN_EXE_dime="$OUT/bin_dime" $RC --test $R/tests/cluster.rs --crate-name cluster_test $X $ALL_E -o cluster_test
+echo "test-bin cluster OK"
 for ex in $R/examples/*.rs; do
   name=$(basename "$ex" .rs)
   $RC "$ex" --crate-name "ex_$name" $X $ALL_E -o "ex_$name"

@@ -9,6 +9,10 @@
 //! dime serve    [--addr H:P] [--workers N] [--max-frame-bytes N] [--max-entities N] [--max-sessions N]
 //!               [--data-dir DIR] [--fsync always|never|interval[:ms]] [--snapshot-every N]
 //! dime client   --addr H:P <op> [op args]
+//! dime cluster-shard  --data-dir DIR [--addr H:P] [--replicate-to H:P] [serve knobs]
+//! dime cluster-shard  --follower --data-dir DIR [--repl-addr H:P] [--serve-addr H:P] [--workers N]
+//! dime cluster-router --shard H:P[,FOLLOWER_H:P] ... [--addr H:P] [--pool N] [--vnodes N]
+//!                     [--probe-interval-ms N] [--fail-threshold N]
 //! ```
 //!
 //! `discover` loads a JSON group document (see `dime_data::load_group_json`
@@ -27,6 +31,9 @@
 //! one protocol request to a running server (see the README's "Running as
 //! a service" section for the protocol reference).
 
+use dime::cluster::{
+    Follower, FollowerConfig, FollowerLink, HealthConfig, Router, RouterConfig, ShardSpec,
+};
 use dime::core::{
     discover_fast, discover_fast_traced, discover_naive, parse_rules, DimePlusConfig, Discovery,
     Group, GroupStats, Polarity, Rule,
@@ -36,7 +43,7 @@ use dime::data::{
     AmazonConfig, LabeledGroup, ScholarConfig,
 };
 use dime::serve::metrics::trace_report_to_value;
-use dime::serve::{Client, ClientError, Request, ServeConfig, Server};
+use dime::serve::{Client, ClientError, Request, ServeConfig, Server, WalTapHandle};
 use dime::store::{FsyncPolicy, StoreConfig};
 use dime::trace::{Recorder, TraceReport};
 use serde_json::{json, Value};
@@ -54,6 +61,8 @@ fn main() -> ExitCode {
         Some("learn") => cmd_learn(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
+        Some("cluster-shard") => cmd_cluster_shard(&args[1..]),
+        Some("cluster-router") => cmd_cluster_router(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -77,7 +86,11 @@ fn print_usage() {
          \x20 dime learn --group <group.json> --truth <ids.json>\n\
          \x20 dime serve [--addr H:P] [--workers N] [--max-frame-bytes N] [--max-entities N] [--max-sessions N]\n\
          \x20            [--data-dir DIR] [--fsync always|never|interval[:ms]] [--snapshot-every N]\n\
-         \x20 dime client --addr H:P <ping|create|add|remove|discovery|scrollbar|stats|trace|close|shutdown> [op args]\n\n\
+         \x20 dime client --addr H:P <ping|create|add|remove|discovery|scrollbar|stats|trace|close|shutdown> [op args]\n\
+         \x20 dime cluster-shard --data-dir DIR [--addr H:P] [--replicate-to H:P] [serve knobs]\n\
+         \x20 dime cluster-shard --follower --data-dir DIR [--repl-addr H:P] [--serve-addr H:P] [--workers N]\n\
+         \x20 dime cluster-router --shard H:P[,FOLLOWER_H:P] ... [--addr H:P] [--pool N] [--vnodes N]\n\
+         \x20                     [--probe-interval-ms N] [--fail-threshold N]\n\n\
          Rule file format (one rule per line, '#' comments):\n\
          \x20 positive: overlap(Authors) >= 2\n\
          \x20 positive: overlap(Authors) >= 1 and ontology(Venue) >= 0.75\n\
@@ -625,6 +638,242 @@ fn build_client_request(args: &[String]) -> Result<Request, String> {
         "close" => Ok(Request::CloseSession { session: session()? }),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown client operation {other:?}")),
+    }
+}
+
+/// Every value of a repeatable flag, in order (`--shard a --shard b`).
+fn flag_values<'a>(args: &'a [String], key: &str) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == key {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.as_str());
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `dime cluster-shard`: one shard of a dime cluster. Without
+/// `--follower`, a persistent `dime serve` whose committed WAL records
+/// are optionally streamed to a follower (`--replicate-to`). With
+/// `--follower`, the warm replica itself: it mirrors a primary's log and
+/// promotes into a full server when the router asks.
+fn cmd_cluster_shard(args: &[String]) -> ExitCode {
+    if has_flag(args, "--follower") {
+        return cmd_cluster_follower(args);
+    }
+    let Some(dir) = flag_value(args, "--data-dir") else {
+        eprintln!("error: cluster-shard needs --data-dir (shards are persistent)");
+        return ExitCode::FAILURE;
+    };
+    let mut config = ServeConfig {
+        addr: flag_value(args, "--addr").unwrap_or("127.0.0.1:0").to_string(),
+        ..ServeConfig::default()
+    };
+    let knobs: [(&str, &mut usize); 4] = [
+        ("--workers", &mut config.workers),
+        ("--max-frame-bytes", &mut config.max_frame_bytes),
+        ("--max-entities", &mut config.max_entities_per_request),
+        ("--max-sessions", &mut config.max_sessions),
+    ];
+    for (key, slot) in knobs {
+        match numeric_flag(args, key) {
+            Ok(None) => {}
+            Ok(Some(n)) => *slot = n,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut store = StoreConfig::new(dir);
+    if let Some(policy) = flag_value(args, "--fsync") {
+        match FsyncPolicy::parse(policy) {
+            Ok(p) => store.fsync = p,
+            Err(e) => {
+                eprintln!("error: --fsync: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match numeric_flag(args, "--snapshot-every") {
+        Ok(None) => {}
+        Ok(Some(n)) => store.snapshot_every = n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    config.store = Some(store);
+    if let Some(follower) = flag_value(args, "--replicate-to") {
+        let link = FollowerLink::new(follower.to_string(), Duration::from_secs(5));
+        config.replication = Some(WalTapHandle::new(std::sync::Arc::new(link)));
+    }
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: failed to bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Scripts parse the address off the end of this line; flush before
+    // blocking in the accept loop.
+    println!("dime-cluster shard listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    match server.run() {
+        Ok(()) => {
+            eprintln!("dime-cluster shard drained and stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: shard failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `--follower` form of `cluster-shard`: mirror a primary's WAL
+/// stream, ack by sequence number, serve after promotion.
+fn cmd_cluster_follower(args: &[String]) -> ExitCode {
+    let Some(dir) = flag_value(args, "--data-dir") else {
+        eprintln!("error: cluster-shard --follower needs --data-dir");
+        return ExitCode::FAILURE;
+    };
+    let mut config = FollowerConfig { data_dir: dir.into(), ..FollowerConfig::default() };
+    if let Some(addr) = flag_value(args, "--repl-addr") {
+        config.addr = addr.to_string();
+    }
+    if let Some(addr) = flag_value(args, "--serve-addr") {
+        config.serve_addr = addr.to_string();
+    }
+    match numeric_flag(args, "--workers") {
+        Ok(None) => {}
+        Ok(Some(n)) => config.workers = n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(policy) = flag_value(args, "--fsync") {
+        match FsyncPolicy::parse(policy) {
+            Ok(p) => config.fsync = p,
+            Err(e) => {
+                eprintln!("error: --fsync: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match numeric_flag(args, "--snapshot-every") {
+        Ok(None) => {}
+        Ok(Some(n)) => config.snapshot_every = n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let follower = match Follower::bind(config) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: failed to bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("dime-cluster follower replicating on {}", follower.local_addr());
+    let _ = std::io::stdout().flush();
+    match follower.run() {
+        Ok(()) => {
+            eprintln!("dime-cluster follower stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: follower failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `dime cluster-router`: place sessions on shards by consistent
+/// hashing, proxy requests, probe shard health, promote followers.
+fn cmd_cluster_router(args: &[String]) -> ExitCode {
+    let specs = flag_values(args, "--shard");
+    if specs.is_empty() {
+        eprintln!("error: cluster-router needs at least one --shard <addr>[,<follower-repl-addr>]");
+        return ExitCode::FAILURE;
+    }
+    let shards = specs
+        .iter()
+        .map(|spec| {
+            let (addr, follower) = match spec.split_once(',') {
+                Some((a, f)) => (a, Some(f.to_string())),
+                None => (*spec, None),
+            };
+            ShardSpec { addr: addr.to_string(), follower }
+        })
+        .collect();
+    let mut health = HealthConfig::default();
+    let millis: [(&str, &mut Duration); 3] = [
+        ("--probe-interval-ms", &mut health.interval),
+        ("--probe-timeout-ms", &mut health.connect_timeout),
+        ("--promote-timeout-ms", &mut health.promote_timeout),
+    ];
+    for (key, slot) in millis {
+        match numeric_flag::<u64>(args, key) {
+            Ok(None) => {}
+            Ok(Some(n)) => *slot = Duration::from_millis(n),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match numeric_flag::<u32>(args, "--fail-threshold") {
+        Ok(None) => {}
+        Ok(Some(n)) => health.fail_threshold = n.max(1),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut config = RouterConfig {
+        addr: flag_value(args, "--addr").unwrap_or("127.0.0.1:0").to_string(),
+        shards,
+        health: Some(health),
+        ..RouterConfig::default()
+    };
+    let knobs: [(&str, &mut usize); 2] =
+        [("--pool", &mut config.pool_per_shard), ("--vnodes", &mut config.vnodes)];
+    for (key, slot) in knobs {
+        match numeric_flag(args, key) {
+            Ok(None) => {}
+            Ok(Some(n)) => *slot = n,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let router = match Router::bind(config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: failed to bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("dime-cluster router listening on {}", router.local_addr());
+    let _ = std::io::stdout().flush();
+    match router.run() {
+        Ok(()) => {
+            eprintln!("dime-cluster router drained and stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: router failed: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

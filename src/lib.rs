@@ -21,6 +21,10 @@
 //! * [`store`] — durable session persistence: a CRC-framed write-ahead
 //!   log, periodic snapshots with log compaction, and crash recovery
 //!   (`dime serve --data-dir`);
+//! * [`cluster`] — the sharded service: a consistent-hash router over N
+//!   shards, synchronous WAL-streaming replication to warm followers,
+//!   and probe-driven failover (`dime cluster-router` /
+//!   `dime cluster-shard`);
 //! * [`trace`] — span-based tracing, phase timers, and latency
 //!   histograms behind the engines' `TraceSink` hook.
 //!
@@ -52,6 +56,7 @@
 pub mod tutorial;
 
 pub use dime_baselines as baselines;
+pub use dime_cluster as cluster;
 pub use dime_core as core;
 pub use dime_data as data;
 pub use dime_index as index;

@@ -5,15 +5,26 @@
 //! global counters. Writes the machine-readable summary to
 //! `results/BENCH_serve.json` so the perf trajectory is tracked in CI.
 //!
+//! A second section measures **session throughput** with think-time
+//! clients: many short sessions that idle between ops, run against the
+//! same small verify pool under both admission modes. Threaded admission
+//! parks one worker per connection for its whole lifetime — think time
+//! included — so throughput caps at `pool / (think + work)`; the async
+//! admission layer holds idle connections for free and the pool only
+//! sees CPU-bound verify work. The ratio is recorded as
+//! `async_speedup` in the summary.
+//!
 //! Flags: `--clients N` (default 4), `--rounds N` (default 20),
 //! `--batch N` entities added per round (default 8), `--workers N`
-//! (default clients + 2), `--out PATH` (default
-//! `results/BENCH_serve.json`).
+//! (default clients + 2), `--sessions N` think-time clients (default
+//! 64), `--think-ms MS` idle time between their ops (default 25),
+//! `--pool N` verify workers for the dual-mode section (default 4),
+//! `--out PATH` (default `results/BENCH_serve.json`).
 
 use dime_bench::{arg_or, secs, Table};
-use dime_serve::{Client, ServeConfig, Server};
+use dime_serve::{AdmissionMode, Client, ServeConfig, Server};
 use serde_json::{json, Value};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Per-op latency accumulator (microseconds).
 #[derive(Default, Clone)]
@@ -120,11 +131,64 @@ fn drive_client(addr: std::net::SocketAddr, c: usize, rounds: usize, batch: usiz
     lats
 }
 
+/// One think-time session: create, add a small batch, read a discovery,
+/// close — idling `think` between the ops, like an interactive user
+/// between scrollbar drags. The connection is open (and idle) for the
+/// whole span.
+fn think_session(addr: std::net::SocketAddr, c: usize, think: Duration) {
+    let mut client = Client::connect(addr).expect("think connect");
+    let session = client.create_session(&group_doc(), RULES).expect("think create");
+    std::thread::sleep(think);
+    let rows: Vec<Value> =
+        (0..4).map(|i| json!([format!("paper {i}"), format!("t{c}a, t{c}b")])).collect();
+    client.add_entities(session, &rows).expect("think add");
+    std::thread::sleep(think);
+    client.discovery(session).expect("think discovery");
+    client.close_session(session).expect("think close");
+}
+
+/// Runs `sessions` concurrent think-time sessions against a fresh server
+/// in the given admission mode and returns sessions completed per second.
+fn session_throughput(
+    admission: AdmissionMode,
+    pool: usize,
+    sessions: usize,
+    think: Duration,
+) -> f64 {
+    let server = Server::bind(ServeConfig {
+        admission,
+        workers: pool,
+        max_sessions: sessions + 8,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            (0..sessions).map(|c| scope.spawn(move || think_session(addr, c, think))).collect();
+        for h in handles {
+            h.join().expect("think session thread");
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    handle.shutdown();
+    runner.join().expect("server thread").expect("server run");
+    sessions as f64 / wall.max(1e-9)
+}
+
 fn main() {
     let clients: usize = arg_or("clients", 4);
     let rounds: usize = arg_or("rounds", 20);
     let batch: usize = arg_or("batch", 8);
     let workers: usize = arg_or("workers", clients + 2);
+    let sessions: usize = arg_or("sessions", 64);
+    let think_ms: u64 = arg_or("think-ms", 25);
+    let pool: usize = arg_or("pool", 4);
     let out: String = arg_or("out", "results/BENCH_serve.json".to_string());
 
     println!("== dime-serve throughput: {clients} clients x {rounds} rounds (batch {batch}, {workers} workers) ==");
@@ -177,6 +241,19 @@ fn main() {
         server_stats["requests"], server_stats["pairs_verified"], server_stats["errors"]
     );
 
+    // Dual-mode session throughput: the same think-time fleet against
+    // the same small verify pool, threaded vs async admission.
+    let think = Duration::from_millis(think_ms);
+    println!(
+        "== session throughput: {sessions} think-time sessions ({think_ms}ms think, pool {pool}) =="
+    );
+    let threaded = session_throughput(AdmissionMode::Threaded, pool, sessions, think);
+    let asynch = session_throughput(AdmissionMode::Async, pool, sessions, think);
+    let speedup = asynch / threaded.max(1e-9);
+    println!(
+        "threaded: {threaded:.1} sessions/s   async: {asynch:.1} sessions/s   speedup: {speedup:.2}x"
+    );
+
     let latency: Value = OPS
         .iter()
         .zip(&merged.0)
@@ -190,6 +267,14 @@ fn main() {
         "throughput_ops_per_sec": throughput,
         "latency_micros": latency,
         "server_stats": server_stats,
+        "session_throughput": {
+            "sessions": sessions,
+            "think_ms": think_ms,
+            "pool_workers": pool,
+            "threaded_sessions_per_sec": threaded,
+            "async_sessions_per_sec": asynch,
+            "async_speedup": speedup,
+        },
     });
     let path = std::path::Path::new(&out);
     if let Some(dir) = path.parent() {

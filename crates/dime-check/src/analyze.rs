@@ -42,6 +42,9 @@ pub struct FileContext {
     pub kind: FileKind,
     /// Whether this file is the crate root (`src/lib.rs`).
     pub is_crate_root: bool,
+    /// File name without the `.rs` extension (`poll`, `server`, …) —
+    /// lets module-scoped rules target one file by convention.
+    pub file_stem: String,
 }
 
 /// One rule violation at a byte offset.
@@ -117,6 +120,9 @@ pub fn analyze_source(src: &str, ctx: &FileContext) -> FileReport {
         }
         if ctx.kind == FileKind::Lib && !STDOUT_CRATES.contains(&ctx.crate_name.as_str()) {
             check_stdout_in_lib(src, &toks, &live, &mut raw);
+        }
+        if ctx.crate_name == "dime-serve" && ctx.file_stem == "poll" {
+            check_no_blocking_syscall(src, &toks, &live, &mut raw);
         }
         if ctx.is_crate_root {
             check_forbid_unsafe(src, &toks, &mut raw);
@@ -358,6 +364,60 @@ fn check_forbid_unsafe(src: &str, toks: &[Token], out: &mut Vec<Finding>) {
     }
 }
 
+/// Call-shaped idents that block (or can block) the calling thread.
+/// Scoped to the poll-loop module: the admission thread owns every
+/// socket, so one blocking call stalls the whole service.
+const BLOCKING_CALLS: [&str; 14] = [
+    "accept",
+    "read",
+    "write",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write_all",
+    "flush",
+    "sleep",
+    "lock",
+    "join",
+    "recv",
+    "recv_timeout",
+    "send",
+];
+
+/// No blocking syscall wrappers inside the poll-loop module
+/// (`dime-serve/src/poll.rs`). Flags `name(` call shapes for every name
+/// in [`BLOCKING_CALLS`]; `fn name(` declarations (the extern syscall
+/// shim) are not calls. Non-blocking call sites — reads/writes against
+/// fds that are provably `O_NONBLOCK` — carry reasoned allows.
+fn check_no_blocking_syscall(
+    src: &str,
+    toks: &[Token],
+    live: &dyn Fn(&Token) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if !live(t) || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = t.text(src);
+        if !BLOCKING_CALLS.contains(&name) || !punct_at(src, toks, i + 1, "(") {
+            continue;
+        }
+        if i > 0 && ident_at(src, toks, i - 1) == Some("fn") {
+            continue;
+        }
+        out.push(Finding {
+            rule: RuleId::NoBlockingSyscallInPollLoop,
+            offset: t.start,
+            message: format!(
+                "`{name}(` inside the poll-loop module — the admission thread owns every \
+                 socket and must never block; use the readiness API (or add a reasoned \
+                 allow naming the non-blocking fd)"
+            ),
+        });
+    }
+}
+
 /// `println!`/`print!` in library code.
 fn check_stdout_in_lib(
     src: &str,
@@ -388,7 +448,12 @@ mod tests {
     use super::*;
 
     fn ctx(crate_name: &str, kind: FileKind) -> FileContext {
-        FileContext { crate_name: crate_name.to_string(), kind, is_crate_root: false }
+        FileContext {
+            crate_name: crate_name.to_string(),
+            kind,
+            is_crate_root: false,
+            file_stem: String::new(),
+        }
     }
 
     fn rules_of(report: &FileReport) -> Vec<RuleId> {
@@ -479,7 +544,12 @@ mod tests {
 
     #[test]
     fn crate_root_must_forbid_unsafe() {
-        let root = FileContext { crate_name: "x".into(), kind: FileKind::Lib, is_crate_root: true };
+        let root = FileContext {
+            crate_name: "x".into(),
+            kind: FileKind::Lib,
+            is_crate_root: true,
+            file_stem: "lib".into(),
+        };
         let report = analyze_source("pub fn f() {}", &root);
         assert_eq!(rules_of(&report), vec![RuleId::ForbidUnsafeDrift]);
         let ok = "#![forbid(unsafe_code)]\npub fn f() {}";
@@ -492,6 +562,34 @@ mod tests {
         let report = analyze_source(src, &ctx("dime-core", FileKind::Lib));
         assert_eq!(rules_of(&report), vec![RuleId::StdoutInLib]);
         assert!(analyze_source(src, &ctx("dime-core", FileKind::Bin)).findings.is_empty());
+    }
+
+    #[test]
+    fn blocking_syscalls_flagged_only_in_the_poll_module() {
+        // The extern shim *declaration* is not a call; the method call is.
+        let src = "extern \"C\" { fn read(fd: i32, buf: *mut u8, n: usize) -> isize; }\n\
+                   fn pump(s: &mut TcpStream, buf: &mut Vec<u8>) { s.read_to_end(buf); }";
+        let mut poll = ctx("dime-serve", FileKind::Lib);
+        poll.file_stem = "poll".into();
+        assert_eq!(
+            rules_of(&analyze_source(src, &poll)),
+            vec![RuleId::NoBlockingSyscallInPollLoop]
+        );
+        // Same source anywhere else — other dime-serve modules, other
+        // crates — is out of scope.
+        assert!(analyze_source(src, &ctx("dime-serve", FileKind::Lib)).findings.is_empty());
+        let mut other_crate = ctx("dime-core", FileKind::Lib);
+        other_crate.file_stem = "poll".into();
+        assert!(analyze_source(src, &other_crate).findings.is_empty());
+    }
+
+    #[test]
+    fn poll_loop_nonblocking_helpers_do_not_fire() {
+        let src = "fn pump(r: &mut FrameReader<B>, tx: &SyncSender<u8>, rx: &Receiver<u8>) {\n\
+                   r.read_frame(); tx.try_send(1); rx.try_recv();\n}";
+        let mut poll = ctx("dime-serve", FileKind::Lib);
+        poll.file_stem = "poll".into();
+        assert!(analyze_source(src, &poll).findings.is_empty());
     }
 
     #[test]

@@ -157,6 +157,7 @@ mod tests {
             crate_name: "dime-serve".into(),
             kind: FileKind::Lib,
             is_crate_root: false,
+            file_stem: "x".into(),
         };
         let mut run = RunReport::default();
         run.push("crates/dime-serve/src/x.rs".into(), src, analyze_source(src, &ctx));

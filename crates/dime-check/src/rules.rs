@@ -29,6 +29,10 @@ pub enum RuleId {
     /// Library code never writes to stdout (`println!`/`print!`); stdout
     /// belongs to binaries and benches.
     StdoutInLib,
+    /// The admission poll loop (`dime-serve/src/poll.rs`) never calls a
+    /// blocking syscall wrapper — `read`/`write`/`accept`/`recv`/locks —
+    /// outside a reasoned allow naming the non-blocking fd it holds.
+    NoBlockingSyscallInPollLoop,
     /// A suppression comment without a `— reason` tail.
     SuppressionMissingReason,
     /// A `dime-check:` comment naming no known rule (or unparsable).
@@ -38,14 +42,15 @@ pub enum RuleId {
     UnusedSuppression,
 }
 
-/// The six source rules plus the three suppression hygiene rules.
-pub const ALL_RULES: [RuleId; 9] = [
+/// The seven source rules plus the three suppression hygiene rules.
+pub const ALL_RULES: [RuleId; 10] = [
     RuleId::PanicInService,
     RuleId::AtomicOrdering,
     RuleId::FsyncBeforeRename,
     RuleId::WallClockInCore,
     RuleId::ForbidUnsafeDrift,
     RuleId::StdoutInLib,
+    RuleId::NoBlockingSyscallInPollLoop,
     RuleId::SuppressionMissingReason,
     RuleId::UnknownRule,
     RuleId::UnusedSuppression,
@@ -61,6 +66,7 @@ impl RuleId {
             RuleId::WallClockInCore => "wall-clock-in-core",
             RuleId::ForbidUnsafeDrift => "forbid-unsafe-drift",
             RuleId::StdoutInLib => "stdout-in-lib",
+            RuleId::NoBlockingSyscallInPollLoop => "no-blocking-syscall-in-poll-loop",
             RuleId::SuppressionMissingReason => "suppression-missing-reason",
             RuleId::UnknownRule => "unknown-rule",
             RuleId::UnusedSuppression => "unused-suppression",
@@ -93,6 +99,10 @@ impl RuleId {
             }
             RuleId::ForbidUnsafeDrift => "every crate root keeps #![forbid(unsafe_code)]",
             RuleId::StdoutInLib => "library code must not print to stdout",
+            RuleId::NoBlockingSyscallInPollLoop => {
+                "no blocking read/write/accept/recv/lock calls inside the dime-serve \
+                 poll-loop module; every non-blocking call site carries a reasoned allow"
+            }
             RuleId::SuppressionMissingReason => {
                 "a dime-check allow comment must carry `— <reason>`"
             }

@@ -106,10 +106,11 @@ fn push(
         .map(|c| c.as_os_str().to_string_lossy().into_owned())
         .collect::<Vec<_>>()
         .join("/");
+    let file_stem = path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
     out.push(SourceFile {
         path: path.to_path_buf(),
         rel,
-        ctx: FileContext { crate_name: name.to_string(), kind, is_crate_root },
+        ctx: FileContext { crate_name: name.to_string(), kind, is_crate_root, file_stem },
     });
 }
 
@@ -160,7 +161,8 @@ pub fn infer_context(path: &Path) -> FileContext {
     };
     let is_crate_root =
         file == "lib.rs" && parts.iter().rev().nth(1).map(String::as_str) == Some("src");
-    FileContext { crate_name, kind, is_crate_root }
+    let file_stem = file.strip_suffix(".rs").unwrap_or(file).to_string();
+    FileContext { crate_name, kind, is_crate_root, file_stem }
 }
 
 #[cfg(test)]
@@ -171,8 +173,8 @@ mod tests {
     fn infer_contexts_from_paths() {
         let c = infer_context(Path::new("crates/dime-serve/src/server.rs"));
         assert_eq!(
-            (c.crate_name.as_str(), c.kind, c.is_crate_root),
-            ("dime-serve", FileKind::Lib, false)
+            (c.crate_name.as_str(), c.kind, c.is_crate_root, c.file_stem.as_str()),
+            ("dime-serve", FileKind::Lib, false, "server")
         );
 
         let c = infer_context(Path::new("crates/dime-store/src/lib.rs"));

@@ -13,7 +13,22 @@ fn fixture(name: &str) -> String {
 }
 
 fn ctx(crate_name: &str, kind: FileKind, is_crate_root: bool) -> FileContext {
-    FileContext { crate_name: crate_name.to_string(), kind, is_crate_root }
+    FileContext {
+        crate_name: crate_name.to_string(),
+        kind,
+        is_crate_root,
+        file_stem: String::new(),
+    }
+}
+
+/// The context the poll-loop rule is scoped to: `dime-serve/src/poll.rs`.
+fn poll_ctx() -> FileContext {
+    FileContext {
+        crate_name: "dime-serve".to_string(),
+        kind: FileKind::Lib,
+        is_crate_root: false,
+        file_stem: "poll".to_string(),
+    }
 }
 
 /// Runs one fixture and asserts the target rule fired exactly once.
@@ -149,6 +164,30 @@ fn unused_suppression_fires_once() {
 }
 
 #[test]
+fn no_blocking_syscall_in_poll_loop_fires_once() {
+    let report = fires_once(
+        "no_blocking_syscall_in_poll_loop.rs",
+        &poll_ctx(),
+        RuleId::NoBlockingSyscallInPollLoop,
+    );
+    assert_eq!(report.findings.len(), 1, "shim decls, readiness helpers, tests must not fire");
+    assert_eq!(report.suppressed.len(), 1, "the annotated eventfd write is suppressed");
+}
+
+#[test]
+fn poll_loop_fixture_is_clean_outside_the_poll_module() {
+    // The same source under any other module/crate context is out of
+    // scope — but its allow comment would dangle, which is exactly the
+    // unused-suppression hygiene finding.
+    let report = analyze_source(
+        &fixture("no_blocking_syscall_in_poll_loop.rs"),
+        &ctx("dime-serve", FileKind::Lib, false),
+    );
+    let rules: Vec<RuleId> = report.findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec![RuleId::UnusedSuppression]);
+}
+
+#[test]
 fn every_rule_has_a_fixture_test() {
     // The catalog and this file move together: a new rule must seed a
     // fixture in which it fires exactly once.
@@ -159,6 +198,7 @@ fn every_rule_has_a_fixture_test() {
         RuleId::WallClockInCore,
         RuleId::ForbidUnsafeDrift,
         RuleId::StdoutInLib,
+        RuleId::NoBlockingSyscallInPollLoop,
         RuleId::SuppressionMissingReason,
         RuleId::UnknownRule,
         RuleId::UnusedSuppression,

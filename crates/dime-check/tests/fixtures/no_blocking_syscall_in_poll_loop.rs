@@ -1,0 +1,38 @@
+//! Fixture: exactly one blocking call inside the poll-loop module.
+//!
+//! The `read_to_end` call fires. Everything else is benign: the extern
+//! shim *declares* `read`/`write` (declarations are not calls), the
+//! readiness helpers (`read_frame`, `try_send`, `try_recv`, `fill_buf`,
+//! the epoll `wait`) are non-blocking by construction, the annotated
+//! `write` carries a reasoned allow, and the test module is scoped out.
+
+extern "C" {
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+fn signal(fd: i32) {
+    let one: u64 = 1;
+    // dime-check: allow(no-blocking-syscall-in-poll-loop) — eventfd opened with EFD_NONBLOCK; cannot block
+    let _ = unsafe { write(fd, (&one as *const u64).cast(), 8) };
+}
+
+fn pump(reader: &mut FrameReader, stream: &mut TcpStream, buf: &mut Vec<u8>) {
+    reader.read_frame();
+    stream.read_to_end(buf); // <- the one blocking call
+}
+
+fn route(tx: &SyncSender<u8>, rx: &Receiver<u8>, poller: &mut Poller) {
+    tx.try_send(1);
+    rx.try_recv();
+    poller.wait(timeout, events);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn blocking_is_fine_in_tests() {
+        let mut s = connect();
+        s.read_exact(&mut [0u8; 4]).unwrap();
+    }
+}

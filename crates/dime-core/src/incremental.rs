@@ -218,6 +218,43 @@ impl IncrementalDime {
         id
     }
 
+    /// Adds a batch of entities in one pass, returning their ids in input
+    /// order. Bit-identical to calling [`IncrementalDime::add_entity`] on
+    /// each row in order: every row is pushed into the group first (token
+    /// ids and entity ids are assigned exactly as the sequential path
+    /// assigns them), then each row is integrated in id order against the
+    /// same frozen token order and rule plans. Signatures depend only on
+    /// an entity's own value, the frozen order, and the static ontology
+    /// depth floor — never on how many rows arrived in one call — so the
+    /// index contents, candidate sets, union-find merges and
+    /// `pairs_verified` all come out identical (pinned by the
+    /// `prop_batched_add_equals_sequential` differential proptest below).
+    ///
+    /// This is the amortization point the serve-layer verify pool batches
+    /// into: one lock acquisition and one trace envelope per run of
+    /// coalesced `add` ops instead of one per row.
+    pub fn add_entities(&mut self, rows: &[Vec<String>]) -> Vec<usize> {
+        let sink = Arc::clone(&self.sink);
+        let mut ids = Vec::with_capacity(rows.len());
+        for values in rows {
+            let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+            let id = self.group.push_entity(&refs);
+            let uid = self.uf.push();
+            debug_assert_eq!(id, uid);
+            ids.push(id);
+        }
+        for &id in &ids {
+            let _op = span(sink.as_ref(), "incremental_add");
+            let before = self.pairs_verified;
+            self.integrate(id);
+            if sink.enabled() {
+                sink.add("entities_added", 1);
+                sink.add("pairs_verified", self.pairs_verified - before);
+            }
+        }
+        ids
+    }
+
     /// Removes the entity with id `id`, returning `false` (and changing
     /// nothing) for an out-of-range id. Ids compact: every entity with a
     /// larger id shifts down by one, exactly like
@@ -650,6 +687,112 @@ mod tests {
             if !rows.is_empty() {
                 let d = inc.discovery();
                 prop_assert_eq!(d, discover_naive(&batch_group(&rows), &pos, &neg));
+            }
+        }
+    }
+
+    #[test]
+    fn batched_add_returns_dense_ids_and_matches_sequential() {
+        let (pos, neg) = rules();
+        let mut batched =
+            IncrementalDime::new(GroupBuilder::new(schema()).build(), pos.clone(), neg.clone());
+        let mut sequential = IncrementalDime::new(GroupBuilder::new(schema()).build(), pos, neg);
+        let rows: Vec<Vec<String>> = [
+            ("entity matching", "ann, bob"),
+            ("entity matching redux", "ann, bob, carol"),
+            ("organic synthesis", "dora"),
+        ]
+        .iter()
+        .map(|(t, a)| vec![t.to_string(), a.to_string()])
+        .collect();
+        let ids = batched.add_entities(&rows);
+        assert_eq!(ids, vec![0, 1, 2]);
+        for row in &rows {
+            let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+            sequential.add_entity(&refs);
+        }
+        assert_eq!(batched.pairs_verified(), sequential.pairs_verified());
+        assert_eq!(batched.discovery(), sequential.discovery());
+    }
+
+    #[test]
+    fn batched_add_reports_per_row_trace_spans() {
+        use dime_trace::Recorder;
+        let (pos, neg) = rules();
+        let rec = Arc::new(Recorder::new());
+        let mut inc = IncrementalDime::new(GroupBuilder::new(schema()).build(), pos, neg)
+            .with_sink(rec.clone());
+        inc.add_entities(&[
+            vec!["a".to_string(), "ann, bob".to_string()],
+            vec!["b".to_string(), "ann, bob".to_string()],
+        ]);
+        let report = rec.snapshot();
+        assert_eq!(report.counter("entities_added"), 2);
+        assert_eq!(report.counter("pairs_verified"), inc.pairs_verified());
+        let adds = report.phases.iter().find(|p| p.name == "incremental_add").unwrap();
+        assert_eq!(adds.count, 2, "one incremental_add span per batched row");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// The batching invariant the serve-layer verify pool relies on:
+        /// any split of an add/remove script into batched-add runs yields
+        /// state bit-identical to applying the same script one row at a
+        /// time — same `pairs_verified`, same `discovery()`.
+        #[test]
+        fn prop_batched_add_equals_sequential(
+            ops in proptest::collection::vec(
+                (proptest::bool::ANY, proptest::collection::vec(0u32..10, 0..5), 0usize..16),
+                1..16,
+            ),
+            splits in proptest::collection::vec(1usize..4, 1..16),
+        ) {
+            let (pos, neg) = rules();
+            let mut batched =
+                IncrementalDime::new(GroupBuilder::new(schema()).build(), pos.clone(), neg.clone());
+            let mut sequential =
+                IncrementalDime::new(GroupBuilder::new(schema()).build(), pos, neg);
+            let mut live = 0usize;
+            let mut pending: Vec<Vec<String>> = Vec::new();
+            let flush = |batched: &mut IncrementalDime,
+                             sequential: &mut IncrementalDime,
+                             pending: &mut Vec<Vec<String>>| {
+                let ids = batched.add_entities(pending);
+                let mut seq_ids = Vec::new();
+                for row in pending.iter() {
+                    let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+                    seq_ids.push(sequential.add_entity(&refs));
+                }
+                pending.clear();
+                (ids, seq_ids)
+            };
+            for (i, (is_remove, list, pick)) in ops.iter().enumerate() {
+                if *is_remove && live > 0 {
+                    // Removals interleave with batches: flush first, so the
+                    // batched engine sees the same row set.
+                    let (ids, seq_ids) = flush(&mut batched, &mut sequential, &mut pending);
+                    prop_assert_eq!(ids, seq_ids);
+                    let id = pick % live;
+                    prop_assert!(batched.remove_entity(id));
+                    prop_assert!(sequential.remove_entity(id));
+                    live -= 1;
+                } else {
+                    let joined: Vec<String> = list.iter().map(|x| format!("a{x}")).collect();
+                    pending.push(vec![format!("t{}", i % 3), joined.join(", ")]);
+                    live += 1;
+                    let batch_max = splits[i % splits.len()];
+                    if pending.len() >= batch_max {
+                        let (ids, seq_ids) = flush(&mut batched, &mut sequential, &mut pending);
+                        prop_assert_eq!(ids, seq_ids);
+                    }
+                }
+            }
+            let (ids, seq_ids) = flush(&mut batched, &mut sequential, &mut pending);
+            prop_assert_eq!(ids, seq_ids);
+            prop_assert_eq!(batched.pairs_verified(), sequential.pairs_verified());
+            prop_assert_eq!(batched.len(), sequential.len());
+            if !batched.is_empty() {
+                prop_assert_eq!(batched.discovery(), sequential.discovery());
             }
         }
     }

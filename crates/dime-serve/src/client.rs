@@ -332,6 +332,34 @@ mod tests {
         server.join().expect("server thread");
     }
 
+    /// A server that answers the first request with a retryable
+    /// `overloaded` error and the second with a pong, on the same
+    /// connection: `with_retry` must back off and resend — the
+    /// admission queue's backpressure error needs zero client changes.
+    #[test]
+    fn retry_resends_after_an_overloaded_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().expect("accept");
+            let mut reader = std::io::BufReader::new(conn.try_clone().expect("clone"));
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("first request");
+            conn.write_all(
+                b"{\"err\":{\"code\":\"overloaded\",\
+                  \"message\":\"verify queue is full; retry after backoff\"}}\n",
+            )
+            .expect("write overloaded");
+            line.clear();
+            reader.read_line(&mut line).expect("resent request");
+            conn.write_all(b"{\"ok\":{\"pong\":true}}\n").expect("write pong");
+        });
+
+        let mut client = Client::connect(addr).expect("connect").with_retry(3, 1);
+        client.ping().expect("retrying ping must survive a transient overloaded error");
+        server.join().expect("server thread");
+    }
+
     #[test]
     fn without_retry_a_dropped_connection_is_an_error() {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");

@@ -1,17 +1,22 @@
+#![deny(unsafe_code)] // dime-check: allow(forbid-unsafe-drift) — poll::sys scope-allows syscalls
 //! A concurrent discovery service: many live groups, each backed by the
 //! incremental DIME engine, served over a newline-delimited JSON protocol
-//! on plain TCP — `std::net` and a worker pool of scoped threads, no
-//! async runtime.
+//! on plain TCP — `std::net`, one epoll-driven admission thread, and a
+//! verify pool of scoped threads, no async runtime.
 //!
 //! The moving parts:
 //!
 //! * [`protocol`](crate::protocol) — the framed request/response
 //!   vocabulary ([`Request`], [`Response`], [`ErrorCode`]) and the
 //!   size-capped [`FrameReader`], shared by server and client;
-//! * [`Server`] — accept loop + fixed worker pool over a sharded
+//! * [`Server`] — a non-blocking admission/framing layer (`poll.rs`, a
+//!   zero-dependency epoll readiness loop) feeding a fixed verify pool
+//!   through a bounded queue, over a sharded
 //!   [`SessionStore`](session::SessionStore), with per-request panic
-//!   isolation, admission limits, idle timeouts, and graceful
-//!   drain-on-shutdown;
+//!   isolation, admission limits, backpressure (the retryable
+//!   `overloaded` error), idle timeouts, and graceful drain-on-shutdown;
+//!   [`AdmissionMode::Threaded`] keeps the original
+//!   thread-per-connection pool as the benchmark baseline;
 //! * [`Client`] — a small blocking client library;
 //! * [`metrics`](crate::metrics) — per-session and global counters
 //!   surfaced by the `stats` operation;
@@ -52,12 +57,12 @@
 //! CLI subcommands; `examples/streaming_profile.rs` in the root crate
 //! walks the underlying incremental engine directly.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod metrics;
 pub mod persist;
+mod poll;
 pub mod protocol;
 mod server;
 pub mod session;
@@ -67,4 +72,4 @@ pub use protocol::{
     encode_frame, ErrorCode, Frame, FrameReader, ProtocolError, Request, Response,
     DEFAULT_MAX_FRAME_BYTES,
 };
-pub use server::{ServeConfig, Server, ServerHandle, WalTapHandle};
+pub use server::{AdmissionMode, ServeConfig, Server, ServerHandle, WalTapHandle};

@@ -118,6 +118,13 @@ pub struct GlobalMetrics {
     pub errors: AtomicU64,
     /// Frames dropped for exceeding the size cap.
     pub oversized_frames: AtomicU64,
+    /// Requests rejected at admission with the retryable `overloaded`
+    /// error because the verify queue was full (async admission mode).
+    pub overloaded: AtomicU64,
+    /// `add` operations that rode a coalesced verify batch of two or more
+    /// ops (async admission mode) — the amortization the batched
+    /// signature/index pass buys.
+    pub coalesced_adds: AtomicU64,
     /// Sessions created over the server's lifetime.
     pub sessions_created: AtomicU64,
     /// Sessions closed over the server's lifetime.
@@ -155,6 +162,8 @@ impl GlobalMetrics {
             "requests": self.requests.load(Ordering::Relaxed), // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
             "errors": self.errors.load(Ordering::Relaxed), // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
             "oversized_frames": self.oversized_frames.load(Ordering::Relaxed), // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
+            "overloaded": self.overloaded.load(Ordering::Relaxed), // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
+            "coalesced_adds": self.coalesced_adds.load(Ordering::Relaxed), // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
             "sessions": {
                 "created": self.sessions_created.load(Ordering::Relaxed), // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
                 "closed": self.sessions_closed.load(Ordering::Relaxed), // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values

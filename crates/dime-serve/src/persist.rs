@@ -66,6 +66,31 @@ impl SessionPersist {
         self.append(WalOp::AddEntity { values });
     }
 
+    /// Logs a run of added rows as one WAL batch: every row is framed and
+    /// sequenced exactly as [`SessionPersist::log_add`] would have, but
+    /// the fsync policy is consulted once for the whole run — the
+    /// durability amortization the verify pool's coalesced adds ride on.
+    pub fn log_add_batch(&mut self, rows: Vec<Vec<String>>) {
+        if self.broken || rows.is_empty() {
+            return;
+        }
+        let ops: Vec<WalOp> = rows.into_iter().map(|values| WalOp::AddEntity { values }).collect();
+        let sink = Arc::clone(&self.sink);
+        let appended = {
+            let _s = span(sink.as_ref(), "wal_append");
+            self.wal.append_batch(&ops)
+        };
+        if let Err(e) = appended {
+            self.fail("append", &e);
+            return;
+        }
+        for op in &ops {
+            self.state.apply(op);
+        }
+        self.ops_since_checkpoint += ops.len();
+        self.maybe_checkpoint();
+    }
+
     /// Logs one removed entity id.
     pub fn log_remove(&mut self, entity: usize) {
         self.append(WalOp::RemoveEntity { entity: entity as u64 });

@@ -69,6 +69,10 @@ pub enum ErrorCode {
     Unavailable,
     /// The server failed internally (e.g. a panicking handler).
     Internal,
+    /// The admission queue is full: the server is up but saturated. The
+    /// request was not admitted; retrying after backoff is safe and is
+    /// what [`crate::Client`] does under its retry policy.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -87,6 +91,7 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Unavailable => "unavailable",
             ErrorCode::Internal => "internal",
+            ErrorCode::Overloaded => "overloaded",
         }
     }
 
@@ -94,7 +99,7 @@ impl ErrorCode {
     /// retry (the failure is about the service's current state, not about
     /// the request itself).
     pub fn retryable(self) -> bool {
-        matches!(self, ErrorCode::Unavailable)
+        matches!(self, ErrorCode::Unavailable | ErrorCode::Overloaded)
     }
 
     /// Parses a wire spelling back into a code.
@@ -112,12 +117,13 @@ impl ErrorCode {
             "shutting_down" => ErrorCode::ShuttingDown,
             "unavailable" => ErrorCode::Unavailable,
             "internal" => ErrorCode::Internal,
+            "overloaded" => ErrorCode::Overloaded,
             _ => return None,
         })
     }
 
     /// Every code, for exhaustive round-trip tests.
-    pub const ALL: [ErrorCode; 12] = [
+    pub const ALL: [ErrorCode; 13] = [
         ErrorCode::BadFrame,
         ErrorCode::FrameTooLarge,
         ErrorCode::UnknownOp,
@@ -130,6 +136,7 @@ impl ErrorCode {
         ErrorCode::ShuttingDown,
         ErrorCode::Unavailable,
         ErrorCode::Internal,
+        ErrorCode::Overloaded,
     ];
 }
 

@@ -1,22 +1,32 @@
-//! The discovery server: a blocking accept loop feeding a fixed pool of
-//! scoped worker threads (the `std::thread::scope` idiom of
-//! `dime-core/src/par.rs` — coarse, pre-balanced work units need no
-//! work-stealing or async runtime).
+//! The discovery server, in two halves since the admission split
+//! (DESIGN.md §10):
 //!
-//! Each accepted connection is owned by one worker for its lifetime and
-//! served serially: frames are read through the size-capped
-//! [`FrameReader`], dispatched against the sharded [`SessionStore`], and
-//! answered in order, so pipelined requests get pipelined responses.
-//! Whitespace-only lines are ignored (a trailing newline from shell
-//! clients is not an error).
+//! * an **admission/framing layer** that owns the sockets — either the
+//!   default non-blocking epoll loop (`poll.rs`,
+//!   [`AdmissionMode::Async`]) or the original blocking
+//!   thread-per-connection pool ([`AdmissionMode::Threaded`], kept as
+//!   the benchmark baseline);
+//! * a **CPU-bound verify pool** of scoped worker threads (the
+//!   `std::thread::scope` idiom of `dime-core/src/par.rs`) that runs
+//!   [`handle_request`] against the sharded [`SessionStore`] and never
+//!   touches a socket. In async mode the pool pulls decoded ops off a
+//!   *bounded* queue — a full queue is backpressure, answered with the
+//!   retryable `overloaded` error — and coalesces consecutive `add` ops
+//!   for the same session into one signature/index/verify pass, which is
+//!   bit-identical to sequential adds (`IncrementalDime::add_entities`).
+//!
+//! In both modes each connection's frames are read through the
+//! size-capped [`FrameReader`], dispatched, and answered in order, so
+//! pipelined requests get pipelined responses. Whitespace-only lines are
+//! ignored (a trailing newline from shell clients is not an error).
 //!
 //! Shutdown is graceful by construction: the `shutdown` request (or
 //! [`ServerHandle::shutdown`]) sets a flag and wakes the accept loop with
-//! a self-connection. The accept loop stops handing out new connections;
-//! every worker keeps serving its connection until the peer closes or two
-//! consecutive poll intervals pass with no new frame — fully received
-//! requests are in-flight work and always get their response. `run`
-//! returns once every worker has drained.
+//! a self-connection. New connections stop being admitted; every held
+//! connection keeps being served until the peer closes or two consecutive
+//! poll intervals pass with no new frame — fully received requests are
+//! in-flight work and always get their response. `run` returns once every
+//! queued op has drained.
 
 use crate::metrics::GlobalMetrics;
 use crate::persist::{persist_new_session, rebuild_session, store_stats_to_value, SessionPersist};
@@ -32,9 +42,35 @@ use serde_json::{json, Value};
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// How the server fronts its sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionMode {
+    /// One blocking worker thread owns each in-flight connection for its
+    /// lifetime. Concurrency is capped at the worker count; kept as the
+    /// baseline the async path is benchmarked against.
+    Threaded,
+    /// The non-blocking admission loop (`poll.rs`): one thread owns all
+    /// sockets, decoded ops flow through a bounded queue into the verify
+    /// pool, and held-but-idle connections cost no thread.
+    #[default]
+    Async,
+}
+
+impl std::str::FromStr for AdmissionMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threaded" => Ok(Self::Threaded),
+            "async" => Ok(Self::Async),
+            other => Err(format!("unknown admission mode '{other}' (use threaded|async)")),
+        }
+    }
+}
 
 /// Tuning knobs of a [`Server`].
 #[derive(Debug, Clone)]
@@ -44,6 +80,14 @@ pub struct ServeConfig {
     /// Worker threads; `0` resolves to the available cores, floored at 4
     /// so a small box still serves several persistent connections.
     pub workers: usize,
+    /// Socket-fronting strategy; see [`AdmissionMode`].
+    pub admission: AdmissionMode,
+    /// Bound of the admission→verify op queue (async mode). A full queue
+    /// answers `overloaded` instead of buffering without limit.
+    pub queue_capacity: usize,
+    /// Most `add` ops the verify pool coalesces into one batched
+    /// signature/index/verify pass (async mode).
+    pub batch_max: usize,
     /// Hard cap on one request or response frame, in bytes.
     pub max_frame_bytes: usize,
     /// Admission limit on entities per `create_session`/`add_entities`.
@@ -100,6 +144,9 @@ impl Default for ServeConfig {
         Self {
             addr: "127.0.0.1:0".to_string(),
             workers: 0,
+            admission: AdmissionMode::default(),
+            queue_capacity: 1024,
+            batch_max: 32,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             max_entities_per_request: 4096,
             max_sessions: 4096,
@@ -122,19 +169,20 @@ fn resolve_workers(workers: usize) -> usize {
     }
 }
 
-/// State shared by the accept loop, the workers, and [`ServerHandle`]s.
-struct Shared {
+/// State shared by the admission layer, the verify pool, and
+/// [`ServerHandle`]s.
+pub(crate) struct Shared {
     store: SessionStore,
-    metrics: GlobalMetrics,
+    pub(crate) metrics: GlobalMetrics,
     /// Trace sink shared by every session's engine; the `trace` op
     /// snapshots it. Engine counters and phase spans from all sessions
     /// aggregate here.
-    recorder: Arc<Recorder>,
+    pub(crate) recorder: Arc<Recorder>,
     /// The durable store, when the server persists sessions. Named apart
     /// from `store` (the live session map) on purpose.
     persistence: Option<Arc<Store>>,
-    shutdown: AtomicBool,
-    config: ServeConfig,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) config: ServeConfig,
     addr: SocketAddr,
     started: Instant,
 }
@@ -161,10 +209,10 @@ impl Shared {
         })
     }
 
-    /// Sets the shutdown flag and wakes the blocking accept loop with a
+    /// Sets the shutdown flag and wakes the accept/poll loop with a
     /// self-connection (dropped immediately; the loop re-checks the flag
-    /// before handing a connection to the pool).
-    fn initiate_shutdown(&self) {
+    /// before admitting a connection).
+    pub(crate) fn initiate_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
@@ -222,9 +270,20 @@ impl Server {
         ServerHandle { shared: Arc::clone(&self.shared) }
     }
 
-    /// Serves until shutdown is initiated, then drains: queued and live
-    /// connections finish their buffered requests before workers exit.
+    /// Serves until shutdown is initiated, then drains: held connections
+    /// finish their buffered requests and every queued op gets its
+    /// response before the pool exits.
     pub fn run(self) -> io::Result<()> {
+        match self.shared.config.admission {
+            AdmissionMode::Threaded => self.run_threaded(),
+            AdmissionMode::Async => self.run_async(),
+        }
+    }
+
+    /// The original thread-per-connection server: a blocking accept loop
+    /// feeding a fixed pool over an unbounded channel. Kept verbatim as
+    /// the baseline `exp_serve` benchmarks the async path against.
+    fn run_threaded(self) -> io::Result<()> {
         let workers = resolve_workers(self.shared.config.workers);
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
@@ -250,6 +309,44 @@ impl Server {
             drop(tx);
         });
         Ok(())
+    }
+
+    /// The async server: the scope's owning thread runs the admission
+    /// poll loop (`poll.rs`), the spawned threads form the verify pool.
+    /// Ops flow admission → pool over the *bounded* `ops` queue;
+    /// completions flow back over the unbounded `done` channel paired
+    /// with a [`poll::Waker`]. The admission loop returning is what drops
+    /// the op sender, which is what drains and releases the pool.
+    fn run_async(self) -> io::Result<()> {
+        let workers = resolve_workers(self.shared.config.workers);
+        let poller = crate::poll::Poller::new()?;
+        let waker = poller.waker(crate::poll::TOKEN_WAKER)?;
+        let (ops_tx, ops_rx) =
+            mpsc::sync_channel::<OpJob>(self.shared.config.queue_capacity.max(1));
+        let (done_tx, done_rx) = mpsc::channel::<Completion>();
+        let ops_rx = Arc::new(Mutex::new(ops_rx));
+        let queue_depth = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let ops_rx = Arc::clone(&ops_rx);
+                let done_tx = done_tx.clone();
+                let waker = waker.clone();
+                let shared = Arc::clone(&self.shared);
+                let queue_depth = Arc::clone(&queue_depth);
+                scope
+                    .spawn(move || verify_worker(&ops_rx, &done_tx, &waker, &shared, &queue_depth));
+            }
+            drop(done_tx);
+            crate::poll::admission_loop(
+                poller,
+                &waker,
+                self.listener,
+                &self.shared,
+                ops_tx,
+                &done_rx,
+                &queue_depth,
+            )
+        })
     }
 }
 
@@ -375,23 +472,263 @@ fn write_response(writer: &mut TcpStream, resp: &Response) -> io::Result<()> {
     writer.flush()
 }
 
-/// Parses and dispatches one frame. The handler runs under
-/// `catch_unwind` so a panicking request becomes an `internal` error
-/// response instead of a dead worker (session locks recover from the
-/// poisoning; see `session::lock`).
-fn process_line(line: &str, shared: &Shared) -> (Response, bool) {
+/// Parses one frame into a [`Request`]. An undecodable frame is the
+/// inline error response the admission layer answers without ever
+/// involving the verify pool.
+pub(crate) fn decode_line(line: &str) -> Result<Request, Response> {
     let value: Value = match serde_json::from_str(line) {
         Ok(v) => v,
-        Err(e) => return (Response::err(ErrorCode::BadFrame, format!("invalid JSON: {e}")), false),
+        Err(e) => return Err(Response::err(ErrorCode::BadFrame, format!("invalid JSON: {e}"))),
     };
-    let req = match Request::from_value(&value) {
+    Request::from_value(&value).map_err(|e| Response::err(e.code, e.message))
+}
+
+/// Parses and dispatches one frame (threaded mode). The handler runs
+/// under `catch_unwind` so a panicking request becomes an `internal`
+/// error response instead of a dead worker (session locks recover from
+/// the poisoning; see `session::lock`).
+fn process_line(line: &str, shared: &Shared) -> (Response, bool) {
+    let req = match decode_line(line) {
         Ok(r) => r,
-        Err(e) => return (Response::err(e.code, e.message), false),
+        Err(resp) => return (resp, false),
     };
     let is_shutdown = matches!(req, Request::Shutdown);
     let resp = catch_unwind(AssertUnwindSafe(|| handle_request(&req, shared)))
         .unwrap_or_else(|_| Response::err(ErrorCode::Internal, "request handler panicked"));
     (resp, is_shutdown)
+}
+
+/// One decoded request in flight from the admission layer to the verify
+/// pool: which connection asked, and where in that connection's response
+/// order the answer belongs.
+pub(crate) struct OpJob {
+    /// Admission-layer connection token.
+    pub conn: u64,
+    /// Position in the connection's response order.
+    pub seq: u64,
+    /// The decoded request.
+    pub req: Request,
+}
+
+/// One finished response on its way back to the admission layer.
+pub(crate) struct Completion {
+    /// Connection token the response belongs to.
+    pub conn: u64,
+    /// Position in that connection's response order.
+    pub seq: u64,
+    /// The encoded response frame, ready to write.
+    pub frame: Vec<u8>,
+    /// Whether this op asked the server to shut down.
+    pub shutdown: bool,
+}
+
+/// Encodes and ships one finished response, with the same global
+/// request/error accounting the threaded path does per frame.
+fn complete(
+    done: &mpsc::Sender<Completion>,
+    shared: &Shared,
+    conn: u64,
+    seq: u64,
+    resp: Response,
+    shutdown: bool,
+) {
+    GlobalMetrics::bump(&shared.metrics.requests);
+    if !resp.is_ok() {
+        GlobalMetrics::bump(&shared.metrics.errors);
+    }
+    let frame = encode_frame(&resp.to_value()).into_bytes();
+    let _ = done.send(Completion { conn, seq, frame, shutdown });
+}
+
+/// One verify-pool thread: pulls ops off the bounded queue until the
+/// admission loop hangs up, coalescing runs of consecutive `add` ops for
+/// the same session into one batched pass. Holding the receiver lock
+/// across `recv` is deliberate (the `worker_loop` idiom): exactly one
+/// idle worker blocks on the channel, and the coalescing `try_recv` run
+/// happens under the same guard, so a run of same-session adds is not
+/// split across workers racing on the queue.
+fn verify_worker(
+    rx: &Mutex<mpsc::Receiver<OpJob>>,
+    done: &mpsc::Sender<Completion>,
+    waker: &crate::poll::Waker,
+    shared: &Shared,
+    queue_depth: &AtomicU64,
+) {
+    let batch_max = shared.config.batch_max.max(1);
+    // An op popped while probing for a coalescible run but belonging to a
+    // different session/op carries over as the next batch's head.
+    let mut carry: Option<OpJob> = None;
+    loop {
+        let mut batch: Vec<OpJob> = Vec::with_capacity(batch_max);
+        // A carried head must be processed WITHOUT waiting on the
+        // receiver lock: an idle sibling holds that lock blocked in
+        // `recv`, and with the queue quiet it would never release it —
+        // the carried op would strand forever. Coalescing onto a carried
+        // head is therefore opportunistic (`try_lock`); a fresh head
+        // keeps the guard it took for `recv` and coalesces under it.
+        let (head, guard) = match carry.take() {
+            Some(job) => (job, rx.try_lock().ok()),
+            None => {
+                let g = lock(rx);
+                match g.recv() {
+                    Ok(job) => {
+                        // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
+                        queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        (job, Some(g))
+                    }
+                    Err(_) => return,
+                }
+            }
+        };
+        let mut batch_session: Option<u64> = None;
+        if let Request::AddEntities { session, .. } = &head.req {
+            batch_session = Some(*session);
+        }
+        batch.push(head);
+        if let (Some(sid), Some(g)) = (batch_session, guard.as_ref()) {
+            while batch.len() < batch_max {
+                match g.try_recv() {
+                    Ok(job) => {
+                        // dime-check: allow(atomic-ordering) — statistics counter; readers tolerate stale values
+                        queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        let same = matches!(
+                            &job.req,
+                            Request::AddEntities { session, .. } if *session == sid
+                        );
+                        if same {
+                            batch.push(job);
+                        } else {
+                            carry = Some(job);
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        drop(guard);
+        match (batch_session, batch.len()) {
+            (Some(sid), n) if n >= 2 => {
+                GlobalMetrics::add(&shared.metrics.coalesced_adds, n as u64);
+                if shared.recorder.enabled() {
+                    shared.recorder.latency("verify_batch_size", n as u64);
+                }
+                let responses =
+                    catch_unwind(AssertUnwindSafe(|| handle_add_batch(sid, &batch, shared)))
+                        .unwrap_or_else(|_| {
+                            batch
+                                .iter()
+                                .map(|_| {
+                                    Response::err(ErrorCode::Internal, "request handler panicked")
+                                })
+                                .collect()
+                        });
+                for (job, resp) in batch.iter().zip(responses) {
+                    complete(done, shared, job.conn, job.seq, resp, false);
+                }
+            }
+            _ => {
+                if let Some(job) = batch.pop() {
+                    let is_shutdown = matches!(job.req, Request::Shutdown);
+                    let resp = catch_unwind(AssertUnwindSafe(|| handle_request(&job.req, shared)))
+                        .unwrap_or_else(|_| {
+                            Response::err(ErrorCode::Internal, "request handler panicked")
+                        });
+                    complete(done, shared, job.conn, job.seq, resp, is_shutdown);
+                }
+            }
+        }
+        waker.wake();
+    }
+}
+
+/// Dispatches a coalesced run of `add` ops against one session: every
+/// request is admitted or rejected on its own — exactly as the
+/// sequential handler would have, in queue order — but all admitted rows
+/// go through **one** `IncrementalDime::add_entities` pass and one WAL
+/// batch append. Per-request responses are byte-identical to sequential
+/// dispatch: ids are split back out of the batch, and each `entities`
+/// count reflects only the rows applied *through* that request.
+fn handle_add_batch(session: u64, jobs: &[OpJob], shared: &Shared) -> Vec<Response> {
+    let cfg = &shared.config;
+    let Some(sess) = shared.store.get(session) else {
+        return jobs.iter().map(|_| no_such_session(session)).collect();
+    };
+    let mut guard = lock(&sess);
+    let sess = &mut *guard;
+    let names: Vec<&str> = sess.attr_names.iter().map(String::as_str).collect();
+    let base_len = sess.engine.len();
+
+    // Per-request admission and validation, mirroring the sequential
+    // handler's order exactly: the entity limit is checked before the
+    // request counts, a bad row rejects its whole request (and only its
+    // request), and no row of a rejected request lands.
+    let mut plans: Vec<Result<Vec<Vec<String>>, Response>> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let Request::AddEntities { entities, .. } = &job.req else {
+            // The coalescing loop only batches add ops; answer anything
+            // else with a structured error instead of trusting that.
+            plans.push(Err(Response::err(ErrorCode::Internal, "non-add op in coalesced batch")));
+            continue;
+        };
+        if entities.len() > cfg.max_entities_per_request {
+            plans.push(Err(Response::err(
+                ErrorCode::TooManyEntities,
+                format!(
+                    "request carries {} entities; the limit is {}",
+                    entities.len(),
+                    cfg.max_entities_per_request
+                ),
+            )));
+            continue;
+        }
+        sess.metrics.requests += 1;
+        let mut rows: Vec<Vec<String>> = Vec::with_capacity(entities.len());
+        let mut rejected = None;
+        for (i, row) in entities.iter().enumerate() {
+            match entity_row_values(row, &names) {
+                Ok(values) => rows.push(values),
+                Err(e) => {
+                    rejected = Some(Response::err(
+                        ErrorCode::BadRequest,
+                        format!("entity {i}: {}", e.message),
+                    ));
+                    break;
+                }
+            }
+        }
+        plans.push(match rejected {
+            Some(resp) => Err(resp),
+            None => Ok(rows),
+        });
+    }
+
+    let all_rows: Vec<Vec<String>> = plans
+        .iter()
+        .filter_map(|p| p.as_ref().ok())
+        .flat_map(|rows| rows.iter().cloned())
+        .collect();
+    let ids = sess.engine.add_entities(&all_rows);
+    sess.metrics.entities_added += ids.len() as u64;
+    if let Some(p) = sess.persist.as_mut() {
+        p.log_add_batch(all_rows);
+    }
+
+    let mut out = Vec::with_capacity(jobs.len());
+    let mut offset = 0usize;
+    let mut applied = base_len;
+    for plan in plans {
+        match plan {
+            Err(resp) => out.push(resp),
+            Ok(rows) => {
+                let req_ids = ids.get(offset..offset + rows.len()).unwrap_or(&[]);
+                offset += rows.len();
+                applied += rows.len();
+                out.push(Response::Ok(json!({"ids": req_ids, "entities": applied})));
+            }
+        }
+    }
+    out
 }
 
 fn no_such_session(id: u64) -> Response {
@@ -999,6 +1336,67 @@ mod tests {
         assert!(phases.contains(&"incremental_add"), "adds must record spans: {phases:?}");
         assert!(v["counters"]["pairs_verified"].as_u64().unwrap() > 0);
         assert!(v["counters"]["entities_added"].as_u64().unwrap() >= 2);
+    }
+
+    fn add_job(conn: u64, seq: u64, session: u64, entities: Vec<Value>) -> OpJob {
+        OpJob { conn, seq, req: Request::AddEntities { session, entities } }
+    }
+
+    /// The coalesced dispatch contract: a batch of `add` requests run
+    /// through `handle_add_batch` produces responses byte-identical to
+    /// dispatching the same requests one at a time — including a
+    /// mid-batch row rejection and a mid-batch over-limit rejection,
+    /// which must fail alone without disturbing their neighbors' ids or
+    /// `entities` counts — and the engines agree bit-identically after.
+    #[test]
+    fn batched_add_dispatch_matches_sequential() {
+        let batched = shared();
+        let sequential = shared();
+        let id = create(&batched);
+        assert_eq!(create(&sequential), id);
+        let requests: Vec<Vec<Value>> = vec![
+            vec![json!(["t1", "ann, bob"]), json!(["t2", "ann, bob, carl"])],
+            vec![json!(["arity mismatch"])],
+            (0..9).map(|i| json!([format!("x{i}"), "ann"])).collect(),
+            vec![json!(["t3", "dora"]), json!(["t4", "ann, bob"])],
+        ];
+        let jobs: Vec<OpJob> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, entities)| add_job(7, i as u64, id, entities.clone()))
+            .collect();
+
+        let batch_resps = handle_add_batch(id, &jobs, &batched);
+        let seq_resps: Vec<Response> = requests
+            .iter()
+            .map(|entities| {
+                handle_request(
+                    &Request::AddEntities { session: id, entities: entities.clone() },
+                    &sequential,
+                )
+            })
+            .collect();
+        assert_eq!(batch_resps, seq_resps);
+
+        let Response::Ok(last) = &batch_resps[3] else { panic!("final add must succeed") };
+        assert_eq!(last["ids"], json!([2, 3]), "ids must split across the batch densely");
+        assert_eq!(last["entities"], 4);
+        assert_eq!(
+            comparable(discovery_of(&batched, id)),
+            comparable(discovery_of(&sequential, id))
+        );
+    }
+
+    #[test]
+    fn batched_add_to_missing_session_rejects_every_op() {
+        let s = shared();
+        let jobs =
+            vec![add_job(1, 0, 99, vec![json!(["t", "ann"])]), add_job(1, 1, 99, Vec::new())];
+        let resps = handle_add_batch(99, &jobs, &s);
+        assert_eq!(resps.len(), 2);
+        for resp in resps {
+            expect_err(resp, ErrorCode::NoSuchSession);
+        }
     }
 
     /// Witnesses are sampled, so equality across a restart is asserted on

@@ -140,6 +140,38 @@ impl SessionWal {
         Ok(seq)
     }
 
+    /// Appends a run of operation records under a single fsync decision,
+    /// returning the sequence number of the first. Each record is framed
+    /// and sequenced exactly as [`SessionWal::append`] would have framed
+    /// it — a batched log is byte-identical to an op-at-a-time log — but
+    /// the fsync policy is consulted once for the whole run, so an
+    /// `Always` policy pays one `sync_data` per batch instead of one per
+    /// record. The replication tap is offered every payload only after
+    /// that durability point, preserving its post-commit contract.
+    ///
+    /// An empty batch is a no-op returning the next sequence number.
+    pub fn append_batch(&mut self, ops: &[WalOp]) -> io::Result<u64> {
+        let first = self.next_seq;
+        if ops.is_empty() {
+            return Ok(first);
+        }
+        let mut payloads = Vec::with_capacity(ops.len());
+        for op in ops {
+            let payload = encode_record(self.next_seq, op);
+            let written = write_frame(&mut self.file, &payload)?;
+            self.next_seq += 1;
+            self.stats.add_append(written as u64);
+            payloads.push(payload);
+        }
+        self.maybe_sync()?;
+        if let Some((session, tap)) = &self.tap {
+            for payload in &payloads {
+                tap.record_committed(*session, payload)?;
+            }
+        }
+        Ok(first)
+    }
+
     /// Appends an already-encoded record verbatim — the follower side of
     /// replication. The payload is decoded first so a corrupt stream is
     /// rejected instead of poisoning the log, and the WAL's own sequence
@@ -515,6 +547,44 @@ mod tests {
             _ => panic!("a closed session must not come back"),
         }
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_batch_is_byte_identical_to_sequential_appends() {
+        let batch_dir = temp_dir("batch");
+        let seq_dir = temp_dir("batch-seq");
+        let stats = Arc::new(StoreStats::default());
+        let ops =
+            [open_op(), add_op("a"), add_op("b"), WalOp::RemoveEntity { entity: 0 }, add_op("c")];
+
+        let mut batched =
+            SessionWal::create(&batch_dir, FsyncPolicy::Always, Arc::clone(&stats)).unwrap();
+        batched.append(&ops[0]).unwrap();
+        let first = batched.append_batch(&ops[1..]).unwrap();
+        assert_eq!(first, 2, "append_batch returns the first sequence of the run");
+        assert_eq!(batched.next_seq(), 6);
+        assert_eq!(batched.append_batch(&[]).unwrap(), 6, "empty batch is a no-op");
+        drop(batched);
+
+        let mut sequential =
+            SessionWal::create(&seq_dir, FsyncPolicy::Always, Arc::clone(&stats)).unwrap();
+        for op in &ops {
+            sequential.append(op).unwrap();
+        }
+        drop(sequential);
+
+        assert_eq!(
+            fs::read(batch_dir.join(WAL_FILE)).unwrap(),
+            fs::read(seq_dir.join(WAL_FILE)).unwrap(),
+            "a batched log must be byte-identical to an op-at-a-time log"
+        );
+        let rec = recover_live(&batch_dir);
+        assert_eq!(
+            rec.state.rows.iter().map(|r| r.values[0].as_str()).collect::<Vec<_>>(),
+            vec!["b", "c"]
+        );
+        fs::remove_dir_all(&batch_dir).unwrap();
+        fs::remove_dir_all(&seq_dir).unwrap();
     }
 
     /// A tap that mirrors every payload into a second WAL via

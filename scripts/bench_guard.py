@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Perf-regression guard for the bench-json CI stage.
+
+Usage: bench_guard.py <baseline.json> <fresh.json>
+
+Compares the key wall/throughput metrics of a freshly generated
+results/BENCH_*.json against the baseline committed at HEAD and exits
+non-zero when any metric regressed by more than FACTOR (2x). The
+tolerance rationale lives in the scripts/ci.sh header: these are
+small-config smoke runs on shared hardware, and the perf wins being
+pinned sit far enough from the floor that 2x separates architectural
+regressions from scheduler noise. Wall-clock baselines under
+FLOOR_SECONDS are skipped outright — at these config sizes they measure
+the scheduler, not the code.
+
+The metric table is keyed by JSON shape, not file name, so a bench file
+is guarded as soon as it grows a recognized section:
+
+  throughput_ops_per_sec            higher is better   (BENCH_serve)
+  session_throughput.*_sessions_per_sec  higher is better  (BENCH_serve)
+  kernels[].ns_per_pair             lower is better    (BENCH_micro)
+  append[].wall_seconds             lower is better    (BENCH_store)
+  recovery[].wal_replay_seconds     lower is better    (BENCH_store)
+  failover.time_to_first_success_secs  lower is better (BENCH_cluster)
+  sharded[].sessions_per_sec        higher is better   (BENCH_cluster)
+
+Metrics present in only one of the two files (config drift, new
+sections) are skipped: the guard pins regressions, it does not freeze
+the schema.
+"""
+
+import json
+import sys
+
+FACTOR = 2.0
+FLOOR_SECONDS = 0.005
+
+
+def metrics(doc):
+    """Extracts (name, value, direction) triples from one bench document."""
+    out = []
+    if "throughput_ops_per_sec" in doc:
+        out.append(("throughput_ops_per_sec", doc["throughput_ops_per_sec"], "higher"))
+    for mode, figure in sorted(doc.get("session_throughput", {}).items()):
+        if mode.endswith("_sessions_per_sec"):
+            out.append((f"session_throughput.{mode}", figure, "higher"))
+    for k in doc.get("kernels", []):
+        out.append((f"kernels[{k['kernel']}].ns_per_pair", k["ns_per_pair"], "lower"))
+    for a in doc.get("append", []):
+        out.append((f"append[{a['policy']}].wall_seconds", a["wall_seconds"], "lower"))
+    for r in doc.get("recovery", []):
+        name = f"recovery[ops={r['ops']},snapshot={r['snapshot']}].wal_replay_seconds"
+        out.append((name, r["wal_replay_seconds"], "lower"))
+    if "failover" in doc:
+        out.append(
+            (
+                "failover.time_to_first_success_secs",
+                doc["failover"]["time_to_first_success_secs"],
+                "lower",
+            )
+        )
+    for s in doc.get("sharded", []):
+        out.append(
+            (f"sharded[shards={s['shards']}].sessions_per_sec", s["sessions_per_sec"], "higher")
+        )
+    return out
+
+
+def is_noise_floor(name, value):
+    return name.endswith(("_seconds", "_secs")) and value < FLOOR_SECONDS
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+    with open(baseline_path) as f:
+        baseline = dict((n, (v, d)) for n, v, d in metrics(json.load(f)))
+    with open(fresh_path) as f:
+        fresh = dict((n, (v, d)) for n, v, d in metrics(json.load(f)))
+
+    compared = 0
+    failures = []
+    for name, (old, direction) in sorted(baseline.items()):
+        if name not in fresh:
+            continue
+        new = fresh[name][0]
+        if old <= 0 or is_noise_floor(name, old):
+            continue
+        compared += 1
+        regressed = new > old * FACTOR if direction == "lower" else new < old / FACTOR
+        if regressed:
+            failures.append(
+                f"bench-guard: {fresh_path}: {name} regressed >"
+                f"{FACTOR:g}x: {old:g} -> {new:g} ({direction} is better)"
+            )
+
+    for line in failures:
+        print(line, file=sys.stderr)
+    if not failures:
+        print(f"bench-guard: {fresh_path}: {compared} metrics within {FACTOR:g}x of baseline")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

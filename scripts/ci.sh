@@ -12,10 +12,17 @@
 #   cluster-e2e   the dime-cluster acceptance test: SIGKILL a replicated
 #                 shard under a probing router mid-traffic; the follower
 #                 must be promoted with zero closed-session data loss
+#   soak          the async-admission soak test: 10k concurrent idle
+#                 sessions held open plus a sustained add/flag workload
+#                 against a live release-build server, asserting the
+#                 process thread count stays near the verify-pool size
+#                 and p99 flag latency under a ceiling; skipped where
+#                 /proc is unavailable (the thread accounting needs it)
 #   check         dime-check --workspace: the in-repo static analyzer
 #                 (no-panic service path, annotated Relaxed orderings,
 #                 fsync-before-rename, wall-clock scoping, forbid(unsafe)
-#                 drift, stdout hygiene) with zero unsuppressed findings
+#                 drift, stdout hygiene, poll-loop blocking-syscall ban)
+#                 with zero unsuppressed findings
 #   clippy        lint-clean across all targets, warnings denied
 #   bench-smoke   exp_check --smoke: the three engines must agree on a
 #                 tiny generated group inside a generous time ceiling
@@ -24,7 +31,17 @@
 #                 committed JSON is refreshed by bench-json)
 #   bench-json    small-config exp_serve / exp_trace / exp_store /
 #                 exp_micro / exp_cluster runs, refreshing
-#                 results/BENCH_{serve,trace,store,micro,cluster}.json
+#                 results/BENCH_{serve,trace,store,micro,cluster}.json,
+#                 then the perf-regression guard: every refreshed file is
+#                 compared against the copy committed at HEAD (via `git
+#                 show`) and the stage fails on any >2x regression of a
+#                 key wall/throughput metric. 2x — not a tight bound —
+#                 because these are small-config smoke runs on shared
+#                 hardware: the wins being pinned sit 5-100x from the
+#                 floor, so 2x catches architectural regressions while
+#                 tolerating scheduler noise; baselines under 5 ms of
+#                 wall are skipped as pure noise, and files absent from
+#                 HEAD are skipped with a note (first run of a new bench)
 #   offline-build the rustc-only harness (scripts/offline/build_all.sh);
 #                 skipped with a message when cargo never produced the
 #                 stub sources' toolchain or rustc is missing
@@ -38,7 +55,13 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-STAGES=(fmt build test serve-e2e store-recovery cluster-e2e check clippy bench-smoke bench-micro bench-json offline-build)
+STAGES=(fmt build test serve-e2e store-recovery cluster-e2e soak check clippy bench-smoke bench-micro bench-json offline-build)
+
+# One scratch directory for everything a stage writes and throws away
+# (bench-micro's scratch JSON, the guard's HEAD baselines), removed on
+# every exit path — `mktemp -d` inside a stage leaked one dir per run.
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
 
 run_fmt() { cargo fmt --all --check; }
 run_build() { cargo build --release; }
@@ -56,6 +79,18 @@ run_store_recovery() { cargo test -q -p dime-store && cargo test -q --test store
 # must promote its follower and every committed session must replay
 # bit-identically. Run by name so a filtered invocation can never skip it.
 run_cluster_e2e() { cargo test -q -p dime-cluster && cargo test -q --test cluster; }
+# Concurrency soak: 10k idle sessions held over live connections by the
+# epoll admission layer plus a sustained add/flag workload, with the
+# thread count and p99 flag latency asserted inside the test. Runs the
+# release build (debug-build verification would dominate the latency
+# ceiling) and is marked #[ignore] so plain `cargo test` stays fast.
+run_soak() {
+  if [[ ! -r /proc/self/status ]]; then
+    echo "soak: /proc is not available; skipping (thread accounting needs it)"
+    return 2
+  fi
+  cargo test -q --release --test soak -- --ignored
+}
 # The repo's own rule engine: exits non-zero on any unsuppressed finding,
 # so a deleted allow or a re-introduced violation fails CI here.
 run_check() { cargo run -q --release -p dime-check -- --workspace; }
@@ -67,17 +102,36 @@ run_bench_smoke() { cargo run -q --release --bin exp_check -- --smoke; }
 # end; a tiny pair count keeps it cheap, and the JSON goes to a scratch
 # path so only bench-json refreshes the committed numbers.
 run_bench_micro() {
-  cargo run -q --release --bin exp_micro -- --pairs 2000 --out "$(mktemp -d)/BENCH_micro.json"
+  cargo run -q --release --bin exp_micro -- --pairs 2000 --out "$SCRATCH/BENCH_micro.json"
+}
+# Compares every refreshed results/BENCH_*.json against the copy
+# committed at HEAD and fails on >2x regressions of the key metrics (see
+# the header for the tolerance rationale). Baselines are materialized
+# from `git show` into the scratch dir; a file with no committed
+# baseline is noted and skipped.
+check_bench_regressions() {
+  local rc=0 f base
+  for f in results/BENCH_*.json; do
+    base="$SCRATCH/head-$(basename "$f")"
+    if ! git show "HEAD:$f" > "$base" 2> /dev/null; then
+      echo "bench-guard: $f has no committed baseline at HEAD; skipping"
+      continue
+    fi
+    python3 scripts/bench_guard.py "$base" "$f" || rc=1
+  done
+  return "$rc"
 }
 # Small-config benchmark drivers: refresh the machine-readable summaries
 # committed under results/ so service, trace, and store numbers are
-# tracked alongside the engine benchmarks.
+# tracked alongside the engine benchmarks — then hold the fresh numbers
+# against the committed ones so a banked perf win cannot silently rot.
 run_bench_json() {
   cargo run -q --release --bin exp_serve -- --clients 2 --rounds 4 --batch 32 &&
     cargo run -q --release --bin exp_trace -- --scholar 400 --dbgen 800 &&
     cargo run -q --release --bin exp_store -- --append-ops 500 --always-ops 50 --recover 1000 &&
     cargo run -q --release --bin exp_micro -- --pairs 200000 &&
-    cargo run -q --release --bin exp_cluster -- --lifecycles 10
+    cargo run -q --release --bin exp_cluster -- --lifecycles 10 &&
+    check_bench_regressions
 }
 
 # The offline harness double-checks that the workspace still builds with
@@ -99,11 +153,17 @@ for s in "${STAGES[@]}"; do
 done
 
 print_summary() {
+  local t
   echo
   echo "== CI summary =="
   printf '%-14s %-6s %s\n' stage result time
   for s in "${STAGES[@]}"; do
-    printf '%-14s %-6s %s\n' "$s" "${RESULT[$s]}" "${TIME[$s]}"
+    # A stage that was never reached has no meaningful time — keep the
+    # column blank rather than echoing whatever the cell holds (stale
+    # values surfaced when a single stage re-runs under CI_STAGE).
+    t=${TIME[$s]}
+    [[ "${RESULT[$s]}" == "-" ]] && t=""
+    printf '%-14s %-6s %s\n' "$s" "${RESULT[$s]}" "$t"
   done
 }
 
@@ -119,6 +179,7 @@ run_stage() {
     serve-e2e) run_serve_e2e ;;
     store-recovery) run_store_recovery ;;
     cluster-e2e) run_cluster_e2e ;;
+    soak) run_soak ;;
     check) run_check ;;
     clippy) run_clippy ;;
     bench-smoke) run_bench_smoke ;;

@@ -123,6 +123,8 @@ CARGO_BIN_EXE_dime="$OUT/bin_dime" $RC --test $R/tests/store_recovery.rs --crate
 echo "test-bin store_recovery OK"
 CARGO_BIN_EXE_dime="$OUT/bin_dime" $RC --test $R/tests/cluster.rs --crate-name cluster_test $X $ALL_E -o cluster_test
 echo "test-bin cluster OK"
+CARGO_BIN_EXE_dime="$OUT/bin_dime" $RC --test $R/tests/soak.rs --crate-name soak_test $X $ALL_E -o soak_test
+echo "test-bin soak OK"
 for ex in $R/examples/*.rs; do
   name=$(basename "$ex" .rs)
   $RC "$ex" --crate-name "ex_$name" $X $ALL_E -o "ex_$name"

@@ -7,6 +7,7 @@
 //! dime check-rules --group <group.json> --rules <rules.txt>
 //! dime stats    --group <group.json>
 //! dime serve    [--addr H:P] [--workers N] [--max-frame-bytes N] [--max-entities N] [--max-sessions N]
+//!               [--admission threaded|async] [--queue-capacity N] [--batch-max N]
 //!               [--data-dir DIR] [--fsync always|never|interval[:ms]] [--snapshot-every N]
 //! dime client   --addr H:P <op> [op args]
 //! dime cluster-shard  --data-dir DIR [--addr H:P] [--replicate-to H:P] [serve knobs]
@@ -43,7 +44,7 @@ use dime::data::{
     AmazonConfig, LabeledGroup, ScholarConfig,
 };
 use dime::serve::metrics::trace_report_to_value;
-use dime::serve::{Client, ClientError, Request, ServeConfig, Server, WalTapHandle};
+use dime::serve::{AdmissionMode, Client, ClientError, Request, ServeConfig, Server, WalTapHandle};
 use dime::store::{FsyncPolicy, StoreConfig};
 use dime::trace::{Recorder, TraceReport};
 use serde_json::{json, Value};
@@ -85,6 +86,7 @@ fn print_usage() {
          \x20 dime stats --group <group.json>\n\
          \x20 dime learn --group <group.json> --truth <ids.json>\n\
          \x20 dime serve [--addr H:P] [--workers N] [--max-frame-bytes N] [--max-entities N] [--max-sessions N]\n\
+         \x20            [--admission threaded|async] [--queue-capacity N] [--batch-max N]\n\
          \x20            [--data-dir DIR] [--fsync always|never|interval[:ms]] [--snapshot-every N]\n\
          \x20 dime client --addr H:P <ping|create|add|remove|discovery|scrollbar|stats|trace|close|shutdown> [op args]\n\
          \x20 dime cluster-shard --data-dir DIR [--addr H:P] [--replicate-to H:P] [serve knobs]\n\
@@ -471,11 +473,13 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         addr: flag_value(args, "--addr").unwrap_or("127.0.0.1:7878").to_string(),
         ..ServeConfig::default()
     };
-    let knobs: [(&str, &mut usize); 4] = [
+    let knobs: [(&str, &mut usize); 6] = [
         ("--workers", &mut config.workers),
         ("--max-frame-bytes", &mut config.max_frame_bytes),
         ("--max-entities", &mut config.max_entities_per_request),
         ("--max-sessions", &mut config.max_sessions),
+        ("--queue-capacity", &mut config.queue_capacity),
+        ("--batch-max", &mut config.batch_max),
     ];
     for (key, slot) in knobs {
         match numeric_flag(args, key) {
@@ -483,6 +487,15 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             Ok(Some(n)) => *slot = n,
             Err(e) => {
                 eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(mode) = flag_value(args, "--admission") {
+        match mode.parse::<AdmissionMode>() {
+            Ok(m) => config.admission = m,
+            Err(e) => {
+                eprintln!("error: --admission: {e}");
                 return ExitCode::FAILURE;
             }
         }

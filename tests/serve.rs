@@ -5,7 +5,9 @@
 
 use dime::core::{discover_fast, parse_rules, GroupBuilder, Polarity, Schema};
 use dime::data::discovery_to_json;
-use dime::serve::{Client, ClientError, ErrorCode, Frame, FrameReader, ServeConfig, Server};
+use dime::serve::{
+    AdmissionMode, Client, ClientError, ErrorCode, Frame, FrameReader, ServeConfig, Server,
+};
 use dime::text::TokenizerKind;
 use serde_json::{json, Value};
 use std::io::{BufReader, Write};
@@ -248,6 +250,130 @@ fn shutdown_drains_every_inflight_request() {
             }
             other => panic!("dropped in-flight response: {other:?}"),
         }
+    }
+    runner.join().expect("server thread").expect("server run");
+}
+
+/// Seeds a session with three entities over a throwaway client and
+/// returns its id.
+fn seed_session(addr: std::net::SocketAddr) -> u64 {
+    let mut client = Client::connect(addr).expect("setup connect");
+    let session = client.create_session(&group_doc(), RULES).expect("create");
+    client
+        .add_entities(
+            session,
+            &[json!(["t", "ann, bob"]), json!(["t", "ann, bob, carl"]), json!(["t", "dora"])],
+        )
+        .expect("seed");
+    session
+}
+
+/// Writes `n` pipelined discovery frames in one burst and reads exactly
+/// `n` responses back, returning `(ok, overloaded)` counts. Panics on any
+/// other response shape — backpressure must be a typed, retryable error,
+/// never a dropped request or a closed connection.
+fn burst_discoveries(addr: std::net::SocketAddr, session: u64, n: usize) -> (usize, usize) {
+    let mut s = TcpStream::connect(addr).expect("burst connect");
+    let frame = format!("{{\"op\": \"discovery\", \"session\": {session}}}\n");
+    let burst: String = std::iter::repeat(frame.as_str()).take(n).collect();
+    s.write_all(burst.as_bytes()).expect("write burst");
+    s.flush().expect("flush burst");
+
+    let (mut ok, mut overloaded) = (0usize, 0usize);
+    let mut reader = FrameReader::new(BufReader::new(s), 1 << 20);
+    for i in 0..n {
+        match reader.read_frame().expect("burst read") {
+            Frame::Line(line) => {
+                let v: Value = serde_json::from_str(&line).expect("response JSON");
+                if v.get("ok").is_some() {
+                    ok += 1;
+                } else {
+                    let code = v["err"]["code"].as_str().unwrap_or("?");
+                    assert_eq!(code, "overloaded", "response {i}: unexpected error: {line}");
+                    overloaded += 1;
+                }
+            }
+            other => panic!("response {i} of {n} dropped: {other:?}"),
+        }
+    }
+    (ok, overloaded)
+}
+
+/// A tiny verify queue under a pipelined burst: every admitted request is
+/// answered — the overflow as the typed, retryable `overloaded` error —
+/// and a `with_retry` client rides out the pressure without surfacing it.
+#[test]
+fn queue_overflow_is_a_retryable_overloaded_error() {
+    const BURST: usize = 200;
+    let server = Server::bind(ServeConfig {
+        admission: AdmissionMode::Async,
+        workers: 1,
+        queue_capacity: 1,
+        batch_max: 1,
+        poll_interval: std::time::Duration::from_millis(5),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+    let session = seed_session(addr);
+
+    let (ok, overloaded) = burst_discoveries(addr, session, BURST);
+    assert_eq!(ok + overloaded, BURST, "every request is answered exactly once");
+    assert!(ok >= 1, "the queue keeps serving under pressure");
+    assert!(
+        overloaded >= 1,
+        "a single-slot queue cannot absorb a {BURST}-deep pipelined burst without shedding"
+    );
+
+    // A retrying client sustains service while a fresh burst keeps the
+    // queue saturated: overloaded responses are absorbed by backoff.
+    let pressure = std::thread::spawn(move || burst_discoveries(addr, session, BURST));
+    let mut client = Client::connect(addr).expect("retry connect").with_retry(8, 1);
+    for _ in 0..5 {
+        client.discovery(session).expect("retrying discovery must outlast the burst");
+    }
+    pressure.join().expect("pressure thread");
+
+    handle.shutdown();
+    runner.join().expect("server thread").expect("server run");
+}
+
+/// Shutdown while the verify queue is saturated: the drain must flush
+/// every op that was admitted — queued or shed — with a response on its
+/// own connection before the socket closes, on every connection at once.
+#[test]
+fn shutdown_under_queue_pressure_answers_every_accepted_op() {
+    const CONNS: usize = 4;
+    const OPS: usize = 25;
+    let server = Server::bind(ServeConfig {
+        admission: AdmissionMode::Async,
+        workers: 1,
+        queue_capacity: 2,
+        batch_max: 1,
+        poll_interval: std::time::Duration::from_millis(5),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+    let session = seed_session(addr);
+
+    // Saturate from several connections, then pull the plug while the
+    // queue is still working through the backlog. Reads happen in
+    // parallel threads so one connection's backlog cannot stall another
+    // past its write window.
+    let readers: Vec<_> = (0..CONNS)
+        .map(|_| std::thread::spawn(move || burst_discoveries(addr, session, OPS)))
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    handle.shutdown();
+
+    for reader in readers {
+        let (ok, overloaded) = reader.join().expect("reader thread");
+        assert_eq!(ok + overloaded, OPS, "drain must answer every admitted op");
     }
     runner.join().expect("server thread").expect("server run");
 }

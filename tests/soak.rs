@@ -1,0 +1,186 @@
+//! Concurrency soak for the async admission layer, run by the `soak`
+//! stage of `scripts/ci.sh` (`cargo test -q --release --test soak --
+//! --ignored`): a real `dime serve` process holds ten thousand idle
+//! sessions — each over its own live TCP connection — while a sustained
+//! add/flag workload runs beside them, asserting that
+//!
+//! * the process thread count stays pinned near the verify-pool size
+//!   (the whole point of the admission/verify split: sockets are owned
+//!   by one poll loop, not one thread each),
+//! * p99 flag latency stays under a generous ceiling while the idle
+//!   mass is held, and
+//! * shutdown still drains cleanly with every connection open.
+//!
+//! `#[ignore]`d so plain `cargo test` stays fast, and the thread
+//! accounting reads `/proc`, which the CI stage checks for.
+
+use dime::serve::Client;
+use serde_json::{json, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const RULES: &str = "positive: overlap(Authors) >= 2\nnegative: overlap(Authors) <= 0";
+const IDLE_SESSIONS: usize = 10_000;
+const WORKERS: usize = 4;
+const WORKLOAD_CLIENTS: usize = 4;
+/// Verify pool + admission thread + main + a margin for runtime
+/// housekeeping threads. A thread-per-connection server would sit four
+/// hundred times higher with the idle mass held.
+const THREAD_CEILING: u64 = 24;
+const P99_CEILING_MICROS: u64 = 1_000_000;
+
+fn group_doc() -> Value {
+    json!({
+        "schema": [
+            {"name": "Title", "tokenizer": "words"},
+            {"name": "Authors", "tokenizer": {"list": ","}}
+        ],
+        "entities": []
+    })
+}
+
+fn spawn_server() -> (Child, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dime"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--admission",
+            "async",
+            "--workers",
+            &WORKERS.to_string(),
+            "--max-sessions",
+            &(IDLE_SESSIONS + WORKLOAD_CLIENTS + 16).to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn dime serve");
+    let mut announce = String::new();
+    BufReader::new(child.stdout.as_mut().expect("stdout"))
+        .read_line(&mut announce)
+        .expect("read announce line");
+    let addr = announce.trim().rsplit(' ').next().expect("address in announce");
+    (child, addr.parse().expect("parse address"))
+}
+
+/// Creates one session over a raw socket and parks the connection: one
+/// fd per idle session on each side, so ten thousand fit comfortably
+/// under the fd limit (a `Client` would hold two — reader and a cloned
+/// writer).
+fn park_session(addr: SocketAddr, frame: &[u8]) -> TcpStream {
+    let mut s = TcpStream::connect(addr).expect("idle connect");
+    s.write_all(frame).expect("write create");
+    let mut reader = BufReader::new(s.try_clone().expect("clone for read"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read create response");
+    assert!(line.contains("\"ok\""), "create failed: {line}");
+    s
+}
+
+fn proc_field(pid: u32, key: &str) -> u64 {
+    let status = std::fs::read_to_string(format!("/proc/{pid}/status")).expect("/proc status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix(key))
+        .unwrap_or_else(|| panic!("{key} not in /proc/{pid}/status"))
+        .trim()
+        .trim_start_matches(':')
+        .trim()
+        .parse()
+        .expect("numeric /proc field")
+}
+
+fn open_fds(pid: u32) -> usize {
+    std::fs::read_dir(format!("/proc/{pid}/fd")).expect("/proc fd dir").count()
+}
+
+#[test]
+#[ignore = "soak tier: run via scripts/ci.sh (CI_STAGE=soak) or --ignored"]
+fn ten_thousand_idle_sessions_on_a_fixed_thread_pool() {
+    let (mut child, addr) = spawn_server();
+    let pid = child.id();
+
+    // ---- Hold the idle mass: 10k sessions, each parked on its own
+    // live connection, raised from a few threads to keep ramp-up well
+    // inside the server's idle timeout.
+    let create_frame = {
+        let mut f =
+            json!({"op": "create_session", "group": group_doc(), "rules": RULES}).to_string();
+        f.push('\n');
+        f.into_bytes()
+    };
+    let ramp = Instant::now();
+    let raisers: Vec<_> = (0..8)
+        .map(|r| {
+            let frame = create_frame.clone();
+            std::thread::spawn(move || {
+                let count = IDLE_SESSIONS / 8 + usize::from(r < IDLE_SESSIONS % 8);
+                (0..count).map(|_| park_session(addr, &frame)).collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let parked: Vec<Vec<TcpStream>> =
+        raisers.into_iter().map(|t| t.join().expect("raiser thread")).collect();
+    let held: usize = parked.iter().map(Vec::len).sum();
+    assert_eq!(held, IDLE_SESSIONS);
+    println!("soak: {held} idle sessions parked in {:.1?}", ramp.elapsed());
+
+    // The admission layer owns every socket: the server's fd table must
+    // carry the whole idle mass right now...
+    let fds = open_fds(pid);
+    assert!(fds >= IDLE_SESSIONS, "server holds {fds} fds, expected >= {IDLE_SESSIONS}");
+    // ...on a thread count that never scaled with it.
+    let threads = proc_field(pid, "Threads");
+    assert!(
+        threads <= THREAD_CEILING,
+        "server runs {threads} threads with {held} connections held; \
+         the verify pool is {WORKERS} — admission is leaking threads"
+    );
+
+    // ---- Sustained add/flag workload beside the idle mass.
+    let workers: Vec<_> = (0..WORKLOAD_CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("workload connect");
+                let session = client.create_session(&group_doc(), RULES).expect("create");
+                let deadline = Instant::now() + Duration::from_secs(2);
+                let mut rounds = 0u64;
+                while Instant::now() < deadline {
+                    let batch: Vec<Value> = (0..8)
+                        .map(|i| json!([format!("paper {rounds}-{i}"), format!("w{c}a, w{c}b")]))
+                        .collect();
+                    client.add_entities(session, &batch).expect("workload add");
+                    client.discovery(session).expect("workload discovery");
+                    rounds += 1;
+                }
+                client.close_session(session).expect("close");
+                rounds
+            })
+        })
+        .collect();
+    let rounds: u64 = workers.into_iter().map(|t| t.join().expect("workload thread")).sum();
+    assert!(rounds > 0, "workload made no progress");
+
+    // Latency and accounting under load, read through a live client.
+    let mut client = Client::connect(addr).expect("stats connect");
+    let stats = client.stats(None).expect("global stats");
+    assert_eq!(stats["sessions"]["live"].as_u64().unwrap() as usize, IDLE_SESSIONS);
+    let p99 = stats["flag_latency"]["p99_micros"].as_u64().unwrap();
+    assert!(
+        p99 < P99_CEILING_MICROS,
+        "p99 flag latency {p99}us breached the {P99_CEILING_MICROS}us ceiling \
+         with {IDLE_SESSIONS} idle sessions held"
+    );
+    let threads = proc_field(pid, "Threads");
+    assert!(threads <= THREAD_CEILING, "thread count crept to {threads} under workload");
+    println!("soak: {rounds} workload rounds, p99 flag {p99}us, {threads} threads");
+
+    // ---- Clean drain with every idle connection still open.
+    client.shutdown().expect("shutdown");
+    drop(client);
+    let status = child.wait().expect("server exit");
+    assert!(status.success(), "server exited {status:?}");
+    drop(parked);
+}

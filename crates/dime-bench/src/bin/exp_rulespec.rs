@@ -1,0 +1,230 @@
+//! Rulespec loop driver — measures the two costs the declarative rule
+//! subsystem adds to a live service, end to end over real TCP:
+//!
+//! 1. **Refinement trajectory.** A session starts with deliberately
+//!    useless rules, then receives labeled `(entity, verdict)` feedback
+//!    in batches with `apply: true`. After each batch the refined rule
+//!    set's discovery is scored against ground truth; the per-round
+//!    precision/recall/F1 trajectory goes into the summary, and the
+//!    headline `f1_final` vs `f1_seed` pair is the regression pin that
+//!    the incremental rule-refinement loop actually learns.
+//!
+//! 2. **Install latency.** Repeated `rules` installs of a compiled spec
+//!    (parse → schema check → Solon-style validation → engine re-plan →
+//!    WAL append) timed per round trip, reported as `_seconds` metrics.
+//!
+//! Flags: `--members N` correctly categorized entities (default 60),
+//! `--outliers N` mis-categorized entities (default 12), `--rounds N`
+//! feedback batches (default 6), `--installs N` timed installs
+//! (default 25), `--out PATH` (default `results/BENCH_rulespec.json`).
+
+use dime_bench::{arg_or, secs, Table};
+use dime_metrics::evaluate_sets;
+use dime_serve::{Client, ServeConfig, Server};
+use serde_json::{json, Value};
+use std::time::Instant;
+
+/// Builds the benchmark group: `members` publications that share a topic
+/// vocabulary and a rotating author pool, plus `outliers` entities from a
+/// different field with disjoint authors. Deterministic by construction —
+/// same sizes, same group.
+fn group_doc(members: usize, outliers: usize) -> Value {
+    let topics =
+        ["clustering", "indexing", "sampling", "joins", "provenance", "lineage", "cleaning"];
+    let mut rows = Vec::with_capacity(members + outliers);
+    for i in 0..members {
+        let title =
+            format!("statistical methods for data {} volume {}", topics[i % topics.len()], i % 5);
+        let authors = format!("member{}, member{}, member{}", i % 9, (i + 1) % 9, (i + 2) % 9);
+        rows.push(json!([title, authors]));
+    }
+    for j in 0..outliers {
+        let title = format!("organic synthesis of heterocyclic compound {j}");
+        rows.push(json!([title, format!("chemist{j}")]));
+    }
+    json!({
+        "schema": [
+            {"name": "Title", "tokenizer": "words"},
+            {"name": "Authors", "tokenizer": {"list": ","}},
+        ],
+        "entities": rows,
+    })
+}
+
+/// Rules that cover nothing: the refinement loop starts from zero signal.
+const SEED_RULES: &str = "positive: jaccard(Title) >= 0.999\nnegative: edit_sim(Title) <= 0.001";
+
+/// The spec used for the timed-install section: a realistic two-sided set
+/// that passes validation on the benchmark group.
+const INSTALL_SPEC: &str = "\
+same(X, Y) :- jaccard(Title) >= 0.6.
+same(X, Y) :- overlap(Authors) >= 2.
+diff(X, Y) :- jaccard(Title) <= 0.05, overlap(Authors) <= 0.
+";
+
+fn f1_of(report: &Value, truth: &[usize]) -> (f64, f64, f64) {
+    let flagged: Vec<usize> = report["mis_categorized"]
+        .as_array()
+        .map(|a| {
+            a.iter()
+                .filter_map(|e| e.get("id").and_then(Value::as_u64))
+                .map(|v| v as usize)
+                .collect()
+        })
+        .unwrap_or_default();
+    let m = evaluate_sets(flagged.iter(), truth.iter());
+    (m.precision, m.recall, m.f_measure)
+}
+
+fn main() {
+    let members: usize = arg_or("members", 60);
+    let outliers: usize = arg_or("outliers", 12);
+    let rounds: usize = arg_or("rounds", 6);
+    let installs: usize = arg_or("installs", 25);
+    let out: String = arg_or("out", "results/BENCH_rulespec.json".to_string());
+
+    let server = Server::bind(ServeConfig::default()).expect("bind server");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(addr).expect("connect");
+    let doc = group_doc(members, outliers);
+    let truth: Vec<usize> = (members..members + outliers).collect();
+    let session = client.create_session(&doc, SEED_RULES).expect("create session");
+
+    // Label order interleaves members and outliers so every batch carries
+    // both verdicts (the refinement loop needs pairs on both sides).
+    let total = members + outliers;
+    let mut order: Vec<usize> = Vec::with_capacity(total);
+    let stride = total.div_ceil(outliers.max(1));
+    let mut member_ids = 0..members;
+    let mut outlier_ids = members..total;
+    for k in 0..total {
+        let next = if k % stride == stride - 1 { outlier_ids.next() } else { member_ids.next() };
+        match next {
+            Some(id) => order.push(id),
+            None => order.extend(member_ids.by_ref().chain(outlier_ids.by_ref())),
+        }
+    }
+
+    let seed_report = client.discovery(session).expect("seed discovery");
+    let (p0, r0, f1_seed) = f1_of(&seed_report, &truth);
+    println!("== refinement: {members}+{outliers} entities, {rounds} feedback rounds ==");
+    let mut table =
+        Table::new(&["round", "labels", "pos rules", "neg rules", "precision", "recall", "F1"]);
+    table.row(vec![
+        "seed".into(),
+        "0".into(),
+        "1".into(),
+        "1".into(),
+        format!("{p0:.2}"),
+        format!("{r0:.2}"),
+        format!("{f1_seed:.2}"),
+    ]);
+
+    let refine_start = Instant::now();
+    let batch = total.div_ceil(rounds.max(1));
+    let mut trajectory = Vec::new();
+    let mut labeled = 0usize;
+    for round in 0..rounds {
+        let chunk: Vec<(usize, bool)> = order
+            .iter()
+            .skip(round * batch)
+            .take(batch)
+            .map(|&id| (id, !truth.contains(&id)))
+            .collect();
+        if chunk.is_empty() {
+            break;
+        }
+        labeled += chunk.len();
+        let fb = client.feedback(session, &chunk, true).expect("feedback");
+        let listed = client.rules_list(session).expect("list");
+        let report = client.discovery(session).expect("discovery");
+        let (precision, recall, f1) = f1_of(&report, &truth);
+        let (np, nn) =
+            (listed["positive"].as_u64().unwrap_or(0), listed["negative"].as_u64().unwrap_or(0));
+        table.row(vec![
+            format!("{}", round + 1),
+            format!("{labeled}"),
+            format!("{np}"),
+            format!("{nn}"),
+            format!("{precision:.2}"),
+            format!("{recall:.2}"),
+            format!("{f1:.2}"),
+        ]);
+        trajectory.push(json!({
+            "round": round + 1,
+            "labels_total": labeled,
+            "applied": fb["applied"],
+            "covered_before": fb["covered_before"],
+            "covered_after": fb["covered_after"],
+            "positive_rules": np,
+            "negative_rules": nn,
+            "precision": precision,
+            "recall": recall,
+            "f1": f1,
+        }));
+    }
+    let refine_wall = refine_start.elapsed().as_secs_f64();
+    table.print();
+    let f1_final = trajectory.last().and_then(|r| r["f1"].as_f64()).unwrap_or(f1_seed);
+    println!(
+        "seed F1 {f1_seed:.2} -> final F1 {f1_final:.2} after {labeled} labels ({})",
+        secs(refine_wall)
+    );
+
+    // Timed installs: same spec every round trip, so each sample pays the
+    // full parse/validate/re-plan/WAL path and nothing else varies.
+    let mut install_total = 0.0f64;
+    let mut install_max = 0.0f64;
+    for _ in 0..installs {
+        let t = Instant::now();
+        client.rules_install(session, INSTALL_SPEC).expect("install");
+        let dt = t.elapsed().as_secs_f64();
+        install_total += dt;
+        install_max = install_max.max(dt);
+    }
+    let install_mean = if installs == 0 { 0.0 } else { install_total / installs as f64 };
+    println!(
+        "== install latency: {installs} installs, mean {} max {} ==",
+        secs(install_mean),
+        secs(install_max)
+    );
+
+    client.close_session(session).expect("close");
+    handle.shutdown();
+    runner.join().expect("server thread").expect("clean server run");
+
+    let summary = json!({
+        "config": {
+            "members": members,
+            "outliers": outliers,
+            "rounds": rounds,
+            "installs": installs,
+        },
+        "refinement": {
+            "f1_seed": f1_seed,
+            "f1_final": f1_final,
+            "improved": f1_final > f1_seed,
+            "labels_total": labeled,
+            "wall_seconds": refine_wall,
+            "trajectory": trajectory,
+        },
+        "install": {
+            "installs": installs,
+            "install_mean_seconds": install_mean,
+            "install_max_seconds": install_max,
+        },
+    });
+    let path = std::path::Path::new(&out);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    let mut body = serde_json::to_string_pretty(&summary).expect("serialize summary");
+    body.push('\n');
+    std::fs::write(path, body).expect("write summary");
+    println!("wrote {out}");
+}

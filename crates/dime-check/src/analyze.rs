@@ -74,8 +74,11 @@ pub struct FileReport {
     pub suppressions: Vec<Suppression>,
 }
 
-/// Crates whose service path must not panic.
-const SERVICE_CRATES: [&str; 3] = ["dime-serve", "dime-store", "dime-cluster"];
+/// Crates whose service path must not panic. dime-rulespec is here
+/// because its parser runs inside the serve request path: a live `rules`
+/// install hands it attacker-shaped bytes, so it answers with
+/// diagnostics, never panics.
+const SERVICE_CRATES: [&str; 4] = ["dime-serve", "dime-store", "dime-cluster", "dime-rulespec"];
 /// Crates allowed to read the wall clock from library code.
 const WALL_CLOCK_CRATES: [&str; 2] = ["dime-trace", "dime-bench"];
 /// The bench harness prints measurements from its library by design.

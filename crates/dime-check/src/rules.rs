@@ -10,8 +10,9 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RuleId {
     /// No `unwrap`/`expect`/panicking macro/`[…]` indexing on the service
-    /// path (`dime-serve`, `dime-store`, and `dime-cluster` non-test
-    /// code).
+    /// path (`dime-serve`, `dime-store`, `dime-cluster`, and
+    /// `dime-rulespec` non-test code — the rulespec parser handles live
+    /// wire input during `rules` installs).
     PanicInService,
     /// Every `Ordering::Relaxed` carries a reasoned suppression — the
     /// "annotated counter" discipline of the lock-free structures.
@@ -83,7 +84,7 @@ impl RuleId {
         match self {
             RuleId::PanicInService => {
                 "no unwrap/expect, panicking macros, or [..] indexing in non-test \
-                 dime-serve/dime-store/dime-cluster code"
+                 dime-serve/dime-store/dime-cluster/dime-rulespec code"
             }
             RuleId::AtomicOrdering => {
                 "every Ordering::Relaxed needs a reasoned allow naming it a counter \

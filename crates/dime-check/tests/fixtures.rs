@@ -53,7 +53,22 @@ fn panic_in_service_fires_once() {
 fn panic_fixture_is_clean_outside_service_crates() {
     let report =
         analyze_source(&fixture("panic_in_service.rs"), &ctx("dime-core", FileKind::Lib, false));
-    assert!(report.findings.is_empty(), "the no-panic contract is scoped to serve/store/cluster");
+    assert!(
+        report.findings.is_empty(),
+        "the no-panic contract is scoped to serve/store/cluster/rulespec"
+    );
+}
+
+#[test]
+fn panic_in_service_covers_dime_rulespec() {
+    // The rulespec parser chews on live wire input during `rules`
+    // installs, so the no-panic contract extends to it.
+    let report = fires_once(
+        "panic_in_service.rs",
+        &ctx("dime-rulespec", FileKind::Lib, false),
+        RuleId::PanicInService,
+    );
+    assert_eq!(report.findings.len(), 1);
 }
 
 #[test]

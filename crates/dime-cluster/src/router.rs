@@ -455,6 +455,10 @@ fn with_session(req: &Request, session: u64) -> Request {
         Request::Discovery { .. } => Request::Discovery { session },
         Request::Scrollbar { step, .. } => Request::Scrollbar { session, step: *step },
         Request::Stats { .. } => Request::Stats { session: Some(session) },
+        Request::Rules { action, .. } => Request::Rules { session, action: action.clone() },
+        Request::Feedback { labels, apply, .. } => {
+            Request::Feedback { session, labels: labels.clone(), apply: *apply }
+        }
         Request::CloseSession { .. } => Request::CloseSession { session },
         other => other.clone(),
     }
@@ -499,6 +503,8 @@ fn route_request(req: &Request, shared: &Shared) -> Response {
         | Request::Discovery { session }
         | Request::Scrollbar { session, .. }
         | Request::Stats { session: Some(session) }
+        | Request::Rules { session, .. }
+        | Request::Feedback { session, .. }
         | Request::CloseSession { session } => {
             let rid = *session;
             let Some((slot, remote)) = lock(&shared.sessions).get(&rid).copied() else {
@@ -961,6 +967,43 @@ mod tests {
         router.shutdown();
         h0.shutdown();
         h1.shutdown();
+    }
+
+    #[test]
+    fn rules_and_feedback_route_to_the_owning_shard() {
+        let (s0, h0) = spawn_server(2);
+        let (addr, router) = spawn_router(RouterConfig {
+            shards: vec![ShardSpec { addr: s0.to_string(), follower: None }],
+            pool_per_shard: 1,
+            ..RouterConfig::default()
+        });
+        let mut client = Client::connect(addr).expect("connect router");
+        let rid = client.create_session(&group_doc(), RULES).expect("create");
+        client
+            .add_entities(rid, &[json!(["ann, bob"]), json!(["ann, bob, carl"]), json!(["dora"])])
+            .expect("add");
+
+        // The rules op lands on the owning shard under its local id, so a
+        // list after an install reflects the installed spec.
+        let spec = "same(X, Y) :- overlap(Authors) >= 3.\ndiff(X, Y) :- overlap(Authors) <= 0.\n";
+        let installed = client.rules_install(rid, spec).expect("install through router");
+        assert_eq!(installed["installed"]["positive"], 1);
+        let listed = client.rules_list(rid).expect("list through router");
+        assert!(listed["spec"].as_str().expect("spec").contains(">= 3"));
+
+        // Feedback routes the same way and answers with the label count.
+        let fb =
+            client.feedback(rid, &[(0, true), (1, true), (2, false)], false).expect("feedback");
+        assert_eq!(fb["labels"], 3);
+
+        // A rejection passes through verbatim (not wrapped in unavailable).
+        match client.rules_install(rid, "same(X, Y) :- nope(") {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::RuleRejected),
+            other => panic!("bad spec must be rule_rejected, got {other:?}"),
+        }
+
+        router.shutdown();
+        h0.shutdown();
     }
 
     #[test]

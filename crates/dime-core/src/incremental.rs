@@ -181,6 +181,55 @@ impl IncrementalDime {
         self.pairs_verified
     }
 
+    /// The current positive rules, in application order.
+    pub fn positive_rules(&self) -> &[Rule] {
+        &self.positive
+    }
+
+    /// The current negative rules, in scrollbar (generation) order.
+    pub fn negative_rules(&self) -> &[Rule] {
+        &self.negative
+    }
+
+    /// Replaces the rule set **in place**, keeping the group, its
+    /// entities, and the frozen token order. This is the live-install
+    /// path behind the `rules` protocol op: signature plans are recomputed
+    /// for the new positive rules, the per-rule indexes and the
+    /// union-find are rebuilt, and every entity is re-integrated in id
+    /// order — exactly the loop [`IncrementalDime::new`] runs, so the
+    /// post-install state is bit-identical to an engine constructed with
+    /// the new rules under the same frozen order. `pairs_verified`
+    /// accumulates across the re-integration (installs do real verify
+    /// work, and the counter is a lifetime odometer).
+    ///
+    /// # Panics
+    ///
+    /// Panics when rules are supplied with the wrong polarity, like
+    /// [`IncrementalDime::new`].
+    pub fn set_rules(&mut self, positive: Vec<Rule>, negative: Vec<Rule>) {
+        crate::discover::check_polarities(&positive, &negative);
+        let sink = Arc::clone(&self.sink);
+        let _op = span(sink.as_ref(), "incremental_set_rules");
+        let before = self.pairs_verified;
+        self.plans = {
+            let ctx = SigContext::with_frozen_order(&self.group, &self.order);
+            positive.iter().map(|r| ctx.plan_positive_rule(r)).collect()
+        };
+        self.positive = positive;
+        self.negative = negative;
+        self.indexes = vec![InvertedIndex::new(); self.positive.len()];
+        self.wildcards = vec![Vec::new(); self.positive.len()];
+        self.uf = UnionFind::new(0);
+        for eid in 0..self.group.len() {
+            self.uf.push();
+            self.integrate(eid);
+        }
+        if sink.enabled() {
+            sink.add("rules_installed", 1);
+            sink.add("pairs_verified", self.pairs_verified - before);
+        }
+    }
+
     /// Adds an entity (ontology nodes auto-mapped) and links it into the
     /// partition structure. Returns its id.
     pub fn add_entity(&mut self, raw_values: &[&str]) -> usize {
@@ -689,6 +738,68 @@ mod tests {
                 prop_assert_eq!(d, discover_naive(&batch_group(&rows), &pos, &neg));
             }
         }
+    }
+
+    #[test]
+    fn set_rules_matches_an_engine_born_with_them() {
+        let (pos, neg) = rules();
+        // Start with deliberately weak rules, then install the real ones.
+        let weak_pos = vec![Rule::positive(vec![Predicate::new(1, SimilarityFn::Overlap, 5.0)])];
+        let weak_neg = vec![Rule::negative(vec![Predicate::new(1, SimilarityFn::Overlap, 0.0)])];
+        let mut inc = IncrementalDime::new(GroupBuilder::new(schema()).build(), weak_pos, weak_neg);
+        let script = [
+            ("entity matching", "ann, bob"),
+            ("entity matching redux", "ann, bob, carol"),
+            ("organic synthesis", "dora"),
+            ("entity matching again", "bob, carol"),
+        ];
+        for (t, a) in script {
+            inc.add_entity(&[t, a]);
+        }
+        inc.remove_entity(2);
+        inc.set_rules(pos.clone(), neg.clone());
+        assert_eq!(inc.positive_rules(), &pos[..]);
+        assert_eq!(inc.negative_rules(), &neg[..]);
+        let d = inc.discovery();
+        assert_eq!(d, discover_naive(inc.group(), &pos, &neg));
+    }
+
+    #[test]
+    fn set_rules_keeps_later_insertions_comparable() {
+        let (pos, neg) = rules();
+        let mut inc =
+            IncrementalDime::new(GroupBuilder::new(schema()).build(), pos.clone(), neg.clone());
+        inc.add_entity(&["entity matching", "ann, bob"]);
+        // Swap to the same rules (a no-op install), then keep streaming:
+        // the frozen order must still accept new tokens deterministically.
+        inc.set_rules(pos.clone(), neg.clone());
+        inc.add_entity(&["entity matching redux", "ann, bob, carol"]);
+        inc.add_entity(&["organic synthesis", "unseen tokens here"]);
+        let d = inc.discovery();
+        assert_eq!(d, discover_naive(inc.group(), &pos, &neg));
+        assert_eq!(d.mis_categorized().into_iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn set_rules_accumulates_pairs_verified() {
+        let (pos, neg) = rules();
+        let mut inc =
+            IncrementalDime::new(GroupBuilder::new(schema()).build(), pos.clone(), neg.clone());
+        inc.add_entity(&["a", "ann, bob"]);
+        inc.add_entity(&["b", "ann, bob"]);
+        let before = inc.pairs_verified();
+        assert!(before > 0);
+        inc.set_rules(pos, neg);
+        assert!(inc.pairs_verified() >= before, "the odometer never rewinds");
+    }
+
+    #[test]
+    #[should_panic(expected = "negative rule")]
+    fn set_rules_rejects_mispolarized_rules() {
+        let (pos, neg) = rules();
+        let mut inc =
+            IncrementalDime::new(GroupBuilder::new(schema()).build(), pos.clone(), neg.clone());
+        inc.set_rules(neg, pos);
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! The rulespec syntax tree and its canonical pretty-printer.
+//!
+//! The tree stores exactly what the user wrote (negation, comparison
+//! operator, threshold, variable names) — normalization to DIME's closed
+//! `>=`/`<=` predicate form happens later, in [`crate::compile`]. Byte
+//! offsets ride along for diagnostics but are excluded from equality, so
+//! `parse(print(spec)) == spec` holds even though printing rewrites the
+//! layout.
+
+use dime_core::{Polarity, SimilarityFn};
+use std::fmt;
+
+/// A parsed `.rulespec` source: zero or more rule declarations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Spec {
+    /// Declarations in source order (the scrollbar order for negatives).
+    pub rules: Vec<RuleDecl>,
+}
+
+/// One `head :- literal, literal, ... .` declaration.
+#[derive(Debug, Clone)]
+pub struct RuleDecl {
+    /// The `same(X, Y)` / `diff(X, Y)` head.
+    pub head: Head,
+    /// The comma-separated body; grammatically never empty.
+    pub body: Vec<Literal>,
+    /// Byte offset of the head keyword, for diagnostics.
+    pub offset: usize,
+}
+
+impl PartialEq for RuleDecl {
+    fn eq(&self, other: &Self) -> bool {
+        // Offsets are layout, not meaning — printing changes them.
+        self.head == other.head && self.body == other.body
+    }
+}
+
+/// A rule head: polarity keyword plus the two entity variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Head {
+    /// `same` → positive, `diff` → negative.
+    pub polarity: Polarity,
+    /// First entity variable (decorative; kept for printing).
+    pub left: String,
+    /// Second entity variable; must differ from `left`.
+    pub right: String,
+}
+
+/// One body literal: an optionally negated threshold comparison over a
+/// similarity function applied to a schema attribute.
+#[derive(Debug, Clone)]
+pub struct Literal {
+    /// `!f(...) cmp v` — negation complements the comparison.
+    pub negated: bool,
+    /// The similarity function, resolved at parse time.
+    pub func: SimilarityFn,
+    /// Attribute name as written; resolved against the schema at compile.
+    pub attr: String,
+    /// The comparison operator as written.
+    pub cmp: Cmp,
+    /// The threshold value.
+    pub value: f64,
+    /// Byte offset of the literal start, for diagnostics.
+    pub offset: usize,
+}
+
+impl PartialEq for Literal {
+    fn eq(&self, other: &Self) -> bool {
+        self.negated == other.negated
+            && self.func == other.func
+            && self.attr == other.attr
+            && self.cmp == other.cmp
+            && self.value == other.value
+    }
+}
+
+/// Comparison operators, the full snippet-3 table. `!=` parses but is
+/// rejected at compile time (DIME predicates are single closed
+/// comparisons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+    /// `=` — sugar for "the comparison this polarity expects".
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Cmp::Ge => ">=",
+            Cmp::Le => "<=",
+            Cmp::Gt => ">",
+            Cmp::Lt => "<",
+            Cmp::Eq => "=",
+            Cmp::Ne => "!=",
+        })
+    }
+}
+
+/// The canonical spelling of a similarity function in rulespec sources.
+pub fn func_name(f: SimilarityFn) -> &'static str {
+    match f {
+        SimilarityFn::Overlap => "overlap",
+        SimilarityFn::Jaccard => "jaccard",
+        SimilarityFn::Dice => "dice",
+        SimilarityFn::Cosine => "cosine",
+        SimilarityFn::EditSimilarity => "edit_sim",
+        SimilarityFn::EditDistance => "edit_dist",
+        SimilarityFn::Ontology => "ontology",
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            f.write_str("!")?;
+        }
+        // `{}` on f64 prints the shortest round-tripping decimal, so
+        // parse(print(x)) recovers the value bit-for-bit.
+        write!(f, "{}({}) {} {}", func_name(self.func), self.attr, self.cmp, self.value)
+    }
+}
+
+impl fmt::Display for RuleDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kw = match self.head.polarity {
+            Polarity::Positive => "same",
+            Polarity::Negative => "diff",
+        };
+        write!(f, "{kw}({}, {}) :- ", self.head.left, self.head.right)?;
+        for (i, lit) in self.body.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{lit}")?;
+        }
+        f.write_str(".")
+    }
+}
+
+/// Pretty-prints a spec in canonical layout: one rule per line, single
+/// spaces, canonical function names. `parse(print(s)) == s` — pinned by
+/// the round-trip proptest.
+pub fn print_spec(spec: &Spec) -> String {
+    let mut out = String::new();
+    for rule in &spec.rules {
+        out.push_str(&rule.to_string());
+        out.push('\n');
+    }
+    out
+}

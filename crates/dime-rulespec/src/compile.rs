@@ -1,0 +1,264 @@
+//! Compiling a parsed [`Spec`] into DIME's native rule representation.
+//!
+//! The target is exactly [`dime_core::Rule`] — the same struct the
+//! engines, the signature planner, and the verify arena consume — so a
+//! compiled rulespec is *bit-identical* to the equivalent hand-written
+//! Rust rule: same predicates, same thresholds, same polarity, and
+//! therefore the same `CompiledRule` once the verify arena lowers it.
+//! The differential test in the workspace root pins this.
+//!
+//! What compilation does beyond name resolution:
+//!
+//! * **Negation** complements the comparison (`!f(A) >= t` ≡ `f(A) < t`),
+//!   then the result is normalized like any other literal.
+//! * **Strict comparisons** are closed over the integer-valued functions
+//!   (`overlap`, `edit_dist`): `> t` becomes `>= ⌊t⌋+1`, `< t` becomes
+//!   `<= ⌈t⌉-1`. For fractional-valued functions there is no adjacent
+//!   representable threshold, so strict operators are rejected with a
+//!   diagnostic instead of silently changing meaning.
+//! * **`=`** is sugar for whichever closed comparison the head polarity
+//!   expects; `!=` (and negated `=`) is not expressible as a single DIME
+//!   predicate and is rejected.
+//! * The final comparison direction must match the head: a `same` rule
+//!   asserts similarity, so `overlap` must be bounded from below and
+//!   `edit_dist` from above — mismatches are diagnosed, mirroring the
+//!   operator check in `dime_core::parse_rule`.
+
+use crate::ast::{func_name, Cmp, Literal, Spec};
+use crate::diag::Diagnostic;
+use dime_core::{Polarity, Predicate, Rule, Schema, SimilarityFn};
+
+/// Positive and negative rules compiled from one spec, in source order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompiledSpec {
+    /// `same(...)` rules, in source order.
+    pub positive: Vec<Rule>,
+    /// `diff(...)` rules, in source order (the scrollbar order).
+    pub negative: Vec<Rule>,
+}
+
+/// Parses and compiles a source in one step.
+pub fn compile_str(file: &str, src: &str, schema: &Schema) -> Result<CompiledSpec, Diagnostic> {
+    let spec = crate::parser::parse_spec(file, src)?;
+    compile_spec(file, src, &spec, schema)
+}
+
+/// Compiles a parsed spec against a schema. `file`/`src` must be the
+/// source the spec was parsed from — compile diagnostics reuse the AST's
+/// byte offsets to point back into it.
+pub fn compile_spec(
+    file: &str,
+    src: &str,
+    spec: &Spec,
+    schema: &Schema,
+) -> Result<CompiledSpec, Diagnostic> {
+    let mut out = CompiledSpec::default();
+    for decl in &spec.rules {
+        let polarity = decl.head.polarity;
+        let mut predicates = Vec::with_capacity(decl.body.len());
+        for lit in &decl.body {
+            predicates.push(compile_literal(file, src, lit, polarity, schema)?);
+        }
+        let rule = Rule { predicates, polarity };
+        match polarity {
+            Polarity::Positive => out.positive.push(rule),
+            Polarity::Negative => out.negative.push(rule),
+        }
+    }
+    Ok(out)
+}
+
+/// Whether the function's value range is the non-negative integers (so
+/// strict comparisons have an adjacent closed form).
+fn integer_valued(f: SimilarityFn) -> bool {
+    matches!(f, SimilarityFn::Overlap | SimilarityFn::EditDistance)
+}
+
+fn compile_literal(
+    file: &str,
+    src: &str,
+    lit: &Literal,
+    polarity: Polarity,
+    schema: &Schema,
+) -> Result<Predicate, Diagnostic> {
+    let diag = |msg: String| Diagnostic::at(file, src, lit.offset, msg);
+    let attr = schema.attr_index(&lit.attr).ok_or_else(|| {
+        let known: Vec<&str> = schema.attrs().iter().map(|a| a.name.as_str()).collect();
+        diag(format!("unknown attribute `{}` (schema has: {})", lit.attr, known.join(", ")))
+    })?;
+
+    // Negation complements the comparison, then falls through to the
+    // same normalization as a plain literal.
+    let cmp = if lit.negated {
+        match lit.cmp {
+            Cmp::Ge => Cmp::Lt,
+            Cmp::Le => Cmp::Gt,
+            Cmp::Gt => Cmp::Le,
+            Cmp::Lt => Cmp::Ge,
+            Cmp::Ne => Cmp::Eq,
+            Cmp::Eq => {
+                return Err(diag(
+                    "negated `=` (i.e. `!=`) is not expressible as a DIME predicate".into(),
+                ));
+            }
+        }
+    } else {
+        lit.cmp
+    };
+
+    // `>=` for (same, higher-is-similar) and (diff, lower-is-similar);
+    // `<=` otherwise — the `Predicate::holds` table.
+    let expect_ge = matches!(
+        (polarity, lit.func.higher_is_similar()),
+        (Polarity::Positive, true) | (Polarity::Negative, false)
+    );
+
+    let (is_ge, threshold) = match cmp {
+        Cmp::Ge => (true, lit.value),
+        Cmp::Le => (false, lit.value),
+        Cmp::Gt | Cmp::Lt => {
+            if !integer_valued(lit.func) {
+                return Err(diag(format!(
+                    "strict `{}` on fractional-valued `{}`; use `>=` / `<=` (thresholds are closed)",
+                    lit.cmp,
+                    func_name(lit.func),
+                )));
+            }
+            if matches!(cmp, Cmp::Gt) {
+                (true, lit.value.floor() + 1.0)
+            } else {
+                (false, (lit.value.ceil() - 1.0).max(0.0))
+            }
+        }
+        Cmp::Eq => (expect_ge, lit.value),
+        Cmp::Ne => {
+            return Err(diag("`!=` is not expressible as a DIME predicate".into()));
+        }
+    };
+
+    if is_ge != expect_ge {
+        let head = match polarity {
+            Polarity::Positive => "same",
+            Polarity::Negative => "diff",
+        };
+        let dir = if lit.func.higher_is_similar() { "higher" } else { "lower" };
+        let want = if expect_ge { ">=" } else { "<=" };
+        return Err(diag(format!(
+            "`{}` bounds the wrong side for a `{head}` rule: {dir} {} means more similar, so use `{want}`",
+            func_name(lit.func),
+            func_name(lit.func),
+        )));
+    }
+
+    Ok(Predicate::new(attr, lit.func, threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dime_text::TokenizerKind;
+
+    fn schema() -> Schema {
+        Schema::new([("Authors", TokenizerKind::List(',')), ("Title", TokenizerKind::Words)])
+    }
+
+    fn compile(src: &str) -> Result<CompiledSpec, Diagnostic> {
+        compile_str("t", src, &schema())
+    }
+
+    #[test]
+    fn compiles_bit_identically_to_rust_structs() {
+        let c = compile(
+            "same(X, Y) :- overlap(Authors) >= 2, jaccard(Title) >= 0.5.\n\
+             diff(X, Y) :- overlap(Authors) <= 0.",
+        )
+        .unwrap();
+        assert_eq!(
+            c.positive,
+            vec![Rule::positive(vec![
+                Predicate::new(0, SimilarityFn::Overlap, 2.0),
+                Predicate::new(1, SimilarityFn::Jaccard, 0.5),
+            ])]
+        );
+        assert_eq!(
+            c.negative,
+            vec![Rule::negative(vec![Predicate::new(0, SimilarityFn::Overlap, 0.0)])]
+        );
+    }
+
+    #[test]
+    fn strict_ops_close_over_integer_functions() {
+        let c = compile("same(X, Y) :- overlap(Authors) > 1.").unwrap();
+        assert_eq!(c.positive[0].predicates[0].threshold, 2.0);
+        let c = compile("same(X, Y) :- edit_dist(Title) < 3.").unwrap();
+        assert_eq!(c.positive[0].predicates[0].threshold, 2.0);
+        // Non-integral strict thresholds round to the enclosed integer.
+        let c = compile("same(X, Y) :- overlap(Authors) > 1.5.").unwrap();
+        assert_eq!(c.positive[0].predicates[0].threshold, 2.0);
+    }
+
+    #[test]
+    fn strict_ops_on_fractional_functions_are_rejected() {
+        let err = compile("same(X, Y) :- jaccard(Title) > 0.5.").unwrap_err();
+        assert!(err.message.contains("closed"), "{}", err.message);
+    }
+
+    #[test]
+    fn negation_complements_the_comparison() {
+        // !edit_dist > 3  ≡  edit_dist <= 3, the direction a same-rule wants.
+        let c = compile("same(X, Y) :- !edit_dist(Title) > 3.").unwrap();
+        assert_eq!(c.positive[0].predicates[0], Predicate::new(1, SimilarityFn::EditDistance, 3.0));
+        // NOT overlap >= 1  ≡  overlap <= 0, what a diff-rule wants.
+        let c = compile("diff(X, Y) :- NOT overlap(Authors) >= 1.").unwrap();
+        assert_eq!(c.negative[0].predicates[0], Predicate::new(0, SimilarityFn::Overlap, 0.0));
+    }
+
+    #[test]
+    fn equals_is_polarity_directed_sugar() {
+        let same = compile("same(X, Y) :- overlap(Authors) = 2.").unwrap();
+        assert_eq!(same.positive[0].predicates[0].threshold, 2.0);
+        let diff = compile("diff(X, Y) :- overlap(Authors) = 0.").unwrap();
+        assert_eq!(diff.negative[0].predicates[0].threshold, 0.0);
+    }
+
+    #[test]
+    fn not_equals_is_rejected() {
+        let err = compile("same(X, Y) :- overlap(Authors) != 2.").unwrap_err();
+        assert!(err.message.contains("!="), "{}", err.message);
+    }
+
+    #[test]
+    fn wrong_direction_is_diagnosed() {
+        let err = compile("same(X, Y) :- overlap(Authors) <= 2.").unwrap_err();
+        assert!(err.message.contains(">="), "{}", err.message);
+        let err = compile("diff(X, Y) :- jaccard(Title) >= 0.5.").unwrap_err();
+        assert!(err.message.contains("<="), "{}", err.message);
+        // edit distance: lower is similar, so same-rules bound from above.
+        assert!(compile("same(X, Y) :- edit_dist(Title) <= 2.").is_ok());
+        assert!(compile("same(X, Y) :- edit_dist(Title) >= 2.").is_err());
+    }
+
+    #[test]
+    fn unknown_attribute_lists_the_schema() {
+        let err = compile("same(X, Y) :- overlap(Venue) >= 1.").unwrap_err();
+        assert!(err.message.contains("Venue"), "{}", err.message);
+        assert!(err.message.contains("Authors"), "{}", err.message);
+    }
+
+    #[test]
+    fn matches_the_simple_dsl_compilation() {
+        // The two front-ends must agree on the compiled representation.
+        let via_spec =
+            compile("same(X, Y) :- overlap(Authors) >= 2.\ndiff(X, Y) :- overlap(Authors) <= 0.")
+                .unwrap();
+        let via_simple = dime_core::parse_rules(
+            "positive: overlap(Authors) >= 2\nnegative: overlap(Authors) <= 0",
+            &schema(),
+        )
+        .unwrap();
+        let (pos, neg): (Vec<Rule>, Vec<Rule>) =
+            via_simple.into_iter().partition(|r| r.polarity == Polarity::Positive);
+        assert_eq!(via_spec.positive, pos);
+        assert_eq!(via_spec.negative, neg);
+    }
+}

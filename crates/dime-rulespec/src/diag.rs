@@ -1,0 +1,68 @@
+//! Positioned diagnostics for rulespec sources.
+//!
+//! Every parse or compile failure points at the offending byte with a
+//! `file:line:col` prefix, the same shape `rustc` and `dime-check` emit,
+//! so editors and CI logs can jump straight to it. Offsets are mapped to
+//! 1-based line/column pairs through [`dime_check::lexer::LineMap`] — the
+//! analyzer's own line-mapping machinery — so the two tools agree on what
+//! a "column" is (characters, not bytes).
+
+use dime_check::lexer::LineMap;
+use std::fmt;
+
+/// One positioned error in a rulespec source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Source name (a path, or a synthetic name like `<install>`).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column, counted in characters.
+    pub col: usize,
+    /// What went wrong, phrased against the source text.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic pointing at `offset` within `src`.
+    pub fn at(file: &str, src: &str, offset: usize, message: impl Into<String>) -> Self {
+        let (line, col) = LineMap::new(src).line_col(src, offset.min(src.len()));
+        Self { file: file.to_string(), line, col, message: message.into() }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}: {}", self.file, self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_at_line_and_column() {
+        let src = "abc\ndef ghi\n";
+        let d = Diagnostic::at("x.rulespec", src, 8, "boom");
+        assert_eq!((d.line, d.col), (2, 5));
+        assert_eq!(d.to_string(), "x.rulespec:2:5: boom");
+    }
+
+    #[test]
+    fn offset_past_eof_is_clamped() {
+        let d = Diagnostic::at("f", "ab", 999, "eof");
+        assert_eq!((d.line, d.col), (1, 3));
+    }
+
+    #[test]
+    fn columns_count_characters_not_bytes() {
+        let src = "héllo there";
+        // Offset of 't' is 7 bytes in, but only the 7th character.
+        let off = src.find("there").unwrap_or(0);
+        let d = Diagnostic::at("f", src, off, "m");
+        assert_eq!((d.line, d.col), (1, 7));
+    }
+}

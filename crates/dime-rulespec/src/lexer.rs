@@ -1,0 +1,259 @@
+//! A total, hand-written lexer for `.rulespec` sources.
+//!
+//! Total means every byte sequence lexes to either a token stream or a
+//! positioned [`Diagnostic`] — no input panics (pinned by the adversarial
+//! proptest in the crate root). The vocabulary is deliberately tiny:
+//! identifiers, decimal numbers, the datalog turnstile `:-`, comparison
+//! operators, and the punctuation `( ) , . !`. `%` starts a comment that
+//! runs to end of line, as in classic datalog.
+
+use crate::diag::Diagnostic;
+
+/// One lexed token with the byte offset it starts at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is (and its payload, for identifiers and numbers).
+    pub kind: TokenKind,
+    /// Byte offset of the first character, for diagnostics.
+    pub offset: usize,
+}
+
+/// The rulespec token vocabulary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `[A-Za-z_][A-Za-z0-9_]*` — head keywords, function and attribute
+    /// names, variables, and the `NOT` negation spelling.
+    Ident(String),
+    /// A non-negative decimal number (`2`, `0.75`). A trailing `.` is
+    /// *not* consumed unless followed by a digit, so `2.` lexes as the
+    /// number `2` followed by the rule terminator.
+    Number(f64),
+    /// `:-`
+    Turnstile,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `!` (negation; `!=` lexes as [`TokenKind::Ne`] instead)
+    Bang,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl TokenKind {
+    /// How the token reads in a diagnostic.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Number(n) => format!("number `{n}`"),
+            TokenKind::Turnstile => "`:-`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::Bang => "`!`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::Ne => "`!=`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Lexes a whole source, or fails with a positioned diagnostic at the
+/// first character that cannot start a token.
+pub fn lex(file: &str, src: &str) -> Result<Vec<Token>, Diagnostic> {
+    let chars: Vec<(usize, char)> = src.char_indices().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while let Some(&(off, c)) = chars.get(i) {
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '%' => {
+                while chars.get(i).is_some_and(|&(_, c)| c != '\n') {
+                    i += 1;
+                }
+            }
+            '(' => push(&mut toks, TokenKind::LParen, off, &mut i),
+            ')' => push(&mut toks, TokenKind::RParen, off, &mut i),
+            ',' => push(&mut toks, TokenKind::Comma, off, &mut i),
+            '.' => push(&mut toks, TokenKind::Dot, off, &mut i),
+            '=' => push(&mut toks, TokenKind::Eq, off, &mut i),
+            '!' => {
+                if peek(&chars, i + 1) == Some('=') {
+                    toks.push(Token { kind: TokenKind::Ne, offset: off });
+                    i += 2;
+                } else {
+                    push(&mut toks, TokenKind::Bang, off, &mut i);
+                }
+            }
+            '>' => {
+                if peek(&chars, i + 1) == Some('=') {
+                    toks.push(Token { kind: TokenKind::Ge, offset: off });
+                    i += 2;
+                } else {
+                    push(&mut toks, TokenKind::Gt, off, &mut i);
+                }
+            }
+            '<' => {
+                if peek(&chars, i + 1) == Some('=') {
+                    toks.push(Token { kind: TokenKind::Le, offset: off });
+                    i += 2;
+                } else {
+                    push(&mut toks, TokenKind::Lt, off, &mut i);
+                }
+            }
+            ':' => {
+                if peek(&chars, i + 1) == Some('-') {
+                    toks.push(Token { kind: TokenKind::Turnstile, offset: off });
+                    i += 2;
+                } else {
+                    return Err(Diagnostic::at(file, src, off, "expected `:-` after `:`"));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while chars.get(i).is_some_and(|&(_, c)| c.is_ascii_alphanumeric() || c == '_') {
+                    i += 1;
+                }
+                let text: String =
+                    chars.get(start..i).unwrap_or(&[]).iter().map(|&(_, c)| c).collect();
+                toks.push(Token { kind: TokenKind::Ident(text), offset: off });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while chars.get(i).is_some_and(|&(_, c)| c.is_ascii_digit()) {
+                    i += 1;
+                }
+                // A fractional part only if `.` is followed by a digit,
+                // so the rule terminator after an integer still lexes.
+                if peek(&chars, i) == Some('.')
+                    && peek(&chars, i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    i += 1;
+                    while chars.get(i).is_some_and(|&(_, c)| c.is_ascii_digit()) {
+                        i += 1;
+                    }
+                }
+                let text: String =
+                    chars.get(start..i).unwrap_or(&[]).iter().map(|&(_, c)| c).collect();
+                let value: f64 = text.parse().map_err(|_| {
+                    Diagnostic::at(file, src, off, format!("number `{text}` does not parse"))
+                })?;
+                if !value.is_finite() {
+                    return Err(Diagnostic::at(
+                        file,
+                        src,
+                        off,
+                        format!("number `{text}` overflows"),
+                    ));
+                }
+                toks.push(Token { kind: TokenKind::Number(value), offset: off });
+            }
+            other => {
+                return Err(Diagnostic::at(
+                    file,
+                    src,
+                    off,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    toks.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    Ok(toks)
+}
+
+fn push(toks: &mut Vec<Token>, kind: TokenKind, offset: usize, i: &mut usize) {
+    toks.push(Token { kind, offset });
+    *i += 1;
+}
+
+fn peek(chars: &[(usize, char)], i: usize) -> Option<char> {
+    chars.get(i).map(|&(_, c)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex("t", src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_rule() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("same(X, Y) :- overlap(Authors) >= 2."),
+            vec![
+                Ident("same".into()),
+                LParen,
+                Ident("X".into()),
+                Comma,
+                Ident("Y".into()),
+                RParen,
+                Turnstile,
+                Ident("overlap".into()),
+                LParen,
+                Ident("Authors".into()),
+                RParen,
+                Ge,
+                Number(2.0),
+                Dot,
+                Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn integer_before_terminator_keeps_the_dot() {
+        use TokenKind::*;
+        assert_eq!(kinds("2."), vec![Number(2.0), Dot, Eof]);
+        assert_eq!(kinds("2.5."), vec![Number(2.5), Dot, Eof]);
+    }
+
+    #[test]
+    fn comments_run_to_end_of_line() {
+        use TokenKind::*;
+        assert_eq!(kinds("% a comment\n! % tail\n="), vec![Bang, Eq, Eof]);
+    }
+
+    #[test]
+    fn bang_equals_is_one_token() {
+        use TokenKind::*;
+        assert_eq!(kinds("!= ! ="), vec![Ne, Bang, Eq, Eof]);
+    }
+
+    #[test]
+    fn bad_character_is_positioned() {
+        let err = lex("t", "same @").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 6));
+        assert!(err.message.contains('@'), "{}", err.message);
+    }
+
+    #[test]
+    fn lone_colon_is_rejected() {
+        let err = lex("t", "a : b").unwrap_err();
+        assert!(err.message.contains(":-"), "{}", err.message);
+    }
+}

@@ -1,0 +1,93 @@
+//! # dime-rulespec — a declarative rule language for DIME
+//!
+//! Rules in the engine are Rust structs ([`dime_core::Rule`]); this crate
+//! gives them a textual, datalog-flavored surface so clients can write,
+//! install, and diff rule sets without recompiling anything:
+//!
+//! ```text
+//! % Google Scholar profile rules (paper Figure 1)
+//! same(X, Y) :- overlap(Authors) >= 2.
+//! diff(X, Y) :- overlap(Authors) <= 0.
+//! ```
+//!
+//! `same(X, Y)` heads compile to positive rules (link the pair into a
+//! partition), `diff(X, Y)` heads to negative rules (flag the pair apart)
+//! — the head variables are decorative, every literal is an implicit
+//! constraint over the pair. Bodies are comma-separated threshold
+//! literals over the engine's similarity functions; `!`/`NOT` negation
+//! and the full `>= <= > < = !=` operator table are accepted and
+//! normalized to DIME's closed predicate form at compile time (see
+//! [`compile`] for the exact rules).
+//!
+//! The pipeline is three total functions, each failing with a positioned
+//! [`Diagnostic`] (`file:line:col`, mapped through `dime-check`'s
+//! [`LineMap`](dime_check::lexer::LineMap)):
+//!
+//! * [`parse_spec`] — source text → [`Spec`] syntax tree;
+//! * [`compile_spec`] / [`compile_str`] — [`Spec`] → native
+//!   positive/negative [`Rule`](dime_core::Rule)s, *bit-identical* to the
+//!   equivalent hand-written structs (pinned by the workspace
+//!   differential test);
+//! * [`print_spec`] / [`render_rules`] — the inverse direction, canonical
+//!   text for diffing and for shipping refined rule sets back to clients.
+//!
+//! [`validate_rules`] adds the Solon-style install guard `dime-serve`
+//! runs before accepting a spec over the wire: every rule is exercised
+//! against a sample of live pairs and degenerate always-firing rules are
+//! rejected.
+//!
+//! The crate is zero-dependency beyond the workspace (`dime-core` for the
+//! rule types, `dime-check` for line mapping) and panic-free in library
+//! code — it is part of `dime-check`'s `panic-in-service` audit set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod print;
+pub mod validate;
+
+pub use ast::{print_spec, Cmp, Head, Literal, RuleDecl, Spec};
+pub use compile::{compile_spec, compile_str, CompiledSpec};
+pub use diag::Diagnostic;
+pub use parser::parse_spec;
+pub use print::{render_rules, RenderError};
+pub use validate::{exercise_rules, validate_rules, ExerciseReport, MIN_SAMPLE_PAIRS};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dime_core::Schema;
+    use dime_text::TokenizerKind;
+
+    #[test]
+    fn end_to_end_compile_and_render() {
+        let schema = Schema::new([("Authors", TokenizerKind::List(','))]);
+        let c = compile_str(
+            "profile.rulespec",
+            "same(X, Y) :- overlap(Authors) >= 2.\ndiff(X, Y) :- overlap(Authors) <= 0.",
+            &schema,
+        )
+        .unwrap();
+        assert_eq!(c.positive.len(), 1);
+        assert_eq!(c.negative.len(), 1);
+        let text = render_rules(&c.positive, &c.negative, &schema).unwrap();
+        let again = compile_str("<render>", &text, &schema).unwrap();
+        assert_eq!(again, c);
+    }
+
+    #[test]
+    fn diagnostics_carry_file_line_col() {
+        let schema = Schema::new([("Authors", TokenizerKind::List(','))]);
+        let err = compile_str("p.rulespec", "same(X, Y) :-\n  overlap(Venue) >= 1.", &schema)
+            .unwrap_err();
+        assert_eq!(
+            err.to_string().split(':').take(3).collect::<Vec<_>>().join(":"),
+            "p.rulespec:2:3"
+        );
+    }
+}

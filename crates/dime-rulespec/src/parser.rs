@@ -1,0 +1,276 @@
+//! Recursive-descent parser for `.rulespec` sources.
+//!
+//! Grammar (datalog-flavored; `%` comments, case-sensitive keywords):
+//!
+//! ```text
+//! spec    := rule*
+//! rule    := head ':-' literal (',' literal)* '.'
+//! head    := ('same' | 'diff') '(' IDENT ',' IDENT ')'
+//! literal := ('!' | 'NOT')? FUNC '(' IDENT ')' cmp NUMBER
+//! cmp     := '>=' | '<=' | '>' | '<' | '=' | '!='
+//! FUNC    := overlap | jaccard | dice | cosine | edit_sim | edit_dist
+//!          | ontology        (aliases: editsim, editdist)
+//! ```
+//!
+//! The parser is total: every input yields a [`Spec`] or a positioned
+//! [`Diagnostic`], never a panic. Unknown functions, missing
+//! terminators, and head variables that collide are all caught here;
+//! schema resolution and operator-direction checks live in
+//! [`crate::compile`] because they need a [`dime_core::Schema`].
+
+use crate::ast::{Cmp, Head, Literal, RuleDecl, Spec};
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, Token, TokenKind};
+use dime_core::{Polarity, SimilarityFn};
+
+/// Parses a whole source into a [`Spec`], or fails with the first error.
+/// `file` names the source in diagnostics (use a synthetic name like
+/// `<install>` for over-the-wire specs).
+pub fn parse_spec(file: &str, src: &str) -> Result<Spec, Diagnostic> {
+    let toks = lex(file, src)?;
+    let mut p = Parser { file, src, toks, i: 0 };
+    let mut rules = Vec::new();
+    while !p.at_eof() {
+        rules.push(p.rule()?);
+    }
+    Ok(Spec { rules })
+}
+
+struct Parser<'a> {
+    file: &'a str,
+    src: &'a str,
+    toks: Vec<Token>,
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        self.toks.get(self.i).map_or(&TokenKind::Eof, |t| &t.kind)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.i).map_or(self.src.len(), |t| t.offset)
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.peek().clone();
+        if !self.at_eof() {
+            self.i += 1;
+        }
+        kind
+    }
+
+    fn err(&self, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::at(self.file, self.src, self.offset(), message)
+    }
+
+    fn require(&mut self, want: &TokenKind, ctx: &str) -> Result<(), Diagnostic> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {} {ctx}, found {}",
+                want.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, Diagnostic> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected {what}, found {}", other.describe()))),
+        }
+    }
+
+    fn rule(&mut self) -> Result<RuleDecl, Diagnostic> {
+        let offset = self.offset();
+        let kw = self.ident("`same` or `diff` rule head")?;
+        let polarity = match kw.as_str() {
+            "same" => Polarity::Positive,
+            "diff" => Polarity::Negative,
+            other => {
+                return Err(Diagnostic::at(
+                    self.file,
+                    self.src,
+                    offset,
+                    format!("unknown rule head `{other}`; rules start with `same(X, Y)` or `diff(X, Y)`"),
+                ));
+            }
+        };
+        self.require(&TokenKind::LParen, "after the rule head keyword")?;
+        let left = self.ident("an entity variable")?;
+        self.require(&TokenKind::Comma, "between the head variables")?;
+        let right_off = self.offset();
+        let right = self.ident("an entity variable")?;
+        if left == right {
+            return Err(Diagnostic::at(
+                self.file,
+                self.src,
+                right_off,
+                format!("head variables must be distinct (both are `{left}`)"),
+            ));
+        }
+        self.require(&TokenKind::RParen, "to close the rule head")?;
+        self.require(&TokenKind::Turnstile, "after the rule head")?;
+        let mut body = vec![self.literal()?];
+        while matches!(self.peek(), TokenKind::Comma) {
+            self.bump();
+            body.push(self.literal()?);
+        }
+        self.require(&TokenKind::Dot, "to end the rule")?;
+        Ok(RuleDecl { head: Head { polarity, left, right }, body, offset })
+    }
+
+    fn literal(&mut self) -> Result<Literal, Diagnostic> {
+        let offset = self.offset();
+        let negated = match self.peek() {
+            TokenKind::Bang => {
+                self.bump();
+                true
+            }
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("not") => {
+                self.bump();
+                true
+            }
+            _ => false,
+        };
+        let func_off = self.offset();
+        let func_name = self.ident("a similarity function")?;
+        let func = resolve_func(&func_name).ok_or_else(|| {
+            Diagnostic::at(
+                self.file,
+                self.src,
+                func_off,
+                format!(
+                    "unknown similarity function `{func_name}` (expected overlap, jaccard, dice, \
+                     cosine, edit_sim, edit_dist, or ontology)"
+                ),
+            )
+        })?;
+        self.require(&TokenKind::LParen, "after the function name")?;
+        let attr = self.ident("an attribute name")?;
+        self.require(&TokenKind::RParen, "after the attribute name")?;
+        let cmp = match self.bump() {
+            TokenKind::Ge => Cmp::Ge,
+            TokenKind::Le => Cmp::Le,
+            TokenKind::Gt => Cmp::Gt,
+            TokenKind::Lt => Cmp::Lt,
+            TokenKind::Eq => Cmp::Eq,
+            TokenKind::Ne => Cmp::Ne,
+            other => {
+                // `bump` advanced past the bad token; point at it.
+                let off =
+                    self.toks.get(self.i.saturating_sub(1)).map_or(self.src.len(), |t| t.offset);
+                return Err(Diagnostic::at(
+                    self.file,
+                    self.src,
+                    off,
+                    format!("expected a comparison operator, found {}", other.describe()),
+                ));
+            }
+        };
+        let value = match self.peek().clone() {
+            TokenKind::Number(n) => {
+                self.bump();
+                n
+            }
+            other => {
+                return Err(
+                    self.err(format!("expected a threshold number, found {}", other.describe()))
+                );
+            }
+        };
+        Ok(Literal { negated, func, attr, cmp, value, offset })
+    }
+}
+
+/// Resolves a function name, accepting the same aliases as the simple
+/// DSL in `dime-core` (`editsim`/`editdist`), case-insensitively.
+pub fn resolve_func(name: &str) -> Option<SimilarityFn> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "overlap" => SimilarityFn::Overlap,
+        "jaccard" => SimilarityFn::Jaccard,
+        "dice" => SimilarityFn::Dice,
+        "cosine" => SimilarityFn::Cosine,
+        "edit_sim" | "editsim" => SimilarityFn::EditSimilarity,
+        "edit_dist" | "editdist" => SimilarityFn::EditDistance,
+        "ontology" => SimilarityFn::Ontology,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_two_rule_spec() {
+        let spec = parse_spec(
+            "t",
+            "% paper Figure 1 rules\n\
+             same(X, Y) :- overlap(Authors) >= 2.\n\
+             diff(X, Y) :- overlap(Authors) <= 0.\n",
+        )
+        .unwrap();
+        assert_eq!(spec.rules.len(), 2);
+        assert_eq!(spec.rules[0].head.polarity, Polarity::Positive);
+        assert_eq!(spec.rules[1].head.polarity, Polarity::Negative);
+        assert_eq!(spec.rules[0].body[0].func, SimilarityFn::Overlap);
+        assert_eq!(spec.rules[0].body[0].value, 2.0);
+    }
+
+    #[test]
+    fn parses_negation_both_spellings() {
+        let spec =
+            parse_spec("t", "same(X, Y) :- !edit_dist(Name) > 3, NOT jaccard(City) < 1.").unwrap();
+        assert!(spec.rules[0].body.iter().all(|l| l.negated));
+    }
+
+    #[test]
+    fn multi_literal_bodies_and_aliases() {
+        let spec =
+            parse_spec("t", "same(A, B) :- jaccard(Name) >= 0.5, editsim(City) >= 0.8.").unwrap();
+        assert_eq!(spec.rules[0].body.len(), 2);
+        assert_eq!(spec.rules[0].body[1].func, SimilarityFn::EditSimilarity);
+    }
+
+    #[test]
+    fn same_head_variables_are_rejected() {
+        let err = parse_spec("t", "same(X, X) :- overlap(A) >= 1.").unwrap_err();
+        assert!(err.message.contains("distinct"), "{}", err.message);
+        assert_eq!((err.line, err.col), (1, 9));
+    }
+
+    #[test]
+    fn unknown_head_keyword_is_rejected() {
+        let err = parse_spec("t", "link(X, Y) :- overlap(A) >= 1.").unwrap_err();
+        assert!(err.message.contains("link"), "{}", err.message);
+    }
+
+    #[test]
+    fn unknown_function_is_positioned() {
+        let err = parse_spec("t", "same(X, Y) :-\n  levenshtein(A) >= 1.").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 3));
+        assert!(err.message.contains("levenshtein"), "{}", err.message);
+    }
+
+    #[test]
+    fn missing_terminator_is_rejected() {
+        let err = parse_spec("t", "same(X, Y) :- overlap(A) >= 1").unwrap_err();
+        assert!(err.message.contains("`.`"), "{}", err.message);
+    }
+
+    #[test]
+    fn empty_spec_is_ok() {
+        assert!(parse_spec("t", "% nothing but comments\n").unwrap().rules.is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Rendering native [`Rule`] sets back into rulespec text.
+//!
+//! This is the other half of the loop: the `feedback` op refines a rule
+//! set with `dime-rulegen` and ships the result back to the client as a
+//! `.rulespec` the user can diff, edit, and re-install. Rendering is
+//! canonical (same layout as [`crate::ast::print_spec`]) and inverse to
+//! compilation: `compile_str(render_rules(p, n, s), s) == (p, n)`.
+
+use crate::ast::func_name;
+use dime_core::{Polarity, Rule, Schema};
+use std::fmt::Write as _;
+
+/// Why a rule set cannot be rendered as rulespec text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenderError {
+    /// Human-readable explanation (bad attribute index, unprintable name).
+    pub message: String,
+}
+
+impl std::fmt::Display for RenderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for RenderError {}
+
+/// Renders positive then negative rules, one per line, in canonical
+/// layout. Fails if a predicate's attribute index is outside the schema
+/// or the attribute name is not a rulespec identifier.
+pub fn render_rules(
+    positive: &[Rule],
+    negative: &[Rule],
+    schema: &Schema,
+) -> Result<String, RenderError> {
+    let mut out = String::new();
+    for rule in positive.iter().chain(negative) {
+        render_rule(&mut out, rule, schema)?;
+    }
+    Ok(out)
+}
+
+fn render_rule(out: &mut String, rule: &Rule, schema: &Schema) -> Result<(), RenderError> {
+    let head = match rule.polarity {
+        Polarity::Positive => "same",
+        Polarity::Negative => "diff",
+    };
+    let _ = write!(out, "{head}(X, Y) :- ");
+    for (i, p) in rule.predicates.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let name =
+            schema.attrs().get(p.attr).map(|a| a.name.as_str()).ok_or_else(|| RenderError {
+                message: format!(
+                    "predicate attribute index {} is outside the {}-attribute schema",
+                    p.attr,
+                    schema.len()
+                ),
+            })?;
+        if !is_ident(name) {
+            return Err(RenderError {
+                message: format!("attribute name `{name}` is not a rulespec identifier"),
+            });
+        }
+        // The `Predicate::holds` direction table, spelled out.
+        let op = match (rule.polarity, p.func.higher_is_similar()) {
+            (Polarity::Positive, true) | (Polarity::Negative, false) => ">=",
+            _ => "<=",
+        };
+        let _ = write!(out, "{}({name}) {op} {}", func_name(p.func), p.threshold);
+    }
+    out.push_str(".\n");
+    Ok(())
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    let Some(first) = chars.next() else { return false };
+    (first.is_ascii_alphabetic() || first == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_str;
+    use dime_core::{Predicate, SimilarityFn};
+    use dime_text::TokenizerKind;
+
+    fn schema() -> Schema {
+        Schema::new([("Authors", TokenizerKind::List(',')), ("Title", TokenizerKind::Words)])
+    }
+
+    #[test]
+    fn renders_canonical_text() {
+        let pos = vec![Rule::positive(vec![
+            Predicate::new(0, SimilarityFn::Overlap, 2.0),
+            Predicate::new(1, SimilarityFn::EditDistance, 3.0),
+        ])];
+        let neg = vec![Rule::negative(vec![Predicate::new(0, SimilarityFn::Overlap, 0.0)])];
+        let text = render_rules(&pos, &neg, &schema()).unwrap();
+        assert_eq!(
+            text,
+            "same(X, Y) :- overlap(Authors) >= 2, edit_dist(Title) <= 3.\n\
+             diff(X, Y) :- overlap(Authors) <= 0.\n"
+        );
+    }
+
+    #[test]
+    fn render_then_compile_is_identity() {
+        let pos = vec![Rule::positive(vec![
+            Predicate::new(1, SimilarityFn::Jaccard, 0.5),
+            Predicate::new(0, SimilarityFn::Overlap, 2.0),
+        ])];
+        let neg = vec![
+            Rule::negative(vec![Predicate::new(0, SimilarityFn::Overlap, 0.0)]),
+            Rule::negative(vec![Predicate::new(1, SimilarityFn::EditSimilarity, 0.25)]),
+        ];
+        let text = render_rules(&pos, &neg, &schema()).unwrap();
+        let c = compile_str("<render>", &text, &schema()).unwrap();
+        assert_eq!(c.positive, pos);
+        assert_eq!(c.negative, neg);
+    }
+
+    #[test]
+    fn out_of_schema_attribute_fails() {
+        let pos = vec![Rule::positive(vec![Predicate::new(7, SimilarityFn::Overlap, 1.0)])];
+        let err = render_rules(&pos, &[], &schema()).unwrap_err();
+        assert!(err.message.contains('7'), "{}", err.message);
+    }
+}

@@ -1,0 +1,125 @@
+//! Solon-style install validation: exercise every rule against a sample
+//! before accepting it.
+//!
+//! A rulespec that parses and compiles can still be operationally wrong —
+//! `same(X, Y) :- overlap(Authors) >= 0.` type-checks but links every
+//! pair, silently turning discovery into a no-op. Before `dime-serve`
+//! accepts an install, each compiled rule is evaluated over a bounded
+//! sample of the session's live entity pairs; a rule that fires on
+//! *every* sampled pair (given enough pairs to mean anything) is rejected
+//! with a structured error naming it. Sessions too small to sample pass
+//! trivially — validation is a guard, not an oracle.
+
+use dime_core::{Group, Rule};
+
+/// How each rule behaved on the sampled pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExerciseReport {
+    /// Number of entity pairs evaluated (0 for groups under 2 entities).
+    pub pairs: usize,
+    /// Per-rule fire counts, in input order.
+    pub fired: Vec<usize>,
+}
+
+/// Fewest sampled pairs for the degeneracy verdict to be meaningful.
+pub const MIN_SAMPLE_PAIRS: usize = 4;
+
+/// Evaluates every rule over up to `max_pairs` entity pairs, in id order
+/// `(0,1), (0,2), (1,2), ...` so the sample is deterministic.
+pub fn exercise_rules(group: &Group, rules: &[Rule], max_pairs: usize) -> ExerciseReport {
+    let mut fired = vec![0usize; rules.len()];
+    let mut pairs = 0usize;
+    let entities = group.entities();
+    'outer: for (j, b) in entities.iter().enumerate() {
+        for a in entities.get(..j).unwrap_or(&[]) {
+            if pairs >= max_pairs {
+                break 'outer;
+            }
+            pairs += 1;
+            for (fire, rule) in fired.iter_mut().zip(rules) {
+                if rule.eval(group, a, b) {
+                    *fire += 1;
+                }
+            }
+        }
+    }
+    ExerciseReport { pairs, fired }
+}
+
+/// Runs the full validation: every rule exercised, degenerate rules
+/// (firing on all of a meaningful sample) rejected with a message naming
+/// the rule. Returns the report so callers can surface fire counts.
+pub fn validate_rules(
+    group: &Group,
+    rules: &[Rule],
+    max_pairs: usize,
+) -> Result<ExerciseReport, String> {
+    let report = exercise_rules(group, rules, max_pairs);
+    if report.pairs >= MIN_SAMPLE_PAIRS {
+        for (i, (&fire, rule)) in report.fired.iter().zip(rules).enumerate() {
+            if fire == report.pairs {
+                return Err(format!(
+                    "rule {i} ({rule}) fired on all {} sampled pairs; a rule that always \
+                     fires cannot discriminate — tighten its thresholds",
+                    report.pairs
+                ));
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dime_core::{GroupBuilder, Predicate, Schema, SimilarityFn};
+    use dime_text::TokenizerKind;
+
+    fn group() -> Group {
+        let schema = Schema::new([("Authors", TokenizerKind::List(','))]);
+        let mut b = GroupBuilder::new(schema);
+        b.add_entity(&["ann, bob, carl"]);
+        b.add_entity(&["ann, bob, dora"]);
+        b.add_entity(&["bob, carl, emma"]);
+        b.add_entity(&["xavier, yolanda"]);
+        b.build()
+    }
+
+    #[test]
+    fn discriminating_rules_pass() {
+        let rules = vec![
+            Rule::positive(vec![Predicate::new(0, SimilarityFn::Overlap, 2.0)]),
+            Rule::negative(vec![Predicate::new(0, SimilarityFn::Overlap, 0.0)]),
+        ];
+        let report = validate_rules(&group(), &rules, 64).unwrap();
+        assert_eq!(report.pairs, 6);
+        assert!(report.fired[0] < report.pairs && report.fired[0] > 0);
+    }
+
+    #[test]
+    fn always_firing_rule_is_rejected() {
+        let rules = vec![Rule::positive(vec![Predicate::new(0, SimilarityFn::Overlap, 0.0)])];
+        let err = validate_rules(&group(), &rules, 64).unwrap_err();
+        assert!(err.contains("rule 0"), "{err}");
+        assert!(err.contains("all 6"), "{err}");
+    }
+
+    #[test]
+    fn tiny_sessions_pass_trivially() {
+        let schema = Schema::new([("Authors", TokenizerKind::List(','))]);
+        let mut b = GroupBuilder::new(schema);
+        b.add_entity(&["ann"]);
+        b.add_entity(&["ann"]);
+        let g = b.build();
+        // One pair < MIN_SAMPLE_PAIRS: even an always-firing rule passes.
+        let rules = vec![Rule::positive(vec![Predicate::new(0, SimilarityFn::Overlap, 0.0)])];
+        assert!(validate_rules(&g, &rules, 64).is_ok());
+    }
+
+    #[test]
+    fn sample_is_bounded() {
+        let rules = vec![Rule::positive(vec![Predicate::new(0, SimilarityFn::Overlap, 2.0)])];
+        let report = exercise_rules(&group(), &rules, 3);
+        assert_eq!(report.pairs, 3);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the rulespec front-end, mirroring the dime-check
+//! lexer proptests: the parser must be **total** (no input panics — valid
+//! specs, near-miss fragments, or raw ASCII soup), and the
+//! parse → pretty-print → parse loop must be the identity on every
+//! parseable spec. The strategies stay within the offline proptest
+//! stub's subset: `Just`, `prop_oneof!`, `collection::vec`, `prop_map`,
+//! and one-char-class regexes.
+
+use dime_core::{Polarity, SimilarityFn};
+use dime_rulespec::{parse_spec, print_spec, Cmp, Head, Literal, RuleDecl, Spec};
+use proptest::prelude::*;
+
+fn func() -> impl Strategy<Value = SimilarityFn> {
+    prop_oneof![
+        Just(SimilarityFn::Overlap),
+        Just(SimilarityFn::Jaccard),
+        Just(SimilarityFn::Dice),
+        Just(SimilarityFn::Cosine),
+        Just(SimilarityFn::EditSimilarity),
+        Just(SimilarityFn::EditDistance),
+        Just(SimilarityFn::Ontology),
+    ]
+}
+
+fn cmp() -> impl Strategy<Value = Cmp> {
+    prop_oneof![
+        Just(Cmp::Ge),
+        Just(Cmp::Le),
+        Just(Cmp::Gt),
+        Just(Cmp::Lt),
+        Just(Cmp::Eq),
+        Just(Cmp::Ne),
+    ]
+}
+
+/// Threshold values whose `{}` rendering the lexer can read back (plain
+/// decimals — the grammar has no exponent form).
+fn value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),
+        Just(1.0),
+        Just(2.0),
+        Just(3.0),
+        Just(17.0),
+        Just(100.0),
+        Just(0.5),
+        Just(0.25),
+        Just(0.75),
+        Just(0.125),
+        Just(1.5),
+        Just(99.875),
+    ]
+}
+
+fn ident() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("Authors".to_string()),
+        Just("Title".to_string()),
+        Just("x".to_string()),
+        Just("_under_score".to_string()),
+        Just("NOT".to_string()),
+        Just("same".to_string()),
+        Just("A9".to_string()),
+    ]
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    // Nested tuples keep within the offline stub's 4-tuple arity cap.
+    ((any::<bool>(), func()), (ident(), cmp(), value())).prop_map(
+        |((negated, func), (attr, cmp, value))| Literal {
+            negated,
+            func,
+            attr,
+            cmp,
+            value,
+            offset: 0,
+        },
+    )
+}
+
+fn rule() -> impl Strategy<Value = RuleDecl> {
+    (any::<bool>(), proptest::collection::vec(literal(), 1..4)).prop_map(|(pos, body)| RuleDecl {
+        head: Head {
+            polarity: if pos { Polarity::Positive } else { Polarity::Negative },
+            left: "X".to_string(),
+            right: "Y".to_string(),
+        },
+        body,
+        offset: 0,
+    })
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    proptest::collection::vec(rule(), 0..6).prop_map(|rules| Spec { rules })
+}
+
+/// Rulespec-shaped fragments — valid pieces, near-misses, and the
+/// constructs whose lexing is subtle (`2.` vs `2.5`, `!` vs `!=`,
+/// comments, `:-`).
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("same(X, Y) :- overlap(Authors) >= 2.".to_string()),
+        Just("diff(X, Y) :- overlap(Authors) <= 0.".to_string()),
+        Just("same(A, B) :- !edit_dist(Title) > 3, NOT jaccard(City) < 1.".to_string()),
+        Just("% a comment\n".to_string()),
+        Just("same(X, X) :- overlap(A) >= 1.".to_string()),
+        Just("link(X, Y) :-".to_string()),
+        Just(":- . , ( )".to_string()),
+        Just("2.5.".to_string()),
+        Just("2.".to_string()),
+        Just("!=!<=>=<>".to_string()),
+        Just("same(".to_string()),
+        Just("overlap(Authors) >= ".to_string()),
+        Just("…—é".to_string()),
+        Just(": -".to_string()),
+        "[ -~]{0,8}".prop_map(|s: String| s),
+    ]
+}
+
+proptest! {
+    /// parse → pretty-print → parse is the identity on the AST.
+    #[test]
+    fn print_parse_round_trip(s in spec()) {
+        let text = print_spec(&s);
+        let reparsed = parse_spec("<prop>", &text)
+            .unwrap_or_else(|e| panic!("printed spec must reparse: {e}\n{text}"));
+        prop_assert_eq!(&reparsed, &s);
+        // And printing is a fixpoint: canonical text reprints unchanged.
+        prop_assert_eq!(print_spec(&reparsed), text);
+    }
+
+    /// The parser is total on concatenated rulespec-ish fragments.
+    #[test]
+    fn parsing_fragment_soup_never_panics(
+        parts in proptest::collection::vec(fragment(), 0..16)
+    ) {
+        let _ = parse_spec("<soup>", &parts.concat());
+    }
+
+    /// ... and on raw ASCII soup.
+    #[test]
+    fn parsing_ascii_soup_never_panics(src in "[ -~]{0,80}") {
+        let _ = parse_spec("<soup>", &src);
+    }
+}

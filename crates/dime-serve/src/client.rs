@@ -18,9 +18,10 @@
 //! ```
 
 use crate::protocol::{
-    encode_frame, ErrorCode, Frame, FrameReader, ProtocolError, Request, Response,
+    encode_frame, ErrorCode, Frame, FrameReader, ProtocolError, Request, Response, RuleAction,
     DEFAULT_MAX_FRAME_BYTES,
 };
+use dime_core::Polarity;
 use serde_json::Value;
 use std::fmt;
 use std::io::{self, BufReader, Write};
@@ -274,6 +275,41 @@ impl Client {
     /// counters, per-rule hits, and latency histograms.
     pub fn trace(&mut self) -> Result<Value, ClientError> {
         self.call(&Request::Trace)
+    }
+
+    /// Installs a rulespec program as the session's new rule set.
+    pub fn rules_install(&mut self, session: u64, spec: &str) -> Result<Value, ClientError> {
+        self.call(&Request::Rules {
+            session,
+            action: RuleAction::Install { spec: spec.to_string() },
+        })
+    }
+
+    /// Removes one rule by polarity and index.
+    pub fn rules_ablate(
+        &mut self,
+        session: u64,
+        polarity: Polarity,
+        index: usize,
+    ) -> Result<Value, ClientError> {
+        self.call(&Request::Rules { session, action: RuleAction::Ablate { polarity, index } })
+    }
+
+    /// Lists the session's rules as canonical rulespec text.
+    pub fn rules_list(&mut self, session: u64) -> Result<Value, ClientError> {
+        self.call(&Request::Rules { session, action: RuleAction::List })
+    }
+
+    /// Submits `(entity, belongs)` verdicts and fetches the refined
+    /// rulespec; with `apply` the refinement is installed in the same
+    /// call.
+    pub fn feedback(
+        &mut self,
+        session: u64,
+        labels: &[(usize, bool)],
+        apply: bool,
+    ) -> Result<Value, ClientError> {
+        self.call(&Request::Feedback { session, labels: labels.to_vec(), apply })
     }
 
     /// Drops a session.

@@ -69,7 +69,7 @@ pub mod session;
 
 pub use client::{Client, ClientError};
 pub use protocol::{
-    encode_frame, ErrorCode, Frame, FrameReader, ProtocolError, Request, Response,
-    DEFAULT_MAX_FRAME_BYTES,
+    encode_frame, polarity_str, ErrorCode, Frame, FrameReader, ProtocolError, Request, Response,
+    RuleAction, DEFAULT_MAX_FRAME_BYTES,
 };
 pub use server::{AdmissionMode, ServeConfig, Server, ServerHandle, WalTapHandle};

@@ -96,6 +96,14 @@ impl SessionPersist {
         self.append(WalOp::RemoveEntity { entity: entity as u64 });
     }
 
+    /// Logs a full rule-set replacement. `rules` is the simple
+    /// `dime_core::parse_rules` DSL (one rule per line), the same format
+    /// the `open` record carries, so replay rebuilds the engine through
+    /// the one existing parse path.
+    pub fn log_set_rules(&mut self, rules: String) {
+        self.append(WalOp::SetRules { rules });
+    }
+
     /// Ends the session durably: after the `close` record is on disk the
     /// session can never resurrect, even if the directory removal that
     /// follows is lost to a crash.

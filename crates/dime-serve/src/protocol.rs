@@ -13,6 +13,8 @@
 //! | `scrollbar`      | `session`, `step`              | one scrollbar step              |
 //! | `stats`          | optional `session`             | counters                        |
 //! | `trace`          | —                              | engine trace report             |
+//! | `rules`          | `session`, `action`, ...       | rule-set summary / spec text    |
+//! | `feedback`       | `session`, `labels`, `apply`   | refined rulespec + coverage     |
 //! | `close_session`  | `session`                      | `{"closed": id}`                |
 //! | `shutdown`       | —                              | `{"shutting_down": true}`       |
 //!
@@ -20,6 +22,13 @@
 //! (schema + optional ontologies + optional initial entities); `rules` is
 //! the textual DSL of `dime_core::parse_rules`. Entity rows are arrays in
 //! schema order or objects keyed by attribute name.
+//!
+//! The `rules` op manages a session's live rule set: `action` is
+//! `"install"` (with `spec`, a `dime-rulespec` program), `"ablate"` (with
+//! `polarity` and `index`), or `"list"`. The `feedback` op carries
+//! `labels`, an array of `[entity, belongs]` pairs, plus an optional
+//! boolean `apply`; the server answers with a refined rulespec the client
+//! can diff against the listed one.
 //!
 //! A response is `{"ok": <data>}` or
 //! `{"err": {"code": "...", "message": "..."}}`. Error codes are the
@@ -32,6 +41,7 @@
 //! with a structured error instead of buffering without bound or killing
 //! the connection.
 
+use dime_core::Polarity;
 use serde_json::{json, Value};
 use std::fmt;
 use std::io::{self, BufRead};
@@ -73,6 +83,12 @@ pub enum ErrorCode {
     /// request was not admitted; retrying after backoff is safe and is
     /// what [`crate::Client`] does under its retry policy.
     Overloaded,
+    /// A `rules` install or ablate was rejected: the spec failed to
+    /// compile against the session's schema, the set would lose a
+    /// polarity, or validation found a rule that fires on every sampled
+    /// pair. The message carries the `file:line:col` diagnostic or the
+    /// validation verdict.
+    RuleRejected,
 }
 
 impl ErrorCode {
@@ -92,6 +108,7 @@ impl ErrorCode {
             ErrorCode::Unavailable => "unavailable",
             ErrorCode::Internal => "internal",
             ErrorCode::Overloaded => "overloaded",
+            ErrorCode::RuleRejected => "rule_rejected",
         }
     }
 
@@ -118,12 +135,13 @@ impl ErrorCode {
             "unavailable" => ErrorCode::Unavailable,
             "internal" => ErrorCode::Internal,
             "overloaded" => ErrorCode::Overloaded,
+            "rule_rejected" => ErrorCode::RuleRejected,
             _ => return None,
         })
     }
 
     /// Every code, for exhaustive round-trip tests.
-    pub const ALL: [ErrorCode; 13] = [
+    pub const ALL: [ErrorCode; 14] = [
         ErrorCode::BadFrame,
         ErrorCode::FrameTooLarge,
         ErrorCode::UnknownOp,
@@ -137,6 +155,7 @@ impl ErrorCode {
         ErrorCode::Unavailable,
         ErrorCode::Internal,
         ErrorCode::Overloaded,
+        ErrorCode::RuleRejected,
     ];
 }
 
@@ -173,6 +192,27 @@ impl std::error::Error for ProtocolError {}
 
 fn bad(message: impl Into<String>) -> ProtocolError {
     ProtocolError::new(ErrorCode::BadRequest, message)
+}
+
+/// One rule-management action of the `rules` op.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleAction {
+    /// Replaces the session's whole rule set with a compiled rulespec
+    /// program (`dime-rulespec` syntax). The install is atomic: a spec
+    /// that fails compilation or validation changes nothing.
+    Install {
+        /// The rulespec source text.
+        spec: String,
+    },
+    /// Removes one rule, keeping at least one rule of each polarity.
+    Ablate {
+        /// Which rule list to remove from.
+        polarity: Polarity,
+        /// 0-based index into that polarity's list.
+        index: usize,
+    },
+    /// Returns the session's current rules as canonical rulespec text.
+    List,
 }
 
 /// A request of the discovery service.
@@ -223,6 +263,26 @@ pub enum Request {
     /// counters, per-rule hit counts, and latency histograms aggregated
     /// across every session's engine.
     Trace,
+    /// Manages a session's live rule set: install a rulespec, ablate one
+    /// rule, or list the current set.
+    Rules {
+        /// Target session id.
+        session: u64,
+        /// What to do with the session's rules.
+        action: RuleAction,
+    },
+    /// Submits labeled `(entity, belongs)` verdicts and asks for a
+    /// refined rulespec covering the residual examples the current rules
+    /// miss. With `apply`, the refined set is also installed.
+    Feedback {
+        /// Target session id.
+        session: u64,
+        /// `(entity id, belongs-in-this-group)` verdicts; they accumulate
+        /// across calls, later verdicts for an entity winning.
+        labels: Vec<(usize, bool)>,
+        /// Install the refined rule set in the same call.
+        apply: bool,
+    },
     /// Drops a session and frees its state.
     CloseSession {
         /// Target session id.
@@ -244,6 +304,8 @@ impl Request {
             Request::Scrollbar { .. } => "scrollbar",
             Request::Stats { .. } => "stats",
             Request::Trace => "trace",
+            Request::Rules { .. } => "rules",
+            Request::Feedback { .. } => "feedback",
             Request::CloseSession { .. } => "close_session",
             Request::Shutdown => "shutdown",
         }
@@ -269,6 +331,30 @@ impl Request {
             Request::Stats { session: Some(s) } => json!({"op": "stats", "session": s}),
             Request::Stats { session: None } => json!({"op": "stats"}),
             Request::Trace => json!({"op": "trace"}),
+            Request::Rules { session, action } => match action {
+                RuleAction::Install { spec } => {
+                    json!({"op": "rules", "session": session, "action": "install", "spec": spec})
+                }
+                RuleAction::Ablate { polarity, index } => json!({
+                    "op": "rules",
+                    "session": session,
+                    "action": "ablate",
+                    "polarity": polarity_str(*polarity),
+                    "index": index,
+                }),
+                RuleAction::List => {
+                    json!({"op": "rules", "session": session, "action": "list"})
+                }
+            },
+            Request::Feedback { session, labels, apply } => json!({
+                "op": "feedback",
+                "session": session,
+                "labels": labels
+                    .iter()
+                    .map(|(e, b)| json!([e, b]))
+                    .collect::<Vec<_>>(),
+                "apply": apply,
+            }),
             Request::CloseSession { session } => {
                 json!({"op": "close_session", "session": session})
             }
@@ -316,6 +402,60 @@ impl Request {
                 },
             },
             "trace" => Request::Trace,
+            "rules" => Request::Rules {
+                session: need_u64(obj, "rules", "session")?,
+                action: match need_str(obj, "rules", "action")? {
+                    "install" => {
+                        RuleAction::Install { spec: need_str(obj, "rules", "spec")?.to_string() }
+                    }
+                    "ablate" => RuleAction::Ablate {
+                        polarity: match need_str(obj, "rules", "polarity")? {
+                            "positive" => Polarity::Positive,
+                            "negative" => Polarity::Negative,
+                            other => {
+                                return Err(bad(format!(
+                                    "rules: unknown polarity {other:?} (use positive|negative)"
+                                )))
+                            }
+                        },
+                        index: need_u64(obj, "rules", "index")? as usize,
+                    },
+                    "list" => RuleAction::List,
+                    other => {
+                        return Err(bad(format!(
+                            "rules: unknown action {other:?} (use install|ablate|list)"
+                        )))
+                    }
+                },
+            },
+            "feedback" => {
+                let raw = need(obj, "feedback", "labels")?
+                    .as_array()
+                    .ok_or_else(|| bad("feedback: \"labels\" must be an array"))?;
+                let mut labels = Vec::with_capacity(raw.len());
+                for (i, l) in raw.iter().enumerate() {
+                    let pair = l.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                        bad(format!("feedback: label {i} must be an [entity, belongs] pair"))
+                    })?;
+                    let entity = pair.first().and_then(Value::as_u64).ok_or_else(|| {
+                        bad(format!("feedback: label {i}: entity must be an unsigned integer"))
+                    })? as usize;
+                    let belongs = pair.get(1).and_then(Value::as_bool).ok_or_else(|| {
+                        bad(format!("feedback: label {i}: belongs must be a boolean"))
+                    })?;
+                    labels.push((entity, belongs));
+                }
+                Request::Feedback {
+                    session: need_u64(obj, "feedback", "session")?,
+                    labels,
+                    apply: match obj.get("apply") {
+                        None | Some(Value::Null) => false,
+                        Some(v) => v
+                            .as_bool()
+                            .ok_or_else(|| bad("feedback: \"apply\" must be a boolean"))?,
+                    },
+                }
+            }
             "close_session" => {
                 Request::CloseSession { session: need_u64(obj, "close_session", "session")? }
             }
@@ -327,6 +467,14 @@ impl Request {
                 ))
             }
         })
+    }
+}
+
+/// The wire spelling of a rule polarity.
+pub fn polarity_str(p: Polarity) -> &'static str {
+    match p {
+        Polarity::Positive => "positive",
+        Polarity::Negative => "negative",
     }
 }
 
@@ -543,8 +691,58 @@ mod tests {
         roundtrip_request(&Request::Stats { session: None });
         roundtrip_request(&Request::Stats { session: Some(4) });
         roundtrip_request(&Request::Trace);
-        roundtrip_request(&Request::CloseSession { session: 4 });
-        roundtrip_request(&Request::Shutdown);
+        roundtrip_request(&Request::Rules {
+            session: 7,
+            action: RuleAction::Install { spec: "same(X, Y) :- overlap(A) >= 2.".into() },
+        });
+        roundtrip_request(&Request::Rules {
+            session: 7,
+            action: RuleAction::Ablate { polarity: Polarity::Positive, index: 1 },
+        });
+        roundtrip_request(&Request::Rules {
+            session: 7,
+            action: RuleAction::Ablate { polarity: Polarity::Negative, index: 0 },
+        });
+        roundtrip_request(&Request::Rules { session: 7, action: RuleAction::List });
+        roundtrip_request(&Request::Feedback {
+            session: 7,
+            labels: vec![(0, true), (3, false)],
+            apply: true,
+        });
+        roundtrip_request(&Request::Feedback { session: 7, labels: vec![], apply: false });
+    }
+
+    #[test]
+    fn rules_requests_reject_bad_shapes() {
+        let e = Request::from_value(&json!({"op": "rules", "session": 1, "action": "explode"}))
+            .unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        let e = Request::from_value(&json!({
+            "op": "rules", "session": 1, "action": "ablate", "polarity": "sideways", "index": 0
+        }))
+        .unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        let e = Request::from_value(&json!({"op": "rules", "session": 1, "action": "install"}))
+            .unwrap_err();
+        assert!(e.message.contains("spec"), "{e}");
+        let e = Request::from_value(&json!({
+            "op": "feedback", "session": 1, "labels": [[0, true], [1]]
+        }))
+        .unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        let e = Request::from_value(&json!({
+            "op": "feedback", "session": 1, "labels": [[0, "yes"]]
+        }))
+        .unwrap_err();
+        assert!(e.message.contains("boolean"), "{e}");
+    }
+
+    #[test]
+    fn feedback_apply_defaults_to_false() {
+        let req =
+            Request::from_value(&json!({"op": "feedback", "session": 2, "labels": [[5, false]]}))
+                .unwrap();
+        assert_eq!(req, Request::Feedback { session: 2, labels: vec![(5, false)], apply: false });
     }
 
     #[test]

@@ -31,11 +31,15 @@
 use crate::metrics::GlobalMetrics;
 use crate::persist::{persist_new_session, rebuild_session, store_stats_to_value, SessionPersist};
 use crate::protocol::{
-    encode_frame, ErrorCode, Frame, FrameReader, Request, Response, DEFAULT_MAX_FRAME_BYTES,
+    encode_frame, polarity_str, ErrorCode, Frame, FrameReader, Request, Response, RuleAction,
+    DEFAULT_MAX_FRAME_BYTES,
 };
 use crate::session::{lock, Session, SessionStore};
-use dime_core::{parse_rules, IncrementalDime, Polarity, Rule};
+use dime_core::{parse_rules, IncrementalDime, Polarity, Rule, Schema};
 use dime_data::{discovery_to_json, entity_row_values, load_group_value};
+use dime_rulegen::{
+    generate_negative_rules, generate_positive_rules, rules_cover, FunctionLibrary, GreedyConfig,
+};
 use dime_store::{Store, StoreConfig};
 use dime_trace::{span, Recorder, TraceSink};
 use serde_json::{json, Value};
@@ -867,6 +871,7 @@ fn handle_request(req: &Request, shared: &Shared) -> Response {
                 );
             }
             sess.metrics.entities_removed += 1;
+            sess.shift_labels_for_removal(*entity);
             if let Some(p) = sess.persist.as_mut() {
                 p.log_remove(*entity);
             }
@@ -920,6 +925,10 @@ fn handle_request(req: &Request, shared: &Shared) -> Response {
         Request::Trace => {
             Response::Ok(crate::metrics::trace_report_to_value(&shared.recorder.snapshot()))
         }
+        Request::Rules { session, action } => handle_rules(shared, *session, action),
+        Request::Feedback { session, labels, apply } => {
+            handle_feedback(shared, *session, labels, *apply)
+        }
         Request::CloseSession { session } => {
             let sess = shared.store.get(*session);
             if shared.store.remove(*session) {
@@ -950,6 +959,236 @@ fn handle_request(req: &Request, shared: &Shared) -> Response {
             }
         }
     }
+}
+
+/// Cap on the entity pairs the install validation exercises per rule —
+/// enough for the degeneracy verdict, bounded so installs stay cheap on
+/// large sessions.
+const MAX_EXERCISE_PAIRS: usize = 256;
+
+/// Renders a rule set in the simple `parse_rules` DSL, one rule per line
+/// — the format the session's `open` WAL record carries, so a logged
+/// rule-set replacement replays through the same parse path.
+fn rules_to_simple_dsl(positive: &[Rule], negative: &[Rule], schema: &Schema) -> String {
+    positive.iter().chain(negative).map(|r| r.to_dsl(schema)).collect::<Vec<_>>().join("\n")
+}
+
+/// Swaps the engine onto a new rule set and mirrors the change into the
+/// session's WAL.
+fn apply_rules(sess: &mut Session, positive: Vec<Rule>, negative: Vec<Rule>) {
+    let text = rules_to_simple_dsl(&positive, &negative, sess.engine.group().schema());
+    sess.engine.set_rules(positive, negative);
+    if let Some(p) = sess.persist.as_mut() {
+        p.log_set_rules(text);
+    }
+}
+
+/// Validates and installs a complete replacement rule set: both
+/// polarities stay populated (the invariant recovery's `rebuild_engine`
+/// replays under), and every rule is exercised against a sample of the
+/// session's own pairs before anything changes — a rule that fires on
+/// every sampled pair is rejected as non-discriminating.
+fn install_rules(sess: &mut Session, positive: Vec<Rule>, negative: Vec<Rule>) -> Response {
+    if positive.is_empty() || negative.is_empty() {
+        return Response::err(
+            ErrorCode::RuleRejected,
+            "rule set must keep at least one positive and one negative rule",
+        );
+    }
+    let all: Vec<Rule> = positive.iter().chain(&negative).cloned().collect();
+    let report = match dime_rulespec::validate_rules(sess.engine.group(), &all, MAX_EXERCISE_PAIRS)
+    {
+        Ok(r) => r,
+        Err(msg) => return Response::err(ErrorCode::RuleRejected, msg),
+    };
+    let (np, nn) = (positive.len(), negative.len());
+    apply_rules(sess, positive, negative);
+    Response::Ok(json!({
+        "installed": {"positive": np, "negative": nn},
+        "exercised_pairs": report.pairs,
+        "fired": report.fired,
+    }))
+}
+
+/// The `rules` op: install a rulespec, ablate one rule, or list the
+/// current set as canonical rulespec text.
+fn handle_rules(shared: &Shared, session: u64, action: &RuleAction) -> Response {
+    let Some(sess) = shared.store.get(session) else {
+        return no_such_session(session);
+    };
+    let mut guard = lock(&sess);
+    let sess = &mut *guard;
+    sess.metrics.requests += 1;
+    match action {
+        RuleAction::Install { spec } => {
+            let compiled =
+                match dime_rulespec::compile_str("<install>", spec, sess.engine.group().schema()) {
+                    Ok(c) => c,
+                    Err(d) => return Response::err(ErrorCode::RuleRejected, d.to_string()),
+                };
+            install_rules(sess, compiled.positive, compiled.negative)
+        }
+        RuleAction::Ablate { polarity, index } => {
+            let mut positive = sess.engine.positive_rules().to_vec();
+            let mut negative = sess.engine.negative_rules().to_vec();
+            let list = match polarity {
+                Polarity::Positive => &mut positive,
+                Polarity::Negative => &mut negative,
+            };
+            if *index >= list.len() {
+                return Response::err(
+                    ErrorCode::BadRequest,
+                    format!(
+                        "rule index {index} out of range ({} {} rules)",
+                        list.len(),
+                        polarity_str(*polarity)
+                    ),
+                );
+            }
+            if list.len() == 1 {
+                return Response::err(
+                    ErrorCode::RuleRejected,
+                    format!(
+                        "cannot ablate the last {} rule; the engine needs at least one of \
+                         each polarity",
+                        polarity_str(*polarity)
+                    ),
+                );
+            }
+            let removed = list.remove(*index);
+            let removed_text = removed.to_dsl(sess.engine.group().schema());
+            // No re-validation: every surviving rule already passed the
+            // exercise when it was installed, and removing a rule cannot
+            // make another one degenerate.
+            apply_rules(sess, positive, negative);
+            Response::Ok(json!({
+                "ablated": {
+                    "polarity": polarity_str(*polarity),
+                    "index": index,
+                    "rule": removed_text,
+                },
+                "positive": sess.engine.positive_rules().len(),
+                "negative": sess.engine.negative_rules().len(),
+            }))
+        }
+        RuleAction::List => {
+            let schema = sess.engine.group().schema();
+            match dime_rulespec::render_rules(
+                sess.engine.positive_rules(),
+                sess.engine.negative_rules(),
+                schema,
+            ) {
+                Ok(spec) => Response::Ok(json!({
+                    "spec": spec,
+                    "positive": sess.engine.positive_rules().len(),
+                    "negative": sess.engine.negative_rules().len(),
+                })),
+                Err(e) => Response::err(
+                    ErrorCode::Internal,
+                    format!("rules are not renderable as rulespec: {e}"),
+                ),
+            }
+        }
+    }
+}
+
+/// The `feedback` op — the incremental refinement loop. Labels
+/// accumulate on the session; each call derives example pairs from the
+/// effective verdicts (member×member pairs are wanted together,
+/// member×outlier pairs wanted apart), finds the pairs the current rules
+/// miss, runs greedy rule generation on exactly that residual, and
+/// answers with the refined rulespec — installed too when `apply` is set
+/// and generation produced something new.
+fn handle_feedback(
+    shared: &Shared,
+    session: u64,
+    labels: &[(usize, bool)],
+    apply: bool,
+) -> Response {
+    let Some(sess) = shared.store.get(session) else {
+        return no_such_session(session);
+    };
+    let mut guard = lock(&sess);
+    let sess = &mut *guard;
+    sess.metrics.requests += 1;
+    let len = sess.engine.len();
+    for &(entity, _) in labels {
+        if entity >= len {
+            return Response::err(
+                ErrorCode::NoSuchEntity,
+                format!("label references entity {entity}, but the session holds {len}"),
+            );
+        }
+    }
+    sess.labels.extend_from_slice(labels);
+    let effective = sess.effective_labels();
+    let members: Vec<usize> = effective.iter().filter(|(_, b)| *b).map(|(e, _)| *e).collect();
+    let outliers: Vec<usize> = effective.iter().filter(|(_, b)| !*b).map(|(e, _)| *e).collect();
+    let mut wanted: Vec<(usize, usize)> = Vec::new();
+    for (i, &a) in members.iter().enumerate() {
+        for &b in members.get(i + 1..).unwrap_or(&[]) {
+            wanted.push((a, b));
+        }
+    }
+    let mut unwanted: Vec<(usize, usize)> = Vec::new();
+    for &a in &members {
+        for &b in &outliers {
+            unwanted.push((a.min(b), a.max(b)));
+        }
+    }
+
+    let group = sess.engine.group();
+    let positive = sess.engine.positive_rules().to_vec();
+    let negative = sess.engine.negative_rules().to_vec();
+    let residual_pos: Vec<(usize, usize)> =
+        wanted.iter().copied().filter(|&p| !rules_cover(group, &positive, p)).collect();
+    let residual_neg: Vec<(usize, usize)> =
+        unwanted.iter().copied().filter(|&p| !rules_cover(group, &negative, p)).collect();
+    let covered_before =
+        (wanted.len() - residual_pos.len()) + (unwanted.len() - residual_neg.len());
+
+    let lib = FunctionLibrary::default_for(group);
+    let cfg = GreedyConfig::default();
+    let mut new_pos = if residual_pos.is_empty() {
+        Vec::new()
+    } else {
+        generate_positive_rules(group, &residual_pos, &unwanted, &lib, &cfg)
+    };
+    let mut new_neg = if residual_neg.is_empty() {
+        Vec::new()
+    } else {
+        generate_negative_rules(group, &wanted, &residual_neg, &lib, &cfg)
+    };
+    new_pos.retain(|r| !positive.contains(r));
+    new_neg.retain(|r| !negative.contains(r));
+
+    let refined_pos: Vec<Rule> = positive.iter().cloned().chain(new_pos.iter().cloned()).collect();
+    let refined_neg: Vec<Rule> = negative.iter().cloned().chain(new_neg.iter().cloned()).collect();
+    let covered_after = wanted.iter().filter(|&&p| rules_cover(group, &refined_pos, p)).count()
+        + unwanted.iter().filter(|&&p| rules_cover(group, &refined_neg, p)).count();
+    let spec = match dime_rulespec::render_rules(&refined_pos, &refined_neg, group.schema()) {
+        Ok(s) => s,
+        Err(e) => {
+            return Response::err(
+                ErrorCode::Internal,
+                format!("refined rules are not renderable as rulespec: {e}"),
+            )
+        }
+    };
+    let applied = apply && (!new_pos.is_empty() || !new_neg.is_empty());
+    if applied {
+        apply_rules(sess, refined_pos, refined_neg);
+    }
+    Response::Ok(json!({
+        "labels": effective.len(),
+        "pairs": {"positive": wanted.len(), "negative": unwanted.len()},
+        "residual": {"positive": residual_pos.len(), "negative": residual_neg.len()},
+        "generated": {"positive": new_pos.len(), "negative": new_neg.len()},
+        "covered_before": covered_before,
+        "covered_after": covered_after,
+        "spec": spec,
+        "applied": applied,
+    }))
 }
 
 /// Common body of `discovery` and `scrollbar`: locate the session, guard
@@ -1478,6 +1717,320 @@ mod tests {
         drop(s);
         let s = shared_on_dir(&dir);
         assert_eq!(comparable(discovery_of(&s, id)), before);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn rules_op(shared: &Shared, session: u64, action: RuleAction) -> Response {
+        handle_request(&Request::Rules { session, action }, shared)
+    }
+
+    /// Installing a rulespec over the wire must change what discovery
+    /// finds, exactly as if the session had been created with the new
+    /// rules: the install path compiles through `dime-rulespec` into the
+    /// same `Rule` values `parse_rules` would have produced.
+    #[test]
+    fn installed_rulespec_changes_discovery() {
+        let s = shared();
+        let id = create(&s);
+        handle_request(
+            &Request::AddEntities {
+                session: id,
+                entities: vec![
+                    json!(["t1", "ann, bob"]),
+                    json!(["t2", "ann, bob, carl"]),
+                    json!(["t3", "dora"]),
+                ],
+            },
+            &s,
+        );
+        // The seed rules flag t3 (no author overlap).
+        let before = discovery_of(&s, id);
+        assert_eq!(before["mis_categorized"].as_array().unwrap().len(), 1);
+
+        // Install a stricter positive rule: overlap ≥ 3 links nothing,
+        // so every entity becomes its own partition and the pivot's
+        // complement is flagged.
+        let spec = "same(X, Y) :- overlap(Authors) >= 3.\n\
+                    diff(X, Y) :- overlap(Authors) <= 0.";
+        let resp = rules_op(&s, id, RuleAction::Install { spec: spec.into() });
+        let Response::Ok(v) = resp else { panic!("install failed: {resp:?}") };
+        assert_eq!(v["installed"], json!({"positive": 1, "negative": 1}));
+        assert!(v["exercised_pairs"].as_u64().unwrap() > 0);
+
+        let after = discovery_of(&s, id);
+        assert_ne!(
+            comparable(before),
+            comparable(after.clone()),
+            "a stricter rule set must change the report"
+        );
+
+        // And the installed set equals a session born with those rules.
+        let fresh = shared();
+        let fresh_id = match handle_request(
+            &Request::CreateSession {
+                group: group_doc(),
+                rules: "positive: overlap(Authors) >= 3\nnegative: overlap(Authors) <= 0".into(),
+            },
+            &fresh,
+        ) {
+            Response::Ok(v) => v["session"].as_u64().unwrap(),
+            resp => panic!("create failed: {resp:?}"),
+        };
+        handle_request(
+            &Request::AddEntities {
+                session: fresh_id,
+                entities: vec![
+                    json!(["t1", "ann, bob"]),
+                    json!(["t2", "ann, bob, carl"]),
+                    json!(["t3", "dora"]),
+                ],
+            },
+            &fresh,
+        );
+        assert_eq!(comparable(after), comparable(discovery_of(&fresh, fresh_id)));
+    }
+
+    #[test]
+    fn install_rejections_are_structured_and_atomic() {
+        let s = shared();
+        let id = create(&s);
+        for i in 0..4 {
+            handle_request(
+                &Request::AddEntities {
+                    session: id,
+                    entities: vec![json!([format!("t{i}"), format!("a{i}, b{i}")])],
+                },
+                &s,
+            );
+        }
+        let Response::Ok(listed) = rules_op(&s, id, RuleAction::List) else {
+            panic!("list failed")
+        };
+        let spec_before = listed["spec"].as_str().unwrap().to_string();
+
+        // A syntax error carries the file:line:col diagnostic.
+        let resp = rules_op(&s, id, RuleAction::Install { spec: "same(X, Y) :-".into() });
+        let Response::Err { code, message } = resp else { panic!("must reject") };
+        assert_eq!(code, ErrorCode::RuleRejected);
+        assert!(message.contains("<install>:1:"), "diagnostic position: {message}");
+
+        // An unknown attribute names the schema.
+        let resp = rules_op(
+            &s,
+            id,
+            RuleAction::Install { spec: "same(X, Y) :- overlap(Publisher) >= 1.".into() },
+        );
+        let Response::Err { code, message } = resp else { panic!("must reject") };
+        assert_eq!(code, ErrorCode::RuleRejected);
+        assert!(message.contains("Authors"), "must list known attributes: {message}");
+
+        // A polarity-less set is rejected.
+        let resp = rules_op(
+            &s,
+            id,
+            RuleAction::Install { spec: "same(X, Y) :- overlap(Authors) >= 2.".into() },
+        );
+        expect_err(resp, ErrorCode::RuleRejected);
+
+        // A degenerate always-firing rule fails Solon validation.
+        let resp = rules_op(
+            &s,
+            id,
+            RuleAction::Install {
+                spec: "same(X, Y) :- overlap(Authors) >= 0.\n\
+                       diff(X, Y) :- overlap(Authors) <= 0."
+                    .into(),
+            },
+        );
+        let Response::Err { code, message } = resp else { panic!("must reject") };
+        assert_eq!(code, ErrorCode::RuleRejected);
+        assert!(message.contains("fired on all"), "{message}");
+
+        // None of the rejections changed the live set.
+        let Response::Ok(listed) = rules_op(&s, id, RuleAction::List) else {
+            panic!("list failed")
+        };
+        assert_eq!(
+            listed["spec"].as_str().unwrap(),
+            spec_before,
+            "rejected installs must be no-ops"
+        );
+    }
+
+    #[test]
+    fn ablate_respects_the_polarity_floor() {
+        let s = shared();
+        let id = create(&s);
+        let resp = rules_op(&s, id, RuleAction::Ablate { polarity: Polarity::Positive, index: 0 });
+        let Response::Err { code, message } = resp else {
+            panic!("ablating the last positive rule must fail")
+        };
+        assert_eq!(code, ErrorCode::RuleRejected);
+        assert!(message.contains("last positive"), "{message}");
+        expect_err(
+            rules_op(&s, id, RuleAction::Ablate { polarity: Polarity::Negative, index: 7 }),
+            ErrorCode::BadRequest,
+        );
+
+        // Install a two-positive set, then ablation works and shrinks it.
+        // The pair (t0, t1) shares authors so neither rule fires on every
+        // sampled pair.
+        let spec = "same(X, Y) :- overlap(Authors) >= 2.\n\
+                    same(X, Y) :- jaccard(Title) >= 0.9.\n\
+                    diff(X, Y) :- overlap(Authors) <= 0.";
+        handle_request(
+            &Request::AddEntities {
+                session: id,
+                entities: vec![
+                    json!(["t0", "ann, bob"]),
+                    json!(["t1", "ann, bob"]),
+                    json!(["t2", "carl"]),
+                    json!(["t3", "dora"]),
+                ],
+            },
+            &s,
+        );
+        let Response::Ok(_) = rules_op(&s, id, RuleAction::Install { spec: spec.into() }) else {
+            panic!("install failed")
+        };
+        let Response::Ok(v) =
+            rules_op(&s, id, RuleAction::Ablate { polarity: Polarity::Positive, index: 1 })
+        else {
+            panic!("ablate failed")
+        };
+        assert_eq!(v["positive"], 1);
+        assert_eq!(v["negative"], 1);
+        assert!(v["ablated"]["rule"].as_str().unwrap().contains("jaccard"));
+    }
+
+    /// The refinement loop: label the members and the outlier of a group
+    /// whose seed rules miss everything, and the refined spec must cover
+    /// the residual pairs — improving coverage — and change discovery
+    /// when applied.
+    #[test]
+    fn feedback_refines_and_applies() {
+        let s = shared();
+        // Seed rules that link nothing and separate nothing useful: the
+        // real structure is in Authors overlap, which these ignore.
+        let Response::Ok(v) = handle_request(
+            &Request::CreateSession {
+                group: group_doc(),
+                rules: "positive: jaccard(Title) >= 0.99\nnegative: edit_sim(Title) <= 0.01".into(),
+            },
+            &s,
+        ) else {
+            panic!("create failed")
+        };
+        let id = v["session"].as_u64().unwrap();
+        handle_request(
+            &Request::AddEntities {
+                session: id,
+                entities: vec![
+                    json!(["data cleaning", "ann, bob"]),
+                    json!(["data quality", "ann, bob, carl"]),
+                    json!(["data lakes", "ann, carl"]),
+                    json!(["organic synthesis", "dora"]),
+                ],
+            },
+            &s,
+        );
+        let resp = handle_request(
+            &Request::Feedback {
+                session: id,
+                labels: vec![(0, true), (1, true), (2, true), (3, false)],
+                apply: false,
+            },
+            &s,
+        );
+        let Response::Ok(v) = resp else { panic!("feedback failed: {resp:?}") };
+        assert_eq!(v["labels"], 4);
+        assert_eq!(v["pairs"], json!({"positive": 3, "negative": 3}));
+        assert!(v["residual"]["positive"].as_u64().unwrap() > 0, "seed rules cover nothing");
+        let before = v["covered_before"].as_u64().unwrap();
+        let after = v["covered_after"].as_u64().unwrap();
+        assert!(after > before, "refinement must improve coverage: {before} -> {after}");
+        assert_eq!(v["applied"], false, "apply was not requested");
+        let spec = v["spec"].as_str().unwrap();
+        assert!(spec.contains(":-"), "refined spec must be rulespec text: {spec}");
+
+        // Labels accumulate: the second call sees the same effective set
+        // and now applies the refinement.
+        let resp =
+            handle_request(&Request::Feedback { session: id, labels: vec![], apply: true }, &s);
+        let Response::Ok(v) = resp else { panic!("feedback failed: {resp:?}") };
+        assert_eq!(v["labels"], 4, "labels must persist across feedback calls");
+        assert_eq!(v["applied"], true);
+
+        // The applied rules now flag exactly the labeled outlier.
+        let report = discovery_of(&s, id);
+        let flagged = report["mis_categorized"].as_array().unwrap();
+        assert_eq!(flagged.len(), 1, "refined rules must isolate the outlier: {report}");
+        assert_eq!(flagged[0]["Authors"], "dora");
+
+        // And the listed spec reflects the applied refinement.
+        let Response::Ok(listed) = rules_op(&s, id, RuleAction::List) else {
+            panic!("list failed")
+        };
+        assert!(listed["positive"].as_u64().unwrap() >= 2, "applied set keeps seed + generated");
+    }
+
+    #[test]
+    fn feedback_rejects_unknown_entities() {
+        let s = shared();
+        let id = create(&s);
+        expect_err(
+            handle_request(
+                &Request::Feedback { session: id, labels: vec![(9, true)], apply: false },
+                &s,
+            ),
+            ErrorCode::NoSuchEntity,
+        );
+    }
+
+    /// An installed rule set must survive a crash: the WAL's `set_rules`
+    /// record replays through the same parse path as the `open` record,
+    /// and the recovered engine answers discovery bit-identically.
+    #[test]
+    fn installed_rules_survive_restart() {
+        let dir = temp_dir("rules");
+        let (id, before) = {
+            let s = shared_on_dir(&dir);
+            let id = create(&s);
+            handle_request(
+                &Request::AddEntities {
+                    session: id,
+                    entities: vec![
+                        json!(["t1", "ann, bob"]),
+                        json!(["t2", "ann, bob, carl"]),
+                        json!(["t3", "dora"]),
+                        json!(["t4", "emma"]),
+                    ],
+                },
+                &s,
+            );
+            let spec = "same(X, Y) :- overlap(Authors) >= 1.\n\
+                        diff(X, Y) :- overlap(Authors) <= 0.";
+            let Response::Ok(_) = rules_op(&s, id, RuleAction::Install { spec: spec.into() })
+            else {
+                panic!("install failed")
+            };
+            (id, comparable(discovery_of(&s, id)))
+        };
+        let s = shared_on_dir(&dir);
+        assert_eq!(
+            comparable(discovery_of(&s, id)),
+            before,
+            "recovered session must replay the installed rules"
+        );
+        // The recovered session keeps the installed set, not the seed.
+        let Response::Ok(listed) = rules_op(&s, id, RuleAction::List) else {
+            panic!("list failed")
+        };
+        assert!(
+            listed["spec"].as_str().unwrap().contains(">= 1"),
+            "recovered rules must be the installed ones: {}",
+            listed["spec"]
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -34,13 +34,46 @@ pub struct Session {
     /// The session's durable mirror, when the server runs with a store
     /// (`None` keeps the session memory-only).
     pub persist: Option<SessionPersist>,
+    /// Accumulated `(entity id, belongs)` verdicts from `feedback`
+    /// requests — the labeled examples the refinement loop mines. Kept in
+    /// arrival order; a later verdict for the same entity wins, and ids
+    /// are shifted/dropped in step with `remove_entity`.
+    pub labels: Vec<(usize, bool)>,
 }
 
 impl Session {
     /// Wraps an engine, caching its schema's attribute names.
     pub fn new(engine: IncrementalDime) -> Self {
         let attr_names = engine.group().schema().attrs().iter().map(|a| a.name.clone()).collect();
-        Self { engine, attr_names, metrics: SessionMetrics::default(), persist: None }
+        Self {
+            engine,
+            attr_names,
+            metrics: SessionMetrics::default(),
+            persist: None,
+            labels: Vec::new(),
+        }
+    }
+
+    /// Folds the accumulated labels into one verdict per entity (latest
+    /// wins), in entity-id order.
+    pub fn effective_labels(&self) -> Vec<(usize, bool)> {
+        let mut map: std::collections::BTreeMap<usize, bool> = std::collections::BTreeMap::new();
+        for &(entity, belongs) in &self.labels {
+            map.insert(entity, belongs);
+        }
+        map.into_iter().collect()
+    }
+
+    /// Keeps the label set consistent with an entity removal: verdicts
+    /// for the removed id are dropped, later ids shift down by one —
+    /// mirroring the engine's id compaction.
+    pub fn shift_labels_for_removal(&mut self, removed: usize) {
+        self.labels.retain(|&(entity, _)| entity != removed);
+        for label in &mut self.labels {
+            if label.0 > removed {
+                label.0 -= 1;
+            }
+        }
     }
 }
 
@@ -230,5 +263,20 @@ mod tests {
     fn session_caches_attr_names() {
         let s = Session::new(engine());
         assert_eq!(s.attr_names, vec!["Authors".to_string()]);
+    }
+
+    #[test]
+    fn effective_labels_take_the_latest_verdict() {
+        let mut s = Session::new(engine());
+        s.labels = vec![(2, true), (0, false), (2, false), (1, true)];
+        assert_eq!(s.effective_labels(), vec![(0, false), (1, true), (2, false)]);
+    }
+
+    #[test]
+    fn labels_shift_with_entity_removal() {
+        let mut s = Session::new(engine());
+        s.labels = vec![(0, true), (1, false), (3, true)];
+        s.shift_labels_for_removal(1);
+        assert_eq!(s.labels, vec![(0, true), (2, true)]);
     }
 }

@@ -3,8 +3,9 @@
 //! truncated lines, oversized frames, and unknown ops must come back as
 //! structured errors on the same connection, never kill a worker.
 
+use dime_core::Polarity;
 use dime_serve::{
-    encode_frame, ErrorCode, Frame, FrameReader, Request, Response, ServeConfig, Server,
+    encode_frame, ErrorCode, Frame, FrameReader, Request, Response, RuleAction, ServeConfig, Server,
 };
 use proptest::prelude::*;
 use serde_json::{json, Value};
@@ -36,6 +37,31 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 session,
                 entities: rows.into_iter().map(|r| json!([r])).collect(),
             }
+        }),
+        (any::<u64>(), arb_rule_action())
+            .prop_map(|(session, action)| Request::Rules { session, action }),
+        (
+            any::<u64>(),
+            proptest::collection::vec((any::<usize>(), any::<bool>()), 0..4),
+            any::<bool>(),
+        )
+            .prop_map(|(session, labels, apply)| Request::Feedback {
+                session,
+                labels,
+                apply
+            }),
+    ]
+}
+
+fn arb_rule_action() -> impl Strategy<Value = RuleAction> {
+    prop_oneof![
+        Just(RuleAction::List),
+        // Specs are opaque text at the protocol layer — hostile bytes
+        // must survive the frame trip even if they'd never compile.
+        arb_text().prop_map(|spec| RuleAction::Install { spec }),
+        (any::<bool>(), any::<usize>()).prop_map(|(pos, index)| RuleAction::Ablate {
+            polarity: if pos { Polarity::Positive } else { Polarity::Negative },
+            index,
         }),
     ]
 }

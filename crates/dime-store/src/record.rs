@@ -10,6 +10,7 @@
 //! | 3   | `add_entity_with_nodes`| attribute values, ontology nodes    |
 //! | 4   | `remove_entity`        | `u64` entity id                     |
 //! | 5   | `close`                | —                                   |
+//! | 6   | `set_rules`            | rules string                        |
 //!
 //! Strings are `u32` byte length + UTF-8; vectors are `u32` count +
 //! items; optional nodes are a `u8` flag + `u32`. Everything is
@@ -68,6 +69,13 @@ pub enum WalOp {
     },
     /// Session closed; nothing after this record may resurrect it.
     Close,
+    /// The session's whole rule set replaced (a live rulespec install or
+    /// ablate). Carries the full new set in the simple rule DSL — the
+    /// format `open` uses — so recovery replays it with the same parser.
+    SetRules {
+        /// The complete replacement rule set as rule-DSL text.
+        rules: String,
+    },
 }
 
 /// A decoding failure: torn, corrupt, or wrong-version bytes.
@@ -218,6 +226,10 @@ pub fn encode_record(seq: u64, op: &WalOp) -> Vec<u8> {
             put_u64(&mut out, *entity);
         }
         WalOp::Close => out.push(5),
+        WalOp::SetRules { rules } => {
+            out.push(6);
+            put_str(&mut out, rules);
+        }
     }
     out
 }
@@ -232,6 +244,7 @@ pub fn decode_record(payload: &[u8]) -> Result<(u64, WalOp), DecodeError> {
         3 => WalOp::AddEntityWithNodes { values: c.values()?, nodes: c.nodes()? },
         4 => WalOp::RemoveEntity { entity: c.u64()? },
         5 => WalOp::Close,
+        6 => WalOp::SetRules { rules: c.string()? },
         _ => return Err(DecodeError("unknown operation tag")),
     };
     c.finished()?;
@@ -281,6 +294,10 @@ impl SessionState {
                 } else {
                     false
                 }
+            }
+            WalOp::SetRules { rules } => {
+                self.rules = rules.clone();
+                true
             }
             WalOp::Open { .. } | WalOp::Close => false,
         }
@@ -360,6 +377,7 @@ mod tests {
             },
             WalOp::RemoveEntity { entity: 0 },
             WalOp::Close,
+            WalOp::SetRules { rules: "positive: y\nnegative: z".into() },
         ]
     }
 
@@ -411,6 +429,10 @@ mod tests {
         assert_eq!(s.rows[0].nodes, Some(vec![Some(3)]));
         // Out-of-range removal is refused, not panicked on.
         assert!(!s.apply(&WalOp::RemoveEntity { entity: 9 }));
+        assert_eq!(s.rows.len(), 1);
+        // A rule install replaces the rule text and keeps the rows.
+        assert!(s.apply(&WalOp::SetRules { rules: "positive: q\nnegative: w".into() }));
+        assert_eq!(s.rules, "positive: q\nnegative: w");
         assert_eq!(s.rows.len(), 1);
     }
 

@@ -23,13 +23,21 @@ is guarded as soon as it grows a recognized section:
   recovery[].wal_replay_seconds     lower is better    (BENCH_store)
   failover.time_to_first_success_secs  lower is better (BENCH_cluster)
   sharded[].sessions_per_sec        higher is better   (BENCH_cluster)
+  refinement.f1_final               higher is better   (BENCH_rulespec)
+  install.install_*_seconds         lower is better    (BENCH_rulespec)
 
 Metrics present in only one of the two files (config drift, new
 sections) are skipped: the guard pins regressions, it does not freeze
 the schema.
+
+A missing or empty baseline file is not an error: a bench file that has
+never been committed has nothing to regress against, so the run is
+treated as baseline-establishing (exit 0 with a note) — the fresh copy
+becomes the baseline once committed.
 """
 
 import json
+import os
 import sys
 
 FACTOR = 2.0
@@ -63,6 +71,12 @@ def metrics(doc):
         out.append(
             (f"sharded[shards={s['shards']}].sessions_per_sec", s["sessions_per_sec"], "higher")
         )
+    if "refinement" in doc:
+        out.append(("refinement.f1_final", doc["refinement"]["f1_final"], "higher"))
+        out.append(("refinement.wall_seconds", doc["refinement"]["wall_seconds"], "lower"))
+    for key, value in sorted(doc.get("install", {}).items()):
+        if key.endswith("_seconds"):
+            out.append((f"install.{key}", value, "lower"))
     return out
 
 
@@ -75,6 +89,12 @@ def main():
         print(__doc__.strip().splitlines()[2], file=sys.stderr)
         return 2
     baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+    if not os.path.exists(baseline_path) or os.path.getsize(baseline_path) == 0:
+        print(
+            f"bench-guard: {fresh_path}: no baseline at {baseline_path}; "
+            "treating this run as baseline-establishing"
+        )
+        return 0
     with open(baseline_path) as f:
         baseline = dict((n, (v, d)) for n, v, d in metrics(json.load(f)))
     with open(fresh_path) as f:

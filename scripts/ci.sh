@@ -12,6 +12,12 @@
 #   cluster-e2e   the dime-cluster acceptance test: SIGKILL a replicated
 #                 shard under a probing router mid-traffic; the follower
 #                 must be promoted with zero closed-session data loss
+#   rulespec      the declarative rule DSL gate: the dime-rulespec crate's
+#                 parser/compiler/validator tests (including the
+#                 parse → print → parse proptest) plus the differential
+#                 test pinning DSL-compiled rules bit-identical to
+#                 Rust-struct rules across every engine, run by name so a
+#                 filtered invocation can never skip them
 #   soak          the async-admission soak test: 10k concurrent idle
 #                 sessions held open plus a sustained add/flag workload
 #                 against a live release-build server, asserting the
@@ -30,8 +36,8 @@
 #                 driver runs end to end on a small pair count (the
 #                 committed JSON is refreshed by bench-json)
 #   bench-json    small-config exp_serve / exp_trace / exp_store /
-#                 exp_micro / exp_cluster runs, refreshing
-#                 results/BENCH_{serve,trace,store,micro,cluster}.json,
+#                 exp_micro / exp_cluster / exp_rulespec runs, refreshing
+#                 results/BENCH_{serve,trace,store,micro,cluster,rulespec}.json,
 #                 then the perf-regression guard: every refreshed file is
 #                 compared against the copy committed at HEAD (via `git
 #                 show`) and the stage fails on any >2x regression of a
@@ -40,8 +46,8 @@
 #                 hardware: the wins being pinned sit 5-100x from the
 #                 floor, so 2x catches architectural regressions while
 #                 tolerating scheduler noise; baselines under 5 ms of
-#                 wall are skipped as pure noise, and files absent from
-#                 HEAD are skipped with a note (first run of a new bench)
+#                 wall are skipped as pure noise, and a file absent from
+#                 HEAD is baseline-establishing (first run of a new bench)
 #   offline-build the rustc-only harness (scripts/offline/build_all.sh);
 #                 skipped with a message when cargo never produced the
 #                 stub sources' toolchain or rustc is missing
@@ -55,7 +61,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-STAGES=(fmt build test serve-e2e store-recovery cluster-e2e soak check clippy bench-smoke bench-micro bench-json offline-build)
+STAGES=(fmt build test serve-e2e store-recovery cluster-e2e rulespec soak check clippy bench-smoke bench-micro bench-json offline-build)
 
 # One scratch directory for everything a stage writes and throws away
 # (bench-micro's scratch JSON, the guard's HEAD baselines), removed on
@@ -79,6 +85,10 @@ run_store_recovery() { cargo test -q -p dime-store && cargo test -q --test store
 # must promote its follower and every committed session must replay
 # bit-identically. Run by name so a filtered invocation can never skip it.
 run_cluster_e2e() { cargo test -q -p dime-cluster && cargo test -q --test cluster; }
+# Rule-DSL acceptance: the rulespec crate's own tests (lexer/parser/
+# compiler/validator plus the round-trip proptest) and the differential
+# test pinning DSL-compiled rules to Rust-struct rules engine by engine.
+run_rulespec() { cargo test -q -p dime-rulespec && cargo test -q --test rulespec; }
 # Concurrency soak: 10k idle sessions held over live connections by the
 # epoll admission layer plus a sustained add/flag workload, with the
 # thread count and p99 flag latency asserted inside the test. Runs the
@@ -107,16 +117,14 @@ run_bench_micro() {
 # Compares every refreshed results/BENCH_*.json against the copy
 # committed at HEAD and fails on >2x regressions of the key metrics (see
 # the header for the tolerance rationale). Baselines are materialized
-# from `git show` into the scratch dir; a file with no committed
-# baseline is noted and skipped.
+# from `git show` into the scratch dir; a file with no committed copy at
+# HEAD reaches the guard with no baseline file, which it treats as
+# baseline-establishing (first run of a newly added bench).
 check_bench_regressions() {
   local rc=0 f base
   for f in results/BENCH_*.json; do
     base="$SCRATCH/head-$(basename "$f")"
-    if ! git show "HEAD:$f" > "$base" 2> /dev/null; then
-      echo "bench-guard: $f has no committed baseline at HEAD; skipping"
-      continue
-    fi
+    git show "HEAD:$f" > "$base" 2> /dev/null || rm -f "$base"
     python3 scripts/bench_guard.py "$base" "$f" || rc=1
   done
   return "$rc"
@@ -131,6 +139,7 @@ run_bench_json() {
     cargo run -q --release --bin exp_store -- --append-ops 500 --always-ops 50 --recover 1000 &&
     cargo run -q --release --bin exp_micro -- --pairs 200000 &&
     cargo run -q --release --bin exp_cluster -- --lifecycles 10 &&
+    cargo run -q --release --bin exp_rulespec -- --rounds 4 --installs 10 &&
     check_bench_regressions
 }
 
@@ -179,6 +188,7 @@ run_stage() {
     serve-e2e) run_serve_e2e ;;
     store-recovery) run_store_recovery ;;
     cluster-e2e) run_cluster_e2e ;;
+    rulespec) run_rulespec ;;
     soak) run_soak ;;
     check) run_check ;;
     clippy) run_clippy ;;

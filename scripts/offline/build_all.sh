@@ -48,6 +48,7 @@ E_cluster="--extern dime_cluster=libdime_cluster.rlib"
 E_bench="--extern dime_bench=libdime_bench.rlib"
 E_dime="--extern dime=libdime.rlib"
 E_check="--extern dime_check=libdime_check.rlib"
+E_rulespec="--extern dime_rulespec=libdime_rulespec.rlib"
 
 # 2. Workspace libraries, dependency order.
 lib dime_text     $R/crates/dime-text/src/lib.rs
@@ -60,11 +61,12 @@ lib dime_core     $R/crates/dime-core/src/lib.rs     $E_text $E_index $E_ont $E_
 lib dime_metrics  $R/crates/dime-metrics/src/lib.rs
 lib dime_rulegen  $R/crates/dime-rulegen/src/lib.rs  $E_core $E_text $E_ont
 lib dime_baselines $R/crates/dime-baselines/src/lib.rs $E_core $E_index $E_rulegen $E_text $E_ont $E_metrics
+lib dime_rulespec $R/crates/dime-rulespec/src/lib.rs $E_core $E_check $E_text
 lib dime_data     $R/crates/dime-data/src/lib.rs     $E_core $E_ont $E_text
-lib dime_serve    $R/crates/dime-serve/src/lib.rs    $E_core $E_data $E_store $E_text $E_trace
+lib dime_serve    $R/crates/dime-serve/src/lib.rs    $E_core $E_data $E_store $E_text $E_trace $E_rulegen $E_rulespec
 lib dime_cluster  $R/crates/dime-cluster/src/lib.rs  $E_serve $E_store $E_trace
 lib dime_bench    $R/crates/dime-bench/src/lib.rs    $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_trace
-lib dime          $R/src/lib.rs                      $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_cluster $E_trace
+lib dime          $R/src/lib.rs                      $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_cluster $E_trace $E_rulespec
 
 # 3. Unit-test binaries.
 tst dime_text     $R/crates/dime-text/src/lib.rs
@@ -77,16 +79,19 @@ tst dime_core     $R/crates/dime-core/src/lib.rs     $E_text $E_index $E_ont $E_
 tst dime_metrics  $R/crates/dime-metrics/src/lib.rs
 tst dime_rulegen  $R/crates/dime-rulegen/src/lib.rs  $E_core $E_text $E_ont $E_data $E_metrics
 tst dime_baselines $R/crates/dime-baselines/src/lib.rs $E_core $E_index $E_rulegen $E_text $E_ont $E_metrics $E_data
+tst dime_rulespec $R/crates/dime-rulespec/src/lib.rs $E_core $E_check $E_text
 tst dime_data     $R/crates/dime-data/src/lib.rs     $E_core $E_ont $E_text
-tst dime_serve    $R/crates/dime-serve/src/lib.rs    $E_core $E_data $E_store $E_text $E_trace
+tst dime_serve    $R/crates/dime-serve/src/lib.rs    $E_core $E_data $E_store $E_text $E_trace $E_rulegen $E_rulespec
 tst dime_cluster  $R/crates/dime-cluster/src/lib.rs  $E_serve $E_store $E_trace
 tst dime_bench    $R/crates/dime-bench/src/lib.rs    $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_trace
-tst dime_facade   $R/src/lib.rs                      $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_cluster $E_trace
+tst dime_facade   $R/src/lib.rs                      $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_cluster $E_trace $E_rulespec
 
 # 4. Integration-test binaries.
-ALL_E="$E_dime $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_cluster $E_bench $E_trace"
+ALL_E="$E_dime $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_cluster $E_bench $E_trace $E_rulespec"
 tst end_to_end     $R/tests/end_to_end.rs             $ALL_E
 tst serve          $R/tests/serve.rs                  $ALL_E
+tst rulespec       $R/tests/rulespec.rs               $ALL_E
+tst rulespec_prop  $R/crates/dime-rulespec/tests/rulespec_prop.rs $E_rulespec $E_core
 tst serve_protocol $R/crates/dime-serve/tests/protocol.rs $E_serve $E_core $E_data $E_text
 tst store_fault    $R/crates/dime-store/tests/fault_injection.rs $E_store
 tst store_oracle   $R/crates/dime-store/tests/oracle.rs    $E_store $E_core $E_text

@@ -10,6 +10,8 @@
 //!               [--admission threaded|async] [--queue-capacity N] [--batch-max N]
 //!               [--data-dir DIR] [--fsync always|never|interval[:ms]] [--snapshot-every N]
 //! dime client   --addr H:P <op> [op args]
+//! dime rules    check --spec <file.rulespec> --group <group.json>
+//! dime rules    <install|list|ablate|feedback> --addr H:P --session ID [action args]
 //! dime cluster-shard  --data-dir DIR [--addr H:P] [--replicate-to H:P] [serve knobs]
 //! dime cluster-shard  --follower --data-dir DIR [--repl-addr H:P] [--serve-addr H:P] [--workers N]
 //! dime cluster-router --shard H:P[,FOLLOWER_H:P] ... [--addr H:P] [--pool N] [--vnodes N]
@@ -31,6 +33,12 @@
 //! JSON-lines TCP protocol of the `dime-serve` crate, and `client` sends
 //! one protocol request to a running server (see the README's "Running as
 //! a service" section for the protocol reference).
+//!
+//! `rules` works with rulespec programs (the declarative rule DSL of the
+//! `dime-rulespec` crate): `check` compiles a `.rulespec` file against a
+//! group's schema locally and prints the canonical form, while `install`,
+//! `list`, `ablate`, and `feedback` drive a live session's rule set over
+//! the wire.
 
 use dime::cluster::{
     Follower, FollowerConfig, FollowerLink, HealthConfig, Router, RouterConfig, ShardSpec,
@@ -62,6 +70,7 @@ fn main() -> ExitCode {
         Some("learn") => cmd_learn(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
+        Some("rules") => cmd_rules(&args[1..]),
         Some("cluster-shard") => cmd_cluster_shard(&args[1..]),
         Some("cluster-router") => cmd_cluster_router(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -89,6 +98,11 @@ fn print_usage() {
          \x20            [--admission threaded|async] [--queue-capacity N] [--batch-max N]\n\
          \x20            [--data-dir DIR] [--fsync always|never|interval[:ms]] [--snapshot-every N]\n\
          \x20 dime client --addr H:P <ping|create|add|remove|discovery|scrollbar|stats|trace|close|shutdown> [op args]\n\
+         \x20 dime rules check --spec <file.rulespec> --group <group.json>\n\
+         \x20 dime rules install --addr H:P --session ID --spec <file.rulespec>\n\
+         \x20 dime rules list --addr H:P --session ID\n\
+         \x20 dime rules ablate --addr H:P --session ID --polarity positive|negative --index N\n\
+         \x20 dime rules feedback --addr H:P --session ID --labels <labels.json> [--apply]\n\
          \x20 dime cluster-shard --data-dir DIR [--addr H:P] [--replicate-to H:P] [serve knobs]\n\
          \x20 dime cluster-shard --follower --data-dir DIR [--repl-addr H:P] [--serve-addr H:P] [--workers N]\n\
          \x20 dime cluster-router --shard H:P[,FOLLOWER_H:P] ... [--addr H:P] [--pool N] [--vnodes N]\n\
@@ -652,6 +666,212 @@ fn build_client_request(args: &[String]) -> Result<Request, String> {
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown client operation {other:?}")),
     }
+}
+
+/// `dime rules`: compile and manage rulespec programs. `check` runs
+/// entirely locally (compile + canonical pretty-print, no server); the
+/// other actions drive a live session's rule set over the wire.
+fn cmd_rules(args: &[String]) -> ExitCode {
+    // The action is the first positional argument; skip flags with values
+    // so ordering doesn't matter (same discipline as `dime client`).
+    const VALUED_FLAGS: [&str; 7] =
+        ["--addr", "--session", "--spec", "--group", "--polarity", "--index", "--labels"];
+    let mut action = None;
+    let mut i = 0;
+    while i < args.len() {
+        if VALUED_FLAGS.contains(&args[i].as_str()) {
+            i += 2;
+        } else if args[i].starts_with("--") {
+            i += 1;
+        } else {
+            action = Some(args[i].as_str());
+            break;
+        }
+    }
+    let Some(action) = action else {
+        eprintln!("error: rules needs an action: check | install | list | ablate | feedback");
+        return ExitCode::FAILURE;
+    };
+    if action == "check" {
+        return cmd_rules_check(args);
+    }
+    let Some(addr) = flag_value(args, "--addr") else {
+        eprintln!("error: rules {action} needs --addr <host:port>");
+        return ExitCode::FAILURE;
+    };
+    let session = match numeric_flag::<u64>(args, "--session") {
+        Ok(Some(s)) => s,
+        Ok(None) => {
+            eprintln!("error: rules {action} needs --session <id>");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: failed to connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match action {
+        "install" => {
+            let Some(spec_path) = flag_value(args, "--spec") else {
+                eprintln!("error: rules install needs --spec <file.rulespec>");
+                return ExitCode::FAILURE;
+            };
+            let spec = match std::fs::read_to_string(spec_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: {spec_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            client.rules_install(session, &spec)
+        }
+        "list" => client.rules_list(session),
+        "ablate" => {
+            let polarity = match flag_value(args, "--polarity") {
+                Some("positive") => Polarity::Positive,
+                Some("negative") => Polarity::Negative,
+                Some(other) => {
+                    eprintln!("error: --polarity must be 'positive' or 'negative', got {other:?}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("error: rules ablate needs --polarity positive|negative");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let index = match numeric_flag::<usize>(args, "--index") {
+                Ok(Some(n)) => n,
+                Ok(None) => {
+                    eprintln!("error: rules ablate needs --index <n>");
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            client.rules_ablate(session, polarity, index)
+        }
+        "feedback" => {
+            let Some(labels_path) = flag_value(args, "--labels") else {
+                eprintln!("error: rules feedback needs --labels <labels.json>");
+                return ExitCode::FAILURE;
+            };
+            let labels = match read_labels(labels_path) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            client.feedback(session, &labels, has_flag(args, "--apply"))
+        }
+        other => {
+            eprintln!("error: unknown rules action {other:?} (check | install | list | ablate | feedback)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(payload) => emit_json(&payload),
+        Err(ClientError::Server { code, message }) => {
+            eprintln!("server error {code}: {message}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `dime rules check`: compile a rulespec file against a group's schema
+/// and print the canonical form — the offline half of an install, with
+/// the same `file:line:col` diagnostics a server rejection would carry.
+fn cmd_rules_check(args: &[String]) -> ExitCode {
+    let (Some(spec_path), Some(group_path)) =
+        (flag_value(args, "--spec"), flag_value(args, "--group"))
+    else {
+        eprintln!("error: rules check needs --spec <file.rulespec> and --group <group.json>");
+        return ExitCode::FAILURE;
+    };
+    let spec_text = match std::fs::read_to_string(spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let group_text = match std::fs::read_to_string(group_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {group_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let group = match load_group_json(&group_text) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let compiled = match dime::rulespec::compile_str(spec_path, &spec_text, group.schema()) {
+        Ok(c) => c,
+        Err(d) => {
+            eprintln!("error: {d}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let canonical = match dime::rulespec::render_rules(
+        &compiled.positive,
+        &compiled.negative,
+        group.schema(),
+    ) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: failed to render the compiled spec: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "# {} positive / {} negative rule(s) compile cleanly against {}",
+        compiled.positive.len(),
+        compiled.negative.len(),
+        group_path
+    );
+    print!("{canonical}");
+    ExitCode::SUCCESS
+}
+
+/// Reads a feedback label file: a JSON array of `[entity_id, belongs]`
+/// pairs, the same shape the wire op carries.
+fn read_labels(path: &str) -> Result<Vec<(usize, bool)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let value: Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let arr = value
+        .as_array()
+        .ok_or_else(|| format!("{path}: expected a JSON array of [entity, belongs] pairs"))?;
+    let mut labels = Vec::with_capacity(arr.len());
+    for (i, pair) in arr.iter().enumerate() {
+        let cells = pair
+            .as_array()
+            .ok_or_else(|| format!("{path}: label {i} is not a [entity, belongs] pair"))?;
+        let (Some(entity), Some(belongs)) =
+            (cells.first().and_then(Value::as_u64), cells.get(1).and_then(Value::as_bool))
+        else {
+            return Err(format!("{path}: label {i} must be [non-negative integer, boolean]"));
+        };
+        labels.push((entity as usize, belongs));
+    }
+    Ok(labels)
 }
 
 /// Every value of a repeatable flag, in order (`--shard a --shard b`).

@@ -13,6 +13,9 @@
 //! * [`ontology`] — ontology trees, LCA similarity, node signatures, LDA;
 //! * [`index`] — union-find and the signature inverted index;
 //! * [`rulegen`] — greedy + enumeration rule generation from examples;
+//! * [`rulespec`] — the declarative datalog-flavored rule language
+//!   (`same(X, Y) :- overlap(Authors) >= 2.`), compiled bit-identically
+//!   into the engine's rules, installed live via `dime rules`;
 //! * [`baselines`] — CR, SVM, decision tree, SIFI;
 //! * [`data`] — synthetic Scholar / Amazon / DBGen datasets;
 //! * [`metrics`] — precision/recall/F-measure, k-fold splits;
@@ -63,6 +66,7 @@ pub use dime_index as index;
 pub use dime_metrics as metrics;
 pub use dime_ontology as ontology;
 pub use dime_rulegen as rulegen;
+pub use dime_rulespec as rulespec;
 pub use dime_serve as serve;
 pub use dime_store as store;
 pub use dime_text as text;

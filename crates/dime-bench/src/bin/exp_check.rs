@@ -24,6 +24,12 @@
 //! engines on a tiny DBGen group, with a generous wall-clock ceiling) —
 //! the CI bench-smoke stage uses it to guard the engines on every push
 //! without paying for the full reproduction suite.
+//!
+//! `--analyzer` times `dime-check`'s whole-workspace run (lexer → item
+//! parser → call graph → every rule) over this repository and writes the
+//! wall clock to `results/BENCH_check.json` (`--out PATH` overrides), so
+//! the bench-json stage tracks analyzer cost the same way it tracks the
+//! engines: a >2x regression against the committed baseline fails CI.
 
 use dime_bench::arg_or;
 use dime_bench::{
@@ -67,8 +73,55 @@ fn run_smoke(seed: u64) -> bool {
     ok
 }
 
+/// The analyzer timing run: `dime_check::run_workspace` over this
+/// repository, repeated a few times with the best wall kept (the metric
+/// guards the analysis pipeline, not the page cache), plus the file and
+/// finding counts so the JSON documents what the timing covered.
+fn run_analyzer_bench(out: &str) {
+    const RUNS: usize = 3;
+    let root = dime_check::find_workspace_root().expect("locate workspace root");
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        let report = dime_check::run_workspace(&root).expect("analyze workspace");
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(report);
+    }
+    let report = last.expect("at least one run");
+    assert_eq!(
+        report.finding_count(),
+        0,
+        "the workspace must be clean before its analysis is worth timing"
+    );
+    let doc = serde_json::json!({
+        "bench": "check",
+        "analyzer": {
+            "files_scanned": report.files_scanned,
+            "findings": report.finding_count(),
+            "suppressed": report.suppressed_count(),
+            "runs": RUNS,
+            "wall_seconds": best,
+        }
+    });
+    if let Some(dir) = std::path::Path::new(out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(out, serde_json::to_string_pretty(&doc).expect("serialize"))
+        .expect("write BENCH_check.json");
+    println!(
+        "analyzer: {} files in {best:.3}s (best of {RUNS}); wrote {out}",
+        report.files_scanned
+    );
+}
+
 fn main() {
     let seed: u64 = arg_or("seed", 42);
+    if std::env::args().any(|a| a == "--analyzer") {
+        let out: String = arg_or("out", "results/BENCH_check.json".to_string());
+        run_analyzer_bench(&out);
+        return;
+    }
     if std::env::args().any(|a| a == "--smoke") {
         if run_smoke(seed) {
             println!("\nsmoke checks passed");

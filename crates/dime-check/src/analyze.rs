@@ -8,6 +8,7 @@
 //! appears.
 
 use crate::lexer::{lex, LineMap, Token, TokenKind};
+use crate::parse::{flatten, parse_items, ItemKind};
 use crate::rules::RuleId;
 use crate::scope::{enclosing_fn, fn_bodies, test_regions};
 use crate::suppress::{parse_suppressions, Suppression};
@@ -29,7 +30,7 @@ pub enum FileKind {
 
 impl FileKind {
     /// Production code: where the source rules apply.
-    fn is_production(self) -> bool {
+    pub fn is_production(self) -> bool {
         matches!(self, FileKind::Lib | FileKind::Bin)
     }
 }
@@ -78,7 +79,8 @@ pub struct FileReport {
 /// because its parser runs inside the serve request path: a live `rules`
 /// install hands it attacker-shaped bytes, so it answers with
 /// diagnostics, never panics.
-const SERVICE_CRATES: [&str; 4] = ["dime-serve", "dime-store", "dime-cluster", "dime-rulespec"];
+pub(crate) const SERVICE_CRATES: [&str; 4] =
+    ["dime-serve", "dime-store", "dime-cluster", "dime-rulespec"];
 /// Crates allowed to read the wall clock from library code.
 const WALL_CLOCK_CRATES: [&str; 2] = ["dime-trace", "dime-bench"];
 /// The bench harness prints measurements from its library by design.
@@ -94,14 +96,18 @@ const NON_INDEX_KEYWORDS: [&str; 20] = [
 /// Macros whose invocation panics (the assert family is deliberately not
 /// listed: service code states invariants with `debug_assert!`, and the
 /// few release asserts guard constructor contracts, not request paths).
-const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+pub(crate) const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 
-/// Analyzes one file's source text under its context.
+/// Analyzes one file's source text under its context, per-file rules
+/// only. `--workspace` mode additionally merges the flow rules' findings
+/// before reconciling — see [`crate::analyze_files`].
 pub fn analyze_source(src: &str, ctx: &FileContext) -> FileReport {
-    let tokens = lex(src);
-    let lines = LineMap::new(src);
-    let suppressions = parse_suppressions(src, &tokens, &lines);
+    reconcile_raw(src, raw_findings(src, ctx))
+}
 
+/// Runs every per-file rule, returning raw (pre-suppression) findings.
+pub(crate) fn raw_findings(src: &str, ctx: &FileContext) -> Vec<Finding> {
+    let tokens = lex(src);
     let mut raw = Vec::new();
     if ctx.kind.is_production() {
         let regions = test_regions(src, &tokens);
@@ -124,14 +130,25 @@ pub fn analyze_source(src: &str, ctx: &FileContext) -> FileReport {
         if ctx.kind == FileKind::Lib && !STDOUT_CRATES.contains(&ctx.crate_name.as_str()) {
             check_stdout_in_lib(src, &toks, &live, &mut raw);
         }
-        if ctx.crate_name == "dime-serve" && ctx.file_stem == "poll" {
-            check_no_blocking_syscall(src, &toks, &live, &mut raw);
+        if matches!(ctx.crate_name.as_str(), "dime-store" | "dime-cluster") {
+            check_wal_tags(src, &toks, &live, &mut raw);
+        }
+        if ctx.crate_name == "dime-cluster" {
+            check_decode_before_append(src, &toks, &live, &mut raw);
         }
         if ctx.is_crate_root {
             check_forbid_unsafe(src, &toks, &mut raw);
         }
     }
+    raw
+}
 
+/// Reconciles raw findings (per-file and flow alike) against the file's
+/// suppression comments.
+pub(crate) fn reconcile_raw(src: &str, raw: Vec<Finding>) -> FileReport {
+    let tokens = lex(src);
+    let lines = LineMap::new(src);
+    let suppressions = parse_suppressions(src, &tokens, &lines);
     reconcile(raw, suppressions, &lines)
 }
 
@@ -367,57 +384,160 @@ fn check_forbid_unsafe(src: &str, toks: &[Token], out: &mut Vec<Finding>) {
     }
 }
 
-/// Call-shaped idents that block (or can block) the calling thread.
-/// Scoped to the poll-loop module: the admission thread owns every
-/// socket, so one blocking call stalls the whole service.
-const BLOCKING_CALLS: [&str; 14] = [
-    "accept",
-    "read",
-    "write",
-    "read_exact",
-    "read_to_end",
-    "read_to_string",
-    "write_all",
-    "flush",
-    "sleep",
-    "lock",
-    "join",
-    "recv",
-    "recv_timeout",
-    "send",
-];
-
-/// No blocking syscall wrappers inside the poll-loop module
-/// (`dime-serve/src/poll.rs`). Flags `name(` call shapes for every name
-/// in [`BLOCKING_CALLS`]; `fn name(` declarations (the extern syscall
-/// shim) are not calls. Non-blocking call sites — reads/writes against
-/// fds that are provably `O_NONBLOCK` — carry reasoned allows.
-fn check_no_blocking_syscall(
+/// `wal-tag-exhaustive`, encode side: every tag byte an `*encode*`
+/// function pushes must appear as a match arm in the paired `*decode*`
+/// function.
+///
+/// Tags are recognized as `push(N)` with a single-token argument — a
+/// number literal or a same-file `const NAME: u8 = N;` — inside any
+/// function whose name contains `encode`. Match arms are number or
+/// known-const tokens followed by `=>` inside functions whose name
+/// contains `decode`. The pair for `encode_record` is `decode_record`
+/// (name substitution); when no such function exists, the union of the
+/// file's decode arms stands in. Files with no decode function are out
+/// of scope — they construct frames someone else interprets.
+fn check_wal_tags(
     src: &str,
     toks: &[Token],
     live: &dyn Fn(&Token) -> bool,
     out: &mut Vec<Finding>,
 ) {
-    for (i, t) in toks.iter().enumerate() {
-        if !live(t) || t.kind != TokenKind::Ident {
+    // Same-file integer constants: `const NAME: <ty> = N ;`.
+    let mut consts: Vec<(&str, u64)> = Vec::new();
+    for i in 0..toks.len() {
+        if ident_at(src, toks, i) != Some("const") {
             continue;
         }
-        let name = t.text(src);
-        if !BLOCKING_CALLS.contains(&name) || !punct_at(src, toks, i + 1, "(") {
+        let Some(name) = ident_at(src, toks, i + 1) else { continue };
+        let mut j = i + 2;
+        while j < toks.len() && !punct_at(src, toks, j, "=") && !punct_at(src, toks, j, ";") {
+            j += 1;
+        }
+        if punct_at(src, toks, j, "=") {
+            if let Some(t) = toks.get(j + 1).filter(|t| t.kind == TokenKind::Number) {
+                if let Ok(v) = t.text(src).parse::<u64>() {
+                    consts.push((name, v));
+                }
+            }
+        }
+    }
+    let resolve = |i: usize| -> Option<u64> {
+        let t = toks.get(i)?;
+        match t.kind {
+            TokenKind::Number => t.text(src).parse().ok(),
+            TokenKind::Ident => {
+                let name = t.text(src);
+                consts.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+            }
+            _ => None,
+        }
+    };
+
+    let items = parse_items(src, toks);
+    let fns: Vec<(&str, (usize, usize))> = flatten(&items)
+        .into_iter()
+        .filter(|it| it.kind == ItemKind::Fn)
+        .filter_map(|it| it.body.map(|b| (it.name.as_str(), b)))
+        .collect();
+    let within = |body: (usize, usize)| {
+        (0..toks.len()).filter(move |&i| body.0 <= toks[i].start && toks[i].start < body.1)
+    };
+
+    // Decode side: values matched by `=>` arms, per decode function.
+    let mut decode_arms: Vec<(&str, Vec<u64>)> = Vec::new();
+    for &(name, body) in fns.iter().filter(|(n, _)| n.contains("decode")) {
+        let mut arms = Vec::new();
+        for i in within(body) {
+            if punct_at(src, toks, i + 1, "=") && punct_at(src, toks, i + 2, ">") {
+                if let Some(v) = resolve(i) {
+                    arms.push(v);
+                }
+            }
+        }
+        decode_arms.push((name, arms));
+    }
+    if decode_arms.is_empty() {
+        return;
+    }
+    let all_arms: Vec<u64> = decode_arms.iter().flat_map(|(_, a)| a.iter().copied()).collect();
+
+    // Encode side: `push(<tag>)` sites, checked against the paired arms.
+    for &(name, body) in fns.iter().filter(|(n, _)| n.contains("encode")) {
+        let paired = name.replace("encode", "decode");
+        let arms = decode_arms
+            .iter()
+            .find(|(n, _)| *n == paired)
+            .map(|(_, a)| a.as_slice())
+            .unwrap_or(&all_arms);
+        for i in within(body) {
+            if ident_at(src, toks, i) != Some("push")
+                || !punct_at(src, toks, i + 1, "(")
+                || !punct_at(src, toks, i + 3, ")")
+            {
+                continue;
+            }
+            let Some(v) = resolve(i + 2) else { continue };
+            let t = &toks[i + 2];
+            if live(t) && !arms.contains(&v) {
+                out.push(Finding {
+                    rule: RuleId::WalTagExhaustive,
+                    offset: t.start,
+                    message: format!(
+                        "tag `{}` (= {v}) constructed in `{name}` has no match arm in \
+                         `{}` — an encoder must never emit a frame its decoder rejects",
+                        t.text(src),
+                        if decode_arms.iter().any(|(n, _)| *n == paired) {
+                            paired.clone()
+                        } else {
+                            "any decode fn in this file".to_string()
+                        },
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `wal-tag-exhaustive`, replication side: the cluster follower must
+/// decode (validate) a streamed record before `append_raw`-ing its bytes
+/// into the local WAL — an unvalidated append poisons recovery.
+fn check_decode_before_append(
+    src: &str,
+    toks: &[Token],
+    live: &dyn Fn(&Token) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let bodies = fn_bodies(src, toks);
+    let decodes: Vec<usize> = (0..toks.len())
+        .filter(|&i| {
+            ident_at(src, toks, i).is_some_and(|n| n.starts_with("decode"))
+                && punct_at(src, toks, i + 1, "(")
+        })
+        .map(|i| toks[i].start)
+        .collect();
+    for i in 0..toks.len() {
+        if ident_at(src, toks, i) != Some("append_raw")
+            || !punct_at(src, toks, i + 1, "(")
+            || !live(&toks[i])
+        {
             continue;
         }
         if i > 0 && ident_at(src, toks, i - 1) == Some("fn") {
             continue;
         }
-        out.push(Finding {
-            rule: RuleId::NoBlockingSyscallInPollLoop,
-            offset: t.start,
-            message: format!(
-                "`{name}(` inside the poll-loop module — the admission thread owns every \
-                 socket and must never block; use the readiness API (or add a reasoned \
-                 allow naming the non-blocking fd)"
-            ),
-        });
+        let at = toks[i].start;
+        let validated = enclosing_fn(&bodies, at)
+            .is_some_and(|body| decodes.iter().any(|&d| body.start <= d && d < at));
+        if !validated {
+            out.push(Finding {
+                rule: RuleId::WalTagExhaustive,
+                offset: at,
+                message: "`append_raw(` with no earlier `decode*(` in this function — the \
+                          follower must validate a replicated record before appending its \
+                          raw bytes"
+                    .to_string(),
+            });
+        }
     }
 }
 
@@ -568,31 +688,46 @@ mod tests {
     }
 
     #[test]
-    fn blocking_syscalls_flagged_only_in_the_poll_module() {
-        // The extern shim *declaration* is not a call; the method call is.
-        let src = "extern \"C\" { fn read(fd: i32, buf: *mut u8, n: usize) -> isize; }\n\
-                   fn pump(s: &mut TcpStream, buf: &mut Vec<u8>) { s.read_to_end(buf); }";
-        let mut poll = ctx("dime-serve", FileKind::Lib);
-        poll.file_stem = "poll".into();
-        assert_eq!(
-            rules_of(&analyze_source(src, &poll)),
-            vec![RuleId::NoBlockingSyscallInPollLoop]
-        );
-        // Same source anywhere else — other dime-serve modules, other
-        // crates — is out of scope.
-        assert!(analyze_source(src, &ctx("dime-serve", FileKind::Lib)).findings.is_empty());
-        let mut other_crate = ctx("dime-core", FileKind::Lib);
-        other_crate.file_stem = "poll".into();
-        assert!(analyze_source(src, &other_crate).findings.is_empty());
+    fn unmatched_wal_tag_is_flagged() {
+        let src = "fn encode_op(out: &mut Vec<u8>) { out.push(1); out.push(7); }\n\
+                   fn decode_op(tag: u8) { match tag { 1 => {} _ => {} } }";
+        let report = analyze_source(src, &ctx("dime-store", FileKind::Lib));
+        let tags: Vec<&Finding> =
+            report.findings.iter().filter(|f| f.rule == RuleId::WalTagExhaustive).collect();
+        assert_eq!(tags.len(), 1, "{:?}", report.findings);
+        assert!(tags[0].message.contains("= 7"));
+        // Out of scope for crates without a WAL.
+        assert!(analyze_source(src, &ctx("dime-core", FileKind::Lib))
+            .findings
+            .iter()
+            .all(|f| f.rule != RuleId::WalTagExhaustive));
     }
 
     #[test]
-    fn poll_loop_nonblocking_helpers_do_not_fire() {
-        let src = "fn pump(r: &mut FrameReader<B>, tx: &SyncSender<u8>, rx: &Receiver<u8>) {\n\
-                   r.read_frame(); tx.try_send(1); rx.try_recv();\n}";
-        let mut poll = ctx("dime-serve", FileKind::Lib);
-        poll.file_stem = "poll".into();
-        assert!(analyze_source(src, &poll).findings.is_empty());
+    fn const_tags_resolve_and_match() {
+        let src = "const TAG_A: u8 = 1;\nconst TAG_B: u8 = 2;\n\
+                   fn encode(out: &mut Vec<u8>) { out.push(TAG_A); out.push(TAG_B); }\n\
+                   fn decode(tag: u8) { match tag { TAG_A => {} TAG_B => {} _ => {} } }";
+        assert!(analyze_source(src, &ctx("dime-cluster", FileKind::Lib)).findings.is_empty());
+    }
+
+    #[test]
+    fn encode_without_any_decoder_is_out_of_scope() {
+        let src = "fn encode_probe(out: &mut Vec<u8>) { out.push(9); }";
+        assert!(analyze_source(src, &ctx("dime-store", FileKind::Lib)).findings.is_empty());
+    }
+
+    #[test]
+    fn append_raw_requires_prior_decode() {
+        let bad = "fn ingest(w: &mut Wal, payload: &[u8]) { w.append_raw(payload); }";
+        let report = analyze_source(bad, &ctx("dime-cluster", FileKind::Lib));
+        assert_eq!(rules_of(&report), vec![RuleId::WalTagExhaustive]);
+        let good = "fn ingest(w: &mut Wal, payload: &[u8]) {\n\
+                    decode_record(payload);\n    w.append_raw(payload);\n}";
+        assert!(analyze_source(good, &ctx("dime-cluster", FileKind::Lib)).findings.is_empty());
+        // dime-store owns append_raw's definition; the discipline binds
+        // its cluster callers.
+        assert!(analyze_source(bad, &ctx("dime-store", FileKind::Lib)).findings.is_empty());
     }
 
     #[test]

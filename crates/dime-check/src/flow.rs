@@ -1,0 +1,336 @@
+//! Flow-aware rules: the call-graph closure of invariants the per-file
+//! rules used to check only locally.
+//!
+//! Three rules run here, all over one [`CallGraph`] build:
+//!
+//! * `blocking-reaches-poll-loop` — from every function in the poll-loop
+//!   module, no same-thread call chain may end in an unresolved blocking
+//!   leaf (`read`, `write`, `lock`, …). `spawn(…)` edges are skipped:
+//!   a spawned worker may block by design.
+//! * `panic-reaches-service` — from every `handle_*` protocol handler,
+//!   no chain (spawned threads included: a worker panic is still a
+//!   service failure) may hit a panic macro in a *non-service* crate.
+//!   Panic sources inside the service crates are already per-file
+//!   findings of `panic-in-service`; this rule closes the gap the
+//!   crate boundary used to hide.
+//! * `lock-order` — each function contributes its lock-acquisition
+//!   sequence as ordered pairs of lock classes; the union must stay
+//!   acyclic or no global acquisition order exists and a cross-thread
+//!   deadlock interleaving is constructible.
+//!
+//! Findings land at real byte offsets in real files, so the normal
+//! suppression grammar covers them: a reasoned
+//! `// dime-check: allow(blocking-reaches-poll-loop) — …` on the call
+//! line works exactly as it does for per-file rules.
+
+use crate::analyze::{Finding, SERVICE_CRATES};
+use crate::graph::CallGraph;
+use crate::rules::RuleId;
+use crate::FileSource;
+
+/// Call-shaped names that block (or can block) the calling thread when
+/// they do not resolve to a workspace function.
+pub(crate) const BLOCKING_CALLS: [&str; 14] = [
+    "accept",
+    "read",
+    "write",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write_all",
+    "flush",
+    "sleep",
+    "lock",
+    "join",
+    "recv",
+    "recv_timeout",
+    "send",
+];
+
+/// Runs every flow rule over `files`; findings are `(file index, finding)`
+/// pairs the caller merges into the per-file reports before reconciling
+/// suppressions.
+pub fn flow_findings(files: &[FileSource]) -> Vec<(usize, Finding)> {
+    let g = CallGraph::build(files);
+    let mut out = Vec::new();
+    blocking_reaches_poll_loop(files, &g, &mut out);
+    panic_reaches_service(files, &g, &mut out);
+    lock_order(files, &g, &mut out);
+    out
+}
+
+/// Functions defined in the dime-serve poll-loop module.
+fn poll_entries(files: &[FileSource], g: &CallGraph) -> Vec<usize> {
+    (0..g.fns.len())
+        .filter(|&i| {
+            let ctx = &files[g.fns[i].file].ctx;
+            ctx.crate_name == "dime-serve" && ctx.file_stem == "poll"
+        })
+        .collect()
+}
+
+fn blocking_reaches_poll_loop(
+    files: &[FileSource],
+    g: &CallGraph,
+    out: &mut Vec<(usize, Finding)>,
+) {
+    let entries = poll_entries(files, g);
+    if entries.is_empty() {
+        return;
+    }
+    let parent = g.reach(&entries, false);
+    for site in &g.sites {
+        if site.detached
+            || !site.targets.is_empty()
+            || parent[site.caller].is_none()
+            || !BLOCKING_CALLS.contains(&site.name.as_str())
+        {
+            continue;
+        }
+        let node = &g.fns[site.caller];
+        let context = if entries.contains(&site.caller) {
+            format!("inside poll-loop fn `{}`", node.name)
+        } else {
+            format!("reachable from the poll loop via {}", g.chain(&parent, site.caller))
+        };
+        out.push((
+            node.file,
+            Finding {
+                rule: RuleId::BlockingReachesPollLoop,
+                offset: site.offset,
+                message: format!(
+                    "`{}(` {context} — the admission thread owns every socket and must \
+                     never block; use the readiness API (or add a reasoned allow naming \
+                     the non-blocking fd)",
+                    site.name
+                ),
+            },
+        ));
+    }
+}
+
+fn panic_reaches_service(files: &[FileSource], g: &CallGraph, out: &mut Vec<(usize, Finding)>) {
+    let entries: Vec<usize> = (0..g.fns.len())
+        .filter(|&i| {
+            g.fns[i].name.starts_with("handle_")
+                && SERVICE_CRATES.contains(&files[g.fns[i].file].ctx.crate_name.as_str())
+        })
+        .collect();
+    if entries.is_empty() {
+        return;
+    }
+    // A panic on a spawned worker still kills service work: follow
+    // detached edges.
+    let parent = g.reach(&entries, true);
+    for m in &g.macros {
+        if parent[m.caller].is_none() {
+            continue;
+        }
+        let node = &g.fns[m.caller];
+        if SERVICE_CRATES.contains(&files[node.file].ctx.crate_name.as_str()) {
+            continue; // panic-in-service already governs these sites
+        }
+        out.push((
+            node.file,
+            Finding {
+                rule: RuleId::PanicReachesService,
+                offset: m.offset,
+                message: format!(
+                    "`{}!` is reachable from a protocol handler via {} — a library panic \
+                     becomes a service failure; return an error across this chain (or add \
+                     a reasoned allow stating why the input cannot occur)",
+                    m.name,
+                    g.chain(&parent, m.caller)
+                ),
+            },
+        ));
+    }
+}
+
+/// One directed lock-order edge `from → to` with its first witness site.
+struct LockEdge {
+    from: usize,
+    to: usize,
+    /// (file, offset of the second acquisition, function name).
+    witness: (usize, usize, String),
+}
+
+fn lock_order(files: &[FileSource], g: &CallGraph, out: &mut Vec<(usize, Finding)>) {
+    let _ = files;
+    // Class universe, in first-seen order for determinism.
+    let mut classes: Vec<String> = Vec::new();
+    let class_of =
+        |name: &str, classes: &mut Vec<String>| match classes.iter().position(|c| c == name) {
+            Some(i) => i,
+            None => {
+                classes.push(name.to_string());
+                classes.len() - 1
+            }
+        };
+    // Per-function acquisition sequences → ordered pairs.
+    let mut edges: Vec<LockEdge> = Vec::new();
+    for caller in 0..g.fns.len() {
+        let mut seq: Vec<(usize, usize)> = g
+            .locks
+            .iter()
+            .filter(|l| l.caller == caller)
+            .map(|l| (l.offset, class_of(&l.class, &mut classes)))
+            .collect();
+        seq.sort_unstable();
+        for (i, &(_, a)) in seq.iter().enumerate() {
+            for &(off_b, b) in &seq[i + 1..] {
+                if a == b {
+                    continue;
+                }
+                if !edges.iter().any(|e| e.from == a && e.to == b) {
+                    edges.push(LockEdge {
+                        from: a,
+                        to: b,
+                        witness: (g.fns[caller].file, off_b, g.fns[caller].name.clone()),
+                    });
+                }
+            }
+        }
+    }
+    // Mutual reachability = one strongly connected component: any SCC
+    // with two classes defeats every global order. The class graphs here
+    // are tiny, so quadratic reachability is fine.
+    let n = classes.len();
+    let mut reach = vec![vec![false; n]; n];
+    for e in &edges {
+        reach[e.from][e.to] = true;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if reach[i][k] {
+                for j in 0..n {
+                    if reach[k][j] {
+                        reach[i][j] = true;
+                    }
+                }
+            }
+        }
+    }
+    let mut seen_scc: Vec<Vec<usize>> = Vec::new();
+    for a in 0..n {
+        let scc: Vec<usize> =
+            (0..n).filter(|&b| (a == b) || (reach[a][b] && reach[b][a])).collect();
+        if scc.len() < 2 || seen_scc.contains(&scc) {
+            continue;
+        }
+        seen_scc.push(scc.clone());
+        // The finding lands on the earliest witness of any in-cycle edge.
+        let Some(e) = edges
+            .iter()
+            .filter(|e| scc.contains(&e.from) && scc.contains(&e.to))
+            .min_by_key(|e| (e.witness.0, e.witness.1))
+        else {
+            continue;
+        };
+        let cycle: Vec<&str> = scc.iter().map(|&c| classes[c].as_str()).collect();
+        out.push((
+            e.witness.0,
+            Finding {
+                rule: RuleId::LockOrder,
+                offset: e.witness.1,
+                message: format!(
+                    "lock classes {{{}}} are acquired in conflicting orders across \
+                     functions (here `{}` after `{}` in `{}`) — no global acquisition \
+                     order exists; fix the order (or add a reasoned allow proving the \
+                     guards never overlap)",
+                    cycle.join(", "),
+                    classes[e.to],
+                    classes[e.from],
+                    e.witness.2
+                ),
+            },
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{FileContext, FileKind};
+
+    fn file(crate_name: &str, stem: &str, src: &str) -> FileSource {
+        FileSource {
+            rel: format!("crates/{crate_name}/src/{stem}.rs"),
+            src: src.to_string(),
+            ctx: FileContext {
+                crate_name: crate_name.to_string(),
+                kind: FileKind::Lib,
+                is_crate_root: false,
+                file_stem: stem.to_string(),
+            },
+        }
+    }
+
+    fn rules_of(findings: &[(usize, Finding)]) -> Vec<RuleId> {
+        findings.iter().map(|(_, f)| f.rule).collect()
+    }
+
+    #[test]
+    fn transitive_blocking_call_is_found() {
+        let files = [
+            file("dime-serve", "poll", "fn poll_once() { drain(); }"),
+            file("dime-serve", "util", "fn drain() { stream.read_exact(&mut buf); }"),
+        ];
+        let got = flow_findings(&files);
+        assert_eq!(rules_of(&got), vec![RuleId::BlockingReachesPollLoop]);
+        assert_eq!(got[0].0, 1, "the finding lands in the callee's file");
+        assert!(got[0].1.message.contains("poll_once → drain"));
+    }
+
+    #[test]
+    fn spawned_work_may_block() {
+        let files = [
+            file("dime-serve", "poll", "fn poll_once() { spawn(move || { worker(); }); }"),
+            file("dime-serve", "util", "fn worker() { stream.read_exact(&mut buf); }"),
+        ];
+        assert!(flow_findings(&files).is_empty());
+    }
+
+    #[test]
+    fn resolved_workspace_calls_are_traversed_not_flagged() {
+        let files = [
+            file("dime-serve", "poll", "fn poll_once() { flush(); }"),
+            file("dime-serve", "util", "fn flush() { fsync_counter += 1; }"),
+        ];
+        assert!(flow_findings(&files).is_empty(), "a workspace `flush` is not a syscall");
+    }
+
+    #[test]
+    fn panic_in_a_helper_crate_reaches_the_handler() {
+        let files = [
+            file("dime-serve", "server", "fn handle_request() { dime_core_helper(); }"),
+            file("dime-core", "util", "fn dime_core_helper() { panic!(\"boom\"); }"),
+        ];
+        let got = flow_findings(&files);
+        assert_eq!(rules_of(&got), vec![RuleId::PanicReachesService]);
+        assert!(got[0].1.message.contains("handle_request → dime_core_helper"));
+    }
+
+    #[test]
+    fn service_crate_panics_are_left_to_the_per_file_rule() {
+        let files = [file("dime-serve", "server", "fn handle_request() { panic!(\"local\"); }")];
+        assert!(flow_findings(&files).is_empty());
+    }
+
+    #[test]
+    fn conflicting_lock_orders_are_a_cycle() {
+        let src = "fn ab(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }\n\
+                   fn ba(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); }";
+        let got = flow_findings(&[file("dime-x", "m", src)]);
+        assert_eq!(rules_of(&got), vec![RuleId::LockOrder]);
+        assert!(got[0].1.message.contains("alpha"));
+        assert!(got[0].1.message.contains("beta"));
+    }
+
+    #[test]
+    fn consistent_lock_orders_are_clean() {
+        let src = "fn ab(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }\n\
+                   fn ab2(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }";
+        assert!(flow_findings(&[file("dime-x", "m", src)]).is_empty());
+    }
+}

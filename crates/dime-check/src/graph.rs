@@ -1,0 +1,429 @@
+//! The workspace call graph: every production `fn` as a node, every
+//! call-shaped token sequence as a site, resolved to workspace functions
+//! where the name identifies one.
+//!
+//! Resolution is deliberately over-approximate — this is a linker's view,
+//! not a type checker's. A call site names a function; candidates are
+//! same-file functions first, then same-crate, then a globally unique
+//! match; anything else stays unresolved (empty `targets`). Flow rules
+//! ([`crate::flow`]) treat unresolved names as leaves: a leaf named
+//! `read` is a potential syscall, a resolved `read` is traversed instead
+//! of trusted. False edges cost a reasoned allow; missing edges would
+//! cost an invariant, so the graph errs toward edges.
+//!
+//! Besides calls, the builder records the other token shapes flow rules
+//! consume — panic-macro invocations and lock acquisitions — so each rule
+//! is a walk over prebuilt vectors, not a re-scan of the workspace.
+
+use crate::analyze::PANIC_MACROS;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::parse::{flatten, parse_items, ItemKind};
+use crate::scope::{is, matching_close, significant, test_regions};
+use crate::FileSource;
+
+/// One production function definition.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Index into the [`FileSource`] slice the graph was built from.
+    pub file: usize,
+    pub name: String,
+    /// The `{ … }` body span, braces included.
+    pub body: (usize, usize),
+    /// Whether the first parameter is `self` — a method. Free call sites
+    /// never resolve to methods and method sites never to free functions,
+    /// which keeps e.g. the poll loop's libc `close(fd)` from resolving
+    /// to an unrelated `fn close(&mut self)` elsewhere in the crate.
+    pub is_method: bool,
+}
+
+/// One call-shaped site (`name(` or `.name(`) inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Index of the enclosing [`FnNode`].
+    pub caller: usize,
+    pub name: String,
+    /// Byte offset of the name token, in the caller's file.
+    pub offset: usize,
+    /// Whether the site is a method call (`.name(`).
+    pub method: bool,
+    /// Whether the site sits inside a `spawn(…)` argument: it runs on a
+    /// different thread than its lexical caller.
+    pub detached: bool,
+    /// Resolved workspace callees; empty = external/unresolved leaf.
+    pub targets: Vec<usize>,
+}
+
+/// One panic-macro invocation (`panic!`, `unreachable!`, …).
+#[derive(Debug, Clone)]
+pub struct MacroSite {
+    pub caller: usize,
+    pub name: String,
+    pub offset: usize,
+}
+
+/// One lock acquisition: a free `lock(…)` call or a `.lock()` method.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    pub caller: usize,
+    /// The lock class, namespaced `{crate}:{field-or-binding}` — the last
+    /// path segment of what is being locked, which is how DESIGN.md names
+    /// the workspace's lock classes (sessions, inner, addr, follower, …).
+    pub class: String,
+    pub offset: usize,
+}
+
+/// The whole-workspace graph plus the site vectors flow rules consume.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub fns: Vec<FnNode>,
+    pub sites: Vec<CallSite>,
+    pub macros: Vec<MacroSite>,
+    pub locks: Vec<LockSite>,
+}
+
+/// Keywords that look like `name(` but are control flow, not calls.
+const CONTROL_KEYWORDS: [&str; 8] = ["if", "while", "for", "match", "return", "loop", "in", "fn"];
+
+impl CallGraph {
+    /// Builds the graph over every production file in `files`. Test
+    /// regions contribute neither nodes nor sites.
+    pub fn build(files: &[FileSource]) -> CallGraph {
+        let mut g = CallGraph::default();
+        // Pass 1: function nodes, so resolution can see the whole
+        // workspace before any site is attributed.
+        let mut per_file: Vec<Vec<Token>> = Vec::with_capacity(files.len());
+        for (fi, f) in files.iter().enumerate() {
+            if !f.ctx.kind.is_production() {
+                per_file.push(Vec::new());
+                continue;
+            }
+            let tokens = lex(&f.src);
+            let regions = test_regions(&f.src, &tokens);
+            let toks = significant(&tokens);
+            let items = parse_items(&f.src, &toks);
+            for item in flatten(&items) {
+                if item.kind == ItemKind::Fn && !regions.contains(item.start) {
+                    if let Some(body) = item.body {
+                        let is_method = first_param_is_self(&f.src, &toks, item.start, body.0);
+                        g.fns.push(FnNode { file: fi, name: item.name.clone(), body, is_method });
+                    }
+                }
+            }
+            per_file.push(toks);
+        }
+        // Pass 2: sites, attributed to the innermost enclosing function.
+        for (fi, f) in files.iter().enumerate() {
+            if !f.ctx.kind.is_production() {
+                continue;
+            }
+            g.scan_file(fi, f, &per_file[fi]);
+        }
+        g.resolve(files);
+        g
+    }
+
+    /// The innermost function of `file` whose body contains `offset`.
+    fn enclosing(&self, file: usize, offset: usize) -> Option<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.file == file && n.body.0 <= offset && offset < n.body.1)
+            .max_by_key(|(_, n)| n.body.0)
+            .map(|(i, _)| i)
+    }
+
+    fn scan_file(&mut self, fi: usize, f: &FileSource, toks: &[Token]) {
+        let src = &f.src;
+        let regions = test_regions(src, &lex(src));
+        // Spawn argument spans: code inside runs on another thread.
+        let mut spawn_spans: Vec<(usize, usize)> = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind == TokenKind::Ident
+                && t.text(src) == "spawn"
+                && toks.get(i + 1).is_some_and(|n| is(n, src, TokenKind::Punct, "("))
+            {
+                let close = matching_close(toks, src, i + 1);
+                let end =
+                    close.checked_sub(1).and_then(|c| toks.get(c)).map_or(src.len(), |t| t.end);
+                spawn_spans.push((toks[i + 1].start, end));
+            }
+        }
+        let detached = |offset: usize| spawn_spans.iter().any(|&(s, e)| s < offset && offset < e);
+
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident || regions.contains(t.start) {
+                continue;
+            }
+            let name = t.text(src);
+            let Some(caller) = self.enclosing(fi, t.start) else { continue };
+            if PANIC_MACROS.contains(&name)
+                && toks.get(i + 1).is_some_and(|n| is(n, src, TokenKind::Punct, "!"))
+            {
+                self.macros.push(MacroSite { caller, name: name.to_string(), offset: t.start });
+                continue;
+            }
+            if !toks.get(i + 1).is_some_and(|n| is(n, src, TokenKind::Punct, "(")) {
+                continue;
+            }
+            if CONTROL_KEYWORDS.contains(&name) {
+                continue;
+            }
+            let prev = i.checked_sub(1).map(|p| &toks[p]);
+            if prev.is_some_and(|p| is(p, src, TokenKind::Ident, "fn")) {
+                continue; // definition, not a call
+            }
+            let method = prev.is_some_and(|p| is(p, src, TokenKind::Punct, "."));
+            if name == "lock" {
+                if let Some(class) = lock_class(src, toks, i, method) {
+                    self.locks.push(LockSite {
+                        caller,
+                        class: format!("{}:{}", f.ctx.crate_name, class),
+                        offset: t.start,
+                    });
+                }
+            }
+            self.sites.push(CallSite {
+                caller,
+                name: name.to_string(),
+                offset: t.start,
+                method,
+                detached: detached(t.start),
+                targets: Vec::new(),
+            });
+        }
+    }
+
+    /// Resolves every site: same file, else same crate, else a globally
+    /// unique name; otherwise the site stays a leaf. A tier only claims
+    /// a site when it holds a call-form-compatible candidate (method
+    /// sites resolve to methods, free sites to free functions).
+    fn resolve(&mut self, files: &[FileSource]) {
+        use std::collections::HashMap;
+        let mut by_file: HashMap<(usize, &str), Vec<usize>> = HashMap::new();
+        let mut by_crate: HashMap<(&str, &str), Vec<usize>> = HashMap::new();
+        let mut global: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, n) in self.fns.iter().enumerate() {
+            by_file.entry((n.file, &n.name)).or_default().push(i);
+            by_crate.entry((files[n.file].ctx.crate_name.as_str(), &n.name)).or_default().push(i);
+            global.entry(&n.name).or_default().push(i);
+        }
+        let fns = &self.fns;
+        for site in &mut self.sites {
+            let compatible = |c: &Vec<usize>| -> Vec<usize> {
+                c.iter().copied().filter(|&i| fns[i].is_method == site.method).collect()
+            };
+            let file = fns[site.caller].file;
+            let krate = files[file].ctx.crate_name.as_str();
+            let local = by_file.get(&(file, site.name.as_str())).map(&compatible);
+            let crate_wide = by_crate.get(&(krate, site.name.as_str())).map(&compatible);
+            let world = global.get(site.name.as_str()).map(&compatible);
+            site.targets = match (local, crate_wide, world) {
+                (Some(c), _, _) if !c.is_empty() => c,
+                (_, Some(c), _) if !c.is_empty() => c,
+                (_, _, Some(c)) if c.len() == 1 => c,
+                _ => Vec::new(),
+            };
+            // A self-edge never extends reachability, and keeping it
+            // would let a delegation wrapper (`impl Read for ArcRead {
+            // fn read(…) { inner.read(…) } }`) swallow its own blocking
+            // leaf by "resolving" the inner call to itself.
+            site.targets.retain(|&t| t != site.caller);
+        }
+    }
+
+    /// Breadth-first reachability from `entries` over call edges. Returns
+    /// `parent[fn] = predecessor` for reached functions (`parent[entry] =
+    /// entry`); `None` elsewhere. `follow_detached` controls whether
+    /// `spawn(…)`-argument edges are traversed.
+    pub fn reach(&self, entries: &[usize], follow_detached: bool) -> Vec<Option<usize>> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.fns.len()];
+        let mut queue: std::collections::VecDeque<usize> = entries.iter().copied().collect();
+        for &e in entries {
+            parent[e] = Some(e);
+        }
+        while let Some(at) = queue.pop_front() {
+            for site in self.sites.iter().filter(|s| s.caller == at) {
+                if site.detached && !follow_detached {
+                    continue;
+                }
+                for &t in &site.targets {
+                    if parent[t].is_none() {
+                        parent[t] = Some(at);
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        parent
+    }
+
+    /// Renders the entry-to-`at` call chain the BFS recorded, as
+    /// `entry → … → at` function names.
+    pub fn chain(&self, parent: &[Option<usize>], mut at: usize) -> String {
+        let mut names = vec![self.fns[at].name.clone()];
+        while let Some(p) = parent[at] {
+            if p == at {
+                break;
+            }
+            names.push(self.fns[p].name.clone());
+            at = p;
+        }
+        names.reverse();
+        names.join(" → ")
+    }
+}
+
+/// Whether the parameter list between `lo` and `hi` (an item's header
+/// span) starts with a `self` receiver. Token-level: finds the first
+/// `(` and looks for `self` before the first top-level `,`.
+fn first_param_is_self(src: &str, toks: &[Token], lo: usize, hi: usize) -> bool {
+    let Some(open) = toks
+        .iter()
+        .position(|t| t.start >= lo && t.start < hi && is(t, src, TokenKind::Punct, "("))
+    else {
+        return false;
+    };
+    let close = matching_close(toks, src, open);
+    for t in &toks[open + 1..close.saturating_sub(1).max(open + 1)] {
+        if is(t, src, TokenKind::Punct, ",") {
+            break;
+        }
+        if is(t, src, TokenKind::Ident, "self") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Extracts the lock class from a `lock` site: the last identifier of
+/// what is being locked.
+///
+/// * free call `lock(&self.pool.inner)` → `inner`; nested calls or
+///   indexing truncate first (`lock(&self.shard(id))` → `shard`);
+/// * method `self.sessions.lock()` → `sessions`; a `)`/`]` receiver is
+///   back-matched (`self.shards[i].lock()` → `shards`).
+fn lock_class(src: &str, toks: &[Token], at: usize, method: bool) -> Option<String> {
+    if method {
+        // Receiver: walk back from the `.` at `at - 1`.
+        let mut j = at.checked_sub(2)?;
+        if is(&toks[j], src, TokenKind::Punct, ")") || is(&toks[j], src, TokenKind::Punct, "]") {
+            let close = toks[j].text(src);
+            let open = if close == ")" { "(" } else { "[" };
+            let mut depth = 0usize;
+            loop {
+                let t = &toks[j];
+                if is(t, src, TokenKind::Punct, close) {
+                    depth += 1;
+                } else if is(t, src, TokenKind::Punct, open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j = j.checked_sub(1)?;
+            }
+            j = j.checked_sub(1)?;
+        }
+        return toks.get(j).filter(|t| t.kind == TokenKind::Ident).map(|t| t.text(src).to_string());
+    }
+    // Free call: last identifier inside the parens, truncated at the
+    // first nested group.
+    let close = matching_close(toks, src, at + 1);
+    let mut last = None;
+    for t in toks.get(at + 2..close.saturating_sub(1))? {
+        if t.kind == TokenKind::Punct && matches!(t.text(src), "(" | "[") {
+            break;
+        }
+        if t.kind == TokenKind::Ident && t.text(src) != "self" {
+            last = Some(t.text(src).to_string());
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{FileContext, FileKind};
+
+    fn file(crate_name: &str, stem: &str, src: &str) -> FileSource {
+        FileSource {
+            rel: format!("crates/{crate_name}/src/{stem}.rs"),
+            src: src.to_string(),
+            ctx: FileContext {
+                crate_name: crate_name.to_string(),
+                kind: FileKind::Lib,
+                is_crate_root: false,
+                file_stem: stem.to_string(),
+            },
+        }
+    }
+
+    fn idx(g: &CallGraph, name: &str) -> usize {
+        g.fns.iter().position(|n| n.name == name).unwrap()
+    }
+
+    #[test]
+    fn same_file_calls_resolve() {
+        let g = CallGraph::build(&[file("a", "m", "fn f() { g(); }\nfn g() {}")]);
+        let site = g.sites.iter().find(|s| s.name == "g").unwrap();
+        assert_eq!(site.targets, vec![idx(&g, "g")]);
+    }
+
+    #[test]
+    fn cross_crate_calls_resolve_when_globally_unique() {
+        let files = [file("a", "m", "fn f() { helper(); }"), file("b", "n", "fn helper() {}")];
+        let g = CallGraph::build(&files);
+        let site = g.sites.iter().find(|s| s.name == "helper").unwrap();
+        assert_eq!(site.targets, vec![idx(&g, "helper")]);
+    }
+
+    #[test]
+    fn ambiguous_cross_crate_names_stay_leaves() {
+        let files = [
+            file("a", "m", "fn f() { helper(); }"),
+            file("b", "n", "fn helper() {}"),
+            file("c", "o", "fn helper() {}"),
+        ];
+        let g = CallGraph::build(&files);
+        let site = g.sites.iter().find(|s| s.name == "helper" && !s.targets.is_empty());
+        assert!(site.is_none(), "two candidates in other crates must not resolve");
+    }
+
+    #[test]
+    fn spawn_arguments_are_detached() {
+        let src = "fn f() { spawn(move || { work(); }); after(); }\nfn work() {}\nfn after() {}";
+        let g = CallGraph::build(&[file("a", "m", src)]);
+        assert!(g.sites.iter().find(|s| s.name == "work").unwrap().detached);
+        assert!(!g.sites.iter().find(|s| s.name == "after").unwrap().detached);
+    }
+
+    #[test]
+    fn test_regions_contribute_nothing() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests { fn t() { f(); } }";
+        let g = CallGraph::build(&[file("a", "m", src)]);
+        assert_eq!(g.fns.len(), 1);
+        assert!(g.sites.is_empty());
+    }
+
+    #[test]
+    fn reachability_and_chains() {
+        let src = "fn entry() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\nfn other() {}";
+        let g = CallGraph::build(&[file("a", "m", src)]);
+        let parent = g.reach(&[idx(&g, "entry")], false);
+        assert!(parent[idx(&g, "leaf")].is_some());
+        assert!(parent[idx(&g, "other")].is_none());
+        assert_eq!(g.chain(&parent, idx(&g, "leaf")), "entry → mid → leaf");
+    }
+
+    #[test]
+    fn lock_classes_from_free_and_method_forms() {
+        let src = "fn f(&self) {\n    let a = lock(&self.pool.inner);\n    let b = self.sessions.lock();\n    let c = self.shards[0].lock();\n    let d = lock(&self.shard(7));\n}";
+        let g = CallGraph::build(&[file("dime-x", "m", src)]);
+        let classes: Vec<&str> = g.locks.iter().map(|l| l.class.as_str()).collect();
+        assert_eq!(
+            classes,
+            vec!["dime-x:inner", "dime-x:sessions", "dime-x:shards", "dime-x:shard"]
+        );
+    }
+}

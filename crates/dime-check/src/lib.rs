@@ -30,7 +30,10 @@
 #![forbid(unsafe_code)]
 
 pub mod analyze;
+pub mod flow;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
 pub mod scope;
@@ -38,6 +41,8 @@ pub mod suppress;
 pub mod workspace;
 
 pub use analyze::{analyze_source, FileContext, FileKind, FileReport, Finding};
+pub use graph::CallGraph;
+pub use parse::{parse_items, Item, ItemKind};
 pub use report::RunReport;
 pub use rules::{RuleId, ALL_RULES};
 pub use suppress::Suppression;
@@ -45,12 +50,40 @@ pub use workspace::{infer_context, workspace_files, SourceFile};
 
 use std::path::{Path, PathBuf};
 
+/// One source file held in memory: what [`analyze_files`] — and the
+/// call-graph layer under it — consumes.
+#[derive(Debug, Clone)]
+pub struct FileSource {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    pub src: String,
+    pub ctx: FileContext,
+}
+
+/// Analyzes a set of files together: every per-file rule, plus the
+/// flow-aware rules that need the whole set's call graph. Returns one
+/// report per input file, in order. Flow findings reconcile against
+/// suppression comments exactly like per-file findings.
+pub fn analyze_files(files: &[FileSource]) -> Vec<FileReport> {
+    let mut raws: Vec<Vec<Finding>> =
+        files.iter().map(|f| analyze::raw_findings(&f.src, &f.ctx)).collect();
+    for (idx, finding) in flow::flow_findings(files) {
+        raws[idx].push(finding);
+    }
+    files.iter().zip(raws).map(|(f, raw)| analyze::reconcile_raw(&f.src, raw)).collect()
+}
+
 /// Analyzes every source file of the workspace at `root`.
 pub fn run_workspace(root: &Path) -> std::io::Result<RunReport> {
-    let mut run = RunReport::default();
+    let mut files = Vec::new();
     for file in workspace_files(root)? {
         let src = std::fs::read_to_string(&file.path)?;
-        run.push(file.rel, &src, analyze_source(&src, &file.ctx));
+        files.push(FileSource { rel: file.rel, src, ctx: file.ctx });
+    }
+    let reports = analyze_files(&files);
+    let mut run = RunReport::default();
+    for (file, report) in files.into_iter().zip(reports) {
+        run.push(file.rel, &file.src, report);
     }
     Ok(run)
 }

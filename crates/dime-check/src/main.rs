@@ -3,7 +3,7 @@
 //! ```text
 //! dime-check --workspace [--root DIR] [--json]
 //! dime-check [--json] FILE...
-//! dime-check --list-rules
+//! dime-check --list-rules [--json]
 //! ```
 //!
 //! Exit status: 0 when the analyzed set is clean, 1 when any unsuppressed
@@ -29,7 +29,7 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: dime-check (--workspace [--root DIR] | FILE...) [--json]\n       dime-check --list-rules\n"
+    "usage: dime-check (--workspace [--root DIR] | FILE...) [--json]\n       dime-check --list-rules [--json]\n"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -75,8 +75,27 @@ fn main() -> ExitCode {
     };
 
     if opts.list_rules {
-        for rule in ALL_RULES {
-            println!("{:<26} {}", rule.name(), rule.describe());
+        if opts.json {
+            // Machine-readable catalog: tooling (CI doc-drift checks,
+            // editor integrations) keys off `id`; `flow` marks rules
+            // that only run under `--workspace`.
+            let rules: Vec<String> = ALL_RULES
+                .iter()
+                .map(|rule| {
+                    format!(
+                        "{{\"id\":\"{}\",\"description\":\"{}\",\"hygiene\":{},\"flow\":{}}}",
+                        rule.name(),
+                        rule.describe().replace('"', "\\\""),
+                        rule.is_hygiene(),
+                        rule.is_flow()
+                    )
+                })
+                .collect();
+            println!("{{\"rules\":[{}]}}", rules.join(","));
+        } else {
+            for rule in ALL_RULES {
+                println!("{:<26} {}", rule.name(), rule.describe());
+            }
         }
         return ExitCode::SUCCESS;
     }

@@ -1,0 +1,394 @@
+//! A lightweight item-level parser on top of the total lexer: modules,
+//! functions, and impl blocks with byte spans.
+//!
+//! This is the structural layer the workspace call graph ([`crate::graph`])
+//! and the flow-aware rules ([`crate::flow`]) stand on. It is *not* a Rust
+//! parser — it recognizes exactly three item shapes by keyword and brace
+//! matching, and it inherits the lexer's totality: on any input, well-formed
+//! or garbage, [`parse_items`] never panics, and the items it returns obey
+//! the span discipline the property test in `tests/parse_prop.rs` pins:
+//!
+//! * within one nesting level, item spans are sorted and non-overlapping
+//!   (they tile the stretch of file they cover);
+//! * a child item's span lies strictly inside its parent's body span;
+//! * a braced item's span ends exactly at its body's closing `}`.
+//!
+//! Nesting deeper than [`MAX_DEPTH`] is recorded but not descended into —
+//! adversarial brace soup must not overflow the stack.
+
+use crate::lexer::{Token, TokenKind};
+use crate::scope::{is, matching_close, significant};
+
+/// The three item shapes the parser recognizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `mod name { … }` or `mod name;`.
+    Mod,
+    /// `fn name(…) { … }` or a body-less declaration (trait method,
+    /// extern shim). `fn` in type position has no name and is not an item.
+    Fn,
+    /// `impl Type { … }` / `impl Trait for Type { … }`; the name is the
+    /// best-effort self-type name.
+    Impl,
+}
+
+/// One parsed item: kind, name, byte span, body span, and nested items.
+#[derive(Debug, Clone)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// The item's name (`fn` and `mod`: the declared identifier; `impl`:
+    /// the last self-type path segment before the body).
+    pub name: String,
+    /// Byte offset of the item keyword token.
+    pub start: usize,
+    /// Byte offset one past the item (its closing `}` or `;`).
+    pub end: usize,
+    /// The `{ … }` span, braces included; `None` for body-less items.
+    pub body: Option<(usize, usize)>,
+    /// Items nested inside the body (fns in mods, methods in impls,
+    /// fns declared inside fn bodies).
+    pub children: Vec<Item>,
+}
+
+/// Recursion ceiling: items nested deeper are recorded with empty
+/// `children` instead of overflowing the stack on adversarial input.
+pub const MAX_DEPTH: usize = 64;
+
+/// Parses the file into a forest of items. Total: never panics, and the
+/// returned spans tile (see the module docs for the exact invariants).
+pub fn parse_items(src: &str, tokens: &[Token]) -> Vec<Item> {
+    let toks = significant(tokens);
+    let mut out = Vec::new();
+    parse_range(src, &toks, 0, toks.len(), 0, &mut out);
+    out
+}
+
+/// Depth-first preorder walk over an item forest.
+pub fn flatten(items: &[Item]) -> Vec<&Item> {
+    let mut out = Vec::new();
+    let mut stack: Vec<&Item> = items.iter().rev().collect();
+    while let Some(item) = stack.pop() {
+        out.push(item);
+        stack.extend(item.children.iter().rev());
+    }
+    out
+}
+
+fn parse_range(src: &str, toks: &[Token], lo: usize, hi: usize, depth: usize, out: &mut Vec<Item>) {
+    let mut i = lo;
+    while i < hi {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let next = match t.text(src) {
+            "mod" => parse_mod(src, toks, i, hi, depth, out),
+            "fn" => parse_fn(src, toks, i, hi, depth, out),
+            "impl" => parse_impl(src, toks, i, hi, depth, out),
+            _ => None,
+        };
+        match next {
+            // Defensive: a malformed item must still advance the cursor.
+            Some(n) => i = n.max(i + 1),
+            None => i += 1,
+        }
+    }
+}
+
+/// Byte offset one past token `i - 1` (the last token consumed), clamped
+/// to the source length for out-of-range indices.
+fn end_of(src: &str, toks: &[Token], past: usize) -> usize {
+    past.checked_sub(1).and_then(|i| toks.get(i)).map_or(src.len(), |t| t.end)
+}
+
+/// Parses the body at `open` (holding `{`): returns the consumed extent,
+/// the body span, and the children parsed inside it.
+fn parse_body(
+    src: &str,
+    toks: &[Token],
+    open: usize,
+    hi: usize,
+    depth: usize,
+) -> (usize, (usize, usize), Vec<Item>) {
+    let close = matching_close(toks, src, open).min(hi.max(open + 1));
+    let body_end = end_of(src, toks, close);
+    let mut children = Vec::new();
+    if depth < MAX_DEPTH {
+        parse_range(src, toks, open + 1, close.saturating_sub(1), depth + 1, &mut children);
+    }
+    (close, (toks[open].start, body_end), children)
+}
+
+/// `mod name { … }` / `mod name;`. Returns the index past the item.
+fn parse_mod(
+    src: &str,
+    toks: &[Token],
+    at: usize,
+    hi: usize,
+    depth: usize,
+    out: &mut Vec<Item>,
+) -> Option<usize> {
+    let name = toks.get(at + 1).filter(|t| t.kind == TokenKind::Ident)?.text(src).to_string();
+    let after = toks.get(at + 2).filter(|_| at + 2 < hi)?;
+    if is(after, src, TokenKind::Punct, "{") {
+        let (close, body, children) = parse_body(src, toks, at + 2, hi, depth);
+        out.push(Item {
+            kind: ItemKind::Mod,
+            name,
+            start: toks[at].start,
+            end: body.1,
+            body: Some(body),
+            children,
+        });
+        Some(close)
+    } else if is(after, src, TokenKind::Punct, ";") {
+        out.push(Item {
+            kind: ItemKind::Mod,
+            name,
+            start: toks[at].start,
+            end: after.end,
+            body: None,
+            children: Vec::new(),
+        });
+        Some(at + 3)
+    } else {
+        None
+    }
+}
+
+/// `fn name … { … }` / `fn name …;`. Skips `(…)`/`[…]` groups while
+/// hunting for the body so parameter defaults cannot fake one; `fn` in
+/// type position has no trailing identifier and returns `None`.
+fn parse_fn(
+    src: &str,
+    toks: &[Token],
+    at: usize,
+    hi: usize,
+    depth: usize,
+    out: &mut Vec<Item>,
+) -> Option<usize> {
+    let name = toks.get(at + 1).filter(|t| t.kind == TokenKind::Ident)?.text(src).to_string();
+    let mut j = at + 2;
+    let mut open = None;
+    while j < hi {
+        let t = &toks[j];
+        if is(t, src, TokenKind::Punct, ";") {
+            break;
+        }
+        if is(t, src, TokenKind::Punct, "{") {
+            open = Some(j);
+            break;
+        }
+        if is(t, src, TokenKind::Punct, "(") || is(t, src, TokenKind::Punct, "[") {
+            j = matching_close(toks, src, j).max(j + 1);
+            continue;
+        }
+        j += 1;
+    }
+    match open {
+        Some(o) => {
+            let (close, body, children) = parse_body(src, toks, o, hi, depth);
+            out.push(Item {
+                kind: ItemKind::Fn,
+                name,
+                start: toks[at].start,
+                end: body.1,
+                body: Some(body),
+                children,
+            });
+            Some(close)
+        }
+        None => {
+            // Declaration (`;`) or truncated input: consume to the `;`
+            // inclusive, or to the end of the scanned stretch.
+            let past = (j + 1).min(hi);
+            out.push(Item {
+                kind: ItemKind::Fn,
+                name,
+                start: toks[at].start,
+                end: end_of(src, toks, past),
+                body: None,
+                children: Vec::new(),
+            });
+            Some(past)
+        }
+    }
+}
+
+/// Keywords that can appear in an impl header but never name the self
+/// type (the `where` clause ends name collection entirely).
+const IMPL_NON_NAMES: [&str; 8] = ["for", "dyn", "mut", "const", "unsafe", "as", "crate", "where"];
+
+/// `impl … { … }`. The name is the last identifier at angle-bracket depth
+/// zero before the body (after `for` when present), which resolves
+/// `impl<T> Trait for Type<T>` to `Type`.
+fn parse_impl(
+    src: &str,
+    toks: &[Token],
+    at: usize,
+    hi: usize,
+    depth: usize,
+    out: &mut Vec<Item>,
+) -> Option<usize> {
+    let mut j = at + 1;
+    let mut open = None;
+    let mut angle = 0i32;
+    let mut name = String::new();
+    while j < hi {
+        let t = &toks[j];
+        match t.kind {
+            TokenKind::Punct => {
+                let s = t.text(src);
+                if s == "{" {
+                    open = Some(j);
+                    break;
+                }
+                if s == ";" {
+                    break;
+                }
+                if s == "(" || s == "[" {
+                    j = matching_close(toks, src, j).max(j + 1);
+                    continue;
+                }
+                if s == "<" {
+                    angle += 1;
+                } else if s == ">" {
+                    angle -= 1;
+                }
+            }
+            TokenKind::Ident => {
+                let s = t.text(src);
+                if s == "where" {
+                    // The where clause constrains generics; whatever name
+                    // we have is final.
+                    while j < hi {
+                        let t = &toks[j];
+                        if is(t, src, TokenKind::Punct, "{") || is(t, src, TokenKind::Punct, ";") {
+                            break;
+                        }
+                        j += 1;
+                    }
+                    continue;
+                }
+                if angle <= 0 && !IMPL_NON_NAMES.contains(&s) {
+                    name = s.to_string();
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let o = open?;
+    let (close, body, children) = parse_body(src, toks, o, hi, depth);
+    out.push(Item {
+        kind: ItemKind::Impl,
+        name,
+        start: toks[at].start,
+        end: body.1,
+        body: Some(body),
+        children,
+    });
+    Some(close)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items(src: &str) -> Vec<Item> {
+        parse_items(src, &lex(src))
+    }
+
+    fn names(items: &[Item]) -> Vec<(ItemKind, String)> {
+        items.iter().map(|i| (i.kind, i.name.clone())).collect()
+    }
+
+    #[test]
+    fn top_level_items_in_order() {
+        let src = "fn a() {}\nmod m { fn b() {} }\nimpl S { fn c(&self) {} }";
+        let got = items(src);
+        assert_eq!(
+            names(&got),
+            vec![
+                (ItemKind::Fn, "a".into()),
+                (ItemKind::Mod, "m".into()),
+                (ItemKind::Impl, "S".into()),
+            ]
+        );
+        assert_eq!(names(&got[1].children), vec![(ItemKind::Fn, "b".into())]);
+        assert_eq!(names(&got[2].children), vec![(ItemKind::Fn, "c".into())]);
+    }
+
+    #[test]
+    fn spans_tile_and_nest() {
+        let src = "fn a() { fn inner() {} }\nfn b() {}";
+        let got = items(src);
+        assert_eq!(got.len(), 2);
+        assert!(got[0].end <= got[1].start, "sibling spans must not overlap");
+        let inner = &got[0].children[0];
+        let (bs, be) = got[0].body.unwrap();
+        assert!(bs < inner.start && inner.end <= be, "child inside parent body");
+    }
+
+    #[test]
+    fn impl_trait_for_type_names_the_type() {
+        let src = "impl<T: Clone> Iterator for Chunks<T> { fn next(&mut self) {} }";
+        let got = items(src);
+        assert_eq!(got[0].name, "Chunks");
+        assert_eq!(got[0].children[0].name, "next");
+    }
+
+    #[test]
+    fn impl_with_where_clause_keeps_the_type_name() {
+        let src = "impl<T> Wrapper<T> where T: Clone { fn get(&self) {} }";
+        let got = items(src);
+        assert_eq!(got[0].name, "Wrapper");
+    }
+
+    #[test]
+    fn fn_declarations_and_type_position() {
+        let src = "extern \"C\" { fn read(fd: i32) -> isize; }\nfn real(f: fn(u32)) { f(1); }";
+        let got = items(src);
+        // `fn read(…);` is a body-less item; `fn(u32)` is not an item.
+        let flat = flatten(&got);
+        let fns: Vec<&str> =
+            flat.iter().filter(|i| i.kind == ItemKind::Fn).map(|i| i.name.as_str()).collect();
+        assert_eq!(fns, vec!["read", "real"]);
+        assert!(flat.iter().find(|i| i.name == "read").unwrap().body.is_none());
+    }
+
+    #[test]
+    fn mod_declaration_without_body() {
+        let got = items("mod wire;\nfn f() {}");
+        assert_eq!(names(&got), vec![(ItemKind::Mod, "wire".into()), (ItemKind::Fn, "f".into())]);
+        assert!(got[0].body.is_none());
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_end_bodies() {
+        let src = "fn f() { let s = \"}\"; inner(); }\nfn g() {}";
+        let got = items(src);
+        assert_eq!(got.len(), 2);
+        assert!(got[0].end < got[1].start);
+    }
+
+    #[test]
+    fn unbalanced_input_never_panics() {
+        for src in ["fn f() {", "}}}", "mod", "impl {", "fn", "fn x", "mod m {{ fn", "impl < {"] {
+            let _ = items(src);
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded_not_fatal() {
+        let mut src = String::new();
+        for i in 0..(MAX_DEPTH + 8) {
+            src.push_str(&format!("fn f{i}() {{ "));
+        }
+        src.push_str(&"}".repeat(MAX_DEPTH + 8));
+        let got = items(&src);
+        assert_eq!(got.len(), 1, "one top-level item with bounded descent");
+    }
+}

@@ -63,21 +63,41 @@ impl RunReport {
         self.files.iter().map(|f| f.suppressions.len()).sum()
     }
 
+    /// Every unsuppressed finding in deterministic order: sorted by
+    /// `(path, line, rule)`, so the rendering is stable regardless of
+    /// directory-walk order or of which pass (per-file or flow) produced
+    /// a finding.
+    fn sorted_findings(&self) -> Vec<(&str, usize, usize, &Finding)> {
+        let mut out: Vec<_> = self
+            .files
+            .iter()
+            .flat_map(|file| {
+                file.findings.iter().map(|(f, line, col)| (file.path.as_str(), *line, *col, f))
+            })
+            .collect();
+        out.sort_by(|a, b| (a.0, a.1, a.3.rule.name()).cmp(&(b.0, b.1, b.3.rule.name())));
+        out
+    }
+
+    /// The suppression inventory, sorted by `(path, line, rule)`.
+    fn sorted_suppressions(&self) -> Vec<(&str, &Suppression)> {
+        let mut out: Vec<_> = self
+            .files
+            .iter()
+            .flat_map(|file| file.suppressions.iter().map(|s| (file.path.as_str(), s)))
+            .collect();
+        out.sort_by(|a, b| {
+            (a.0, a.1.line, a.1.rule_name.as_str()).cmp(&(b.0, b.1.line, b.1.rule_name.as_str()))
+        });
+        out
+    }
+
     /// Human-readable rendering: one `file:line:col: rule: message` per
     /// finding, then a summary line.
     pub fn render_human(&self) -> String {
         let mut out = String::new();
-        for file in &self.files {
-            for (f, line, col) in &file.findings {
-                out.push_str(&format!(
-                    "{}:{}:{}: {}: {}\n",
-                    file.path,
-                    line,
-                    col,
-                    f.rule.name(),
-                    f.message
-                ));
-            }
+        for (path, line, col, f) in self.sorted_findings() {
+            out.push_str(&format!("{}:{}:{}: {}: {}\n", path, line, col, f.rule.name(), f.message));
         }
         out.push_str(&format!(
             "dime-check: {} finding{} ({} suppressed by {} allows) across {} files\n",
@@ -94,27 +114,31 @@ impl RunReport {
     /// suppression inventory (rule, file, line, reason), and summary
     /// counts.
     pub fn render_json(&self) -> String {
-        let mut diags = Vec::new();
-        let mut sups = Vec::new();
-        for file in &self.files {
-            for (f, line, col) in &file.findings {
-                diags.push(format!(
+        let diags: Vec<String> = self
+            .sorted_findings()
+            .into_iter()
+            .map(|(path, line, col, f)| {
+                format!(
                     "{{\"rule\":{},\"path\":{},\"line\":{line},\"col\":{col},\"message\":{}}}",
                     json_str(f.rule.name()),
-                    json_str(&file.path),
+                    json_str(path),
                     json_str(&f.message)
-                ));
-            }
-            for s in &file.suppressions {
-                sups.push(format!(
+                )
+            })
+            .collect();
+        let sups: Vec<String> = self
+            .sorted_suppressions()
+            .into_iter()
+            .map(|(path, s)| {
+                format!(
                     "{{\"rule\":{},\"path\":{},\"line\":{},\"reason\":{}}}",
                     json_str(&s.rule_name),
-                    json_str(&file.path),
+                    json_str(path),
                     s.line,
                     json_str(&s.reason)
-                ));
-            }
-        }
+                )
+            })
+            .collect();
         format!(
             "{{\"diagnostics\":[{}],\"suppressions\":[{}],\"summary\":{{\"diagnostics\":{},\
              \"suppressions\":{},\"suppressed_findings\":{},\"files_scanned\":{}}}}}\n",
@@ -180,6 +204,27 @@ mod tests {
         assert!(json.contains("caller guarantees non-empty"), "{json}");
         assert!(json.contains("\"suppressed_findings\":1"), "{json}");
         assert!(json.contains("\"diagnostics\":1"), "{json}");
+    }
+
+    #[test]
+    fn rendering_is_sorted_by_path_line_rule() {
+        // Push files in reverse path order; the report must not care.
+        let ctx = FileContext {
+            crate_name: "dime-serve".into(),
+            kind: FileKind::Lib,
+            is_crate_root: false,
+            file_stem: "x".into(),
+        };
+        let panicky = "fn f(x: Option<u32>) {\n    x.unwrap();\n}";
+        let mut run = RunReport::default();
+        run.push("crates/dime-serve/src/zz.rs".into(), panicky, analyze_source(panicky, &ctx));
+        run.push("crates/dime-serve/src/aa.rs".into(), panicky, analyze_source(panicky, &ctx));
+        let human = run.render_human();
+        let (a, z) = (human.find("aa.rs").unwrap(), human.find("zz.rs").unwrap());
+        assert!(a < z, "findings must sort by path: {human}");
+        let json = run.render_json();
+        let (a, z) = (json.find("aa.rs").unwrap(), json.find("zz.rs").unwrap());
+        assert!(a < z, "diagnostics must sort by path: {json}");
     }
 
     #[test]

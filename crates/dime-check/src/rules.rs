@@ -30,10 +30,23 @@ pub enum RuleId {
     /// Library code never writes to stdout (`println!`/`print!`); stdout
     /// belongs to binaries and benches.
     StdoutInLib,
-    /// The admission poll loop (`dime-serve/src/poll.rs`) never calls a
-    /// blocking syscall wrapper — `read`/`write`/`accept`/`recv`/locks —
-    /// outside a reasoned allow naming the non-blocking fd it holds.
-    NoBlockingSyscallInPollLoop,
+    /// Flow-aware successor of the old local poll-loop ban: no blocking
+    /// syscall wrapper is *reachable* from the admission poll loop
+    /// (`dime-serve/src/poll.rs`) through any same-thread call chain over
+    /// the workspace call graph.
+    BlockingReachesPollLoop,
+    /// No panic source in a non-service crate is reachable from a
+    /// protocol handler (`handle_*` in dime-serve/store/cluster/rulespec)
+    /// over the call graph — `panic-in-service` closed under calls.
+    PanicReachesService,
+    /// Per-function lock-acquisition sequences must admit one global
+    /// order; a cycle across functions (A before B somewhere, B before A
+    /// elsewhere) is a deadlock candidate.
+    LockOrder,
+    /// Every WAL/replication tag constructed by an `encode` function in
+    /// `dime-store`/`dime-cluster` is matched by the paired decoder, and
+    /// the cluster follower decodes a frame before appending it raw.
+    WalTagExhaustive,
     /// A suppression comment without a `— reason` tail.
     SuppressionMissingReason,
     /// A `dime-check:` comment naming no known rule (or unparsable).
@@ -43,15 +56,18 @@ pub enum RuleId {
     UnusedSuppression,
 }
 
-/// The seven source rules plus the three suppression hygiene rules.
-pub const ALL_RULES: [RuleId; 10] = [
+/// The ten source rules plus the three suppression hygiene rules.
+pub const ALL_RULES: [RuleId; 13] = [
     RuleId::PanicInService,
     RuleId::AtomicOrdering,
     RuleId::FsyncBeforeRename,
     RuleId::WallClockInCore,
     RuleId::ForbidUnsafeDrift,
     RuleId::StdoutInLib,
-    RuleId::NoBlockingSyscallInPollLoop,
+    RuleId::BlockingReachesPollLoop,
+    RuleId::PanicReachesService,
+    RuleId::LockOrder,
+    RuleId::WalTagExhaustive,
     RuleId::SuppressionMissingReason,
     RuleId::UnknownRule,
     RuleId::UnusedSuppression,
@@ -67,7 +83,10 @@ impl RuleId {
             RuleId::WallClockInCore => "wall-clock-in-core",
             RuleId::ForbidUnsafeDrift => "forbid-unsafe-drift",
             RuleId::StdoutInLib => "stdout-in-lib",
-            RuleId::NoBlockingSyscallInPollLoop => "no-blocking-syscall-in-poll-loop",
+            RuleId::BlockingReachesPollLoop => "blocking-reaches-poll-loop",
+            RuleId::PanicReachesService => "panic-reaches-service",
+            RuleId::LockOrder => "lock-order",
+            RuleId::WalTagExhaustive => "wal-tag-exhaustive",
             RuleId::SuppressionMissingReason => "suppression-missing-reason",
             RuleId::UnknownRule => "unknown-rule",
             RuleId::UnusedSuppression => "unused-suppression",
@@ -100,9 +119,22 @@ impl RuleId {
             }
             RuleId::ForbidUnsafeDrift => "every crate root keeps #![forbid(unsafe_code)]",
             RuleId::StdoutInLib => "library code must not print to stdout",
-            RuleId::NoBlockingSyscallInPollLoop => {
-                "no blocking read/write/accept/recv/lock calls inside the dime-serve \
-                 poll-loop module; every non-blocking call site carries a reasoned allow"
+            RuleId::BlockingReachesPollLoop => {
+                "no blocking read/write/accept/recv/lock call is reachable from the \
+                 dime-serve poll loop over the workspace call graph (spawned-thread \
+                 edges excluded); each non-blocking site carries a reasoned allow"
+            }
+            RuleId::PanicReachesService => {
+                "no panic!/unreachable!/todo! source outside the service crates is \
+                 reachable from a handle_* protocol handler over the call graph"
+            }
+            RuleId::LockOrder => {
+                "lock acquisition sequences across all functions must admit a single \
+                 global order; a cycle between lock classes is a deadlock candidate"
+            }
+            RuleId::WalTagExhaustive => {
+                "every WAL/replication tag an encode fn constructs is matched by the \
+                 paired decode fn, and the cluster follower decodes before append_raw"
             }
             RuleId::SuppressionMissingReason => {
                 "a dime-check allow comment must carry `— <reason>`"
@@ -119,6 +151,15 @@ impl RuleId {
         matches!(
             self,
             RuleId::SuppressionMissingReason | RuleId::UnknownRule | RuleId::UnusedSuppression
+        )
+    }
+
+    /// Whether this rule needs the whole-workspace call graph (and thus
+    /// only runs under `--workspace`, not in single-file mode).
+    pub fn is_flow(self) -> bool {
+        matches!(
+            self,
+            RuleId::BlockingReachesPollLoop | RuleId::PanicReachesService | RuleId::LockOrder
         )
     }
 }

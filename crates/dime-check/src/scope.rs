@@ -35,7 +35,7 @@ impl TestRegions {
 
 /// Significant tokens: everything the parser structure cares about —
 /// comments are invisible to brace matching and attribute detection.
-fn significant(tokens: &[Token]) -> Vec<Token> {
+pub(crate) fn significant(tokens: &[Token]) -> Vec<Token> {
     tokens
         .iter()
         .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
@@ -43,13 +43,13 @@ fn significant(tokens: &[Token]) -> Vec<Token> {
         .collect()
 }
 
-fn is(t: &Token, src: &str, kind: TokenKind, text: &str) -> bool {
+pub(crate) fn is(t: &Token, src: &str, kind: TokenKind, text: &str) -> bool {
     t.kind == kind && t.text(src) == text
 }
 
 /// Index just past the bracket that closes the one at `open` (which must
 /// hold `{`, `(`, or `[`); scans to EOF on imbalance.
-fn matching_close(toks: &[Token], src: &str, open: usize) -> usize {
+pub(crate) fn matching_close(toks: &[Token], src: &str, open: usize) -> usize {
     let (o, c) = match toks.get(open).map(|t| t.text(src)) {
         Some("{") => ("{", "}"),
         Some("(") => ("(", ")"),

@@ -1,0 +1,59 @@
+//! Doc-drift guard: the rule catalog and DESIGN.md §7 move together.
+//! The section's `**`rule-id`**` bullets must name exactly the
+//! non-hygiene rules in the catalog — a rule without documentation
+//! fails, and documentation for a removed rule fails too.
+
+use dime_check::{find_workspace_root, ALL_RULES};
+
+/// Rule ids named as `**`rule-id`**` bullets between `## 7` and `## 8`.
+fn documented_rules() -> Vec<String> {
+    let root = find_workspace_root().expect("workspace root (set DIME_CHECK_ROOT if needed)");
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).expect("DESIGN.md");
+    let start = design.find("\n## 7").expect("DESIGN.md has a section 7");
+    let end = design[start..].find("\n## 8").map(|i| start + i).unwrap_or(design.len());
+    let section = &design[start..end];
+    let mut out = Vec::new();
+    for line in section.lines() {
+        if let Some(rest) = line.trim_start().strip_prefix("* **`") {
+            if let Some(id) = rest.split("`**").next() {
+                out.push(id.to_string());
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn every_source_rule_is_documented_in_design_section_7() {
+    let documented = documented_rules();
+    assert!(!documented.is_empty(), "no rule bullets found in DESIGN.md §7");
+    for rule in ALL_RULES {
+        if rule.is_hygiene() {
+            continue; // hygiene rules are described in §7's prose, not as bullets
+        }
+        assert!(
+            documented.iter().any(|d| d == rule.name()),
+            "rule `{}` is in the catalog but has no `**`{}`**` bullet in DESIGN.md §7",
+            rule.name(),
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn every_documented_rule_exists_in_the_catalog() {
+    for id in documented_rules() {
+        assert!(
+            ALL_RULES.iter().any(|r| r.name() == id),
+            "DESIGN.md §7 documents `{id}`, which is not in the catalog — stale bullet?"
+        );
+    }
+}
+
+#[test]
+fn list_rules_json_and_docs_agree_on_flow_rules() {
+    // The §7 prose promises that flow rules are marked in
+    // `--list-rules --json`; pin that the marking exists for each.
+    let flow: Vec<&str> = ALL_RULES.iter().filter(|r| r.is_flow()).map(|r| r.name()).collect();
+    assert_eq!(flow, ["blocking-reaches-poll-loop", "panic-reaches-service", "lock-order"]);
+}

@@ -21,16 +21,6 @@ fn ctx(crate_name: &str, kind: FileKind, is_crate_root: bool) -> FileContext {
     }
 }
 
-/// The context the poll-loop rule is scoped to: `dime-serve/src/poll.rs`.
-fn poll_ctx() -> FileContext {
-    FileContext {
-        crate_name: "dime-serve".to_string(),
-        kind: FileKind::Lib,
-        is_crate_root: false,
-        file_stem: "poll".to_string(),
-    }
-}
-
 /// Runs one fixture and asserts the target rule fired exactly once.
 fn fires_once(name: &str, ctx: &FileContext, rule: RuleId) -> dime_check::FileReport {
     let report = analyze_source(&fixture(name), ctx);
@@ -179,33 +169,43 @@ fn unused_suppression_fires_once() {
 }
 
 #[test]
-fn no_blocking_syscall_in_poll_loop_fires_once() {
+fn wal_tag_exhaustive_fires_once() {
+    // `encode_op` pushes a literal `9` with no arm for it in
+    // `decode_op`; the paired probe codec and the non-encode `put_nodes`
+    // byte pushes must stay silent.
     let report = fires_once(
-        "no_blocking_syscall_in_poll_loop.rs",
-        &poll_ctx(),
-        RuleId::NoBlockingSyscallInPollLoop,
+        "wal_tag_exhaustive.rs",
+        &ctx("dime-store", FileKind::Lib, false),
+        RuleId::WalTagExhaustive,
     );
-    assert_eq!(report.findings.len(), 1, "shim decls, readiness helpers, tests must not fire");
-    assert_eq!(report.suppressed.len(), 1, "the annotated eventfd write is suppressed");
+    assert_eq!(report.findings.len(), 1);
 }
 
 #[test]
-fn poll_loop_fixture_is_clean_outside_the_poll_module() {
-    // The same source under any other module/crate context is out of
-    // scope — but its allow comment would dangle, which is exactly the
-    // unused-suppression hygiene finding.
-    let report = analyze_source(
-        &fixture("no_blocking_syscall_in_poll_loop.rs"),
-        &ctx("dime-serve", FileKind::Lib, false),
+fn wal_tag_exhaustive_covers_dime_cluster() {
+    // The replication stream codec in dime-cluster carries the same
+    // encode/decode parity contract as the store WAL.
+    let report = fires_once(
+        "wal_tag_exhaustive.rs",
+        &ctx("dime-cluster", FileKind::Lib, false),
+        RuleId::WalTagExhaustive,
     );
-    let rules: Vec<RuleId> = report.findings.iter().map(|f| f.rule).collect();
-    assert_eq!(rules, vec![RuleId::UnusedSuppression]);
+    assert_eq!(report.findings.len(), 1);
+}
+
+#[test]
+fn wal_tag_fixture_is_out_of_scope_elsewhere() {
+    let report =
+        analyze_source(&fixture("wal_tag_exhaustive.rs"), &ctx("dime-core", FileKind::Lib, false));
+    assert!(report.findings.is_empty(), "tag parity is a store/cluster contract");
 }
 
 #[test]
 fn every_rule_has_a_fixture_test() {
-    // The catalog and this file move together: a new rule must seed a
-    // fixture in which it fires exactly once.
+    // The catalog and the fixture tests move together: a new rule must
+    // seed a fixture in which it fires exactly once. The flow-aware
+    // rules (call-graph closures over several files) are pinned by
+    // `tests/flow_fixtures.rs`; everything else lives in this file.
     let covered = [
         RuleId::PanicInService,
         RuleId::AtomicOrdering,
@@ -213,10 +213,14 @@ fn every_rule_has_a_fixture_test() {
         RuleId::WallClockInCore,
         RuleId::ForbidUnsafeDrift,
         RuleId::StdoutInLib,
-        RuleId::NoBlockingSyscallInPollLoop,
+        RuleId::WalTagExhaustive,
         RuleId::SuppressionMissingReason,
         RuleId::UnknownRule,
         RuleId::UnusedSuppression,
+        // pinned by tests/flow_fixtures.rs:
+        RuleId::BlockingReachesPollLoop,
+        RuleId::PanicReachesService,
+        RuleId::LockOrder,
     ];
     for rule in dime_check::ALL_RULES {
         assert!(covered.contains(&rule), "rule {} has no fixture", rule.name());

@@ -1,0 +1,14 @@
+//! Flow fixture, leaf side: a `dime-serve` helper module. `drain_conn`
+//! runs on the admission thread (called from the poll loop) and hits a
+//! blocking `read_exact` — the one finding. `worker_flush` blocks too,
+//! but it is only ever reached through a `spawn(…)` edge, which the
+//! blocking rule does not traverse.
+
+fn drain_conn(conn: &mut Conn) {
+    conn.stream.read_exact(&mut conn.buf); // <- blocks the admission thread
+}
+
+fn worker_flush(conn: &mut Conn) {
+    conn.stream.write_all(&conn.out);
+    conn.stream.flush();
+}

@@ -1,0 +1,15 @@
+//! Flow fixture, entry side: the poll-loop module (`dime-serve`, stem
+//! `poll`). Calls one same-crate helper (`drain_conn`, defined in
+//! `blocking_helper.rs`) on the admission thread and hands one closure
+//! to a spawned worker — the worker may block, the helper may not.
+
+fn poll_once(conn: &mut Conn) {
+    drain_conn(conn);
+    spawn(move || {
+        worker_flush(conn);
+    });
+}
+
+fn register(poller: &mut Poller, fd: i32) {
+    poller.add(fd, TOKEN_CONN);
+}

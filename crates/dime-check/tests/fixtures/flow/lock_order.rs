@@ -1,0 +1,22 @@
+//! Flow fixture: two functions acquiring the same two lock classes in
+//! opposite orders — one `lock-order` finding at the cycle's witness.
+//! `consistent` takes the same locks in the canonical order and adds no
+//! second cycle.
+
+fn forward(&self) {
+    let pool = self.pool.lock();
+    let sessions = self.sessions.lock();
+    route(pool, sessions);
+}
+
+fn backward(&self) {
+    let sessions = self.sessions.lock();
+    let pool = self.pool.lock(); // <- cycle witness: pool after sessions
+    route(pool, sessions);
+}
+
+fn consistent(&self) {
+    let pool = self.pool.lock();
+    let sessions = self.sessions.lock();
+    audit(pool, sessions);
+}

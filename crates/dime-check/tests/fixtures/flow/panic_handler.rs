@@ -1,0 +1,9 @@
+//! Flow fixture, handler side: a `dime-serve` protocol handler calling
+//! into a helper crate. The handler itself is panic-free — the per-file
+//! `panic-in-service` rule already governs this crate — but the chain it
+//! opens into `panic_helper.rs` is what `panic-reaches-service` walks.
+
+fn handle_lookup(req: &Request) -> Response {
+    let value = resolve_attr(&req.name);
+    Response::ok(value)
+}

@@ -1,0 +1,24 @@
+//! Flow fixture, library side: a `dime-core` helper reachable from the
+//! protocol handler in `panic_handler.rs`. The `panic!` fires once —
+//! dime-core is outside the service crates, so the per-file rule never
+//! sees it and only the call-graph closure does. `offline_tool` also
+//! panics, but nothing reachable from a handler calls it.
+
+fn resolve_attr(name: &str) -> u32 {
+    match lookup(name) {
+        Some(v) => v,
+        None => panic!("unknown attribute {name}"), // <- reachable from handle_lookup
+    }
+}
+
+fn lookup(name: &str) -> Option<u32> {
+    TABLE.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+}
+
+fn offline_tool(name: &str) -> u32 {
+    resolve_or_die(name)
+}
+
+fn resolve_or_die(name: &str) -> u32 {
+    unreachable!("offline tooling only")
+}

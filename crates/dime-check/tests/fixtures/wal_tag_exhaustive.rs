@@ -1,0 +1,44 @@
+//! Fixture: exactly one WAL tag constructed without a decode arm.
+//!
+//! `encode_op` pushes `TAG_OPEN`, `TAG_CLOSE`, and the literal `9`;
+//! `decode_op` matches the two constants but nothing maps `9` — that
+//! push fires. Everything else is benign: `put_nodes` pushes option
+//! flags but is not an encode function, and `encode_probe`'s push of a
+//! length byte is checked against the paired `decode_probe`, which
+//! matches it.
+
+const TAG_OPEN: u8 = 1;
+const TAG_CLOSE: u8 = 5;
+
+fn encode_op(op: &Op, out: &mut Vec<u8>) {
+    match op {
+        Op::Open => out.push(TAG_OPEN),
+        Op::Close => out.push(TAG_CLOSE),
+        Op::Legacy => out.push(9), // <- no decode arm maps 9
+    }
+}
+
+fn decode_op(tag: u8) -> Option<Op> {
+    match tag {
+        TAG_OPEN => Some(Op::Open),
+        TAG_CLOSE => Some(Op::Close),
+        _ => None,
+    }
+}
+
+fn encode_probe(out: &mut Vec<u8>) {
+    out.push(2);
+}
+
+fn decode_probe(tag: u8) -> bool {
+    matches!(tag, 2 => true)
+}
+
+fn put_nodes(out: &mut Vec<u8>, nodes: &[Option<u32>]) {
+    for n in nodes {
+        match n {
+            Some(_) => out.push(1),
+            None => out.push(0),
+        }
+    }
+}

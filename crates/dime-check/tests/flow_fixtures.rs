@@ -1,0 +1,107 @@
+//! Each flow-aware rule has a fixture set under `tests/fixtures/flow/`
+//! in which it fires exactly once through `analyze_files` — the same
+//! entry point the workspace run uses, so the call-graph resolution,
+//! entry selection, and suppression reconciliation are all on the path.
+
+use dime_check::{analyze_files, find_workspace_root, FileContext, FileKind, FileSource, RuleId};
+
+fn flow_fixture(name: &str) -> String {
+    let root = find_workspace_root().expect("workspace root (set DIME_CHECK_ROOT if needed)");
+    let path = root.join("crates/dime-check/tests/fixtures/flow").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn source(name: &str, crate_name: &str, file_stem: &str) -> FileSource {
+    FileSource {
+        rel: format!("crates/{crate_name}/src/{file_stem}.rs"),
+        src: flow_fixture(name),
+        ctx: FileContext {
+            crate_name: crate_name.to_string(),
+            kind: FileKind::Lib,
+            is_crate_root: false,
+            file_stem: file_stem.to_string(),
+        },
+    }
+}
+
+/// Asserts the target rule fired exactly once across the whole set, and
+/// that nothing else fired — fixtures are otherwise clean.
+fn fires_once_across(files: &[FileSource], rule: RuleId) {
+    let reports = analyze_files(files);
+    let all: Vec<_> = reports.iter().flat_map(|r| r.findings.iter()).collect();
+    let hits = all.iter().filter(|f| f.rule == rule).count();
+    assert_eq!(hits, 1, "expected {} exactly once, got {all:?}", rule.name());
+    assert_eq!(all.len(), 1, "fixtures must be clean apart from the seeded finding: {all:?}");
+}
+
+#[test]
+fn blocking_reaches_poll_loop_fires_once() {
+    // The poll loop calls `drain_conn` directly (blocking `read_exact`
+    // fires) and hands `worker_flush` to `spawn` — the detached edge is
+    // not walked, so its `write_all`/`flush` stay silent.
+    let files = [
+        source("blocking_poll.rs", "dime-serve", "poll"),
+        source("blocking_helper.rs", "dime-serve", "conn"),
+    ];
+    fires_once_across(&files, RuleId::BlockingReachesPollLoop);
+}
+
+#[test]
+fn blocking_rule_needs_a_poll_entry() {
+    // Same helper, but no file with the `poll` stem in the set: no
+    // entry points, no findings.
+    let files = [source("blocking_helper.rs", "dime-serve", "conn")];
+    let reports = analyze_files(&files);
+    assert!(reports[0].findings.is_empty(), "{:?}", reports[0].findings);
+}
+
+#[test]
+fn panic_reaches_service_fires_once() {
+    // `handle_lookup` (dime-serve) reaches the `panic!` in dime-core's
+    // `resolve_attr`; the `unreachable!` in `resolve_or_die` is only
+    // reachable from `offline_tool`, which no handler calls.
+    let files = [
+        source("panic_handler.rs", "dime-serve", "server"),
+        source("panic_helper.rs", "dime-core", "attr"),
+    ];
+    fires_once_across(&files, RuleId::PanicReachesService);
+}
+
+#[test]
+fn panic_rule_needs_a_handler_entry() {
+    // The helper crate alone has two panic sites but no `handle_*`
+    // entry in a service crate — the closure never starts.
+    let files = [source("panic_helper.rs", "dime-core", "attr")];
+    let reports = analyze_files(&files);
+    assert!(reports[0].findings.is_empty(), "{:?}", reports[0].findings);
+}
+
+#[test]
+fn lock_order_fires_once() {
+    // `forward` takes pool→sessions, `backward` takes sessions→pool:
+    // one cycle, one finding at its witness. `consistent` re-walks the
+    // canonical order and must not add a second finding.
+    let files = [source("lock_order.rs", "dime-cluster", "router")];
+    fires_once_across(&files, RuleId::LockOrder);
+}
+
+#[test]
+fn flow_findings_reconcile_with_suppressions() {
+    // A reasoned allow on the blocking line suppresses the flow finding
+    // through the same comment machinery as per-file rules.
+    let helper = flow_fixture("blocking_helper.rs").replace(
+        "conn.stream.read_exact(&mut conn.buf);",
+        "// dime-check: allow(blocking-reaches-poll-loop) — fixture: suppression path\n    \
+         conn.stream.read_exact(&mut conn.buf);",
+    );
+    let mut files = [
+        source("blocking_poll.rs", "dime-serve", "poll"),
+        source("blocking_helper.rs", "dime-serve", "conn"),
+    ];
+    files[1].src = helper;
+    let reports = analyze_files(&files);
+    let all: Vec<_> = reports.iter().flat_map(|r| r.findings.iter()).collect();
+    assert!(all.is_empty(), "the allow must cover the flow finding: {all:?}");
+    assert_eq!(reports[1].suppressed.len(), 1);
+    assert_eq!(reports[1].suppressed[0].reason, "fixture: suppression path");
+}

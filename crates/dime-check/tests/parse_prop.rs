@@ -1,0 +1,79 @@
+//! Property tests for the item parser: on arbitrary input — well-formed
+//! Rust, item-shaped fragments, or brace soup — `parse_items` must never
+//! panic, and the item tree it returns must be well-formed: per-level
+//! spans are sorted and non-overlapping, children sit inside their
+//! parent's body, and a braced item's end coincides with its body's end.
+//!
+//! Same strategy vocabulary as `lexer_prop.rs`: `Just` fragments for the
+//! constructs whose parsing is subtle (nested mods, impl blocks, where
+//! clauses, unbalanced braces) plus near-ASCII soup, concatenated.
+
+use dime_check::lexer::lex;
+use dime_check::{parse_items, Item};
+use proptest::prelude::*;
+
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("fn f() { g(); }".to_string()),
+        Just("pub fn g<T: Read>(x: T) -> u32 { 0 }".to_string()),
+        Just("fn decl();".to_string()),
+        Just("mod m { fn inner() {} }".to_string()),
+        Just("mod decl;".to_string()),
+        Just("pub mod outer { mod nested { fn leaf() {} } }".to_string()),
+        Just("impl Foo { fn method(&self) {} }".to_string()),
+        Just("impl<T> Trait<T> for Foo<T> where T: Clone { fn m() {} }".to_string()),
+        Just("struct S { field: u32 }".to_string()),
+        Just("let s = \"fn not_an_item() {}\";".to_string()),
+        Just("// fn commented_out() {}\n".to_string()),
+        Just("{ } } {".to_string()),
+        Just("fn unbalanced() {".to_string()),
+        Just("} mod after_imbalance { fn x() {} }".to_string()),
+        Just("#[cfg(test)] mod tests { fn t() {} }".to_string()),
+        Just("fn takes(f: fn() -> u32) {}".to_string()),
+        Just("match x { 1 => {} _ => {} }".to_string()),
+        "[ -~]{0,6}".prop_map(|s: String| s),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn parsing_fragment_soup_never_panics_and_spans_are_well_formed(
+        parts in proptest::collection::vec(fragment(), 0..24)
+    ) {
+        check_items(&parts.concat());
+    }
+
+    #[test]
+    fn parsing_ascii_soup_never_panics(
+        src in "[ -~]{0,64}"
+    ) {
+        check_items(&src);
+    }
+}
+
+fn check_items(src: &str) {
+    let tokens = lex(src);
+    let items = parse_items(src, &tokens);
+    check_level(src, &items, 0, src.len());
+}
+
+/// Recursively checks one sibling level: sorted, non-overlapping spans
+/// within the enclosing `[lo, hi)` window, bodies inside item spans,
+/// children inside bodies.
+fn check_level(src: &str, items: &[Item], lo: usize, hi: usize) {
+    let mut prev_end = lo;
+    for item in items {
+        assert!(item.start < item.end, "empty item span {item:?}");
+        assert!(item.start >= prev_end, "sibling spans overlap or are unsorted: {item:?}");
+        assert!(item.end <= hi, "item escapes its parent window: {item:?}");
+        assert!(src.is_char_boundary(item.start) && src.is_char_boundary(item.end));
+        if let Some((blo, bhi)) = item.body {
+            assert!(item.start <= blo && blo <= bhi, "body outside item: {item:?}");
+            assert!(bhi == item.end, "a braced item must end with its body: {item:?}");
+            check_level(src, &item.children, blo, bhi);
+        } else {
+            assert!(item.children.is_empty(), "bodyless item with children: {item:?}");
+        }
+        prev_end = item.end;
+    }
+}

@@ -345,6 +345,7 @@ fn promote(shared: &Shared, stream: &mut TcpStream) {
         return;
     }
     {
+        // dime-check: allow(lock-order) — the promoted_handle guard above lives inside an always-returning branch and this wals guard inside this block; the two are never held together
         let mut wals = shared.wals.lock().unwrap_or_else(|e| e.into_inner());
         for wal in wals.values_mut() {
             if let Err(e) = wal.sync() {

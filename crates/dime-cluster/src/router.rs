@@ -806,6 +806,7 @@ fn probe_loop(shared: &Shared) {
                         "dime-cluster: shard {slot} dead after {fails} probes; promoted follower at {new_addr}",
                         fails = *fails
                     );
+                    // dime-check: allow(lock-order) — both guards here are statement-scoped temporaries (take() above, this assignment) dropped at their `;`; follower and addr are never held together
                     *lock(&shard.addr) = new_addr;
                     shard.invalidate_pool();
                     shard.failovers.fetch_add(1, Ordering::SeqCst);
@@ -1001,6 +1002,25 @@ mod tests {
             Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::RuleRejected),
             other => panic!("bad spec must be rule_rejected, got {other:?}"),
         }
+
+        // The strict flag survives the fan-through: a semantically
+        // conflicting pair is rejected by the owning shard, and the
+        // structured message names both rules.
+        let conflicting =
+            "same(X, Y) :- overlap(Authors) >= 1.\ndiff(X, Y) :- overlap(Authors) <= 1.\n";
+        match client.rules_install_opts(rid, conflicting, true) {
+            Err(ClientError::Server { code, message }) => {
+                assert_eq!(code, ErrorCode::RuleRejected);
+                assert!(message.contains("conflict"), "{message}");
+                assert!(message.contains("overlap(Authors) >= 1"), "{message}");
+                assert!(message.contains("overlap(Authors) <= 1"), "{message}");
+            }
+            other => panic!("strict conflicting install must be rejected, got {other:?}"),
+        }
+        // Non-strict, the same spec installs and the warning rides back
+        // through the router in the payload.
+        let v = client.rules_install_opts(rid, conflicting, false).expect("non-strict install");
+        assert_eq!(v["warnings"][0]["kind"], "conflict");
 
         router.shutdown();
         h0.shutdown();

@@ -353,6 +353,7 @@ impl GroupBuilder {
         let idx = self
             .schema
             .attr_index(attr_name)
+            // dime-check: allow(panic-reaches-service) — documented `# Panics` contract; the serve path only passes attribute names it just read out of this same schema
             .unwrap_or_else(|| panic!("schema has no attribute {attr_name:?}"));
         self.ontologies[idx] = Some(ontology);
     }

@@ -447,6 +447,7 @@ impl<'g> SigContext<'g> {
             SimilarityFn::Jaccard => theta * l,
             SimilarityFn::Dice => theta * l / 2.0,
             SimilarityFn::Cosine => theta * theta * l,
+            // dime-check: allow(panic-reaches-service) — the single caller matches on the set-based functions before calling; edit-family predicates never reach here
             _ => unreachable!("set_overlap_bound only serves set predicates"),
         };
         // −ε before ceil: rounding the bound *up* past its exact value

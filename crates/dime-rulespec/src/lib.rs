@@ -34,7 +34,12 @@
 //! [`validate_rules`] adds the Solon-style install guard `dime-serve`
 //! runs before accepting a spec over the wire: every rule is exercised
 //! against a sample of live pairs and degenerate always-firing rules are
-//! rejected.
+//! rejected. [`semck_rules`] is the static counterpart — interval
+//! reasoning over compiled predicates that flags `same`/`diff` rule
+//! pairs that can fire on the same entity pair, subsumed (dead) rules,
+//! and unsatisfiable thresholds. It is advisory in `dime rules check`
+//! and enforced at install under `--strict`, where any finding becomes a
+//! structured `rule_rejected` error naming the offending rules.
 //!
 //! The crate is zero-dependency beyond the workspace (`dime-core` for the
 //! rule types, `dime-check` for line mapping) and panic-free in library
@@ -49,6 +54,7 @@ pub mod diag;
 pub mod lexer;
 pub mod parser;
 pub mod print;
+pub mod semck;
 pub mod validate;
 
 pub use ast::{print_spec, Cmp, Head, Literal, RuleDecl, Spec};
@@ -56,6 +62,7 @@ pub use compile::{compile_spec, compile_str, CompiledSpec};
 pub use diag::Diagnostic;
 pub use parser::parse_spec;
 pub use print::{render_rules, RenderError};
+pub use semck::{semck_rules, semck_spec, SemFinding, SemckKind};
 pub use validate::{exercise_rules, validate_rules, ExerciseReport, MIN_SAMPLE_PAIRS};
 
 #[cfg(test)]

@@ -1,0 +1,429 @@
+//! Semantic analysis over compiled rule sets: interval reasoning that
+//! catches specs which parse, compile, and even exercise cleanly but
+//! cannot mean what the author intended.
+//!
+//! Every predicate `f(A) >= t` / `f(A) <= t` denotes a closed interval
+//! of similarity values over the dimension `(A, f)`, clamped to the
+//! function's value range (`jaccard`/`dice`/`cosine`/`edit_sim`/
+//! `ontology` range over `[0, 1]`; `overlap` over the non-negative
+//! integers — `[0, 1]` when the attribute's tokenizer is `Whole`, which
+//! yields single-token sets; `edit_dist` over `[0, ∞)`). A rule's region
+//! is the product of its per-dimension intervals. Three findings fall
+//! out:
+//!
+//! * **conflict** — a `same` rule and a `diff` rule constrain at least
+//!   one common dimension and *every* shared dimension's intervals
+//!   intersect: some pair fires both, and whether it links or flags
+//!   depends on evaluation order. (Rules with disjoint dimension sets
+//!   are not flagged — constraining different attributes is the normal
+//!   shape of a spec, and their interaction is the engine's
+//!   positive-over-negative precedence, not an authoring bug.)
+//! * **subsumption** — two same-polarity rules where one's region
+//!   contains the other's on every dimension the wider rule constrains:
+//!   the narrower rule can never fire on a pair the wider one misses,
+//!   so it is dead weight (often a stale copy left behind by a
+//!   feedback-refinement round).
+//! * **unsatisfiable** — a predicate whose clamped interval is empty
+//!   (`jaccard(T) >= 1.5`, `edit_dist(T) <= -1`): the rule can never
+//!   fire at all.
+//!
+//! The pass is advisory in `dime rules check` (warnings) and enforced at
+//! install under `--strict`, where any finding is a structured
+//! `rule_rejected` error naming the offending rules.
+
+use crate::compile::CompiledSpec;
+use dime_core::{Polarity, Predicate, Rule, Schema, SimilarityFn};
+use dime_text::TokenizerKind;
+
+/// What kind of semantic defect a finding reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemckKind {
+    /// A `same` and a `diff` rule can fire on the same pair.
+    Conflict,
+    /// A rule is contained in another rule of the same polarity.
+    Subsumption,
+    /// A predicate's interval is empty: the rule can never fire.
+    Unsatisfiable,
+}
+
+impl SemckKind {
+    /// Stable lowercase tag for wire payloads and CLI output.
+    pub fn tag(self) -> &'static str {
+        match self {
+            SemckKind::Conflict => "conflict",
+            SemckKind::Subsumption => "subsumption",
+            SemckKind::Unsatisfiable => "unsatisfiable",
+        }
+    }
+}
+
+/// One semantic finding. The message names every involved rule in its
+/// canonical rendering, so a client can locate them in the spec it sent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemFinding {
+    /// The defect class.
+    pub kind: SemckKind,
+    /// Human-readable description naming the rule(s).
+    pub message: String,
+}
+
+/// A closed interval of similarity values; `hi` may be `f64::INFINITY`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Iv {
+    lo: f64,
+    hi: f64,
+}
+
+impl Iv {
+    fn is_empty(self) -> bool {
+        self.lo > self.hi
+    }
+
+    fn intersects(self, other: Iv) -> bool {
+        self.lo.max(other.lo) <= self.hi.min(other.hi)
+    }
+
+    fn contains(self, other: Iv) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+}
+
+/// The value range of a similarity function on a given attribute.
+fn value_range(func: SimilarityFn, tokenizer: Option<TokenizerKind>) -> Iv {
+    match func {
+        SimilarityFn::Jaccard
+        | SimilarityFn::Dice
+        | SimilarityFn::Cosine
+        | SimilarityFn::EditSimilarity
+        | SimilarityFn::Ontology => Iv { lo: 0.0, hi: 1.0 },
+        // A `Whole` tokenizer yields at most one token per entity, so
+        // set overlap cannot exceed 1.
+        SimilarityFn::Overlap => match tokenizer {
+            Some(TokenizerKind::Whole) => Iv { lo: 0.0, hi: 1.0 },
+            _ => Iv { lo: 0.0, hi: f64::INFINITY },
+        },
+        SimilarityFn::EditDistance => Iv { lo: 0.0, hi: f64::INFINITY },
+    }
+}
+
+/// The interval a predicate admits under its rule's polarity, clamped to
+/// the function's value range. Mirrors the `Predicate::holds` direction
+/// table: `>=` for (same, higher-is-similar) and (diff, lower-is-similar),
+/// `<=` otherwise.
+fn pred_interval(polarity: Polarity, p: &Predicate, schema: &Schema) -> Iv {
+    let tokenizer = schema.attrs().get(p.attr).map(|a| a.tokenizer);
+    let range = value_range(p.func, tokenizer);
+    let expect_ge = matches!(
+        (polarity, p.func.higher_is_similar()),
+        (Polarity::Positive, true) | (Polarity::Negative, false)
+    );
+    if expect_ge {
+        Iv { lo: p.threshold.max(range.lo), hi: range.hi }
+    } else {
+        Iv { lo: range.lo, hi: p.threshold.min(range.hi) }
+    }
+}
+
+/// One rule's region: per-dimension `(attr, func)` intervals, multiple
+/// predicates on a dimension intersected. Rules are small (a handful of
+/// predicates), so linear scans beat a map here.
+fn region(rule: &Rule, schema: &Schema) -> Vec<((usize, SimilarityFn), Iv)> {
+    let mut dims: Vec<((usize, SimilarityFn), Iv)> = Vec::with_capacity(rule.predicates.len());
+    for p in &rule.predicates {
+        let iv = pred_interval(rule.polarity, p, schema);
+        match dims.iter_mut().find(|(d, _)| *d == (p.attr, p.func)) {
+            Some((_, have)) => {
+                have.lo = have.lo.max(iv.lo);
+                have.hi = have.hi.min(iv.hi);
+            }
+            None => dims.push(((p.attr, p.func), iv)),
+        }
+    }
+    dims
+}
+
+/// Short label for a rule in messages, in the client's own syntax:
+/// ``same rule 0 (`same(X, Y) :- overlap(Authors) >= 1.`)``. Falls back
+/// to the engine's index-based rendering if the schema cannot print it.
+fn label(polarity: Polarity, index: usize, rule: &Rule, schema: &Schema) -> String {
+    let head = match polarity {
+        Polarity::Positive => "same",
+        Polarity::Negative => "diff",
+    };
+    let rendered = match polarity {
+        Polarity::Positive => crate::print::render_rules(std::slice::from_ref(rule), &[], schema),
+        Polarity::Negative => crate::print::render_rules(&[], std::slice::from_ref(rule), schema),
+    };
+    match rendered {
+        Ok(text) => format!("{head} rule {index} (`{}`)", text.trim_end()),
+        Err(_) => format!("{head} rule {index} ({rule})"),
+    }
+}
+
+/// Runs the full semantic pass over compiled positive and negative rule
+/// sets. Findings are ordered: unsatisfiable first (they often explain a
+/// "missing" conflict), then conflicts, then subsumptions.
+pub fn semck_rules(positive: &[Rule], negative: &[Rule], schema: &Schema) -> Vec<SemFinding> {
+    let mut out = Vec::new();
+    let pos_regions: Vec<_> = positive.iter().map(|r| region(r, schema)).collect();
+    let neg_regions: Vec<_> = negative.iter().map(|r| region(r, schema)).collect();
+
+    // Unsatisfiable predicates: empty clamped interval on any dimension.
+    for (polarity, rules, regions) in
+        [(Polarity::Positive, positive, &pos_regions), (Polarity::Negative, negative, &neg_regions)]
+    {
+        for (i, (rule, dims)) in rules.iter().zip(regions).enumerate() {
+            for ((attr, func), iv) in dims {
+                if iv.is_empty() {
+                    let name = schema
+                        .attrs()
+                        .get(*attr)
+                        .map(|a| a.name.as_str())
+                        .unwrap_or("<out-of-schema>");
+                    out.push(SemFinding {
+                        kind: SemckKind::Unsatisfiable,
+                        message: format!(
+                            "{} can never fire: its `{}({name})` constraint is outside the \
+                             function's value range",
+                            label(polarity, i, rule, schema),
+                            crate::ast::func_name(*func),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Conflicts: a pos/neg pair sharing dimensions, all of them
+    // intersecting. Rules already unsatisfiable are skipped — they can
+    // never fire, so they cannot conflict.
+    for (i, (p, pdims)) in positive.iter().zip(&pos_regions).enumerate() {
+        if pdims.iter().any(|(_, iv)| iv.is_empty()) {
+            continue;
+        }
+        for (j, (n, ndims)) in negative.iter().zip(&neg_regions).enumerate() {
+            if ndims.iter().any(|(_, iv)| iv.is_empty()) {
+                continue;
+            }
+            let shared: Vec<_> = pdims
+                .iter()
+                .filter_map(|(d, piv)| {
+                    ndims.iter().find(|(nd, _)| nd == d).map(|(_, niv)| (*d, *piv, *niv))
+                })
+                .collect();
+            if !shared.is_empty() && shared.iter().all(|(_, a, b)| a.intersects(*b)) {
+                let dims: Vec<String> = shared
+                    .iter()
+                    .map(|((attr, func), _, _)| {
+                        let name = schema
+                            .attrs()
+                            .get(*attr)
+                            .map(|a| a.name.as_str())
+                            .unwrap_or("<out-of-schema>");
+                        format!("{}({name})", crate::ast::func_name(*func))
+                    })
+                    .collect();
+                out.push(SemFinding {
+                    kind: SemckKind::Conflict,
+                    message: format!(
+                        "{} and {} can fire on the same pair: their {} ranges overlap, so \
+                         whether such a pair links or flags depends on evaluation order",
+                        label(Polarity::Positive, i, p, schema),
+                        label(Polarity::Negative, j, n, schema),
+                        dims.join(", "),
+                    ),
+                });
+            }
+        }
+    }
+
+    // Subsumption within each polarity: wider ⊇ narrower on every
+    // dimension the wider rule constrains → the narrower rule is dead.
+    for (polarity, rules, regions) in
+        [(Polarity::Positive, positive, &pos_regions), (Polarity::Negative, negative, &neg_regions)]
+    {
+        for (i, (wide_rule, wider)) in rules.iter().zip(regions.iter()).enumerate() {
+            for (j, (narrow_rule, narrower)) in rules.iter().zip(regions.iter()).enumerate() {
+                if i == j || wide_rule == narrow_rule && i > j {
+                    continue; // exact duplicates report once, (i, j) with i < j
+                }
+                let covers = wider
+                    .iter()
+                    .all(|(d, wiv)| narrower.iter().any(|(nd, niv)| nd == d && wiv.contains(*niv)));
+                if covers && !wider.is_empty() {
+                    out.push(SemFinding {
+                        kind: SemckKind::Subsumption,
+                        message: format!(
+                            "{} is subsumed by {}: every pair it fires on already fires the \
+                             wider rule, so it is dead weight",
+                            label(polarity, j, narrow_rule, schema),
+                            label(polarity, i, wide_rule, schema),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// Convenience wrapper over a [`CompiledSpec`].
+pub fn semck_spec(spec: &CompiledSpec, schema: &Schema) -> Vec<SemFinding> {
+    semck_rules(&spec.positive, &spec.negative, schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_str;
+    use dime_text::TokenizerKind;
+
+    fn schema() -> Schema {
+        Schema::new([
+            ("Authors", TokenizerKind::List(',')),
+            ("Title", TokenizerKind::Words),
+            ("Venue", TokenizerKind::Whole),
+        ])
+    }
+
+    fn check(src: &str) -> Vec<SemFinding> {
+        let c = compile_str("t", src, &schema()).unwrap();
+        semck_spec(&c, &schema())
+    }
+
+    #[test]
+    fn clean_spec_has_no_findings() {
+        let findings = check(
+            "same(X, Y) :- overlap(Authors) >= 3.\n\
+             diff(X, Y) :- overlap(Authors) <= 0.",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn overlapping_same_diff_pair_is_a_conflict() {
+        // overlap(Authors) ∈ [1, 2] satisfies both rules.
+        let findings = check(
+            "same(X, Y) :- overlap(Authors) >= 1.\n\
+             diff(X, Y) :- overlap(Authors) <= 2.",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].kind, SemckKind::Conflict);
+        assert!(findings[0].message.contains("same rule 0"), "{}", findings[0].message);
+        assert!(findings[0].message.contains("diff rule 0"), "{}", findings[0].message);
+        assert!(findings[0].message.contains("overlap(Authors) >= 1"), "{}", findings[0].message);
+        assert!(findings[0].message.contains("overlap(Authors) <= 2"), "{}", findings[0].message);
+    }
+
+    #[test]
+    fn touching_boundaries_still_conflict() {
+        // overlap == 2 fires both: intervals are closed.
+        let findings = check(
+            "same(X, Y) :- overlap(Authors) >= 2.\n\
+             diff(X, Y) :- overlap(Authors) <= 2.",
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind, SemckKind::Conflict);
+    }
+
+    #[test]
+    fn disjoint_thresholds_do_not_conflict() {
+        let findings = check(
+            "same(X, Y) :- overlap(Authors) >= 3.\n\
+             diff(X, Y) :- overlap(Authors) <= 1.",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn disjoint_dimensions_do_not_conflict() {
+        // Different attributes: normal spec shape, precedence handles it.
+        let findings = check(
+            "same(X, Y) :- overlap(Authors) >= 1.\n\
+             diff(X, Y) :- jaccard(Title) <= 0.9.",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn one_disjoint_shared_dimension_clears_the_conflict() {
+        // Authors ranges overlap, but the shared Title dimension is
+        // disjoint ([0.8, 1] vs [0, 0.2]) — no pair fires both.
+        let findings = check(
+            "same(X, Y) :- overlap(Authors) >= 1, jaccard(Title) >= 0.8.\n\
+             diff(X, Y) :- overlap(Authors) <= 2, jaccard(Title) <= 0.2.",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn narrower_rule_is_subsumed() {
+        let findings = check(
+            "diff(X, Y) :- overlap(Authors) <= 1.\n\
+             diff(X, Y) :- overlap(Authors) <= 0, edit_sim(Title) <= 0.3.",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].kind, SemckKind::Subsumption);
+        assert!(findings[0].message.contains("diff rule 1"), "{}", findings[0].message);
+        assert!(findings[0].message.contains("subsumed by diff rule 0"), "{}", findings[0].message);
+    }
+
+    #[test]
+    fn exact_duplicates_report_once() {
+        let findings = check(
+            "same(X, Y) :- overlap(Authors) >= 2.\n\
+             same(X, Y) :- overlap(Authors) >= 2.",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].kind, SemckKind::Subsumption);
+    }
+
+    #[test]
+    fn distinct_same_polarity_rules_are_kept() {
+        let findings = check(
+            "same(X, Y) :- overlap(Authors) >= 2.\n\
+             same(X, Y) :- jaccard(Title) >= 0.8.",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn out_of_range_threshold_is_unsatisfiable() {
+        let findings = check("same(X, Y) :- jaccard(Title) >= 1.5.");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].kind, SemckKind::Unsatisfiable);
+        assert!(findings[0].message.contains("jaccard(Title)"), "{}", findings[0].message);
+    }
+
+    #[test]
+    fn whole_tokenizer_caps_overlap_at_one() {
+        // Venue is `Whole`: one token per entity, overlap ∈ [0, 1].
+        let findings = check("same(X, Y) :- overlap(Venue) >= 2.");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].kind, SemckKind::Unsatisfiable);
+        // On a List attribute the same threshold is fine.
+        assert!(check("same(X, Y) :- overlap(Authors) >= 2.").is_empty());
+    }
+
+    #[test]
+    fn unsatisfiable_rules_do_not_also_conflict() {
+        let findings = check(
+            "same(X, Y) :- jaccard(Title) >= 1.5.\n\
+             diff(X, Y) :- jaccard(Title) <= 0.9.",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].kind, SemckKind::Unsatisfiable);
+    }
+
+    #[test]
+    fn edit_distance_dimensions_conflict_too() {
+        // same: edit_dist <= 3; diff: edit_dist >= 2 — [2, 3] fires both.
+        let findings = check(
+            "same(X, Y) :- edit_dist(Title) <= 3.\n\
+             diff(X, Y) :- edit_dist(Title) >= 2.",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].kind, SemckKind::Conflict);
+    }
+}

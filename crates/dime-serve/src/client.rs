@@ -278,10 +278,24 @@ impl Client {
     }
 
     /// Installs a rulespec program as the session's new rule set.
+    /// Semantic-analysis warnings ride back in the OK payload.
     pub fn rules_install(&mut self, session: u64, spec: &str) -> Result<Value, ClientError> {
+        self.rules_install_opts(session, spec, false)
+    }
+
+    /// Installs a rulespec with explicit strictness: under `strict`, any
+    /// semantic finding (same/diff conflict, subsumed rule,
+    /// unsatisfiable threshold) rejects the install with `rule_rejected`
+    /// instead of installing with warnings.
+    pub fn rules_install_opts(
+        &mut self,
+        session: u64,
+        spec: &str,
+        strict: bool,
+    ) -> Result<Value, ClientError> {
         self.call(&Request::Rules {
             session,
-            action: RuleAction::Install { spec: spec.to_string() },
+            action: RuleAction::Install { spec: spec.to_string(), strict },
         })
     }
 

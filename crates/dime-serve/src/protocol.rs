@@ -203,6 +203,12 @@ pub enum RuleAction {
     Install {
         /// The rulespec source text.
         spec: String,
+        /// With `strict`, semantic-analysis findings (same/diff
+        /// conflicts, subsumed rules, unsatisfiable thresholds) reject
+        /// the install with `rule_rejected`; without it they come back
+        /// as warnings in the OK payload. Optional on the wire,
+        /// defaulting to `false`, so older clients are unaffected.
+        strict: bool,
     },
     /// Removes one rule, keeping at least one rule of each polarity.
     Ablate {
@@ -332,9 +338,16 @@ impl Request {
             Request::Stats { session: None } => json!({"op": "stats"}),
             Request::Trace => json!({"op": "trace"}),
             Request::Rules { session, action } => match action {
-                RuleAction::Install { spec } => {
+                RuleAction::Install { spec, strict: false } => {
                     json!({"op": "rules", "session": session, "action": "install", "spec": spec})
                 }
+                RuleAction::Install { spec, strict: true } => json!({
+                    "op": "rules",
+                    "session": session,
+                    "action": "install",
+                    "spec": spec,
+                    "strict": true,
+                }),
                 RuleAction::Ablate { polarity, index } => json!({
                     "op": "rules",
                     "session": session,
@@ -405,9 +418,15 @@ impl Request {
             "rules" => Request::Rules {
                 session: need_u64(obj, "rules", "session")?,
                 action: match need_str(obj, "rules", "action")? {
-                    "install" => {
-                        RuleAction::Install { spec: need_str(obj, "rules", "spec")?.to_string() }
-                    }
+                    "install" => RuleAction::Install {
+                        spec: need_str(obj, "rules", "spec")?.to_string(),
+                        strict: match obj.get("strict") {
+                            None | Some(Value::Null) => false,
+                            Some(v) => v
+                                .as_bool()
+                                .ok_or_else(|| bad("rules: \"strict\" must be a boolean"))?,
+                        },
+                    },
                     "ablate" => RuleAction::Ablate {
                         polarity: match need_str(obj, "rules", "polarity")? {
                             "positive" => Polarity::Positive,
@@ -693,7 +712,10 @@ mod tests {
         roundtrip_request(&Request::Trace);
         roundtrip_request(&Request::Rules {
             session: 7,
-            action: RuleAction::Install { spec: "same(X, Y) :- overlap(A) >= 2.".into() },
+            action: RuleAction::Install {
+                spec: "same(X, Y) :- overlap(A) >= 2.".into(),
+                strict: false,
+            },
         });
         roundtrip_request(&Request::Rules {
             session: 7,

@@ -988,7 +988,12 @@ fn apply_rules(sess: &mut Session, positive: Vec<Rule>, negative: Vec<Rule>) {
 /// replays under), and every rule is exercised against a sample of the
 /// session's own pairs before anything changes — a rule that fires on
 /// every sampled pair is rejected as non-discriminating.
-fn install_rules(sess: &mut Session, positive: Vec<Rule>, negative: Vec<Rule>) -> Response {
+fn install_rules(
+    sess: &mut Session,
+    positive: Vec<Rule>,
+    negative: Vec<Rule>,
+    warnings: &[dime_rulespec::SemFinding],
+) -> Response {
     if positive.is_empty() || negative.is_empty() {
         return Response::err(
             ErrorCode::RuleRejected,
@@ -1007,7 +1012,27 @@ fn install_rules(sess: &mut Session, positive: Vec<Rule>, negative: Vec<Rule>) -
         "installed": {"positive": np, "negative": nn},
         "exercised_pairs": report.pairs,
         "fired": report.fired,
+        "warnings": warnings
+            .iter()
+            .map(|w| json!({"kind": w.kind.tag(), "message": w.message}))
+            .collect::<Vec<_>>(),
     }))
+}
+
+/// Renders semck findings as one `rule_rejected` message. Each finding
+/// already names the offending rules in canonical rulespec syntax.
+fn semck_rejection(findings: &[dime_rulespec::SemFinding]) -> Response {
+    let lines: Vec<String> =
+        findings.iter().map(|f| format!("[{}] {}", f.kind.tag(), f.message)).collect();
+    Response::err(
+        ErrorCode::RuleRejected,
+        format!(
+            "strict install rejected: {} semantic finding{}: {}",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+            lines.join("; "),
+        ),
+    )
 }
 
 /// The `rules` op: install a rulespec, ablate one rule, or list the
@@ -1020,13 +1045,17 @@ fn handle_rules(shared: &Shared, session: u64, action: &RuleAction) -> Response 
     let sess = &mut *guard;
     sess.metrics.requests += 1;
     match action {
-        RuleAction::Install { spec } => {
+        RuleAction::Install { spec, strict } => {
             let compiled =
                 match dime_rulespec::compile_str("<install>", spec, sess.engine.group().schema()) {
                     Ok(c) => c,
                     Err(d) => return Response::err(ErrorCode::RuleRejected, d.to_string()),
                 };
-            install_rules(sess, compiled.positive, compiled.negative)
+            let findings = dime_rulespec::semck_spec(&compiled, sess.engine.group().schema());
+            if *strict && !findings.is_empty() {
+                return semck_rejection(&findings);
+            }
+            install_rules(sess, compiled.positive, compiled.negative, &findings)
         }
         RuleAction::Ablate { polarity, index } => {
             let mut positive = sess.engine.positive_rules().to_vec();
@@ -1752,7 +1781,7 @@ mod tests {
         // complement is flagged.
         let spec = "same(X, Y) :- overlap(Authors) >= 3.\n\
                     diff(X, Y) :- overlap(Authors) <= 0.";
-        let resp = rules_op(&s, id, RuleAction::Install { spec: spec.into() });
+        let resp = rules_op(&s, id, RuleAction::Install { spec: spec.into(), strict: false });
         let Response::Ok(v) = resp else { panic!("install failed: {resp:?}") };
         assert_eq!(v["installed"], json!({"positive": 1, "negative": 1}));
         assert!(v["exercised_pairs"].as_u64().unwrap() > 0);
@@ -1809,7 +1838,8 @@ mod tests {
         let spec_before = listed["spec"].as_str().unwrap().to_string();
 
         // A syntax error carries the file:line:col diagnostic.
-        let resp = rules_op(&s, id, RuleAction::Install { spec: "same(X, Y) :-".into() });
+        let resp =
+            rules_op(&s, id, RuleAction::Install { spec: "same(X, Y) :-".into(), strict: false });
         let Response::Err { code, message } = resp else { panic!("must reject") };
         assert_eq!(code, ErrorCode::RuleRejected);
         assert!(message.contains("<install>:1:"), "diagnostic position: {message}");
@@ -1818,7 +1848,10 @@ mod tests {
         let resp = rules_op(
             &s,
             id,
-            RuleAction::Install { spec: "same(X, Y) :- overlap(Publisher) >= 1.".into() },
+            RuleAction::Install {
+                spec: "same(X, Y) :- overlap(Publisher) >= 1.".into(),
+                strict: false,
+            },
         );
         let Response::Err { code, message } = resp else { panic!("must reject") };
         assert_eq!(code, ErrorCode::RuleRejected);
@@ -1828,7 +1861,10 @@ mod tests {
         let resp = rules_op(
             &s,
             id,
-            RuleAction::Install { spec: "same(X, Y) :- overlap(Authors) >= 2.".into() },
+            RuleAction::Install {
+                spec: "same(X, Y) :- overlap(Authors) >= 2.".into(),
+                strict: false,
+            },
         );
         expect_err(resp, ErrorCode::RuleRejected);
 
@@ -1840,6 +1876,7 @@ mod tests {
                 spec: "same(X, Y) :- overlap(Authors) >= 0.\n\
                        diff(X, Y) :- overlap(Authors) <= 0."
                     .into(),
+                strict: false,
             },
         );
         let Response::Err { code, message } = resp else { panic!("must reject") };
@@ -1855,6 +1892,84 @@ mod tests {
             spec_before,
             "rejected installs must be no-ops"
         );
+    }
+
+    /// The semck acceptance pair: a `same`/`diff` rule whose `overlap`
+    /// ranges overlap (overlap ∈ [1, 2] fires both). Discriminating on
+    /// the sampled pairs, so only the semantic pass can catch it.
+    const CONFLICTING_SPEC: &str = "same(X, Y) :- overlap(Authors) >= 1.\n\
+                                    diff(X, Y) :- overlap(Authors) <= 2.";
+
+    #[test]
+    fn strict_install_rejects_conflicting_rules_naming_both() {
+        let s = shared();
+        let id = create(&s);
+        handle_request(
+            &Request::AddEntities {
+                session: id,
+                entities: vec![
+                    json!(["t0", "ann, bob, carl"]),
+                    json!(["t1", "ann, bob, carl, dora"]),
+                    json!(["t2", "emma"]),
+                    json!(["t3", "frank"]),
+                ],
+            },
+            &s,
+        );
+        let Response::Ok(listed) = rules_op(&s, id, RuleAction::List) else {
+            panic!("list failed")
+        };
+        let spec_before = listed["spec"].as_str().unwrap().to_string();
+
+        let resp =
+            rules_op(&s, id, RuleAction::Install { spec: CONFLICTING_SPEC.into(), strict: true });
+        let Response::Err { code, message } = resp else { panic!("strict must reject") };
+        assert_eq!(code, ErrorCode::RuleRejected);
+        assert!(message.contains("conflict"), "{message}");
+        assert!(message.contains("overlap(Authors) >= 1"), "must name the same rule: {message}");
+        assert!(message.contains("overlap(Authors) <= 2"), "must name the diff rule: {message}");
+
+        // The rejection is atomic: the live set is untouched.
+        let Response::Ok(listed) = rules_op(&s, id, RuleAction::List) else {
+            panic!("list failed")
+        };
+        assert_eq!(listed["spec"].as_str().unwrap(), spec_before);
+    }
+
+    #[test]
+    fn non_strict_install_carries_semck_warnings() {
+        let s = shared();
+        let id = create(&s);
+        handle_request(
+            &Request::AddEntities {
+                session: id,
+                entities: vec![
+                    json!(["t0", "ann, bob, carl"]),
+                    json!(["t1", "ann, bob, carl, dora"]),
+                    json!(["t2", "emma"]),
+                    json!(["t3", "frank"]),
+                ],
+            },
+            &s,
+        );
+        let resp =
+            rules_op(&s, id, RuleAction::Install { spec: CONFLICTING_SPEC.into(), strict: false });
+        let Response::Ok(v) = resp else { panic!("non-strict must install: {resp:?}") };
+        assert_eq!(v["installed"], json!({"positive": 1, "negative": 1}));
+        let warnings = v["warnings"].as_array().unwrap();
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert_eq!(warnings[0]["kind"], "conflict");
+        assert!(warnings[0]["message"].as_str().unwrap().contains("overlap(Authors)"));
+
+        // A clean spec installs with an empty warnings array.
+        let clean = "same(X, Y) :- overlap(Authors) >= 2.\n\
+                     diff(X, Y) :- overlap(Authors) <= 0.";
+        let Response::Ok(v) =
+            rules_op(&s, id, RuleAction::Install { spec: clean.into(), strict: false })
+        else {
+            panic!("clean install failed")
+        };
+        assert_eq!(v["warnings"].as_array().unwrap().len(), 0);
     }
 
     #[test]
@@ -1890,7 +2005,9 @@ mod tests {
             },
             &s,
         );
-        let Response::Ok(_) = rules_op(&s, id, RuleAction::Install { spec: spec.into() }) else {
+        let Response::Ok(_) =
+            rules_op(&s, id, RuleAction::Install { spec: spec.into(), strict: false })
+        else {
             panic!("install failed")
         };
         let Response::Ok(v) =
@@ -2010,7 +2127,8 @@ mod tests {
             );
             let spec = "same(X, Y) :- overlap(Authors) >= 1.\n\
                         diff(X, Y) :- overlap(Authors) <= 0.";
-            let Response::Ok(_) = rules_op(&s, id, RuleAction::Install { spec: spec.into() })
+            let Response::Ok(_) =
+                rules_op(&s, id, RuleAction::Install { spec: spec.into(), strict: false })
             else {
                 panic!("install failed")
             };

@@ -58,7 +58,7 @@ fn arb_rule_action() -> impl Strategy<Value = RuleAction> {
         Just(RuleAction::List),
         // Specs are opaque text at the protocol layer — hostile bytes
         // must survive the frame trip even if they'd never compile.
-        arb_text().prop_map(|spec| RuleAction::Install { spec }),
+        (arb_text(), any::<bool>()).prop_map(|(spec, strict)| RuleAction::Install { spec, strict }),
         (any::<bool>(), any::<usize>()).prop_map(|(pos, index)| RuleAction::Ablate {
             polarity: if pos { Polarity::Positive } else { Polarity::Negative },
             index,

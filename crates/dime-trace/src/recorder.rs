@@ -51,6 +51,7 @@ impl Recorder {
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
         // A panicking worker mid-record leaves only aggregate counters
         // possibly short by one flush; never poison the whole trace.
+        // dime-check: allow(blocking-reaches-poll-loop) — reached only over name-collision edges (a HashMap `.remove(` and a Mutex `.lock(` resolving to same-named workspace fns); the admission thread never records trace spans
         self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 

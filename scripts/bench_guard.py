@@ -25,6 +25,7 @@ is guarded as soon as it grows a recognized section:
   sharded[].sessions_per_sec        higher is better   (BENCH_cluster)
   refinement.f1_final               higher is better   (BENCH_rulespec)
   install.install_*_seconds         lower is better    (BENCH_rulespec)
+  analyzer.wall_seconds             lower is better    (BENCH_check)
 
 Metrics present in only one of the two files (config drift, new
 sections) are skipped: the guard pins regressions, it does not freeze
@@ -77,6 +78,8 @@ def metrics(doc):
     for key, value in sorted(doc.get("install", {}).items()):
         if key.endswith("_seconds"):
             out.append((f"install.{key}", value, "lower"))
+    if "analyzer" in doc:
+        out.append(("analyzer.wall_seconds", doc["analyzer"]["wall_seconds"], "lower"))
     return out
 
 

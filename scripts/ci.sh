@@ -27,8 +27,10 @@
 #   check         dime-check --workspace: the in-repo static analyzer
 #                 (no-panic service path, annotated Relaxed orderings,
 #                 fsync-before-rename, wall-clock scoping, forbid(unsafe)
-#                 drift, stdout hygiene, poll-loop blocking-syscall ban)
-#                 with zero unsuppressed findings
+#                 drift, stdout hygiene, plus the call-graph rules:
+#                 blocking-reaches-poll-loop, panic-reaches-service,
+#                 lock-order, wal-tag-exhaustive) with zero unsuppressed
+#                 findings
 #   clippy        lint-clean across all targets, warnings denied
 #   bench-smoke   exp_check --smoke: the three engines must agree on a
 #                 tiny generated group inside a generous time ceiling
@@ -36,8 +38,10 @@
 #                 driver runs end to end on a small pair count (the
 #                 committed JSON is refreshed by bench-json)
 #   bench-json    small-config exp_serve / exp_trace / exp_store /
-#                 exp_micro / exp_cluster / exp_rulespec runs, refreshing
-#                 results/BENCH_{serve,trace,store,micro,cluster,rulespec}.json,
+#                 exp_micro / exp_cluster / exp_rulespec runs plus the
+#                 exp_check --analyzer timing of the whole-workspace
+#                 dime-check run, refreshing
+#                 results/BENCH_{serve,trace,store,micro,cluster,rulespec,check}.json,
 #                 then the perf-regression guard: every refreshed file is
 #                 compared against the copy committed at HEAD (via `git
 #                 show`) and the stage fails on any >2x regression of a
@@ -140,6 +144,7 @@ run_bench_json() {
     cargo run -q --release --bin exp_micro -- --pairs 200000 &&
     cargo run -q --release --bin exp_cluster -- --lifecycles 10 &&
     cargo run -q --release --bin exp_rulespec -- --rounds 4 --installs 10 &&
+    cargo run -q --release --bin exp_check -- --analyzer &&
     check_bench_regressions
 }
 

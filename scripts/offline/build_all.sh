@@ -87,7 +87,7 @@ tst dime_bench    $R/crates/dime-bench/src/lib.rs    $E_core $E_text $E_ont $E_i
 tst dime_facade   $R/src/lib.rs                      $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_cluster $E_trace $E_rulespec
 
 # 4. Integration-test binaries.
-ALL_E="$E_dime $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_cluster $E_bench $E_trace $E_rulespec"
+ALL_E="$E_dime $E_core $E_text $E_ont $E_index $E_rulegen $E_baselines $E_data $E_metrics $E_serve $E_store $E_cluster $E_bench $E_trace $E_rulespec $E_check"
 tst end_to_end     $R/tests/end_to_end.rs             $ALL_E
 tst serve          $R/tests/serve.rs                  $ALL_E
 tst rulespec       $R/tests/rulespec.rs               $ALL_E
@@ -97,6 +97,9 @@ tst store_fault    $R/crates/dime-store/tests/fault_injection.rs $E_store
 tst store_oracle   $R/crates/dime-store/tests/oracle.rs    $E_store $E_core $E_text
 tst check_fixtures $R/crates/dime-check/tests/fixtures.rs  $E_check
 tst check_lexer_prop $R/crates/dime-check/tests/lexer_prop.rs $E_check
+tst check_parse_prop $R/crates/dime-check/tests/parse_prop.rs $E_check
+tst check_flow     $R/crates/dime-check/tests/flow_fixtures.rs $E_check
+tst catalog_docs   $R/crates/dime-check/tests/catalog_docs.rs  $E_check
 
 # 5. Binaries, benches, examples.
 for b in $R/crates/dime-bench/src/bin/*.rs; do
@@ -120,6 +123,9 @@ echo "dime-check workspace OK"
 DIME_CHECK_ROOT="$R" ./dime_check_test -q
 DIME_CHECK_ROOT="$R" ./check_fixtures_test -q
 DIME_CHECK_ROOT="$R" ./check_lexer_prop_test -q
+DIME_CHECK_ROOT="$R" ./check_parse_prop_test -q
+DIME_CHECK_ROOT="$R" ./check_flow_test -q
+DIME_CHECK_ROOT="$R" ./catalog_docs_test -q
 echo "dime-check tests OK"
 # The CLI test harness locates the binary through this compile-time env var.
 CARGO_BIN_EXE_dime="$OUT/bin_dime" $RC --test $R/tests/cli.rs --crate-name cli_test $X $ALL_E -o cli_test

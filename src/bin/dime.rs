@@ -99,7 +99,7 @@ fn print_usage() {
          \x20            [--data-dir DIR] [--fsync always|never|interval[:ms]] [--snapshot-every N]\n\
          \x20 dime client --addr H:P <ping|create|add|remove|discovery|scrollbar|stats|trace|close|shutdown> [op args]\n\
          \x20 dime rules check --spec <file.rulespec> --group <group.json>\n\
-         \x20 dime rules install --addr H:P --session ID --spec <file.rulespec>\n\
+         \x20 dime rules install --addr H:P --session ID --spec <file.rulespec> [--strict]\n\
          \x20 dime rules list --addr H:P --session ID\n\
          \x20 dime rules ablate --addr H:P --session ID --polarity positive|negative --index N\n\
          \x20 dime rules feedback --addr H:P --session ID --labels <labels.json> [--apply]\n\
@@ -730,7 +730,7 @@ fn cmd_rules(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            client.rules_install(session, &spec)
+            client.rules_install_opts(session, &spec, has_flag(args, "--strict"))
         }
         "list" => client.rules_list(session),
         "ablate" => {
@@ -847,6 +847,18 @@ fn cmd_rules_check(args: &[String]) -> ExitCode {
         group_path
     );
     print!("{canonical}");
+    // The same semantic pass a server runs at install: warnings here,
+    // `rule_rejected` under `dime rules install --strict`.
+    let findings = dime::rulespec::semck_spec(&compiled, group.schema());
+    for f in &findings {
+        eprintln!("warning[{}]: {}", f.kind.tag(), f.message);
+    }
+    if !findings.is_empty() {
+        eprintln!(
+            "# {} semantic warning(s); `rules install --strict` would reject this spec",
+            findings.len()
+        );
+    }
     ExitCode::SUCCESS
 }
 

@@ -159,6 +159,51 @@ fn explain_shows_witnessing_rule() {
 }
 
 #[test]
+fn rules_check_prints_semck_warnings() {
+    let group = write_temp("g_semck.json", GROUP);
+    // Regions overlap on the shared overlap(Authors) dimension: any pair
+    // with overlap 1 or 2 satisfies both heads at once.
+    let spec = write_temp(
+        "conflicted.rulespec",
+        "same(X, Y) :- overlap(Authors) >= 1.\ndiff(X, Y) :- overlap(Authors) <= 2.\n",
+    );
+    let out = dime()
+        .args(["rules", "check", "--spec"])
+        .arg(&spec)
+        .arg("--group")
+        .arg(&group)
+        .output()
+        .unwrap();
+    // Warnings are advisory at check time: exit 0, canonical form on
+    // stdout, the diagnosis on stderr.
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("same(X, Y) :- overlap(Authors) >= 1."), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("warning[conflict]"), "{stderr}");
+    assert!(stderr.contains("rules install --strict"), "{stderr}");
+
+    // A clean spec stays silent on stderr.
+    let clean = write_temp(
+        "clean.rulespec",
+        "same(X, Y) :- overlap(Authors) >= 2.\ndiff(X, Y) :- overlap(Authors) <= 0.\n",
+    );
+    let out = dime()
+        .args(["rules", "check", "--spec"])
+        .arg(&clean)
+        .arg("--group")
+        .arg(&group)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("warning["),
+        "clean spec must not warn: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn learn_emits_parseable_rules() {
     let group = write_temp("g7.json", GROUP);
     let truth = write_temp("t7.json", "[2]");
